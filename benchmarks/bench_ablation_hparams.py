@@ -1,0 +1,118 @@
+"""Section 2.1 ablation: "we ... optimize a set of hyperparameters to adapt
+the model to scenarios with larger topologies".
+
+Sweeps the two knobs that drive RouteNet's capacity — the number of
+message-passing iterations T and the hidden-state dimension — trains a small
+model per cell on the NSFNET training set, and reports delay MRE on the
+*unseen* Geant2 scenarios.  The shape to reproduce: T=1 (no real message
+passing) is clearly worse; accuracy saturates after a few iterations.
+"""
+
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.training import Trainer
+
+from .conftest import report
+
+SWEEP_EPOCHS = 12
+
+
+def _mre_for(hp: HyperParams, workbench, include_load: bool = False) -> float:
+    trainer = Trainer(RouteNet(hp, seed=3), include_load=include_load, seed=4)
+    trainer.fit(workbench.nsfnet_train(), epochs=SWEEP_EPOCHS)
+    return trainer.evaluate(workbench.geant2_eval())["delay"]["mre"]
+
+
+def test_ablation_message_passing_steps(workbench, benchmark):
+    results = {}
+    for steps in (1, 2, 4):
+        hp = HyperParams(
+            link_state_dim=12, path_state_dim=12, message_passing_steps=steps,
+            readout_hidden=(24,), learning_rate=2e-3,
+        )
+        results[steps] = _mre_for(hp, workbench)
+
+    # Benchmark one training step at the default depth (the knob's cost).
+    hp = HyperParams(
+        link_state_dim=12, path_state_dim=12, message_passing_steps=4,
+        readout_hidden=(24,), learning_rate=2e-3,
+    )
+    trainer = Trainer(RouteNet(hp, seed=3), seed=4)
+    trainer.scaler = workbench.trainer().scaler
+    sample = workbench.nsfnet_train()[0]
+    benchmark(lambda: trainer.train_step(sample))
+
+    lines = ["T (message-passing steps) -> delay MRE on unseen geant2-24"]
+    lines += [f"  T={steps}: {mre:.3f}" for steps, mre in results.items()]
+    report("ABLATION — message-passing iterations", "\n".join(lines))
+
+    assert results[4] < results[1], "message passing must help generalization"
+
+
+def test_ablation_link_load_feature(workbench, benchmark):
+    """Feature ablation: hand the model the analytic per-link offered load
+    as a second link feature vs. making it learn load from structure (the
+    paper's design).  The structural model should be competitive — that is
+    the whole point of message passing."""
+    base = dict(
+        link_state_dim=12, path_state_dim=12, message_passing_steps=3,
+        readout_hidden=(24,), learning_rate=2e-3,
+    )
+    without = _mre_for(HyperParams(**base), workbench)
+    with_load = _mre_for(
+        HyperParams(**base, link_feature_dim=2), workbench, include_load=True
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    report(
+        "ABLATION — explicit load feature",
+        "\n".join(
+            [
+                "link features -> delay MRE on unseen geant2-24",
+                f"  capacity only (paper design): {without:.3f}",
+                f"  capacity + analytic load:     {with_load:.3f}",
+            ]
+        ),
+    )
+    # Learning load from structure must be roughly as good as being told.
+    assert without < with_load * 1.6 + 0.05
+
+
+def test_ablation_cell_type(workbench, benchmark):
+    """GRU (gated, the paper's cell) vs vanilla RNN in both updates."""
+    results = {}
+    for cell in ("gru", "rnn"):
+        hp = HyperParams(
+            link_state_dim=12, path_state_dim=12, message_passing_steps=3,
+            readout_hidden=(24,), learning_rate=2e-3, cell_type=cell,
+        )
+        results[cell] = _mre_for(hp, workbench)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    lines = ["recurrent cell -> delay MRE on unseen geant2-24"]
+    lines += [f"  {cell}: {mre:.3f}" for cell, mre in results.items()]
+    report("ABLATION — recurrent cell type", "\n".join(lines))
+
+    # The gated cell should not be clearly worse; typically it wins.
+    assert results["gru"] <= results["rnn"] * 1.25
+
+
+def test_ablation_state_dimension(workbench, benchmark):
+    results = {}
+    for dim in (4, 16):
+        hp = HyperParams(
+            link_state_dim=dim, path_state_dim=dim, message_passing_steps=3,
+            readout_hidden=(24,), learning_rate=2e-3,
+        )
+        results[dim] = _mre_for(hp, workbench)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    lines = ["hidden-state dim -> delay MRE on unseen geant2-24"]
+    lines += [f"  dim={dim}: {mre:.3f}" for dim, mre in results.items()]
+    report("ABLATION — state dimension", "\n".join(lines))
+
+    assert results[16] <= results[4] * 1.5, "capacity should not hurt badly"

@@ -1,0 +1,64 @@
+"""Section 1 reproduction: RouteNet vs. the models the paper argues against.
+
+Paper claims: (i) analytic queueing models "fail to achieve accurate
+estimation in real-world scenarios with complex configurations", and
+(ii) conventional NN architectures (fully-connected) "are not well suited to
+model information structured as graphs" — in particular they cannot transfer
+to unseen topologies at all.
+
+The bench prints the delay-MRE comparison per evaluation dataset and times
+the analytic baseline (its cost is the relevant metric — it is cheap but
+inaccurate).
+"""
+
+from repro.baselines import QueueingNetworkModel
+from repro.experiments import baseline_comparison
+
+from .conftest import report
+
+
+def test_baseline_comparison(workbench, benchmark):
+    comparison = baseline_comparison(workbench)
+
+    sample = workbench.geant2_eval()[0]
+    queueing = QueueingNetworkModel(buffer_packets=64)
+    benchmark(
+        lambda: queueing.predict(
+            sample.topology, sample.routing, sample.traffic, pairs=list(sample.pairs)
+        )
+    )
+
+    lines = [
+        f"{'eval dataset':<24s} {'routenet':>10s} {'mm1b':>10s} {'fixed-pt':>10s} {'fixed-MLP':>28s}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for label, row in comparison.items():
+        mlp = row["mlp-fixed"]
+        mlp_text = f"{mlp['mre']:.3f}" if isinstance(mlp, dict) else mlp
+        lines.append(
+            f"{label:<24s} {row['routenet']['mre']:>10.3f} "
+            f"{row['queueing-theory']['mre']:>10.3f} "
+            f"{row['queueing-fixed-point']['mre']:>10.3f} {mlp_text:>28s}"
+        )
+    report("BASELINES — RouteNet vs queueing theory vs fixed-topology MLP", "\n".join(lines))
+
+    # Who-wins assertions (the paper's shape):
+    # (1) Under bursty "real traffic distributions" the analytic model's
+    #     assumptions break and RouteNet wins clearly (§1 claim i).
+    bursty = comparison["nsfnet-14 (bursty)"]
+    assert bursty["routenet"]["mre"] < bursty["queueing-theory"]["mre"]
+    # The stronger reduced-load analytic model still assumes Poisson, so it
+    # must lose on bursty traffic too.
+    assert bursty["routenet"]["mre"] < bursty["queueing-fixed-point"]["mre"]
+    # (2) On purely Markovian workloads — the analytic model's best case —
+    #     RouteNet stays in the same accuracy class (within 1.5x).
+    for label in ("nsfnet-14 (poisson)", "synthetic-50 (poisson)", "geant2-24 (poisson)"):
+        row = comparison[label]
+        assert row["routenet"]["mre"] < 1.5 * row["queueing-theory"]["mre"] + 0.02
+    # (3) The fixed MLP cannot even run off its training topology (§1 claim ii),
+    #     and on its own topology it is the worst learned model.
+    assert isinstance(comparison["nsfnet-14 (poisson)"]["mlp-fixed"], dict)
+    assert isinstance(comparison["synthetic-50 (poisson)"]["mlp-fixed"], str)
+    assert isinstance(comparison["geant2-24 (poisson)"]["mlp-fixed"], str)
+    nsf = comparison["nsfnet-14 (poisson)"]
+    assert nsf["routenet"]["mre"] < nsf["mlp-fixed"]["mre"]

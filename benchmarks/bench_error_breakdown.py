@@ -1,0 +1,30 @@
+"""Analysis: does the error compose gracefully along paths?
+
+RouteNet predicts end-to-end delay by composing per-link states along each
+path; if the composition were biased, relative error would blow up with hop
+count.  This bench slices the unseen-Geant2 error by path length — the
+shape to observe is mild growth, not an explosion.
+"""
+
+from repro.evaluation import error_by_path_length, format_breakdown
+
+from .conftest import report
+
+
+def test_error_by_path_length(workbench, benchmark):
+    trainer = workbench.trainer()
+    samples = workbench.geant2_eval()
+    predictions = [trainer.predict_sample(s)["delay"] for s in samples]
+
+    breakdown = benchmark(lambda: error_by_path_length(samples, predictions))
+
+    report(
+        "ANALYSIS — relative error by path length (unseen geant2-24)",
+        format_breakdown(breakdown),
+    )
+
+    lengths = sorted(breakdown)
+    assert len(lengths) >= 3, "need a range of path lengths to analyze"
+    # No blow-up: the longest paths' MRE stays within 3x of the shortest's
+    # (composition error grows sub-linearly).
+    assert breakdown[lengths[-1]]["mre"] < 3.0 * breakdown[lengths[0]]["mre"] + 0.05

@@ -1,0 +1,62 @@
+"""Figure 2 reproduction: regression plot on a sample Geant2 scenario.
+
+Paper: a scatter of RouteNet's predicted delays vs. the packet-level
+simulator's delays on one scenario of the *unseen* Geant2 topology, hugging
+the y = x diagonal.
+
+This bench prints the scatter (ASCII), the binned trend series, and the fit
+statistics, and times the end-to-end prediction step that produces the
+figure's data.
+"""
+
+import numpy as np
+
+from repro.core import build_model_input
+from repro.evaluation import binned_means, scatter
+from repro.experiments import fig2_regression
+
+from .conftest import report
+
+
+def test_fig2_regression_data(workbench, benchmark):
+    data = fig2_regression(workbench)
+    summary = data.summary()
+
+    model, scaler = workbench.trained_model()
+    sample = workbench.geant2_eval()[0]
+    inputs = build_model_input(
+        sample.topology, sample.routing, sample.traffic,
+        scaler=scaler, pairs=list(sample.pairs),
+    )
+    benchmark(lambda: model.predict(inputs, scaler))
+
+    rows = "\n".join(
+        f"  true~{center:.4f}s -> pred {mean:.4f}s  (n={n})"
+        for center, mean, n in binned_means(data, num_bins=8)
+    )
+    body = "\n".join(
+        [
+            scatter(
+                data.true,
+                data.pred,
+                title="Fig.2: RouteNet delay prediction on unseen Geant2 (y=x dotted)",
+                x_label="simulated delay (s)",
+                y_label="predicted delay (s)",
+                diagonal=True,
+            ),
+            "",
+            "binned trend (true-delay bin -> mean prediction):",
+            rows,
+            "",
+            f"paths: {len(data.pairs)}   slope through origin: "
+            f"{data.slope_through_origin():.3f} (paper: ~1.0)",
+            f"R2: {summary['r2']:.3f}   Pearson: {summary['pearson']:.3f}   "
+            f"MRE: {summary['mre']:.3f}",
+        ]
+    )
+    report("FIG 2 — regression plot in a sample scenario of Geant2", body)
+
+    # Reproduction assertions: predictions track the diagonal on the unseen
+    # topology (shape of the paper's result, not its absolute numbers).
+    assert 0.6 < data.slope_through_origin() < 1.5
+    assert summary["pearson"] > 0.8

@@ -1,0 +1,49 @@
+"""Figure 3 reproduction: CDF of the relative error on all eval datasets.
+
+Paper: the CDFs of the relative error between RouteNet's predictions and the
+simulated delays over the evaluation samples of NSFNET-14, synthetic-50 and
+the unseen Geant2-24, all concentrated near zero and of similar shape.
+
+The bench prints the quantile table and an ASCII CDF per dataset, and times
+the pooled-evaluation step.
+"""
+
+import numpy as np
+
+from repro.evaluation import cdf_curve, cdf_table
+from repro.experiments import fig3_error_cdfs
+
+from .conftest import report
+
+
+def test_fig3_error_cdfs(workbench, benchmark):
+    cdfs = benchmark.pedantic(
+        fig3_error_cdfs, args=(workbench,), rounds=1, iterations=1
+    )
+
+    curves = "\n\n".join(
+        cdf_curve(
+            c.errors,
+            title=f"Fig.3 CDF of relative error — {c.label}",
+            x_label="relative error",
+        )
+        for c in cdfs
+    )
+    body = cdf_table(cdfs) + "\n\n" + curves
+    report("FIG 3 — CDF of the relative error (3 evaluation datasets)", body)
+
+    by_label = {c.label: c for c in cdfs}
+    seen_labels = ["nsfnet-14", "synthetic-50"]
+    unseen = by_label["geant2-24 (unseen)"]
+
+    # Shape assertions mirroring the paper's claims:
+    # (1) errors concentrate near zero on every dataset;
+    for c in cdfs:
+        assert c.abs_quantile(0.5) < 0.25, f"{c.label} median error too large"
+    # (2) the unseen topology stays comparable to the seen ones (the
+    #     headline generalization claim) — within a small factor.
+    seen_p50 = max(by_label[l].abs_quantile(0.5) for l in seen_labels)
+    assert unseen.abs_quantile(0.5) < max(3.0 * seen_p50, 0.2)
+    # (3) most mass within 50% error everywhere.
+    for c in cdfs:
+        assert c.fraction_within(0.5) > 0.85

@@ -1,0 +1,40 @@
+"""Section 2.1 reproduction: the generalization matrix.
+
+Paper: "we observe that RouteNet produces accurate estimates even in unseen
+topologies" — trained on NSFNET-14 + synthetic-50, evaluated on held-out
+samples of both plus the never-seen Geant2-24, and on "topologies of
+variable size (up to 50 nodes)".
+
+The bench prints delay MRE/R2 per evaluation dataset and times one full
+dataset evaluation pass.
+"""
+
+from repro.experiments import generalization_matrix
+
+from .conftest import report
+
+
+def test_generalization_matrix(workbench, benchmark):
+    matrix = benchmark.pedantic(
+        generalization_matrix, args=(workbench,), rounds=1, iterations=1
+    )
+
+    header = f"{'eval dataset':<16s} {'MRE':>8s} {'MedRE':>8s} {'R2':>8s} {'Pearson':>8s} {'paths':>7s}"
+    lines = [header, "-" * len(header)]
+    for label, stats in matrix.items():
+        lines.append(
+            f"{label:<16s} {stats['mre']:>8.3f} {stats['medre']:>8.3f} "
+            f"{stats['r2']:>8.3f} {stats['pearson']:>8.3f} {int(stats['count']):>7d}"
+        )
+    report("GENERALIZATION MATRIX — train {nsfnet-14, synthetic-50}", "\n".join(lines))
+
+    # Seen-topology accuracy is good, unseen topologies remain usable: the
+    # paper's qualitative result.
+    assert matrix["nsfnet-14"]["mre"] < 0.25
+    assert matrix["geant2-24"]["pearson"] > 0.8
+    assert matrix["geant2-24"]["mre"] < 3.0 * max(
+        matrix["nsfnet-14"]["mre"], matrix["synthetic-50"]["mre"]
+    ) + 0.05
+    for label, stats in matrix.items():
+        if label.startswith("variable-"):
+            assert stats["pearson"] > 0.6, f"{label} lost correlation"

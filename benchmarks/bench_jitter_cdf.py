@@ -1,0 +1,30 @@
+"""Jitter counterpart of Figure 3.
+
+The paper's model "produces accurate estimates of mean per-packet delay and
+jitter"; the demo's figures show delay.  This bench reproduces the Fig. 3
+CDF analysis for the jitter head on the same three evaluation datasets.
+Jitter (a variance) is statistically harder to estimate from finite
+simulations, so its error band is naturally wider than delay's.
+"""
+
+from repro.evaluation import cdf_table
+from repro.experiments import fig3_jitter_cdfs
+
+from .conftest import report
+
+
+def test_jitter_error_cdfs(workbench, benchmark):
+    cdfs = benchmark.pedantic(
+        fig3_jitter_cdfs, args=(workbench,), rounds=1, iterations=1
+    )
+    report("FIG 3 (jitter head) — CDF of the relative jitter error", cdf_table(cdfs))
+
+    by_label = {c.label: c for c in cdfs}
+    for c in cdfs:
+        assert c.abs_quantile(0.5) < 0.5, f"{c.label} median jitter error too large"
+    # Generalization shape: the unseen topology stays comparable.
+    seen = max(
+        by_label["nsfnet-14"].abs_quantile(0.5),
+        by_label["synthetic-50"].abs_quantile(0.5),
+    )
+    assert by_label["geant2-24 (unseen)"].abs_quantile(0.5) < max(3.0 * seen, 0.3)

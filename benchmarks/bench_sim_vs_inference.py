@@ -1,0 +1,40 @@
+"""Section 1 cost claim: packet-level simulation vs. RouteNet inference.
+
+Paper: "packet-level simulators produce accurate KPI predictions at the
+expense of high computational cost, which makes them useless for network
+operation in short timescales" — the entire motivation for a learned model.
+
+The bench times both a full packet-level simulation of a Geant2 scenario and
+a RouteNet forward pass on the same scenario, and prints the speedup.
+"""
+
+from repro.core import build_model_input
+from repro.experiments import sim_vs_inference
+
+from .conftest import report
+
+
+def test_sim_vs_inference(workbench, benchmark):
+    costs = sim_vs_inference(workbench)
+
+    model, scaler = workbench.trained_model()
+    sample = workbench.geant2_eval()[0]
+    inputs = build_model_input(
+        sample.topology, sample.routing, sample.traffic,
+        scaler=scaler, pairs=list(sample.pairs),
+    )
+    benchmark(lambda: model.predict(inputs, scaler))
+
+    body = "\n".join(
+        [
+            f"scenario: geant2-24, {int(costs['paths'])} measured paths",
+            f"packet-level simulation: {costs['simulation_seconds']:.3f} s "
+            f"({int(costs['simulated_events'])} events)",
+            f"RouteNet inference:      {costs['inference_seconds']:.4f} s",
+            f"speedup: {costs['speedup']:.0f}x",
+        ]
+    )
+    report("COST — packet-level simulation vs RouteNet inference", body)
+
+    # The paper's motivation requires a decisive gap.
+    assert costs["speedup"] > 5.0

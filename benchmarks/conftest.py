@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Every bench uses the cached ``paper-small`` workbench under ``data/``; the
+first run generates datasets and trains the model (a few minutes), later
+runs are seconds.  Figure data is printed to stdout via the ``report``
+helper so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction harness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import PAPER_SMALL, Workbench
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    return Workbench(PAPER_SMALL, cache_dir=_REPO_ROOT / "data")
+
+
+@pytest.fixture(scope="session")
+def trained(workbench):
+    """(model, scaler) of the cached paper-small RouteNet."""
+    return workbench.trained_model()
+
+
+def report(title: str, body: str) -> None:
+    """Print a clearly delimited reproduction block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,52 @@
+"""RouteNet vs the models the paper argues against (section 1).
+
+Compares three predictors of per-path mean delay:
+
+* **RouteNet** — the GNN (this library's core);
+* **Queueing theory** — per-link M/M/1/B, summed along paths (the classical
+  analytic model; exact for Poisson workloads, wrong for bursty ones);
+* **Fixed-topology MLP** — a fully-connected net on the flattened traffic
+  matrix (the conventional NN the paper says "is not well suited"; it cannot
+  transfer across topologies at all).
+
+    python examples/compare_baselines.py [--smoke]
+"""
+
+import sys
+
+from repro.experiments import PAPER_SMALL, SMOKE, Workbench, baseline_comparison
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    profile = SMOKE if smoke else PAPER_SMALL
+    wb = Workbench(profile, cache_dir="/tmp/repro-smoke" if smoke else "data")
+
+    print("building artifacts (cached) ...")
+    comparison = baseline_comparison(wb)
+
+    header = (
+        f"{'evaluation dataset':<24s} {'routenet':>10s} {'queueing':>10s} "
+        f"{'fixed-MLP':>26s}"
+    )
+    print("\ndelay MRE (lower is better)")
+    print(header)
+    print("-" * len(header))
+    for label, row in comparison.items():
+        mlp = row["mlp-fixed"]
+        mlp_text = f"{mlp['mre']:.3f}" if isinstance(mlp, dict) else mlp
+        print(
+            f"{label:<24s} {row['routenet']['mre']:>10.3f} "
+            f"{row['queueing-theory']['mre']:>10.3f} {mlp_text:>26s}"
+        )
+
+    print(
+        "\nreading: on Poisson workloads the M/M/1 analytic model is at its "
+        "theoretical best\nand RouteNet matches it; on bursty 'real' traffic "
+        "the analytic assumptions break\nand RouteNet wins decisively; the "
+        "fixed-topology MLP cannot leave its topology."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Network visibility & planning with RouteNet (the demo's section 3).
+
+Uses a trained model to answer operator questions about a live scenario
+without re-simulating:
+
+* which paths have the most delay (Fig 4's view),
+* which links run hottest,
+* what happens if traffic grows 20% / 50%,
+* what happens if a backbone link fails and flows reroute.
+
+    python examples/network_planning.py [--smoke]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.evaluation import format_top_paths
+from repro.experiments import PAPER_SMALL, SMOKE, Workbench
+from repro.planning import (
+    NetworkView,
+    format_link_report,
+    link_failure_whatif,
+    traffic_scaling_whatif,
+)
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    profile = SMOKE if smoke else PAPER_SMALL
+    wb = Workbench(profile, cache_dir="/tmp/repro-smoke" if smoke else "data")
+    model, scaler = wb.trained_model()
+
+    # The scenario under inspection: one simulated Geant2 sample.
+    sample = wb.geant2_eval()[0]
+    view = NetworkView(model, scaler, sample.topology, sample.routing, sample.traffic)
+
+    print("== Top-10 paths with most predicted delay ==")
+    print(format_top_paths(view.top_delay_paths(10)))
+    print(f"\ntraffic-weighted mean network delay: "
+          f"{view.mean_network_delay() * 1000:.1f} ms")
+
+    print("\n== Hottest links (offered utilization) ==")
+    print(format_link_report(view.link_utilization(), n=8))
+
+    print("\n== What-if: uniform traffic growth ==")
+    results = traffic_scaling_whatif(
+        model, scaler, sample.topology, sample.routing, sample.traffic,
+        factors=(0.8, 1.0, 1.2, 1.5),
+    )
+    for result in results:
+        pair, worst = result.worst_pair()
+        print(
+            f"  {result.label}: mean delay {result.mean_delay() * 1000:7.1f} ms"
+            f"   worst path {pair[0]}->{pair[1]} at {worst * 1000:.1f} ms"
+        )
+
+    print("\n== What-if: single link failure (flows reroute) ==")
+    # Fail the busiest survivable link.
+    for row in view.link_utilization():
+        u, v = row.src, row.dst
+        if sample.topology.without_edge(u, v).is_connected():
+            break
+    before, after = link_failure_whatif(
+        model, scaler, sample.topology, sample.traffic, (u, v)
+    )
+    common = sorted(set(before.pairs) & set(after.pairs))
+    b_idx = {p: i for i, p in enumerate(before.pairs)}
+    a_idx = {p: i for i, p in enumerate(after.pairs)}
+    deltas = np.array(
+        [after.delay[a_idx[p]] - before.delay[b_idx[p]] for p in common]
+    )
+    print(f"  failed edge {u}<->{v}")
+    print(f"  mean delay: {before.mean_delay() * 1000:.1f} ms -> "
+          f"{after.mean_delay() * 1000:.1f} ms")
+    print(f"  paths whose predicted delay grows: "
+          f"{(deltas > 0).sum()}/{len(common)}")
+    worst = int(np.argmax(deltas))
+    print(
+        f"  most impacted path {common[worst][0]}->{common[worst][1]}: "
+        f"+{deltas[worst] * 1000:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

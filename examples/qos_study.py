@@ -1,0 +1,55 @@
+"""QoS extension study: class-aware delay prediction under strict priority.
+
+Generates two-class NSFNET scenarios (premium packets preempt best-effort
+ones at every output queue, non-preemptively), trains a class-aware RouteNet
+(traffic + class one-hot path features), and shows it learns the per-class
+delay separation.
+
+    python examples/qos_study.py
+"""
+
+import numpy as np
+
+from repro.core import HyperParams, RouteNet
+from repro.dataset import GenerationConfig, generate_dataset, train_eval_split
+from repro.topology import nsfnet
+from repro.training import Trainer
+
+
+def main() -> None:
+    topology = nsfnet()
+    config = GenerationConfig(
+        target_packets_per_pair=120,
+        min_delivered=15,
+        num_classes=2,
+        intensity_range=(0.5, 0.85),
+    )
+    print("simulating 14 two-class scenarios (strict-priority links) ...")
+    samples = generate_dataset(topology, 14, seed=5, config=config, workers=2)
+    train, evaluation = train_eval_split(samples, 0.25, seed=1)
+
+    true = np.concatenate([s.delay for s in evaluation])
+    classes = np.concatenate([s.pair_class for s in evaluation])
+    print(
+        f"simulated class separation: premium {true[classes == 0].mean():.3f} s"
+        f" vs best-effort {true[classes == 1].mean():.3f} s"
+    )
+
+    hp = HyperParams(learning_rate=2e-3, path_feature_dim=3)  # traffic + 2 classes
+    trainer = Trainer(RouteNet(hp, seed=0), seed=2)
+    trainer.fit(train, epochs=30, log=print)
+
+    metrics = trainer.evaluate(evaluation)["delay"]
+    print(f"\nheld-out delay MRE: {metrics['mre']:.1%}  R2: {metrics['r2']:.3f}")
+
+    pred = np.concatenate(
+        [trainer.predict_sample(s)["delay"] for s in evaluation]
+    )
+    print(
+        f"predicted class separation: premium {pred[classes == 0].mean():.3f} s"
+        f" vs best-effort {pred[classes == 1].mean():.3f} s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so PEP 660
+editable installs fail; this file enables the legacy `setup.py develop` path."""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,72 @@
+"""repro — reproduction of "Challenging the generalization capabilities of
+Graph Neural Networks for network modeling" (SIGCOMM 2019 demo).
+
+The library implements the RouteNet GNN (path-link message passing over
+runtime-assembled graphs), the packet-level simulator that produces its
+ground truth, the routing/traffic/topology substrates, analytic and
+fully-connected baselines, and the evaluation harness reproducing the
+paper's figures.
+
+Quickstart::
+
+    from repro import topology, dataset, core, training
+
+    topo = topology.nsfnet()
+    samples = dataset.generate_dataset(topo, num_samples=32, seed=0)
+    train, evaluation = dataset.train_eval_split(samples, 0.2, seed=1)
+    model = core.RouteNet(seed=2)
+    trainer = training.Trainer(model, seed=3)
+    trainer.fit(train, epochs=20)
+    print(trainer.evaluate(evaluation)["delay"])
+"""
+
+from . import (
+    baselines,
+    core,
+    dataset,
+    errors,
+    evaluation,
+    nn,
+    planning,
+    queueing,
+    routing,
+    simulator,
+    topology,
+    traffic,
+    training,
+)
+from .core import RouteNet, HyperParams, build_model_input, FeatureScaler
+from .dataset import generate_dataset, generate_sample, GenerationConfig
+from .errors import ReproError
+from .random import make_rng, split_rng
+from .training import Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "dataset",
+    "errors",
+    "evaluation",
+    "nn",
+    "planning",
+    "queueing",
+    "routing",
+    "simulator",
+    "topology",
+    "traffic",
+    "training",
+    "RouteNet",
+    "HyperParams",
+    "build_model_input",
+    "FeatureScaler",
+    "generate_dataset",
+    "generate_sample",
+    "GenerationConfig",
+    "ReproError",
+    "make_rng",
+    "split_rng",
+    "Trainer",
+    "__version__",
+]

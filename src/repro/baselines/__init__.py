@@ -1,0 +1,11 @@
+"""Comparison baselines: fixed-topology MLP and the analytic queueing model.
+
+The queueing baseline lives in :mod:`repro.queueing` (it is also a substrate
+used elsewhere); it is re-exported here so benchmark code can import every
+comparator from one place.
+"""
+
+from ..queueing import QueueingNetworkModel
+from .mlp_baseline import FixedTopologyMLP
+
+__all__ = ["FixedTopologyMLP", "QueueingNetworkModel"]

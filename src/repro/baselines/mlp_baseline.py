@@ -1,0 +1,120 @@
+"""Fixed-topology fully-connected baseline.
+
+The paper's introduction argues that conventional NN architectures
+(fully-connected, CNN) "are not well suited to model information structured
+as graphs" — they need a fixed-dimension input and therefore cannot
+generalize across topologies.  This baseline makes that argument concrete:
+an MLP mapping the flattened traffic matrix to per-pair delays.  It can be
+competitive *on the topology and routing distribution it was trained on*,
+and is structurally unable to produce predictions for a different topology
+(:meth:`FixedTopologyMLP.predict` raises), reproducing the motivation for
+RouteNet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..dataset import Sample
+from ..errors import ModelError
+from ..random import make_rng
+from ..topology import Topology
+from ..training.loss import huber_loss
+
+__all__ = ["FixedTopologyMLP"]
+
+
+class FixedTopologyMLP:
+    """MLP from a flattened traffic matrix to all-pairs delay estimates."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        hidden: tuple[int, ...] = (128, 64),
+        learning_rate: float = 1e-3,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.topology = topology
+        self.pairs: tuple[tuple[int, int], ...] = tuple(topology.node_pairs())
+        self._pair_index = {p: i for i, p in enumerate(self.pairs)}
+        rng = make_rng(seed)
+        dim = len(self.pairs)
+        self.net = nn.MLP(dim, list(hidden), dim, rng, activation="relu")
+        self._optimizer = nn.Adam(list(self.net.parameters()), lr=learning_rate)
+        # Scaling statistics, fit on the training set.
+        self._traffic_scale: float | None = None
+        self._log_mean: float | None = None
+        self._log_std: float | None = None
+
+    # ------------------------------------------------------------------
+    def _check_sample(self, sample: Sample) -> None:
+        if (
+            sample.topology.num_nodes != self.topology.num_nodes
+            or sample.topology.name != self.topology.name
+        ):
+            raise ModelError(
+                "FixedTopologyMLP is bound to "
+                f"{self.topology.name!r} ({self.topology.num_nodes} nodes) and "
+                f"cannot process {sample.topology.name!r} "
+                f"({sample.topology.num_nodes} nodes): fully-connected models "
+                "have a fixed input dimension — this inability to transfer is "
+                "the limitation RouteNet removes"
+            )
+
+    def _features(self, sample: Sample) -> np.ndarray:
+        if self._traffic_scale is None:
+            raise ModelError("baseline is untrained; call fit() first")
+        x = np.array(
+            [sample.traffic.rate(s, d) for s, d in self.pairs]
+        ) / self._traffic_scale
+        return x[None, :]
+
+    # ------------------------------------------------------------------
+    def fit(self, samples: list[Sample], epochs: int = 30,
+            seed: int | np.random.Generator | None = None) -> list[float]:
+        """Train on same-topology samples; returns per-epoch mean losses."""
+        if not samples:
+            raise ModelError("cannot train on an empty sample list")
+        for sample in samples:
+            self._check_sample(sample)
+
+        rates = np.concatenate(
+            [[s.traffic.rate(a, b) for a, b in self.pairs] for s in samples]
+        )
+        self._traffic_scale = float(rates.mean()) or 1.0
+        logs = np.concatenate([np.log(s.delay) for s in samples])
+        self._log_mean = float(logs.mean())
+        self._log_std = float(logs.std()) or 1.0
+
+        rng = make_rng(seed)
+        order = np.arange(len(samples))
+        losses = []
+        for _ in range(epochs):
+            rng.shuffle(order)
+            epoch_losses = []
+            for i in order:
+                sample = samples[i]
+                idx = np.array([self._pair_index[p] for p in sample.pairs])
+                target = (np.log(sample.delay) - self._log_mean) / self._log_std
+                self._optimizer.zero_grad()
+                out = self.net(nn.tensor(self._features(sample)))
+                pred = nn.ops.gather(out.reshape(-1, 1), idx)
+                loss = huber_loss(pred, target[:, None])
+                loss.backward()
+                self._optimizer.step()
+                epoch_losses.append(loss.item())
+            losses.append(float(np.mean(epoch_losses)))
+        return losses
+
+    def predict(self, sample: Sample) -> np.ndarray:
+        """Delay predictions (seconds) for ``sample.pairs``.
+
+        Raises:
+            ModelError: For samples from any other topology — by design.
+        """
+        self._check_sample(sample)
+        idx = np.array([self._pair_index[p] for p in sample.pairs])
+        with nn.no_grad():
+            out = self.net(nn.tensor(self._features(sample))).numpy()[0]
+        return np.exp(out[idx] * self._log_std + self._log_mean)

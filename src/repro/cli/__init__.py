@@ -1,0 +1,5 @@
+"""Command-line interface: ``python -m repro <subcommand>``."""
+
+from .main import main, build_parser
+
+__all__ = ["main", "build_parser"]

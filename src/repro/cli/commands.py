@@ -1,0 +1,275 @@
+"""CLI subcommand implementations.
+
+Every command prints human-readable output and returns an exit code; domain
+errors (:class:`repro.errors.ReproError`) are reported on one line instead
+of a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+from pathlib import Path
+
+import numpy as np
+
+from ..core import HyperParams, RouteNet
+from ..dataset import GenerationConfig, generate_dataset, load_dataset, save_dataset
+from ..errors import ReproError
+from ..evaluation import cdf_table, compute_error_cdf, format_top_paths, top_n_paths
+from ..experiments import PAPER_SMALL, SMOKE, Workbench
+from ..topology import TOPOLOGY_LIBRARY, by_name, synthetic_topology
+from ..training import Trainer
+
+__all__ = [
+    "cmd_topologies",
+    "cmd_generate",
+    "cmd_train",
+    "cmd_evaluate",
+    "cmd_predict",
+    "cmd_info",
+    "cmd_optimize",
+    "cmd_whatif",
+    "cmd_figures",
+]
+
+
+def _handle_errors(fn):
+    """Turn ReproError/OSError into a one-line message + exit code 1."""
+
+    @functools.wraps(fn)
+    def wrapper(args: argparse.Namespace) -> int:
+        try:
+            return fn(args)
+        except (ReproError, OSError, KeyError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 1
+
+    return wrapper
+
+
+def _resolve_topology(spec: str):
+    """'nsfnet' | 'geant2' | 'gbn' | 'synthetic:<nodes>[:<seed>]'."""
+    if spec.startswith("synthetic:"):
+        parts = spec.split(":")
+        nodes = int(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        return synthetic_topology(nodes, seed=seed)
+    return by_name(spec)
+
+
+@_handle_errors
+def cmd_topologies(args: argparse.Namespace) -> int:
+    print(f"{'name':<10s} {'nodes':>6s} {'links':>6s} {'diameter-ish':>13s}")
+    for name in sorted(TOPOLOGY_LIBRARY):
+        topo = by_name(name)
+        from ..routing import RoutingScheme
+
+        max_hops = RoutingScheme.shortest_path(topo).max_path_length()
+        print(f"{name:<10s} {topo.num_nodes:>6d} {topo.num_links:>6d} {max_hops:>13d}")
+    print("\nplus: synthetic:<nodes>[:<seed>] for generated topologies")
+    return 0
+
+
+@_handle_errors
+def cmd_generate(args: argparse.Namespace) -> int:
+    topology = _resolve_topology(args.topology)
+    config = GenerationConfig(
+        intensity_range=tuple(args.intensity),
+        arrivals=args.arrivals,
+        target_packets_per_pair=args.packets_per_pair,
+        active_fraction=args.active_fraction,
+    )
+    print(
+        f"simulating {args.num_samples} scenarios on {topology.name} "
+        f"({args.arrivals} arrivals) ..."
+    )
+    samples = generate_dataset(topology, args.num_samples, seed=args.seed, config=config)
+    count = save_dataset(samples, args.output)
+    pairs = sum(s.num_pairs for s in samples)
+    print(f"wrote {count} samples ({pairs} labeled paths) to {args.output}")
+    return 0
+
+
+def _load_many(paths: list[str]):
+    samples = []
+    for path in paths:
+        samples.extend(load_dataset(path))
+    return samples
+
+
+@_handle_errors
+def cmd_train(args: argparse.Namespace) -> int:
+    samples = _load_many(args.dataset)
+    print(f"loaded {len(samples)} training samples from {len(args.dataset)} archive(s)")
+    hp = HyperParams(
+        link_state_dim=args.state_dim,
+        path_state_dim=args.state_dim,
+        message_passing_steps=args.steps,
+        learning_rate=args.learning_rate,
+    )
+    model = RouteNet(hp, seed=args.seed)
+    trainer = Trainer(model, seed=args.seed + 1)
+    eval_samples = load_dataset(args.eval_dataset) if args.eval_dataset else None
+    log = (lambda _msg: None) if args.quiet else print
+    history = trainer.fit(samples, epochs=args.epochs, eval_samples=eval_samples, log=log)
+    model.save(args.output, trainer.scaler,
+               extra_meta={"epochs": args.epochs,
+                           "final_train_loss": history.last().train_loss})
+    print(f"wrote checkpoint {args.output} "
+          f"(final loss {history.last().train_loss:.4f})")
+    return 0
+
+
+@_handle_errors
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    model, scaler, _meta = RouteNet.load(args.model)
+    trainer = Trainer(model, scaler=scaler)
+    samples = _load_many(args.dataset)
+    metrics = trainer.evaluate(samples)
+    print(f"evaluated {len(samples)} samples "
+          f"({int(metrics['delay']['count'])} paths)")
+    for target, stats in metrics.items():
+        print(
+            f"  {target:<7s} MRE {stats['mre']:.3f}   MedRE {stats['medre']:.3f}   "
+            f"R2 {stats['r2']:.3f}   Pearson {stats['pearson']:.3f}"
+        )
+    if args.cdf:
+        preds, trues = [], []
+        for sample in samples:
+            preds.append(trainer.predict_sample(sample)["delay"])
+            trues.append(sample.delay)
+        cdf = compute_error_cdf(
+            np.concatenate(preds), np.concatenate(trues), label="delay"
+        )
+        print()
+        print(cdf_table([cdf]))
+    return 0
+
+
+@_handle_errors
+def cmd_predict(args: argparse.Namespace) -> int:
+    model, scaler, _meta = RouteNet.load(args.model)
+    trainer = Trainer(model, scaler=scaler)
+    samples = load_dataset(args.dataset)
+    if not 0 <= args.sample < len(samples):
+        print(f"error: sample index {args.sample} outside [0, {len(samples)})")
+        return 1
+    sample = samples[args.sample]
+    pred = trainer.predict_sample(sample)
+    print(
+        f"sample {args.sample}: topology={sample.topology.name}, "
+        f"routing={sample.routing.name}, {sample.num_pairs} paths"
+    )
+    rows = top_n_paths(sample.pairs, pred["delay"], n=args.top,
+                       true_delay=sample.delay)
+    print(format_top_paths(rows))
+    return 0
+
+
+def _load_model_and_sample(args: argparse.Namespace):
+    model, scaler, _meta = RouteNet.load(args.model)
+    samples = load_dataset(args.dataset)
+    if not 0 <= args.sample < len(samples):
+        raise ValueError(f"sample index {args.sample} outside [0, {len(samples)})")
+    return model, scaler, samples[args.sample]
+
+
+@_handle_errors
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from ..planning import optimize_routing
+
+    model, scaler, sample = _load_model_and_sample(args)
+    result = optimize_routing(
+        model, scaler, sample.topology, sample.traffic,
+        num_candidates=args.candidates, objective=args.objective, seed=args.seed,
+    )
+    print(
+        f"scenario: {sample.topology.name}, objective={args.objective}, "
+        f"{args.candidates} candidates"
+    )
+    for score in result.scores:
+        marker = "  <- picked" if score.index == result.best.index else ""
+        print(
+            f"  {score.name:<22s} {args.objective} delay "
+            f"{score.score * 1000:8.1f} ms{marker}"
+        )
+    return 0
+
+
+@_handle_errors
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from ..planning import link_failure_whatif, traffic_scaling_whatif
+
+    model, scaler, sample = _load_model_and_sample(args)
+    print(f"scenario: {sample.topology.name}, routing={sample.routing.name}")
+
+    results = traffic_scaling_whatif(
+        model, scaler, sample.topology, sample.routing, sample.traffic,
+        factors=tuple(args.scale),
+    )
+    for result in results:
+        pair, worst = result.worst_pair()
+        print(
+            f"  {result.label}: mean {result.mean_delay() * 1000:8.1f} ms"
+            f"   worst {pair[0]}->{pair[1]} {worst * 1000:.1f} ms"
+        )
+
+    if args.fail_link:
+        u, v = args.fail_link
+        before, after = link_failure_whatif(
+            model, scaler, sample.topology, sample.traffic, (u, v)
+        )
+        print(
+            f"  fail {u}<->{v}: mean {before.mean_delay() * 1000:.1f} ms -> "
+            f"{after.mean_delay() * 1000:.1f} ms"
+        )
+    return 0
+
+
+@_handle_errors
+def cmd_info(args: argparse.Namespace) -> int:
+    from ..dataset import format_summary, summarize_dataset
+
+    samples = _load_many(args.dataset)
+    print(format_summary(summarize_dataset(samples)))
+    return 0
+
+
+@_handle_errors
+def cmd_figures(args: argparse.Namespace) -> int:
+    from ..experiments import (
+        baseline_comparison,
+        fig2_regression,
+        fig3_error_cdfs,
+        fig4_top_paths,
+        generalization_matrix,
+    )
+
+    profile = SMOKE if args.profile == "smoke" else PAPER_SMALL
+    wb = Workbench(profile, cache_dir=args.cache)
+    wb.trained_model()
+
+    print("\n-- fig2: regression on unseen geant2 --")
+    data = fig2_regression(wb)
+    print(f"slope {data.slope_through_origin():.3f}   "
+          f"R2 {data.summary()['r2']:.3f}   MRE {data.summary()['mre']:.3f}")
+
+    print("\n-- fig3: relative-error CDFs --")
+    print(cdf_table(fig3_error_cdfs(wb)))
+
+    print("\n-- fig4: top-10 paths --")
+    result = fig4_top_paths(wb)
+    print(format_top_paths(result.rows))
+
+    print("\n-- generalization matrix (delay MRE) --")
+    for label, stats in generalization_matrix(wb).items():
+        print(f"  {label:<14s} {stats['mre']:.3f}")
+
+    print("\n-- baselines (delay MRE) --")
+    for label, row in baseline_comparison(wb).items():
+        mlp = row["mlp-fixed"]
+        mlp_text = f"{mlp['mre']:.3f}" if isinstance(mlp, dict) else mlp
+        print(f"  {label:<24s} routenet {row['routenet']['mre']:.3f}   "
+              f"queueing {row['queueing-theory']['mre']:.3f}   mlp {mlp_text}")
+    return 0

@@ -1,0 +1,127 @@
+"""CLI argument parsing and dispatch.
+
+Subcommands mirror the library's workflow::
+
+    python -m repro topologies                      # list reference networks
+    python -m repro generate --topology nsfnet -n 16 -o data.jsonl
+    python -m repro train -d data.jsonl -o model.npz --epochs 20
+    python -m repro evaluate -m model.npz -d eval.jsonl
+    python -m repro predict -m model.npz -d eval.jsonl --sample 0 --top 10
+    python -m repro figures --profile smoke --cache /tmp/cache
+
+Each subcommand is implemented in :mod:`repro.cli.commands`; this module
+owns only the parser wiring so it stays testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .. import __version__
+from . import commands
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "RouteNet network-modeling reproduction: dataset generation, "
+            "training, evaluation and paper figures."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topologies", help="list the reference topologies")
+    topo.set_defaults(func=commands.cmd_topologies)
+
+    gen = sub.add_parser("generate", help="simulate a dataset to a JSONL archive")
+    gen.add_argument("--topology", default="nsfnet",
+                     help="nsfnet | geant2 | gbn | synthetic:<nodes>")
+    gen.add_argument("-n", "--num-samples", type=int, default=16)
+    gen.add_argument("-o", "--output", required=True, help="output .jsonl path")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--intensity", type=float, nargs=2, default=(0.3, 0.9),
+                     metavar=("LO", "HI"), help="bottleneck utilization range")
+    gen.add_argument("--arrivals", default="poisson",
+                     choices=("poisson", "onoff", "deterministic"))
+    gen.add_argument("--packets-per-pair", type=float, default=120.0,
+                     help="target simulated packets per traffic pair")
+    gen.add_argument("--active-fraction", type=float, default=1.0,
+                     help="fraction of pairs with nonzero demand")
+    gen.set_defaults(func=commands.cmd_generate)
+
+    train = sub.add_parser("train", help="train RouteNet on JSONL datasets")
+    train.add_argument("-d", "--dataset", action="append", required=True,
+                       help="training archive (repeatable)")
+    train.add_argument("-o", "--output", required=True, help="checkpoint .npz path")
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--learning-rate", type=float, default=2e-3)
+    train.add_argument("--state-dim", type=int, default=16)
+    train.add_argument("--steps", type=int, default=4,
+                       help="message-passing iterations (T)")
+    train.add_argument("--eval-dataset", help="optional archive for per-epoch eval")
+    train.add_argument("--quiet", action="store_true")
+    train.set_defaults(func=commands.cmd_train)
+
+    ev = sub.add_parser("evaluate", help="evaluate a checkpoint on a dataset")
+    ev.add_argument("-m", "--model", required=True, help="checkpoint .npz path")
+    ev.add_argument("-d", "--dataset", action="append", required=True,
+                    help="evaluation archive (repeatable)")
+    ev.add_argument("--cdf", action="store_true",
+                    help="also print the relative-error CDF table")
+    ev.set_defaults(func=commands.cmd_evaluate)
+
+    pred = sub.add_parser("predict", help="per-path predictions for one sample")
+    pred.add_argument("-m", "--model", required=True)
+    pred.add_argument("-d", "--dataset", required=True)
+    pred.add_argument("--sample", type=int, default=0, help="sample index")
+    pred.add_argument("--top", type=int, default=10,
+                      help="print the Top-N paths by predicted delay")
+    pred.set_defaults(func=commands.cmd_predict)
+
+    opt = sub.add_parser("optimize", help="pick the best routing for a scenario")
+    opt.add_argument("-m", "--model", required=True)
+    opt.add_argument("-d", "--dataset", required=True)
+    opt.add_argument("--sample", type=int, default=0)
+    opt.add_argument("--candidates", type=int, default=6)
+    opt.add_argument("--objective", default="mean", choices=("mean", "worst", "p90"))
+    opt.add_argument("--seed", type=int, default=0)
+    opt.set_defaults(func=commands.cmd_optimize)
+
+    what = sub.add_parser("whatif", help="traffic-growth and link-failure studies")
+    what.add_argument("-m", "--model", required=True)
+    what.add_argument("-d", "--dataset", required=True)
+    what.add_argument("--sample", type=int, default=0)
+    what.add_argument("--scale", type=float, nargs="+", default=(1.0, 1.2, 1.5),
+                      help="traffic scaling factors to evaluate")
+    what.add_argument("--fail-link", type=int, nargs=2, metavar=("U", "V"),
+                      help="also evaluate failing the undirected edge U<->V")
+    what.set_defaults(func=commands.cmd_whatif)
+
+    info = sub.add_parser("info", help="summarize a dataset archive")
+    info.add_argument("-d", "--dataset", action="append", required=True,
+                      help="archive to summarize (repeatable)")
+    info.set_defaults(func=commands.cmd_info)
+
+    fig = sub.add_parser("figures", help="reproduce the paper's figures")
+    fig.add_argument("--profile", default="paper-small",
+                     choices=("paper-small", "smoke"))
+    fig.add_argument("--cache", default="data", help="artifact cache directory")
+    fig.set_defaults(func=commands.cmd_figures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Parse ``argv`` and run the selected subcommand.
+
+    Returns a process exit code (0 success, 1 domain error).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,16 @@
+"""The paper's primary contribution: the RouteNet GNN and its input pipeline."""
+
+from .hyperparams import HyperParams
+from .features import ModelInput, FeatureScaler, build_model_input
+from .routenet import RouteNet
+from .drops import LossRateCodec, DropsPredictor
+
+__all__ = [
+    "HyperParams",
+    "ModelInput",
+    "FeatureScaler",
+    "build_model_input",
+    "RouteNet",
+    "LossRateCodec",
+    "DropsPredictor",
+]

@@ -1,0 +1,185 @@
+"""Packet-loss prediction head (extension beyond the demo).
+
+The RouteNet paper lists per-pair drop estimation among the KPIs the
+architecture can target; the demo only showcases delay.  This module adds
+that extension: the same path-link message-passing backbone with a single
+output trained against **logit-encoded loss rates**.
+
+Loss rates live in [0, 1] with heavy mass at 0, so the log-space codec used
+for delay/jitter does not fit; :class:`LossRateCodec` standardizes in logit
+space with a floor that maps "no observed loss" to a learnable finite value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..dataset.sample import Sample
+from ..errors import ModelError
+from ..random import make_rng
+from .features import FeatureScaler, ModelInput, build_model_input
+from .hyperparams import HyperParams
+from .routenet import RouteNet
+
+__all__ = ["LossRateCodec", "DropsPredictor"]
+
+
+@dataclass(frozen=True)
+class LossRateCodec:
+    """Invertible mapping between loss rates in [0, 1] and model space."""
+
+    floor: float
+    logit_mean: float
+    logit_std: float
+
+    @staticmethod
+    def _logit(p: np.ndarray) -> np.ndarray:
+        return np.log(p / (1.0 - p))
+
+    @classmethod
+    def fit(cls, loss_rates: np.ndarray, floor: float = 1e-4) -> "LossRateCodec":
+        """Fit the standardization from training-set loss rates."""
+        rates = np.clip(np.asarray(loss_rates, dtype=float), floor, 1.0 - floor)
+        logits = cls._logit(rates)
+        std = float(logits.std())
+        return cls(
+            floor=floor,
+            logit_mean=float(logits.mean()),
+            logit_std=std if std > 1e-9 else 1.0,
+        )
+
+    def encode(self, loss_rates: np.ndarray) -> np.ndarray:
+        rates = np.clip(np.asarray(loss_rates, dtype=float), self.floor, 1.0 - self.floor)
+        return (self._logit(rates) - self.logit_mean) / self.logit_std
+
+    def decode(self, encoded: np.ndarray) -> np.ndarray:
+        logits = np.asarray(encoded, dtype=float) * self.logit_std + self.logit_mean
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def to_dict(self) -> dict:
+        return {
+            "floor": self.floor,
+            "logit_mean": self.logit_mean,
+            "logit_std": self.logit_std,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LossRateCodec":
+        return cls(
+            floor=float(data["floor"]),
+            logit_mean=float(data["logit_mean"]),
+            logit_std=float(data["logit_std"]),
+        )
+
+
+class DropsPredictor:
+    """RouteNet backbone with a loss-rate head.
+
+    Owns a single-target :class:`RouteNet`, the usual input
+    :class:`FeatureScaler` (fit on the training samples) and a
+    :class:`LossRateCodec` for the targets.
+    """
+
+    def __init__(
+        self,
+        hparams: HyperParams | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        base = hparams or HyperParams()
+        if base.readout_targets != 1:
+            base = HyperParams.from_dict({**base.to_dict(), "readout_targets": 1})
+        self.model = RouteNet(base, seed=seed)
+        self.scaler: FeatureScaler | None = None
+        self.codec: LossRateCodec | None = None
+        self._optimizer = nn.Adam(
+            list(self.model.parameters()), lr=base.learning_rate
+        )
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _inputs(self, sample: Sample) -> ModelInput:
+        if self.scaler is None:
+            raise ModelError("predictor is untrained; call fit() first")
+        return build_model_input(
+            sample.topology, sample.routing, sample.traffic,
+            scaler=self.scaler, pairs=list(sample.pairs),
+        )
+
+    def fit(
+        self,
+        samples: list[Sample],
+        epochs: int = 20,
+        log: Callable[[str], None] | None = None,
+    ) -> list[float]:
+        """Train on samples that carry loss labels; returns epoch losses."""
+        if not samples:
+            raise ModelError("cannot train on an empty sample list")
+        all_loss = np.concatenate([s.loss_rate for s in samples])
+        if (all_loss == 0).all():
+            raise ModelError(
+                "training set has zero packet loss everywhere; generate it "
+                "at higher intensity or smaller buffers"
+            )
+        from ..dataset.split import fit_scaler
+
+        self.scaler = fit_scaler(samples)
+        self.codec = LossRateCodec.fit(all_loss)
+
+        prepared = [
+            (self._inputs(s), self.codec.encode(s.loss_rate)[:, None]) for s in samples
+        ]
+        order = np.arange(len(prepared))
+        epoch_losses = []
+        for epoch in range(1, epochs + 1):
+            self._rng.shuffle(order)
+            losses = []
+            for i in order:
+                inputs, target = prepared[i]
+                self._optimizer.zero_grad()
+                pred = self.model.forward(inputs, training=True)
+                loss = nn.ops.huber(pred, target).mean()
+                loss.backward()
+                nn.clip_global_norm(
+                    self.model.parameters(), self.model.hparams.grad_clip
+                )
+                self._optimizer.step()
+                losses.append(loss.item())
+            epoch_losses.append(float(np.mean(losses)))
+            if log is not None:
+                log(f"drops epoch {epoch:3d}  loss {epoch_losses[-1]:.4f}")
+        return epoch_losses
+
+    # ------------------------------------------------------------------
+    def predict(self, sample: Sample) -> np.ndarray:
+        """Per-pair loss-rate predictions in [0, 1]."""
+        if self.codec is None:
+            raise ModelError("predictor is untrained; call fit() first")
+        inputs = self._inputs(sample)
+        with nn.no_grad():
+            encoded = self.model.forward(inputs, training=False).numpy()[:, 0]
+        return self.codec.decode(encoded)
+
+    def evaluate(self, samples: list[Sample]) -> dict[str, float]:
+        """Loss-appropriate metrics: MAE, RMSE, Pearson, mean levels.
+
+        Relative error is undefined at zero loss, so it is not reported.
+        """
+        if not samples:
+            raise ModelError("cannot evaluate an empty sample list")
+        pred = np.concatenate([self.predict(s) for s in samples])
+        true = np.concatenate([s.loss_rate for s in samples])
+        corr = 0.0
+        if pred.std() > 0 and true.std() > 0:
+            corr = float(np.corrcoef(pred, true)[0, 1])
+        return {
+            "mae": float(np.abs(pred - true).mean()),
+            "rmse": float(np.sqrt(((pred - true) ** 2).mean())),
+            "pearson": corr,
+            "mean_true": float(true.mean()),
+            "mean_pred": float(pred.mean()),
+            "count": float(pred.size),
+        }

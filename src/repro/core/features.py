@@ -1,0 +1,211 @@
+"""Conversion of (topology, routing, traffic) into RouteNet model inputs.
+
+RouteNet's runtime-assembled architecture is driven entirely by the
+path-link incidence structure of the input sample; this module flattens that
+structure into dense arrays:
+
+* ``link_features``  — (L, F_l) per-link inputs (capacity, optionally load);
+* ``path_features``  — (P, F_p) per-path inputs (traffic volume);
+* ``link_indices``   — (P, max_len) link id at each position of each path,
+  padded with -1;
+* ``mask``           — (P, max_len) validity of each position.
+
+Feature scaling matters for GRU saturation, so a :class:`FeatureScaler` fit
+on the training set is applied to both features and regression targets
+(log-space standardization for delay/jitter, which span orders of
+magnitude).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..routing import RoutingScheme
+from ..topology import Topology
+from ..traffic import TrafficMatrix, link_loads
+
+__all__ = ["ModelInput", "FeatureScaler", "build_model_input"]
+
+
+@dataclass(frozen=True)
+class ModelInput:
+    """Dense tensors describing one sample for RouteNet."""
+
+    pairs: tuple[tuple[int, int], ...]
+    link_features: np.ndarray  # (L, F_l) float
+    path_features: np.ndarray  # (P, F_p) float
+    link_indices: np.ndarray  # (P, max_len) int, -1 padded
+    mask: np.ndarray  # (P, max_len) bool
+
+    @property
+    def num_paths(self) -> int:
+        return self.path_features.shape[0]
+
+    @property
+    def num_links(self) -> int:
+        return self.link_features.shape[0]
+
+    @property
+    def max_path_length(self) -> int:
+        return self.link_indices.shape[1]
+
+
+@dataclass(frozen=True)
+class FeatureScaler:
+    """Affine scalers for features and log-space target standardization.
+
+    Attributes:
+        capacity_scale: Divisor applied to link capacities.
+        traffic_scale: Divisor applied to per-path traffic rates.
+        load_scale: Divisor applied to per-link offered load (when used).
+        target_log_mean / target_log_std: Per-target (delay, jitter)
+            standardization of ``log(target)``.
+    """
+
+    capacity_scale: float
+    traffic_scale: float
+    load_scale: float
+    target_log_mean: np.ndarray
+    target_log_std: np.ndarray
+
+    EPS = 1e-12
+
+    @classmethod
+    def fit(
+        cls,
+        capacities: np.ndarray,
+        traffic_rates: np.ndarray,
+        targets_log: np.ndarray,
+    ) -> "FeatureScaler":
+        """Fit scales from training-set statistics.
+
+        Args:
+            capacities: All link capacities seen in training.
+            traffic_rates: All per-path traffic rates seen in training.
+            targets_log: (N, K) log-space regression targets.
+        """
+        std = targets_log.std(axis=0)
+        return cls(
+            capacity_scale=float(np.mean(capacities)),
+            traffic_scale=float(np.mean(traffic_rates)) or 1.0,
+            load_scale=float(np.mean(capacities)),
+            target_log_mean=targets_log.mean(axis=0),
+            target_log_std=np.where(std < cls.EPS, 1.0, std),
+        )
+
+    @classmethod
+    def identity(cls, num_targets: int = 2) -> "FeatureScaler":
+        """A no-op scaler (useful in unit tests)."""
+        return cls(1.0, 1.0, 1.0, np.zeros(num_targets), np.ones(num_targets))
+
+    def encode_targets(self, targets: np.ndarray) -> np.ndarray:
+        """Standardize raw positive targets into model space.
+
+        Inputs narrower than the fitted target count use the leading
+        statistics (e.g. a delay-only model with a delay+jitter scaler).
+        """
+        targets = np.asarray(targets, dtype=float)
+        k = targets.shape[-1]
+        logs = np.log(np.maximum(targets, self.EPS))
+        return (logs - self.target_log_mean[:k]) / self.target_log_std[:k]
+
+    def decode_targets(self, encoded: np.ndarray) -> np.ndarray:
+        """Invert :meth:`encode_targets` back to raw units."""
+        encoded = np.asarray(encoded, dtype=float)
+        k = encoded.shape[-1]
+        return np.exp(encoded * self.target_log_std[:k] + self.target_log_mean[:k])
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity_scale": self.capacity_scale,
+            "traffic_scale": self.traffic_scale,
+            "load_scale": self.load_scale,
+            "target_log_mean": self.target_log_mean.tolist(),
+            "target_log_std": self.target_log_std.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FeatureScaler":
+        return cls(
+            capacity_scale=float(data["capacity_scale"]),
+            traffic_scale=float(data["traffic_scale"]),
+            load_scale=float(data["load_scale"]),
+            target_log_mean=np.asarray(data["target_log_mean"], dtype=float),
+            target_log_std=np.asarray(data["target_log_std"], dtype=float),
+        )
+
+
+def build_model_input(
+    topology: Topology,
+    routing: RoutingScheme,
+    traffic: TrafficMatrix,
+    scaler: FeatureScaler | None = None,
+    pairs: list[tuple[int, int]] | None = None,
+    include_load: bool = False,
+    pair_class: np.ndarray | None = None,
+    num_classes: int = 0,
+) -> ModelInput:
+    """Flatten one network sample into RouteNet input arrays.
+
+    Args:
+        pairs: Paths to include; defaults to every routed pair with positive
+            demand (the flows the simulator measured).
+        scaler: Feature scaling; identity when omitted.
+        include_load: Append analytically-computed per-link offered load as a
+            second link feature (an ablation extension; the paper's model
+            sees capacity only and must *learn* load from structure).
+        pair_class: Per-pair QoS class (aligned with ``pairs``); appended as
+            one-hot path features for the QoS extension.
+        num_classes: One-hot width when ``pair_class`` is given.
+
+    Raises:
+        ModelError: If no pair qualifies or classes are inconsistent.
+    """
+    scaler = scaler or FeatureScaler.identity()
+    if pairs is None:
+        pairs = [p for p in traffic.nonzero_pairs() if p in routing]
+    if not pairs:
+        raise ModelError("no routed pairs with positive demand to build inputs from")
+
+    link_cols = [topology.capacities() / scaler.capacity_scale]
+    if include_load:
+        link_cols.append(
+            link_loads(topology, routing, traffic) / scaler.load_scale
+        )
+    link_features = np.stack(link_cols, axis=1)
+
+    path_features = np.array(
+        [[traffic.rate(s, d) / scaler.traffic_scale] for s, d in pairs]
+    )
+    if pair_class is not None:
+        pair_class = np.asarray(pair_class, dtype=int)
+        if pair_class.shape != (len(pairs),):
+            raise ModelError(
+                f"pair_class must have {len(pairs)} entries, got {pair_class.shape}"
+            )
+        if num_classes < 1 or pair_class.max() >= num_classes:
+            raise ModelError(
+                f"num_classes={num_classes} too small for classes up to "
+                f"{int(pair_class.max())}"
+            )
+        one_hot = np.zeros((len(pairs), num_classes))
+        one_hot[np.arange(len(pairs)), pair_class] = 1.0
+        path_features = np.concatenate([path_features, one_hot], axis=1)
+
+    link_paths = [routing.link_path(s, d) for s, d in pairs]
+    max_len = max(len(p) for p in link_paths)
+    link_indices = np.full((len(pairs), max_len), -1, dtype=np.intp)
+    for i, path in enumerate(link_paths):
+        link_indices[i, : len(path)] = path
+    mask = link_indices >= 0
+
+    return ModelInput(
+        pairs=tuple(pairs),
+        link_features=link_features,
+        path_features=path_features,
+        link_indices=link_indices,
+        mask=mask,
+    )

@@ -1,0 +1,75 @@
+"""RouteNet hyperparameters.
+
+The demo paper states: "We use the original implementation of RouteNet and
+optimize a set of hyperparameters to adapt the model to scenarios with
+larger topologies and more complex routing schemes."  The defaults below are
+that adapted configuration scaled to this repo's CPU budget; the ablation
+bench (`benchmarks/bench_ablation_hparams.py`) sweeps the two that matter
+most (message-passing iterations and state dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+from ..errors import ModelError
+
+__all__ = ["HyperParams"]
+
+
+@dataclass(frozen=True)
+class HyperParams:
+    """Architecture and training knobs of :class:`repro.core.RouteNet`.
+
+    Attributes:
+        link_state_dim: Hidden-state width of per-link GRU states.
+        path_state_dim: Hidden-state width of per-path GRU states.
+        message_passing_steps: T, the number of path<->link iterations.
+        readout_hidden: Hidden layer sizes of the readout MLP.
+        readout_targets: Number of outputs (2 = delay + jitter).
+        link_feature_dim: Input features per link (capacity, [load]).
+        path_feature_dim: Input features per path (traffic).
+        learning_rate: Adam step size.
+        grad_clip: Global-norm gradient clip.
+        dropout: Readout dropout rate during training.
+        cell_type: Recurrent cell for both updates — ``"gru"`` (the paper's
+            choice) or ``"rnn"`` (ungated ablation).
+    """
+
+    link_state_dim: int = 16
+    path_state_dim: int = 16
+    message_passing_steps: int = 4
+    readout_hidden: tuple[int, ...] = (32, 16)
+    readout_targets: int = 2
+    link_feature_dim: int = 1
+    path_feature_dim: int = 1
+    learning_rate: float = 1e-3
+    grad_clip: float = 5.0
+    dropout: float = 0.0
+    cell_type: str = "gru"
+
+    def __post_init__(self) -> None:
+        if self.link_state_dim < 1 or self.path_state_dim < 1:
+            raise ModelError("state dimensions must be >= 1")
+        if self.message_passing_steps < 1:
+            raise ModelError(
+                f"need at least one message-passing step, got {self.message_passing_steps}"
+            )
+        if self.readout_targets < 1:
+            raise ModelError("readout must produce at least one target")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ModelError(f"dropout must be in [0, 1), got {self.dropout}")
+        if self.cell_type not in ("gru", "rnn"):
+            raise ModelError(f"unknown cell type {self.cell_type!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (tuples become lists)."""
+        d = asdict(self)
+        d["readout_hidden"] = list(self.readout_hidden)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HyperParams":
+        data = dict(data)
+        data["readout_hidden"] = tuple(data.get("readout_hidden", ()))
+        return cls(**data)

@@ -1,0 +1,30 @@
+"""Dataset pipeline: scenario generation, serialization, splitting."""
+
+from .sample import Sample
+from .generate import GenerationConfig, generate_sample, generate_dataset
+from .io import (
+    sample_to_dict,
+    sample_from_dict,
+    save_dataset,
+    load_dataset,
+    iter_dataset,
+)
+from .split import train_eval_split, fit_scaler
+from .statistics import DatasetSummary, summarize_dataset, format_summary
+
+__all__ = [
+    "DatasetSummary",
+    "summarize_dataset",
+    "format_summary",
+    "Sample",
+    "GenerationConfig",
+    "generate_sample",
+    "generate_dataset",
+    "sample_to_dict",
+    "sample_from_dict",
+    "save_dataset",
+    "load_dataset",
+    "iter_dataset",
+    "train_eval_split",
+    "fit_scaler",
+]

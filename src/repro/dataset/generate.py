@@ -1,0 +1,245 @@
+"""End-to-end dataset generation: scenario sampling + packet-level simulation.
+
+Reproduces the structure of the paper's datasets: for a given topology,
+every sample draws a fresh routing scheme ("wide variety of routing
+schemes") and a fresh traffic matrix ("different traffic intensity"), then
+runs the packet-level simulator to obtain per-pair mean delay and jitter
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..random import make_rng, split_rng
+from ..routing import RoutingScheme
+from ..simulator import SimulationConfig, simulate
+from ..topology import Topology
+from ..traffic import (
+    TrafficMatrix,
+    random_traffic,
+    scale_to_utilization,
+    DEFAULT_MEAN_PACKET_BITS,
+)
+from .sample import Sample
+
+__all__ = ["GenerationConfig", "generate_sample", "generate_dataset"]
+
+_ROUTING_KINDS = ("shortest", "random_weighted", "random_ksp")
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Scenario-sampling knobs.
+
+    Attributes:
+        intensity_range: Bottleneck-utilization interval traffic is scaled to.
+        routing_kinds: Pool of routing-scheme factories sampled per scenario.
+        target_packets_per_pair: Simulated packets the *average* pair should
+            contribute; drives the simulation duration.
+        min_delivered: Pairs with fewer recorded deliveries are dropped from
+            the labels (their delay estimate would be noise).
+        active_fraction: Fraction of pairs with nonzero demand (sparse
+            matrices keep large topologies affordable).
+        mean_packet_bits: Mean packet size (bits).
+        buffer_packets: Per-link FIFO buffer.
+        warmup_fraction: Share of the simulation horizon treated as warm-up.
+        max_duration: Hard cap on the simulated horizon (seconds).
+        arrivals: Arrival process of every flow — ``"poisson"`` (the public
+            datasets' model, where M/M/1 analysis is nearly exact) or
+            ``"onoff"`` (bursty "real traffic distributions" where analytic
+            models break down, per the paper's introduction).
+        num_classes: QoS classes (1 = plain FIFO best effort).  With more
+            than one class, every pair is assigned a uniform-random class
+            and links schedule with strict priority (class 0 first).
+    """
+
+    intensity_range: tuple[float, float] = (0.3, 0.9)
+    routing_kinds: tuple[str, ...] = _ROUTING_KINDS
+    target_packets_per_pair: float = 150.0
+    min_delivered: int = 20
+    active_fraction: float = 1.0
+    mean_packet_bits: float = DEFAULT_MEAN_PACKET_BITS
+    buffer_packets: int = 64
+    warmup_fraction: float = 0.1
+    max_duration: float = 1e5
+    arrivals: str = "poisson"
+    num_classes: int = 1
+
+    def __post_init__(self) -> None:
+        lo, hi = self.intensity_range
+        if not 0 < lo <= hi:
+            raise DatasetError(f"bad intensity range {self.intensity_range}")
+        if not 0 < self.active_fraction <= 1:
+            raise DatasetError(f"active_fraction must be in (0, 1], got {self.active_fraction}")
+        for kind in self.routing_kinds:
+            if kind not in _ROUTING_KINDS:
+                raise DatasetError(
+                    f"unknown routing kind {kind!r}; options: {_ROUTING_KINDS}"
+                )
+        if self.arrivals not in ("poisson", "onoff", "deterministic"):
+            raise DatasetError(f"unknown arrival process {self.arrivals!r}")
+        if self.num_classes < 1:
+            raise DatasetError(f"num_classes must be >= 1, got {self.num_classes}")
+
+
+def _draw_routing(
+    topology: Topology, kind: str, rng: np.random.Generator
+) -> RoutingScheme:
+    if kind == "shortest":
+        return RoutingScheme.shortest_path(topology)
+    if kind == "random_weighted":
+        return RoutingScheme.random_weighted(topology, seed=rng)
+    return RoutingScheme.random_ksp(topology, k=3, seed=rng)
+
+
+def _sparsify(
+    tm: TrafficMatrix, fraction: float, rng: np.random.Generator
+) -> TrafficMatrix:
+    """Zero out a random subset of pairs, keeping ``fraction`` of them."""
+    if fraction >= 1.0:
+        return tm
+    rates = tm.rates.copy()
+    pairs = tm.nonzero_pairs()
+    keep = max(2, int(round(fraction * len(pairs))))
+    chosen = rng.choice(len(pairs), size=len(pairs) - keep, replace=False)
+    for idx in chosen:
+        s, d = pairs[idx]
+        rates[s, d] = 0.0
+    return TrafficMatrix(rates)
+
+
+def generate_sample(
+    topology: Topology,
+    seed: int | np.random.Generator | None = None,
+    config: GenerationConfig | None = None,
+) -> Sample:
+    """Draw one scenario on ``topology``, simulate it, and package labels.
+
+    The simulation horizon adapts to the drawn traffic so the mean pair
+    receives about ``config.target_packets_per_pair`` packets.
+
+    Raises:
+        DatasetError: If fewer than two pairs survive the
+            ``min_delivered`` filter (statistically empty sample).
+    """
+    cfg = config or GenerationConfig()
+    rng = make_rng(seed)
+    routing_rng, traffic_rng, sim_rng = split_rng(rng, 3)
+
+    kind = cfg.routing_kinds[int(rng.integers(0, len(cfg.routing_kinds)))]
+    routing = _draw_routing(topology, kind, routing_rng)
+
+    intensity = float(rng.uniform(*cfg.intensity_range))
+    tm = random_traffic(
+        topology, routing, seed=traffic_rng, intensity_range=(intensity, intensity)
+    )
+    if cfg.active_fraction < 1.0:
+        tm = _sparsify(tm, cfg.active_fraction, traffic_rng)
+        tm = scale_to_utilization(tm, topology, routing, intensity)
+
+    rates = np.array([tm.rate(s, d) for s, d in tm.nonzero_pairs()])
+    mean_rate_pps = float(rates.mean()) / cfg.mean_packet_bits
+    duration = min(
+        cfg.max_duration,
+        cfg.target_packets_per_pair / mean_rate_pps / (1.0 - cfg.warmup_fraction),
+    )
+    flow_priorities: dict[tuple[int, int], int] = {}
+    if cfg.num_classes > 1:
+        flow_priorities = {
+            pair: int(rng.integers(0, cfg.num_classes))
+            for pair in tm.nonzero_pairs()
+        }
+    sim_config = SimulationConfig(
+        duration=duration,
+        warmup=cfg.warmup_fraction * duration,
+        buffer_packets=cfg.buffer_packets,
+        mean_packet_bits=cfg.mean_packet_bits,
+        arrivals=cfg.arrivals,
+        priority_bands=cfg.num_classes,
+        seed=int(sim_rng.integers(0, 2**31 - 1)),
+    )
+    result = simulate(
+        topology, routing, tm, sim_config, flow_priorities=flow_priorities
+    )
+
+    pairs = []
+    delays = []
+    jitters = []
+    losses = []
+    for pair in sorted(result.flows):
+        stats = result.flows[pair]
+        if stats.delivered >= cfg.min_delivered and np.isfinite(stats.mean_delay):
+            pairs.append(pair)
+            delays.append(stats.mean_delay)
+            jitters.append(stats.jitter)
+            losses.append(stats.loss_rate)
+    if len(pairs) < 2:
+        raise DatasetError(
+            f"sample on {topology.name} kept {len(pairs)} pairs; raise duration "
+            f"or lower min_delivered"
+        )
+
+    return Sample(
+        topology=topology,
+        routing=routing,
+        traffic=tm,
+        pairs=tuple(pairs),
+        delay=np.array(delays),
+        jitter=np.array(jitters),
+        loss_rate=np.array(losses),
+        pair_class=(
+            np.array([flow_priorities[p] for p in pairs])
+            if flow_priorities
+            else None
+        ),
+        meta={
+            "routing_kind": kind,
+            "arrivals": cfg.arrivals,
+            "num_classes": cfg.num_classes,
+            "intensity": intensity,
+            "duration": duration,
+            "generated_packets": result.generated,
+            "loss_rate": result.overall_loss_rate,
+            "events": result.events_processed,
+        },
+    )
+
+
+def _generate_one(args: tuple[Topology, int, GenerationConfig | None]) -> Sample:
+    """Top-level worker for multiprocessing (must be picklable)."""
+    topology, seed, config = args
+    return generate_sample(topology, seed=seed, config=config)
+
+
+def generate_dataset(
+    topology: Topology,
+    num_samples: int,
+    seed: int | np.random.Generator | None = None,
+    config: GenerationConfig | None = None,
+    workers: int = 1,
+) -> list[Sample]:
+    """Generate ``num_samples`` independent scenarios on one topology.
+
+    Args:
+        workers: Parallel simulation processes.  Results are identical to a
+            sequential run (each scenario owns a pre-split seed); order is
+            preserved.
+    """
+    if num_samples < 1:
+        raise DatasetError(f"num_samples must be >= 1, got {num_samples}")
+    if workers < 1:
+        raise DatasetError(f"workers must be >= 1, got {workers}")
+    rng = make_rng(seed)
+    seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=num_samples)]
+    if workers == 1 or num_samples == 1:
+        return [generate_sample(topology, seed=s, config=config) for s in seeds]
+
+    import multiprocessing
+
+    tasks = [(topology, s, config) for s in seeds]
+    with multiprocessing.get_context("fork").Pool(min(workers, num_samples)) as pool:
+        return pool.map(_generate_one, tasks)

@@ -1,0 +1,119 @@
+"""Dataset serialization: JSON-lines archives of samples.
+
+Each line is one self-contained sample (topology, routing, traffic, labels,
+meta), so archives can be streamed, concatenated with ``cat``, and inspected
+with ``jq``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..routing import RoutingScheme
+from ..topology import Link, Topology
+from ..traffic import TrafficMatrix
+from .sample import Sample
+
+__all__ = ["sample_to_dict", "sample_from_dict", "save_dataset", "load_dataset", "iter_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def sample_to_dict(sample: Sample) -> dict:
+    """JSON-friendly representation of one sample."""
+    topo = sample.topology
+    return {
+        "version": _FORMAT_VERSION,
+        "topology": {
+            "name": topo.name,
+            "num_nodes": topo.num_nodes,
+            "links": [
+                [l.src, l.dst, l.capacity, l.propagation_delay] for l in topo.links
+            ],
+        },
+        "routing": {"name": sample.routing.name, "paths": sample.routing.to_dict()},
+        "traffic": sample.traffic.to_dict(),
+        "pairs": [[s, d] for s, d in sample.pairs],
+        "delay": sample.delay.tolist(),
+        "jitter": sample.jitter.tolist(),
+        "loss_rate": sample.loss_rate.tolist(),
+        "pair_class": (
+            None if sample.pair_class is None else sample.pair_class.tolist()
+        ),
+        "meta": sample.meta,
+    }
+
+
+def sample_from_dict(data: dict) -> Sample:
+    """Inverse of :func:`sample_to_dict`."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise DatasetError(f"unsupported sample format version {version!r}")
+    tdata = data["topology"]
+    links = [
+        Link(i, int(src), int(dst), float(cap), float(prop))
+        for i, (src, dst, cap, prop) in enumerate(tdata["links"])
+    ]
+    topology = Topology(int(tdata["num_nodes"]), links, name=tdata["name"])
+    routing = RoutingScheme.from_dict(
+        topology, data["routing"]["paths"], name=data["routing"]["name"]
+    )
+    traffic = TrafficMatrix.from_dict(topology.num_nodes, data["traffic"])
+    return Sample(
+        topology=topology,
+        routing=routing,
+        traffic=traffic,
+        pairs=tuple((int(s), int(d)) for s, d in data["pairs"]),
+        delay=np.asarray(data["delay"], dtype=float),
+        jitter=np.asarray(data["jitter"], dtype=float),
+        # Older archives predate the loss label; default to zeros.
+        loss_rate=(
+            np.asarray(data["loss_rate"], dtype=float)
+            if "loss_rate" in data
+            else None
+        ),
+        pair_class=(
+            np.asarray(data["pair_class"], dtype=int)
+            if data.get("pair_class") is not None
+            else None
+        ),
+        meta=data.get("meta", {}),
+    )
+
+
+def save_dataset(samples: Iterable[Sample], path: str | Path) -> int:
+    """Write samples to a ``.jsonl`` archive; returns the count written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for sample in samples:
+            fh.write(json.dumps(sample_to_dict(sample)) + "\n")
+            count += 1
+    return count
+
+
+def iter_dataset(path: str | Path) -> Iterator[Sample]:
+    """Stream samples from a ``.jsonl`` archive."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset archive {path} does not exist")
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield sample_from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise DatasetError(f"{path}:{line_no}: corrupt sample: {exc}") from exc
+
+
+def load_dataset(path: str | Path) -> list[Sample]:
+    """Load a whole archive into memory."""
+    return list(iter_dataset(path))

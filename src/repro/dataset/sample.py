@@ -1,0 +1,86 @@
+"""Dataset sample: one simulated network scenario with ground-truth KPIs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..routing import RoutingScheme
+from ..topology import Topology
+from ..traffic import TrafficMatrix
+
+__all__ = ["Sample"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One (topology, routing, traffic) scenario plus simulator ground truth.
+
+    Attributes:
+        topology: The network graph.
+        routing: Per-pair paths used by the simulator.
+        traffic: Offered traffic matrix.
+        pairs: The measured (src, dst) pairs, sorted; labels align to this.
+        delay: Ground-truth mean per-packet delay per pair (seconds).
+        jitter: Ground-truth delay variance per pair (seconds^2).
+        loss_rate: Ground-truth packet-loss fraction per pair, in [0, 1]
+            (zeros for archives written before this label existed).
+        pair_class: Optional QoS class per pair (0 = highest priority) when
+            the scenario was simulated with multiple priority bands; ``None``
+            for single-class scenarios.
+        meta: Provenance (seeds, sim duration, intensity, ...).
+    """
+
+    topology: Topology
+    routing: RoutingScheme
+    traffic: TrafficMatrix
+    pairs: tuple[tuple[int, int], ...]
+    delay: np.ndarray
+    jitter: np.ndarray
+    loss_rate: np.ndarray | None = None
+    pair_class: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.pairs)
+        if self.loss_rate is None:
+            object.__setattr__(self, "loss_rate", np.zeros(n))
+        if (
+            self.delay.shape != (n,)
+            or self.jitter.shape != (n,)
+            or self.loss_rate.shape != (n,)
+        ):
+            raise DatasetError(
+                f"labels must be ({n},); got delay {self.delay.shape}, "
+                f"jitter {self.jitter.shape}, loss {self.loss_rate.shape}"
+            )
+        if not np.isfinite(self.delay).all() or (self.delay <= 0).any():
+            raise DatasetError("delays must be finite and positive")
+        if not np.isfinite(self.jitter).all() or (self.jitter < 0).any():
+            raise DatasetError("jitter must be finite and non-negative")
+        if ((self.loss_rate < 0) | (self.loss_rate > 1)).any():
+            raise DatasetError("loss rates must lie in [0, 1]")
+        if self.pair_class is not None:
+            if self.pair_class.shape != (n,):
+                raise DatasetError(
+                    f"pair_class must be ({n},), got {self.pair_class.shape}"
+                )
+            if (self.pair_class < 0).any():
+                raise DatasetError("pair classes must be non-negative")
+        for pair in self.pairs:
+            if pair not in self.routing:
+                raise DatasetError(f"measured pair {pair} is not routed")
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def topology_name(self) -> str:
+        return self.topology.name
+
+    def targets(self) -> np.ndarray:
+        """(P, 2) array of raw [delay, jitter] labels."""
+        return np.stack([self.delay, self.jitter], axis=1)

@@ -1,0 +1,54 @@
+"""Train/evaluation splitting and dataset-level statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..random import make_rng
+from ..core.features import FeatureScaler
+from .sample import Sample
+
+__all__ = ["train_eval_split", "fit_scaler"]
+
+
+def train_eval_split(
+    samples: list[Sample],
+    eval_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[list[Sample], list[Sample]]:
+    """Random disjoint split into (train, eval) lists.
+
+    Raises:
+        DatasetError: If either side would be empty.
+    """
+    if not 0.0 < eval_fraction < 1.0:
+        raise DatasetError(f"eval_fraction must be in (0, 1), got {eval_fraction}")
+    if len(samples) < 2:
+        raise DatasetError(f"need at least 2 samples to split, got {len(samples)}")
+    rng = make_rng(seed)
+    order = rng.permutation(len(samples))
+    n_eval = max(1, int(round(eval_fraction * len(samples))))
+    if n_eval >= len(samples):
+        n_eval = len(samples) - 1
+    eval_idx = set(order[:n_eval].tolist())
+    train = [s for i, s in enumerate(samples) if i not in eval_idx]
+    evaluation = [s for i, s in enumerate(samples) if i in eval_idx]
+    return train, evaluation
+
+
+def fit_scaler(samples: list[Sample]) -> FeatureScaler:
+    """Fit feature/target scaling on a training set.
+
+    Collects every link capacity, per-path traffic rate and log-target seen
+    across the samples.
+    """
+    if not samples:
+        raise DatasetError("cannot fit a scaler on an empty dataset")
+    capacities = np.concatenate([s.topology.capacities() for s in samples])
+    rates = np.concatenate(
+        [np.array([s.traffic.rate(a, b) for a, b in s.pairs]) for s in samples]
+    )
+    targets = np.concatenate([s.targets() for s in samples], axis=0)
+    logs = np.log(np.maximum(targets, FeatureScaler.EPS))
+    return FeatureScaler.fit(capacities, rates, logs)

@@ -1,0 +1,109 @@
+"""Dataset-level summary statistics.
+
+Used by the ``repro info`` CLI command and by notebooks/examples to sanity
+check a generated archive before spending training time on it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DatasetError
+from .sample import Sample
+
+__all__ = ["DatasetSummary", "summarize_dataset", "format_summary"]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Aggregate view of a sample list."""
+
+    num_samples: int
+    total_pairs: int
+    topologies: dict[str, int]
+    routing_kinds: dict[str, int]
+    arrival_kinds: dict[str, int]
+    delay_quantiles: dict[str, float]  # keys: min/p25/p50/p75/max/mean
+    jitter_mean: float
+    loss_mean: float
+    intensity_range: tuple[float, float] | None
+    num_classes: int
+
+
+def _quantiles(values: np.ndarray) -> dict[str, float]:
+    return {
+        "min": float(values.min()),
+        "p25": float(np.quantile(values, 0.25)),
+        "p50": float(np.quantile(values, 0.50)),
+        "p75": float(np.quantile(values, 0.75)),
+        "max": float(values.max()),
+        "mean": float(values.mean()),
+    }
+
+
+def summarize_dataset(samples: list[Sample]) -> DatasetSummary:
+    """Compute aggregate statistics over ``samples``.
+
+    Raises:
+        DatasetError: For an empty list.
+    """
+    if not samples:
+        raise DatasetError("cannot summarize an empty dataset")
+    delays = np.concatenate([s.delay for s in samples])
+    jitters = np.concatenate([s.jitter for s in samples])
+    losses = np.concatenate([s.loss_rate for s in samples])
+
+    intensities = [
+        s.meta["intensity"] for s in samples if "intensity" in s.meta
+    ]
+    classes = max(
+        (int(s.pair_class.max()) + 1 for s in samples if s.pair_class is not None),
+        default=1,
+    )
+    return DatasetSummary(
+        num_samples=len(samples),
+        total_pairs=int(sum(s.num_pairs for s in samples)),
+        topologies=dict(Counter(s.topology_name for s in samples)),
+        routing_kinds=dict(
+            Counter(s.meta.get("routing_kind", s.routing.name) for s in samples)
+        ),
+        arrival_kinds=dict(
+            Counter(s.meta.get("arrivals", "unknown") for s in samples)
+        ),
+        delay_quantiles=_quantiles(delays),
+        jitter_mean=float(jitters.mean()),
+        loss_mean=float(losses.mean()),
+        intensity_range=(
+            (float(min(intensities)), float(max(intensities)))
+            if intensities
+            else None
+        ),
+        num_classes=classes,
+    )
+
+
+def format_summary(summary: DatasetSummary) -> str:
+    """Render a summary as a human-readable block."""
+    q = summary.delay_quantiles
+    lines = [
+        f"samples: {summary.num_samples}   labeled paths: {summary.total_pairs}",
+        "topologies: "
+        + ", ".join(f"{name} x{n}" for name, n in sorted(summary.topologies.items())),
+        "routing:    "
+        + ", ".join(f"{k} x{n}" for k, n in sorted(summary.routing_kinds.items())),
+        "arrivals:   "
+        + ", ".join(f"{k} x{n}" for k, n in sorted(summary.arrival_kinds.items())),
+        f"delay (s):  min {q['min']:.4f}  p50 {q['p50']:.4f}  mean {q['mean']:.4f}  "
+        f"max {q['max']:.4f}",
+        f"jitter mean (s^2): {summary.jitter_mean:.6f}   "
+        f"loss mean: {summary.loss_mean:.4f}",
+    ]
+    if summary.intensity_range is not None:
+        lo, hi = summary.intensity_range
+        lines.append(f"intensity:  {lo:.2f} .. {hi:.2f} (bottleneck utilization)")
+    if summary.num_classes > 1:
+        lines.append(f"QoS classes: {summary.num_classes}")
+    return "\n".join(lines)

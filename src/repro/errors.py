@@ -1,0 +1,41 @@
+"""Library-wide exception hierarchy."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "TrafficError",
+    "SimulationError",
+    "DatasetError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Invalid or inconsistent network topology."""
+
+
+class RoutingError(ReproError):
+    """Invalid routing scheme (missing path, loop, disconnected pair)."""
+
+
+class TrafficError(ReproError):
+    """Invalid traffic matrix or arrival-process parameters."""
+
+
+class SimulationError(ReproError):
+    """Packet-level simulation failed or was misconfigured."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation, serialization or splitting failed."""
+
+
+class ModelError(ReproError):
+    """Model construction or checkpoint mismatch."""

@@ -1,0 +1,36 @@
+"""Evaluation harness: figure-data computation and ASCII rendering."""
+
+from .regression import RegressionData, collect_regression, binned_means
+from .error_cdf import ErrorCDF, compute_error_cdf, cdf_table
+from .reports import RankedPath, top_n_paths, ranking_agreement, format_top_paths
+from .ascii_plot import scatter, cdf_curve, histogram
+from .export import (
+    export_regression_csv,
+    export_cdf_csv,
+    export_top_paths_csv,
+    export_matrix_csv,
+)
+
+from .breakdown import error_by_path_length, format_breakdown
+
+__all__ = [
+    "error_by_path_length",
+    "format_breakdown",
+    "export_regression_csv",
+    "export_cdf_csv",
+    "export_top_paths_csv",
+    "export_matrix_csv",
+    "RegressionData",
+    "collect_regression",
+    "binned_means",
+    "ErrorCDF",
+    "compute_error_cdf",
+    "cdf_table",
+    "RankedPath",
+    "top_n_paths",
+    "ranking_agreement",
+    "format_top_paths",
+    "scatter",
+    "cdf_curve",
+    "histogram",
+]

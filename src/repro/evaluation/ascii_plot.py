@@ -1,0 +1,115 @@
+"""Terminal-friendly plots (the offline stand-in for the paper's matplotlib
+figures): scatter plots, CDF curves and histograms rendered as ASCII grids."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scatter", "cdf_curve", "histogram"]
+
+
+def _grid(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(
+    grid: list[list[str]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    x_range: tuple[float, float],
+    y_range: tuple[float, float],
+) -> str:
+    width = len(grid[0])
+    lines = [title.center(width + 10)]
+    for r, row in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = f"{y_range[1]:.3g}"
+        elif r == len(grid) - 1:
+            label = f"{y_range[0]:.3g}"
+        lines.append(f"{label:>9s} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    left = f"{x_range[0]:.3g}"
+    right = f"{x_range[1]:.3g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * 11 + left + " " * pad + right)
+    lines.append(f"{'':>11s}{x_label}  (y: {y_label})")
+    return "\n".join(lines)
+
+
+def scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 60,
+    height: int = 20,
+    title: str = "scatter",
+    x_label: str = "x",
+    y_label: str = "y",
+    diagonal: bool = False,
+) -> str:
+    """ASCII scatter plot; ``diagonal=True`` overlays the y=x reference."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size == 0 or x.shape != y.shape:
+        raise ValueError("scatter needs equal-length non-empty arrays")
+    lo = float(min(x.min(), y.min() if diagonal else x.min()))
+    hi = float(max(x.max(), y.max() if diagonal else x.max()))
+    y_lo, y_hi = (lo, hi) if diagonal else (float(y.min()), float(y.max()))
+    x_lo, x_hi = (lo, hi) if diagonal else (float(x.min()), float(x.max()))
+    span_x = (x_hi - x_lo) or 1.0
+    span_y = (y_hi - y_lo) or 1.0
+    grid = _grid(width, height)
+    if diagonal:
+        for c in range(width):
+            value = x_lo + (c + 0.5) / width * span_x
+            r = height - 1 - int((value - y_lo) / span_y * (height - 1) + 0.5)
+            if 0 <= r < height:
+                grid[r][c] = "."
+    for xi, yi in zip(x, y):
+        c = int((xi - x_lo) / span_x * (width - 1) + 0.5)
+        r = height - 1 - int((yi - y_lo) / span_y * (height - 1) + 0.5)
+        if 0 <= r < height and 0 <= c < width:
+            grid[r][c] = "o"
+    return _render(grid, title, x_label, y_label, (x_lo, x_hi), (y_lo, y_hi))
+
+
+def cdf_curve(
+    values: np.ndarray,
+    width: int = 60,
+    height: int = 16,
+    title: str = "CDF",
+    x_label: str = "value",
+) -> str:
+    """ASCII empirical CDF of ``values``."""
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        raise ValueError("cdf_curve needs a non-empty array")
+    lo, hi = float(values[0]), float(values[-1])
+    span = (hi - lo) or 1.0
+    grid = _grid(width, height)
+    for c in range(width):
+        x_val = lo + (c + 0.5) / width * span
+        frac = np.searchsorted(values, x_val, side="right") / values.size
+        r = height - 1 - int(frac * (height - 1) + 0.5)
+        grid[r][c] = "#"
+    return _render(grid, title, x_label, "F(x)", (lo, hi), (0.0, 1.0))
+
+
+def histogram(
+    values: np.ndarray,
+    bins: int = 12,
+    width: int = 48,
+    title: str = "histogram",
+) -> str:
+    """Horizontal ASCII histogram."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("histogram needs a non-empty array")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() or 1
+    lines = [title]
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{lo:>10.4g}, {hi:>10.4g})  {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Error breakdowns: where does the model err?
+
+Slices pooled prediction errors by structural properties of the paths —
+currently hop count (longer paths compose more per-link estimates, so error
+growth with length measures how well the model's message passing composes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataset import Sample
+from ..training.metrics import regression_summary
+
+__all__ = ["error_by_path_length", "format_breakdown"]
+
+
+def error_by_path_length(
+    samples: list[Sample],
+    predictions: list[np.ndarray],
+) -> dict[int, dict[str, float]]:
+    """Regression metrics grouped by routed-path hop count.
+
+    Args:
+        samples: Evaluated samples.
+        predictions: Per-sample predicted delay arrays, aligned with each
+            sample's ``pairs``.
+
+    Returns:
+        ``{hops: regression_summary}`` for every hop count present.
+    """
+    if len(samples) != len(predictions):
+        raise ValueError(
+            f"{len(samples)} samples but {len(predictions)} prediction arrays"
+        )
+    by_hops: dict[int, tuple[list[float], list[float]]] = {}
+    for sample, pred in zip(samples, predictions):
+        pred = np.asarray(pred, dtype=float)
+        if pred.shape != sample.delay.shape:
+            raise ValueError("prediction array does not match sample pairs")
+        for (s, d), p, t in zip(sample.pairs, pred, sample.delay):
+            hops = len(sample.routing.link_path(s, d))
+            bucket = by_hops.setdefault(hops, ([], []))
+            bucket[0].append(p)
+            bucket[1].append(t)
+    return {
+        hops: regression_summary(np.array(preds), np.array(trues))
+        for hops, (preds, trues) in sorted(by_hops.items())
+    }
+
+
+def format_breakdown(breakdown: dict[int, dict[str, float]]) -> str:
+    """Render the per-hop table."""
+    if not breakdown:
+        raise ValueError("empty breakdown")
+    header = f"{'hops':>5s} {'paths':>7s} {'MRE':>8s} {'MedRE':>8s} {'R2':>8s}"
+    lines = [header, "-" * len(header)]
+    for hops, stats in breakdown.items():
+        lines.append(
+            f"{hops:>5d} {int(stats['count']):>7d} {stats['mre']:>8.3f} "
+            f"{stats['medre']:>8.3f} {stats['r2']:>8.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Figure 3 data: Cumulative Distribution Function of the relative error.
+
+The paper's Fig. 3 overlays the CDF of the relative error between RouteNet's
+predictions and the simulated delays for the three evaluation datasets
+(NSFNET-14, synthetic-50, and the unseen Geant2-24).  This module computes
+those curves as data: quantiles, fraction-within-|e| thresholds, and evenly
+sampled (error, F(error)) series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..training.metrics import relative_errors
+
+__all__ = ["ErrorCDF", "compute_error_cdf", "cdf_table"]
+
+
+@dataclass(frozen=True)
+class ErrorCDF:
+    """Empirical CDF of signed relative errors for one dataset."""
+
+    label: str
+    errors: np.ndarray  # sorted signed relative errors
+
+    def __post_init__(self) -> None:
+        if self.errors.size == 0:
+            raise ValueError("cannot build a CDF from zero errors")
+
+    @property
+    def count(self) -> int:
+        return int(self.errors.size)
+
+    def quantile(self, q: float) -> float:
+        """Signed-error quantile, q in [0, 1]."""
+        return float(np.quantile(self.errors, q))
+
+    def abs_quantile(self, q: float) -> float:
+        """|error| quantile — e.g. ``abs_quantile(0.9)`` = P90 error."""
+        return float(np.quantile(np.abs(self.errors), q))
+
+    def fraction_within(self, threshold: float) -> float:
+        """Share of predictions with |relative error| <= threshold."""
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        return float((np.abs(self.errors) <= threshold).mean())
+
+    def series(self, num_points: int = 21) -> list[tuple[float, float]]:
+        """Evenly spaced ``(error, F(error))`` samples of the CDF curve."""
+        if num_points < 2:
+            raise ValueError(f"need >= 2 points, got {num_points}")
+        xs = np.linspace(self.errors[0], self.errors[-1], num_points)
+        fs = np.searchsorted(self.errors, xs, side="right") / self.errors.size
+        return [(float(x), float(f)) for x, f in zip(xs, fs)]
+
+
+def compute_error_cdf(
+    pred: np.ndarray, true: np.ndarray, label: str = "dataset"
+) -> ErrorCDF:
+    """Build the CDF of signed relative errors for pooled predictions."""
+    errors = np.sort(relative_errors(pred, true))
+    return ErrorCDF(label=label, errors=errors)
+
+
+def cdf_table(
+    cdfs: list[ErrorCDF],
+    quantiles: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95),
+) -> str:
+    """Render CDFs side by side as the textual equivalent of Fig. 3.
+
+    One row per quantile of |relative error|, one column per dataset, plus
+    the share of predictions within 10% / 20% / 50% error bands.
+    """
+    if not cdfs:
+        raise ValueError("no CDFs to tabulate")
+    width = max(12, max(len(c.label) for c in cdfs) + 2)
+    header = "quantile".ljust(10) + "".join(c.label.rjust(width) for c in cdfs)
+    lines = [header, "-" * len(header)]
+    for q in quantiles:
+        row = f"P{int(q * 100):<9d}" + "".join(
+            f"{c.abs_quantile(q):>{width}.4f}" for c in cdfs
+        )
+        lines.append(row)
+    for threshold in (0.1, 0.2, 0.5):
+        row = f"<=|{threshold:.1f}|".ljust(10) + "".join(
+            f"{c.fraction_within(threshold):>{width}.3f}" for c in cdfs
+        )
+        lines.append(row)
+    lines.append(
+        "count".ljust(10) + "".join(f"{c.count:>{width}d}" for c in cdfs)
+    )
+    return "\n".join(lines)

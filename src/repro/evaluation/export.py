@@ -1,0 +1,93 @@
+"""CSV export of figure data.
+
+The offline environment has no matplotlib, so figure *data* is the product:
+these helpers write the exact series behind each paper figure to CSV files
+that any plotting tool can consume.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from .error_cdf import ErrorCDF
+from .regression import RegressionData
+from .reports import RankedPath
+
+__all__ = [
+    "export_regression_csv",
+    "export_cdf_csv",
+    "export_top_paths_csv",
+    "export_matrix_csv",
+]
+
+
+def _open_writer(path: str | Path):
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path.open("w", newline="", encoding="utf-8")
+
+
+def export_regression_csv(data: RegressionData, path: str | Path) -> int:
+    """Write (src, dst, true_delay, predicted_delay) rows; returns row count."""
+    with _open_writer(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["src", "dst", "true_delay", "predicted_delay"])
+        for (src, dst), true, pred in zip(data.pairs, data.true, data.pred):
+            writer.writerow([src, dst, f"{true:.9g}", f"{pred:.9g}"])
+    return len(data.pairs)
+
+
+def export_cdf_csv(
+    cdfs: Sequence[ErrorCDF], path: str | Path, num_points: int = 101
+) -> int:
+    """Write long-format CDF series: (dataset, error, cumulative_fraction)."""
+    if not cdfs:
+        raise ValueError("no CDFs to export")
+    rows = 0
+    with _open_writer(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["dataset", "relative_error", "cumulative_fraction"])
+        for cdf in cdfs:
+            for error, fraction in cdf.series(num_points):
+                writer.writerow([cdf.label, f"{error:.9g}", f"{fraction:.9g}"])
+                rows += 1
+    return rows
+
+
+def export_top_paths_csv(rows: Sequence[RankedPath], path: str | Path) -> int:
+    """Write the Fig. 4 table: (rank, src, dst, predicted, simulated)."""
+    if not rows:
+        raise ValueError("no ranked paths to export")
+    with _open_writer(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["rank", "src", "dst", "predicted_delay", "true_delay"])
+        for row in rows:
+            writer.writerow(
+                [
+                    row.rank,
+                    row.src,
+                    row.dst,
+                    f"{row.predicted_delay:.9g}",
+                    "" if row.true_delay is None else f"{row.true_delay:.9g}",
+                ]
+            )
+    return len(rows)
+
+
+def export_matrix_csv(
+    matrix: dict[str, dict[str, float]], path: str | Path
+) -> int:
+    """Write a metrics matrix (e.g. the generalization table) long-format."""
+    if not matrix:
+        raise ValueError("empty metrics matrix")
+    with _open_writer(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["dataset", "metric", "value"])
+        count = 0
+        for label, stats in matrix.items():
+            for metric, value in stats.items():
+                writer.writerow([label, metric, f"{value:.9g}"])
+                count += 1
+    return count

@@ -1,0 +1,85 @@
+"""Figure 2 data: predicted-vs-true regression on a sample scenario.
+
+The paper's Fig. 2 is a scatter of RouteNet's delay predictions against the
+simulator's ground truth for one Geant2 scenario, hugging the ``y = x``
+diagonal.  :func:`collect_regression` computes exactly those pairs plus the
+summary statistics (slope through the origin, R², Pearson) that quantify how
+tightly the cloud tracks the diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..training.metrics import regression_summary
+
+__all__ = ["RegressionData", "collect_regression", "binned_means"]
+
+
+@dataclass(frozen=True)
+class RegressionData:
+    """Scatter data plus fit statistics for one scenario."""
+
+    true: np.ndarray
+    pred: np.ndarray
+    pairs: tuple[tuple[int, int], ...]
+
+    def summary(self) -> dict[str, float]:
+        """MRE / R² / Pearson etc. of the scatter."""
+        return regression_summary(self.pred, self.true)
+
+    def slope_through_origin(self) -> float:
+        """Least-squares slope of ``pred ~ slope * true`` (1.0 is perfect)."""
+        denom = float((self.true**2).sum())
+        if denom == 0.0:
+            raise ValueError("ground truth is identically zero")
+        return float((self.pred * self.true).sum() / denom)
+
+    def points(self) -> list[tuple[float, float]]:
+        """(true, pred) tuples, e.g. for CSV export."""
+        return list(zip(self.true.tolist(), self.pred.tolist()))
+
+
+def collect_regression(
+    pred_delay: np.ndarray,
+    true_delay: np.ndarray,
+    pairs: tuple[tuple[int, int], ...],
+) -> RegressionData:
+    """Package per-pair predictions into :class:`RegressionData`.
+
+    Raises:
+        ValueError: On shape mismatch or empty input.
+    """
+    pred_delay = np.asarray(pred_delay, dtype=float)
+    true_delay = np.asarray(true_delay, dtype=float)
+    if pred_delay.shape != true_delay.shape or len(pairs) != pred_delay.shape[0]:
+        raise ValueError(
+            f"inconsistent regression data: pred {pred_delay.shape}, "
+            f"true {true_delay.shape}, {len(pairs)} pairs"
+        )
+    if pred_delay.size == 0:
+        raise ValueError("empty regression data")
+    return RegressionData(true=true_delay, pred=pred_delay, pairs=tuple(pairs))
+
+
+def binned_means(
+    data: RegressionData, num_bins: int = 10
+) -> list[tuple[float, float, int]]:
+    """Mean prediction per ground-truth bin: ``(bin_center, mean_pred, n)``.
+
+    A compact, plot-free way to read the regression trend (printed by the
+    fig2 bench as the figure's "series").
+    """
+    if num_bins < 1:
+        raise ValueError(f"need at least one bin, got {num_bins}")
+    edges = np.linspace(data.true.min(), data.true.max(), num_bins + 1)
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        in_bin = (data.true >= lo) & (data.true <= hi if hi == edges[-1] else data.true < hi)
+        if in_bin.any():
+            rows.append(
+                (float((lo + hi) / 2), float(data.pred[in_bin].mean()), int(in_bin.sum()))
+            )
+    return rows

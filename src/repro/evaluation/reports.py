@@ -1,0 +1,109 @@
+"""Figure 4 data: Top-N paths with most delay (the demo's visibility view).
+
+The demo notebook displays the "Top-10 paths with more delay" according to
+RouteNet's predictions.  Here the same computation is exposed as data (a
+ranked table) plus ranking-agreement statistics against the ground truth,
+which quantify whether the predicted Top-N is trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = ["RankedPath", "top_n_paths", "ranking_agreement", "format_top_paths"]
+
+
+@dataclass(frozen=True)
+class RankedPath:
+    """One row of the Top-N report."""
+
+    rank: int
+    src: int
+    dst: int
+    predicted_delay: float
+    true_delay: float | None = None
+
+
+def top_n_paths(
+    pairs: tuple[tuple[int, int], ...],
+    predicted_delay: np.ndarray,
+    n: int = 10,
+    true_delay: np.ndarray | None = None,
+) -> list[RankedPath]:
+    """Rank paths by predicted delay, descending; ties broken by pair.
+
+    Args:
+        pairs: Pair per prediction.
+        predicted_delay: Model estimates, aligned with ``pairs``.
+        n: Rows to return.
+        true_delay: Optional ground truth to attach per row.
+    """
+    predicted_delay = np.asarray(predicted_delay, dtype=float)
+    if len(pairs) != predicted_delay.shape[0]:
+        raise ValueError(
+            f"{len(pairs)} pairs vs {predicted_delay.shape[0]} predictions"
+        )
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    order = sorted(
+        range(len(pairs)), key=lambda i: (-predicted_delay[i], pairs[i])
+    )
+    rows = []
+    for rank, i in enumerate(order[:n], start=1):
+        rows.append(
+            RankedPath(
+                rank=rank,
+                src=pairs[i][0],
+                dst=pairs[i][1],
+                predicted_delay=float(predicted_delay[i]),
+                true_delay=float(true_delay[i]) if true_delay is not None else None,
+            )
+        )
+    return rows
+
+
+def ranking_agreement(
+    predicted_delay: np.ndarray, true_delay: np.ndarray, n: int = 10
+) -> dict[str, float]:
+    """How well the predicted ranking matches the true one.
+
+    Returns:
+        ``top_n_overlap``: fraction of the true Top-N recovered by the
+        predicted Top-N; ``spearman``: rank correlation over all paths.
+    """
+    predicted_delay = np.asarray(predicted_delay, dtype=float)
+    true_delay = np.asarray(true_delay, dtype=float)
+    if predicted_delay.shape != true_delay.shape:
+        raise ValueError("prediction/truth shape mismatch")
+    if predicted_delay.size < 2:
+        raise ValueError("need at least two paths to compare rankings")
+    n = min(n, predicted_delay.size)
+    pred_top = set(np.argsort(-predicted_delay)[:n].tolist())
+    true_top = set(np.argsort(-true_delay)[:n].tolist())
+    rho = _scipy_stats.spearmanr(predicted_delay, true_delay).statistic
+    return {
+        "top_n_overlap": len(pred_top & true_top) / n,
+        "spearman": float(rho),
+        "n": float(n),
+    }
+
+
+def format_top_paths(rows: list[RankedPath]) -> str:
+    """Render the Top-N table as text (the Fig. 4 screenshot equivalent)."""
+    if not rows:
+        raise ValueError("no rows to format")
+    has_truth = rows[0].true_delay is not None
+    header = f"{'rank':>4s}  {'path':>9s}  {'predicted':>12s}"
+    if has_truth:
+        header += f"  {'simulated':>12s}  {'rel.err':>8s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        line = f"{row.rank:>4d}  {row.src:>4d}->{row.dst:<4d}  {row.predicted_delay:>12.5f}"
+        if has_truth and row.true_delay is not None:
+            rel = (row.predicted_delay - row.true_delay) / row.true_delay
+            line += f"  {row.true_delay:>12.5f}  {rel:>+8.1%}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Reproduction harness: profiles, cached artifacts, figure data."""
+
+from .profiles import ExperimentProfile, PAPER_SMALL, SMOKE
+from .workbench import Workbench
+from .figures import (
+    fig2_regression,
+    fig3_error_cdfs,
+    fig3_jitter_cdfs,
+    fig4_top_paths,
+    generalization_matrix,
+    baseline_comparison,
+    sim_vs_inference,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "PAPER_SMALL",
+    "SMOKE",
+    "Workbench",
+    "fig2_regression",
+    "fig3_error_cdfs",
+    "fig3_jitter_cdfs",
+    "fig4_top_paths",
+    "generalization_matrix",
+    "baseline_comparison",
+    "sim_vs_inference",
+]

@@ -1,0 +1,243 @@
+"""Figure/table data for every evaluation artifact of the paper.
+
+One function per experiment in DESIGN.md's index; each takes a
+:class:`~repro.experiments.workbench.Workbench` and returns plain data
+structures that the benchmark harness prints (and tests assert on).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import FixedTopologyMLP, QueueingNetworkModel
+from ..queueing import ReducedLoadModel
+from ..core import build_model_input
+from ..dataset import Sample
+from ..evaluation import (
+    ErrorCDF,
+    RegressionData,
+    collect_regression,
+    compute_error_cdf,
+    ranking_agreement,
+    top_n_paths,
+)
+from ..simulator import SimulationConfig, simulate
+from ..training import Trainer, regression_summary
+from .workbench import Workbench
+
+__all__ = [
+    "fig2_regression",
+    "fig3_error_cdfs",
+    "fig3_jitter_cdfs",
+    "fig4_top_paths",
+    "generalization_matrix",
+    "baseline_comparison",
+    "sim_vs_inference",
+]
+
+
+def _pooled_predictions(
+    trainer: Trainer, samples: list[Sample]
+) -> tuple[np.ndarray, np.ndarray]:
+    preds, trues = [], []
+    for sample in samples:
+        preds.append(trainer.predict_sample(sample)["delay"])
+        trues.append(sample.delay)
+    return np.concatenate(preds), np.concatenate(trues)
+
+
+def fig2_regression(wb: Workbench, sample_index: int = 0) -> RegressionData:
+    """Fig. 2: regression scatter on one scenario of the *unseen* Geant2."""
+    trainer = wb.trainer()
+    samples = wb.geant2_eval()
+    sample = samples[sample_index % len(samples)]
+    pred = trainer.predict_sample(sample)["delay"]
+    return collect_regression(pred, sample.delay, sample.pairs)
+
+
+def fig3_error_cdfs(wb: Workbench) -> list[ErrorCDF]:
+    """Fig. 3: relative-error CDFs on the three evaluation datasets."""
+    trainer = wb.trainer()
+    datasets = [
+        ("nsfnet-14", wb.nsfnet_eval()),
+        ("synthetic-50", wb.syn50_eval()),
+        ("geant2-24 (unseen)", wb.geant2_eval()),
+    ]
+    cdfs = []
+    for label, samples in datasets:
+        pred, true = _pooled_predictions(trainer, samples)
+        cdfs.append(compute_error_cdf(pred, true, label=label))
+    return cdfs
+
+
+def fig3_jitter_cdfs(wb: Workbench) -> list[ErrorCDF]:
+    """Jitter counterpart of Fig. 3 (RouteNet's second KPI head).
+
+    Pairs whose measured delay variance is zero are excluded (relative
+    error is undefined there).
+    """
+    trainer = wb.trainer()
+    datasets = [
+        ("nsfnet-14", wb.nsfnet_eval()),
+        ("synthetic-50", wb.syn50_eval()),
+        ("geant2-24 (unseen)", wb.geant2_eval()),
+    ]
+    cdfs = []
+    for label, samples in datasets:
+        preds, trues = [], []
+        for sample in samples:
+            pred = trainer.predict_sample(sample)["jitter"]
+            keep = sample.jitter > 0
+            preds.append(pred[keep])
+            trues.append(sample.jitter[keep])
+        cdfs.append(
+            compute_error_cdf(
+                np.concatenate(preds), np.concatenate(trues), label=label
+            )
+        )
+    return cdfs
+
+
+@dataclass(frozen=True)
+class TopPathsResult:
+    """Fig. 4 payload: the ranked table plus ranking-agreement stats."""
+
+    rows: list
+    agreement: dict[str, float]
+    sample_meta: dict
+
+
+def fig4_top_paths(wb: Workbench, n: int = 10, sample_index: int = 0) -> TopPathsResult:
+    """Fig. 4: Top-N paths with most predicted delay on a Geant2 scenario."""
+    trainer = wb.trainer()
+    samples = wb.geant2_eval()
+    sample = samples[sample_index % len(samples)]
+    pred = trainer.predict_sample(sample)["delay"]
+    rows = top_n_paths(sample.pairs, pred, n=n, true_delay=sample.delay)
+    agreement = ranking_agreement(pred, sample.delay, n=n)
+    return TopPathsResult(rows=rows, agreement=agreement, sample_meta=sample.meta)
+
+
+def generalization_matrix(wb: Workbench) -> dict[str, dict[str, float]]:
+    """The §2.1 claim as a table: delay metrics per evaluation dataset.
+
+    Keys: ``nsfnet-14`` and ``synthetic-50`` (seen topologies, unseen
+    samples), ``geant2-24`` (never-seen topology), plus ``variable-<n>``
+    rows for the variable-size family.
+    """
+    trainer = wb.trainer()
+    out: dict[str, dict[str, float]] = {}
+    for label, samples in [
+        ("nsfnet-14", wb.nsfnet_eval()),
+        ("synthetic-50", wb.syn50_eval()),
+        ("geant2-24", wb.geant2_eval()),
+    ]:
+        pred, true = _pooled_predictions(trainer, samples)
+        out[label] = regression_summary(pred, true)
+    for size, samples in wb.variable_size_eval().items():
+        pred, true = _pooled_predictions(trainer, samples)
+        out[f"variable-{size}"] = regression_summary(pred, true)
+    return out
+
+
+def baseline_comparison(wb: Workbench) -> dict[str, dict[str, dict[str, float] | str]]:
+    """RouteNet vs. queueing theory vs. fixed-topology MLP.
+
+    Four evaluation rows reproduce the paper's §1 arguments:
+
+    * Three Poisson datasets (NSFNET-14, synthetic-50, unseen Geant2-24):
+      here the workload is exactly Markovian — the *best case* for the
+      analytic model — yet RouteNet stays competitive everywhere the
+      analytic model is good, and the fixed-topology MLP cannot transfer at
+      all ("not applicable" off its training topology).
+    * One bursty (on-off sources) NSFNET dataset, i.e. "real traffic
+      distributions": the M/M/1 assumptions break and the analytic model's
+      error explodes while a RouteNet trained on that workload keeps
+      learning it.
+    """
+    queueing = QueueingNetworkModel(buffer_packets=64)
+    reduced = ReducedLoadModel(buffer_packets=64)
+    mlp = FixedTopologyMLP(wb.topology_nsfnet(), hidden=(96, 48), seed=7)
+    mlp.fit(wb.nsfnet_train(), epochs=40, seed=8)
+
+    rows = [
+        ("nsfnet-14 (poisson)", wb.trainer(), wb.nsfnet_eval()),
+        ("synthetic-50 (poisson)", wb.trainer(), wb.syn50_eval()),
+        ("geant2-24 (poisson)", wb.trainer(), wb.geant2_eval()),
+        ("nsfnet-14 (bursty)", wb.bursty_trainer(), wb.bursty_eval()),
+    ]
+    out: dict[str, dict[str, dict[str, float] | str]] = {}
+    for label, trainer, samples in rows:
+        row: dict[str, dict[str, float] | str] = {}
+        pred, true = _pooled_predictions(trainer, samples)
+        row["routenet"] = regression_summary(pred, true)
+
+        qt_pred = np.concatenate(
+            [
+                queueing.predict(
+                    s.topology, s.routing, s.traffic, pairs=list(s.pairs)
+                ).delay
+                for s in samples
+            ]
+        )
+        row["queueing-theory"] = regression_summary(qt_pred, true)
+
+        fp_pred = np.concatenate(
+            [
+                reduced.solve(
+                    s.topology, s.routing, s.traffic, pairs=list(s.pairs)
+                ).delay
+                for s in samples
+            ]
+        )
+        row["queueing-fixed-point"] = regression_summary(fp_pred, true)
+
+        try:
+            mlp_pred = np.concatenate([mlp.predict(s) for s in samples])
+            row["mlp-fixed"] = regression_summary(mlp_pred, true)
+        except Exception as exc:  # ModelError by design off-topology
+            row["mlp-fixed"] = f"not applicable ({type(exc).__name__})"
+        out[label] = row
+    return out
+
+
+def sim_vs_inference(wb: Workbench, sample_index: int = 0) -> dict[str, float]:
+    """The cost argument: simulator wall time vs. RouteNet inference time.
+
+    Re-simulates one Geant2 scenario with its stored seed/duration and times
+    a RouteNet forward pass on the same scenario.
+    """
+    model, scaler = wb.trained_model()
+    sample = wb.geant2_eval()[sample_index % len(wb.geant2_eval())]
+
+    started = time.perf_counter()
+    result = simulate(
+        sample.topology,
+        sample.routing,
+        sample.traffic,
+        SimulationConfig(
+            duration=sample.meta["duration"],
+            warmup=0.1 * sample.meta["duration"],
+            seed=1,
+        ),
+    )
+    sim_seconds = time.perf_counter() - started
+
+    inputs = build_model_input(
+        sample.topology, sample.routing, sample.traffic, scaler=scaler,
+        pairs=list(sample.pairs),
+    )
+    started = time.perf_counter()
+    model.predict(inputs, scaler)
+    inference_seconds = time.perf_counter() - started
+
+    return {
+        "simulation_seconds": sim_seconds,
+        "simulated_events": float(result.events_processed),
+        "inference_seconds": inference_seconds,
+        "speedup": sim_seconds / inference_seconds,
+        "paths": float(len(sample.pairs)),
+    }

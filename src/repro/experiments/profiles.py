@@ -1,0 +1,163 @@
+"""Experiment profiles: scaled-down versions of the paper's training setup.
+
+The paper trains on 480,000 samples from NSFNET-14 plus a 50-node synthetic
+topology and evaluates on 120,000 held-out samples of those two topologies
+plus 300,000 samples of the unseen Geant2-24.  A profile reproduces that
+*structure* at a CPU-budget sample count; the ratios between dataset roles
+are kept, the absolute volume is not (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import HyperParams
+from ..dataset import GenerationConfig
+
+__all__ = ["ExperimentProfile", "PAPER_SMALL", "SMOKE"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Sizes and knobs of one end-to-end reproduction run.
+
+    Attributes:
+        name: Cache key prefix; changing any knob should change the name.
+        nsfnet_train/nsfnet_eval: Sample counts on NSFNET-14.
+        syn50_train/syn50_eval: Sample counts on the 50-node synthetic net.
+        geant2_eval: Samples on the unseen Geant2-24 evaluation topology.
+        variable_sizes: Node counts for the "variable size" eval family.
+        variable_samples_per_size: Scenarios per family member.
+        epochs: Training epochs.
+        hyperparams: RouteNet configuration.
+        nsfnet_gen / syn50_gen / geant2_gen: Per-topology generation knobs
+            (the 50-node net uses a sparse traffic matrix to bound DES cost).
+        seed: Master seed for the whole experiment.
+    """
+
+    name: str
+    nsfnet_train: int = 36
+    nsfnet_eval: int = 10
+    syn50_train: int = 14
+    syn50_eval: int = 6
+    geant2_eval: int = 12
+    variable_sizes: tuple[int, ...] = (20, 30, 40, 50)
+    variable_samples_per_size: int = 2
+    epochs: int = 30
+    hyperparams: HyperParams = field(
+        default_factory=lambda: HyperParams(
+            link_state_dim=16,
+            path_state_dim=16,
+            message_passing_steps=4,
+            readout_hidden=(32, 16),
+            learning_rate=2e-3,
+        )
+    )
+    nsfnet_gen: GenerationConfig = field(
+        default_factory=lambda: GenerationConfig(
+            target_packets_per_pair=120, min_delivered=15
+        )
+    )
+    syn50_gen: GenerationConfig = field(
+        default_factory=lambda: GenerationConfig(
+            target_packets_per_pair=100, min_delivered=15, active_fraction=0.25
+        )
+    )
+    geant2_gen: GenerationConfig = field(
+        default_factory=lambda: GenerationConfig(
+            target_packets_per_pair=120, min_delivered=15, active_fraction=0.8
+        )
+    )
+    # Bursty ("real traffic") datasets for the baseline comparison: on-off
+    # sources break the M/M/1 assumptions the analytic baseline relies on.
+    bursty_train: int = 20
+    bursty_eval: int = 6
+    bursty_epochs: int = 30
+    bursty_gen: GenerationConfig = field(
+        default_factory=lambda: GenerationConfig(
+            target_packets_per_pair=300,
+            min_delivered=30,
+            arrivals="onoff",
+            intensity_range=(0.3, 0.8),
+        )
+    )
+    # High-load datasets for the drops-prediction extension: near-saturation
+    # bursty traffic with small buffers so per-pair loss is non-trivial.
+    drops_train: int = 16
+    drops_eval: int = 5
+    drops_epochs: int = 25
+    drops_gen: GenerationConfig = field(
+        default_factory=lambda: GenerationConfig(
+            target_packets_per_pair=300,
+            min_delivered=30,
+            arrivals="onoff",
+            intensity_range=(0.7, 0.95),
+            buffer_packets=32,
+        )
+    )
+    # Two-class QoS datasets (strict-priority scheduling extension).
+    qos_train: int = 14
+    qos_eval: int = 5
+    qos_epochs: int = 25
+    qos_gen: GenerationConfig = field(
+        default_factory=lambda: GenerationConfig(
+            target_packets_per_pair=150,
+            min_delivered=15,
+            num_classes=2,
+            intensity_range=(0.5, 0.85),
+        )
+    )
+    seed: int = 2019  # the paper's year
+
+
+#: The default reproduction profile used by the benchmark harness.
+PAPER_SMALL = ExperimentProfile(name="paper-small")
+
+#: Minimal profile for quick smoke runs of the harness itself.
+SMOKE = ExperimentProfile(
+    name="smoke",
+    nsfnet_train=6,
+    nsfnet_eval=3,
+    syn50_train=2,
+    syn50_eval=1,
+    geant2_eval=3,
+    variable_sizes=(16, 24),
+    variable_samples_per_size=1,
+    epochs=6,
+    hyperparams=HyperParams(
+        link_state_dim=8,
+        path_state_dim=8,
+        message_passing_steps=3,
+        readout_hidden=(16,),
+        learning_rate=3e-3,
+    ),
+    nsfnet_gen=GenerationConfig(target_packets_per_pair=60, min_delivered=10),
+    syn50_gen=GenerationConfig(
+        target_packets_per_pair=60, min_delivered=10, active_fraction=0.1
+    ),
+    geant2_gen=GenerationConfig(
+        target_packets_per_pair=60, min_delivered=10, active_fraction=0.4
+    ),
+    bursty_train=4,
+    bursty_eval=2,
+    bursty_epochs=6,
+    bursty_gen=GenerationConfig(
+        target_packets_per_pair=80, min_delivered=10, arrivals="onoff"
+    ),
+    drops_train=4,
+    drops_eval=2,
+    drops_epochs=6,
+    drops_gen=GenerationConfig(
+        target_packets_per_pair=100,
+        min_delivered=10,
+        arrivals="onoff",
+        intensity_range=(0.7, 0.95),
+        buffer_packets=32,
+    ),
+    qos_train=4,
+    qos_eval=2,
+    qos_epochs=6,
+    qos_gen=GenerationConfig(
+        target_packets_per_pair=80, min_delivered=10, num_classes=2
+    ),
+)

@@ -1,0 +1,244 @@
+"""Cached experiment artifacts: datasets and trained models on disk.
+
+Dataset simulation and model training dominate the cost of reproducing the
+paper, so the :class:`Workbench` materializes them once under a cache
+directory (default ``data/``) keyed by profile name.  Benchmarks, examples
+and tests all share the same artifacts; deleting the directory forces a full
+regeneration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..core import FeatureScaler, RouteNet
+from ..dataset import Sample, generate_dataset, load_dataset, save_dataset
+from ..topology import Topology, geant2, nsfnet, synthetic_topology
+from ..training import Trainer
+from .profiles import ExperimentProfile, PAPER_SMALL
+
+__all__ = ["Workbench"]
+
+#: Seed offsets so each dataset role gets an independent stream.
+_ROLE_SEEDS = {
+    "nsfnet-train": 11,
+    "nsfnet-eval": 12,
+    "syn50-train": 21,
+    "syn50-eval": 22,
+    "geant2-eval": 31,
+    "variable": 41,
+    "bursty-train": 51,
+    "bursty-eval": 52,
+    "drops-train": 61,
+    "drops-eval": 62,
+    "qos-train": 71,
+    "qos-eval": 72,
+}
+
+
+class Workbench:
+    """Builds and caches the paper's datasets and trained model."""
+
+    def __init__(
+        self,
+        profile: ExperimentProfile = PAPER_SMALL,
+        cache_dir: str | Path = "data",
+        log: Callable[[str], None] | None = print,
+    ) -> None:
+        self.profile = profile
+        self.cache_dir = Path(cache_dir)
+        self._log = log or (lambda _msg: None)
+        self._memo: dict[str, list[Sample]] = {}
+        self._model: tuple[RouteNet, FeatureScaler] | None = None
+
+    # ------------------------------------------------------------------
+    # Topologies
+    # ------------------------------------------------------------------
+    def topology_nsfnet(self) -> Topology:
+        return nsfnet()
+
+    def topology_syn50(self) -> Topology:
+        """The 50-node synthetic training topology (seeded by the profile)."""
+        return synthetic_topology(50, seed=self.profile.seed, mean_degree=3.2)
+
+    def topology_geant2(self) -> Topology:
+        return geant2()
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+    def _dataset(
+        self, role: str, topology: Topology, count: int, gen_config
+    ) -> list[Sample]:
+        if role in self._memo:
+            return self._memo[role]
+        path = self.cache_dir / f"{self.profile.name}-{role}.jsonl"
+        if path.exists():
+            samples = load_dataset(path)
+        else:
+            self._log(f"[workbench] simulating {count} samples for {role} ...")
+            seed = self.profile.seed * 1000 + _ROLE_SEEDS[role]
+            samples = generate_dataset(topology, count, seed=seed, config=gen_config)
+            save_dataset(samples, path)
+            self._log(f"[workbench] wrote {path}")
+        self._memo[role] = samples
+        return samples
+
+    def nsfnet_train(self) -> list[Sample]:
+        return self._dataset(
+            "nsfnet-train", self.topology_nsfnet(), self.profile.nsfnet_train,
+            self.profile.nsfnet_gen,
+        )
+
+    def nsfnet_eval(self) -> list[Sample]:
+        return self._dataset(
+            "nsfnet-eval", self.topology_nsfnet(), self.profile.nsfnet_eval,
+            self.profile.nsfnet_gen,
+        )
+
+    def syn50_train(self) -> list[Sample]:
+        return self._dataset(
+            "syn50-train", self.topology_syn50(), self.profile.syn50_train,
+            self.profile.syn50_gen,
+        )
+
+    def syn50_eval(self) -> list[Sample]:
+        return self._dataset(
+            "syn50-eval", self.topology_syn50(), self.profile.syn50_eval,
+            self.profile.syn50_gen,
+        )
+
+    def geant2_eval(self) -> list[Sample]:
+        """Samples on the topology the model never sees during training."""
+        return self._dataset(
+            "geant2-eval", self.topology_geant2(), self.profile.geant2_eval,
+            self.profile.geant2_gen,
+        )
+
+    def variable_size_eval(self) -> dict[int, list[Sample]]:
+        """Per-size eval datasets on synthetic topologies of varied size."""
+        out: dict[int, list[Sample]] = {}
+        for i, size in enumerate(self.profile.variable_sizes):
+            topo = synthetic_topology(
+                size, seed=self.profile.seed + 100 + i, mean_degree=3.0
+            )
+            role = f"variable-{size}"
+            if role not in _ROLE_SEEDS:
+                _ROLE_SEEDS[role] = 410 + i
+            out[size] = self._dataset(
+                role, topo, self.profile.variable_samples_per_size,
+                self.profile.syn50_gen,
+            )
+        return out
+
+    def bursty_train(self) -> list[Sample]:
+        """NSFNET scenarios with on-off sources (the 'real traffic' study)."""
+        return self._dataset(
+            "bursty-train", self.topology_nsfnet(), self.profile.bursty_train,
+            self.profile.bursty_gen,
+        )
+
+    def bursty_eval(self) -> list[Sample]:
+        return self._dataset(
+            "bursty-eval", self.topology_nsfnet(), self.profile.bursty_eval,
+            self.profile.bursty_gen,
+        )
+
+    def drops_train(self) -> list[Sample]:
+        """Near-saturation NSFNET scenarios with observable packet loss."""
+        return self._dataset(
+            "drops-train", self.topology_nsfnet(), self.profile.drops_train,
+            self.profile.drops_gen,
+        )
+
+    def drops_eval(self) -> list[Sample]:
+        return self._dataset(
+            "drops-eval", self.topology_nsfnet(), self.profile.drops_eval,
+            self.profile.drops_gen,
+        )
+
+    def qos_train(self) -> list[Sample]:
+        """Two-class NSFNET scenarios with strict-priority scheduling."""
+        return self._dataset(
+            "qos-train", self.topology_nsfnet(), self.profile.qos_train,
+            self.profile.qos_gen,
+        )
+
+    def qos_eval(self) -> list[Sample]:
+        return self._dataset(
+            "qos-eval", self.topology_nsfnet(), self.profile.qos_eval,
+            self.profile.qos_gen,
+        )
+
+    def train_set(self) -> list[Sample]:
+        """The combined training set: NSFNET-14 + synthetic-50 scenarios."""
+        return self.nsfnet_train() + self.syn50_train()
+
+    # ------------------------------------------------------------------
+    # Trained model
+    # ------------------------------------------------------------------
+    def model_path(self) -> Path:
+        return self.cache_dir / f"{self.profile.name}-routenet.npz"
+
+    def trained_model(self) -> tuple[RouteNet, FeatureScaler]:
+        """The RouteNet trained per the profile (cached checkpoint)."""
+        if self._model is not None:
+            return self._model
+        path = self.model_path()
+        if path.exists():
+            model, scaler, _ = RouteNet.load(str(path))
+        else:
+            self._log(
+                f"[workbench] training RouteNet for {self.profile.epochs} epochs ..."
+            )
+            model = RouteNet(self.profile.hyperparams, seed=self.profile.seed)
+            trainer = Trainer(model, seed=self.profile.seed + 1)
+            history = trainer.fit(self.train_set(), epochs=self.profile.epochs,
+                                  log=self._log)
+            scaler = trainer.scaler
+            model.save(
+                str(path),
+                scaler,
+                extra_meta={
+                    "profile": self.profile.name,
+                    "epochs": self.profile.epochs,
+                    "final_train_loss": history.last().train_loss,
+                },
+            )
+            self._log(f"[workbench] wrote {path}")
+        self._model = (model, scaler)
+        return self._model
+
+    def trainer(self) -> Trainer:
+        """A Trainer wrapping the cached model (for evaluation calls)."""
+        model, scaler = self.trained_model()
+        return Trainer(model, scaler=scaler, seed=self.profile.seed + 2)
+
+    # ------------------------------------------------------------------
+    # Bursty-traffic model (for the baselines experiment)
+    # ------------------------------------------------------------------
+    def bursty_model_path(self) -> Path:
+        return self.cache_dir / f"{self.profile.name}-routenet-bursty.npz"
+
+    def bursty_trained_model(self) -> tuple[RouteNet, FeatureScaler]:
+        """RouteNet trained on the on-off ("real traffic") NSFNET dataset."""
+        path = self.bursty_model_path()
+        if path.exists():
+            model, scaler, _ = RouteNet.load(str(path))
+            return model, scaler
+        self._log("[workbench] training bursty-traffic RouteNet ...")
+        model = RouteNet(self.profile.hyperparams, seed=self.profile.seed + 7)
+        trainer = Trainer(model, seed=self.profile.seed + 8)
+        trainer.fit(self.bursty_train(), epochs=self.profile.bursty_epochs,
+                    log=self._log)
+        model.save(str(path), trainer.scaler,
+                   extra_meta={"profile": self.profile.name, "traffic": "onoff"})
+        self._log(f"[workbench] wrote {path}")
+        return model, trainer.scaler
+
+    def bursty_trainer(self) -> Trainer:
+        model, scaler = self.bursty_trained_model()
+        return Trainer(model, scaler=scaler, seed=self.profile.seed + 9)

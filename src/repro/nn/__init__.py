@@ -1,0 +1,43 @@
+"""From-scratch neural-network substrate (numpy reverse-mode autodiff).
+
+Public surface::
+
+    from repro import nn
+
+    x = nn.tensor([[1.0, 2.0]], requires_grad=True)
+    layer = nn.Dense(2, 4, rng, activation="relu")
+    y = layer(x).sum()
+    y.backward()
+"""
+
+from .tensor import Tensor, tensor, no_grad, is_grad_enabled
+from . import ops, init
+from .layers import Parameter, Module, Dense, MLP, ACTIVATIONS
+from .rnn import GRUCell, RNNCell, make_cell
+from .optim import Optimizer, SGD, Adam, clip_global_norm
+from .serialization import save_module, load_module, save_state, load_state
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "init",
+    "Parameter",
+    "Module",
+    "Dense",
+    "MLP",
+    "ACTIVATIONS",
+    "GRUCell",
+    "RNNCell",
+    "make_cell",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_global_norm",
+    "save_module",
+    "load_module",
+    "save_state",
+    "load_state",
+]

@@ -1,0 +1,34 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic under :mod:`repro.random` seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "orthogonal", "zeros"]
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform init for a ``(fan_in, fan_out)`` weight matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init (used for GRU recurrent kernels)."""
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # make the decomposition unique
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(rows: int, cols: int | None = None) -> np.ndarray:
+    """Zero init for biases (1-D) or matrices (2-D)."""
+    if cols is None:
+        return np.zeros(rows)
+    return np.zeros((rows, cols))

@@ -1,0 +1,142 @@
+"""Neural-network modules: parameter containers, Dense and MLP layers."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from . import init, ops
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Dense", "MLP", "ACTIVATIONS"]
+
+ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": ops.relu,
+    "tanh": ops.tanh,
+    "sigmoid": ops.sigmoid,
+    "softplus": ops.softplus,
+    "leaky_relu": ops.leaky_relu,
+    "linear": lambda x: x,
+}
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data: np.ndarray, name: str | None = None) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Submodules and parameters assigned as attributes are discovered
+    automatically, mirroring the familiar torch ``nn.Module`` contract:
+
+    * :meth:`parameters` yields every trainable :class:`Parameter`.
+    * :meth:`named_parameters` yields dotted names for checkpointing.
+    * :meth:`zero_grad` clears all gradients before a step.
+    """
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter value, keyed by dotted name."""
+        return {name: np.array(p.data, copy=True) for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values saved by :meth:`state_dict` (strict key matching)."""
+        own = dict(self.named_parameters())
+        missing = own.keys() - state.keys()
+        unexpected = state.keys() - own.keys()
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+
+class Dense(Module):
+    """Affine layer ``y = activation(x @ W + b)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "linear",
+        use_bias: bool = True,
+    ) -> None:
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}; options: {sorted(ACTIVATIONS)}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features), name="weight")
+        self.bias = Parameter(init.zeros(out_features), name="bias") if use_bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return ACTIVATIONS[self.activation](out)
+
+
+class MLP(Module):
+    """Stack of Dense layers, hidden activations + a final activation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        out_activation: str = "linear",
+    ) -> None:
+        sizes = [in_features, *hidden, out_features]
+        self.layers = [
+            Dense(
+                sizes[i],
+                sizes[i + 1],
+                rng,
+                activation=activation if i < len(sizes) - 2 else out_activation,
+            )
+            for i in range(len(sizes) - 1)
+        ]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,268 @@
+"""Functional operations on :class:`repro.nn.tensor.Tensor`.
+
+These complement the operator overloads on :class:`Tensor` with the
+nonlinearities and the graph primitives (``gather`` / ``segment_sum``) that
+RouteNet's message-passing layers are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, tensor
+
+__all__ = [
+    "exp",
+    "log",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "leaky_relu",
+    "softplus",
+    "abs_",
+    "sqrt",
+    "clip",
+    "where",
+    "concat",
+    "stack",
+    "gather",
+    "segment_sum",
+    "segment_mean",
+    "dropout",
+    "huber",
+]
+
+
+def exp(x: Tensor) -> Tensor:
+    x = tensor(x)
+    out_data = np.exp(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    x = tensor(x)
+    out_data = np.log(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad / x.data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    x = tensor(x)
+    out_data = np.sqrt(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * 0.5 / out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = tensor(x)
+    # Numerically stable logistic.
+    out_data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x.data, -500, 500))),
+        np.exp(np.clip(x.data, -500, 500)) / (1.0 + np.exp(np.clip(x.data, -500, 500))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - out_data**2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    x = tensor(x)
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (x.data > 0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, alpha: float = 0.01) -> Tensor:
+    x = tensor(x)
+    out_data = np.where(x.data > 0, x.data, alpha * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(x.data > 0, 1.0, alpha))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    x = tensor(x)
+    out_data = np.logaddexp(0.0, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad / (1.0 + np.exp(-x.data)))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def abs_(x: Tensor) -> Tensor:
+    x = tensor(x)
+    out_data = np.abs(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.sign(x.data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def clip(x: Tensor, lo: float, hi: float) -> Tensor:
+    """Clamp values to ``[lo, hi]``; gradient is zero outside the interval."""
+    x = tensor(x)
+    out_data = np.clip(x.data, lo, hi)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            inside = (x.data >= lo) & (x.data <= hi)
+            x._accumulate(grad * inside)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a plain boolean array."""
+    a, b = tensor(a), tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        from .tensor import _unbroadcast
+
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    tensors = [tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.moveaxis(grad, axis, 0)
+        for t, slab in zip(tensors, slabs):
+            if t.requires_grad:
+                t._accumulate(slab)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def gather(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``x[indices]`` (first axis), differentiable in ``x``."""
+    x = tensor(x)
+    idx = np.asarray(indices, dtype=np.intp)
+    out_data = x.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            full = np.zeros_like(x.data)
+            np.add.at(full, idx, grad)
+            x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets given by ``segment_ids``.
+
+    This is the aggregation primitive of RouteNet's link update: messages from
+    every (path, position) that crosses a link are summed into that link's
+    bucket.  Rows with ``segment_ids == -1`` are ignored (padding).
+    """
+    x = tensor(x)
+    ids = np.asarray(segment_ids, dtype=np.intp)
+    if ids.shape[0] != x.data.shape[0]:
+        raise ValueError(
+            f"segment_ids has {ids.shape[0]} entries for {x.data.shape[0]} rows"
+        )
+    valid = ids >= 0
+    out_data = np.zeros((num_segments,) + x.data.shape[1:], dtype=x.data.dtype)
+    np.add.at(out_data, ids[valid], x.data[valid])
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            full = np.zeros_like(x.data)
+            full[valid] = grad[ids[valid]]
+            x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-aggregate rows into segments; empty segments yield zeros."""
+    ids = np.asarray(segment_ids, dtype=np.intp)
+    counts = np.bincount(ids[ids >= 0], minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (tensor(x).ndim - 1))
+    return segment_sum(x, ids, num_segments) * (1.0 / counts)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is false or rate is 0."""
+    if not training or rate <= 0.0:
+        return tensor(x)
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    x = tensor(x)
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * mask
+
+
+def huber(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
+    """Elementwise Huber loss (smooth L1); target is a constant array."""
+    pred = tensor(pred)
+    target = np.asarray(target, dtype=pred.dtype)
+    diff = pred - target
+    quadratic = diff * diff * 0.5
+    linear = abs_(diff) * delta - (0.5 * delta * delta)
+    return where(np.abs(diff.data) <= delta, quadratic, linear)

@@ -1,0 +1,102 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_global_norm"]
+
+
+def clip_global_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging/divergence detection).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1c = 1.0 - self.beta1**self._t
+        b2c = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            p.data -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)

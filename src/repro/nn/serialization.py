@@ -1,0 +1,47 @@
+"""Checkpointing helpers: save/load Module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module", "save_state", "load_state"]
+
+_META_KEY = "__meta__"
+
+
+def save_state(path: str | Path, state: dict[str, np.ndarray], meta: dict | None = None) -> None:
+    """Write a parameter dict (plus optional JSON metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    if _META_KEY in payload:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read back a ``(state, meta)`` pair written by :func:`save_state`."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    return state, meta
+
+
+def save_module(path: str | Path, module: Module, meta: dict | None = None) -> None:
+    """Checkpoint ``module`` (parameters + metadata) to an ``.npz`` file."""
+    save_state(path, module.state_dict(), meta)
+
+
+def load_module(path: str | Path, module: Module) -> dict:
+    """Restore parameters in-place into ``module``; returns the metadata."""
+    state, meta = load_state(path)
+    module.load_state_dict(state)
+    return meta

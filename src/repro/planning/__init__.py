@@ -1,0 +1,33 @@
+"""Network visibility and planning features (demo section 3)."""
+
+from .visibility import NetworkView, LinkUtilizationRow, format_link_report
+from .what_if import WhatIfResult, traffic_scaling_whatif, link_failure_whatif
+from .capacity import (
+    UpgradeOption,
+    capacity_upgrade_whatif,
+    rank_upgrade_candidates,
+)
+from .optimization import (
+    CandidateScore,
+    RoutingOptimizationResult,
+    generate_candidates,
+    optimize_routing,
+    OBJECTIVES,
+)
+
+__all__ = [
+    "NetworkView",
+    "LinkUtilizationRow",
+    "format_link_report",
+    "WhatIfResult",
+    "traffic_scaling_whatif",
+    "link_failure_whatif",
+    "UpgradeOption",
+    "capacity_upgrade_whatif",
+    "rank_upgrade_candidates",
+    "CandidateScore",
+    "RoutingOptimizationResult",
+    "generate_candidates",
+    "optimize_routing",
+    "OBJECTIVES",
+]

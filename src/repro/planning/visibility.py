@@ -1,0 +1,128 @@
+"""Network visibility: the demo's interactive inspection features as a library.
+
+Section 3 of the paper demonstrates "examples leveraging the predictions of
+RouteNet for network visibility and planning", including "visual figures
+representing the delay on end-to-end paths and more elaborated statistics
+such as the Top-N paths with more delay".  This module provides those
+computations over a trained model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import FeatureScaler, RouteNet, build_model_input
+from ..evaluation.reports import RankedPath, top_n_paths
+from ..routing import RoutingScheme
+from ..topology import Topology
+from ..traffic import TrafficMatrix, link_loads
+
+__all__ = ["NetworkView", "LinkUtilizationRow", "format_link_report"]
+
+
+@dataclass(frozen=True)
+class LinkUtilizationRow:
+    """Offered utilization of one directed link."""
+
+    link_id: int
+    src: int
+    dst: int
+    utilization: float
+    load_bits: float
+    capacity: float
+
+
+class NetworkView:
+    """Model-driven visibility over one network scenario.
+
+    Binds a trained RouteNet (+ its scaler) to a concrete
+    (topology, routing, traffic) scenario, then answers the demo notebook's
+    questions: per-path delay, Top-N worst paths, per-link hot spots.
+    """
+
+    def __init__(
+        self,
+        model: RouteNet,
+        scaler: FeatureScaler,
+        topology: Topology,
+        routing: RoutingScheme,
+        traffic: TrafficMatrix,
+        include_load: bool = False,
+    ) -> None:
+        self.model = model
+        self.scaler = scaler
+        self.topology = topology
+        self.routing = routing
+        self.traffic = traffic
+        self._inputs = build_model_input(
+            topology, routing, traffic, scaler=scaler, include_load=include_load
+        )
+        self._predictions = model.predict(self._inputs, scaler)
+
+    @property
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        return self._inputs.pairs
+
+    def path_delay(self, src: int, dst: int) -> float:
+        """Predicted mean per-packet delay for one pair (seconds)."""
+        try:
+            idx = self._inputs.pairs.index((src, dst))
+        except ValueError:
+            raise KeyError(f"pair ({src}, {dst}) carries no traffic") from None
+        return float(self._predictions["delay"][idx])
+
+    def path_jitter(self, src: int, dst: int) -> float:
+        """Predicted delay variance for one pair (seconds^2)."""
+        if "jitter" not in self._predictions:
+            raise KeyError("model was trained without a jitter head")
+        idx = self._inputs.pairs.index((src, dst))
+        return float(self._predictions["jitter"][idx])
+
+    def delays(self) -> np.ndarray:
+        """Predicted delay per pair, ordered like :attr:`pairs`."""
+        return self._predictions["delay"].copy()
+
+    def top_delay_paths(self, n: int = 10) -> list[RankedPath]:
+        """The demo's headline view: Top-N paths with most predicted delay."""
+        return top_n_paths(self._inputs.pairs, self._predictions["delay"], n=n)
+
+    def mean_network_delay(self) -> float:
+        """Traffic-weighted average of predicted path delays."""
+        weights = np.array([self.traffic.rate(s, d) for s, d in self._inputs.pairs])
+        total = weights.sum()
+        if total == 0:
+            return float(self._predictions["delay"].mean())
+        return float((self._predictions["delay"] * weights).sum() / total)
+
+    def link_utilization(self) -> list[LinkUtilizationRow]:
+        """Offered per-link utilization, most loaded first (analytic)."""
+        loads = link_loads(self.topology, self.routing, self.traffic)
+        rows = [
+            LinkUtilizationRow(
+                link_id=link.id,
+                src=link.src,
+                dst=link.dst,
+                utilization=float(loads[link.id] / link.capacity),
+                load_bits=float(loads[link.id]),
+                capacity=link.capacity,
+            )
+            for link in self.topology.links
+        ]
+        rows.sort(key=lambda r: -r.utilization)
+        return rows
+
+
+def format_link_report(rows: list[LinkUtilizationRow], n: int = 10) -> str:
+    """Render the busiest links as a table."""
+    if not rows:
+        raise ValueError("no link rows to format")
+    header = f"{'link':>6s}  {'hop':>9s}  {'util':>7s}  {'load(b/s)':>12s}  {'cap(b/s)':>12s}"
+    lines = [header, "-" * len(header)]
+    for row in rows[:n]:
+        lines.append(
+            f"{row.link_id:>6d}  {row.src:>4d}->{row.dst:<4d} {row.utilization:>7.1%}"
+            f"  {row.load_bits:>12.0f}  {row.capacity:>12.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""What-if planning studies driven by RouteNet predictions.
+
+The demo's "network planning" examples answer counterfactual questions
+without re-simulating: what happens to path delays if traffic grows 20%, or
+if a backbone link fails and flows reroute?  Because a RouteNet forward pass
+costs milliseconds (vs. seconds-to-minutes of packet-level simulation),
+these sweeps become interactive — the paper's core cost argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import FeatureScaler, RouteNet, build_model_input
+from ..errors import TopologyError
+from ..routing import RoutingScheme
+from ..topology import Topology
+from ..traffic import TrafficMatrix
+
+__all__ = ["WhatIfResult", "traffic_scaling_whatif", "link_failure_whatif"]
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Predicted per-pair delays for one counterfactual scenario."""
+
+    label: str
+    pairs: tuple[tuple[int, int], ...]
+    delay: np.ndarray
+
+    def mean_delay(self) -> float:
+        return float(self.delay.mean())
+
+    def worst_pair(self) -> tuple[tuple[int, int], float]:
+        idx = int(np.argmax(self.delay))
+        return self.pairs[idx], float(self.delay[idx])
+
+
+def _predict(
+    model: RouteNet,
+    scaler: FeatureScaler,
+    topology: Topology,
+    routing: RoutingScheme,
+    traffic: TrafficMatrix,
+    label: str,
+    include_load: bool = False,
+) -> WhatIfResult:
+    inputs = build_model_input(
+        topology, routing, traffic, scaler=scaler, include_load=include_load
+    )
+    pred = model.predict(inputs, scaler)
+    return WhatIfResult(label=label, pairs=inputs.pairs, delay=pred["delay"])
+
+
+def traffic_scaling_whatif(
+    model: RouteNet,
+    scaler: FeatureScaler,
+    topology: Topology,
+    routing: RoutingScheme,
+    traffic: TrafficMatrix,
+    factors: tuple[float, ...] = (0.8, 1.0, 1.2, 1.5),
+    include_load: bool = False,
+) -> list[WhatIfResult]:
+    """Predicted delays under uniformly scaled traffic.
+
+    Returns one :class:`WhatIfResult` per factor, in the given order.
+    """
+    if not factors:
+        raise ValueError("no scaling factors given")
+    return [
+        _predict(
+            model,
+            scaler,
+            topology,
+            routing,
+            traffic.scaled(f),
+            label=f"traffic x{f:.2f}",
+            include_load=include_load,
+        )
+        for f in factors
+    ]
+
+
+def link_failure_whatif(
+    model: RouteNet,
+    scaler: FeatureScaler,
+    topology: Topology,
+    traffic: TrafficMatrix,
+    failed_edge: tuple[int, int],
+    include_load: bool = False,
+) -> tuple[WhatIfResult, WhatIfResult]:
+    """Predicted delays before and after one undirected edge fails.
+
+    Both scenarios use shortest-path routing (flows reroute after the
+    failure).  The surviving topology must remain connected.
+
+    Returns:
+        ``(before, after)`` what-if results.  Pairs present in both results
+        can be compared element-wise via their ``pairs`` tuples.
+
+    Raises:
+        TopologyError: If removing the edge disconnects the network.
+    """
+    u, v = failed_edge
+    before_routing = RoutingScheme.shortest_path(topology)
+    before = _predict(
+        model, scaler, topology, before_routing, traffic,
+        label=f"baseline", include_load=include_load,
+    )
+
+    degraded = topology.without_edge(u, v)
+    if not degraded.is_connected():
+        raise TopologyError(
+            f"removing edge {u}<->{v} disconnects {topology.name}"
+        )
+    after_routing = RoutingScheme.shortest_path(degraded)
+    after = _predict(
+        model, scaler, degraded, after_routing, traffic,
+        label=f"fail {u}<->{v}", include_load=include_load,
+    )
+    return before, after

@@ -1,0 +1,25 @@
+"""Queueing-theory substrate: M/M/1(/B) formulas and the analytic baseline."""
+
+from .mm1 import (
+    mm1_mean_delay,
+    mm1_delay_variance,
+    mm1_mean_queue_length,
+    mm1b_blocking_probability,
+    mm1b_mean_queue_length,
+    mm1b_mean_delay,
+)
+from .network_model import QueueingNetworkModel, QueueingPrediction
+from .fixed_point import ReducedLoadModel, FixedPointSolution
+
+__all__ = [
+    "mm1_mean_delay",
+    "mm1_delay_variance",
+    "mm1_mean_queue_length",
+    "mm1b_blocking_probability",
+    "mm1b_mean_queue_length",
+    "mm1b_mean_delay",
+    "QueueingNetworkModel",
+    "QueueingPrediction",
+    "ReducedLoadModel",
+    "FixedPointSolution",
+]

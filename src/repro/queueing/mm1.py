@@ -1,0 +1,113 @@
+"""Closed-form M/M/1 and M/M/1/B queueing formulas.
+
+These are the building blocks of the analytic delay model the paper's
+introduction describes as the classical (and insufficient) alternative to
+learned models: "Analytic models (e.g., Queuing Theory) fail to achieve
+accurate estimation in real-world scenarios with complex configurations".
+
+All rates are in packets/second; all times in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "mm1_mean_delay",
+    "mm1_delay_variance",
+    "mm1_mean_queue_length",
+    "mm1b_blocking_probability",
+    "mm1b_mean_queue_length",
+    "mm1b_mean_delay",
+]
+
+
+def _check_rates(arrival_rate: float, service_rate: float) -> None:
+    if arrival_rate < 0:
+        raise ReproError(f"arrival rate must be non-negative, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ReproError(f"service rate must be positive, got {service_rate}")
+
+
+def mm1_mean_delay(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time ``W = 1 / (mu - lambda)``; infinite when unstable."""
+    _check_rates(arrival_rate, service_rate)
+    if arrival_rate >= service_rate:
+        return float("inf")
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_delay_variance(arrival_rate: float, service_rate: float) -> float:
+    """Variance of the sojourn time: ``1 / (mu - lambda)^2``.
+
+    The M/M/1 sojourn time is exponential with rate ``mu - lambda``, so its
+    variance is the square of its mean.
+    """
+    w = mm1_mean_delay(arrival_rate, service_rate)
+    return w * w
+
+
+def mm1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
+    """Mean number in system ``L = rho / (1 - rho)``."""
+    _check_rates(arrival_rate, service_rate)
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        return float("inf")
+    return rho / (1.0 - rho)
+
+
+def mm1b_blocking_probability(
+    arrival_rate: float, service_rate: float, buffer_packets: int
+) -> float:
+    """Blocking (drop) probability of an M/M/1/B system.
+
+    ``buffer_packets`` is the total number of packets the system can hold
+    (in service + waiting), i.e. the ``B`` in M/M/1/B.
+    """
+    _check_rates(arrival_rate, service_rate)
+    if buffer_packets < 1:
+        raise ReproError(f"buffer must hold at least 1 packet, got {buffer_packets}")
+    rho = arrival_rate / service_rate
+    b = buffer_packets
+    if rho == 0.0:
+        return 0.0
+    if np.isclose(rho, 1.0):
+        return 1.0 / (b + 1)
+    return float(rho**b * (1.0 - rho) / (1.0 - rho ** (b + 1)))
+
+
+def mm1b_mean_queue_length(
+    arrival_rate: float, service_rate: float, buffer_packets: int
+) -> float:
+    """Mean number in an M/M/1/B system."""
+    _check_rates(arrival_rate, service_rate)
+    rho = arrival_rate / service_rate
+    b = buffer_packets
+    if rho == 0.0:
+        return 0.0
+    if np.isclose(rho, 1.0):
+        return b / 2.0
+    top = rho * (1.0 - (b + 1) * rho**b + b * rho ** (b + 1))
+    bottom = (1.0 - rho) * (1.0 - rho ** (b + 1))
+    return float(top / bottom)
+
+
+def mm1b_mean_delay(
+    arrival_rate: float, service_rate: float, buffer_packets: int
+) -> float:
+    """Mean sojourn time of *accepted* packets in an M/M/1/B system.
+
+    By Little's law ``W = L / lambda_eff`` with
+    ``lambda_eff = lambda * (1 - P_block)``.  When no traffic is offered the
+    sojourn of a hypothetical packet is just its service time ``1/mu``.
+    """
+    _check_rates(arrival_rate, service_rate)
+    if arrival_rate == 0.0:
+        return 1.0 / service_rate
+    blocking = mm1b_blocking_probability(arrival_rate, service_rate, buffer_packets)
+    effective = arrival_rate * (1.0 - blocking)
+    if effective <= 0.0:
+        return float("inf")
+    return mm1b_mean_queue_length(arrival_rate, service_rate, buffer_packets) / effective

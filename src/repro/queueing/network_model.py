@@ -1,0 +1,140 @@
+"""Analytic end-to-end delay model (the queueing-theory baseline).
+
+Treats every link as an independent M/M/1 (or M/M/1/B) queue fed by the
+fluid load that routing assigns to it, and predicts a path's mean delay as
+the sum of per-link sojourn times plus propagation (a Jackson-network-style
+independence approximation).  Exactly the kind of classical model the paper
+says "fails to achieve accurate estimation in real-world scenarios" — it is
+implemented here as the comparison baseline for the learned model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing import RoutingScheme
+from ..topology import Topology
+from ..traffic import TrafficMatrix, link_loads, DEFAULT_MEAN_PACKET_BITS
+from .mm1 import (
+    mm1_mean_delay,
+    mm1_delay_variance,
+    mm1b_blocking_probability,
+    mm1b_mean_delay,
+)
+
+__all__ = ["QueueingNetworkModel", "QueueingPrediction"]
+
+
+@dataclass(frozen=True)
+class QueueingPrediction:
+    """Per-pair analytic estimates, ordered like the query pairs."""
+
+    pairs: list[tuple[int, int]]
+    delay: np.ndarray
+    jitter: np.ndarray
+
+
+class QueueingNetworkModel:
+    """Independent-queues analytic predictor of per-pair delay and jitter.
+
+    Args:
+        mean_packet_bits: Average packet size used to convert bit rates to
+            packet rates.
+        buffer_packets: If given, links are modeled as M/M/1/B with that
+            buffer; otherwise infinite-buffer M/M/1 (unstable links then
+            predict infinite delay).
+    """
+
+    def __init__(
+        self,
+        mean_packet_bits: float = DEFAULT_MEAN_PACKET_BITS,
+        buffer_packets: int | None = None,
+    ) -> None:
+        if mean_packet_bits <= 0:
+            raise ValueError(f"mean_packet_bits must be positive, got {mean_packet_bits}")
+        self.mean_packet_bits = mean_packet_bits
+        self.buffer_packets = buffer_packets
+
+    def link_delays(
+        self,
+        topology: Topology,
+        routing: RoutingScheme,
+        traffic: TrafficMatrix,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-link mean sojourn time and sojourn variance."""
+        loads_bits = link_loads(topology, routing, traffic)
+        arrival_pps = loads_bits / self.mean_packet_bits
+        service_pps = topology.capacities() / self.mean_packet_bits
+        delays = np.empty(topology.num_links)
+        variances = np.empty(topology.num_links)
+        for i, (lam, mu) in enumerate(zip(arrival_pps, service_pps)):
+            if self.buffer_packets is None:
+                delays[i] = mm1_mean_delay(lam, mu)
+            else:
+                delays[i] = mm1b_mean_delay(lam, mu, self.buffer_packets)
+            # Jitter uses the (possibly diverging) M/M/1 sojourn variance;
+            # for finite buffers this is an upper-bound approximation.
+            variances[i] = mm1_delay_variance(lam, mu) if lam < mu else delays[i] ** 2
+        return delays, variances
+
+    def predict(
+        self,
+        topology: Topology,
+        routing: RoutingScheme,
+        traffic: TrafficMatrix,
+        pairs: list[tuple[int, int]] | None = None,
+    ) -> QueueingPrediction:
+        """Predict mean delay and jitter for each pair.
+
+        Args:
+            pairs: Pairs to evaluate; defaults to every routed pair with
+                positive demand.
+        """
+        if pairs is None:
+            pairs = [p for p in traffic.nonzero_pairs() if p in routing]
+        link_delay, link_var = self.link_delays(topology, routing, traffic)
+        prop = np.array([l.propagation_delay for l in topology.links])
+        delay = np.empty(len(pairs))
+        jitter = np.empty(len(pairs))
+        for i, (s, d) in enumerate(pairs):
+            path = routing.link_path(s, d)
+            idx = np.fromiter(path, dtype=np.intp)
+            delay[i] = float(link_delay[idx].sum() + prop[idx].sum())
+            jitter[i] = float(link_var[idx].sum())
+        return QueueingPrediction(pairs=list(pairs), delay=delay, jitter=jitter)
+
+    def predict_loss(
+        self,
+        topology: Topology,
+        routing: RoutingScheme,
+        traffic: TrafficMatrix,
+        pairs: list[tuple[int, int]] | None = None,
+    ) -> np.ndarray:
+        """Analytic per-pair packet-loss estimate.
+
+        Each link drops with its M/M/1/B blocking probability; a path's loss
+        is ``1 - prod(1 - P_block_l)`` under link independence.  Requires a
+        finite ``buffer_packets`` (infinite buffers never drop).
+
+        Raises:
+            ValueError: If the model was built without a finite buffer.
+        """
+        if self.buffer_packets is None:
+            raise ValueError("loss prediction needs a finite buffer_packets")
+        if pairs is None:
+            pairs = [p for p in traffic.nonzero_pairs() if p in routing]
+        arrival_pps = link_loads(topology, routing, traffic) / self.mean_packet_bits
+        service_pps = topology.capacities() / self.mean_packet_bits
+        blocking = np.array(
+            [
+                mm1b_blocking_probability(lam, mu, self.buffer_packets)
+                for lam, mu in zip(arrival_pps, service_pps)
+            ]
+        )
+        loss = np.empty(len(pairs))
+        for i, (s, d) in enumerate(pairs):
+            idx = np.fromiter(routing.link_path(s, d), dtype=np.intp)
+            loss[i] = 1.0 - float(np.prod(1.0 - blocking[idx]))
+        return loss

@@ -1,0 +1,36 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component in the library (topology generators, routing
+randomization, traffic matrices, the packet simulator, weight init, training
+shuffles) takes an explicit ``numpy.random.Generator``.  This module provides
+the single blessed way of creating them, plus stream-splitting so independent
+subsystems never share a stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "split_rng", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 1234
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Create (or pass through) a ``numpy.random.Generator``.
+
+    Args:
+        seed: ``None`` for :data:`DEFAULT_SEED`, an int seed, or an existing
+            generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def split_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    if n < 1:
+        raise ValueError(f"need at least one child stream, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,13 @@
+"""Routing substrate: shortest paths, k-shortest paths, routing schemes."""
+
+from .shortest_path import dijkstra, shortest_path, all_pairs_shortest_paths
+from .ksp import k_shortest_paths
+from .schemes import RoutingScheme
+
+__all__ = [
+    "dijkstra",
+    "shortest_path",
+    "all_pairs_shortest_paths",
+    "k_shortest_paths",
+    "RoutingScheme",
+]

@@ -1,0 +1,113 @@
+"""Shortest-path algorithms (implemented from scratch; networkx is used only
+in tests as an oracle).
+
+Weights are per-directed-link, indexed by link id.  Ties are broken
+deterministically by node id so routing schemes are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..topology import Topology
+
+__all__ = ["dijkstra", "shortest_path", "all_pairs_shortest_paths"]
+
+
+def dijkstra(
+    topology: Topology,
+    source: int,
+    weights: Sequence[float] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-source shortest paths.
+
+    Args:
+        topology: The network.
+        source: Source node.
+        weights: Per-link weights (defaults to 1.0 per hop).  Must be
+            non-negative.
+
+    Returns:
+        ``(dist, prev)`` where ``dist[v]`` is the distance from ``source``
+        and ``prev[v]`` is the predecessor node on the best path (-1 for the
+        source and for unreachable nodes).
+    """
+    n = topology.num_nodes
+    if not 0 <= source < n:
+        raise RoutingError(f"source node {source} outside [0, {n})")
+    if weights is None:
+        w = np.ones(topology.num_links)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (topology.num_links,):
+            raise RoutingError(
+                f"weights must have one entry per link ({topology.num_links}), got {w.shape}"
+            )
+        if (w < 0).any():
+            raise RoutingError("negative link weights are not supported")
+
+    dist = np.full(n, np.inf)
+    prev = np.full(n, -1, dtype=int)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    done = np.zeros(n, dtype=bool)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for link in topology.out_links(u):
+            v = link.dst
+            nd = d + w[link.id]
+            # Strict inequality plus heap ordering by (distance, node) keeps
+            # tie-breaking deterministic.
+            if nd < dist[v] - 1e-15:
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, prev
+
+
+def _walk_back(prev: np.ndarray, source: int, target: int) -> list[int]:
+    path = [target]
+    while path[-1] != source:
+        p = int(prev[path[-1]])
+        if p < 0:
+            raise RoutingError(f"node {target} unreachable from {source}")
+        path.append(p)
+    path.reverse()
+    return path
+
+
+def shortest_path(
+    topology: Topology,
+    source: int,
+    target: int,
+    weights: Sequence[float] | None = None,
+) -> list[int]:
+    """Shortest path from ``source`` to ``target`` as a node sequence."""
+    if source == target:
+        raise RoutingError("source and target must differ")
+    _, prev = dijkstra(topology, source, weights)
+    return _walk_back(prev, source, target)
+
+
+def all_pairs_shortest_paths(
+    topology: Topology,
+    weights: Sequence[float] | None = None,
+) -> dict[tuple[int, int], list[int]]:
+    """Shortest path (node sequence) for every ordered node pair."""
+    paths: dict[tuple[int, int], list[int]] = {}
+    for source in range(topology.num_nodes):
+        dist, prev = dijkstra(topology, source, weights)
+        for target in range(topology.num_nodes):
+            if target == source:
+                continue
+            if not np.isfinite(dist[target]):
+                raise RoutingError(f"node {target} unreachable from {source}")
+            paths[(source, target)] = _walk_back(prev, source, target)
+    return paths

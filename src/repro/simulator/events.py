@@ -1,0 +1,59 @@
+"""Event queue for the discrete-event simulator.
+
+A thin wrapper over ``heapq`` that (i) breaks simultaneous-event ties with a
+monotonic sequence number so execution order is deterministic, and (ii)
+refuses events scheduled in the past, which turns subtle causality bugs into
+immediate errors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from ..errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the most recently popped event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at ``time`` (must not precede current time)."""
+        if time < self._now:
+            raise SimulationError(
+                f"event scheduled at t={time} before current time t={self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._counter, payload))
+        self._counter += 1
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        time, _, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event without removing it."""
+        if not self._heap:
+            raise SimulationError("peek on an empty event queue")
+        return self._heap[0][0]

@@ -1,0 +1,45 @@
+"""Packet representation for the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Packet"]
+
+
+@dataclass(slots=True)
+class Packet:
+    """One packet in flight.
+
+    Attributes:
+        flow: Index of the (src, dst) flow this packet belongs to.
+        size_bits: Packet length in bits (drives transmission time).
+        created_at: Simulation time the packet entered the network.
+        route: Link-id sequence the packet must traverse.
+        hop: Index into ``route`` of the link currently being traversed.
+        record: Whether this packet contributes to statistics (False during
+            the warm-up transient).
+        priority: Scheduling class, 0 = highest (used when links run
+            multiple priority bands).
+    """
+
+    flow: int
+    size_bits: float
+    created_at: float
+    route: tuple[int, ...]
+    hop: int = 0
+    record: bool = True
+    priority: int = 0
+
+    @property
+    def remaining_hops(self) -> int:
+        return len(self.route) - self.hop
+
+    def current_link(self) -> int:
+        """Link id the packet is queued on / transmitted over."""
+        return self.route[self.hop]
+
+    def advance(self) -> bool:
+        """Move to the next hop; returns True if the packet is delivered."""
+        self.hop += 1
+        return self.hop >= len(self.route)

@@ -1,0 +1,116 @@
+"""Per-link FIFO output queues with finite buffers."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import SimulationError
+from ..topology import Link
+from .packet import Packet
+
+__all__ = ["LinkQueue"]
+
+
+class LinkQueue:
+    """Output queue + transmitter for one directed link.
+
+    Models the standard store-and-forward output port: at most one packet is
+    being serialized at any time at ``capacity`` bits/s; up to ``buffer_packets``
+    packets may be held in total (in service + waiting).  Arrivals beyond that
+    are dropped (tail drop).
+
+    With ``priority_bands > 1`` the queue becomes a non-preemptive
+    strict-priority scheduler: each packet's ``priority`` (0 = highest)
+    selects a band, the transmitter always serves the lowest-numbered
+    non-empty band next, and the buffer is shared across bands.
+    """
+
+    def __init__(
+        self, link: Link, buffer_packets: int = 64, priority_bands: int = 1
+    ) -> None:
+        if buffer_packets < 1:
+            raise SimulationError(f"buffer must hold at least 1 packet, got {buffer_packets}")
+        if priority_bands < 1:
+            raise SimulationError(f"need at least 1 priority band, got {priority_bands}")
+        self.link = link
+        self.buffer_packets = buffer_packets
+        self.priority_bands = priority_bands
+        self._bands: list[deque[Packet]] = [deque() for _ in range(priority_bands)]
+        self._in_service: Packet | None = None
+        # Counters for utilization / occupancy statistics.
+        self.busy_time = 0.0
+        self.bits_sent = 0.0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Packets currently held (in service + waiting)."""
+        waiting = sum(len(band) for band in self._bands)
+        return waiting + (1 if self._in_service is not None else 0)
+
+    @property
+    def is_idle(self) -> bool:
+        return self._in_service is None
+
+    def _band_for(self, packet: Packet) -> deque[Packet]:
+        if not 0 <= packet.priority < self.priority_bands:
+            raise SimulationError(
+                f"packet priority {packet.priority} outside "
+                f"[0, {self.priority_bands})"
+            )
+        return self._bands[packet.priority]
+
+    def try_enqueue(self, packet: Packet) -> bool:
+        """Accept or tail-drop ``packet``; returns True if accepted.
+
+        The caller is responsible for starting transmission (via
+        :meth:`start_service`) when the queue was idle.
+        """
+        band = self._band_for(packet)
+        if self.occupancy >= self.buffer_packets:
+            self.packets_dropped += 1
+            return False
+        band.append(packet)
+        return True
+
+    def start_service(self, now: float) -> tuple[Packet, float]:
+        """Begin transmitting the next packet (highest band, FIFO within).
+
+        Returns:
+            ``(packet, completion_time)``.
+
+        Raises:
+            SimulationError: If the transmitter is busy or the queue empty.
+        """
+        if self._in_service is not None:
+            raise SimulationError(f"link {self.link.id} transmitter already busy")
+        for band in self._bands:
+            if band:
+                packet = band.popleft()
+                break
+        else:
+            raise SimulationError(f"link {self.link.id} has no packet to serve")
+        self._in_service = packet
+        service_time = packet.size_bits / self.link.capacity
+        return packet, now + service_time
+
+    def finish_service(self, now: float) -> Packet:
+        """Complete the in-flight transmission and update counters."""
+        if self._in_service is None:
+            raise SimulationError(f"link {self.link.id} finished service while idle")
+        packet = self._in_service
+        self._in_service = None
+        self.busy_time += packet.size_bits / self.link.capacity
+        self.bits_sent += packet.size_bits
+        self.packets_sent += 1
+        return packet
+
+    def has_waiting(self) -> bool:
+        return any(self._bands)
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the transmitter spent sending."""
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive, got {duration}")
+        return min(1.0, self.busy_time / duration)

@@ -1,0 +1,149 @@
+"""Statistics collection for the packet-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FlowAccumulator", "FlowStats", "LinkStats", "SimulationResult"]
+
+
+class FlowAccumulator:
+    """Streaming statistics for one flow's delays.
+
+    Mean/variance use Welford's algorithm; optional quantiles use reservoir
+    sampling (Vitter's algorithm R) with ``reservoir_size`` slots, giving
+    unbiased percentile estimates without storing every delay.
+    """
+
+    __slots__ = (
+        "count", "_mean", "_m2", "min_delay", "max_delay",
+        "_reservoir", "_reservoir_size", "_rng",
+    )
+
+    def __init__(
+        self,
+        reservoir_size: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min_delay = np.inf
+        self.max_delay = 0.0
+        self._reservoir_size = reservoir_size
+        self._reservoir: list[float] = []
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def add(self, delay: float) -> None:
+        self.count += 1
+        diff = delay - self._mean
+        self._mean += diff / self.count
+        self._m2 += diff * (delay - self._mean)
+        if delay < self.min_delay:
+            self.min_delay = delay
+        if delay > self.max_delay:
+            self.max_delay = delay
+        if self._reservoir_size > 0:
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(delay)
+            else:
+                slot = int(self._rng.integers(0, self.count))
+                if slot < self._reservoir_size:
+                    self._reservoir[slot] = delay
+
+    def quantile(self, q: float) -> float:
+        """Reservoir-estimated delay quantile; NaN without a reservoir."""
+        if not self._reservoir:
+            return float("nan")
+        return float(np.quantile(self._reservoir, q))
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Population variance of observed delays (the paper's 'jitter')."""
+        return self._m2 / self.count if self.count else float("nan")
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Final per-flow delivery statistics.
+
+    ``p50/p90/p99`` are reservoir estimates, NaN unless the simulation ran
+    with ``delay_quantiles=True``.
+    """
+
+    src: int
+    dst: int
+    delivered: int
+    dropped: int
+    mean_delay: float
+    jitter: float  # delay variance
+    min_delay: float
+    max_delay: float
+    p50: float = float("nan")
+    p90: float = float("nan")
+    p99: float = float("nan")
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.delivered + self.dropped
+        return self.dropped / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Final per-link counters."""
+
+    link_id: int
+    utilization: float
+    packets_sent: int
+    packets_dropped: int
+    bits_sent: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a simulation run reports.
+
+    ``flows`` maps (src, dst) to :class:`FlowStats` for every pair with
+    positive demand; ``links`` is indexed by link id.  The global counters
+    satisfy ``generated == delivered + dropped + in_flight`` (checked by the
+    simulator before returning).
+    """
+
+    duration: float
+    warmup: float
+    flows: dict[tuple[int, int], FlowStats]
+    links: list[LinkStats]
+    generated: int
+    delivered: int
+    dropped: int
+    in_flight: int
+    events_processed: int = 0
+    wall_time_seconds: float = 0.0
+
+    def delay_matrix(self, num_nodes: int) -> np.ndarray:
+        """Dense (n, n) matrix of mean delays; NaN where no flow/observation."""
+        out = np.full((num_nodes, num_nodes), np.nan)
+        for (s, d), stats in self.flows.items():
+            out[s, d] = stats.mean_delay
+        return out
+
+    def mean_delay_vector(self, pairs: list[tuple[int, int]]) -> np.ndarray:
+        """Mean delay per pair, ordered like ``pairs`` (NaN when missing)."""
+        return np.array(
+            [
+                self.flows[p].mean_delay if p in self.flows else np.nan
+                for p in pairs
+            ]
+        )
+
+    @property
+    def overall_loss_rate(self) -> float:
+        total = self.delivered + self.dropped
+        return self.dropped / total if total else 0.0

@@ -1,0 +1,38 @@
+"""Network topologies: graph model, reference backbones, synthetic generators."""
+
+from .graph import Link, Topology
+from .library import (
+    nsfnet,
+    geant2,
+    gbn,
+    abilene,
+    by_name,
+    TOPOLOGY_LIBRARY,
+    DEFAULT_CAPACITY,
+)
+from .generators import synthetic_topology, variable_size_family, CAPACITY_TIERS
+from .geo import (
+    NODE_POSITIONS,
+    haversine_km,
+    edge_propagation_delay,
+    with_geographic_delays,
+)
+
+__all__ = [
+    "Link",
+    "Topology",
+    "nsfnet",
+    "geant2",
+    "gbn",
+    "abilene",
+    "by_name",
+    "TOPOLOGY_LIBRARY",
+    "DEFAULT_CAPACITY",
+    "synthetic_topology",
+    "variable_size_family",
+    "CAPACITY_TIERS",
+    "NODE_POSITIONS",
+    "haversine_km",
+    "edge_propagation_delay",
+    "with_geographic_delays",
+]

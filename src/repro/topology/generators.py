@@ -1,0 +1,124 @@
+"""Synthetic topology generators.
+
+The paper trains on a 50-node *synthetically generated* topology and claims
+generalization over "topologies of variable size (up to 50 nodes)".  These
+generators reproduce that setup: seeded random connected graphs with bounded
+degree and realistic capacity assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..random import make_rng
+from .graph import Topology
+from .library import DEFAULT_CAPACITY
+
+__all__ = ["synthetic_topology", "variable_size_family", "CAPACITY_TIERS"]
+
+#: Capacity tiers used by heterogeneous assignment (bits/s); mirrors the
+#: 10k/25k/40k tiering of the public RouteNet datasets.
+CAPACITY_TIERS: tuple[float, ...] = (10_000.0, 25_000.0, 40_000.0)
+
+
+def synthetic_topology(
+    num_nodes: int,
+    seed: int | np.random.Generator | None = None,
+    mean_degree: float = 3.0,
+    max_degree: int = 8,
+    capacity: float | None = DEFAULT_CAPACITY,
+    capacity_tiers: Sequence[float] = CAPACITY_TIERS,
+    name: str | None = None,
+) -> Topology:
+    """Generate a random connected topology.
+
+    The construction starts from a random spanning tree (guaranteeing
+    connectivity) and then adds random extra edges until the target mean
+    degree is met, preferring low-degree nodes so the graph stays
+    backbone-like instead of hub-dominated.
+
+    Args:
+        num_nodes: Number of nodes (>= 2).
+        seed: Seed or generator for reproducibility.
+        mean_degree: Target average undirected degree (>= 2 for useful nets).
+        max_degree: Per-node degree cap.
+        capacity: Uniform link capacity; ``None`` samples from
+            ``capacity_tiers`` per edge instead.
+        capacity_tiers: Tier values used when ``capacity is None``.
+        name: Topology name; defaults to ``synthetic-<n>``.
+
+    Returns:
+        A connected :class:`Topology`.
+    """
+    if num_nodes < 2:
+        raise TopologyError(f"need at least 2 nodes, got {num_nodes}")
+    if mean_degree < 1.0:
+        raise TopologyError(f"mean_degree must be >= 1, got {mean_degree}")
+    rng = make_rng(seed)
+
+    # Random spanning tree: attach each new node to a uniformly random
+    # already-placed node (random recursive tree).
+    order = rng.permutation(num_nodes)
+    edges: set[tuple[int, int]] = set()
+    degree = np.zeros(num_nodes, dtype=int)
+    for i in range(1, num_nodes):
+        u = int(order[i])
+        v = int(order[rng.integers(0, i)])
+        edges.add((min(u, v), max(u, v)))
+        degree[u] += 1
+        degree[v] += 1
+
+    target_edges = max(num_nodes - 1, int(round(mean_degree * num_nodes / 2.0)))
+    attempts = 0
+    max_attempts = 50 * target_edges + 100
+    while len(edges) < target_edges and attempts < max_attempts:
+        attempts += 1
+        candidates = np.flatnonzero(degree < max_degree)
+        if candidates.size < 2:
+            break
+        # Bias toward low-degree nodes to keep the degree distribution flat.
+        weights = 1.0 / (1.0 + degree[candidates].astype(float))
+        weights /= weights.sum()
+        u, v = rng.choice(candidates, size=2, replace=False, p=weights)
+        u, v = int(min(u, v)), int(max(u, v))
+        if (u, v) in edges:
+            continue
+        edges.add((u, v))
+        degree[u] += 1
+        degree[v] += 1
+
+    edge_list = sorted(edges)
+    if capacity is None:
+        caps = [float(rng.choice(capacity_tiers)) for _ in edge_list]
+    else:
+        caps = capacity
+    topo = Topology.from_edges(
+        num_nodes,
+        edge_list,
+        capacity=caps,
+        name=name or f"synthetic-{num_nodes}",
+    )
+    topo.validate()
+    return topo
+
+
+def variable_size_family(
+    sizes: Sequence[int],
+    seed: int | np.random.Generator | None = None,
+    **kwargs: object,
+) -> list[Topology]:
+    """Generate one synthetic topology per requested size.
+
+    Used by the "variable size up to 50 nodes" generalization experiments.
+    Each topology gets an independent child RNG stream, so the family is
+    reproducible as a whole and element-wise stable under reordering.
+    """
+    rng = make_rng(seed)
+    seeds = rng.integers(0, 2**63 - 1, size=len(sizes))
+    return [
+        synthetic_topology(int(n), seed=int(s), name=f"synthetic-{n}-v{i}", **kwargs)
+        for i, (n, s) in enumerate(zip(sizes, seeds))
+    ]

@@ -1,0 +1,170 @@
+"""Geographic positions and propagation delays for reference topologies.
+
+The base library models propagation as zero (queueing dominates at the
+scaled-down capacities).  For studies where speed-of-light latency matters
+— e.g. comparing transcontinental vs metro paths — this module attaches
+approximate site coordinates to each reference backbone and derives
+per-edge propagation delays from great-circle distance through fiber
+(refractive index ~1.47, i.e. ~204,000 km/s, with a 1.3x route-vs-geodesic
+detour factor).
+
+Coordinates are approximate (city centroids) and documented as such; they
+produce realistic *relative* latencies, which is all the models consume.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import TopologyError
+from .graph import Link, Topology
+
+__all__ = [
+    "NODE_POSITIONS",
+    "haversine_km",
+    "edge_propagation_delay",
+    "with_geographic_delays",
+    "SPEED_IN_FIBER_KM_S",
+    "ROUTE_DETOUR_FACTOR",
+]
+
+SPEED_IN_FIBER_KM_S = 204_000.0  # c / 1.47
+ROUTE_DETOUR_FACTOR = 1.3  # fiber routes are longer than geodesics
+
+#: Approximate (latitude, longitude) per node for each reference topology.
+NODE_POSITIONS: dict[str, dict[int, tuple[float, float]]] = {
+    "nsfnet": {
+        0: (47.61, -122.33),   # Seattle
+        1: (37.44, -122.14),   # Palo Alto
+        2: (32.72, -117.16),   # San Diego
+        3: (40.76, -111.89),   # Salt Lake City
+        4: (40.01, -105.27),   # Boulder
+        5: (29.76, -95.37),    # Houston
+        6: (40.81, -96.68),    # Lincoln
+        7: (40.12, -88.24),    # Champaign
+        8: (40.44, -79.99),    # Pittsburgh
+        9: (33.75, -84.39),    # Atlanta
+        10: (42.28, -83.74),   # Ann Arbor
+        11: (42.44, -76.50),   # Ithaca
+        12: (38.99, -76.94),   # College Park
+        13: (40.35, -74.66),   # Princeton
+    },
+    "abilene": {
+        0: (47.61, -122.33),   # Seattle
+        1: (37.37, -122.04),   # Sunnyvale
+        2: (34.05, -118.24),   # Los Angeles
+        3: (39.74, -104.99),   # Denver
+        4: (29.76, -95.37),    # Houston
+        5: (39.10, -94.58),    # Kansas City
+        6: (39.77, -86.16),    # Indianapolis
+        7: (33.75, -84.39),    # Atlanta
+        8: (41.88, -87.63),    # Chicago
+        9: (38.91, -77.04),    # Washington DC
+        10: (40.71, -74.01),   # New York
+    },
+    "gbn": {
+        0: (54.32, 10.14),     # Kiel
+        1: (53.55, 9.99),      # Hamburg
+        2: (53.08, 8.81),      # Bremen
+        3: (52.37, 9.74),      # Hannover
+        4: (52.52, 13.41),     # Berlin
+        5: (51.46, 7.01),      # Essen
+        6: (51.51, 7.47),      # Dortmund
+        7: (50.94, 6.96),      # Koeln
+        8: (50.11, 8.68),      # Frankfurt
+        9: (51.34, 12.37),     # Leipzig
+        10: (49.49, 8.47),     # Mannheim
+        11: (49.01, 8.40),     # Karlsruhe
+        12: (48.78, 9.18),     # Stuttgart
+        13: (49.45, 11.08),    # Nuernberg
+        14: (48.40, 9.99),     # Ulm
+        15: (48.14, 11.58),    # Muenchen
+        16: (51.05, 13.74),    # Dresden
+    },
+    "geant2": {
+        0: (38.72, -9.14),     # Lisbon
+        1: (51.51, -0.13),     # London
+        2: (40.42, -3.70),     # Madrid
+        3: (48.86, 2.35),      # Paris
+        4: (53.35, -6.26),     # Dublin
+        5: (46.20, 6.14),      # Geneva
+        6: (50.85, 4.35),      # Brussels
+        7: (41.39, 2.17),      # Barcelona
+        8: (50.11, 8.68),      # Frankfurt
+        9: (52.37, 4.90),      # Amsterdam
+        10: (55.68, 12.57),    # Copenhagen
+        11: (45.46, 9.19),     # Milan
+        12: (48.21, 16.37),    # Vienna
+        13: (52.52, 13.41),    # Berlin
+        14: (50.08, 14.44),    # Prague
+        15: (47.50, 19.04),    # Budapest
+        16: (44.43, 26.10),    # Bucharest
+        17: (41.90, 12.50),    # Rome
+        18: (46.05, 14.51),    # Ljubljana
+        19: (59.33, 18.07),    # Stockholm
+        20: (37.98, 23.73),    # Athens
+        21: (48.15, 17.11),    # Bratislava
+        22: (52.23, 21.01),    # Warsaw
+        23: (60.17, 24.94),    # Helsinki
+    },
+}
+
+
+def haversine_km(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Great-circle distance between two (lat, lon) points, in km."""
+    lat1, lon1 = map(math.radians, a)
+    lat2, lon2 = map(math.radians, b)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * 6371.0 * math.asin(math.sqrt(h))
+
+
+def edge_propagation_delay(
+    a: tuple[float, float],
+    b: tuple[float, float],
+    detour_factor: float = ROUTE_DETOUR_FACTOR,
+) -> float:
+    """One-way propagation delay (seconds) for a fiber between two sites."""
+    return haversine_km(a, b) * detour_factor / SPEED_IN_FIBER_KM_S
+
+
+def with_geographic_delays(
+    topology: Topology,
+    positions: dict[int, tuple[float, float]] | None = None,
+    detour_factor: float = ROUTE_DETOUR_FACTOR,
+) -> Topology:
+    """A copy of ``topology`` with distance-derived propagation delays.
+
+    Args:
+        positions: Node coordinates; defaults to the built-in table for the
+            topology's name.
+
+    Raises:
+        TopologyError: If no positions are known for the topology or a node
+            lacks coordinates.
+    """
+    if positions is None:
+        try:
+            positions = NODE_POSITIONS[topology.name]
+        except KeyError:
+            raise TopologyError(
+                f"no built-in coordinates for topology {topology.name!r}; "
+                f"pass positions explicitly"
+            ) from None
+    links = []
+    for link in topology.links:
+        try:
+            a, b = positions[link.src], positions[link.dst]
+        except KeyError as exc:
+            raise TopologyError(f"node {exc} has no coordinates") from None
+        links.append(
+            Link(
+                link.id,
+                link.src,
+                link.dst,
+                link.capacity,
+                edge_propagation_delay(a, b, detour_factor),
+            )
+        )
+    return Topology(topology.num_nodes, links, name=topology.name)

@@ -1,0 +1,265 @@
+"""Network topology model.
+
+A :class:`Topology` is a set of nodes joined by *directed* links (every
+physical cable is two directed links, one per direction), each with a
+transmission capacity in bits/s and a propagation delay in seconds.  Directed
+links are the unit the rest of the library works with: routing produces
+sequences of link ids, the simulator attaches one FIFO queue per link, and
+RouteNet keeps one hidden state per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..errors import TopologyError
+
+__all__ = ["Link", "Topology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link ``src -> dst``.
+
+    Attributes:
+        id: Dense index in ``[0, num_links)``.
+        src: Source node.
+        dst: Destination node.
+        capacity: Transmission rate in bits/s.
+        propagation_delay: Fixed per-traversal latency in seconds.
+    """
+
+    id: int
+    src: int
+    dst: int
+    capacity: float
+    propagation_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise TopologyError(f"self-loop link at node {self.src}")
+        if self.capacity <= 0:
+            raise TopologyError(f"link {self.src}->{self.dst} has capacity {self.capacity}")
+        if self.propagation_delay < 0:
+            raise TopologyError(
+                f"link {self.src}->{self.dst} has negative propagation delay"
+            )
+
+
+class Topology:
+    """An immutable directed network graph with per-link capacities."""
+
+    def __init__(self, num_nodes: int, links: Sequence[Link], name: str = "topology") -> None:
+        if num_nodes < 2:
+            raise TopologyError(f"a network needs at least 2 nodes, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.name = name
+        self.links: tuple[Link, ...] = tuple(links)
+        self._index: dict[tuple[int, int], int] = {}
+        self._adjacency: dict[int, list[int]] = {n: [] for n in range(num_nodes)}
+        for i, link in enumerate(self.links):
+            if link.id != i:
+                raise TopologyError(f"link ids must be dense; got {link.id} at position {i}")
+            if not (0 <= link.src < num_nodes and 0 <= link.dst < num_nodes):
+                raise TopologyError(f"link {link.src}->{link.dst} references unknown node")
+            key = (link.src, link.dst)
+            if key in self._index:
+                raise TopologyError(f"duplicate link {link.src}->{link.dst}")
+            self._index[key] = i
+            self._adjacency[link.src].append(i)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        capacity: float | Sequence[float] = 10_000.0,
+        propagation_delay: float | Sequence[float] = 0.0,
+        name: str = "topology",
+    ) -> "Topology":
+        """Build a topology from undirected edges (each becomes two links).
+
+        Args:
+            num_nodes: Node count; nodes are ``0..num_nodes-1``.
+            edges: Undirected ``(u, v)`` pairs.
+            capacity: Either one capacity for every link or one value per
+                undirected edge (applied to both directions).
+            propagation_delay: Same convention as ``capacity``.
+            name: Human-readable topology name.
+        """
+        edges = list(edges)
+        caps = cls._per_edge(capacity, len(edges), "capacity")
+        delays = cls._per_edge(propagation_delay, len(edges), "propagation_delay")
+        links: list[Link] = []
+        for (u, v), cap, delay in zip(edges, caps, delays):
+            links.append(Link(len(links), u, v, cap, delay))
+            links.append(Link(len(links), v, u, cap, delay))
+        return cls(num_nodes, links, name=name)
+
+    @staticmethod
+    def _per_edge(value: float | Sequence[float], n: int, what: str) -> list[float]:
+        if np.isscalar(value):
+            return [float(value)] * n
+        values = [float(v) for v in value]
+        if len(values) != n:
+            raise TopologyError(f"{what} list has {len(values)} entries for {n} edges")
+        return values
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def link_id(self, src: int, dst: int) -> int:
+        """Dense id of the directed link ``src -> dst``.
+
+        Raises:
+            TopologyError: If no such link exists.
+        """
+        try:
+            return self._index[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no link {src}->{dst} in {self.name}") from None
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._index
+
+    def out_links(self, node: int) -> list[Link]:
+        """Links departing ``node``."""
+        return [self.links[i] for i in self._adjacency[node]]
+
+    def neighbors(self, node: int) -> list[int]:
+        return [self.links[i].dst for i in self._adjacency[node]]
+
+    def degree(self, node: int) -> int:
+        return len(self._adjacency[node])
+
+    def node_pairs(self) -> Iterator[tuple[int, int]]:
+        """All ordered (src, dst) pairs with src != dst."""
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if src != dst:
+                    yield (src, dst)
+
+    def capacities(self) -> np.ndarray:
+        """Vector of link capacities, indexed by link id."""
+        return np.array([link.capacity for link in self.links])
+
+    # ------------------------------------------------------------------
+    # Validation / interop
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether every node can reach every other node over directed links."""
+        if self.num_nodes == 0:
+            return True
+        for start in (0,):  # directed graphs from undirected edges are symmetric
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for nb in self.neighbors(node):
+                    if nb not in seen:
+                        seen.add(nb)
+                        frontier.append(nb)
+            if len(seen) != self.num_nodes:
+                return False
+        # Also verify reverse reachability (asymmetric link sets are allowed).
+        reverse: dict[int, list[int]] = {n: [] for n in range(self.num_nodes)}
+        for link in self.links:
+            reverse[link.dst].append(link.src)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for nb in reverse[node]:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        return len(seen) == self.num_nodes
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` on a disconnected network."""
+        if not self.is_connected():
+            raise TopologyError(f"topology {self.name!r} is not strongly connected")
+
+    def without_edge(self, u: int, v: int) -> "Topology":
+        """A copy with the undirected edge ``u <-> v`` removed (both links).
+
+        Link ids are re-densified, so routing schemes must be recomputed on
+        the returned topology.  Used by link-failure what-if studies.
+
+        Raises:
+            TopologyError: If the edge does not exist in both directions.
+        """
+        doomed = {self.link_id(u, v), self.link_id(v, u)}
+        links = []
+        for link in self.links:
+            if link.id in doomed:
+                continue
+            links.append(
+                Link(
+                    len(links),
+                    link.src,
+                    link.dst,
+                    link.capacity,
+                    link.propagation_delay,
+                )
+            )
+        return Topology(self.num_nodes, links, name=f"{self.name}-minus-{u}-{v}")
+
+    def with_capacity(self, u: int, v: int, capacity: float) -> "Topology":
+        """A copy with the undirected edge ``u <-> v`` set to ``capacity``.
+
+        Link ids are preserved, so existing routing schemes remain valid on
+        the returned topology.  Used by capacity-upgrade what-if studies.
+        """
+        doomed = {self.link_id(u, v), self.link_id(v, u)}
+        links = [
+            Link(
+                link.id,
+                link.src,
+                link.dst,
+                capacity if link.id in doomed else link.capacity,
+                link.propagation_delay,
+            )
+            for link in self.links
+        ]
+        return Topology(self.num_nodes, links, name=self.name)
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """Export as a ``networkx.DiGraph`` (for tests and analysis)."""
+        g = nx.DiGraph(name=self.name)
+        g.add_nodes_from(range(self.num_nodes))
+        for link in self.links:
+            g.add_edge(
+                link.src,
+                link.dst,
+                id=link.id,
+                capacity=link.capacity,
+                propagation_delay=link.propagation_delay,
+            )
+        return g
+
+    def __repr__(self) -> str:
+        return f"Topology(name={self.name!r}, nodes={self.num_nodes}, links={self.num_links})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self.num_nodes == other.num_nodes
+            and self.links == other.links
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.links, self.name))

@@ -1,0 +1,141 @@
+"""Reference topologies used in the paper's evaluation.
+
+The demo trains on (i) the 14-node NSFNET topology and (ii) a 50-node
+synthetic topology, and evaluates generalization on the 24-node Geant2
+topology.  NSFNET below is the classic 14-node/21-edge T1 backbone used by
+the public RouteNet datasets.  Geant2 is a 24-node/38-edge reconstruction of
+the pan-European research backbone as distributed with those datasets; GBN
+(17-node German backbone) is included for extra evaluation variety.
+
+Capacities default to 10 kbit/s with a 1000-bit mean packet size, matching
+the scaled-down units of the public datasets (what matters to every model in
+this library is the traffic/capacity ratio, not absolute magnitudes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .graph import Topology
+
+__all__ = ["nsfnet", "geant2", "gbn", "abilene", "TOPOLOGY_LIBRARY", "by_name"]
+
+DEFAULT_CAPACITY = 10_000.0  # bits/s
+
+_NSFNET_EDGES: list[tuple[int, int]] = [
+    (0, 1), (0, 2), (0, 7),
+    (1, 2), (1, 3),
+    (2, 5),
+    (3, 4), (3, 10),
+    (4, 5), (4, 6),
+    (5, 9), (5, 13),
+    (6, 7),
+    (7, 8),
+    (8, 9), (8, 11), (8, 12),
+    (10, 11), (10, 12),
+    (11, 13),
+    (12, 13),
+]
+
+_GEANT2_EDGES: list[tuple[int, int]] = [
+    (0, 1), (0, 2),
+    (1, 3), (1, 6), (1, 9),
+    (2, 3), (2, 4),
+    (3, 5), (3, 6),
+    (4, 7),
+    (5, 8),
+    (6, 8), (6, 9),
+    (7, 8), (7, 11),
+    (8, 11), (8, 12), (8, 17), (8, 18), (8, 20),
+    (9, 10), (9, 12), (9, 13),
+    (10, 13),
+    (11, 14), (11, 20),
+    (12, 13), (12, 19), (12, 21),
+    (13, 14),
+    (14, 15),
+    (15, 16),
+    (16, 17),
+    (17, 18),
+    (18, 21),
+    (19, 23),
+    (21, 22),
+    (22, 23),
+]
+
+# Internet2/Abilene (11 PoPs, 14 trunks): Seattle(0), Sunnyvale(1), LA(2),
+# Denver(3), Houston(4), Kansas City(5), Indianapolis(6), Atlanta(7),
+# Chicago(8), Washington DC(9), New York(10).
+_ABILENE_EDGES: list[tuple[int, int]] = [
+    (0, 1), (0, 3),
+    (1, 2), (1, 3),
+    (2, 4),
+    (3, 5),
+    (4, 5), (4, 7),
+    (5, 6),
+    (6, 7), (6, 8),
+    (7, 9),
+    (8, 10),
+    (9, 10),
+]
+
+_GBN_EDGES: list[tuple[int, int]] = [
+    (0, 1), (0, 2),
+    (1, 2), (1, 9),
+    (2, 3), (2, 4),
+    (3, 4), (3, 6),
+    (4, 5), (4, 9),
+    (5, 6), (5, 8),
+    (6, 7),
+    (7, 8), (7, 10),
+    (8, 11),
+    (9, 10), (9, 13),
+    (10, 11), (10, 12),
+    (11, 12), (11, 14),
+    (12, 15),
+    (13, 14), (13, 16),
+    (14, 15), (14, 16),
+    (15, 16),
+]
+
+
+def nsfnet(capacity: float | Sequence[float] = DEFAULT_CAPACITY) -> Topology:
+    """The 14-node / 21-edge NSFNET backbone (training topology #1)."""
+    return Topology.from_edges(14, _NSFNET_EDGES, capacity=capacity, name="nsfnet")
+
+
+def geant2(capacity: float | Sequence[float] = DEFAULT_CAPACITY) -> Topology:
+    """The 24-node Geant2 backbone (the *unseen* evaluation topology)."""
+    return Topology.from_edges(24, _GEANT2_EDGES, capacity=capacity, name="geant2")
+
+
+def gbn(capacity: float | Sequence[float] = DEFAULT_CAPACITY) -> Topology:
+    """The 17-node German Backbone Network (extra evaluation topology)."""
+    return Topology.from_edges(17, _GBN_EDGES, capacity=capacity, name="gbn")
+
+
+def abilene(capacity: float | Sequence[float] = DEFAULT_CAPACITY) -> Topology:
+    """The 11-node Internet2/Abilene backbone (extra evaluation topology)."""
+    return Topology.from_edges(11, _ABILENE_EDGES, capacity=capacity, name="abilene")
+
+
+TOPOLOGY_LIBRARY = {
+    "nsfnet": nsfnet,
+    "geant2": geant2,
+    "gbn": gbn,
+    "abilene": abilene,
+}
+
+
+def by_name(name: str, capacity: float | Sequence[float] = DEFAULT_CAPACITY) -> Topology:
+    """Look up a reference topology by name.
+
+    Raises:
+        KeyError: For unknown names (listing the available ones).
+    """
+    try:
+        factory = TOPOLOGY_LIBRARY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {sorted(TOPOLOGY_LIBRARY)}"
+        ) from None
+    return factory(capacity=capacity)

@@ -1,0 +1,44 @@
+"""Traffic substrate: matrices, generators, packet arrival processes."""
+
+from .matrix import TrafficMatrix, link_loads, max_link_utilization
+from .generators import (
+    uniform_traffic,
+    gravity_traffic,
+    hotspot_traffic,
+    scale_to_utilization,
+    random_traffic,
+)
+from .trace import TrafficTrace, diurnal_trace
+from .processes import (
+    ArrivalProcess,
+    PoissonArrivals,
+    OnOffArrivals,
+    DeterministicArrivals,
+    PacketSizer,
+    ExponentialPacketSize,
+    ConstantPacketSize,
+    make_arrivals,
+    DEFAULT_MEAN_PACKET_BITS,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "link_loads",
+    "max_link_utilization",
+    "uniform_traffic",
+    "gravity_traffic",
+    "hotspot_traffic",
+    "scale_to_utilization",
+    "random_traffic",
+    "TrafficTrace",
+    "diurnal_trace",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "DeterministicArrivals",
+    "PacketSizer",
+    "ExponentialPacketSize",
+    "ConstantPacketSize",
+    "make_arrivals",
+    "DEFAULT_MEAN_PACKET_BITS",
+]

@@ -1,0 +1,115 @@
+"""Traffic matrices.
+
+A :class:`TrafficMatrix` stores the average offered traffic (bits/s) between
+every ordered node pair.  Together with a topology and a routing scheme it
+fully determines the offered load of each link, which is what both the
+simulator and the analytical models consume.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..routing import RoutingScheme
+from ..topology import Topology
+
+__all__ = ["TrafficMatrix", "link_loads", "max_link_utilization"]
+
+
+class TrafficMatrix:
+    """Average per-pair traffic demand in bits/s."""
+
+    def __init__(self, rates: np.ndarray) -> None:
+        rates = np.asarray(rates, dtype=float)
+        if rates.ndim != 2 or rates.shape[0] != rates.shape[1]:
+            raise TrafficError(f"traffic matrix must be square, got shape {rates.shape}")
+        if (rates < 0).any():
+            raise TrafficError("traffic rates must be non-negative")
+        if np.diag(rates).any():
+            raise TrafficError("self-traffic (diagonal entries) must be zero")
+        self.rates = rates.copy()
+        self.rates.flags.writeable = False
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rates.shape[0]
+
+    def rate(self, src: int, dst: int) -> float:
+        """Offered traffic for one ordered pair (bits/s)."""
+        return float(self.rates[src, dst])
+
+    def total(self) -> float:
+        """Total offered traffic across all pairs (bits/s)."""
+        return float(self.rates.sum())
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every rate multiplied by ``factor``."""
+        if factor < 0:
+            raise TrafficError(f"scale factor must be non-negative, got {factor}")
+        return TrafficMatrix(self.rates * factor)
+
+    def nonzero_pairs(self) -> list[tuple[int, int]]:
+        """Ordered pairs with positive demand, sorted."""
+        src, dst = np.nonzero(self.rates)
+        return sorted(zip(src.tolist(), dst.tolist()))
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-friendly sparse representation."""
+        return {f"{s}-{d}": float(self.rates[s, d]) for s, d in self.nonzero_pairs()}
+
+    @classmethod
+    def from_dict(cls, num_nodes: int, data: Mapping[str, float]) -> "TrafficMatrix":
+        """Inverse of :meth:`to_dict`."""
+        rates = np.zeros((num_nodes, num_nodes))
+        for key, value in data.items():
+            s, d = key.split("-")
+            rates[int(s), int(d)] = value
+        return cls(rates)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        return self.rates.shape == other.rates.shape and np.allclose(
+            self.rates, other.rates
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficMatrix(nodes={self.num_nodes}, "
+            f"total={self.total():.1f} bit/s)"
+        )
+
+
+def link_loads(
+    topology: Topology, routing: RoutingScheme, tm: TrafficMatrix
+) -> np.ndarray:
+    """Offered load per link (bits/s) implied by routing the matrix.
+
+    This is the fluid-level quantity: the sum of all pair demands whose path
+    crosses each link.  It ignores queueing and loss, so values may exceed
+    capacity (utilization > 1 marks an overloaded link).
+    """
+    if tm.num_nodes != topology.num_nodes:
+        raise TrafficError(
+            f"traffic matrix is {tm.num_nodes}-node but topology has "
+            f"{topology.num_nodes} nodes"
+        )
+    loads = np.zeros(topology.num_links)
+    for (src, dst), _ in routing.items():
+        rate = tm.rate(src, dst)
+        if rate <= 0:
+            continue
+        for link_id in routing.link_path(src, dst):
+            loads[link_id] += rate
+    return loads
+
+
+def max_link_utilization(
+    topology: Topology, routing: RoutingScheme, tm: TrafficMatrix
+) -> float:
+    """Highest offered-load/capacity ratio across links."""
+    loads = link_loads(topology, routing, tm)
+    return float((loads / topology.capacities()).max())

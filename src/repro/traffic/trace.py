@@ -1,0 +1,105 @@
+"""Traffic traces: time series of traffic matrices.
+
+Real operations watch KPIs evolve over a day; production traces are not
+available offline, so :func:`diurnal_trace` synthesizes the canonical
+shape — a sinusoidal day/night cycle with multiplicative noise on top of a
+fixed spatial pattern — which exercises the same temporal-sweep code path
+(one model inference per snapshot) as a replayed production trace would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..random import make_rng
+from ..routing import RoutingScheme
+from ..topology import Topology
+from .generators import scale_to_utilization, uniform_traffic
+from .matrix import TrafficMatrix
+
+__all__ = ["TrafficTrace", "diurnal_trace"]
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A time-indexed sequence of traffic matrices.
+
+    Attributes:
+        times: Timestamps in hours, strictly increasing.
+        matrices: One matrix per timestamp.
+    """
+
+    times: tuple[float, ...]
+    matrices: tuple[TrafficMatrix, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.matrices):
+            raise TrafficError(
+                f"{len(self.times)} timestamps for {len(self.matrices)} matrices"
+            )
+        if not self.times:
+            raise TrafficError("a trace needs at least one snapshot")
+        diffs = np.diff(self.times)
+        if (diffs <= 0).any():
+            raise TrafficError("timestamps must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.matrices))
+
+    def snapshot(self, index: int) -> tuple[float, TrafficMatrix]:
+        return self.times[index], self.matrices[index]
+
+    def peak_index(self) -> int:
+        """Index of the snapshot with the highest total offered traffic."""
+        totals = [m.total() for m in self.matrices]
+        return int(np.argmax(totals))
+
+
+def diurnal_trace(
+    topology: Topology,
+    routing: RoutingScheme,
+    num_snapshots: int = 24,
+    seed: int | np.random.Generator | None = None,
+    low_utilization: float = 0.2,
+    high_utilization: float = 0.85,
+    peak_hour: float = 20.0,
+    noise: float = 0.05,
+) -> TrafficTrace:
+    """Synthesize a 24-hour diurnal traffic cycle.
+
+    The spatial pattern (which pairs talk) is drawn once; only the overall
+    intensity follows the day curve, mirroring how aggregate backbone load
+    behaves.  Bottleneck utilization moves sinusoidally between
+    ``low_utilization`` (early morning trough) and ``high_utilization``
+    (evening peak at ``peak_hour``), with multiplicative noise per snapshot.
+
+    Raises:
+        TrafficError: On invalid utilization bounds or snapshot count.
+    """
+    if num_snapshots < 1:
+        raise TrafficError(f"need at least one snapshot, got {num_snapshots}")
+    if not 0 < low_utilization <= high_utilization:
+        raise TrafficError(
+            f"bad utilization bounds [{low_utilization}, {high_utilization}]"
+        )
+    rng = make_rng(seed)
+    base = uniform_traffic(topology.num_nodes, mean_rate=1.0, seed=rng)
+    base = scale_to_utilization(base, topology, routing, 1.0)
+
+    times = tuple(24.0 * i / num_snapshots for i in range(num_snapshots))
+    mid = (high_utilization + low_utilization) / 2.0
+    amplitude = (high_utilization - low_utilization) / 2.0
+    matrices = []
+    for hour in times:
+        phase = 2.0 * np.pi * (hour - peak_hour) / 24.0
+        target = mid + amplitude * np.cos(phase)
+        target *= float(rng.normal(1.0, noise))
+        target = float(np.clip(target, 0.05 * low_utilization, 1.5 * high_utilization))
+        matrices.append(base.scaled(target))
+    return TrafficTrace(times=times, matrices=tuple(matrices))

@@ -1,0 +1,37 @@
+"""Training: losses, metrics and the RouteNet trainer."""
+
+from .loss import mse_loss, mae_loss, huber_loss
+from .metrics import (
+    relative_errors,
+    mean_relative_error,
+    median_relative_error,
+    rmse,
+    r_squared,
+    pearson,
+    regression_summary,
+)
+from .trainer import Trainer, TrainingHistory, EpochStats
+from .schedule import StepDecay, ReduceOnPlateau, EarlyStopping
+from .validate import FoldResult, CrossValidationResult, cross_validate
+
+__all__ = [
+    "FoldResult",
+    "CrossValidationResult",
+    "cross_validate",
+    "StepDecay",
+    "ReduceOnPlateau",
+    "EarlyStopping",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "relative_errors",
+    "mean_relative_error",
+    "median_relative_error",
+    "rmse",
+    "r_squared",
+    "pearson",
+    "regression_summary",
+    "Trainer",
+    "TrainingHistory",
+    "EpochStats",
+]

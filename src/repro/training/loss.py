@@ -1,0 +1,25 @@
+"""Training losses (operate in standardized log-target space)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["mse_loss", "huber_loss", "mae_loss"]
+
+
+def mse_loss(pred: nn.Tensor, target: np.ndarray) -> nn.Tensor:
+    """Mean squared error."""
+    diff = pred - np.asarray(target, dtype=float)
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: nn.Tensor, target: np.ndarray) -> nn.Tensor:
+    """Mean absolute error."""
+    return nn.ops.abs_(pred - np.asarray(target, dtype=float)).mean()
+
+
+def huber_loss(pred: nn.Tensor, target: np.ndarray, delta: float = 1.0) -> nn.Tensor:
+    """Mean Huber loss — robust to the heavy delay tail near saturation."""
+    return nn.ops.huber(pred, np.asarray(target, dtype=float), delta=delta).mean()

@@ -1,0 +1,77 @@
+"""Regression quality metrics (computed in raw KPI units)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_errors",
+    "mean_relative_error",
+    "median_relative_error",
+    "rmse",
+    "r_squared",
+    "pearson",
+    "regression_summary",
+]
+
+
+def _validate(pred: np.ndarray, true: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=float)
+    true = np.asarray(true, dtype=float)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs true {true.shape}")
+    if pred.size == 0:
+        raise ValueError("empty prediction arrays")
+    return pred, true
+
+
+def relative_errors(pred: np.ndarray, true: np.ndarray) -> np.ndarray:
+    """Signed relative error ``(pred - true) / true`` per element."""
+    pred, true = _validate(pred, true)
+    if (true <= 0).any():
+        raise ValueError("relative error requires positive ground truth")
+    return (pred - true) / true
+
+
+def mean_relative_error(pred: np.ndarray, true: np.ndarray) -> float:
+    """Mean absolute relative error (the paper's headline accuracy metric)."""
+    return float(np.abs(relative_errors(pred, true)).mean())
+
+
+def median_relative_error(pred: np.ndarray, true: np.ndarray) -> float:
+    return float(np.median(np.abs(relative_errors(pred, true))))
+
+
+def rmse(pred: np.ndarray, true: np.ndarray) -> float:
+    pred, true = _validate(pred, true)
+    return float(np.sqrt(np.mean((pred - true) ** 2)))
+
+
+def r_squared(pred: np.ndarray, true: np.ndarray) -> float:
+    """Coefficient of determination of pred as an estimator of true."""
+    pred, true = _validate(pred, true)
+    ss_res = float(((true - pred) ** 2).sum())
+    ss_tot = float(((true - true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pearson(pred: np.ndarray, true: np.ndarray) -> float:
+    """Pearson correlation coefficient."""
+    pred, true = _validate(pred, true)
+    if pred.std() == 0.0 or true.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(pred, true)[0, 1])
+
+
+def regression_summary(pred: np.ndarray, true: np.ndarray) -> dict[str, float]:
+    """All metrics in one dict (used by the evaluation harness)."""
+    return {
+        "mre": mean_relative_error(pred, true),
+        "medre": median_relative_error(pred, true),
+        "rmse": rmse(pred, true),
+        "r2": r_squared(pred, true),
+        "pearson": pearson(pred, true),
+        "count": float(len(np.asarray(pred))),
+    }

@@ -1,0 +1,82 @@
+"""Learning-rate schedules and early stopping."""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+
+__all__ = ["StepDecay", "ReduceOnPlateau", "EarlyStopping"]
+
+
+class StepDecay:
+    """Multiply the learning rate by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, initial_lr: float, factor: float = 0.5, every: int = 10,
+                 min_lr: float = 1e-6) -> None:
+        if initial_lr <= 0 or not 0 < factor <= 1 or every < 1 or min_lr <= 0:
+            raise ModelError("invalid StepDecay parameters")
+        self.initial_lr = initial_lr
+        self.factor = factor
+        self.every = every
+        self.min_lr = min_lr
+
+    def lr(self, epoch: int) -> float:
+        """Learning rate for a 1-indexed epoch."""
+        if epoch < 1:
+            raise ModelError(f"epochs are 1-indexed, got {epoch}")
+        return max(self.min_lr, self.initial_lr * self.factor ** ((epoch - 1) // self.every))
+
+
+class ReduceOnPlateau:
+    """Halve (by ``factor``) the learning rate when a metric stops improving.
+
+    Call :meth:`observe` once per epoch with the monitored value (lower is
+    better); it returns the learning rate to use next.
+    """
+
+    def __init__(self, initial_lr: float, factor: float = 0.5, patience: int = 3,
+                 min_lr: float = 1e-6, min_delta: float = 1e-4) -> None:
+        if initial_lr <= 0 or not 0 < factor < 1 or patience < 1:
+            raise ModelError("invalid ReduceOnPlateau parameters")
+        self.current_lr = initial_lr
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.min_delta = min_delta
+        self._best = float("inf")
+        self._stale = 0
+
+    def observe(self, metric: float) -> float:
+        if metric < self._best - self.min_delta:
+            self._best = metric
+            self._stale = 0
+        else:
+            self._stale += 1
+            if self._stale >= self.patience:
+                self.current_lr = max(self.min_lr, self.current_lr * self.factor)
+                self._stale = 0
+        return self.current_lr
+
+
+class EarlyStopping:
+    """Stop when the monitored metric has not improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 1e-4) -> None:
+        if patience < 1:
+            raise ModelError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self._best = float("inf")
+        self._stale = 0
+
+    @property
+    def best(self) -> float:
+        return self._best
+
+    def should_stop(self, metric: float) -> bool:
+        """Record an epoch's metric; True when training should halt."""
+        if metric < self._best - self.min_delta:
+            self._best = metric
+            self._stale = 0
+            return False
+        self._stale += 1
+        return self._stale >= self.patience

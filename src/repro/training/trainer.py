@@ -1,0 +1,222 @@
+"""RouteNet training loop.
+
+Each dataset sample is one runtime-assembled graph, so the natural batch is
+a single sample: forward over all of its paths at once, Huber loss on the
+standardized log targets, Adam step with global-norm clipping.  Model inputs
+are built once per sample and cached across epochs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..core import FeatureScaler, ModelInput, RouteNet, build_model_input
+from ..dataset import Sample, fit_scaler
+from ..errors import ModelError
+from ..random import make_rng
+from .loss import huber_loss
+from .metrics import regression_summary
+
+__all__ = ["EpochStats", "TrainingHistory", "Trainer"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Loss/metric record for one epoch."""
+
+    epoch: int
+    train_loss: float
+    eval_delay_mre: float | None
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-epoch records."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def last(self) -> EpochStats:
+        if not self.epochs:
+            raise ModelError("no epochs recorded yet")
+        return self.epochs[-1]
+
+    @property
+    def train_losses(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+
+class Trainer:
+    """Owns a model, its scaler, the optimizer and the input cache."""
+
+    def __init__(
+        self,
+        model: RouteNet,
+        scaler: FeatureScaler | None = None,
+        include_load: bool = False,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.model = model
+        self.scaler = scaler
+        self.include_load = include_load
+        self._rng = make_rng(seed)
+        self._optimizer = nn.Adam(
+            list(model.parameters()), lr=model.hparams.learning_rate
+        )
+        self._input_cache: dict[int, tuple[ModelInput, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def _prepare(self, sample: Sample) -> tuple[ModelInput, np.ndarray]:
+        """Model input + encoded targets for a sample (cached by identity)."""
+        if self.scaler is None:
+            raise ModelError("scaler not set; call fit() or pass one explicitly")
+        key = id(sample)
+        cached = self._input_cache.get(key)
+        if cached is None:
+            # Class-aware models (path_feature_dim > 1 beyond the traffic
+            # column) receive the sample's QoS classes as one-hot features.
+            extra = self.model.hparams.path_feature_dim - 1
+            pair_class = sample.pair_class if extra > 0 else None
+            inputs = build_model_input(
+                sample.topology,
+                sample.routing,
+                sample.traffic,
+                scaler=self.scaler,
+                pairs=list(sample.pairs),
+                include_load=self.include_load,
+                pair_class=pair_class,
+                num_classes=extra if pair_class is not None else 0,
+            )
+            targets = self.scaler.encode_targets(sample.targets())
+            if self.model.hparams.readout_targets == 1:
+                targets = targets[:, :1]
+            cached = (inputs, targets)
+            self._input_cache[key] = cached
+        return cached
+
+    def train_step(self, sample: Sample) -> float:
+        """One optimization step on one sample; returns the loss value."""
+        inputs, targets = self._prepare(sample)
+        self._optimizer.zero_grad()
+        pred = self.model.forward(inputs, training=True)
+        loss = huber_loss(pred, targets)
+        value = loss.item()
+        if not np.isfinite(value):
+            raise ModelError(
+                "training diverged: loss is not finite (lower the learning "
+                "rate or check label scaling)"
+            )
+        loss.backward()
+        nn.clip_global_norm(self.model.parameters(), self.model.hparams.grad_clip)
+        self._optimizer.step()
+        return value
+
+    def fit(
+        self,
+        train_samples: list[Sample],
+        epochs: int,
+        eval_samples: list[Sample] | None = None,
+        log: Callable[[str], None] | None = None,
+        schedule: "StepDecay | ReduceOnPlateau | None" = None,
+        early_stopping: "EarlyStopping | None" = None,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` passes over ``train_samples``.
+
+        Fits the feature scaler on the training set if none was provided.
+
+        Args:
+            schedule: Optional LR schedule — a
+                :class:`~repro.training.schedule.StepDecay` (epoch-driven)
+                or :class:`~repro.training.schedule.ReduceOnPlateau`
+                (metric-driven; monitors eval MRE when ``eval_samples`` is
+                given, else the train loss).
+            early_stopping: Optional
+                :class:`~repro.training.schedule.EarlyStopping` on the same
+                monitored metric.
+        """
+        if not train_samples:
+            raise ModelError("cannot train on an empty sample list")
+        if epochs < 1:
+            raise ModelError(f"epochs must be >= 1, got {epochs}")
+        if self.scaler is None:
+            self.scaler = fit_scaler(train_samples)
+
+        from .schedule import StepDecay
+
+        history = TrainingHistory()
+        order = np.arange(len(train_samples))
+        for epoch in range(1, epochs + 1):
+            started = time.perf_counter()
+            if isinstance(schedule, StepDecay):
+                self._optimizer.lr = schedule.lr(epoch)
+            self._rng.shuffle(order)
+            losses = [self.train_step(train_samples[i]) for i in order]
+            eval_mre = None
+            if eval_samples:
+                eval_mre = self.evaluate(eval_samples)["delay"]["mre"]
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)),
+                eval_delay_mre=eval_mre,
+                seconds=time.perf_counter() - started,
+            )
+            history.epochs.append(stats)
+            if log is not None:
+                msg = (
+                    f"epoch {epoch:3d}  loss {stats.train_loss:.4f}"
+                    f"  ({stats.seconds:.1f}s)"
+                )
+                if eval_mre is not None:
+                    msg += f"  eval delay MRE {eval_mre:.3f}"
+                if schedule is not None:
+                    msg += f"  lr {self._optimizer.lr:.2e}"
+                log(msg)
+            monitored = eval_mre if eval_mre is not None else stats.train_loss
+            if schedule is not None and not isinstance(schedule, StepDecay):
+                self._optimizer.lr = schedule.observe(monitored)
+            if early_stopping is not None and early_stopping.should_stop(monitored):
+                if log is not None:
+                    log(f"early stop at epoch {epoch} (best {early_stopping.best:.4f})")
+                break
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_sample(self, sample: Sample) -> dict[str, np.ndarray]:
+        """Raw-unit predictions for one sample's measured pairs."""
+        inputs, _ = self._prepare(sample)
+        return self.model.predict(inputs, self.scaler)
+
+    def evaluate(self, samples: list[Sample]) -> dict[str, dict[str, float]]:
+        """Pooled regression metrics over samples.
+
+        Returns:
+            ``{"delay": {...}, "jitter": {...}}`` metric dicts (jitter only
+            when the model has a second target).
+        """
+        if not samples:
+            raise ModelError("cannot evaluate an empty sample list")
+        pred_delay, true_delay = [], []
+        pred_jitter, true_jitter = [], []
+        for sample in samples:
+            pred = self.predict_sample(sample)
+            pred_delay.append(pred["delay"])
+            true_delay.append(sample.delay)
+            if "jitter" in pred:
+                keep = sample.jitter > 0
+                pred_jitter.append(pred["jitter"][keep])
+                true_jitter.append(sample.jitter[keep])
+        out = {
+            "delay": regression_summary(
+                np.concatenate(pred_delay), np.concatenate(true_delay)
+            )
+        }
+        if pred_jitter:
+            out["jitter"] = regression_summary(
+                np.concatenate(pred_jitter), np.concatenate(true_jitter)
+            )
+        return out

@@ -1,0 +1,61 @@
+"""Tests for the fixed-topology MLP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedTopologyMLP
+from repro.errors import ModelError
+from repro.dataset import GenerationConfig, generate_dataset
+from repro.topology import synthetic_topology
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_topology, tiny_samples):
+    model = FixedTopologyMLP(tiny_topology, hidden=(32,), seed=0, learning_rate=3e-3)
+    model.fit(tiny_samples, epochs=40, seed=1)
+    return model
+
+
+class TestFit:
+    def test_losses_decrease(self, tiny_topology, tiny_samples):
+        model = FixedTopologyMLP(tiny_topology, hidden=(32,), seed=0)
+        losses = model.fit(tiny_samples, epochs=10, seed=1)
+        assert losses[-1] < losses[0]
+
+    def test_empty_train_raises(self, tiny_topology):
+        with pytest.raises(ModelError):
+            FixedTopologyMLP(tiny_topology, seed=0).fit([])
+
+    def test_predict_before_fit_raises(self, tiny_topology, tiny_samples):
+        model = FixedTopologyMLP(tiny_topology, seed=0)
+        with pytest.raises(ModelError, match="untrained"):
+            model.predict(tiny_samples[0])
+
+
+class TestPredict:
+    def test_shapes_and_positivity(self, baseline, tiny_samples):
+        pred = baseline.predict(tiny_samples[0])
+        assert pred.shape == (tiny_samples[0].num_pairs,)
+        assert (pred > 0).all()
+
+    def test_learns_on_its_own_topology(self, baseline, tiny_samples):
+        """On-distribution the MLP should correlate with ground truth."""
+        pred = np.concatenate([baseline.predict(s) for s in tiny_samples])
+        true = np.concatenate([s.delay for s in tiny_samples])
+        assert np.corrcoef(pred, true)[0, 1] > 0.5
+
+    def test_cannot_transfer_to_other_topology(self, baseline):
+        """The paper's motivating limitation: fixed input dimension."""
+        other = synthetic_topology(9, seed=5)
+        cfg = GenerationConfig(target_packets_per_pair=30, min_delivered=5)
+        foreign = generate_dataset(other, 1, seed=9, config=cfg)[0]
+        with pytest.raises(ModelError, match="fixed input dimension"):
+            baseline.predict(foreign)
+
+    def test_cannot_train_on_mixed_topologies(self, tiny_topology, tiny_samples):
+        other = synthetic_topology(9, seed=5)
+        cfg = GenerationConfig(target_packets_per_pair=30, min_delivered=5)
+        foreign = generate_dataset(other, 1, seed=9, config=cfg)
+        model = FixedTopologyMLP(tiny_topology, seed=0)
+        with pytest.raises(ModelError):
+            model.fit(list(tiny_samples) + foreign)

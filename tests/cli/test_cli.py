@@ -1,0 +1,166 @@
+"""End-to-end CLI tests driving ``repro.cli.main`` with real artifacts."""
+
+import pytest
+
+from repro.cli import main, build_parser
+from repro.dataset import save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tiny_samples, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tiny.jsonl"
+    save_dataset(tiny_samples, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def model_path(dataset_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    code = main(
+        [
+            "train",
+            "-d", dataset_path,
+            "-o", str(path),
+            "--epochs", "3",
+            "--state-dim", "8",
+            "--steps", "2",
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro 1.0.0" in capsys.readouterr().out
+
+
+class TestTopologies:
+    def test_lists_reference_networks(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nsfnet", "geant2", "gbn"):
+            assert name in out
+
+
+class TestGenerate:
+    def test_generates_archive(self, tmp_path, capsys):
+        out_path = tmp_path / "ds.jsonl"
+        code = main(
+            [
+                "generate",
+                "--topology", "synthetic:6:3",
+                "-n", "2",
+                "-o", str(out_path),
+                "--packets-per-pair", "40",
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "wrote 2 samples" in capsys.readouterr().out
+
+    def test_unknown_topology_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--topology", "arpanet", "-o", str(tmp_path / "x.jsonl")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+
+class TestTrainEvaluate:
+    def test_train_writes_checkpoint(self, model_path):
+        import os
+
+        assert os.path.exists(model_path)
+
+    def test_evaluate_prints_metrics(self, model_path, dataset_path, capsys):
+        code = main(["evaluate", "-m", model_path, "-d", dataset_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRE" in out and "delay" in out
+
+    def test_evaluate_cdf_table(self, model_path, dataset_path, capsys):
+        code = main(["evaluate", "-m", model_path, "-d", dataset_path, "--cdf"])
+        assert code == 0
+        assert "P50" in capsys.readouterr().out
+
+    def test_evaluate_missing_model_fails_cleanly(self, dataset_path, capsys):
+        code = main(["evaluate", "-m", "/nonexistent.npz", "-d", dataset_path])
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_train_missing_dataset_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["train", "-d", "/nonexistent.jsonl", "-o", str(tmp_path / "m.npz")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_prints_candidate_table(self, model_path, dataset_path, capsys):
+        code = main(
+            [
+                "optimize", "-m", model_path, "-d", dataset_path,
+                "--candidates", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "picked" in out
+        assert "shortest-path" in out
+
+    def test_objective_choice(self, model_path, dataset_path, capsys):
+        code = main(
+            [
+                "optimize", "-m", model_path, "-d", dataset_path,
+                "--candidates", "2", "--objective", "worst",
+            ]
+        )
+        assert code == 0
+        assert "worst delay" in capsys.readouterr().out
+
+
+class TestWhatIf:
+    def test_traffic_scaling_table(self, model_path, dataset_path, capsys):
+        code = main(
+            [
+                "whatif", "-m", model_path, "-d", dataset_path,
+                "--scale", "1.0", "2.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traffic x1.00" in out and "traffic x2.00" in out
+
+    def test_bad_sample_index_fails_cleanly(self, model_path, dataset_path, capsys):
+        code = main(
+            ["whatif", "-m", model_path, "-d", dataset_path, "--sample", "99"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+
+class TestPredict:
+    def test_prints_top_paths(self, model_path, dataset_path, capsys):
+        code = main(
+            ["predict", "-m", model_path, "-d", dataset_path, "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "predicted" in out
+
+    def test_bad_sample_index(self, model_path, dataset_path, capsys):
+        code = main(
+            ["predict", "-m", model_path, "-d", dataset_path, "--sample", "999"]
+        )
+        assert code == 1
+        assert "outside" in capsys.readouterr().out

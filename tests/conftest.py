@@ -1,0 +1,37 @@
+"""Shared fixtures: small cached datasets so expensive simulation happens once."""
+
+import pytest
+
+from repro.dataset import GenerationConfig, generate_dataset
+from repro.topology import nsfnet, synthetic_topology
+
+#: Fast generation profile used across the test suite: short simulations,
+#: permissive label filter.  Quality is enough for learning tests, not for
+#: paper-grade numbers.
+FAST_CONFIG = GenerationConfig(
+    target_packets_per_pair=60.0,
+    min_delivered=10,
+    intensity_range=(0.3, 0.7),
+)
+
+
+@pytest.fixture(scope="session")
+def nsfnet_topology():
+    return nsfnet()
+
+
+@pytest.fixture(scope="session")
+def nsfnet_samples(nsfnet_topology):
+    """12 simulated NSFNET scenarios (session-cached)."""
+    return generate_dataset(nsfnet_topology, 12, seed=101, config=FAST_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_topology():
+    return synthetic_topology(6, seed=77, mean_degree=2.5)
+
+
+@pytest.fixture(scope="session")
+def tiny_samples(tiny_topology):
+    """8 simulated scenarios on a 6-node synthetic network (fast)."""
+    return generate_dataset(tiny_topology, 8, seed=55, config=FAST_CONFIG)

@@ -1,0 +1,106 @@
+"""Tests for the packet-loss prediction extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import DropsPredictor, HyperParams, LossRateCodec
+from repro.dataset import GenerationConfig, generate_dataset
+from repro.errors import ModelError
+from repro.topology import synthetic_topology
+
+
+@pytest.fixture(scope="module")
+def lossy_samples():
+    """High-intensity bursty scenarios on a small net: real packet loss."""
+    topo = synthetic_topology(6, seed=3, mean_degree=2.5)
+    cfg = GenerationConfig(
+        target_packets_per_pair=150,
+        min_delivered=15,
+        arrivals="onoff",
+        intensity_range=(0.75, 0.95),
+        buffer_packets=16,
+    )
+    return generate_dataset(topo, 10, seed=21, config=cfg)
+
+
+class TestLossRateCodec:
+    def test_roundtrip_interior_values(self):
+        codec = LossRateCodec.fit(np.array([0.01, 0.05, 0.2, 0.5]))
+        values = np.array([0.02, 0.1, 0.4])
+        np.testing.assert_allclose(codec.decode(codec.encode(values)), values, rtol=1e-9)
+
+    def test_zero_maps_to_floor(self):
+        codec = LossRateCodec.fit(np.array([0.0, 0.1, 0.2]))
+        decoded = codec.decode(codec.encode(np.array([0.0])))
+        assert 0.0 < decoded[0] <= codec.floor * 1.01
+
+    def test_constant_rates_no_nan(self):
+        codec = LossRateCodec.fit(np.zeros(10))
+        assert np.isfinite(codec.encode(np.zeros(3))).all()
+
+    def test_decode_bounded(self):
+        codec = LossRateCodec.fit(np.array([0.01, 0.3]))
+        out = codec.decode(np.array([-100.0, 0.0, 100.0]))
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_dict_roundtrip(self):
+        codec = LossRateCodec.fit(np.array([0.05, 0.2]))
+        restored = LossRateCodec.from_dict(codec.to_dict())
+        assert restored == codec
+
+    def test_monotone(self):
+        codec = LossRateCodec.fit(np.array([0.01, 0.1, 0.4]))
+        encoded = codec.encode(np.array([0.01, 0.05, 0.2]))
+        assert (np.diff(encoded) > 0).all()
+
+
+class TestDropsPredictor:
+    HP = HyperParams(
+        link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+        readout_hidden=(12,), learning_rate=3e-3,
+    )
+
+    def test_dataset_actually_has_loss(self, lossy_samples):
+        total = np.concatenate([s.loss_rate for s in lossy_samples])
+        assert total.max() > 0.01
+
+    def test_fit_reduces_loss(self, lossy_samples):
+        predictor = DropsPredictor(self.HP, seed=0)
+        losses = predictor.fit(lossy_samples, epochs=8)
+        assert losses[-1] < losses[0]
+
+    def test_predictions_in_unit_interval(self, lossy_samples):
+        predictor = DropsPredictor(self.HP, seed=0)
+        predictor.fit(lossy_samples, epochs=5)
+        pred = predictor.predict(lossy_samples[0])
+        assert ((pred >= 0) & (pred <= 1)).all()
+
+    def test_learns_correlation(self, lossy_samples):
+        predictor = DropsPredictor(self.HP, seed=1)
+        predictor.fit(lossy_samples, epochs=25)
+        metrics = predictor.evaluate(lossy_samples)
+        assert metrics["pearson"] > 0.5
+        assert metrics["mae"] < 0.2
+
+    def test_readout_forced_to_one_target(self):
+        predictor = DropsPredictor(HyperParams(), seed=0)
+        assert predictor.model.hparams.readout_targets == 1
+
+    def test_untrained_predict_raises(self, lossy_samples):
+        with pytest.raises(ModelError, match="untrained"):
+            DropsPredictor(self.HP, seed=0).predict(lossy_samples[0])
+
+    def test_lossless_training_set_rejected(self, tiny_samples):
+        # The low-intensity Poisson fixture has (almost) no loss; if it has
+        # exactly zero everywhere the predictor must refuse.
+        total = np.concatenate([s.loss_rate for s in tiny_samples])
+        predictor = DropsPredictor(self.HP, seed=0)
+        if (total == 0).all():
+            with pytest.raises(ModelError, match="zero packet loss"):
+                predictor.fit(list(tiny_samples))
+        else:
+            predictor.fit(list(tiny_samples), epochs=1)
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ModelError):
+            DropsPredictor(self.HP, seed=0).fit([])

@@ -1,0 +1,98 @@
+"""Tests for model-input construction and feature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureScaler, build_model_input
+from repro.errors import ModelError
+from repro.routing import RoutingScheme
+from repro.topology import nsfnet
+from repro.traffic import TrafficMatrix, uniform_traffic
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return nsfnet()
+
+
+@pytest.fixture(scope="module")
+def routing(topo):
+    return RoutingScheme.shortest_path(topo)
+
+
+@pytest.fixture(scope="module")
+def tm(topo):
+    return uniform_traffic(topo.num_nodes, 100.0, seed=0)
+
+
+class TestBuildModelInput:
+    def test_shapes(self, topo, routing, tm):
+        inp = build_model_input(topo, routing, tm)
+        assert inp.num_paths == 182
+        assert inp.num_links == topo.num_links
+        assert inp.link_indices.shape == (182, inp.max_path_length)
+        assert inp.mask.shape == inp.link_indices.shape
+
+    def test_mask_matches_indices(self, topo, routing, tm):
+        inp = build_model_input(topo, routing, tm)
+        np.testing.assert_array_equal(inp.mask, inp.link_indices >= 0)
+
+    def test_link_sequence_matches_routing(self, topo, routing, tm):
+        inp = build_model_input(topo, routing, tm)
+        for row, pair in zip(inp.link_indices, inp.pairs):
+            expected = routing.link_path(*pair)
+            assert tuple(row[row >= 0]) == expected
+
+    def test_path_features_are_scaled_traffic(self, topo, routing, tm):
+        scaler = FeatureScaler(2.0, 50.0, 2.0, np.zeros(2), np.ones(2))
+        inp = build_model_input(topo, routing, tm, scaler=scaler)
+        for feat, pair in zip(inp.path_features[:, 0], inp.pairs):
+            assert feat == pytest.approx(tm.rate(*pair) / 50.0)
+
+    def test_include_load_adds_feature_column(self, topo, routing, tm):
+        inp = build_model_input(topo, routing, tm, include_load=True)
+        assert inp.link_features.shape[1] == 2
+
+    def test_explicit_pairs_subset(self, topo, routing, tm):
+        inp = build_model_input(topo, routing, tm, pairs=[(0, 1), (3, 9)])
+        assert inp.pairs == ((0, 1), (3, 9))
+
+    def test_zero_traffic_raises(self, topo, routing):
+        empty = TrafficMatrix(np.zeros((14, 14)))
+        with pytest.raises(ModelError, match="no routed pairs"):
+            build_model_input(topo, routing, empty)
+
+
+class TestFeatureScaler:
+    def test_identity_roundtrip(self):
+        scaler = FeatureScaler.identity()
+        targets = np.array([[0.5, 0.01], [1.5, 0.2]])
+        np.testing.assert_allclose(
+            scaler.decode_targets(scaler.encode_targets(targets)), targets
+        )
+
+    def test_fit_standardizes(self):
+        rng = np.random.default_rng(0)
+        targets = rng.lognormal(mean=-2.0, sigma=1.0, size=(500, 2))
+        scaler = FeatureScaler.fit(
+            np.array([1e4]), np.array([100.0]), np.log(targets)
+        )
+        encoded = scaler.encode_targets(targets)
+        np.testing.assert_allclose(encoded.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(encoded.std(axis=0), 1.0, atol=1e-9)
+
+    def test_fit_constant_targets_no_nan(self):
+        targets_log = np.zeros((10, 2))
+        scaler = FeatureScaler.fit(np.array([1.0]), np.array([1.0]), targets_log)
+        assert (scaler.target_log_std == 1.0).all()
+
+    def test_encode_clamps_nonpositive(self):
+        scaler = FeatureScaler.identity()
+        encoded = scaler.encode_targets(np.array([[0.0, 1.0]]))
+        assert np.isfinite(encoded).all()
+
+    def test_dict_roundtrip(self):
+        scaler = FeatureScaler(3.0, 4.0, 5.0, np.array([0.1, 0.2]), np.array([1.1, 1.2]))
+        restored = FeatureScaler.from_dict(scaler.to_dict())
+        assert restored.capacity_scale == 3.0
+        np.testing.assert_array_equal(restored.target_log_std, [1.1, 1.2])

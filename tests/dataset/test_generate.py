@@ -1,0 +1,104 @@
+"""Tests for scenario generation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import GenerationConfig, generate_dataset, generate_sample
+from repro.errors import DatasetError
+from repro.topology import nsfnet
+from repro.traffic import max_link_utilization
+
+from ..conftest import FAST_CONFIG
+
+
+class TestGenerationConfig:
+    def test_defaults_valid(self):
+        GenerationConfig()
+
+    def test_bad_intensity(self):
+        with pytest.raises(DatasetError):
+            GenerationConfig(intensity_range=(0.9, 0.3))
+
+    def test_bad_active_fraction(self):
+        with pytest.raises(DatasetError):
+            GenerationConfig(active_fraction=0.0)
+
+    def test_unknown_routing_kind(self):
+        with pytest.raises(DatasetError, match="routing kind"):
+            GenerationConfig(routing_kinds=("ospf",))
+
+
+class TestGenerateSample:
+    def test_sample_structure(self, nsfnet_samples):
+        sample = nsfnet_samples[0]
+        assert sample.num_pairs >= 2
+        assert (sample.delay > 0).all()
+        assert (sample.jitter >= 0).all()
+        assert sample.delay.shape == (sample.num_pairs,)
+
+    def test_meta_recorded(self, nsfnet_samples):
+        meta = nsfnet_samples[0].meta
+        assert set(meta) >= {"routing_kind", "intensity", "duration", "loss_rate"}
+
+    def test_deterministic_under_seed(self, nsfnet_topology):
+        a = generate_sample(nsfnet_topology, seed=9, config=FAST_CONFIG)
+        b = generate_sample(nsfnet_topology, seed=9, config=FAST_CONFIG)
+        np.testing.assert_array_equal(a.delay, b.delay)
+        assert a.routing.to_dict() == b.routing.to_dict()
+
+    def test_intensity_respected(self, nsfnet_topology):
+        cfg = GenerationConfig(
+            target_packets_per_pair=40, min_delivered=5, intensity_range=(0.5, 0.5)
+        )
+        sample = generate_sample(nsfnet_topology, seed=1, config=cfg)
+        util = max_link_utilization(sample.topology, sample.routing, sample.traffic)
+        assert util == pytest.approx(0.5, rel=1e-6)
+
+    def test_sparse_traffic(self, nsfnet_topology):
+        cfg = GenerationConfig(
+            target_packets_per_pair=40,
+            min_delivered=5,
+            active_fraction=0.3,
+        )
+        sample = generate_sample(nsfnet_topology, seed=2, config=cfg)
+        max_pairs = 14 * 13
+        assert len(sample.traffic.nonzero_pairs()) <= int(0.3 * max_pairs) + 2
+
+    def test_routing_kind_variety_across_seeds(self, nsfnet_samples):
+        kinds = {s.meta["routing_kind"] for s in nsfnet_samples}
+        assert len(kinds) >= 2
+
+
+class TestGenerateDataset:
+    def test_count(self, nsfnet_samples):
+        assert len(nsfnet_samples) == 12
+
+    def test_samples_differ(self, nsfnet_samples):
+        delays = [s.delay.mean() for s in nsfnet_samples]
+        assert len(set(delays)) == len(delays)
+
+    def test_bad_count_raises(self, nsfnet_topology):
+        with pytest.raises(DatasetError):
+            generate_dataset(nsfnet_topology, 0, seed=0)
+
+    def test_parallel_matches_sequential(self, tiny_topology):
+        from ..conftest import FAST_CONFIG
+
+        sequential = generate_dataset(tiny_topology, 3, seed=77, config=FAST_CONFIG)
+        parallel = generate_dataset(
+            tiny_topology, 3, seed=77, config=FAST_CONFIG, workers=2
+        )
+        for a, b in zip(sequential, parallel):
+            np.testing.assert_array_equal(a.delay, b.delay)
+            assert a.pairs == b.pairs
+
+    def test_bad_workers_raises(self, tiny_topology):
+        with pytest.raises(DatasetError):
+            generate_dataset(tiny_topology, 2, seed=0, workers=0)
+
+    def test_delay_scale_physical(self, nsfnet_samples):
+        """Delays should be within a few orders of the per-hop service time
+        (0.1 s at 10 kb/s and 1000-bit packets)."""
+        for sample in nsfnet_samples:
+            assert sample.delay.min() > 0.01
+            assert sample.delay.max() < 50.0

@@ -1,0 +1,79 @@
+"""Tests for dataset serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    load_dataset,
+    sample_from_dict,
+    sample_to_dict,
+    save_dataset,
+    iter_dataset,
+)
+from repro.errors import DatasetError
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_labels(self, tiny_samples):
+        sample = tiny_samples[0]
+        restored = sample_from_dict(sample_to_dict(sample))
+        np.testing.assert_allclose(restored.delay, sample.delay)
+        np.testing.assert_allclose(restored.jitter, sample.jitter)
+        assert restored.pairs == sample.pairs
+
+    def test_dict_roundtrip_preserves_structures(self, tiny_samples):
+        sample = tiny_samples[0]
+        restored = sample_from_dict(sample_to_dict(sample))
+        assert restored.topology == sample.topology
+        assert restored.routing.to_dict() == sample.routing.to_dict()
+        assert restored.traffic == sample.traffic
+        assert restored.meta == sample.meta
+
+    def test_dict_is_json_serializable(self, tiny_samples):
+        payload = json.dumps(sample_to_dict(tiny_samples[0]))
+        assert isinstance(payload, str)
+
+    def test_file_roundtrip(self, tiny_samples, tmp_path):
+        path = tmp_path / "data.jsonl"
+        count = save_dataset(tiny_samples, path)
+        assert count == len(tiny_samples)
+        restored = load_dataset(path)
+        assert len(restored) == len(tiny_samples)
+        for a, b in zip(restored, tiny_samples):
+            np.testing.assert_allclose(a.delay, b.delay)
+
+    def test_iter_streams_lazily(self, tiny_samples, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_dataset(tiny_samples, path)
+        iterator = iter_dataset(path)
+        first = next(iterator)
+        assert first.num_pairs == tiny_samples[0].num_pairs
+
+
+class TestErrors:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            load_dataset(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line_raises_with_location(self, tiny_samples, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_dataset(tiny_samples[:1], path)
+        with path.open("a") as fh:
+            fh.write("{not json}\n")
+        with pytest.raises(DatasetError, match=":2"):
+            load_dataset(path)
+
+    def test_wrong_version_rejected(self, tiny_samples):
+        data = sample_to_dict(tiny_samples[0])
+        data["version"] = 99
+        with pytest.raises(DatasetError, match="version"):
+            sample_from_dict(data)
+
+    def test_blank_lines_skipped(self, tiny_samples, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_dataset(tiny_samples[:2], path)
+        with path.open("a") as fh:
+            fh.write("\n\n")
+        assert len(load_dataset(path)) == 2

@@ -1,0 +1,56 @@
+"""Tests for dataset splitting and scaler fitting."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import train_eval_split, fit_scaler
+from repro.errors import DatasetError
+
+
+class TestSplit:
+    def test_disjoint_and_complete(self, tiny_samples):
+        train, evaluation = train_eval_split(tiny_samples, 0.25, seed=0)
+        assert len(train) + len(evaluation) == len(tiny_samples)
+        train_ids = {id(s) for s in train}
+        eval_ids = {id(s) for s in evaluation}
+        assert not train_ids & eval_ids
+
+    def test_fraction_respected(self, tiny_samples):
+        _, evaluation = train_eval_split(tiny_samples, 0.25, seed=0)
+        assert len(evaluation) == round(0.25 * len(tiny_samples))
+
+    def test_deterministic(self, tiny_samples):
+        a = train_eval_split(tiny_samples, 0.3, seed=5)
+        b = train_eval_split(tiny_samples, 0.3, seed=5)
+        assert [id(s) for s in a[0]] == [id(s) for s in b[0]]
+
+    def test_never_empty_sides(self, tiny_samples):
+        train, evaluation = train_eval_split(tiny_samples[:2], 0.99, seed=0)
+        assert len(train) >= 1 and len(evaluation) >= 1
+
+    def test_bad_fraction_raises(self, tiny_samples):
+        with pytest.raises(DatasetError):
+            train_eval_split(tiny_samples, 1.5, seed=0)
+
+    def test_too_few_samples_raises(self, tiny_samples):
+        with pytest.raises(DatasetError):
+            train_eval_split(tiny_samples[:1], 0.5, seed=0)
+
+
+class TestFitScaler:
+    def test_scales_positive(self, tiny_samples):
+        scaler = fit_scaler(tiny_samples)
+        assert scaler.capacity_scale > 0
+        assert scaler.traffic_scale > 0
+        assert (scaler.target_log_std > 0).all()
+
+    def test_encoded_targets_standardized(self, tiny_samples):
+        scaler = fit_scaler(tiny_samples)
+        all_targets = np.concatenate([s.targets() for s in tiny_samples])
+        encoded = scaler.encode_targets(all_targets)
+        assert abs(encoded[:, 0].mean()) < 0.2
+        assert 0.5 < encoded[:, 0].std() < 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(DatasetError):
+            fit_scaler([])

@@ -1,0 +1,59 @@
+"""Tests for dataset summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import format_summary, summarize_dataset
+from repro.errors import DatasetError
+
+
+class TestSummarize:
+    def test_counts(self, tiny_samples):
+        summary = summarize_dataset(tiny_samples)
+        assert summary.num_samples == len(tiny_samples)
+        assert summary.total_pairs == sum(s.num_pairs for s in tiny_samples)
+
+    def test_topology_counter(self, tiny_samples):
+        summary = summarize_dataset(tiny_samples)
+        assert sum(summary.topologies.values()) == len(tiny_samples)
+        assert set(summary.topologies) == {tiny_samples[0].topology_name}
+
+    def test_delay_quantiles_ordered(self, tiny_samples):
+        q = summarize_dataset(tiny_samples).delay_quantiles
+        assert q["min"] <= q["p25"] <= q["p50"] <= q["p75"] <= q["max"]
+
+    def test_quantiles_match_numpy(self, tiny_samples):
+        delays = np.concatenate([s.delay for s in tiny_samples])
+        q = summarize_dataset(tiny_samples).delay_quantiles
+        assert q["p50"] == pytest.approx(float(np.median(delays)))
+        assert q["mean"] == pytest.approx(float(delays.mean()))
+
+    def test_intensity_range(self, tiny_samples):
+        summary = summarize_dataset(tiny_samples)
+        lo, hi = summary.intensity_range
+        assert 0 < lo <= hi < 1
+
+    def test_single_class_dataset(self, tiny_samples):
+        assert summarize_dataset(tiny_samples).num_classes == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(DatasetError):
+            summarize_dataset([])
+
+
+class TestFormat:
+    def test_renders_key_fields(self, tiny_samples):
+        text = format_summary(summarize_dataset(tiny_samples))
+        assert "samples:" in text
+        assert "delay (s):" in text
+        assert "intensity:" in text
+
+    def test_cli_info_command(self, tiny_samples, tmp_path, capsys):
+        from repro.cli import main
+        from repro.dataset import save_dataset
+
+        path = tmp_path / "d.jsonl"
+        save_dataset(tiny_samples, path)
+        assert main(["info", "-d", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"samples: {len(tiny_samples)}" in out

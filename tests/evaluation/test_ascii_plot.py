@@ -1,0 +1,56 @@
+"""Tests for ASCII rendering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import scatter, cdf_curve, histogram
+
+
+class TestScatter:
+    def test_contains_markers(self):
+        text = scatter(np.array([1.0, 2.0]), np.array([1.0, 2.0]), title="t")
+        assert "o" in text
+        assert "t" in text
+
+    def test_diagonal_reference(self):
+        text = scatter(
+            np.linspace(0, 1, 5), np.linspace(0, 1, 5), diagonal=True
+        )
+        assert "." in text or "o" in text
+
+    def test_dimensions_respected(self):
+        text = scatter(np.array([1.0]), np.array([1.0]), width=30, height=10)
+        body_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(body_lines) == 10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            scatter(np.array([]), np.array([]))
+
+    def test_constant_values_no_crash(self):
+        scatter(np.ones(5), np.ones(5))
+
+
+class TestCdfCurve:
+    def test_contains_curve(self):
+        text = cdf_curve(np.random.default_rng(0).standard_normal(100))
+        assert "#" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_curve(np.array([]))
+
+    def test_single_value_no_crash(self):
+        cdf_curve(np.array([1.0]))
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        values = np.random.default_rng(1).uniform(0, 1, 50)
+        text = histogram(values, bins=5)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()[1:]]
+        assert sum(counts) == 50
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([]))

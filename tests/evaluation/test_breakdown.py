@@ -1,0 +1,55 @@
+"""Tests for the per-path-length error breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import error_by_path_length, format_breakdown
+
+
+class TestErrorByPathLength:
+    def test_buckets_cover_all_paths(self, tiny_samples):
+        samples = list(tiny_samples[:3])
+        predictions = [s.delay * 1.1 for s in samples]
+        breakdown = error_by_path_length(samples, predictions)
+        assert sum(int(v["count"]) for v in breakdown.values()) == sum(
+            s.num_pairs for s in samples
+        )
+
+    def test_hop_keys_match_routing(self, tiny_samples):
+        sample = tiny_samples[0]
+        breakdown = error_by_path_length([sample], [sample.delay])
+        hop_counts = {
+            len(sample.routing.link_path(s, d)) for s, d in sample.pairs
+        }
+        assert set(breakdown) == hop_counts
+
+    def test_known_error_per_bucket(self, tiny_samples):
+        sample = tiny_samples[0]
+        breakdown = error_by_path_length([sample], [sample.delay * 1.2])
+        for stats in breakdown.values():
+            assert stats["mre"] == pytest.approx(0.2)
+
+    def test_sorted_by_hops(self, tiny_samples):
+        sample = tiny_samples[0]
+        breakdown = error_by_path_length([sample], [sample.delay])
+        keys = list(breakdown)
+        assert keys == sorted(keys)
+
+    def test_length_mismatch_raises(self, tiny_samples):
+        with pytest.raises(ValueError, match="prediction arrays"):
+            error_by_path_length(list(tiny_samples[:2]), [tiny_samples[0].delay])
+
+    def test_shape_mismatch_raises(self, tiny_samples):
+        with pytest.raises(ValueError, match="does not match"):
+            error_by_path_length([tiny_samples[0]], [np.ones(3)])
+
+
+class TestFormat:
+    def test_renders(self, tiny_samples):
+        sample = tiny_samples[0]
+        text = format_breakdown(error_by_path_length([sample], [sample.delay]))
+        assert "hops" in text and "MRE" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_breakdown({})

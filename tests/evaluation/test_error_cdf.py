@@ -1,0 +1,74 @@
+"""Tests for the fig3 relative-error CDF harness."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ErrorCDF, compute_error_cdf, cdf_table
+
+
+def cdf_from(noise=0.1, n=1000, seed=0, label="d"):
+    rng = np.random.default_rng(seed)
+    true = rng.uniform(0.5, 2.0, size=n)
+    pred = true * (1.0 + noise * rng.standard_normal(n))
+    return compute_error_cdf(pred, true, label=label)
+
+
+class TestErrorCDF:
+    def test_errors_sorted(self):
+        cdf = cdf_from()
+        assert (np.diff(cdf.errors) >= 0).all()
+
+    def test_median_near_zero_for_unbiased(self):
+        assert abs(cdf_from(noise=0.1).quantile(0.5)) < 0.02
+
+    def test_abs_quantile_monotone(self):
+        cdf = cdf_from()
+        assert cdf.abs_quantile(0.5) <= cdf.abs_quantile(0.9)
+
+    def test_fraction_within_monotone(self):
+        cdf = cdf_from()
+        assert cdf.fraction_within(0.05) <= cdf.fraction_within(0.2)
+
+    def test_fraction_within_all(self):
+        cdf = cdf_from()
+        assert cdf.fraction_within(1e9) == 1.0
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError):
+            cdf_from().fraction_within(-0.1)
+
+    def test_series_is_valid_cdf(self):
+        series = cdf_from().series(num_points=11)
+        fs = [f for _, f in series]
+        assert fs == sorted(fs)
+        assert fs[-1] == pytest.approx(1.0)
+
+    def test_series_needs_two_points(self):
+        with pytest.raises(ValueError):
+            cdf_from().series(num_points=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorCDF(label="x", errors=np.array([]))
+
+    def test_tighter_model_dominates(self):
+        """Lower-noise predictions give a CDF that rises faster."""
+        tight = cdf_from(noise=0.05, seed=1)
+        loose = cdf_from(noise=0.5, seed=1)
+        for q in (0.5, 0.9):
+            assert tight.abs_quantile(q) < loose.abs_quantile(q)
+
+
+class TestCdfTable:
+    def test_contains_all_labels(self):
+        table = cdf_table([cdf_from(label="nsfnet"), cdf_from(label="geant2")])
+        assert "nsfnet" in table and "geant2" in table
+
+    def test_has_quantile_rows(self):
+        table = cdf_table([cdf_from()])
+        assert "P50" in table and "P90" in table
+        assert "count" in table
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            cdf_table([])

@@ -1,0 +1,110 @@
+"""Tests for CSV export of figure data."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    collect_regression,
+    compute_error_cdf,
+    export_cdf_csv,
+    export_matrix_csv,
+    export_regression_csv,
+    export_top_paths_csv,
+    top_n_paths,
+)
+
+
+def _read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+@pytest.fixture()
+def regression():
+    rng = np.random.default_rng(0)
+    true = rng.uniform(0.1, 1.0, size=20)
+    pred = true * 1.05
+    pairs = tuple((i, i + 1) for i in range(20))
+    return collect_regression(pred, true, pairs)
+
+
+class TestRegressionExport:
+    def test_row_count_and_header(self, regression, tmp_path):
+        path = tmp_path / "fig2.csv"
+        assert export_regression_csv(regression, path) == 20
+        rows = _read_csv(path)
+        assert rows[0] == ["src", "dst", "true_delay", "predicted_delay"]
+        assert len(rows) == 21
+
+    def test_values_roundtrip(self, regression, tmp_path):
+        path = tmp_path / "fig2.csv"
+        export_regression_csv(regression, path)
+        rows = _read_csv(path)[1:]
+        assert float(rows[0][2]) == pytest.approx(regression.true[0])
+        assert float(rows[0][3]) == pytest.approx(regression.pred[0])
+
+    def test_creates_parent_dirs(self, regression, tmp_path):
+        path = tmp_path / "deep" / "nested" / "fig2.csv"
+        export_regression_csv(regression, path)
+        assert path.exists()
+
+
+class TestCdfExport:
+    def test_long_format(self, tmp_path):
+        rng = np.random.default_rng(1)
+        cdfs = [
+            compute_error_cdf(rng.uniform(0.9, 1.1, 50), np.ones(50), label=name)
+            for name in ("a", "b")
+        ]
+        path = tmp_path / "fig3.csv"
+        count = export_cdf_csv(cdfs, path, num_points=11)
+        assert count == 22
+        rows = _read_csv(path)
+        assert {r[0] for r in rows[1:]} == {"a", "b"}
+
+    def test_fractions_monotone_per_dataset(self, tmp_path):
+        rng = np.random.default_rng(2)
+        cdf = compute_error_cdf(rng.uniform(0.5, 1.5, 100), np.ones(100), label="x")
+        path = tmp_path / "fig3.csv"
+        export_cdf_csv([cdf], path, num_points=21)
+        fractions = [float(r[2]) for r in _read_csv(path)[1:]]
+        assert fractions == sorted(fractions)
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_cdf_csv([], tmp_path / "x.csv")
+
+
+class TestTopPathsExport:
+    def test_rows_with_truth(self, tmp_path):
+        pred = np.array([0.5, 0.9, 0.2])
+        rows = top_n_paths(((0, 1), (1, 2), (2, 0)), pred, n=3, true_delay=pred)
+        path = tmp_path / "fig4.csv"
+        assert export_top_paths_csv(rows, path) == 3
+        data = _read_csv(path)
+        assert data[1][0] == "1"  # best rank first
+
+    def test_rows_without_truth_blank_column(self, tmp_path):
+        rows = top_n_paths(((0, 1), (1, 2)), np.array([0.5, 0.9]), n=2)
+        path = tmp_path / "fig4.csv"
+        export_top_paths_csv(rows, path)
+        assert _read_csv(path)[1][4] == ""
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_top_paths_csv([], tmp_path / "x.csv")
+
+
+class TestMatrixExport:
+    def test_long_format(self, tmp_path):
+        matrix = {"nsfnet": {"mre": 0.1, "r2": 0.9}, "geant2": {"mre": 0.12, "r2": 0.85}}
+        path = tmp_path / "matrix.csv"
+        assert export_matrix_csv(matrix, path) == 4
+        rows = _read_csv(path)
+        assert ["nsfnet", "mre", "0.1"] in rows
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_matrix_csv({}, tmp_path / "x.csv")

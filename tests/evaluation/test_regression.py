@@ -1,0 +1,64 @@
+"""Tests for the fig2 regression-data harness."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import collect_regression, binned_means
+
+
+def make_data(n=50, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    true = rng.uniform(0.1, 1.0, size=n)
+    pred = true * (1.0 + noise * rng.standard_normal(n))
+    pairs = tuple((i, i + 1) for i in range(n))
+    return collect_regression(pred, true, pairs)
+
+
+class TestRegressionData:
+    def test_perfect_prediction_stats(self):
+        data = make_data(noise=0.0)
+        summary = data.summary()
+        assert summary["r2"] == pytest.approx(1.0)
+        assert summary["mre"] == pytest.approx(0.0)
+        assert data.slope_through_origin() == pytest.approx(1.0)
+
+    def test_biased_prediction_slope(self):
+        data = make_data()
+        biased = collect_regression(data.pred * 1.2, data.true, data.pairs)
+        assert biased.slope_through_origin() == pytest.approx(1.2)
+
+    def test_points_export(self):
+        data = make_data(n=5)
+        points = data.points()
+        assert len(points) == 5
+        assert points[0] == (data.true[0], data.pred[0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            collect_regression(np.ones(3), np.ones(4), tuple((i, i + 1) for i in range(3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            collect_regression(np.array([]), np.array([]), ())
+
+    def test_zero_truth_slope_raises(self):
+        data = collect_regression(np.zeros(2), np.zeros(2) + 0.0, ((0, 1), (1, 0)))
+        with pytest.raises(ValueError):
+            data.slope_through_origin()
+
+
+class TestBinnedMeans:
+    def test_bins_cover_all_points(self):
+        data = make_data(n=100, noise=0.05, seed=2)
+        rows = binned_means(data, num_bins=8)
+        assert sum(n for _, _, n in rows) == 100
+
+    def test_trend_monotone_for_good_model(self):
+        data = make_data(n=500, noise=0.02, seed=3)
+        rows = binned_means(data, num_bins=6)
+        means = [m for _, m, _ in rows]
+        assert means == sorted(means)
+
+    def test_bad_bins_raise(self):
+        with pytest.raises(ValueError):
+            binned_means(make_data(), num_bins=0)

@@ -1,0 +1,88 @@
+"""Tests for the fig4 Top-N path ranking harness."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import top_n_paths, ranking_agreement, format_top_paths
+
+
+PAIRS = ((0, 1), (0, 2), (1, 2), (2, 0))
+DELAYS = np.array([0.4, 0.9, 0.1, 0.6])
+
+
+class TestTopN:
+    def test_descending_order(self):
+        rows = top_n_paths(PAIRS, DELAYS, n=4)
+        values = [r.predicted_delay for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_ranks_sequential(self):
+        rows = top_n_paths(PAIRS, DELAYS, n=3)
+        assert [r.rank for r in rows] == [1, 2, 3]
+
+    def test_top_1_is_max(self):
+        rows = top_n_paths(PAIRS, DELAYS, n=1)
+        assert (rows[0].src, rows[0].dst) == (0, 2)
+
+    def test_n_larger_than_paths_truncates(self):
+        assert len(top_n_paths(PAIRS, DELAYS, n=100)) == 4
+
+    def test_true_delay_attached(self):
+        truth = DELAYS * 1.1
+        rows = top_n_paths(PAIRS, DELAYS, n=2, true_delay=truth)
+        assert rows[0].true_delay == pytest.approx(0.99)
+
+    def test_tie_break_deterministic(self):
+        equal = np.ones(4)
+        rows_a = top_n_paths(PAIRS, equal, n=4)
+        rows_b = top_n_paths(PAIRS, equal, n=4)
+        assert [(r.src, r.dst) for r in rows_a] == [(r.src, r.dst) for r in rows_b]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            top_n_paths(PAIRS, DELAYS[:2], n=1)
+
+    def test_bad_n_raises(self):
+        with pytest.raises(ValueError):
+            top_n_paths(PAIRS, DELAYS, n=0)
+
+
+class TestRankingAgreement:
+    def test_perfect_agreement(self):
+        stats = ranking_agreement(DELAYS, DELAYS, n=2)
+        assert stats["top_n_overlap"] == 1.0
+        assert stats["spearman"] == pytest.approx(1.0)
+
+    def test_reversed_ranking(self):
+        stats = ranking_agreement(DELAYS, -DELAYS + 1.0, n=4)
+        assert stats["spearman"] == pytest.approx(-1.0)
+
+    def test_partial_overlap(self):
+        pred = np.array([10.0, 9.0, 1.0, 2.0])
+        true = np.array([10.0, 1.0, 9.0, 2.0])
+        stats = ranking_agreement(pred, true, n=2)
+        assert stats["top_n_overlap"] == 0.5
+
+    def test_n_clipped_to_size(self):
+        stats = ranking_agreement(DELAYS, DELAYS, n=100)
+        assert stats["n"] == 4.0
+
+    def test_too_few_paths_raise(self):
+        with pytest.raises(ValueError):
+            ranking_agreement(np.array([1.0]), np.array([1.0]))
+
+
+class TestFormat:
+    def test_table_contains_paths(self):
+        rows = top_n_paths(PAIRS, DELAYS, n=2, true_delay=DELAYS)
+        text = format_top_paths(rows)
+        assert "0->2" in text
+        assert "rel.err" in text
+
+    def test_without_truth_no_relerr_column(self):
+        text = format_top_paths(top_n_paths(PAIRS, DELAYS, n=2))
+        assert "rel.err" not in text
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ValueError):
+            format_top_paths([])

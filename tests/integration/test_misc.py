@@ -1,0 +1,60 @@
+"""Cross-cutting odds and ends: CLI helpers, serialization guards,
+event-queue ordering property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.cli.commands import _resolve_topology
+from repro.simulator import EventQueue
+
+
+class TestResolveTopology:
+    def test_reference_name(self):
+        assert _resolve_topology("nsfnet").num_nodes == 14
+
+    def test_synthetic_spec(self):
+        topo = _resolve_topology("synthetic:12")
+        assert topo.num_nodes == 12
+
+    def test_synthetic_spec_with_seed_deterministic(self):
+        a = _resolve_topology("synthetic:10:7")
+        b = _resolve_topology("synthetic:10:7")
+        assert a == b
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            _resolve_topology("arpanet")
+
+
+class TestSerializationGuards:
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            nn.save_state(tmp_path / "x.npz", {"__meta__": np.zeros(1)})
+
+    def test_meta_roundtrip_unicode(self, tmp_path):
+        path = tmp_path / "x.npz"
+        nn.save_state(path, {"w": np.ones(2)}, meta={"note": "Geant2 — ünïcode"})
+        _, meta = nn.load_state(path)
+        assert meta["note"] == "Geant2 — ünïcode"
+
+
+class TestEventQueueProperty:
+    @given(times=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_pops_in_nondecreasing_time_order(self, times):
+        q = EventQueue()
+        for i, t in enumerate(times):
+            q.push(t, i)
+        popped = [q.pop()[0] for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+    @given(n=st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_equal_times_preserve_insertion_order(self, n):
+        q = EventQueue()
+        for i in range(n):
+            q.push(1.0, i)
+        assert [q.pop()[1] for _ in range(n)] == list(range(n))

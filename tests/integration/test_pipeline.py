@@ -1,0 +1,130 @@
+"""Integration tests: the full paper pipeline on scaled-down workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet, build_model_input
+from repro.dataset import (
+    GenerationConfig,
+    generate_dataset,
+    load_dataset,
+    save_dataset,
+    train_eval_split,
+)
+from repro.evaluation import (
+    collect_regression,
+    compute_error_cdf,
+    cdf_table,
+    top_n_paths,
+    ranking_agreement,
+)
+from repro.planning import NetworkView
+from repro.topology import synthetic_topology
+from repro.training import Trainer
+
+HP = HyperParams(
+    link_state_dim=8,
+    path_state_dim=8,
+    message_passing_steps=3,
+    readout_hidden=(16,),
+    learning_rate=3e-3,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_samples):
+    """Train once; reuse across the integration assertions."""
+    train, evaluation = train_eval_split(tiny_samples, 0.25, seed=3)
+    trainer = Trainer(RouteNet(HP, seed=0), seed=1)
+    trainer.fit(train, epochs=25)
+    return trainer, train, evaluation
+
+
+class TestEndToEnd:
+    def test_model_beats_naive_on_heldout(self, pipeline):
+        trainer, _, evaluation = pipeline
+        metrics = trainer.evaluate(evaluation)["delay"]
+        assert metrics["mre"] < 0.5
+        assert metrics["pearson"] > 0.6
+
+    def test_fig2_regression_data(self, pipeline):
+        trainer, _, evaluation = pipeline
+        sample = evaluation[0]
+        pred = trainer.predict_sample(sample)
+        data = collect_regression(pred["delay"], sample.delay, sample.pairs)
+        assert 0.3 < data.slope_through_origin() < 3.0
+
+    def test_fig3_cdf_data(self, pipeline):
+        trainer, train, evaluation = pipeline
+        preds, trues = [], []
+        for s in evaluation:
+            preds.append(trainer.predict_sample(s)["delay"])
+            trues.append(s.delay)
+        cdf = compute_error_cdf(np.concatenate(preds), np.concatenate(trues), "eval")
+        assert cdf.abs_quantile(0.5) < 0.6
+        table = cdf_table([cdf])
+        assert "eval" in table
+
+    def test_fig4_topn_data(self, pipeline):
+        trainer, _, evaluation = pipeline
+        sample = evaluation[0]
+        pred = trainer.predict_sample(sample)["delay"]
+        rows = top_n_paths(sample.pairs, pred, n=5, true_delay=sample.delay)
+        assert len(rows) == 5
+        agreement = ranking_agreement(pred, sample.delay, n=5)
+        assert agreement["spearman"] > 0.0
+
+    def test_planning_view_runs(self, pipeline):
+        trainer, train, _ = pipeline
+        s = train[0]
+        view = NetworkView(trainer.model, trainer.scaler, s.topology, s.routing, s.traffic)
+        assert len(view.top_delay_paths(3)) == 3
+
+    def test_checkpoint_roundtrip_preserves_predictions(self, pipeline, tmp_path):
+        trainer, train, _ = pipeline
+        path = str(tmp_path / "model.npz")
+        trainer.model.save(path, trainer.scaler)
+        model, scaler, _ = RouteNet.load(path)
+        s = train[0]
+        inputs = build_model_input(
+            s.topology, s.routing, s.traffic, scaler=scaler, pairs=list(s.pairs)
+        )
+        fresh = model.predict(inputs, scaler)["delay"]
+        original = trainer.predict_sample(s)["delay"]
+        np.testing.assert_allclose(fresh, original)
+
+    def test_dataset_roundtrip_trains_identically(self, pipeline, tmp_path, tiny_samples):
+        """Serialized samples carry everything training needs."""
+        path = tmp_path / "ds.jsonl"
+        save_dataset(tiny_samples[:4], path)
+        restored = load_dataset(path)
+        trainer = Trainer(RouteNet(HP, seed=9), seed=9)
+        history = trainer.fit(restored, epochs=2)
+        assert len(history.epochs) == 2
+
+
+class TestGeneralizationSmoke:
+    """Scaled-down version of the paper's headline experiment: train on two
+    topologies, predict on a third unseen one."""
+
+    def test_transfer_to_unseen_topology(self):
+        cfg = GenerationConfig(
+            target_packets_per_pair=60, min_delivered=10, intensity_range=(0.4, 0.7)
+        )
+        topo_a = synthetic_topology(6, seed=1, mean_degree=2.5)
+        topo_b = synthetic_topology(8, seed=2, mean_degree=2.5)
+        unseen = synthetic_topology(7, seed=3, mean_degree=2.5)
+        train = generate_dataset(topo_a, 6, seed=10, config=cfg) + generate_dataset(
+            topo_b, 6, seed=11, config=cfg
+        )
+        test = generate_dataset(unseen, 3, seed=12, config=cfg)
+
+        trainer = Trainer(RouteNet(HP, seed=4), seed=5)
+        trainer.fit(train, epochs=25)
+        seen_mre = trainer.evaluate(train)["delay"]["mre"]
+        unseen_metrics = trainer.evaluate(test)["delay"]
+
+        # The unseen topology must still be predicted meaningfully: positive
+        # correlation and error within a factor ~3 of the on-distribution one.
+        assert unseen_metrics["pearson"] > 0.5
+        assert unseen_metrics["mre"] < max(3.5 * seen_mre, 0.6)

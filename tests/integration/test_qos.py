@@ -1,0 +1,208 @@
+"""QoS extension tests: strict-priority scheduling end to end.
+
+Covers the priority-band LinkQueue, class assignment in dataset generation,
+the physical effect (premium traffic sees less delay), and the class-aware
+RouteNet learning that separation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.dataset import GenerationConfig, generate_dataset, generate_sample
+from repro.errors import SimulationError
+from repro.routing import RoutingScheme
+from repro.simulator import LinkQueue, Packet, SimulationConfig, simulate
+from repro.topology import Link, Topology, synthetic_topology
+from repro.traffic import TrafficMatrix
+from repro.training import Trainer
+
+
+def _packet(priority: int, size=500.0) -> Packet:
+    return Packet(flow=0, size_bits=size, created_at=0.0, route=(0,), priority=priority)
+
+
+class TestPriorityQueue:
+    def test_high_band_served_first(self):
+        q = LinkQueue(Link(0, 0, 1, 1000.0), buffer_packets=8, priority_bands=2)
+        low = _packet(1)
+        high = _packet(0)
+        q.try_enqueue(low)
+        q.try_enqueue(high)
+        served, _ = q.start_service(0.0)
+        assert served is high
+
+    def test_fifo_within_band(self):
+        q = LinkQueue(Link(0, 0, 1, 1000.0), buffer_packets=8, priority_bands=2)
+        first, second = _packet(1), _packet(1)
+        q.try_enqueue(first)
+        q.try_enqueue(second)
+        served, _ = q.start_service(0.0)
+        assert served is first
+
+    def test_no_preemption(self):
+        """A high-priority arrival waits for the in-flight low packet."""
+        q = LinkQueue(Link(0, 0, 1, 1000.0), buffer_packets=8, priority_bands=2)
+        q.try_enqueue(_packet(1))
+        q.start_service(0.0)
+        high = _packet(0)
+        q.try_enqueue(high)
+        q.finish_service(0.5)
+        served, _ = q.start_service(0.5)
+        assert served is high
+
+    def test_buffer_shared_across_bands(self):
+        q = LinkQueue(Link(0, 0, 1, 1000.0), buffer_packets=2, priority_bands=2)
+        assert q.try_enqueue(_packet(1))
+        assert q.try_enqueue(_packet(1))
+        assert not q.try_enqueue(_packet(0))  # full, even for premium
+
+    def test_priority_out_of_range_raises(self):
+        q = LinkQueue(Link(0, 0, 1, 1000.0), priority_bands=2)
+        with pytest.raises(SimulationError, match="priority"):
+            q.try_enqueue(_packet(5))
+
+    def test_single_band_rejects_nonzero_priority(self):
+        q = LinkQueue(Link(0, 0, 1, 1000.0), priority_bands=1)
+        with pytest.raises(SimulationError):
+            q.try_enqueue(_packet(1))
+
+    def test_zero_bands_rejected(self):
+        with pytest.raises(SimulationError):
+            LinkQueue(Link(0, 0, 1, 1000.0), priority_bands=0)
+
+
+class TestSimulatorQoS:
+    def test_premium_flow_faster_on_shared_bottleneck(self):
+        """Two flows share the 1->2 link at high load; the premium one must
+        come out ahead even though it also crosses an extra (uncontended)
+        hop."""
+        topo = Topology.from_edges(3, [(0, 1), (1, 2)], capacity=10_000.0)
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((3, 3))
+        rates[0, 2] = 4_000.0  # premium, 0->1->2
+        rates[1, 2] = 4_000.0  # best effort, 1->2 only
+        tm = TrafficMatrix(rates)
+        config = SimulationConfig(
+            duration=800.0, warmup=80.0, seed=1, priority_bands=2
+        )
+        res = simulate(
+            topo, routing, tm, config,
+            flow_priorities={(0, 2): 0, (1, 2): 1},
+        )
+        premium_per_hop = res.flows[(0, 2)].mean_delay / 2
+        best_effort = res.flows[(1, 2)].mean_delay
+        assert best_effort > 1.3 * premium_per_hop
+
+    def test_priority_validation(self):
+        topo = Topology.from_edges(2, [(0, 1)], capacity=10_000.0)
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((2, 2))
+        rates[0, 1] = 1_000.0
+        with pytest.raises(SimulationError, match="priority"):
+            simulate(
+                topo, routing, TrafficMatrix(rates),
+                SimulationConfig(priority_bands=2),
+                flow_priorities={(0, 1): 5},
+            )
+
+    def test_single_band_default_unchanged(self):
+        """priority_bands=1 must reproduce the original FIFO behaviour."""
+        topo = Topology.from_edges(2, [(0, 1)], capacity=10_000.0)
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((2, 2))
+        rates[0, 1] = 5_000.0
+        tm = TrafficMatrix(rates)
+        cfg = SimulationConfig(duration=100.0, seed=3)
+        a = simulate(topo, routing, tm, cfg)
+        b = simulate(topo, routing, tm, cfg, flow_priorities={})
+        assert a.flows[(0, 1)].mean_delay == b.flows[(0, 1)].mean_delay
+
+
+@pytest.fixture(scope="module")
+def qos_samples():
+    topo = synthetic_topology(6, seed=13, mean_degree=2.5)
+    cfg = GenerationConfig(
+        target_packets_per_pair=120,
+        min_delivered=15,
+        num_classes=2,
+        intensity_range=(0.5, 0.8),
+    )
+    return generate_dataset(topo, 10, seed=31, config=cfg)
+
+
+class TestQosDataset:
+    def test_classes_recorded(self, qos_samples):
+        sample = qos_samples[0]
+        assert sample.pair_class is not None
+        assert set(np.unique(sample.pair_class)) <= {0, 1}
+        assert sample.meta["num_classes"] == 2
+
+    def test_both_classes_present(self, qos_samples):
+        classes = np.concatenate([s.pair_class for s in qos_samples])
+        assert (classes == 0).any() and (classes == 1).any()
+
+    def test_premium_class_faster_on_average(self, qos_samples):
+        delays = np.concatenate([s.delay for s in qos_samples])
+        classes = np.concatenate([s.pair_class for s in qos_samples])
+        assert delays[classes == 0].mean() < delays[classes == 1].mean()
+
+    def test_serialization_roundtrip(self, qos_samples, tmp_path):
+        from repro.dataset import load_dataset, save_dataset
+
+        path = tmp_path / "qos.jsonl"
+        save_dataset(qos_samples[:2], path)
+        restored = load_dataset(path)
+        np.testing.assert_array_equal(
+            restored[0].pair_class, qos_samples[0].pair_class
+        )
+
+    def test_deterministic(self):
+        topo = synthetic_topology(5, seed=2)
+        cfg = GenerationConfig(
+            target_packets_per_pair=40, min_delivered=5, num_classes=2
+        )
+        a = generate_sample(topo, seed=4, config=cfg)
+        b = generate_sample(topo, seed=4, config=cfg)
+        np.testing.assert_array_equal(a.pair_class, b.pair_class)
+
+
+class TestClassAwareModel:
+    HP = HyperParams(
+        link_state_dim=8,
+        path_state_dim=8,
+        message_passing_steps=2,
+        readout_hidden=(12,),
+        learning_rate=3e-3,
+        path_feature_dim=3,  # traffic + 2-class one-hot
+    )
+
+    def test_trains_on_classed_samples(self, qos_samples):
+        trainer = Trainer(RouteNet(self.HP, seed=0), seed=1)
+        history = trainer.fit(qos_samples, epochs=8)
+        assert history.train_losses[-1] < history.train_losses[0]
+
+    def test_learns_class_separation(self, qos_samples):
+        trainer = Trainer(RouteNet(self.HP, seed=0), seed=1)
+        trainer.fit(qos_samples, epochs=20)
+        pred = np.concatenate(
+            [trainer.predict_sample(s)["delay"] for s in qos_samples]
+        )
+        classes = np.concatenate([s.pair_class for s in qos_samples])
+        assert pred[classes == 0].mean() < pred[classes == 1].mean()
+
+    def test_class_blind_model_still_trains(self, qos_samples):
+        """A 1-feature model simply does not receive the class columns."""
+        hp = HyperParams(
+            link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+            readout_hidden=(12,), learning_rate=3e-3,
+        )
+        trainer = Trainer(RouteNet(hp, seed=0), seed=1)
+        trainer.fit(qos_samples, epochs=2)
+
+    def test_classed_model_rejects_unclassed_samples(self, tiny_samples):
+        trainer = Trainer(RouteNet(self.HP, seed=0), seed=1)
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="path features"):
+            trainer.fit(list(tiny_samples), epochs=1)

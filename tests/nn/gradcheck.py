@@ -1,0 +1,47 @@
+"""Finite-difference gradient checking shared by the nn test modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(
+    fn: Callable[[], Tensor], wrt: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of the scalar ``fn()`` w.r.t. ``wrt``."""
+    grad = np.zeros_like(wrt.data)
+    flat = wrt.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn().item()
+        flat[i] = original - eps
+        down = fn().item()
+        flat[i] = original
+        gflat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def assert_grads_close(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+) -> None:
+    """Assert analytic gradients of scalar ``fn()`` match finite differences."""
+    for p in params:
+        p.zero_grad()
+    out = fn()
+    out.backward()
+    for i, p in enumerate(params):
+        expected = numeric_grad(fn, p)
+        assert p.grad is not None, f"param {i} received no gradient"
+        np.testing.assert_allclose(
+            p.grad, expected, rtol=rtol, atol=atol,
+            err_msg=f"analytic vs numeric gradient mismatch for param {i}",
+        )

@@ -1,0 +1,271 @@
+"""Tests for Module/Dense/MLP plus GRUCell and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    GRUCell,
+    MLP,
+    Module,
+    Parameter,
+    SGD,
+    Tensor,
+    clip_global_norm,
+    load_module,
+    save_module,
+)
+
+from .gradcheck import assert_grads_close
+
+RNG = np.random.default_rng(7)
+
+
+def _param(values) -> Tensor:
+    return Parameter(np.asarray(values, dtype=np.float64))
+
+
+class TestModule:
+    def test_named_parameters_nested(self):
+        class Net(Module):
+            def __init__(self):
+                self.fc1 = Dense(2, 3, np.random.default_rng(0))
+                self.fc2 = Dense(3, 1, np.random.default_rng(1))
+
+        names = dict(Net().named_parameters()).keys()
+        assert {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"} == set(names)
+
+    def test_parameters_in_lists_discovered(self):
+        class Net(Module):
+            def __init__(self):
+                self.blocks = [Dense(2, 2, np.random.default_rng(i)) for i in range(2)]
+
+        assert len(list(Net().parameters())) == 4
+
+    def test_num_parameters(self):
+        layer = Dense(3, 4, RNG)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self):
+        a = Dense(2, 2, np.random.default_rng(0))
+        b = Dense(2, 2, np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_missing_key_raises(self):
+        layer = Dense(2, 2, RNG)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        layer = Dense(2, 2, RNG)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape"):
+            layer.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        layer = Dense(2, 1, RNG)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 8, RNG)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 8)
+
+    def test_linear_activation_is_affine(self):
+        layer = Dense(2, 1, RNG, activation="linear")
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_relu_activation_nonnegative(self):
+        layer = Dense(3, 3, RNG, activation="relu")
+        out = layer(Tensor(RNG.standard_normal((10, 3))))
+        assert (out.data >= 0).all()
+
+    def test_no_bias(self):
+        layer = Dense(2, 2, RNG, use_bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError, match="activation"):
+            Dense(2, 2, RNG, activation="swishy")
+
+    def test_gradcheck(self):
+        layer = Dense(3, 2, np.random.default_rng(3), activation="tanh")
+        x = Tensor(np.random.default_rng(4).standard_normal((4, 3)))
+        assert_grads_close(
+            lambda: (layer(x) ** 2).sum(), list(layer.parameters()), rtol=1e-4
+        )
+
+
+class TestMLP:
+    def test_depth(self):
+        net = MLP(4, [8, 8], 2, RNG)
+        assert len(net.layers) == 3
+
+    def test_output_shape(self):
+        net = MLP(4, [8], 2, RNG)
+        assert net(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_out_activation_softplus_positive(self):
+        net = MLP(4, [8], 1, RNG, out_activation="softplus")
+        out = net(Tensor(RNG.standard_normal((20, 4))))
+        assert (out.data > 0).all()
+
+    def test_gradcheck(self):
+        net = MLP(2, [3], 1, np.random.default_rng(5), activation="tanh")
+        x = Tensor(np.random.default_rng(6).standard_normal((3, 2)))
+        assert_grads_close(lambda: net(x).sum(), list(net.parameters()), rtol=1e-4)
+
+
+class TestGRUCell:
+    def test_state_shape_preserved(self):
+        cell = GRUCell(3, 5, RNG)
+        h = cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 5))))
+        assert h.shape == (2, 5)
+
+    def test_state_bounded(self):
+        # GRU state is a convex combination of tanh candidates: |h| <= 1 from h0=0.
+        cell = GRUCell(2, 4, RNG)
+        h = Tensor(np.zeros((1, 4)))
+        for _ in range(50):
+            h = cell(Tensor(RNG.standard_normal((1, 2))), h)
+        assert (np.abs(h.data) <= 1.0).all()
+
+    def test_deterministic_given_seed(self):
+        a = GRUCell(2, 3, np.random.default_rng(11))
+        b = GRUCell(2, 3, np.random.default_rng(11))
+        x, h = Tensor(np.ones((1, 2))), Tensor(np.zeros((1, 3)))
+        np.testing.assert_array_equal(a(x, h).data, b(x, h).data)
+
+    def test_gradcheck_single_step(self):
+        cell = GRUCell(2, 3, np.random.default_rng(8))
+        x = Tensor(np.random.default_rng(9).standard_normal((2, 2)))
+        h0 = Tensor(np.random.default_rng(10).standard_normal((2, 3)))
+        assert_grads_close(
+            lambda: (cell(x, h0) ** 2).sum(), list(cell.parameters()), rtol=1e-4, atol=1e-6
+        )
+
+    def test_gradcheck_unrolled_two_steps(self):
+        cell = GRUCell(2, 3, np.random.default_rng(12))
+        xs = [Tensor(np.random.default_rng(s).standard_normal((1, 2))) for s in (1, 2)]
+
+        def run():
+            h = Tensor(np.zeros((1, 3)))
+            for x in xs:
+                h = cell(x, h)
+            return (h**2).sum()
+
+        assert_grads_close(run, list(cell.parameters()), rtol=1e-4, atol=1e-6)
+
+
+class TestRNNCell:
+    def test_state_shape(self):
+        from repro.nn import RNNCell
+
+        cell = RNNCell(3, 5, RNG)
+        assert cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 5)))).shape == (2, 5)
+
+    def test_output_bounded_by_tanh(self):
+        from repro.nn import RNNCell
+
+        cell = RNNCell(2, 4, RNG)
+        h = cell(Tensor(RNG.standard_normal((3, 2)) * 10), Tensor(np.zeros((3, 4))))
+        assert (np.abs(h.data) <= 1.0).all()
+
+    def test_gradcheck(self):
+        from repro.nn import RNNCell
+
+        cell = RNNCell(2, 3, np.random.default_rng(31))
+        x = Tensor(np.random.default_rng(32).standard_normal((2, 2)))
+        h0 = Tensor(np.random.default_rng(33).standard_normal((2, 3)))
+        assert_grads_close(
+            lambda: (cell(x, h0) ** 2).sum(), list(cell.parameters()), rtol=1e-4
+        )
+
+    def test_make_cell_factory(self):
+        from repro.nn import GRUCell, RNNCell, make_cell
+
+        assert isinstance(make_cell("gru", 2, 3, RNG), GRUCell)
+        assert isinstance(make_cell("rnn", 2, 3, RNG), RNNCell)
+        with pytest.raises(ValueError, match="cell type"):
+            make_cell("lstm", 2, 3, RNG)
+
+
+class TestOptimizers:
+    def test_sgd_step_direction(self):
+        p = _param([1.0])
+        (p * 3.0).sum().backward()
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.7])
+
+    def test_sgd_momentum_accumulates(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            opt.zero_grad()
+            p.grad = np.array([1.0])
+            opt.step()
+        np.testing.assert_allclose(p.data, [-2.9])  # -1 then -(0.9+1)
+
+    def test_adam_converges_on_quadratic(self):
+        p = _param([5.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            ((p - 2.0) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [2.0], atol=1e-2)
+
+    def test_adam_skips_params_without_grad(self):
+        p, q = _param([1.0]), _param([1.0])
+        opt = Adam([p, q], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_array_equal(q.data, [1.0])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([_param([1.0])], lr=0.0)
+
+    def test_clip_global_norm(self):
+        p, q = _param([3.0]), _param([4.0])
+        p.grad, q.grad = np.array([3.0]), np.array([4.0])
+        norm = clip_global_norm([p, q], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(p.grad[0] ** 2 + q.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_clip_noop_when_under_norm(self):
+        p = _param([1.0])
+        p.grad = np.array([0.5])
+        clip_global_norm([p], max_norm=10.0)
+        np.testing.assert_array_equal(p.grad, [0.5])
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        src = MLP(3, [4], 2, np.random.default_rng(20))
+        dst = MLP(3, [4], 2, np.random.default_rng(21))
+        save_module(tmp_path / "ckpt.npz", src, meta={"epoch": 3})
+        meta = load_module(tmp_path / "ckpt.npz", dst)
+        assert meta == {"epoch": 3}
+        x = Tensor(np.ones((1, 3)))
+        np.testing.assert_array_equal(src(x).data, dst(x).data)
+
+    def test_load_into_wrong_architecture_raises(self, tmp_path):
+        save_module(tmp_path / "c.npz", MLP(3, [4], 2, RNG))
+        with pytest.raises(KeyError):
+            load_module(tmp_path / "c.npz", MLP(3, [4, 4], 2, RNG))

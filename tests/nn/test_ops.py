@@ -1,0 +1,200 @@
+"""Unit + gradient-check tests for repro.nn.ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, ops
+
+from .gradcheck import assert_grads_close
+
+
+def _param(values) -> Tensor:
+    return Tensor(np.asarray(values, dtype=np.float64), requires_grad=True)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestPointwise:
+    @pytest.mark.parametrize(
+        "fn,ref",
+        [
+            (ops.exp, np.exp),
+            (ops.tanh, np.tanh),
+            (ops.relu, lambda x: np.maximum(x, 0)),
+            (ops.softplus, lambda x: np.logaddexp(0, x)),
+            (ops.abs_, np.abs),
+        ],
+    )
+    def test_forward_matches_numpy(self, fn, ref):
+        x = np.linspace(-3, 3, 13)
+        np.testing.assert_allclose(fn(Tensor(x)).data, ref(x), rtol=1e-12)
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-30, 30, 101)
+        y = ops.sigmoid(Tensor(x)).data
+        assert np.all((y > 0) & (y < 1))
+        np.testing.assert_allclose(y + y[::-1], np.ones_like(y), atol=1e-12)
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        y = ops.sigmoid(Tensor(np.array([-1000.0, 1000.0]))).data
+        assert np.isfinite(y).all()
+
+    def test_log_sqrt(self):
+        x = np.array([1.0, 4.0, 9.0])
+        np.testing.assert_allclose(ops.log(Tensor(x)).data, np.log(x))
+        np.testing.assert_allclose(ops.sqrt(Tensor(x)).data, [1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "fn", [ops.exp, ops.tanh, ops.sigmoid, ops.softplus, lambda t: ops.leaky_relu(t, 0.1)]
+    )
+    def test_gradcheck_smooth(self, fn):
+        x = _param(RNG.standard_normal(7))
+        assert_grads_close(lambda: fn(x).sum(), [x], rtol=1e-4, atol=1e-6)
+
+    def test_gradcheck_log_sqrt_positive_domain(self):
+        x = _param(RNG.uniform(0.5, 3.0, size=5))
+        assert_grads_close(lambda: ops.log(x).sum(), [x], rtol=1e-4)
+        assert_grads_close(lambda: ops.sqrt(x).sum(), [x], rtol=1e-4)
+
+    def test_relu_grad_at_positive_negative(self):
+        x = _param([-2.0, 3.0])
+        ops.relu(x).sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0])
+
+    def test_clip_values_and_grad(self):
+        x = _param([-2.0, 0.5, 2.0])
+        out = ops.clip(x, -1.0, 1.0)
+        np.testing.assert_array_equal(out.data, [-1.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 0.0])
+
+    def test_where_select_and_grad(self):
+        a, b = _param([1.0, 2.0]), _param([10.0, 20.0])
+        cond = np.array([True, False])
+        out = ops.where(cond, a, b)
+        np.testing.assert_array_equal(out.data, [1.0, 20.0])
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0])
+
+
+class TestConcatStack:
+    def test_concat_values(self):
+        out = ops.concat([Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_concat_grad_routes_to_parts(self):
+        a, b = _param(np.ones((2, 2))), _param(np.ones((2, 3)))
+        out = ops.concat([a, b], axis=1)
+        (out * np.arange(10.0).reshape(2, 5)).sum().backward()
+        np.testing.assert_array_equal(a.grad, [[0, 1], [5, 6]])
+        np.testing.assert_array_equal(b.grad, [[2, 3, 4], [7, 8, 9]])
+
+    def test_concat_axis0_gradcheck(self):
+        a, b = _param(RNG.standard_normal((2, 3))), _param(RNG.standard_normal((1, 3)))
+        assert_grads_close(lambda: (ops.concat([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack_shape_and_grad(self):
+        a, b = _param([1.0, 2.0]), _param([3.0, 4.0])
+        out = ops.stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 1.0])
+
+
+class TestGatherSegment:
+    def test_gather_rows(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = ops.gather(x, np.array([2, 0, 2]))
+        np.testing.assert_array_equal(out.data[0], [6, 7, 8])
+        np.testing.assert_array_equal(out.data[1], [0, 1, 2])
+
+    def test_gather_grad_accumulates_duplicates(self):
+        x = _param(np.zeros((3, 2)))
+        ops.gather(x, np.array([1, 1, 0])).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[1, 1], [2, 2], [0, 0]])
+
+    def test_segment_sum_values(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = ops.segment_sum(x, np.array([0, 1, 0, 1]), 2)
+        np.testing.assert_array_equal(out.data, [[4.0], [6.0]])
+
+    def test_segment_sum_ignores_negative_ids(self):
+        x = Tensor(np.ones((3, 2)))
+        out = ops.segment_sum(x, np.array([0, -1, 0]), 1)
+        np.testing.assert_array_equal(out.data, [[2.0, 2.0]])
+
+    def test_segment_sum_empty_segment_is_zero(self):
+        out = ops.segment_sum(Tensor(np.ones((2, 1))), np.array([0, 0]), 3)
+        np.testing.assert_array_equal(out.data, [[2.0], [0.0], [0.0]])
+
+    def test_segment_sum_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="segment_ids"):
+            ops.segment_sum(Tensor(np.ones((3, 1))), np.array([0, 1]), 2)
+
+    def test_segment_sum_gradcheck(self):
+        x = _param(RNG.standard_normal((6, 2)))
+        ids = np.array([0, 2, 1, -1, 2, 0])
+        assert_grads_close(lambda: (ops.segment_sum(x, ids, 3) ** 2).sum(), [x])
+
+    def test_segment_mean(self):
+        x = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        out = ops.segment_mean(x, np.array([0, 0, 1]), 2)
+        np.testing.assert_array_equal(out.data, [[3.0], [6.0]])
+
+    def test_gather_then_segment_roundtrip(self):
+        # Scatter of a gather over the same index partition reproduces sums.
+        x = _param(RNG.standard_normal((4, 3)))
+        ids = np.array([0, 1, 2, 3])
+        out = ops.segment_sum(ops.gather(x, ids), ids, 4)
+        np.testing.assert_allclose(out.data, x.data)
+
+    @given(
+        n=st.integers(1, 20),
+        segments=st.integers(1, 5),
+        data=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_segment_sum_total_preserved(self, n, segments, data):
+        """Property: summing all segments equals summing all (valid) rows."""
+        rng = np.random.default_rng(data.randint(0, 10_000))
+        x = Tensor(rng.standard_normal((n, 2)))
+        ids = rng.integers(0, segments, size=n)
+        out = ops.segment_sum(x, ids, segments)
+        np.testing.assert_allclose(out.data.sum(axis=0), x.data.sum(axis=0), atol=1e-9)
+
+
+class TestDropoutHuber:
+    def test_dropout_identity_when_not_training(self):
+        x = Tensor(np.ones(10))
+        out = ops.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_scales_survivors(self):
+        x = Tensor(np.ones(10_000))
+        out = ops.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        survivors = out.data[out.data > 0]
+        np.testing.assert_allclose(survivors, 2.0)
+        assert 0.4 < survivors.size / 10_000 < 0.6
+
+    def test_dropout_bad_rate_raises(self):
+        with pytest.raises(ValueError):
+            ops.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+    def test_huber_quadratic_region(self):
+        pred = _param([1.5])
+        loss = ops.huber(pred, np.array([1.0]), delta=1.0)
+        np.testing.assert_allclose(loss.data, [0.125])
+
+    def test_huber_linear_region(self):
+        pred = _param([5.0])
+        loss = ops.huber(pred, np.array([1.0]), delta=1.0)
+        np.testing.assert_allclose(loss.data, [3.5])  # |4|*1 - 0.5
+
+    def test_huber_gradcheck_both_regions(self):
+        pred = _param([0.3, 4.0, -3.0, 1.2])
+        target = np.array([0.0, 0.0, 0.0, 0.0])
+        assert_grads_close(lambda: ops.huber(pred, target).sum(), [pred], rtol=1e-4)

@@ -1,0 +1,111 @@
+"""Tests for capacity-planning what-ifs."""
+
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.errors import TopologyError
+from repro.planning import capacity_upgrade_whatif, rank_upgrade_candidates
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_samples):
+    hp = HyperParams(
+        link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+        readout_hidden=(12,), learning_rate=3e-3,
+    )
+    trainer = Trainer(RouteNet(hp, seed=0), seed=1)
+    trainer.fit(tiny_samples, epochs=20)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def scenario(tiny_samples):
+    s = tiny_samples[0]
+    return s.topology, s.routing, s.traffic
+
+
+class TestWithCapacity:
+    def test_only_selected_edge_changes(self, scenario):
+        topo, _, _ = scenario
+        link = topo.links[0]
+        upgraded = topo.with_capacity(link.src, link.dst, link.capacity * 2)
+        assert upgraded.links[link.id].capacity == link.capacity * 2
+        reverse = upgraded.link_id(link.dst, link.src)
+        assert upgraded.links[reverse].capacity == link.capacity * 2
+        untouched = [
+            l for l in upgraded.links if l.id not in (link.id, reverse)
+        ]
+        assert all(
+            l.capacity == topo.links[l.id].capacity for l in untouched
+        )
+
+    def test_link_ids_preserved(self, scenario):
+        topo, routing, _ = scenario
+        link = topo.links[0]
+        upgraded = topo.with_capacity(link.src, link.dst, link.capacity * 2)
+        # Existing routing stays valid on the upgraded copy.
+        for pair in routing.pairs[:5]:
+            path = routing.node_path(*pair)
+            for u, v in zip(path[:-1], path[1:]):
+                assert upgraded.has_link(u, v)
+
+    def test_missing_edge_raises(self, scenario):
+        topo, _, _ = scenario
+        with pytest.raises(TopologyError):
+            topo.with_capacity(0, 0, 1.0)
+
+
+class TestUpgradeWhatIf:
+    def test_structure(self, trained, scenario):
+        topo, routing, traffic = scenario
+        link = topo.links[0]
+        option = capacity_upgrade_whatif(
+            trained.model, trained.scaler, topo, routing, traffic,
+            (link.src, link.dst),
+        )
+        assert option.edge == (link.src, link.dst)
+        assert option.mean_delay_before > 0
+        assert option.mean_delay_after > 0
+        assert 0 <= option.utilization_before
+
+    def test_upgrading_bottleneck_predicts_improvement(self, trained, scenario):
+        """Doubling the busiest edge should reduce predicted mean delay."""
+        topo, routing, traffic = scenario
+        options = rank_upgrade_candidates(
+            trained.model, trained.scaler, topo, routing, traffic, top=3
+        )
+        assert options[0].improvement > 0
+
+    def test_bad_factor_raises(self, trained, scenario):
+        topo, routing, traffic = scenario
+        link = topo.links[0]
+        with pytest.raises(ValueError):
+            capacity_upgrade_whatif(
+                trained.model, trained.scaler, topo, routing, traffic,
+                (link.src, link.dst), factor=0.0,
+            )
+
+
+class TestRankCandidates:
+    def test_sorted_by_improvement(self, trained, scenario):
+        topo, routing, traffic = scenario
+        options = rank_upgrade_candidates(
+            trained.model, trained.scaler, topo, routing, traffic, top=4
+        )
+        improvements = [o.improvement for o in options]
+        assert improvements == sorted(improvements, reverse=True)
+
+    def test_top_limits_candidates(self, trained, scenario):
+        topo, routing, traffic = scenario
+        options = rank_upgrade_candidates(
+            trained.model, trained.scaler, topo, routing, traffic, top=2
+        )
+        assert len(options) == 2
+
+    def test_bad_top_raises(self, trained, scenario):
+        topo, routing, traffic = scenario
+        with pytest.raises(ValueError):
+            rank_upgrade_candidates(
+                trained.model, trained.scaler, topo, routing, traffic, top=0
+            )

@@ -1,0 +1,133 @@
+"""Tests for model-driven routing optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.errors import RoutingError
+from repro.planning import generate_candidates, optimize_routing, OBJECTIVES
+from repro.routing import RoutingScheme
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_samples):
+    hp = HyperParams(
+        link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+        readout_hidden=(12,), learning_rate=3e-3,
+    )
+    trainer = Trainer(RouteNet(hp, seed=0), seed=1)
+    trainer.fit(tiny_samples, epochs=15)
+    return trainer
+
+
+class TestGenerateCandidates:
+    def test_count_respected(self, tiny_topology):
+        assert len(generate_candidates(tiny_topology, 5, seed=0)) == 5
+
+    def test_first_is_shortest_path(self, tiny_topology):
+        candidates = generate_candidates(tiny_topology, 3, seed=0)
+        assert candidates[0].name == "shortest-path"
+
+    def test_candidates_differ(self, tiny_topology):
+        candidates = generate_candidates(tiny_topology, 6, seed=0)
+        dicts = [c.to_dict() for c in candidates]
+        unique = {tuple(sorted((k, tuple(v)) for k, v in d.items())) for d in dicts}
+        assert len(unique) >= 3
+
+    def test_deterministic(self, tiny_topology):
+        a = generate_candidates(tiny_topology, 4, seed=9)
+        b = generate_candidates(tiny_topology, 4, seed=9)
+        assert [c.to_dict() for c in a] == [c.to_dict() for c in b]
+
+    def test_zero_count_raises(self, tiny_topology):
+        with pytest.raises(RoutingError):
+            generate_candidates(tiny_topology, 0)
+
+
+class TestOptimizeRouting:
+    def test_result_structure(self, trained, tiny_samples):
+        sample = tiny_samples[0]
+        result = optimize_routing(
+            trained.model, trained.scaler, sample.topology, sample.traffic,
+            num_candidates=4, seed=0,
+        )
+        assert len(result.scores) == 4
+        assert result.best is result.scores[0]
+        assert result.best_routing is result.candidates[result.best.index]
+
+    def test_scores_sorted_ascending(self, trained, tiny_samples):
+        sample = tiny_samples[0]
+        result = optimize_routing(
+            trained.model, trained.scaler, sample.topology, sample.traffic,
+            num_candidates=5, seed=1,
+        )
+        values = [s.score for s in result.scores]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_objectives_run(self, trained, tiny_samples, objective):
+        sample = tiny_samples[0]
+        result = optimize_routing(
+            trained.model, trained.scaler, sample.topology, sample.traffic,
+            num_candidates=3, objective=objective, seed=2,
+        )
+        assert result.objective == objective
+        assert np.isfinite(result.best.score)
+
+    def test_worst_objective_uses_max(self, trained, tiny_samples):
+        sample = tiny_samples[0]
+        result = optimize_routing(
+            trained.model, trained.scaler, sample.topology, sample.traffic,
+            num_candidates=3, objective="worst", seed=3,
+        )
+        for s in result.scores:
+            assert s.score == pytest.approx(s.worst_delay)
+
+    def test_unknown_objective_raises(self, trained, tiny_samples):
+        sample = tiny_samples[0]
+        with pytest.raises(RoutingError, match="objective"):
+            optimize_routing(
+                trained.model, trained.scaler, sample.topology, sample.traffic,
+                objective="vibes",
+            )
+
+    def test_explicit_candidates(self, trained, tiny_samples):
+        sample = tiny_samples[0]
+        pool = [RoutingScheme.shortest_path(sample.topology)]
+        result = optimize_routing(
+            trained.model, trained.scaler, sample.topology, sample.traffic,
+            candidates=pool,
+        )
+        assert len(result.scores) == 1
+
+    def test_empty_candidates_raise(self, trained, tiny_samples):
+        sample = tiny_samples[0]
+        with pytest.raises(RoutingError, match="empty"):
+            optimize_routing(
+                trained.model, trained.scaler, sample.topology, sample.traffic,
+                candidates=[],
+            )
+
+    def test_model_choice_beats_worst_candidate_in_simulation(
+        self, trained, tiny_samples
+    ):
+        """End-to-end sanity: simulate best vs worst predicted candidate;
+        the model's pick should not be the slower of the two."""
+        from repro.simulator import SimulationConfig, simulate
+
+        sample = tiny_samples[0]
+        result = optimize_routing(
+            trained.model, trained.scaler, sample.topology, sample.traffic,
+            num_candidates=6, seed=4,
+        )
+        best = result.candidates[result.scores[0].index]
+        worst = result.candidates[result.scores[-1].index]
+        config = SimulationConfig(duration=400.0, warmup=40.0, seed=5)
+
+        def simulated_mean(routing):
+            res = simulate(sample.topology, routing, sample.traffic, config)
+            delays = [f.mean_delay for f in res.flows.values() if f.delivered > 10]
+            return float(np.mean(delays))
+
+        assert simulated_mean(best) <= simulated_mean(worst) * 1.1

@@ -1,0 +1,82 @@
+"""Tests for the NetworkView visibility features."""
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.planning import NetworkView, format_link_report
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_samples):
+    hp = HyperParams(
+        link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+        readout_hidden=(12,), learning_rate=3e-3,
+    )
+    trainer = Trainer(RouteNet(hp, seed=0), seed=1)
+    trainer.fit(tiny_samples, epochs=10)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def view(trained, tiny_samples):
+    sample = tiny_samples[0]
+    return NetworkView(
+        trained.model, trained.scaler, sample.topology, sample.routing, sample.traffic
+    )
+
+
+class TestNetworkView:
+    def test_path_delay_positive(self, view):
+        src, dst = view.pairs[0]
+        assert view.path_delay(src, dst) > 0
+
+    def test_unknown_pair_raises(self, view):
+        with pytest.raises(KeyError, match="no traffic"):
+            view.path_delay(0, 0)
+
+    def test_path_jitter(self, view):
+        src, dst = view.pairs[0]
+        assert view.path_jitter(src, dst) >= 0
+
+    def test_delays_vector_aligned(self, view):
+        delays = view.delays()
+        assert delays.shape == (len(view.pairs),)
+        src, dst = view.pairs[3]
+        assert delays[3] == view.path_delay(src, dst)
+
+    def test_top_delay_paths_sorted(self, view):
+        rows = view.top_delay_paths(n=5)
+        values = [r.predicted_delay for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_path_delay_matches_lookup(self, view):
+        top = view.top_delay_paths(n=1)[0]
+        assert top.predicted_delay == pytest.approx(view.path_delay(top.src, top.dst))
+
+    def test_mean_network_delay_in_range(self, view):
+        delays = view.delays()
+        mean = view.mean_network_delay()
+        assert delays.min() <= mean <= delays.max()
+
+    def test_link_utilization_sorted_and_bounded(self, view):
+        rows = view.link_utilization()
+        utils = [r.utilization for r in rows]
+        assert utils == sorted(utils, reverse=True)
+        assert all(u >= 0 for u in utils)
+
+    def test_link_utilization_matches_capacity(self, view):
+        for row in view.link_utilization():
+            assert row.utilization == pytest.approx(row.load_bits / row.capacity)
+
+
+class TestFormat:
+    def test_report_renders(self, view):
+        text = format_link_report(view.link_utilization(), n=5)
+        assert "util" in text
+        assert "->" in text
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ValueError):
+            format_link_report([])

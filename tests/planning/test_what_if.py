@@ -1,0 +1,93 @@
+"""Tests for what-if planning studies."""
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.errors import TopologyError
+from repro.planning import traffic_scaling_whatif, link_failure_whatif
+from repro.routing import RoutingScheme
+from repro.topology import Topology
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_samples):
+    hp = HyperParams(
+        link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+        readout_hidden=(12,), learning_rate=3e-3,
+    )
+    trainer = Trainer(RouteNet(hp, seed=0), seed=1)
+    trainer.fit(tiny_samples, epochs=15)
+    return trainer
+
+
+class TestTrafficScaling:
+    def test_one_result_per_factor(self, trained, tiny_samples):
+        s = tiny_samples[0]
+        results = traffic_scaling_whatif(
+            trained.model, trained.scaler, s.topology, s.routing, s.traffic,
+            factors=(0.5, 1.0, 2.0),
+        )
+        assert [r.label for r in results] == [
+            "traffic x0.50", "traffic x1.00", "traffic x2.00",
+        ]
+
+    def test_delay_monotone_in_traffic(self, trained, tiny_samples):
+        """A trained model should predict more delay under more load."""
+        s = tiny_samples[0]
+        results = traffic_scaling_whatif(
+            trained.model, trained.scaler, s.topology, s.routing, s.traffic,
+            factors=(0.5, 1.0, 1.5),
+        )
+        means = [r.mean_delay() for r in results]
+        assert means[0] < means[-1]
+
+    def test_no_factors_raises(self, trained, tiny_samples):
+        s = tiny_samples[0]
+        with pytest.raises(ValueError):
+            traffic_scaling_whatif(
+                trained.model, trained.scaler, s.topology, s.routing, s.traffic,
+                factors=(),
+            )
+
+    def test_worst_pair_consistent(self, trained, tiny_samples):
+        s = tiny_samples[0]
+        (result,) = traffic_scaling_whatif(
+            trained.model, trained.scaler, s.topology, s.routing, s.traffic,
+            factors=(1.0,),
+        )
+        pair, value = result.worst_pair()
+        assert value == result.delay.max()
+        assert pair in result.pairs
+
+
+class TestLinkFailure:
+    def test_before_after_structure(self, trained, tiny_samples):
+        s = tiny_samples[0]
+        # pick an edge whose removal keeps the net connected
+        edge = None
+        for link in s.topology.links:
+            u, v = link.src, link.dst
+            if s.topology.without_edge(u, v).is_connected():
+                edge = (u, v)
+                break
+        assert edge is not None
+        before, after = link_failure_whatif(
+            trained.model, trained.scaler, s.topology, s.traffic, edge
+        )
+        assert before.label == "baseline"
+        assert "fail" in after.label
+        assert len(before.pairs) == len(after.pairs)
+
+    def test_disconnecting_failure_raises(self, trained):
+        # a line network: removing any edge disconnects it
+        topo = Topology.from_edges(3, [(0, 1), (1, 2)], capacity=10_000.0)
+        rates = np.zeros((3, 3))
+        rates[0, 2] = 100.0
+        from repro.traffic import TrafficMatrix
+
+        with pytest.raises(TopologyError, match="disconnects"):
+            link_failure_whatif(
+                trained.model, trained.scaler, topo, TrafficMatrix(rates), (0, 1)
+            )

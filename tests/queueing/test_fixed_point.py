@@ -1,0 +1,121 @@
+"""Tests for the reduced-load fixed-point model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.queueing import QueueingNetworkModel, ReducedLoadModel
+from repro.routing import RoutingScheme
+from repro.simulator import SimulationConfig, simulate
+from repro.topology import Topology, nsfnet
+from repro.traffic import TrafficMatrix, uniform_traffic, scale_to_utilization
+
+
+def line_scenario(rate: float):
+    topo = Topology.from_edges(3, [(0, 1), (1, 2)], capacity=10_000.0)
+    routing = RoutingScheme.shortest_path(topo)
+    rates = np.zeros((3, 3))
+    rates[0, 2] = rate
+    return topo, routing, TrafficMatrix(rates)
+
+
+class TestConstruction:
+    def test_bad_params(self):
+        with pytest.raises(ReproError):
+            ReducedLoadModel(mean_packet_bits=0)
+        with pytest.raises(ReproError):
+            ReducedLoadModel(buffer_packets=0)
+        with pytest.raises(ReproError):
+            ReducedLoadModel(damping=0.0)
+
+
+class TestLowLoad:
+    def test_matches_plain_model_when_lossless(self):
+        """With negligible blocking, thinning changes nothing."""
+        topo, routing, tm = line_scenario(2_000.0)  # rho = 0.2
+        fp = ReducedLoadModel(buffer_packets=64).solve(topo, routing, tm)
+        plain = QueueingNetworkModel(buffer_packets=64).predict(topo, routing, tm)
+        np.testing.assert_allclose(fp.delay, plain.delay, rtol=1e-6)
+        assert fp.loss[0] < 1e-9
+
+    def test_converges_quickly(self):
+        topo, routing, tm = line_scenario(2_000.0)
+        fp = ReducedLoadModel().solve(topo, routing, tm)
+        assert fp.iterations < 100
+
+
+class TestOverload:
+    def test_blocking_self_consistent(self):
+        """At the fixed point, each link's blocking equals the M/M/1/B value
+        of its thinned arrival rate."""
+        from repro.queueing import mm1b_blocking_probability
+
+        topo, routing, tm = line_scenario(25_000.0)  # 2.5x overload
+        model = ReducedLoadModel(buffer_packets=16, tolerance=1e-12)
+        fp = model.solve(topo, routing, tm)
+        service = topo.capacities() / 1_000.0
+        for lam, mu, b in zip(fp.link_arrival_pps, service, fp.link_blocking):
+            assert b == pytest.approx(
+                mm1b_blocking_probability(lam, mu, 16), abs=1e-6
+            )
+
+    def test_downstream_sees_thinned_load(self):
+        topo, routing, tm = line_scenario(25_000.0)
+        fp = ReducedLoadModel(buffer_packets=16).solve(topo, routing, tm)
+        first = topo.link_id(0, 1)
+        second = topo.link_id(1, 2)
+        assert fp.link_arrival_pps[second] < fp.link_arrival_pps[first]
+
+    def test_end_to_end_loss_composes(self):
+        topo, routing, tm = line_scenario(25_000.0)
+        fp = ReducedLoadModel(buffer_packets=16).solve(topo, routing, tm)
+        path = routing.link_path(0, 2)
+        expected = 1.0 - np.prod([1.0 - fp.link_blocking[l] for l in path])
+        assert fp.loss[0] == pytest.approx(expected)
+
+    def test_loss_matches_simulator_in_overload(self):
+        """The fixed point should land near the simulated loss rate."""
+        topo, routing, tm = line_scenario(20_000.0)  # 2x overload
+        fp = ReducedLoadModel(buffer_packets=16).solve(topo, routing, tm)
+        res = simulate(
+            topo, routing, tm,
+            SimulationConfig(duration=400.0, warmup=40.0, seed=1,
+                             buffer_packets=16),
+        )
+        simulated_loss = res.flows[(0, 2)].dropped / (
+            res.flows[(0, 2)].dropped + res.flows[(0, 2)].delivered
+        )
+        assert fp.loss[0] == pytest.approx(simulated_loss, abs=0.08)
+
+    def test_beats_naive_model_on_downstream_delay(self):
+        """The naive model over-loads downstream links in overload; the
+        reduced-load model should predict the tandem's simulated delay at
+        least as well."""
+        topo, routing, tm = line_scenario(20_000.0)
+        res = simulate(
+            topo, routing, tm,
+            SimulationConfig(duration=400.0, warmup=40.0, seed=2,
+                             buffer_packets=16),
+        )
+        true = res.flows[(0, 2)].mean_delay
+        fp = ReducedLoadModel(buffer_packets=16).solve(topo, routing, tm)
+        naive = QueueingNetworkModel(buffer_packets=16).predict(topo, routing, tm)
+        assert abs(fp.delay[0] - true) <= abs(naive.delay[0] - true) + 1e-9
+
+
+class TestWholeNetwork:
+    def test_runs_on_nsfnet(self):
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        tm = scale_to_utilization(uniform_traffic(14, 1.0, seed=0), topo, routing, 0.9)
+        fp = ReducedLoadModel(buffer_packets=32).solve(topo, routing, tm)
+        assert np.isfinite(fp.delay).all()
+        assert ((fp.loss >= 0) & (fp.loss <= 1)).all()
+
+    def test_explicit_pairs(self):
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        tm = scale_to_utilization(uniform_traffic(14, 1.0, seed=0), topo, routing, 0.5)
+        fp = ReducedLoadModel().solve(topo, routing, tm, pairs=[(0, 5)])
+        assert fp.pairs == [(0, 5)]
+        assert fp.delay.shape == (1,)

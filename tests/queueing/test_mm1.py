@@ -1,0 +1,118 @@
+"""Tests for M/M/1 and M/M/1/B closed forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.queueing import (
+    mm1_mean_delay,
+    mm1_delay_variance,
+    mm1_mean_queue_length,
+    mm1b_blocking_probability,
+    mm1b_mean_queue_length,
+    mm1b_mean_delay,
+)
+
+
+class TestMM1:
+    def test_known_value(self):
+        # lambda=5, mu=10 -> W = 1/5 = 0.2
+        assert mm1_mean_delay(5.0, 10.0) == pytest.approx(0.2)
+
+    def test_zero_load_is_service_time(self):
+        assert mm1_mean_delay(0.0, 4.0) == pytest.approx(0.25)
+
+    def test_unstable_infinite(self):
+        assert mm1_mean_delay(10.0, 10.0) == float("inf")
+        assert mm1_mean_delay(12.0, 10.0) == float("inf")
+
+    def test_variance_is_square_of_mean(self):
+        assert mm1_delay_variance(5.0, 10.0) == pytest.approx(0.04)
+
+    def test_queue_length_littles_law(self):
+        """L = lambda * W (Little's law)."""
+        lam, mu = 3.0, 10.0
+        assert mm1_mean_queue_length(lam, mu) == pytest.approx(
+            lam * mm1_mean_delay(lam, mu)
+        )
+
+    def test_negative_arrival_raises(self):
+        with pytest.raises(ReproError):
+            mm1_mean_delay(-1.0, 10.0)
+
+    def test_zero_service_raises(self):
+        with pytest.raises(ReproError):
+            mm1_mean_delay(1.0, 0.0)
+
+    @given(
+        rho=st.floats(0.01, 0.95),
+        mu=st.floats(0.5, 100.0),
+    )
+    @settings(max_examples=50)
+    def test_property_monotone_in_load(self, rho, mu):
+        lam = rho * mu
+        heavier = min(0.99, rho + 0.04) * mu
+        assert mm1_mean_delay(heavier, mu) >= mm1_mean_delay(lam, mu)
+
+
+class TestMM1B:
+    def test_blocking_zero_when_idle(self):
+        assert mm1b_blocking_probability(0.0, 10.0, 5) == 0.0
+
+    def test_blocking_at_rho_one(self):
+        assert mm1b_blocking_probability(10.0, 10.0, 4) == pytest.approx(1.0 / 5.0)
+
+    def test_blocking_matches_direct_sum(self):
+        """P_B = rho^B (1-rho) / (1-rho^{B+1}) equals normalized state prob."""
+        lam, mu, b = 4.0, 10.0, 6
+        rho = lam / mu
+        probs = np.array([rho**n for n in range(b + 1)])
+        probs /= probs.sum()
+        assert mm1b_blocking_probability(lam, mu, b) == pytest.approx(probs[-1])
+
+    def test_blocking_increases_with_load(self):
+        low = mm1b_blocking_probability(2.0, 10.0, 5)
+        high = mm1b_blocking_probability(9.0, 10.0, 5)
+        assert high > low
+
+    def test_blocking_decreases_with_buffer(self):
+        small = mm1b_blocking_probability(8.0, 10.0, 2)
+        large = mm1b_blocking_probability(8.0, 10.0, 50)
+        assert large < small
+
+    def test_queue_length_matches_direct_sum(self):
+        lam, mu, b = 7.0, 10.0, 8
+        rho = lam / mu
+        probs = np.array([rho**n for n in range(b + 1)])
+        probs /= probs.sum()
+        expected = float((np.arange(b + 1) * probs).sum())
+        assert mm1b_mean_queue_length(lam, mu, b) == pytest.approx(expected)
+
+    def test_queue_length_rho_one(self):
+        assert mm1b_mean_queue_length(10.0, 10.0, 6) == pytest.approx(3.0)
+
+    def test_delay_converges_to_mm1_for_large_buffer(self):
+        lam, mu = 5.0, 10.0
+        finite = mm1b_mean_delay(lam, mu, 10_000)
+        assert finite == pytest.approx(mm1_mean_delay(lam, mu), rel=1e-6)
+
+    def test_delay_finite_even_overloaded(self):
+        assert np.isfinite(mm1b_mean_delay(50.0, 10.0, 20))
+
+    def test_zero_arrival_delay_is_service_time(self):
+        assert mm1b_mean_delay(0.0, 4.0, 10) == pytest.approx(0.25)
+
+    def test_bad_buffer_raises(self):
+        with pytest.raises(ReproError):
+            mm1b_blocking_probability(1.0, 2.0, 0)
+
+    @given(
+        rho=st.floats(0.05, 3.0),
+        b=st.integers(1, 64),
+    )
+    @settings(max_examples=50)
+    def test_property_blocking_is_probability(self, rho, b):
+        p = mm1b_blocking_probability(rho * 10.0, 10.0, b)
+        assert 0.0 <= p <= 1.0

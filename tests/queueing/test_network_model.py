@@ -1,0 +1,98 @@
+"""Tests for the analytic end-to-end queueing model."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import QueueingNetworkModel, mm1_mean_delay
+from repro.routing import RoutingScheme
+from repro.simulator import SimulationConfig, simulate
+from repro.topology import Topology, nsfnet
+from repro.traffic import TrafficMatrix, uniform_traffic, scale_to_utilization
+
+
+def line_topology() -> Topology:
+    return Topology.from_edges(3, [(0, 1), (1, 2)], capacity=10_000.0)
+
+
+class TestLinkDelays:
+    def test_single_flow_line_matches_mm1_sum(self):
+        topo = line_topology()
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((3, 3))
+        rates[0, 2] = 5_000.0  # rho = 0.5 on both hops
+        tm = TrafficMatrix(rates)
+        model = QueueingNetworkModel(mean_packet_bits=1_000.0)
+        pred = model.predict(topo, routing, tm)
+        per_link = mm1_mean_delay(5.0, 10.0)
+        idx = pred.pairs.index((0, 2))
+        assert pred.delay[idx] == pytest.approx(2 * per_link)
+
+    def test_jitter_additive(self):
+        topo = line_topology()
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((3, 3))
+        rates[0, 2] = 5_000.0
+        tm = TrafficMatrix(rates)
+        pred = QueueingNetworkModel().predict(topo, routing, tm)
+        idx = pred.pairs.index((0, 2))
+        per_link_var = mm1_mean_delay(5.0, 10.0) ** 2
+        assert pred.jitter[idx] == pytest.approx(2 * per_link_var)
+
+    def test_propagation_delay_included(self):
+        topo = Topology.from_edges(
+            2, [(0, 1)], capacity=1e9, propagation_delay=0.25
+        )
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((2, 2))
+        rates[0, 1] = 100.0
+        pred = QueueingNetworkModel().predict(topo, routing, TrafficMatrix(rates))
+        assert pred.delay[0] == pytest.approx(0.25, rel=1e-3)
+
+    def test_unstable_link_infinite_mm1(self):
+        topo = Topology.from_edges(2, [(0, 1)], capacity=1_000.0)
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((2, 2))
+        rates[0, 1] = 2_000.0
+        pred = QueueingNetworkModel().predict(topo, routing, TrafficMatrix(rates))
+        assert np.isinf(pred.delay[0])
+
+    def test_finite_buffer_keeps_delay_finite(self):
+        topo = Topology.from_edges(2, [(0, 1)], capacity=1_000.0)
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((2, 2))
+        rates[0, 1] = 2_000.0
+        pred = QueueingNetworkModel(buffer_packets=32).predict(
+            topo, routing, TrafficMatrix(rates)
+        )
+        assert np.isfinite(pred.delay[0])
+
+    def test_bad_packet_size_raises(self):
+        with pytest.raises(ValueError):
+            QueueingNetworkModel(mean_packet_bits=0.0)
+
+
+class TestAgainstSimulator:
+    def test_reasonable_agreement_at_moderate_load(self):
+        """On a Poisson/exponential workload the analytic model should land
+        in the right ballpark (it is exact for one M/M/1 hop and an
+        approximation across hops)."""
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        tm = scale_to_utilization(uniform_traffic(14, 1.0, seed=0), topo, routing, 0.5)
+        res = simulate(
+            topo, routing, tm,
+            SimulationConfig(duration=3_000.0, warmup=300.0, seed=1),
+        )
+        pairs = [p for p, f in res.flows.items() if f.delivered >= 100]
+        sim = np.array([res.flows[p].mean_delay for p in pairs])
+        pred = QueueingNetworkModel(buffer_packets=64).predict(topo, routing, tm, pairs)
+        rel = np.abs(pred.delay - sim) / sim
+        assert np.median(rel) < 0.25
+
+    def test_explicit_pair_selection(self):
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        tm = scale_to_utilization(uniform_traffic(14, 1.0, seed=0), topo, routing, 0.4)
+        pred = QueueingNetworkModel().predict(topo, routing, tm, pairs=[(0, 5), (3, 9)])
+        assert pred.pairs == [(0, 5), (3, 9)]
+        assert pred.delay.shape == (2,)

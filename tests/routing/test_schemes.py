@@ -1,0 +1,106 @@
+"""Tests for RoutingScheme validation and factories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import RoutingScheme
+from repro.topology import Topology, nsfnet, geant2
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return nsfnet()
+
+
+@pytest.fixture(scope="module")
+def sp(topo):
+    return RoutingScheme.shortest_path(topo)
+
+
+class TestValidation:
+    def test_path_wrong_endpoints_rejected(self, topo):
+        with pytest.raises(RoutingError, match="does not join"):
+            RoutingScheme(topo, {(0, 2): [0, 1, 3]})
+
+    def test_loop_rejected(self, topo):
+        with pytest.raises(RoutingError, match="loop"):
+            RoutingScheme(topo, {(0, 2): [0, 1, 0, 2]})
+
+    def test_missing_link_rejected(self, topo):
+        with pytest.raises(RoutingError, match="missing link"):
+            RoutingScheme(topo, {(0, 9): [0, 9]})
+
+    def test_short_path_rejected(self, topo):
+        with pytest.raises(RoutingError, match="fewer than 2"):
+            RoutingScheme(topo, {(0, 1): [0]})
+
+
+class TestShortestPathScheme:
+    def test_covers_all_pairs(self, sp, topo):
+        assert len(sp) == topo.num_nodes * (topo.num_nodes - 1)
+
+    def test_link_path_matches_node_path(self, sp, topo):
+        for (s, d), node_path in sp.items():
+            link_path = sp.link_path(s, d)
+            assert len(link_path) == len(node_path) - 1
+            for lid, (u, v) in zip(link_path, zip(node_path[:-1], node_path[1:])):
+                assert topo.links[lid].src == u and topo.links[lid].dst == v
+
+    def test_missing_pair_raises(self, sp):
+        with pytest.raises(RoutingError):
+            sp.node_path(0, 0)
+
+    def test_contains(self, sp):
+        assert (0, 1) in sp
+        assert (0, 0) not in sp
+
+    def test_max_path_length(self, sp):
+        assert 1 <= sp.max_path_length() <= 8
+
+    def test_links_used_subset(self, sp, topo):
+        assert sp.links_used() <= set(range(topo.num_links))
+
+    def test_paths_through_link_consistent(self, sp):
+        lid = next(iter(sp.links_used()))
+        for pair in sp.paths_through_link(lid):
+            assert lid in sp.link_path(*pair)
+
+
+class TestRandomSchemes:
+    def test_random_weighted_deterministic_under_seed(self, topo):
+        a = RoutingScheme.random_weighted(topo, seed=3)
+        b = RoutingScheme.random_weighted(topo, seed=3)
+        assert a.to_dict() == b.to_dict()
+
+    def test_random_weighted_varies_with_seed(self, topo):
+        a = RoutingScheme.random_weighted(topo, seed=1)
+        b = RoutingScheme.random_weighted(topo, seed=2)
+        assert a.to_dict() != b.to_dict()
+
+    def test_random_weighted_all_pairs(self, topo):
+        scheme = RoutingScheme.random_weighted(topo, seed=0)
+        assert len(scheme) == topo.num_nodes * (topo.num_nodes - 1)
+
+    def test_random_ksp_paths_valid(self):
+        topo = geant2()
+        scheme = RoutingScheme.random_ksp(topo, k=3, seed=0)
+        # construction validates: reaching here means all paths were legal
+        assert len(scheme) == topo.num_nodes * (topo.num_nodes - 1)
+
+    def test_random_ksp_differs_from_shortest_sometimes(self, topo, sp):
+        scheme = RoutingScheme.random_ksp(topo, k=3, seed=5)
+        differing = sum(
+            1 for pair in scheme.pairs if scheme.node_path(*pair) != sp.node_path(*pair)
+        )
+        assert differing > 0
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, topo, sp):
+        data = sp.to_dict()
+        restored = RoutingScheme.from_dict(topo, data, name=sp.name)
+        assert restored.to_dict() == data
+
+    def test_repr(self, sp):
+        assert "pairs=182" in repr(sp)

@@ -1,0 +1,64 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_now_tracks_pops(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_push_in_past_raises(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        q.pop()
+        with pytest.raises(SimulationError, match="before current time"):
+            q.push(4.0, "y")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(2.5, "x")
+        assert q.peek_time() == 2.5
+        assert len(q) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek_time()
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, "x")
+        assert q and len(q) == 1
+
+    def test_payloads_never_compared(self):
+        """Unorderable payloads at equal times must not raise."""
+        q = EventQueue()
+        q.push(1.0, object())
+        q.push(1.0, object())
+        q.pop()
+        q.pop()

@@ -1,0 +1,35 @@
+"""Tests for the Packet dataclass."""
+
+from repro.simulator import Packet
+
+
+def make(route=(3, 5, 7)) -> Packet:
+    return Packet(flow=1, size_bits=800.0, created_at=2.0, route=route)
+
+
+class TestPacket:
+    def test_initial_hop(self):
+        p = make()
+        assert p.hop == 0
+        assert p.current_link() == 3
+        assert p.remaining_hops == 3
+
+    def test_advance_through_route(self):
+        p = make()
+        assert not p.advance()
+        assert p.current_link() == 5
+        assert not p.advance()
+        assert p.current_link() == 7
+        assert p.advance()  # delivered after last hop
+        assert p.remaining_hops == 0
+
+    def test_single_hop_delivery(self):
+        p = make(route=(9,))
+        assert p.advance()
+
+    def test_default_priority_zero(self):
+        assert make().priority == 0
+
+    def test_record_flag(self):
+        p = Packet(flow=0, size_bits=1.0, created_at=0.0, route=(0,), record=False)
+        assert not p.record

@@ -1,0 +1,87 @@
+"""Tests for per-link FIFO queues."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import LinkQueue, Packet
+from repro.topology import Link
+
+
+def make_queue(capacity=1000.0, buffer_packets=3) -> LinkQueue:
+    return LinkQueue(Link(0, 0, 1, capacity), buffer_packets=buffer_packets)
+
+
+def make_packet(size=500.0) -> Packet:
+    return Packet(flow=0, size_bits=size, created_at=0.0, route=(0,))
+
+
+class TestLinkQueue:
+    def test_enqueue_accepts_until_buffer_full(self):
+        q = make_queue(buffer_packets=2)
+        assert q.try_enqueue(make_packet())
+        assert q.try_enqueue(make_packet())
+        assert not q.try_enqueue(make_packet())
+        assert q.packets_dropped == 1
+
+    def test_occupancy_counts_in_service(self):
+        q = make_queue()
+        q.try_enqueue(make_packet())
+        q.start_service(0.0)
+        assert q.occupancy == 1
+        q.try_enqueue(make_packet())
+        assert q.occupancy == 2
+
+    def test_service_time_is_size_over_capacity(self):
+        q = make_queue(capacity=1000.0)
+        q.try_enqueue(make_packet(size=500.0))
+        _, done = q.start_service(10.0)
+        assert done == pytest.approx(10.5)
+
+    def test_fifo_order(self):
+        q = make_queue()
+        first, second = make_packet(100.0), make_packet(200.0)
+        q.try_enqueue(first)
+        q.try_enqueue(second)
+        served, _ = q.start_service(0.0)
+        assert served is first
+
+    def test_start_service_when_busy_raises(self):
+        q = make_queue()
+        q.try_enqueue(make_packet())
+        q.try_enqueue(make_packet())
+        q.start_service(0.0)
+        with pytest.raises(SimulationError, match="busy"):
+            q.start_service(0.0)
+
+    def test_start_service_empty_raises(self):
+        with pytest.raises(SimulationError, match="no packet"):
+            make_queue().start_service(0.0)
+
+    def test_finish_service_updates_counters(self):
+        q = make_queue(capacity=1000.0)
+        q.try_enqueue(make_packet(size=500.0))
+        q.start_service(0.0)
+        packet = q.finish_service(0.5)
+        assert packet.size_bits == 500.0
+        assert q.packets_sent == 1
+        assert q.bits_sent == 500.0
+        assert q.busy_time == pytest.approx(0.5)
+
+    def test_finish_idle_raises(self):
+        with pytest.raises(SimulationError, match="idle"):
+            make_queue().finish_service(0.0)
+
+    def test_utilization(self):
+        q = make_queue(capacity=1000.0)
+        q.try_enqueue(make_packet(size=1000.0))
+        q.start_service(0.0)
+        q.finish_service(1.0)
+        assert q.utilization(4.0) == pytest.approx(0.25)
+
+    def test_utilization_bad_duration_raises(self):
+        with pytest.raises(SimulationError):
+            make_queue().utilization(0.0)
+
+    def test_buffer_must_hold_one(self):
+        with pytest.raises(SimulationError):
+            make_queue(buffer_packets=0)

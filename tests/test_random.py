@@ -1,0 +1,69 @@
+"""Tests for seeding helpers and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ReproError,
+    TopologyError,
+    RoutingError,
+    TrafficError,
+    SimulationError,
+    DatasetError,
+    ModelError,
+)
+from repro.random import make_rng, split_rng, DEFAULT_SEED
+
+
+class TestMakeRng:
+    def test_none_uses_default_seed(self):
+        a = make_rng(None)
+        b = make_rng(DEFAULT_SEED)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_int_seed_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+
+class TestSplitRng:
+    def test_children_independent_and_deterministic(self):
+        kids_a = split_rng(make_rng(1), 3)
+        kids_b = split_rng(make_rng(1), 3)
+        for a, b in zip(kids_a, kids_b):
+            assert a.random() == b.random()
+
+    def test_children_differ_from_each_other(self):
+        kids = split_rng(make_rng(2), 4)
+        values = {k.integers(0, 2**62) for k in kids}
+        assert len(values) == 4
+
+    def test_zero_children_raises(self):
+        with pytest.raises(ValueError):
+            split_rng(make_rng(0), 0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [TopologyError, RoutingError, TrafficError, SimulationError, DatasetError, ModelError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise TopologyError("boom")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name

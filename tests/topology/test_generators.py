@@ -1,0 +1,80 @@
+"""Tests for synthetic topology generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import synthetic_topology, variable_size_family, CAPACITY_TIERS
+
+
+class TestSyntheticTopology:
+    def test_requested_size(self):
+        assert synthetic_topology(50, seed=0).num_nodes == 50
+
+    def test_always_connected(self):
+        for seed in range(5):
+            assert synthetic_topology(30, seed=seed).is_connected()
+
+    def test_deterministic_under_seed(self):
+        a = synthetic_topology(20, seed=5)
+        b = synthetic_topology(20, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = synthetic_topology(20, seed=1)
+        b = synthetic_topology(20, seed=2)
+        assert a != b
+
+    def test_mean_degree_close_to_target(self):
+        topo = synthetic_topology(40, seed=3, mean_degree=4.0)
+        mean_degree = topo.num_links / topo.num_nodes  # directed links = 2E/N
+        assert 3.0 <= mean_degree <= 5.0
+
+    def test_max_degree_respected(self):
+        topo = synthetic_topology(30, seed=4, mean_degree=5.0, max_degree=6)
+        # Spanning-tree construction may exceed the cap only via tree edges,
+        # which for a random recursive tree stays modest; extra edges never
+        # violate it.  Verify the hard invariant on extra-edge additions by
+        # checking the overall cap with slack for tree attachment.
+        assert max(topo.degree(n) for n in range(30)) <= 2 * 6
+
+    def test_tiered_capacities(self):
+        topo = synthetic_topology(25, seed=6, capacity=None)
+        caps = {l.capacity for l in topo.links}
+        assert caps <= set(CAPACITY_TIERS)
+
+    def test_uniform_capacity(self):
+        topo = synthetic_topology(10, seed=7, capacity=123.0)
+        assert {l.capacity for l in topo.links} == {123.0}
+
+    def test_too_few_nodes_raises(self):
+        with pytest.raises(TopologyError):
+            synthetic_topology(1, seed=0)
+
+    def test_bad_mean_degree_raises(self):
+        with pytest.raises(TopologyError):
+            synthetic_topology(10, seed=0, mean_degree=0.5)
+
+    @given(n=st.integers(2, 60), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_connected_and_sized(self, n, seed):
+        topo = synthetic_topology(n, seed=seed)
+        assert topo.num_nodes == n
+        assert topo.is_connected()
+
+
+class TestVariableSizeFamily:
+    def test_sizes_respected(self):
+        family = variable_size_family([10, 20, 30], seed=0)
+        assert [t.num_nodes for t in family] == [10, 20, 30]
+
+    def test_unique_names(self):
+        family = variable_size_family([10, 10, 10], seed=0)
+        assert len({t.name for t in family}) == 3
+
+    def test_deterministic(self):
+        a = variable_size_family([15, 25], seed=9)
+        b = variable_size_family([15, 25], seed=9)
+        assert a == b

@@ -1,0 +1,116 @@
+"""Tests for geographic positions and propagation delays."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    NODE_POSITIONS,
+    TOPOLOGY_LIBRARY,
+    by_name,
+    edge_propagation_delay,
+    haversine_km,
+    synthetic_topology,
+    with_geographic_delays,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km((40.0, -75.0), (40.0, -75.0)) == 0.0
+
+    def test_known_distance_ny_la(self):
+        ny, la = (40.71, -74.01), (34.05, -118.24)
+        assert haversine_km(ny, la) == pytest.approx(3940, rel=0.03)
+
+    def test_symmetric(self):
+        a, b = (47.6, -122.3), (29.8, -95.4)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_triangle_inequality(self):
+        a, b, c = (47.6, -122.3), (40.0, -105.3), (29.8, -95.4)
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-9
+
+
+class TestPropagationDelay:
+    def test_transcontinental_is_tens_of_ms(self):
+        seattle, dc = (47.61, -122.33), (38.91, -77.04)
+        delay = edge_propagation_delay(seattle, dc)
+        assert 0.015 < delay < 0.040  # one-way, through fiber with detour
+
+    def test_scales_with_detour_factor(self):
+        a, b = (47.6, -122.3), (40.7, -74.0)
+        assert edge_propagation_delay(a, b, 2.0) == pytest.approx(
+            2 * edge_propagation_delay(a, b, 1.0)
+        )
+
+
+class TestPositionsTable:
+    @pytest.mark.parametrize("name", sorted(NODE_POSITIONS))
+    def test_every_node_has_coordinates(self, name):
+        topo = by_name(name)
+        assert set(NODE_POSITIONS[name]) == set(range(topo.num_nodes))
+
+    def test_all_reference_topologies_covered(self):
+        assert set(NODE_POSITIONS) == set(TOPOLOGY_LIBRARY)
+
+
+class TestWithGeographicDelays:
+    @pytest.mark.parametrize("name", sorted(NODE_POSITIONS))
+    def test_positive_delays_everywhere(self, name):
+        topo = with_geographic_delays(by_name(name))
+        assert all(l.propagation_delay > 0 for l in topo.links)
+
+    def test_symmetric_per_edge(self):
+        topo = with_geographic_delays(by_name("nsfnet"))
+        for link in topo.links:
+            reverse = topo.links[topo.link_id(link.dst, link.src)]
+            assert link.propagation_delay == pytest.approx(reverse.propagation_delay)
+
+    def test_capacities_and_structure_preserved(self):
+        base = by_name("abilene")
+        geo = with_geographic_delays(base)
+        assert geo.num_links == base.num_links
+        assert [l.capacity for l in geo.links] == [l.capacity for l in base.links]
+
+    def test_longer_edges_have_more_delay(self):
+        topo = with_geographic_delays(by_name("abilene"))
+        seattle_sunnyvale = topo.links[topo.link_id(0, 1)].propagation_delay
+        ny_dc = topo.links[topo.link_id(9, 10)].propagation_delay
+        assert seattle_sunnyvale > ny_dc  # ~1100 km vs ~330 km
+
+    def test_unknown_topology_raises(self):
+        with pytest.raises(TopologyError, match="coordinates"):
+            with_geographic_delays(synthetic_topology(5, seed=0))
+
+    def test_explicit_positions(self):
+        topo = synthetic_topology(3, seed=1)
+        positions = {0: (0.0, 0.0), 1: (0.0, 1.0), 2: (1.0, 0.0)}
+        geo = with_geographic_delays(topo, positions=positions)
+        assert all(l.propagation_delay > 0 for l in geo.links)
+
+    def test_missing_node_position_raises(self):
+        topo = synthetic_topology(3, seed=1)
+        with pytest.raises(TopologyError, match="no coordinates"):
+            with_geographic_delays(topo, positions={0: (0.0, 0.0)})
+
+    def test_simulator_consumes_geo_delays(self):
+        """End to end: propagation shows up in simulated path delay."""
+        import numpy as np
+
+        from repro.routing import RoutingScheme
+        from repro.simulator import SimulationConfig, simulate
+        from repro.traffic import TrafficMatrix
+
+        base = by_name("abilene", capacity=1e9)  # queueing negligible
+        geo = with_geographic_delays(base)
+        routing = RoutingScheme.shortest_path(geo)
+        rates = np.zeros((11, 11))
+        rates[0, 10] = 1e6  # Seattle -> New York
+        res = simulate(
+            geo, routing, TrafficMatrix(rates),
+            SimulationConfig(duration=5.0, warmup=0.5, seed=0),
+        )
+        expected = sum(
+            geo.links[l].propagation_delay for l in routing.link_path(0, 10)
+        )
+        assert res.flows[(0, 10)].mean_delay == pytest.approx(expected, rel=0.05)

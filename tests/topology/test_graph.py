@@ -1,0 +1,166 @@
+"""Tests for the Topology/Link graph model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Link, Topology
+
+
+def triangle() -> Topology:
+    return Topology.from_edges(3, [(0, 1), (1, 2), (0, 2)], capacity=100.0, name="tri")
+
+
+class TestLink:
+    def test_valid_link(self):
+        link = Link(0, 1, 2, 10.0, 0.001)
+        assert link.capacity == 10.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            Link(0, 1, 1, 10.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(TopologyError, match="capacity"):
+            Link(0, 0, 1, 0.0)
+
+    def test_negative_propagation_rejected(self):
+        with pytest.raises(TopologyError, match="propagation"):
+            Link(0, 0, 1, 10.0, -1.0)
+
+
+class TestConstruction:
+    def test_from_edges_creates_two_links_per_edge(self):
+        topo = triangle()
+        assert topo.num_links == 6
+
+    def test_per_edge_capacities(self):
+        topo = Topology.from_edges(3, [(0, 1), (1, 2)], capacity=[5.0, 7.0])
+        assert topo.links[topo.link_id(0, 1)].capacity == 5.0
+        assert topo.links[topo.link_id(1, 0)].capacity == 5.0
+        assert topo.links[topo.link_id(1, 2)].capacity == 7.0
+
+    def test_capacity_list_length_mismatch_raises(self):
+        with pytest.raises(TopologyError, match="capacity"):
+            Topology.from_edges(3, [(0, 1), (1, 2)], capacity=[5.0])
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(TopologyError, match="at least 2"):
+            Topology(1, [])
+
+    def test_duplicate_link_rejected(self):
+        links = [Link(0, 0, 1, 1.0), Link(1, 0, 1, 1.0)]
+        with pytest.raises(TopologyError, match="duplicate"):
+            Topology(2, links)
+
+    def test_non_dense_link_ids_rejected(self):
+        with pytest.raises(TopologyError, match="dense"):
+            Topology(2, [Link(1, 0, 1, 1.0)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TopologyError, match="unknown node"):
+            Topology(2, [Link(0, 0, 5, 1.0)])
+
+
+class TestQueries:
+    def test_link_id_lookup(self):
+        topo = triangle()
+        lid = topo.link_id(1, 2)
+        assert topo.links[lid].src == 1 and topo.links[lid].dst == 2
+
+    def test_link_id_missing_raises(self):
+        topo = Topology.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(TopologyError, match="no link"):
+            topo.link_id(0, 3)
+
+    def test_has_link(self):
+        topo = triangle()
+        assert topo.has_link(0, 1)
+        assert not topo.has_link(0, 0)
+
+    def test_neighbors_symmetric_for_undirected_build(self):
+        topo = triangle()
+        assert sorted(topo.neighbors(0)) == [1, 2]
+
+    def test_degree(self):
+        topo = Topology.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert topo.degree(0) == 3
+        assert topo.degree(1) == 1
+
+    def test_node_pairs_count(self):
+        topo = triangle()
+        pairs = list(topo.node_pairs())
+        assert len(pairs) == 6
+        assert (0, 0) not in pairs
+
+    def test_capacities_vector(self):
+        topo = triangle()
+        np.testing.assert_array_equal(topo.capacities(), np.full(6, 100.0))
+
+    def test_out_links(self):
+        topo = triangle()
+        outs = topo.out_links(0)
+        assert all(l.src == 0 for l in outs)
+        assert len(outs) == 2
+
+
+class TestConnectivity:
+    def test_connected_triangle(self):
+        assert triangle().is_connected()
+
+    def test_disconnected_graph(self):
+        topo = Topology.from_edges(4, [(0, 1), (2, 3)])
+        assert not topo.is_connected()
+
+    def test_validate_raises_on_disconnected(self):
+        topo = Topology.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(TopologyError, match="connected"):
+            topo.validate()
+
+    def test_one_way_link_not_strongly_connected(self):
+        links = [Link(0, 0, 1, 1.0), Link(1, 1, 0, 1.0), Link(2, 1, 2, 1.0)]
+        topo = Topology(3, links)
+        assert not topo.is_connected()
+
+
+class TestWithoutEdge:
+    def test_removes_both_directions(self):
+        topo = triangle()
+        reduced = topo.without_edge(0, 1)
+        assert reduced.num_links == 4
+        assert not reduced.has_link(0, 1)
+        assert not reduced.has_link(1, 0)
+
+    def test_link_ids_redensified(self):
+        reduced = triangle().without_edge(0, 1)
+        assert [l.id for l in reduced.links] == list(range(reduced.num_links))
+
+    def test_missing_edge_raises(self):
+        topo = Topology.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        with pytest.raises(TopologyError):
+            topo.without_edge(0, 2)
+
+    def test_original_untouched(self):
+        topo = triangle()
+        topo.without_edge(0, 1)
+        assert topo.num_links == 6
+
+
+class TestInterop:
+    def test_to_networkx_roundtrip_structure(self):
+        topo = triangle()
+        g = topo.to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 6
+        assert g[0][1]["capacity"] == 100.0
+
+    def test_equality_and_hash(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+
+    def test_inequality_different_capacity(self):
+        other = Topology.from_edges(3, [(0, 1), (1, 2), (0, 2)], capacity=5.0, name="tri")
+        assert triangle() != other
+
+    def test_repr(self):
+        assert "nodes=3" in repr(triangle())

@@ -1,0 +1,69 @@
+"""Tests for the reference topology library (NSFNET, Geant2, GBN)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import nsfnet, geant2, gbn, abilene, by_name, TOPOLOGY_LIBRARY
+
+
+class TestNsfnet:
+    def test_node_and_edge_counts(self):
+        topo = nsfnet()
+        assert topo.num_nodes == 14
+        assert topo.num_links == 42  # 21 undirected edges
+
+    def test_connected(self):
+        assert nsfnet().is_connected()
+
+    def test_custom_capacity(self):
+        topo = nsfnet(capacity=40_000.0)
+        assert all(l.capacity == 40_000.0 for l in topo.links)
+
+
+class TestGeant2:
+    def test_node_count_is_24(self):
+        """The paper evaluates generalization on the 24-node Geant2."""
+        assert geant2().num_nodes == 24
+
+    def test_connected(self):
+        assert geant2().is_connected()
+
+    def test_every_node_has_a_link(self):
+        topo = geant2()
+        assert all(topo.degree(n) >= 1 for n in range(topo.num_nodes))
+
+
+class TestGbn:
+    def test_node_count(self):
+        assert gbn().num_nodes == 17
+
+    def test_connected(self):
+        assert gbn().is_connected()
+
+
+class TestAbilene:
+    def test_node_and_edge_counts(self):
+        topo = abilene()
+        assert topo.num_nodes == 11
+        assert topo.num_links == 28  # 14 undirected trunks
+
+    def test_connected(self):
+        assert abilene().is_connected()
+
+
+class TestLibraryLookup:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_LIBRARY))
+    def test_by_name_builds_validated_topology(self, name):
+        topo = by_name(name)
+        topo.validate()
+        assert topo.name == name
+
+    def test_unknown_name_raises_with_options(self):
+        with pytest.raises(KeyError, match="nsfnet"):
+            by_name("arpanet")
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_LIBRARY))
+    def test_reasonable_diameter(self, name):
+        """Backbones are small-diameter graphs; routing depends on this."""
+        g = by_name(name).to_networkx().to_undirected()
+        assert nx.diameter(g) <= 8

@@ -1,0 +1,115 @@
+"""Tests for traffic-matrix generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.routing import RoutingScheme
+from repro.topology import nsfnet
+from repro.traffic import (
+    uniform_traffic,
+    gravity_traffic,
+    hotspot_traffic,
+    scale_to_utilization,
+    random_traffic,
+    max_link_utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return nsfnet()
+
+
+@pytest.fixture(scope="module")
+def routing(topo):
+    return RoutingScheme.shortest_path(topo)
+
+
+class TestUniform:
+    def test_mean_rate_near_target(self):
+        tm = uniform_traffic(20, mean_rate=10.0, seed=0)
+        off_diag = tm.rates[~np.eye(20, dtype=bool)]
+        assert 9.0 < off_diag.mean() < 11.0
+
+    def test_spread_bounds(self):
+        tm = uniform_traffic(10, mean_rate=10.0, seed=1, spread=0.5)
+        off_diag = tm.rates[~np.eye(10, dtype=bool)]
+        assert off_diag.min() >= 5.0 and off_diag.max() <= 15.0
+
+    def test_bad_spread_raises(self):
+        with pytest.raises(TrafficError):
+            uniform_traffic(5, 10.0, spread=1.5)
+
+    def test_negative_mean_raises(self):
+        with pytest.raises(TrafficError):
+            uniform_traffic(5, -1.0)
+
+    def test_deterministic(self):
+        assert uniform_traffic(5, 1.0, seed=7) == uniform_traffic(5, 1.0, seed=7)
+
+
+class TestGravity:
+    def test_total_matches(self):
+        tm = gravity_traffic(12, total_rate=500.0, seed=0)
+        assert tm.total() == pytest.approx(500.0)
+
+    def test_heavy_tail_exists(self):
+        tm = gravity_traffic(20, total_rate=1000.0, seed=3)
+        off_diag = tm.rates[~np.eye(20, dtype=bool)]
+        assert off_diag.max() > 4 * off_diag.mean()
+
+    def test_negative_total_raises(self):
+        with pytest.raises(TrafficError):
+            gravity_traffic(5, -10.0)
+
+
+class TestHotspot:
+    def test_hotspot_columns_amplified(self):
+        tm = hotspot_traffic(15, mean_rate=1.0, seed=2, num_hotspots=1, hotspot_factor=10.0)
+        col_sums = tm.rates.sum(axis=0)
+        assert col_sums.max() > 5 * np.median(col_sums)
+
+    def test_bad_hotspot_count_raises(self):
+        with pytest.raises(TrafficError):
+            hotspot_traffic(5, 1.0, num_hotspots=9)
+
+
+class TestScaling:
+    def test_scale_hits_target(self, topo, routing):
+        tm = uniform_traffic(14, 1.0, seed=4)
+        scaled = scale_to_utilization(tm, topo, routing, 0.7)
+        assert max_link_utilization(topo, routing, scaled) == pytest.approx(0.7)
+
+    def test_zero_matrix_raises(self, topo, routing):
+        from repro.traffic import TrafficMatrix
+
+        with pytest.raises(TrafficError, match="all-zero"):
+            scale_to_utilization(TrafficMatrix(np.zeros((14, 14))), topo, routing, 0.5)
+
+    def test_bad_target_raises(self, topo, routing):
+        tm = uniform_traffic(14, 1.0, seed=4)
+        with pytest.raises(TrafficError):
+            scale_to_utilization(tm, topo, routing, 0.0)
+
+
+class TestRandomTraffic:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_intensity_in_range(self, seed):
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        tm = random_traffic(topo, routing, seed=seed, intensity_range=(0.2, 0.8))
+        util = max_link_utilization(topo, routing, tm)
+        assert 0.2 - 1e-9 <= util <= 0.8 + 1e-9
+
+    def test_unknown_shape_raises(self, topo, routing):
+        with pytest.raises(TrafficError, match="shape"):
+            random_traffic(topo, routing, seed=0, shapes=("fractal",))
+
+    def test_deterministic(self, topo, routing):
+        assert random_traffic(topo, routing, seed=11) == random_traffic(
+            topo, routing, seed=11
+        )

@@ -1,0 +1,110 @@
+"""Tests for TrafficMatrix and link-load computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.routing import RoutingScheme
+from repro.topology import Topology, nsfnet
+from repro.traffic import TrafficMatrix, link_loads, max_link_utilization
+
+
+def simple_tm(n=3, value=10.0) -> TrafficMatrix:
+    rates = np.full((n, n), value)
+    np.fill_diagonal(rates, 0.0)
+    return TrafficMatrix(rates)
+
+
+class TestTrafficMatrix:
+    def test_rate_lookup(self):
+        tm = simple_tm()
+        assert tm.rate(0, 1) == 10.0
+
+    def test_total(self):
+        assert simple_tm(3, 10.0).total() == 60.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(TrafficError, match="square"):
+            TrafficMatrix(np.zeros((2, 3)))
+
+    def test_negative_rate_rejected(self):
+        rates = np.zeros((2, 2))
+        rates[0, 1] = -1.0
+        with pytest.raises(TrafficError, match="non-negative"):
+            TrafficMatrix(rates)
+
+    def test_diagonal_traffic_rejected(self):
+        rates = np.eye(3)
+        with pytest.raises(TrafficError, match="diagonal"):
+            TrafficMatrix(rates)
+
+    def test_rates_are_immutable(self):
+        tm = simple_tm()
+        with pytest.raises(ValueError):
+            tm.rates[0, 1] = 99.0
+
+    def test_scaled(self):
+        tm = simple_tm().scaled(2.0)
+        assert tm.rate(0, 1) == 20.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(TrafficError):
+            simple_tm().scaled(-1.0)
+
+    def test_nonzero_pairs_sorted(self):
+        rates = np.zeros((3, 3))
+        rates[2, 0] = 1.0
+        rates[0, 2] = 1.0
+        assert TrafficMatrix(rates).nonzero_pairs() == [(0, 2), (2, 0)]
+
+    def test_dict_roundtrip(self):
+        tm = simple_tm()
+        restored = TrafficMatrix.from_dict(3, tm.to_dict())
+        assert restored == tm
+
+    def test_equality(self):
+        assert simple_tm() == simple_tm()
+        assert simple_tm() != simple_tm(value=5.0)
+
+
+class TestLinkLoads:
+    def test_line_topology_accumulates(self):
+        # 0-1-2 line: pair (0,2) loads both hops; (0,1) only the first.
+        topo = Topology.from_edges(3, [(0, 1), (1, 2)], capacity=100.0)
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((3, 3))
+        rates[0, 2] = 10.0
+        rates[0, 1] = 5.0
+        tm = TrafficMatrix(rates)
+        loads = link_loads(topo, routing, tm)
+        assert loads[topo.link_id(0, 1)] == 15.0
+        assert loads[topo.link_id(1, 2)] == 10.0
+        assert loads[topo.link_id(1, 0)] == 0.0
+
+    def test_total_load_conservation(self):
+        """Sum of link loads equals sum of (rate * path hops)."""
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        rng = np.random.default_rng(0)
+        rates = rng.uniform(0, 5, size=(14, 14))
+        np.fill_diagonal(rates, 0.0)
+        tm = TrafficMatrix(rates)
+        loads = link_loads(topo, routing, tm)
+        expected = sum(
+            tm.rate(s, d) * len(routing.link_path(s, d)) for s, d in tm.nonzero_pairs()
+        )
+        assert loads.sum() == pytest.approx(expected)
+
+    def test_node_count_mismatch_raises(self):
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        with pytest.raises(TrafficError, match="node"):
+            link_loads(topo, routing, simple_tm(3))
+
+    def test_max_utilization(self):
+        topo = Topology.from_edges(3, [(0, 1), (1, 2)], capacity=100.0)
+        routing = RoutingScheme.shortest_path(topo)
+        rates = np.zeros((3, 3))
+        rates[0, 2] = 50.0
+        util = max_link_utilization(topo, routing, TrafficMatrix(rates))
+        assert util == pytest.approx(0.5)

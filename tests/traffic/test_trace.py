@@ -1,0 +1,112 @@
+"""Tests for traffic traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.routing import RoutingScheme
+from repro.topology import nsfnet
+from repro.traffic import (
+    TrafficMatrix,
+    TrafficTrace,
+    diurnal_trace,
+    max_link_utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topo = nsfnet()
+    return topo, RoutingScheme.shortest_path(topo)
+
+
+class TestTrafficTrace:
+    def test_length_and_iteration(self, scenario):
+        topo, routing = scenario
+        trace = diurnal_trace(topo, routing, num_snapshots=6, seed=0)
+        assert len(trace) == 6
+        snapshots = list(trace)
+        assert len(snapshots) == 6
+        hour, tm = snapshots[0]
+        assert hour == 0.0
+        assert isinstance(tm, TrafficMatrix)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(TrafficError):
+            TrafficTrace(times=(0.0, 1.0), matrices=(TrafficMatrix(np.zeros((2, 2))),))
+
+    def test_empty_raises(self):
+        with pytest.raises(TrafficError):
+            TrafficTrace(times=(), matrices=())
+
+    def test_non_increasing_times_raise(self):
+        tm = TrafficMatrix(np.zeros((2, 2)))
+        with pytest.raises(TrafficError, match="increasing"):
+            TrafficTrace(times=(1.0, 1.0), matrices=(tm, tm))
+
+
+class TestDiurnalTrace:
+    def test_peak_near_peak_hour(self, scenario):
+        topo, routing = scenario
+        trace = diurnal_trace(
+            topo, routing, num_snapshots=24, seed=1, peak_hour=20.0, noise=0.0
+        )
+        peak_time = trace.times[trace.peak_index()]
+        assert abs(peak_time - 20.0) <= 2.0
+
+    def test_utilization_within_bounds(self, scenario):
+        topo, routing = scenario
+        trace = diurnal_trace(
+            topo, routing, num_snapshots=12, seed=2,
+            low_utilization=0.2, high_utilization=0.8, noise=0.0,
+        )
+        utils = [max_link_utilization(topo, routing, tm) for _, tm in trace]
+        assert min(utils) == pytest.approx(0.2, abs=0.08)
+        assert max(utils) == pytest.approx(0.8, abs=0.08)
+
+    def test_spatial_pattern_fixed(self, scenario):
+        """Only intensity changes between snapshots, not the pattern."""
+        topo, routing = scenario
+        trace = diurnal_trace(topo, routing, num_snapshots=4, seed=3)
+        first = trace.matrices[0].rates
+        for tm in trace.matrices[1:]:
+            ratio = tm.rates[first > 0] / first[first > 0]
+            assert ratio.std() / ratio.mean() < 1e-9
+
+    def test_deterministic(self, scenario):
+        topo, routing = scenario
+        a = diurnal_trace(topo, routing, num_snapshots=5, seed=9)
+        b = diurnal_trace(topo, routing, num_snapshots=5, seed=9)
+        for (_, ta), (_, tb) in zip(a, b):
+            assert ta == tb
+
+    def test_bad_bounds_raise(self, scenario):
+        topo, routing = scenario
+        with pytest.raises(TrafficError):
+            diurnal_trace(topo, routing, low_utilization=0.9, high_utilization=0.2)
+
+    def test_model_sweep_follows_load(self, scenario, tiny_samples):
+        """End to end: a trained model's predicted mean delay across the day
+        correlates with the intensity curve."""
+        from repro.core import HyperParams, RouteNet, build_model_input
+        from repro.training import Trainer
+
+        topo, routing = scenario
+        hp = HyperParams(
+            link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+            readout_hidden=(12,), learning_rate=3e-3,
+        )
+        trainer = Trainer(RouteNet(hp, seed=0), seed=1)
+        trainer.fit(list(tiny_samples), epochs=10)
+
+        trace = diurnal_trace(topo, routing, num_snapshots=8, seed=4, noise=0.0)
+        mean_delays = []
+        totals = []
+        for _, tm in trace:
+            inputs = build_model_input(topo, routing, tm, scaler=trainer.scaler)
+            mean_delays.append(
+                float(trainer.model.predict(inputs, trainer.scaler)["delay"].mean())
+            )
+            totals.append(tm.total())
+        corr = np.corrcoef(mean_delays, totals)[0, 1]
+        assert corr > 0.8

@@ -1,0 +1,47 @@
+"""Tests for training losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.training import mse_loss, mae_loss, huber_loss
+
+
+def _pred(values):
+    return nn.Tensor(np.asarray(values, dtype=float), requires_grad=True)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = mse_loss(_pred([1.0, 3.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_mae_value(self):
+        loss = mae_loss(_pred([1.0, -3.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_huber_below_delta_is_half_mse(self):
+        pred = _pred([0.5])
+        assert huber_loss(pred, np.array([0.0])).item() == pytest.approx(0.125)
+
+    def test_huber_above_delta_linear(self):
+        pred = _pred([10.0])
+        assert huber_loss(pred, np.array([0.0])).item() == pytest.approx(9.5)
+
+    def test_all_losses_zero_at_target(self):
+        target = np.array([1.0, -2.0, 0.5])
+        for fn in (mse_loss, mae_loss, huber_loss):
+            assert fn(_pred(target), target).item() == pytest.approx(0.0)
+
+    def test_gradients_flow(self):
+        for fn in (mse_loss, mae_loss, huber_loss):
+            pred = _pred([1.0, 2.0])
+            fn(pred, np.array([0.0, 0.0])).backward()
+            assert pred.grad is not None
+            assert (pred.grad != 0).all()
+
+    def test_huber_gradient_bounded(self):
+        """Huber gradient magnitude never exceeds delta/n (outlier robustness)."""
+        pred = _pred([100.0, -100.0])
+        huber_loss(pred, np.zeros(2), delta=1.0).backward()
+        assert np.abs(pred.grad).max() <= 0.5 + 1e-12

@@ -1,0 +1,92 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training import (
+    relative_errors,
+    mean_relative_error,
+    median_relative_error,
+    rmse,
+    r_squared,
+    pearson,
+    regression_summary,
+)
+
+
+class TestRelativeErrors:
+    def test_signed_values(self):
+        err = relative_errors(np.array([1.1, 0.9]), np.array([1.0, 1.0]))
+        np.testing.assert_allclose(err, [0.1, -0.1])
+
+    def test_perfect_prediction(self):
+        true = np.array([0.5, 2.0])
+        assert mean_relative_error(true, true) == 0.0
+
+    def test_nonpositive_truth_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            relative_errors(np.ones(2), np.array([1.0, 0.0]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            relative_errors(np.ones(2), np.ones(3))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            relative_errors(np.array([]), np.array([]))
+
+    def test_median_robust_to_outlier(self):
+        true = np.ones(11)
+        pred = np.ones(11) * 1.05
+        pred[0] = 100.0
+        assert median_relative_error(pred, true) == pytest.approx(0.05)
+
+
+class TestFitMetrics:
+    def test_rmse_known(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(5.0)
+        )
+
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        true = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r_squared(pred, true) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        true = np.full(3, 2.0)
+        assert r_squared(true, true) == 1.0
+        assert r_squared(np.array([1.0, 2.0, 3.0]), true) == 0.0
+
+    def test_pearson_sign(self):
+        true = np.array([1.0, 2.0, 3.0])
+        assert pearson(true, true) == pytest.approx(1.0)
+        assert pearson(-true, true) == pytest.approx(-1.0)
+
+    def test_pearson_zero_variance(self):
+        assert pearson(np.full(3, 1.0), np.array([1.0, 2.0, 3.0])) == 0.0
+
+    def test_summary_keys(self):
+        s = regression_summary(np.array([1.0, 2.0]), np.array([1.1, 2.1]))
+        assert set(s) == {"mre", "medre", "rmse", "r2", "pearson", "count"}
+        assert s["count"] == 2.0
+
+    @given(
+        scale=st.floats(0.5, 2.0),
+        n=st.integers(3, 50),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_property_scaling_prediction_mre(self, scale, n, seed):
+        """Predicting scale*true gives MRE == |scale - 1| exactly."""
+        rng = np.random.default_rng(seed)
+        true = rng.uniform(0.1, 5.0, size=n)
+        assert mean_relative_error(scale * true, true) == pytest.approx(
+            abs(scale - 1.0)
+        )

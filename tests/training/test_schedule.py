@@ -1,0 +1,119 @@
+"""Tests for LR schedules and early stopping, standalone and in Trainer.fit."""
+
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.errors import ModelError
+from repro.training import (
+    EarlyStopping,
+    ReduceOnPlateau,
+    StepDecay,
+    Trainer,
+)
+
+TINY = HyperParams(
+    link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+    readout_hidden=(12,), learning_rate=3e-3,
+)
+
+
+class TestStepDecay:
+    def test_constant_within_window(self):
+        schedule = StepDecay(1e-2, factor=0.5, every=5)
+        assert schedule.lr(1) == schedule.lr(5) == 1e-2
+
+    def test_halves_at_boundary(self):
+        schedule = StepDecay(1e-2, factor=0.5, every=5)
+        assert schedule.lr(6) == pytest.approx(5e-3)
+        assert schedule.lr(11) == pytest.approx(2.5e-3)
+
+    def test_min_lr_floor(self):
+        schedule = StepDecay(1e-2, factor=0.1, every=1, min_lr=1e-4)
+        assert schedule.lr(100) == 1e-4
+
+    def test_zero_epoch_rejected(self):
+        with pytest.raises(ModelError):
+            StepDecay(1e-2).lr(0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ModelError):
+            StepDecay(0.0)
+        with pytest.raises(ModelError):
+            StepDecay(1e-2, factor=1.5)
+
+
+class TestReduceOnPlateau:
+    def test_no_reduction_while_improving(self):
+        schedule = ReduceOnPlateau(1e-2, patience=2)
+        for metric in (1.0, 0.9, 0.8):
+            assert schedule.observe(metric) == 1e-2
+
+    def test_reduces_after_patience(self):
+        schedule = ReduceOnPlateau(1e-2, factor=0.5, patience=2)
+        schedule.observe(1.0)
+        schedule.observe(1.0)
+        assert schedule.observe(1.0) == pytest.approx(5e-3)
+
+    def test_counter_resets_on_improvement(self):
+        schedule = ReduceOnPlateau(1e-2, factor=0.5, patience=2)
+        schedule.observe(1.0)
+        schedule.observe(1.0)      # stale 1
+        schedule.observe(0.5)      # improvement resets
+        schedule.observe(0.5)      # stale 1
+        assert schedule.current_lr == 1e-2
+
+    def test_min_lr(self):
+        schedule = ReduceOnPlateau(1e-2, factor=0.01, patience=1, min_lr=1e-3)
+        schedule.observe(1.0)
+        schedule.observe(1.0)
+        schedule.observe(1.0)
+        assert schedule.current_lr == 1e-3
+
+
+class TestEarlyStopping:
+    def test_no_stop_while_improving(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.should_stop(1.0)
+        assert not stopper.should_stop(0.9)
+
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.should_stop(1.0)
+        assert not stopper.should_stop(1.0)
+        assert stopper.should_stop(1.0)
+
+    def test_best_tracked(self):
+        stopper = EarlyStopping(patience=3)
+        stopper.should_stop(1.0)
+        stopper.should_stop(0.7)
+        assert stopper.best == 0.7
+
+    def test_bad_patience(self):
+        with pytest.raises(ModelError):
+            EarlyStopping(patience=0)
+
+
+class TestTrainerIntegration:
+    def test_step_decay_changes_optimizer_lr(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        schedule = StepDecay(3e-3, factor=0.1, every=2)
+        trainer.fit(tiny_samples[:3], epochs=3, schedule=schedule)
+        assert trainer._optimizer.lr == pytest.approx(3e-4)
+
+    def test_early_stopping_halts(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        # A huge min_delta means no epoch ever counts as an improvement, so
+        # training must stop right after `patience` epochs.
+        history = trainer.fit(
+            tiny_samples[:3],
+            epochs=50,
+            early_stopping=EarlyStopping(patience=2, min_delta=100.0),
+        )
+        # Epoch 1 sets the best (anything beats +inf); epochs 2-3 are stale.
+        assert len(history.epochs) == 3
+
+    def test_plateau_schedule_runs(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        schedule = ReduceOnPlateau(3e-3, patience=1)
+        trainer.fit(tiny_samples[:3], epochs=4, schedule=schedule)
+        assert trainer._optimizer.lr <= 3e-3

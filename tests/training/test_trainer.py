@@ -1,0 +1,130 @@
+"""Tests for the RouteNet trainer: learning progress, caching, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.errors import ModelError
+from repro.training import Trainer
+
+TINY = HyperParams(
+    link_state_dim=8,
+    path_state_dim=8,
+    message_passing_steps=2,
+    readout_hidden=(12,),
+    learning_rate=3e-3,
+)
+
+
+class TestFit:
+    def test_loss_decreases(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        history = trainer.fit(tiny_samples, epochs=8)
+        losses = history.train_losses
+        assert losses[-1] < losses[0]
+
+    def test_history_records_epochs(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        history = trainer.fit(tiny_samples, epochs=3)
+        assert [e.epoch for e in history.epochs] == [1, 2, 3]
+        assert history.last().epoch == 3
+
+    def test_eval_metric_recorded(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        history = trainer.fit(
+            tiny_samples[:6], epochs=2, eval_samples=tiny_samples[6:]
+        )
+        assert history.last().eval_delay_mre is not None
+
+    def test_scaler_fit_automatically(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        assert trainer.scaler is None
+        trainer.fit(tiny_samples, epochs=1)
+        assert trainer.scaler is not None
+
+    def test_log_callback_invoked(self, tiny_samples):
+        lines = []
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples, epochs=2, log=lines.append)
+        assert len(lines) == 2
+        assert "loss" in lines[0]
+
+    def test_empty_train_set_raises(self):
+        trainer = Trainer(RouteNet(TINY, seed=0))
+        with pytest.raises(ModelError):
+            trainer.fit([], epochs=1)
+
+    def test_bad_epochs_raises(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0))
+        with pytest.raises(ModelError):
+            trainer.fit(tiny_samples, epochs=0)
+
+    def test_input_cache_reused(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples, epochs=2)
+        assert len(trainer._input_cache) == len(tiny_samples)
+
+
+class TestEvaluatePredict:
+    def test_learns_structure(self, tiny_samples):
+        """After training, the model must beat the scale-only baseline
+        (predicting the dataset mean for everything)."""
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples, epochs=25)
+        metrics = trainer.evaluate(tiny_samples)
+        true = np.concatenate([s.delay for s in tiny_samples])
+        mean_baseline_mre = float(np.abs(true.mean() - true).mean() / true.mean())
+        assert metrics["delay"]["mre"] < mean_baseline_mre
+        assert metrics["delay"]["pearson"] > 0.7
+
+    def test_predict_sample_shapes(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples, epochs=1)
+        pred = trainer.predict_sample(tiny_samples[0])
+        assert pred["delay"].shape == (tiny_samples[0].num_pairs,)
+        assert (pred["delay"] > 0).all()
+
+    def test_evaluate_before_fit_raises(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0))
+        with pytest.raises(ModelError, match="scaler"):
+            trainer.evaluate(tiny_samples)
+
+    def test_evaluate_empty_raises(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples, epochs=1)
+        with pytest.raises(ModelError):
+            trainer.evaluate([])
+
+    def test_include_load_feature(self, tiny_samples):
+        """Trainer can feed analytic per-link load as a second link feature
+        (model must be built with link_feature_dim=2)."""
+        hp = HyperParams(
+            link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+            readout_hidden=(12,), learning_rate=3e-3, link_feature_dim=2,
+        )
+        trainer = Trainer(RouteNet(hp, seed=0), include_load=True, seed=1)
+        history = trainer.fit(list(tiny_samples[:4]), epochs=2)
+        assert len(history.epochs) == 2
+        pred = trainer.predict_sample(tiny_samples[0])
+        assert (pred["delay"] > 0).all()
+
+    def test_divergence_detected(self, tiny_samples):
+        """A NaN loss must raise instead of silently corrupting weights."""
+        import numpy as np
+
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        # Poison the readout weights to force a non-finite forward pass.
+        trainer.model.readout.layers[-1].weight.data[:] = np.nan
+        with pytest.raises(ModelError, match="diverged"):
+            trainer.train_step(tiny_samples[0])
+
+    def test_single_target_model_trains(self, tiny_samples):
+        hp = HyperParams(
+            link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+            readout_hidden=(12,), readout_targets=1, learning_rate=3e-3,
+        )
+        trainer = Trainer(RouteNet(hp, seed=0), seed=1)
+        trainer.fit(tiny_samples, epochs=2)
+        metrics = trainer.evaluate(tiny_samples)
+        assert "jitter" not in metrics

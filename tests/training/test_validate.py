@@ -1,0 +1,44 @@
+"""Tests for k-fold cross-validation."""
+
+import pytest
+
+from repro.core import HyperParams
+from repro.errors import ModelError
+from repro.training import cross_validate
+
+TINY = HyperParams(
+    link_state_dim=8, path_state_dim=8, message_passing_steps=2,
+    readout_hidden=(12,), learning_rate=3e-3,
+)
+
+
+class TestCrossValidate:
+    def test_fold_count_and_sizes(self, tiny_samples):
+        result = cross_validate(list(tiny_samples), TINY, k=4, epochs=2, seed=0)
+        assert len(result.folds) == 4
+        total_eval = sum(f.eval_size for f in result.folds)
+        assert total_eval == len(tiny_samples)
+        for fold in result.folds:
+            assert fold.train_size + fold.eval_size == len(tiny_samples)
+
+    def test_metrics_finite(self, tiny_samples):
+        result = cross_validate(list(tiny_samples), TINY, k=2, epochs=3, seed=1)
+        assert result.mean_mre > 0
+        assert result.std_mre >= 0
+
+    def test_deterministic(self, tiny_samples):
+        a = cross_validate(list(tiny_samples), TINY, k=2, epochs=2, seed=5)
+        b = cross_validate(list(tiny_samples), TINY, k=2, epochs=2, seed=5)
+        assert a.mean_mre == b.mean_mre
+
+    def test_repr(self, tiny_samples):
+        result = cross_validate(list(tiny_samples), TINY, k=2, epochs=1, seed=0)
+        assert "mre=" in repr(result)
+
+    def test_bad_k_raises(self, tiny_samples):
+        with pytest.raises(ModelError):
+            cross_validate(list(tiny_samples), TINY, k=1)
+
+    def test_too_few_samples_raises(self, tiny_samples):
+        with pytest.raises(ModelError):
+            cross_validate(list(tiny_samples[:2]), TINY, k=4)
