@@ -8,7 +8,6 @@ model per cell on the NSFNET training set, and reports delay MRE on the
 passing) is clearly worse; accuracy saturates after a few iterations.
 """
 
-import pytest
 
 from repro.core import HyperParams, RouteNet
 from repro.training import Trainer
@@ -21,7 +20,7 @@ SWEEP_EPOCHS = 12
 def _mre_for(hp: HyperParams, workbench, include_load: bool = False) -> float:
     trainer = Trainer(RouteNet(hp, seed=3), include_load=include_load, seed=4)
     trainer.fit(workbench.nsfnet_train(), epochs=SWEEP_EPOCHS)
-    return trainer.evaluate(workbench.geant2_eval())["delay"]["mre"]
+    return trainer.evaluate(workbench.geant2_eval()).delay.mre
 
 
 def test_ablation_message_passing_steps(workbench, benchmark):

@@ -14,7 +14,7 @@ from .conftest import report
 def test_error_by_path_length(workbench, benchmark):
     trainer = workbench.trainer()
     samples = workbench.geant2_eval()
-    predictions = [trainer.predict_sample(s)["delay"] for s in samples]
+    predictions = [trainer.predict_sample(s).delay for s in samples]
 
     breakdown = benchmark(lambda: error_by_path_length(samples, predictions))
 

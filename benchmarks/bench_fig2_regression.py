@@ -9,7 +9,6 @@ statistics, and times the end-to-end prediction step that produces the
 figure's data.
 """
 
-import numpy as np
 
 from repro.core import build_model_input
 from repro.evaluation import binned_means, scatter

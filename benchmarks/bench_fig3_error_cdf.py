@@ -8,7 +8,6 @@ The bench prints the quantile table and an ASCII CDF per dataset, and times
 the pooled-evaluation step.
 """
 
-import numpy as np
 
 from repro.evaluation import cdf_curve, cdf_table
 from repro.experiments import fig3_error_cdfs

@@ -35,11 +35,11 @@ def test_qos_class_aware_model(workbench, benchmark):
     blind = Trainer(RouteNet(_hp(1), seed=21), seed=22)
     blind.fit(train, epochs=epochs)
 
-    aware_mre = aware.evaluate(evaluation)["delay"]["mre"]
-    blind_mre = blind.evaluate(evaluation)["delay"]["mre"]
+    aware_mre = aware.evaluate(evaluation).delay.mre
+    blind_mre = blind.evaluate(evaluation).delay.mre
 
     pred = np.concatenate(
-        [aware.predict_sample(s)["delay"] for s in evaluation]
+        [aware.predict_sample(s).delay for s in evaluation]
     )
     true = np.concatenate([s.delay for s in evaluation])
     classes = np.concatenate([s.pair_class for s in evaluation])

@@ -11,7 +11,6 @@ cannot serve.
 
 import sys
 
-import numpy as np
 
 from repro.core import build_model_input
 from repro.experiments import PAPER_SMALL, SMOKE, Workbench
@@ -33,7 +32,7 @@ def main() -> None:
     rows = []
     for hour, tm in trace:
         inputs = build_model_input(topology, routing, tm, scaler=scaler)
-        delays = model.predict(inputs, scaler)["delay"]
+        delays = model.predict(inputs, scaler).delay
         util = max_link_utilization(topology, routing, tm)
         rows.append((hour, util, float(delays.mean())))
 

@@ -39,11 +39,11 @@ def main() -> None:
     trainer = Trainer(RouteNet(hp, seed=0), seed=2)
     trainer.fit(train, epochs=30, log=print)
 
-    metrics = trainer.evaluate(evaluation)["delay"]
+    metrics = trainer.evaluate(evaluation).delay.to_dict()
     print(f"\nheld-out delay MRE: {metrics['mre']:.1%}  R2: {metrics['r2']:.3f}")
 
     pred = np.concatenate(
-        [trainer.predict_sample(s)["delay"] for s in evaluation]
+        [trainer.predict_sample(s).delay for s in evaluation]
     )
     print(
         f"predicted class separation: premium {pred[classes == 0].mean():.3f} s"

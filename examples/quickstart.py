@@ -4,50 +4,55 @@ Runs in about a minute on a laptop:
 
     python examples/quickstart.py
 
-Pipeline: simulate a small dataset with the packet-level simulator, train
-the GNN, evaluate on held-out scenarios, and predict the delay of one path.
+The whole pipeline goes through the one-call :mod:`repro.api` facade:
+simulate a small dataset with the packet-level simulator, train the GNN,
+evaluate on held-out scenarios, and serve batched per-path predictions.
 """
 
-from repro.core import HyperParams, RouteNet
-from repro.dataset import GenerationConfig, generate_dataset, train_eval_split
-from repro.topology import nsfnet
-from repro.training import Trainer
+import repro
+from repro.dataset import GenerationConfig, train_eval_split
 
 
 def main() -> None:
-    # 1. The network: the classic 14-node NSFNET backbone.
-    topology = nsfnet()
-    print(f"topology: {topology}")
-
-    # 2. Ground truth: packet-level simulation of 16 random scenarios
-    #    (random routing scheme + random traffic matrix each).
-    config = GenerationConfig(target_packets_per_pair=100, min_delivered=15)
+    # 1. Ground truth: packet-level simulation of 16 random scenarios on the
+    #    classic 14-node NSFNET backbone (random routing + traffic each).
     print("simulating 16 scenarios ...")
-    samples = generate_dataset(topology, 16, seed=7, config=config)
+    samples = repro.simulate(
+        "nsfnet",
+        num_samples=16,
+        seed=7,
+        config=GenerationConfig(target_packets_per_pair=100, min_delivered=15),
+    )
     train, evaluation = train_eval_split(samples, eval_fraction=0.25, seed=1)
 
-    # 3. Train RouteNet (path<->link message passing, delay + jitter heads).
-    model = RouteNet(HyperParams(learning_rate=2e-3), seed=0)
-    trainer = Trainer(model, seed=2)
-    trainer.fit(train, epochs=20, log=print)
-
-    # 4. Evaluate on unseen scenarios.
-    metrics = trainer.evaluate(evaluation)
-    print(
-        f"\nheld-out delay:  MRE {metrics['delay']['mre']:.1%}  "
-        f"R2 {metrics['delay']['r2']:.3f}  Pearson {metrics['delay']['pearson']:.3f}"
-    )
-    print(
-        f"held-out jitter: MRE {metrics['jitter']['mre']:.1%}  "
-        f"R2 {metrics['jitter']['r2']:.3f}"
+    # 2. Train RouteNet (path<->link message passing, delay + jitter heads).
+    result = repro.train(
+        train,
+        epochs=20,
+        hparams=repro.HyperParams(learning_rate=2e-3),
+        seed=0,
+        log=print,
     )
 
-    # 5. Predict per-path KPIs for one scenario.
+    # 3. Evaluate on unseen scenarios (typed EvalResult, batched inference).
+    metrics = repro.evaluate(result.model, evaluation, scaler=result.scaler)
+    print(
+        f"\nheld-out delay:  MRE {metrics.delay.mre:.1%}  "
+        f"R2 {metrics.delay.r2:.3f}  Pearson {metrics.delay.pearson:.3f}"
+    )
+    print(
+        f"held-out jitter: MRE {metrics.jitter.mre:.1%}  "
+        f"R2 {metrics.jitter.r2:.3f}"
+    )
+
+    # 4. Predict per-path KPIs for one scenario.
     sample = evaluation[0]
-    prediction = trainer.predict_sample(sample)
-    src, dst = sample.pairs[0]
+    prediction = repro.predict(
+        result.model, sample, scaler=result.scaler
+    )
+    src, dst = prediction.pairs[0]
     print(
-        f"\npath {src}->{dst}: predicted delay {prediction['delay'][0] * 1000:.1f} ms, "
+        f"\npath {src}->{dst}: predicted delay {prediction.delay[0] * 1000:.1f} ms, "
         f"simulated {sample.delay[0] * 1000:.1f} ms"
     )
 

@@ -7,17 +7,14 @@ ground truth, the routing/traffic/topology substrates, analytic and
 fully-connected baselines, and the evaluation harness reproducing the
 paper's figures.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
 
-    from repro import topology, dataset, core, training
+    import repro
 
-    topo = topology.nsfnet()
-    samples = dataset.generate_dataset(topo, num_samples=32, seed=0)
-    train, evaluation = dataset.train_eval_split(samples, 0.2, seed=1)
-    model = core.RouteNet(seed=2)
-    trainer = training.Trainer(model, seed=3)
-    trainer.fit(train, epochs=20)
-    print(trainer.evaluate(evaluation)["delay"])
+    samples = repro.simulate("nsfnet", num_samples=32, seed=0)
+    train, evaluation = repro.dataset.train_eval_split(samples, 0.2, seed=1)
+    result = repro.train(train, epochs=20, seed=2)
+    print(repro.evaluate(result.model, evaluation, scaler=result.scaler).delay)
 """
 
 from . import (
@@ -30,6 +27,7 @@ from . import (
     planning,
     queueing,
     routing,
+    serving,
     simulator,
     topology,
     traffic,
@@ -39,11 +37,16 @@ from .core import RouteNet, HyperParams, build_model_input, FeatureScaler
 from .dataset import generate_dataset, generate_sample, GenerationConfig
 from .errors import ReproError
 from .random import make_rng, split_rng
+from .results import EvalResult, Metrics, PredictResult
+from .serving import InferenceEngine
 from .training import Trainer
+from . import api
+from .api import TrainResult, evaluate, predict, simulate, train
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "baselines",
     "core",
     "dataset",
@@ -53,10 +56,20 @@ __all__ = [
     "planning",
     "queueing",
     "routing",
+    "serving",
     "simulator",
     "topology",
     "traffic",
     "training",
+    "train",
+    "evaluate",
+    "predict",
+    "simulate",
+    "TrainResult",
+    "EvalResult",
+    "PredictResult",
+    "Metrics",
+    "InferenceEngine",
     "RouteNet",
     "HyperParams",
     "build_model_input",

@@ -1,0 +1,224 @@
+"""One-call public API: ``train`` / ``evaluate`` / ``predict`` / ``simulate``.
+
+The library grew subsystem by subsystem, and common workflows ended up
+spanning half a dozen imports (``dataset`` + ``core`` + ``training`` +
+``serving`` ...).  This facade collapses each workflow into a single function
+with typed results::
+
+    import repro
+
+    samples = repro.simulate("nsfnet", num_samples=16, seed=7)
+    result = repro.train(samples, epochs=20)
+    result.save("model.npz")
+
+    metrics = repro.evaluate("model.npz", samples)      # EvalResult
+    preds = repro.predict("model.npz", samples)         # list[PredictResult]
+
+Models may be passed as live :class:`RouteNet` objects (with their scaler) or
+as checkpoint paths; sample sets as lists or JSONL archive paths; topologies
+as objects or names (``"nsfnet"`` / ``"geant2"`` / ``"gbn"`` /
+``"synthetic:<nodes>[:<seed>]"``).  Prediction always runs through the
+batched :class:`~repro.serving.InferenceEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from .core import FeatureScaler, HyperParams, RouteNet
+from .dataset import GenerationConfig, Sample, generate_dataset, load_dataset, save_dataset
+from .errors import ModelError
+from .results import EvalResult, Metrics, PredictResult
+from .serving import InferenceEngine
+from .topology import Topology, by_name, synthetic_topology
+from .training import Trainer, TrainingHistory
+
+__all__ = [
+    "TrainResult",
+    "EvalResult",
+    "PredictResult",
+    "Metrics",
+    "train",
+    "evaluate",
+    "predict",
+    "simulate",
+]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of :func:`train`: the model, its scaler, and the history."""
+
+    model: RouteNet
+    scaler: FeatureScaler
+    history: TrainingHistory
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.history.last().train_loss
+
+    def save(self, path: str | Path, **extra_meta) -> None:
+        """Checkpoint model + scaler (loadable by every facade function)."""
+        meta = {"final_train_loss": self.final_train_loss, **extra_meta}
+        self.model.save(str(path), self.scaler, extra_meta=meta)
+
+
+# ----------------------------------------------------------------------
+# Argument coercion
+# ----------------------------------------------------------------------
+def _resolve_model(
+    model: RouteNet | str | Path, scaler: FeatureScaler | None
+) -> tuple[RouteNet, FeatureScaler]:
+    if isinstance(model, (str, Path)):
+        loaded, ckpt_scaler, _meta = RouteNet.load(str(model))
+        return loaded, scaler or ckpt_scaler
+    if scaler is None:
+        raise ModelError(
+            "pass scaler= when using a live RouteNet (checkpoint paths carry "
+            "their scaler)"
+        )
+    return model, scaler
+
+
+def _resolve_samples(samples: Sequence[Sample] | Sample | str | Path) -> list[Sample]:
+    if isinstance(samples, (str, Path)):
+        return load_dataset(samples)
+    if isinstance(samples, Sample):
+        return [samples]
+    return list(samples)
+
+
+def _resolve_topology(topology: Topology | str) -> Topology:
+    if isinstance(topology, Topology):
+        return topology
+    if topology.startswith("synthetic:"):
+        parts = topology.split(":")
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        return synthetic_topology(int(parts[1]), seed=seed)
+    return by_name(topology)
+
+
+# ----------------------------------------------------------------------
+# Workflows
+# ----------------------------------------------------------------------
+def train(
+    samples: Sequence[Sample] | str | Path,
+    *,
+    epochs: int = 20,
+    hparams: HyperParams | None = None,
+    seed: int = 0,
+    include_load: bool = False,
+    eval_samples: Sequence[Sample] | str | Path | None = None,
+    checkpoint: str | Path | None = None,
+    log: Callable[[str], None] | None = None,
+    schedule=None,
+    early_stopping=None,
+) -> TrainResult:
+    """Train a fresh RouteNet on ``samples``.
+
+    Args:
+        samples: Training samples, or a JSONL archive path.
+        epochs: Passes over the training set.
+        hparams: Model architecture; library defaults when omitted.
+        seed: Seeds both model init and the trainer's shuffling.
+        include_load: Add the analytic per-link load input feature.
+        eval_samples: Optional held-out set evaluated each epoch.
+        checkpoint: When given, the trained model is saved here.
+        log: Per-epoch progress sink (e.g. ``print``).
+        schedule / early_stopping: Forwarded to :meth:`Trainer.fit`.
+    """
+    train_set = _resolve_samples(samples)
+    eval_set = _resolve_samples(eval_samples) if eval_samples is not None else None
+    model = RouteNet(hparams, seed=seed)
+    trainer = Trainer(model, include_load=include_load, seed=seed + 1)
+    history = trainer.fit(
+        train_set,
+        epochs=epochs,
+        eval_samples=eval_set,
+        log=log,
+        schedule=schedule,
+        early_stopping=early_stopping,
+    )
+    result = TrainResult(model=model, scaler=trainer.scaler, history=history)
+    if checkpoint is not None:
+        result.save(checkpoint, epochs=epochs)
+    return result
+
+
+def evaluate(
+    model: RouteNet | str | Path,
+    samples: Sequence[Sample] | str | Path,
+    *,
+    scaler: FeatureScaler | None = None,
+    include_load: bool = False,
+    batch_size: int = 32,
+) -> EvalResult:
+    """Pooled regression metrics of ``model`` over ``samples``.
+
+    Predictions are served in fused batches of ``batch_size``.
+    """
+    resolved_model, resolved_scaler = _resolve_model(model, scaler)
+    trainer = Trainer(resolved_model, scaler=resolved_scaler, include_load=include_load)
+    return trainer.evaluate(_resolve_samples(samples), batch_size=batch_size)
+
+
+def predict(
+    model: RouteNet | str | Path,
+    samples: Sequence[Sample] | Sample | str | Path,
+    *,
+    scaler: FeatureScaler | None = None,
+    include_load: bool = False,
+    batch_size: int = 32,
+    engine: InferenceEngine | None = None,
+) -> PredictResult | list[PredictResult]:
+    """Per-path KPI predictions, batched through the inference engine.
+
+    Args:
+        samples: One sample, a list of samples, or an archive path.
+        engine: Reuse an existing engine (keeps its cache and stats warm);
+            built from ``model``/``scaler`` when omitted.
+
+    Returns:
+        One :class:`PredictResult` when a single sample was passed, else a
+        list aligned with the input order.
+    """
+    single = isinstance(samples, Sample)
+    sample_list = _resolve_samples(samples)
+    if engine is None:
+        resolved_model, resolved_scaler = _resolve_model(model, scaler)
+        engine = InferenceEngine(
+            resolved_model,
+            resolved_scaler,
+            include_load=include_load,
+            batch_size=batch_size,
+        )
+    results = engine.predict_many(sample_list, batch_size=batch_size)
+    return results[0] if single else results
+
+
+def simulate(
+    topology: Topology | str,
+    num_samples: int = 16,
+    *,
+    seed: int = 0,
+    config: GenerationConfig | None = None,
+    output: str | Path | None = None,
+) -> list[Sample]:
+    """Simulate ``num_samples`` labeled scenarios on ``topology``.
+
+    Each scenario draws a random routing scheme and traffic matrix and runs
+    the packet-level simulator for ground-truth delay/jitter/loss labels.
+
+    Args:
+        topology: A :class:`Topology` or a name spec (``"nsfnet"``,
+            ``"synthetic:24:3"``, ...).
+        output: When given, the samples are also written to this JSONL path.
+    """
+    samples = generate_dataset(
+        _resolve_topology(topology), num_samples, seed=seed, config=config
+    )
+    if output is not None:
+        save_dataset(samples, output)
+    return samples

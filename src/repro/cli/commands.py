@@ -9,17 +9,17 @@ from __future__ import annotations
 
 import argparse
 import functools
-from pathlib import Path
 
 import numpy as np
 
+from .. import api
 from ..core import HyperParams, RouteNet
-from ..dataset import GenerationConfig, generate_dataset, load_dataset, save_dataset
+from ..dataset import GenerationConfig, load_dataset, save_dataset
 from ..errors import ReproError
 from ..evaluation import cdf_table, compute_error_cdf, format_top_paths, top_n_paths
 from ..experiments import PAPER_SMALL, SMOKE, Workbench
+from ..serving import InferenceEngine
 from ..topology import TOPOLOGY_LIBRARY, by_name, synthetic_topology
-from ..training import Trainer
 
 __all__ = [
     "cmd_topologies",
@@ -84,7 +84,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         f"simulating {args.num_samples} scenarios on {topology.name} "
         f"({args.arrivals} arrivals) ..."
     )
-    samples = generate_dataset(topology, args.num_samples, seed=args.seed, config=config)
+    samples = api.simulate(topology, args.num_samples, seed=args.seed, config=config)
     count = save_dataset(samples, args.output)
     pairs = sum(s.num_pairs for s in samples)
     print(f"wrote {count} samples ({pairs} labeled paths) to {args.output}")
@@ -108,60 +108,86 @@ def cmd_train(args: argparse.Namespace) -> int:
         message_passing_steps=args.steps,
         learning_rate=args.learning_rate,
     )
-    model = RouteNet(hp, seed=args.seed)
-    trainer = Trainer(model, seed=args.seed + 1)
-    eval_samples = load_dataset(args.eval_dataset) if args.eval_dataset else None
     log = (lambda _msg: None) if args.quiet else print
-    history = trainer.fit(samples, epochs=args.epochs, eval_samples=eval_samples, log=log)
-    model.save(args.output, trainer.scaler,
-               extra_meta={"epochs": args.epochs,
-                           "final_train_loss": history.last().train_loss})
+    result = api.train(
+        samples,
+        epochs=args.epochs,
+        hparams=hp,
+        seed=args.seed,
+        eval_samples=args.eval_dataset,
+        checkpoint=args.output,
+        log=log,
+    )
     print(f"wrote checkpoint {args.output} "
-          f"(final loss {history.last().train_loss:.4f})")
+          f"(final loss {result.final_train_loss:.4f})")
     return 0
 
 
 @_handle_errors
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    model, scaler, _meta = RouteNet.load(args.model)
-    trainer = Trainer(model, scaler=scaler)
     samples = _load_many(args.dataset)
-    metrics = trainer.evaluate(samples)
+    metrics = api.evaluate(args.model, samples)
     print(f"evaluated {len(samples)} samples "
-          f"({int(metrics['delay']['count'])} paths)")
-    for target, stats in metrics.items():
+          f"({int(metrics.delay.count)} paths)")
+    for target, stats in zip(metrics.targets(), (metrics.delay, metrics.jitter)):
         print(
-            f"  {target:<7s} MRE {stats['mre']:.3f}   MedRE {stats['medre']:.3f}   "
-            f"R2 {stats['r2']:.3f}   Pearson {stats['pearson']:.3f}"
+            f"  {target:<7s} MRE {stats.mre:.3f}   MedRE {stats.medre:.3f}   "
+            f"R2 {stats.r2:.3f}   Pearson {stats.pearson:.3f}"
         )
     if args.cdf:
-        preds, trues = [], []
-        for sample in samples:
-            preds.append(trainer.predict_sample(sample)["delay"])
-            trues.append(sample.delay)
+        predictions = api.predict(args.model, samples)
         cdf = compute_error_cdf(
-            np.concatenate(preds), np.concatenate(trues), label="delay"
+            np.concatenate([p.delay for p in predictions]),
+            np.concatenate([s.delay for s in samples]),
+            label="delay",
         )
         print()
         print(cdf_table([cdf]))
     return 0
 
 
+def _predict_batched(args: argparse.Namespace, samples) -> int:
+    """The ``predict --batch N`` path: serve every sample in fused batches."""
+    model, scaler, _meta = RouteNet.load(args.model)
+    engine = InferenceEngine(model, scaler, batch_size=args.batch)
+    predictions = engine.predict_many(samples)
+    stats = engine.stats()
+    print(
+        f"served {stats['queries']} samples ({stats['paths']} paths) in "
+        f"{stats['batches']} fused batches of <= {args.batch}"
+    )
+    for index, (sample, pred) in enumerate(zip(samples, predictions)):
+        worst = int(np.argmax(pred.delay))
+        print(
+            f"  sample {index:3d}  {sample.topology.name:<10s} "
+            f"{pred.num_paths:4d} paths   mean {pred.delay.mean() * 1000:7.2f} ms   "
+            f"worst {sample.pairs[worst][0]}->{sample.pairs[worst][1]} "
+            f"{pred.delay[worst] * 1000:.2f} ms"
+        )
+    throughput = stats["paths"] / stats["total_s"] if stats["total_s"] > 0 else 0.0
+    print(f"\nper-stage timings ({throughput:,.0f} paths/s):")
+    print(InferenceEngine.format_stats(stats))
+    return 0
+
+
 @_handle_errors
 def cmd_predict(args: argparse.Namespace) -> int:
-    model, scaler, _meta = RouteNet.load(args.model)
-    trainer = Trainer(model, scaler=scaler)
     samples = load_dataset(args.dataset)
+    if args.batch is not None:
+        if args.batch < 1:
+            print(f"error: --batch must be >= 1, got {args.batch}")
+            return 1
+        return _predict_batched(args, samples)
     if not 0 <= args.sample < len(samples):
         print(f"error: sample index {args.sample} outside [0, {len(samples)})")
         return 1
     sample = samples[args.sample]
-    pred = trainer.predict_sample(sample)
+    pred = api.predict(args.model, sample)
     print(
         f"sample {args.sample}: topology={sample.topology.name}, "
         f"routing={sample.routing.name}, {sample.num_pairs} paths"
     )
-    rows = top_n_paths(sample.pairs, pred["delay"], n=args.top,
+    rows = top_n_paths(sample.pairs, pred.delay, n=args.top,
                        true_delay=sample.delay)
     print(format_top_paths(rows))
     return 0

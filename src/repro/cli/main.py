@@ -7,6 +7,7 @@ Subcommands mirror the library's workflow::
     python -m repro train -d data.jsonl -o model.npz --epochs 20
     python -m repro evaluate -m model.npz -d eval.jsonl
     python -m repro predict -m model.npz -d eval.jsonl --sample 0 --top 10
+    python -m repro predict -m model.npz -d eval.jsonl --batch 32
     python -m repro figures --profile smoke --cache /tmp/cache
 
 Each subcommand is implemented in :mod:`repro.cli.commands`; this module
@@ -82,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--sample", type=int, default=0, help="sample index")
     pred.add_argument("--top", type=int, default=10,
                       help="print the Top-N paths by predicted delay")
+    pred.add_argument("--batch", type=int, metavar="N",
+                      help="serve ALL samples through the batched inference "
+                           "engine (fused batches of N) and report per-stage "
+                           "timings instead of one sample's Top-N paths")
     pred.set_defaults(func=commands.cmd_predict)
 
     opt = sub.add_parser("optimize", help="pick the best routing for a scenario")

@@ -10,7 +10,7 @@ most (message-passing iterations and state dimension).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, asdict
 
 from ..errors import ModelError
 

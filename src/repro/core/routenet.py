@@ -25,6 +25,7 @@ import numpy as np
 from .. import nn
 from ..errors import ModelError
 from ..random import make_rng
+from ..results import PredictResult
 from .features import FeatureScaler, ModelInput
 from .hyperparams import HyperParams
 
@@ -117,22 +118,23 @@ class RouteNet(nn.Module):
     __call__ = forward
 
     # ------------------------------------------------------------------
-    def predict(
-        self, inputs: ModelInput, scaler: FeatureScaler
-    ) -> dict[str, np.ndarray]:
+    def predict(self, inputs: ModelInput, scaler: FeatureScaler) -> PredictResult:
         """Inference in raw units.
 
         Returns:
-            ``{"delay": (P,), "jitter": (P,)}`` arrays ordered like
-            ``inputs.pairs`` (jitter present when the model has 2 targets).
+            A :class:`~repro.results.PredictResult` with ``delay`` (and
+            ``jitter`` when the model has 2 targets) arrays ordered like
+            ``inputs.pairs``.  Dict-style access (``result["delay"]``) keeps
+            working as a deprecation shim.
         """
         with nn.no_grad():
             encoded = self.forward(inputs, training=False).numpy()
         decoded = scaler.decode_targets(encoded)
-        result = {"delay": decoded[:, 0]}
-        if decoded.shape[1] > 1:
-            result["jitter"] = decoded[:, 1]
-        return result
+        return PredictResult(
+            pairs=inputs.pairs,
+            delay=decoded[:, 0],
+            jitter=decoded[:, 1] if decoded.shape[1] > 1 else None,
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing (architecture + scaler + weights in one archive)

@@ -7,7 +7,7 @@ check a generated archive before spending training time on it.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,6 +10,7 @@ __all__ = [
     "SimulationError",
     "DatasetError",
     "ModelError",
+    "ServingError",
 ]
 
 
@@ -39,3 +40,7 @@ class DatasetError(ReproError):
 
 class ModelError(ReproError):
     """Model construction or checkpoint mismatch."""
+
+
+class ServingError(ReproError):
+    """Batched inference engine misuse (unpackable inputs, empty batch)."""

@@ -42,10 +42,9 @@ __all__ = [
 def _pooled_predictions(
     trainer: Trainer, samples: list[Sample]
 ) -> tuple[np.ndarray, np.ndarray]:
-    preds, trues = [], []
-    for sample in samples:
-        preds.append(trainer.predict_sample(sample)["delay"])
-        trues.append(sample.delay)
+    predictions = trainer.engine().predict_many(samples)
+    preds = [pred.delay for pred in predictions]
+    trues = [sample.delay for sample in samples]
     return np.concatenate(preds), np.concatenate(trues)
 
 
@@ -54,7 +53,7 @@ def fig2_regression(wb: Workbench, sample_index: int = 0) -> RegressionData:
     trainer = wb.trainer()
     samples = wb.geant2_eval()
     sample = samples[sample_index % len(samples)]
-    pred = trainer.predict_sample(sample)["delay"]
+    pred = trainer.predict_sample(sample).delay
     return collect_regression(pred, sample.delay, sample.pairs)
 
 
@@ -89,7 +88,7 @@ def fig3_jitter_cdfs(wb: Workbench) -> list[ErrorCDF]:
     for label, samples in datasets:
         preds, trues = [], []
         for sample in samples:
-            pred = trainer.predict_sample(sample)["jitter"]
+            pred = trainer.predict_sample(sample).jitter
             keep = sample.jitter > 0
             preds.append(pred[keep])
             trues.append(sample.jitter[keep])
@@ -115,7 +114,7 @@ def fig4_top_paths(wb: Workbench, n: int = 10, sample_index: int = 0) -> TopPath
     trainer = wb.trainer()
     samples = wb.geant2_eval()
     sample = samples[sample_index % len(samples)]
-    pred = trainer.predict_sample(sample)["delay"]
+    pred = trainer.predict_sample(sample).delay
     rows = top_n_paths(sample.pairs, pred, n=n, true_delay=sample.delay)
     agreement = ranking_agreement(pred, sample.delay, n=n)
     return TopPathsResult(rows=rows, agreement=agreement, sample_meta=sample.meta)

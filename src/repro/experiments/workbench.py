@@ -12,7 +12,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable
 
-import numpy as np
 
 from ..core import FeatureScaler, RouteNet
 from ..dataset import Sample, generate_dataset, load_dataset, save_dataset
@@ -188,8 +187,9 @@ class Workbench:
         if self._model is not None:
             return self._model
         path = self.model_path()
-        if path.exists():
-            model, scaler, _ = RouteNet.load(str(path))
+        cached = self._load_checkpoint(path)
+        if cached is not None:
+            model, scaler = cached
         else:
             self._log(
                 f"[workbench] training RouteNet for {self.profile.epochs} epochs ..."
@@ -212,6 +212,18 @@ class Workbench:
         self._model = (model, scaler)
         return self._model
 
+    def _load_checkpoint(self, path: Path) -> tuple[RouteNet, FeatureScaler] | None:
+        """Load a cached checkpoint, treating unreadable files as absent."""
+        if not path.exists():
+            return None
+        try:
+            model, scaler, _ = RouteNet.load(str(path))
+        except Exception as exc:  # corrupt cache -> regenerate
+            self._log(f"[workbench] discarding unreadable checkpoint {path}: {exc}")
+            path.unlink(missing_ok=True)
+            return None
+        return model, scaler
+
     def trainer(self) -> Trainer:
         """A Trainer wrapping the cached model (for evaluation calls)."""
         model, scaler = self.trained_model()
@@ -226,9 +238,9 @@ class Workbench:
     def bursty_trained_model(self) -> tuple[RouteNet, FeatureScaler]:
         """RouteNet trained on the on-off ("real traffic") NSFNET dataset."""
         path = self.bursty_model_path()
-        if path.exists():
-            model, scaler, _ = RouteNet.load(str(path))
-            return model, scaler
+        cached = self._load_checkpoint(path)
+        if cached is not None:
+            return cached
         self._log("[workbench] training bursty-traffic RouteNet ...")
         model = RouteNet(self.profile.hyperparams, seed=self.profile.seed + 7)
         trainer = Trainer(model, seed=self.profile.seed + 8)

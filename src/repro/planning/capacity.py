@@ -13,7 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import FeatureScaler, RouteNet, build_model_input
-from ..errors import TopologyError
 from ..routing import RoutingScheme
 from ..topology import Topology
 from ..traffic import TrafficMatrix, link_loads
@@ -46,7 +45,7 @@ def _mean_delay(
     traffic: TrafficMatrix,
 ) -> float:
     inputs = build_model_input(topology, routing, traffic, scaler=scaler)
-    delays = model.predict(inputs, scaler)["delay"]
+    delays = model.predict(inputs, scaler).delay
     weights = np.array([traffic.rate(s, d) for s, d in inputs.pairs])
     if weights.sum() == 0:
         return float(delays.mean())

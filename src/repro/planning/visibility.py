@@ -71,30 +71,30 @@ class NetworkView:
             idx = self._inputs.pairs.index((src, dst))
         except ValueError:
             raise KeyError(f"pair ({src}, {dst}) carries no traffic") from None
-        return float(self._predictions["delay"][idx])
+        return float(self._predictions.delay[idx])
 
     def path_jitter(self, src: int, dst: int) -> float:
         """Predicted delay variance for one pair (seconds^2)."""
-        if "jitter" not in self._predictions:
+        if self._predictions.jitter is None:
             raise KeyError("model was trained without a jitter head")
         idx = self._inputs.pairs.index((src, dst))
-        return float(self._predictions["jitter"][idx])
+        return float(self._predictions.jitter[idx])
 
     def delays(self) -> np.ndarray:
         """Predicted delay per pair, ordered like :attr:`pairs`."""
-        return self._predictions["delay"].copy()
+        return self._predictions.delay.copy()
 
     def top_delay_paths(self, n: int = 10) -> list[RankedPath]:
         """The demo's headline view: Top-N paths with most predicted delay."""
-        return top_n_paths(self._inputs.pairs, self._predictions["delay"], n=n)
+        return top_n_paths(self._inputs.pairs, self._predictions.delay, n=n)
 
     def mean_network_delay(self) -> float:
         """Traffic-weighted average of predicted path delays."""
         weights = np.array([self.traffic.rate(s, d) for s, d in self._inputs.pairs])
         total = weights.sum()
         if total == 0:
-            return float(self._predictions["delay"].mean())
-        return float((self._predictions["delay"] * weights).sum() / total)
+            return float(self._predictions.delay.mean())
+        return float((self._predictions.delay * weights).sum() / total)
 
     def link_utilization(self) -> list[LinkUtilizationRow]:
         """Offered per-link utilization, most loaded first (analytic)."""

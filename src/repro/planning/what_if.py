@@ -51,7 +51,7 @@ def _predict(
         topology, routing, traffic, scaler=scaler, include_load=include_load
     )
     pred = model.predict(inputs, scaler)
-    return WhatIfResult(label=label, pairs=inputs.pairs, delay=pred["delay"])
+    return WhatIfResult(label=label, pairs=inputs.pairs, delay=pred.delay)
 
 
 def traffic_scaling_whatif(

@@ -1,0 +1,21 @@
+"""Batched inference serving layer.
+
+Packs heterogeneous (topology, routing, traffic) queries into fused RouteNet
+inputs so one forward pass serves many queries, with a content-addressed
+input cache and per-stage timing counters.  See
+:class:`~repro.serving.engine.InferenceEngine` for the entry point.
+"""
+
+from .batching import FusedBatch, pack_inputs
+from .cache import InputCache
+from .engine import InferenceEngine
+from .fastpath import fast_forward, supports_fast_forward
+
+__all__ = [
+    "FusedBatch",
+    "pack_inputs",
+    "InputCache",
+    "InferenceEngine",
+    "fast_forward",
+    "supports_fast_forward",
+]

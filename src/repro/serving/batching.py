@@ -1,0 +1,114 @@
+"""Fused batching: pack heterogeneous samples into one RouteNet input.
+
+RouteNet's forward pass is shape-polymorphic — it only consumes the dense
+arrays of a :class:`~repro.core.features.ModelInput` — so N samples with
+*different* topologies, routings and traffic matrices can be served by a
+single forward call once their arrays are fused:
+
+* ``link_features`` / ``path_features`` — row-concatenated, so sample *i*
+  occupies rows ``[link_offsets[i], link_offsets[i+1])`` of the fused link
+  state and ``[path_offsets[i], path_offsets[i+1])`` of the fused path state;
+* ``link_indices`` — each sample's indices are shifted by its link offset and
+  right-padded with ``-1`` up to the batch-wide maximum path length;
+* ``mask`` — recomputed as ``link_indices >= 0``.
+
+Correctness relies on two properties of the forward pass: samples occupy
+disjoint slices of the fused link index space, so ``segment_sum`` never mixes
+messages across samples; and padded (``-1``) positions are masked out of the
+path GRU and dropped by ``segment_sum``, so the extra padding introduced by
+fusing adds exactly zero to every aggregation.  Fused predictions therefore
+match per-sample predictions to floating-point accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core import ModelInput
+from ..errors import ServingError
+
+__all__ = ["FusedBatch", "pack_inputs"]
+
+
+@dataclass(frozen=True)
+class FusedBatch:
+    """One packed batch plus the offsets needed to unpack per-sample rows.
+
+    Attributes:
+        inputs: The fused :class:`ModelInput` (feed it to ``model.forward``).
+        path_offsets: Cumulative path-row boundaries, length ``N + 1``.
+        link_offsets: Cumulative link-row boundaries, length ``N + 1``.
+    """
+
+    inputs: ModelInput
+    path_offsets: tuple[int, ...]
+    link_offsets: tuple[int, ...]
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.path_offsets) - 1
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def split_rows(self, rows: np.ndarray) -> list[np.ndarray]:
+        """Slice per-path rows (model output) back into per-sample arrays."""
+        if rows.shape[0] != self.path_offsets[-1]:
+            raise ServingError(
+                f"expected {self.path_offsets[-1]} fused path rows, "
+                f"got {rows.shape[0]}"
+            )
+        return [
+            rows[start:stop]
+            for start, stop in zip(self.path_offsets[:-1], self.path_offsets[1:])
+        ]
+
+
+def pack_inputs(inputs: Sequence[ModelInput]) -> FusedBatch:
+    """Fuse per-sample model inputs into one batched :class:`ModelInput`.
+
+    Args:
+        inputs: One or more inputs, possibly from different topologies.  All
+            must share the same link/path feature widths (i.e. be built for
+            the same model configuration).
+
+    Raises:
+        ServingError: On an empty sequence or mismatched feature widths.
+    """
+    if not inputs:
+        raise ServingError("cannot pack an empty batch")
+    link_dims = {inp.link_features.shape[1] for inp in inputs}
+    path_dims = {inp.path_features.shape[1] for inp in inputs}
+    if len(link_dims) > 1 or len(path_dims) > 1:
+        raise ServingError(
+            f"inputs disagree on feature widths (link {sorted(link_dims)}, "
+            f"path {sorted(path_dims)}); all batch members must target the "
+            f"same model configuration"
+        )
+
+    path_offsets = np.cumsum([0] + [inp.num_paths for inp in inputs])
+    link_offsets = np.cumsum([0] + [inp.num_links for inp in inputs])
+    max_len = max(inp.max_path_length for inp in inputs)
+    total_paths = int(path_offsets[-1])
+
+    fused_indices = np.full((total_paths, max_len), -1, dtype=np.intp)
+    for inp, start, shift in zip(inputs, path_offsets[:-1], link_offsets[:-1]):
+        idx = inp.link_indices
+        block = fused_indices[start : start + idx.shape[0], : idx.shape[1]]
+        np.copyto(block, idx + shift, where=idx >= 0)
+
+    fused = ModelInput(
+        pairs=tuple(pair for inp in inputs for pair in inp.pairs),
+        link_features=np.concatenate([inp.link_features for inp in inputs]),
+        path_features=np.concatenate([inp.path_features for inp in inputs]),
+        link_indices=fused_indices,
+        mask=fused_indices >= 0,
+    )
+    return FusedBatch(
+        inputs=fused,
+        path_offsets=tuple(int(x) for x in path_offsets),
+        link_offsets=tuple(int(x) for x in link_offsets),
+    )

@@ -1,0 +1,120 @@
+"""Content-addressed cache for built model inputs.
+
+The trainer historically memoized inputs by ``id(sample)``.  That is unsound:
+once a sample is garbage-collected, CPython freely reuses its ``id`` for a new
+object, and the cache would silently serve the *old* sample's tensors for the
+new one.  :class:`InputCache` instead keys entries by a SHA-256 digest of the
+sample's canonical JSON serialization plus every build parameter that shapes
+the resulting arrays (scaler, load feature, QoS-class width, ...), so equal
+content always hits and different content never collides.
+
+A per-object memo (guarded by a weak reference, so an ``id`` can never be
+observed after its object dies) avoids re-hashing the same live sample on
+every epoch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from collections import OrderedDict
+from typing import Any, Callable
+
+from ..dataset import Sample
+from ..dataset.io import sample_to_dict
+
+__all__ = ["InputCache"]
+
+
+class InputCache:
+    """Bounded LRU mapping of content keys to prepared model inputs."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        # id -> (weakref to the hashed sample, content digest).  The weakref
+        # guarantees a dead object's id can never alias a memoized digest.
+        self._digest_memo: dict[int, tuple[weakref.ref, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def _content_digest(self, sample: Sample) -> str:
+        memo = self._digest_memo.get(id(sample))
+        if memo is not None and memo[0]() is sample:
+            return memo[1]
+        payload = json.dumps(
+            sample_to_dict(sample), sort_keys=True, default=str
+        ).encode()
+        digest = hashlib.sha256(payload).hexdigest()
+        try:
+            self._digest_memo[id(sample)] = (weakref.ref(sample), digest)
+        except TypeError:
+            pass  # un-weakref-able sample stand-ins (tests) just re-hash
+        return digest
+
+    def sample_key(self, sample: Sample, **params: Any) -> str:
+        """Cache key for ``sample`` built under keyword build parameters.
+
+        Any JSON-serializable parameter may be passed; objects exposing
+        ``to_dict()`` (e.g. :class:`~repro.core.FeatureScaler`) are expanded
+        through it so that refitting a scaler changes the key.
+        """
+        expanded = {
+            name: value.to_dict() if hasattr(value, "to_dict") else value
+            for name, value in params.items()
+        }
+        blob = json.dumps(expanded, sort_keys=True, default=str)
+        return f"{self._content_digest(sample)}:{hashlib.sha256(blob.encode()).hexdigest()}"
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building and storing on miss."""
+        value = self.get(key)
+        if value is None:
+            value = builder()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._digest_memo.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "entries": len(self._entries),
+        }

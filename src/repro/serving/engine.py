@@ -1,0 +1,222 @@
+"""Batched inference engine: many (topology, routing, traffic) queries, one
+forward pass.
+
+The paper's whole value proposition is cheap what-if evaluation, but a Python
+loop over ``model.predict`` pays interpreter and small-array overhead per
+sample.  :class:`InferenceEngine` fuses N heterogeneous queries into one
+:class:`~repro.serving.batching.FusedBatch` so a single ``RouteNet.forward``
+serves them all, then unpacks per-sample :class:`~repro.results.PredictResult`
+objects.  Per-stage wall-clock (build / pack / forward / decode) is counted
+and exposed via :meth:`InferenceEngine.stats` so serving regressions are
+observable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from .. import nn
+from ..core import FeatureScaler, ModelInput, RouteNet, build_model_input
+from ..dataset import Sample
+from ..errors import ServingError
+from ..results import PredictResult
+from .batching import pack_inputs
+from .cache import InputCache
+from .fastpath import fast_forward, supports_fast_forward
+
+__all__ = ["InferenceEngine"]
+
+_STAGES = ("build", "pack", "forward", "decode")
+
+
+class InferenceEngine:
+    """Serves RouteNet predictions over fused batches of heterogeneous samples.
+
+    Args:
+        model: A trained :class:`RouteNet`.
+        scaler: The feature scaler the model was trained with.
+        include_load: Build inputs with the per-link load feature (must match
+            the model's ``link_feature_dim``).
+        batch_size: Maximum queries fused into one forward call.
+        cache: Content-addressed store for built inputs; created when omitted.
+        builder: Optional override mapping a :class:`Sample` to a
+            :class:`ModelInput` (e.g. the trainer's prepared/cached inputs).
+            When given, it owns caching and ``cache`` is bypassed for samples.
+        use_fast_path: Serve through the raw-numpy inference kernel
+            (:func:`~repro.serving.fastpath.fast_forward`) instead of the
+            autodiff ``model.forward``.  Silently falls back to the autodiff
+            path for models the kernel does not support.
+    """
+
+    def __init__(
+        self,
+        model: RouteNet,
+        scaler: FeatureScaler,
+        *,
+        include_load: bool = False,
+        batch_size: int = 32,
+        cache: InputCache | None = None,
+        builder: Callable[[Sample], ModelInput] | None = None,
+        use_fast_path: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ServingError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.scaler = scaler
+        self.include_load = include_load
+        self.batch_size = batch_size
+        self.cache = cache or InputCache()
+        self._builder = builder
+        self._queue: list[Sample] = []
+        self.fast_path = use_fast_path and supports_fast_forward(model)
+        self.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Input building
+    # ------------------------------------------------------------------
+    def _build_uncached(self, sample: Sample) -> ModelInput:
+        # Class-aware models (path_feature_dim > 1 beyond the traffic column)
+        # receive the sample's QoS classes as one-hot features.
+        extra = self.model.hparams.path_feature_dim - 1
+        pair_class = sample.pair_class if extra > 0 else None
+        return build_model_input(
+            sample.topology,
+            sample.routing,
+            sample.traffic,
+            scaler=self.scaler,
+            pairs=list(sample.pairs),
+            include_load=self.include_load,
+            pair_class=pair_class,
+            num_classes=extra if pair_class is not None else 0,
+        )
+
+    def build_input(self, sample: Sample) -> ModelInput:
+        """The (cached) model input for one sample."""
+        if self._builder is not None:
+            return self._builder(sample)
+        key = self.cache.sample_key(
+            sample,
+            scaler=self.scaler,
+            include_load=self.include_load,
+            path_feature_dim=self.model.hparams.path_feature_dim,
+        )
+        return self.cache.get_or_build(key, lambda: self._build_uncached(sample))
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def submit(self, sample: Sample) -> int:
+        """Queue one query for the next :meth:`flush`; returns its position."""
+        self._queue.append(sample)
+        return len(self._queue) - 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def flush(self) -> list[PredictResult]:
+        """Serve all queued queries in fused batches (order preserved)."""
+        queued, self._queue = self._queue, []
+        return self.predict_many(queued) if queued else []
+
+    def predict_many(
+        self, samples: Sequence[Sample], batch_size: int | None = None
+    ) -> list[PredictResult]:
+        """Batched predictions for many samples, aligned with the input order."""
+        if not samples:
+            raise ServingError("predict_many needs at least one sample")
+        started = time.perf_counter()
+        inputs = [self.build_input(sample) for sample in samples]
+        self._times["build"] += time.perf_counter() - started
+        return self._serve(inputs, batch_size)
+
+    def predict_inputs(
+        self, inputs: Sequence[ModelInput], batch_size: int | None = None
+    ) -> list[PredictResult]:
+        """Batched predictions for pre-built model inputs."""
+        if not inputs:
+            raise ServingError("predict_inputs needs at least one input")
+        return self._serve(list(inputs), batch_size)
+
+    def _serve(
+        self, inputs: list[ModelInput], batch_size: int | None
+    ) -> list[PredictResult]:
+        size = batch_size or self.batch_size
+        if size < 1:
+            raise ServingError(f"batch_size must be >= 1, got {size}")
+        results: list[PredictResult] = []
+        for start in range(0, len(inputs), size):
+            chunk = inputs[start : start + size]
+
+            t0 = time.perf_counter()
+            batch = pack_inputs(chunk)
+            t1 = time.perf_counter()
+            if self.fast_path:
+                encoded = fast_forward(self.model, batch.inputs)
+            else:
+                with nn.no_grad():
+                    encoded = self.model.forward(batch.inputs, training=False).numpy()
+            t2 = time.perf_counter()
+            decoded = self.scaler.decode_targets(encoded)
+            for inp, rows in zip(chunk, batch.split_rows(decoded)):
+                results.append(
+                    PredictResult(
+                        pairs=inp.pairs,
+                        delay=rows[:, 0],
+                        jitter=rows[:, 1] if rows.shape[1] > 1 else None,
+                    )
+                )
+            t3 = time.perf_counter()
+
+            self._times["pack"] += t1 - t0
+            self._times["forward"] += t2 - t1
+            self._times["decode"] += t3 - t2
+            self._counts["batches"] += 1
+            self._counts["paths"] += int(batch.path_offsets[-1])
+        self._counts["queries"] += len(inputs)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cumulative serving counters since the last :meth:`reset_stats`.
+
+        Returns:
+            ``{"queries", "batches", "paths"}`` counts, per-stage seconds
+            (``build_s`` / ``pack_s`` / ``forward_s`` / ``decode_s`` and their
+            ``total_s`` sum), and the input-cache counters under ``"cache"``.
+        """
+        out: dict = dict(self._counts)
+        total = 0.0
+        for stage in _STAGES:
+            out[f"{stage}_s"] = self._times[stage]
+            total += self._times[stage]
+        out["total_s"] = total
+        out["fast_path"] = self.fast_path
+        out["cache"] = self.cache.stats()
+        return out
+
+    def reset_stats(self) -> None:
+        self._times = {stage: 0.0 for stage in _STAGES}
+        self._counts = {"queries": 0, "batches": 0, "paths": 0}
+
+    @staticmethod
+    def format_stats(stats: dict) -> str:
+        """Human-readable one-block rendering of a :meth:`stats` dict."""
+        lines = [
+            f"queries {stats['queries']}   batches {stats['batches']}   "
+            f"paths {stats['paths']}"
+        ]
+        for stage in _STAGES:
+            seconds = stats[f"{stage}_s"]
+            share = seconds / stats["total_s"] if stats["total_s"] > 0 else 0.0
+            lines.append(f"  {stage:<8s} {seconds * 1000:8.1f} ms  ({share:5.1%})")
+        cache = stats.get("cache")
+        if cache:
+            lines.append(
+                f"  cache    {cache['hits']} hits / {cache['misses']} misses"
+                f" / {cache['entries']} entries"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Raw-numpy inference kernel for :class:`~repro.core.RouteNet`.
+
+``RouteNet.forward`` builds an autodiff graph: every op allocates a
+:class:`~repro.nn.Tensor`, captures a backward closure, and materializes
+intermediate temporaries.  None of that is needed at serving time, and at
+RouteNet's state widths (tens of columns) the overhead dominates — the
+actual matmul FLOPs are a small fraction of the forward wall-clock.
+
+``fast_forward`` replays the arithmetic of ``RouteNet.forward`` on plain
+ndarrays with the same per-row operation order (the serving tests pin
+agreement with the autodiff path at 1e-10), plus inference-only
+restructurings that the graph-recording path cannot do:
+
+* the path cell's input projection ``x @ W`` is computed once per
+  message-passing round over the ~L link states and *gathered* per
+  timestep, instead of re-multiplying the ~P gathered rows every step;
+* at each timestep only the *active* path rows (``mask[:, t]``) are
+  updated.  ``forward`` runs the cell over all rows and discards inactive
+  results via ``where``; in a fused batch most rows of short-path samples
+  are inactive at late timesteps, so compaction is what makes packing pay;
+* per-link message aggregation uses a precomputed stable-sort schedule and
+  ``np.add.reduceat`` instead of ``np.add.at`` (which dispatches per
+  element);
+* the wasted candidate-gate columns of the GRU's recurrent matmul are
+  skipped (``forward`` computes ``h @ U`` in full but only uses the
+  update/reset slices).
+
+Only the stock module zoo (Dense/MLP + GRU/RNN cells) is supported;
+:func:`supports_fast_forward` lets callers fall back to ``model.forward``
+for anything exotic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ModelInput, RouteNet
+from ..errors import ModelError
+from ..nn.layers import MLP, Dense
+from ..nn.rnn import GRUCell, RNNCell
+
+__all__ = ["fast_forward", "supports_fast_forward"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Matches nn.ops.sigmoid's stable logistic: both branches divide by the
+    # same 1 + exp(-|x|).  ops.sigmoid clips to [-500, 500] first; skipping
+    # the clip only matters past the float64 underflow of exp(-500), far
+    # below serving tolerance.
+    e = np.abs(x)
+    np.negative(e, out=e)
+    np.exp(e, out=e)
+    num = np.where(x >= 0, 1.0, e)
+    e += 1.0
+    num /= e
+    return num
+
+
+_ACTIVATIONS = {
+    "linear": lambda x: x,
+    "relu": lambda x: np.maximum(x, 0.0),
+    "tanh": np.tanh,
+    "sigmoid": _sigmoid,
+    "softplus": lambda x: np.logaddexp(0.0, x),
+    "leaky_relu": lambda x: np.where(x > 0, x, 0.01 * x),
+}
+
+
+def _dense(layer: Dense, x: np.ndarray) -> np.ndarray:
+    out = x @ layer.weight.data
+    if layer.bias is not None:
+        out = out + layer.bias.data
+    return _ACTIVATIONS[layer.activation](out)
+
+
+def _mlp(mlp: MLP, x: np.ndarray) -> np.ndarray:
+    for layer in mlp.layers:
+        x = _dense(layer, x)
+    return x
+
+
+# ----------------------------------------------------------------------
+# Cell steps.  ``_*_precompute`` lifts the input projection of the *path*
+# cell out of the timestep loop: its input rows are gathers of the link
+# states, which are constant within one message-passing round.  The
+# ``gx``-taking steps receive those gathered projections.
+# ----------------------------------------------------------------------
+def _gru_precompute(cell: GRUCell, x: np.ndarray) -> np.ndarray:
+    return x @ cell.w.data + cell.bias.data
+
+
+def _gru_step_gx(cell: GRUCell, gx: np.ndarray, h: np.ndarray) -> np.ndarray:
+    hs = cell.hidden_size
+    u = cell.u.data
+    # In-place accumulation; float addition commutes bitwise, so this stays
+    # identical to forward's ``gx + h @ U``.  One contiguous sigmoid covers
+    # both gates (elementwise, so slicing after gating changes nothing).
+    gates_zr = h @ u[:, : 2 * hs]
+    gates_zr += gx[:, : 2 * hs]
+    gates_zr = _sigmoid(gates_zr)
+    z = gates_zr[:, :hs]
+    r = gates_zr[:, hs:]
+    n = (r * h) @ u[:, 2 * hs :]
+    n += gx[:, 2 * hs :]
+    np.tanh(n, out=n)
+    out = 1.0 - z
+    out *= n
+    out += z * h
+    return out
+
+
+def _rnn_precompute(cell: RNNCell, x: np.ndarray) -> np.ndarray:
+    # Bias joins after the recurrent term to keep forward's (xW + hU) + b
+    # association.
+    return x @ cell.w.data
+
+
+def _rnn_step_gx(cell: RNNCell, gx: np.ndarray, h: np.ndarray) -> np.ndarray:
+    return np.tanh(gx + h @ cell.u.data + cell.bias.data)
+
+
+_CELLS = {
+    GRUCell: (_gru_precompute, _gru_step_gx),
+    RNNCell: (_rnn_precompute, _rnn_step_gx),
+}
+
+
+def _cell_step(cell, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+    precompute, step = _CELLS[type(cell)]
+    return step(cell, precompute(cell, x), h)
+
+
+def supports_fast_forward(model: RouteNet) -> bool:
+    """True when the model is built from modules the kernel can replay."""
+    return (
+        type(model.path_cell) in _CELLS
+        and type(model.link_cell) in _CELLS
+        and type(model.link_embed) is Dense
+        and type(model.path_embed) is Dense
+        and type(model.readout) is MLP
+        and all(type(layer) is Dense for layer in model.readout.layers)
+    )
+
+
+def fast_forward(model: RouteNet, inputs: ModelInput) -> np.ndarray:
+    """Inference-only forward pass; returns scaled (P, targets) predictions.
+
+    Numerically equivalent to ``model.forward(inputs, training=False)`` —
+    same message-passing schedule, same per-row arithmetic — minus the
+    autodiff machinery.
+    """
+    hp = model.hparams
+    if inputs.link_features.shape[1] != hp.link_feature_dim:
+        raise ModelError(
+            f"model expects {hp.link_feature_dim} link features, input has "
+            f"{inputs.link_features.shape[1]} (hint: include_load mismatch)"
+        )
+    if inputs.path_features.shape[1] != hp.path_feature_dim:
+        raise ModelError(
+            f"model expects {hp.path_feature_dim} path features, input has "
+            f"{inputs.path_features.shape[1]} (hint: QoS-class one-hot "
+            f"mismatch — classed models need classed samples)"
+        )
+    path_pre, path_step = _CELLS[type(model.path_cell)]
+
+    num_links = inputs.num_links
+    h_link = _dense(model.link_embed, inputs.link_features)
+    h_path = _dense(model.path_embed, inputs.path_features)
+
+    link_idx = inputs.link_indices
+    mask = inputs.mask  # identical to link_idx >= 0 by construction
+
+    # Everything index-shaped is input-only — hoist it out of the rounds.
+    # Per timestep: the active rows (None = all), their link ids, and a
+    # stable-sort aggregation schedule (segment members stay in row order,
+    # so per-bucket summation order matches segment_sum's).
+    schedule = []
+    for t in range(inputs.max_path_length):
+        active = mask[:, t]
+        if not active.any():
+            break
+        rows = None if active.all() else np.flatnonzero(active)
+        ids = link_idx[:, t] if rows is None else link_idx[rows, t]
+        order = np.argsort(ids, kind="stable")
+        uniq, starts = np.unique(ids[order], return_index=True)
+        schedule.append((rows, ids, order, uniq, starts))
+
+    for _ in range(hp.message_passing_steps):
+        gx_all = path_pre(model.path_cell, h_link)
+        message_sum = np.zeros((num_links, h_path.shape[1]))
+        for rows, ids, order, uniq, starts in schedule:
+            if rows is None:
+                h_path = path_step(model.path_cell, gx_all[ids], h_path)
+                values = h_path
+            else:
+                values = path_step(model.path_cell, gx_all[ids], h_path[rows])
+                h_path[rows] = values
+            message_sum[uniq] += np.add.reduceat(values[order], starts, axis=0)
+        h_link = _cell_step(model.link_cell, message_sum, h_link)
+
+    return _mlp(model.readout, h_path)

@@ -18,7 +18,6 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..errors import SimulationError
 from ..random import make_rng, split_rng

@@ -10,7 +10,7 @@ RouteNet keeps one hidden state per link.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import networkx as nx

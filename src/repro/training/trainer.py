@@ -19,6 +19,8 @@ from ..core import FeatureScaler, ModelInput, RouteNet, build_model_input
 from ..dataset import Sample, fit_scaler
 from ..errors import ModelError
 from ..random import make_rng
+from ..results import EvalResult, Metrics, PredictResult
+from ..serving import InferenceEngine, InputCache
 from .loss import huber_loss
 from .metrics import regression_summary
 
@@ -68,14 +70,25 @@ class Trainer:
         self._optimizer = nn.Adam(
             list(model.parameters()), lr=model.hparams.learning_rate
         )
-        self._input_cache: dict[int, tuple[ModelInput, np.ndarray]] = {}
+        self._input_cache = InputCache()
+        self._engine: InferenceEngine | None = None
 
     # ------------------------------------------------------------------
     def _prepare(self, sample: Sample) -> tuple[ModelInput, np.ndarray]:
-        """Model input + encoded targets for a sample (cached by identity)."""
+        """Model input + encoded targets for a sample (cached by content).
+
+        Keys are content hashes (see :class:`~repro.serving.InputCache`), not
+        ``id(sample)`` — a recycled object id can never serve stale tensors.
+        """
         if self.scaler is None:
             raise ModelError("scaler not set; call fit() or pass one explicitly")
-        key = id(sample)
+        key = self._input_cache.sample_key(
+            sample,
+            scaler=self.scaler,
+            include_load=self.include_load,
+            path_feature_dim=self.model.hparams.path_feature_dim,
+            readout_targets=self.model.hparams.readout_targets,
+        )
         cached = self._input_cache.get(key)
         if cached is None:
             # Class-aware models (path_feature_dim > 1 beyond the traffic
@@ -96,7 +109,7 @@ class Trainer:
             if self.model.hparams.readout_targets == 1:
                 targets = targets[:, :1]
             cached = (inputs, targets)
-            self._input_cache[key] = cached
+            self._input_cache.put(key, cached)
         return cached
 
     def train_step(self, sample: Sample) -> float:
@@ -158,7 +171,7 @@ class Trainer:
             losses = [self.train_step(train_samples[i]) for i in order]
             eval_mre = None
             if eval_samples:
-                eval_mre = self.evaluate(eval_samples)["delay"]["mre"]
+                eval_mre = self.evaluate(eval_samples).delay.mre
             stats = EpochStats(
                 epoch=epoch,
                 train_loss=float(np.mean(losses)),
@@ -186,37 +199,62 @@ class Trainer:
         return history
 
     # ------------------------------------------------------------------
-    def predict_sample(self, sample: Sample) -> dict[str, np.ndarray]:
+    def engine(self, batch_size: int = 32) -> InferenceEngine:
+        """A batched :class:`InferenceEngine` sharing this trainer's cache.
+
+        The engine builds inputs through :meth:`_prepare`, so anything already
+        prepared for training is served from the same content-keyed cache.
+        """
+        if self.scaler is None:
+            raise ModelError("scaler not set; call fit() or pass one explicitly")
+        if self._engine is None or self._engine.scaler is not self.scaler:
+            self._engine = InferenceEngine(
+                self.model,
+                self.scaler,
+                include_load=self.include_load,
+                batch_size=batch_size,
+                builder=lambda sample: self._prepare(sample)[0],
+            )
+        self._engine.batch_size = batch_size
+        return self._engine
+
+    def predict_sample(self, sample: Sample) -> PredictResult:
         """Raw-unit predictions for one sample's measured pairs."""
         inputs, _ = self._prepare(sample)
         return self.model.predict(inputs, self.scaler)
 
-    def evaluate(self, samples: list[Sample]) -> dict[str, dict[str, float]]:
-        """Pooled regression metrics over samples.
+    def evaluate(self, samples: list[Sample], batch_size: int = 32) -> EvalResult:
+        """Pooled regression metrics over samples (served in fused batches).
 
         Returns:
-            ``{"delay": {...}, "jitter": {...}}`` metric dicts (jitter only
-            when the model has a second target).
+            An :class:`~repro.results.EvalResult`; ``jitter`` is present only
+            when the model has a second target.  Dict-style access
+            (``result["delay"]["mre"]``) keeps working as a deprecation shim.
         """
         if not samples:
             raise ModelError("cannot evaluate an empty sample list")
+        preds = self.engine(batch_size).predict_many(samples)
         pred_delay, true_delay = [], []
         pred_jitter, true_jitter = [], []
-        for sample in samples:
-            pred = self.predict_sample(sample)
-            pred_delay.append(pred["delay"])
+        for sample, pred in zip(samples, preds):
+            pred_delay.append(pred.delay)
             true_delay.append(sample.delay)
-            if "jitter" in pred:
+            if pred.jitter is not None:
                 keep = sample.jitter > 0
-                pred_jitter.append(pred["jitter"][keep])
+                pred_jitter.append(pred.jitter[keep])
                 true_jitter.append(sample.jitter[keep])
-        out = {
-            "delay": regression_summary(
-                np.concatenate(pred_delay), np.concatenate(true_delay)
-            )
-        }
+        jitter = None
         if pred_jitter:
-            out["jitter"] = regression_summary(
-                np.concatenate(pred_jitter), np.concatenate(true_jitter)
+            jitter = Metrics.from_dict(
+                regression_summary(
+                    np.concatenate(pred_jitter), np.concatenate(true_jitter)
+                )
             )
-        return out
+        return EvalResult(
+            delay=Metrics.from_dict(
+                regression_summary(
+                    np.concatenate(pred_delay), np.concatenate(true_delay)
+                )
+            ),
+            jitter=jitter,
+        )

@@ -86,14 +86,14 @@ def cross_validate(
         model = RouteNet(hparams, seed=seed + 100 + i)
         trainer = Trainer(model, seed=seed + 200 + i)
         trainer.fit(train_set, epochs=epochs)
-        metrics = trainer.evaluate(eval_set)["delay"]
+        metrics = trainer.evaluate(eval_set).delay
         results.append(
             FoldResult(
                 fold=i,
                 train_size=len(train_set),
                 eval_size=len(eval_set),
-                delay_mre=metrics["mre"],
-                delay_r2=metrics["r2"],
+                delay_mre=metrics.mre,
+                delay_r2=metrics.r2,
             )
         )
     return CrossValidationResult(folds=results)

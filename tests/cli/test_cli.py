@@ -164,3 +164,19 @@ class TestPredict:
         )
         assert code == 1
         assert "outside" in capsys.readouterr().out
+
+    def test_batched_serving(self, model_path, dataset_path, capsys):
+        code = main(
+            ["predict", "-m", model_path, "-d", dataset_path, "--batch", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sample" in out
+        assert "paths/s" in out
+        assert "forward" in out  # per-stage engine stats block
+
+    def test_bad_batch_size(self, model_path, dataset_path, capsys):
+        code = main(
+            ["predict", "-m", model_path, "-d", dataset_path, "--batch", "0"]
+        )
+        assert code == 1

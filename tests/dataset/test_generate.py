@@ -5,7 +5,6 @@ import pytest
 
 from repro.dataset import GenerationConfig, generate_dataset, generate_sample
 from repro.errors import DatasetError
-from repro.topology import nsfnet
 from repro.traffic import max_link_utilization
 
 from ..conftest import FAST_CONFIG

@@ -1,6 +1,5 @@
 """Tests for the NetworkView visibility features."""
 
-import numpy as np
 import pytest
 
 from repro.core import HyperParams, RouteNet

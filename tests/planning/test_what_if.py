@@ -6,7 +6,6 @@ import pytest
 from repro.core import HyperParams, RouteNet
 from repro.errors import TopologyError
 from repro.planning import traffic_scaling_whatif, link_failure_whatif
-from repro.routing import RoutingScheme
 from repro.topology import Topology
 from repro.training import Trainer
 

@@ -1,11 +1,10 @@
 """Tests for RoutingScheme validation and factories."""
 
-import numpy as np
 import pytest
 
 from repro.errors import RoutingError
 from repro.routing import RoutingScheme
-from repro.topology import Topology, nsfnet, geant2
+from repro.topology import nsfnet, geant2
 
 
 @pytest.fixture(scope="module")

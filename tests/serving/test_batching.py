@@ -1,0 +1,114 @@
+"""Fused-batch packing: structure and numerical equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureScaler, ModelInput, RouteNet, build_model_input
+from repro.dataset import fit_scaler
+from repro.errors import ServingError
+from repro.routing import RoutingScheme
+from repro.serving import pack_inputs
+from repro.topology import nsfnet
+from repro.traffic import uniform_traffic
+from repro.training import Trainer
+
+
+def _input_for(topo, seed=0, scaler=None):
+    routing = RoutingScheme.shortest_path(topo)
+    tm = uniform_traffic(topo.num_nodes, 50.0, seed=seed)
+    return build_model_input(topo, routing, tm, scaler=scaler)
+
+
+class TestPackInputs:
+    def test_offsets_and_shapes(self, tiny_topology):
+        a = _input_for(tiny_topology, seed=1)
+        b = _input_for(nsfnet(), seed=2)
+        batch = pack_inputs([a, b])
+        assert batch.num_samples == 2
+        assert batch.path_offsets == (0, a.num_paths, a.num_paths + b.num_paths)
+        assert batch.link_offsets == (0, a.num_links, a.num_links + b.num_links)
+        fused = batch.inputs
+        assert fused.num_paths == a.num_paths + b.num_paths
+        assert fused.num_links == a.num_links + b.num_links
+        assert fused.max_path_length == max(a.max_path_length, b.max_path_length)
+        assert fused.pairs == a.pairs + b.pairs
+
+    def test_indices_are_offset_into_disjoint_link_spaces(self, tiny_topology):
+        a = _input_for(tiny_topology, seed=1)
+        b = _input_for(nsfnet(), seed=2)
+        batch = pack_inputs([a, b])
+        idx = batch.inputs.link_indices
+        rows_a = idx[: a.num_paths]
+        rows_b = idx[a.num_paths :]
+        assert rows_a[rows_a >= 0].max() < a.num_links
+        assert rows_b[rows_b >= 0].min() >= a.num_links
+        # Sample a's shorter rows are padded with -1 up to the fused width.
+        assert (rows_a[:, a.max_path_length :] == -1).all()
+
+    def test_single_input_roundtrip(self, tiny_topology):
+        a = _input_for(tiny_topology)
+        batch = pack_inputs([a])
+        np.testing.assert_array_equal(batch.inputs.link_indices, a.link_indices)
+        np.testing.assert_array_equal(batch.inputs.mask, a.mask)
+
+    def test_split_rows_inverts_concat(self, tiny_topology):
+        a = _input_for(tiny_topology, seed=1)
+        b = _input_for(nsfnet(), seed=2)
+        batch = pack_inputs([a, b])
+        rows = np.arange(batch.inputs.num_paths * 2.0).reshape(-1, 2)
+        parts = batch.split_rows(rows)
+        assert [len(p) for p in parts] == [a.num_paths, b.num_paths]
+        np.testing.assert_array_equal(np.concatenate(parts), rows)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ServingError):
+            pack_inputs([])
+
+    def test_mismatched_feature_widths_rejected(self, tiny_topology):
+        a = _input_for(tiny_topology)
+        wide = ModelInput(
+            pairs=a.pairs,
+            link_features=np.concatenate([a.link_features] * 2, axis=1),
+            path_features=a.path_features,
+            link_indices=a.link_indices,
+            mask=a.mask,
+        )
+        with pytest.raises(ServingError):
+            pack_inputs([a, wide])
+
+    def test_split_rows_validates_row_count(self, tiny_topology):
+        batch = pack_inputs([_input_for(tiny_topology)])
+        with pytest.raises(ServingError):
+            batch.split_rows(np.zeros((batch.inputs.num_paths + 1, 2)))
+
+
+class TestFusedEquivalence:
+    """The tentpole invariant: fused predictions == per-sample predictions."""
+
+    def test_mixed_topologies_match_per_sample(self, tiny_samples, nsfnet_samples):
+        samples = [
+            tiny_samples[0], nsfnet_samples[0], tiny_samples[1],
+            nsfnet_samples[1], tiny_samples[2],
+        ]
+        model = RouteNet(seed=3)
+        trainer = Trainer(model, scaler=fit_scaler(samples))
+        per_sample = [trainer.predict_sample(s) for s in samples]
+        fused = trainer.engine(batch_size=len(samples)).predict_many(samples)
+        for single, batched in zip(per_sample, fused):
+            assert batched.pairs == single.pairs
+            np.testing.assert_allclose(
+                batched.delay, single.delay, rtol=0.0, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                batched.jitter, single.jitter, rtol=0.0, atol=1e-10
+            )
+
+    def test_forward_on_fused_input_matches_concatenated(self, tiny_samples):
+        model = RouteNet(seed=5)
+        scaler = FeatureScaler.identity()
+        trainer = Trainer(model, scaler=scaler)
+        inputs = [trainer._prepare(s)[0] for s in tiny_samples[:3]]
+        batch = pack_inputs(inputs)
+        fused_out = model.forward(batch.inputs).numpy()
+        per_out = np.concatenate([model.forward(inp).numpy() for inp in inputs])
+        np.testing.assert_allclose(fused_out, per_out, rtol=0.0, atol=1e-10)

@@ -1,0 +1,87 @@
+"""Content-addressed input cache: keying, LRU behavior, counters."""
+
+import pytest
+
+from repro.core import FeatureScaler
+from repro.dataset import generate_dataset
+from repro.serving import InputCache
+
+from ..conftest import FAST_CONFIG
+
+
+class TestSampleKey:
+    def test_equal_content_same_key_across_objects(self, tiny_topology):
+        # Two independent generations with the same seed produce equal (but
+        # distinct) objects; the id()-keyed cache this replaces would miss —
+        # or worse, alias a recycled id to stale tensors.
+        a = generate_dataset(tiny_topology, 1, seed=9, config=FAST_CONFIG)[0]
+        b = generate_dataset(tiny_topology, 1, seed=9, config=FAST_CONFIG)[0]
+        assert a is not b
+        cache = InputCache()
+        assert cache.sample_key(a) == cache.sample_key(b)
+
+    def test_different_content_different_key(self, tiny_samples):
+        cache = InputCache()
+        assert cache.sample_key(tiny_samples[0]) != cache.sample_key(tiny_samples[1])
+
+    def test_build_params_change_key(self, tiny_samples):
+        cache = InputCache()
+        sample = tiny_samples[0]
+        base = cache.sample_key(sample, include_load=False)
+        assert base != cache.sample_key(sample, include_load=True)
+        assert base != cache.sample_key(
+            sample, include_load=False, scaler=FeatureScaler.identity()
+        )
+
+    def test_scaler_refit_changes_key(self, tiny_samples):
+        cache = InputCache()
+        sample = tiny_samples[0]
+        one = cache.sample_key(sample, scaler=FeatureScaler.identity())
+        other = FeatureScaler(
+            2.0, 3.0, 4.0,
+            FeatureScaler.identity().target_log_mean,
+            FeatureScaler.identity().target_log_std,
+        )
+        assert one != cache.sample_key(sample, scaler=other)
+
+    def test_digest_memo_hits_same_object(self, tiny_samples):
+        cache = InputCache()
+        first = cache.sample_key(tiny_samples[0])
+        assert cache.sample_key(tiny_samples[0]) == first
+        assert len(cache._digest_memo) == 1
+
+
+class TestStorage:
+    def test_get_or_build_builds_once(self):
+        cache = InputCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_build("k", lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_lru_eviction_drops_oldest(self):
+        cache = InputCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            InputCache(capacity=0)
+
+    def test_clear_empties_everything(self, tiny_samples):
+        cache = InputCache()
+        cache.put(cache.sample_key(tiny_samples[0]), "x")
+        cache.clear()
+        assert len(cache) == 0
+        assert len(cache._digest_memo) == 0

@@ -1,0 +1,108 @@
+"""InferenceEngine: batched serving semantics, queueing, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core import RouteNet
+from repro.dataset import fit_scaler
+from repro.errors import ServingError
+from repro.serving import InferenceEngine
+
+
+@pytest.fixture(scope="module")
+def served(tiny_samples):
+    model = RouteNet(seed=21)
+    scaler = fit_scaler(list(tiny_samples))
+    return model, scaler
+
+
+class TestPredictMany:
+    def test_matches_single_sample_predictions(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, batch_size=3)
+        results = engine.predict_many(tiny_samples)
+        assert len(results) == len(tiny_samples)
+        for sample, result in zip(tiny_samples, results):
+            single = model.predict(engine.build_input(sample), scaler)
+            assert result.pairs == single.pairs
+            np.testing.assert_allclose(
+                result.delay, single.delay, rtol=0.0, atol=1e-10
+            )
+
+    def test_chunks_by_batch_size(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, batch_size=3)
+        engine.predict_many(tiny_samples)  # 8 samples -> 3+3+2
+        stats = engine.stats()
+        assert stats["batches"] == 3
+        assert stats["queries"] == len(tiny_samples)
+        assert stats["paths"] == sum(s.num_pairs for s in tiny_samples)
+
+    def test_batch_size_override_per_call(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, batch_size=2)
+        engine.predict_many(tiny_samples, batch_size=len(tiny_samples))
+        assert engine.stats()["batches"] == 1
+
+    def test_empty_rejected(self, served):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler)
+        with pytest.raises(ServingError):
+            engine.predict_many([])
+        with pytest.raises(ServingError):
+            engine.predict_inputs([])
+
+    def test_bad_batch_size_rejected(self, served):
+        model, scaler = served
+        with pytest.raises(ServingError):
+            InferenceEngine(model, scaler, batch_size=0)
+
+
+class TestSubmitFlush:
+    def test_submit_then_flush_preserves_order(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, batch_size=4)
+        direct = engine.predict_many(tiny_samples)
+        for sample in tiny_samples:
+            engine.submit(sample)
+        assert engine.pending == len(tiny_samples)
+        flushed = engine.flush()
+        assert engine.pending == 0
+        for a, b in zip(direct, flushed):
+            np.testing.assert_array_equal(a.delay, b.delay)
+
+    def test_flush_when_empty_is_noop(self, served):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler)
+        assert engine.flush() == []
+
+
+class TestStats:
+    def test_stage_timings_and_cache_counters(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, batch_size=4)
+        engine.predict_many(tiny_samples)
+        stats = engine.stats()
+        for stage in ("build_s", "pack_s", "forward_s", "decode_s", "total_s"):
+            assert stats[stage] >= 0.0
+        assert stats["total_s"] >= stats["forward_s"]
+        assert stats["cache"]["misses"] == len(tiny_samples)
+        engine.predict_many(tiny_samples)  # second pass is all cache hits
+        assert engine.stats()["cache"]["hits"] == len(tiny_samples)
+
+    def test_reset_stats(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler)
+        engine.predict_many(tiny_samples[:2])
+        engine.reset_stats()
+        stats = engine.stats()
+        assert stats["queries"] == 0
+        assert stats["total_s"] == 0.0
+
+    def test_format_stats_renders(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler)
+        engine.predict_many(tiny_samples[:2])
+        text = InferenceEngine.format_stats(engine.stats())
+        assert "forward" in text
+        assert "cache" in text

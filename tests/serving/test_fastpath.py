@@ -1,0 +1,93 @@
+"""The raw-numpy inference kernel must replay RouteNet.forward exactly."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import HyperParams, RouteNet
+from repro.dataset import fit_scaler
+from repro.errors import ModelError
+from repro.serving import (
+    InferenceEngine,
+    fast_forward,
+    pack_inputs,
+    supports_fast_forward,
+)
+from repro.training import Trainer
+
+
+def _inputs(samples, scaler):
+    trainer = Trainer(RouteNet(seed=0), scaler=scaler)
+    return [trainer._prepare(s)[0] for s in samples]
+
+
+class TestEquivalence:
+    def test_matches_autodiff_forward_per_sample(self, tiny_samples, nsfnet_samples):
+        samples = [tiny_samples[0], nsfnet_samples[0]]
+        scaler = fit_scaler(list(tiny_samples))
+        model = RouteNet(seed=11)
+        for inp in _inputs(samples, scaler):
+            with nn.no_grad():
+                reference = model.forward(inp, training=False).numpy()
+            np.testing.assert_allclose(
+                fast_forward(model, inp), reference, rtol=0.0, atol=1e-12
+            )
+
+    def test_matches_autodiff_forward_fused(self, tiny_samples, nsfnet_samples):
+        scaler = fit_scaler(list(tiny_samples))
+        batch = pack_inputs(
+            _inputs([*tiny_samples[:3], nsfnet_samples[0]], scaler)
+        )
+        model = RouteNet(seed=12)
+        with nn.no_grad():
+            reference = model.forward(batch.inputs, training=False).numpy()
+        np.testing.assert_allclose(
+            fast_forward(model, batch.inputs), reference, rtol=0.0, atol=1e-12
+        )
+
+    def test_rnn_cell_supported(self, tiny_samples):
+        scaler = fit_scaler(list(tiny_samples))
+        model = RouteNet(HyperParams(cell_type="rnn"), seed=13)
+        inp = _inputs([tiny_samples[0]], scaler)[0]
+        with nn.no_grad():
+            reference = model.forward(inp, training=False).numpy()
+        np.testing.assert_allclose(
+            fast_forward(model, inp), reference, rtol=0.0, atol=1e-12
+        )
+
+    def test_feature_width_mismatch_raises(self, tiny_samples):
+        scaler = fit_scaler(list(tiny_samples))
+        wide = RouteNet(HyperParams(link_feature_dim=2))
+        with pytest.raises(ModelError):
+            fast_forward(wide, _inputs([tiny_samples[0]], scaler)[0])
+
+
+class TestSupport:
+    def test_stock_model_supported(self):
+        assert supports_fast_forward(RouteNet(seed=1))
+
+    def test_exotic_module_falls_back(self, tiny_samples):
+        scaler = fit_scaler(list(tiny_samples))
+        model = RouteNet(seed=14)
+
+        class OddCell(nn.GRUCell):
+            pass
+
+        model.path_cell = OddCell(
+            model.hparams.link_state_dim,
+            model.hparams.path_state_dim,
+            np.random.default_rng(0),
+        )
+        assert not supports_fast_forward(model)
+        engine = InferenceEngine(model, scaler)
+        assert not engine.fast_path
+        # Serving still works through the autodiff forward.
+        result = engine.predict_many([tiny_samples[0]])[0]
+        reference = model.predict(engine.build_input(tiny_samples[0]), scaler)
+        np.testing.assert_allclose(result.delay, reference.delay, atol=1e-12)
+
+    def test_engine_opt_out(self, tiny_samples):
+        scaler = fit_scaler(list(tiny_samples))
+        engine = InferenceEngine(RouteNet(seed=15), scaler, use_fast_path=False)
+        assert not engine.fast_path
+        assert engine.stats()["fast_path"] is False
