@@ -1,0 +1,75 @@
+"""Dataset-generation scaling: the resilient runner vs. the sequential loop.
+
+Ground truth comes from the packet-level simulator, and producing enough
+samples is the dominant cost of the whole pipeline (RouteNet-Erlang and the
+"Scaling Graph-based Deep Learning models" follow-ups both single it out as
+the bottleneck).  This bench generates a 200-sample NSFNET dataset through
+``repro.runner`` at 1 and 4 workers and reports wall time, speedup, worker
+utilization, and the determinism guarantee (bitwise-identical samples).
+
+The >= 2x speedup assertion only fires on machines with >= 4 CPU cores —
+on smaller runners the numbers are still reported but not enforced.
+"""
+
+import os
+
+import numpy as np
+
+from repro.dataset import GenerationConfig, generate_dataset_run
+from repro.topology import nsfnet
+
+from .conftest import report
+
+NUM_SAMPLES = 200
+WORKERS = 4
+
+#: Short simulations: the bench measures orchestration scaling, not DES cost.
+FAST_GEN = GenerationConfig(
+    target_packets_per_pair=20.0,
+    min_delivered=2,
+    intensity_range=(0.3, 0.6),
+)
+
+
+def _identical(a, b) -> bool:
+    return all(
+        x.pairs == y.pairs
+        and np.array_equal(x.delay, y.delay)
+        and np.array_equal(x.jitter, y.jitter)
+        for x, y in zip(a, b)
+    )
+
+
+def test_generation_scaling():
+    topo = nsfnet()
+
+    sequential = generate_dataset_run(topo, NUM_SAMPLES, seed=7, config=FAST_GEN)
+    parallel = generate_dataset_run(
+        topo, NUM_SAMPLES, seed=7, config=FAST_GEN, workers=WORKERS
+    )
+
+    assert len(sequential.samples) == NUM_SAMPLES
+    assert len(parallel.samples) == NUM_SAMPLES
+    assert _identical(sequential.samples, parallel.samples), (
+        "parallel generation must be bitwise identical to sequential"
+    )
+
+    seq_s = sequential.metrics.wall_time
+    par_s = parallel.metrics.wall_time
+    speedup = seq_s / par_s if par_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    report(
+        f"GENERATION — {NUM_SAMPLES} NSFNET scenarios ({cores} cores)",
+        f"sequential (1 worker):  {seq_s:8.1f}s\n"
+        f"parallel ({WORKERS} workers):   {par_s:8.1f}s\n"
+        f"speedup:                {speedup:.2f}x\n"
+        f"worker utilization:     {parallel.metrics.utilization:.0%}\n"
+        f"events simulated:       "
+        f"{parallel.metrics.extras['events_simulated']:,}\n"
+        f"samples bitwise identical across worker counts: yes",
+    )
+    if cores >= WORKERS:
+        assert speedup >= 2.0, (
+            f"parallel generation only {speedup:.2f}x faster at "
+            f"{WORKERS} workers (expected >= 2x on {cores} cores)"
+        )

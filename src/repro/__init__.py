@@ -27,6 +27,7 @@ from . import (
     planning,
     queueing,
     routing,
+    runner,
     serving,
     simulator,
     topology,
@@ -34,7 +35,14 @@ from . import (
     training,
 )
 from .core import RouteNet, HyperParams, build_model_input, FeatureScaler
-from .dataset import generate_dataset, generate_sample, GenerationConfig
+from .dataset import (
+    generate_dataset,
+    generate_dataset_run,
+    generate_sample,
+    GenerationConfig,
+    GenerationRun,
+)
+from .runner import ParallelRunner, RunnerConfig
 from .errors import ReproError
 from .random import make_rng, split_rng
 from .results import EvalResult, Metrics, PredictResult
@@ -56,6 +64,7 @@ __all__ = [
     "planning",
     "queueing",
     "routing",
+    "runner",
     "serving",
     "simulator",
     "topology",
@@ -75,8 +84,12 @@ __all__ = [
     "build_model_input",
     "FeatureScaler",
     "generate_dataset",
+    "generate_dataset_run",
     "generate_sample",
     "GenerationConfig",
+    "GenerationRun",
+    "ParallelRunner",
+    "RunnerConfig",
     "ReproError",
     "make_rng",
     "split_rng",

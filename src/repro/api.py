@@ -28,9 +28,16 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from .core import FeatureScaler, HyperParams, RouteNet
-from .dataset import GenerationConfig, Sample, generate_dataset, load_dataset, save_dataset
+from .dataset import (
+    GenerationConfig,
+    Sample,
+    generate_dataset_run,
+    load_dataset,
+    save_dataset,
+)
 from .errors import ModelError
 from .results import EvalResult, Metrics, PredictResult
+from .runner import ProgressEvent, RunnerConfig
 from .serving import InferenceEngine
 from .topology import Topology, by_name, synthetic_topology
 from .training import Trainer, TrainingHistory
@@ -205,20 +212,37 @@ def simulate(
     seed: int = 0,
     config: GenerationConfig | None = None,
     output: str | Path | None = None,
+    workers: int = 1,
+    runner: "RunnerConfig | None" = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    progress: "Callable[[ProgressEvent], None] | None" = None,
 ) -> list[Sample]:
     """Simulate ``num_samples`` labeled scenarios on ``topology``.
 
     Each scenario draws a random routing scheme and traffic matrix and runs
     the packet-level simulator for ground-truth delay/jitter/loss labels.
+    Generation runs through the resilient :mod:`repro.runner` pool: results
+    are bitwise identical for any ``workers`` count, failed scenarios are
+    retried with fresh deterministic seeds, and a ``checkpoint_dir`` makes
+    interrupted runs resumable without redoing completed scenarios.
 
     Args:
         topology: A :class:`Topology` or a name spec (``"nsfnet"``,
             ``"synthetic:24:3"``, ...).
         output: When given, the samples are also written to this JSONL path.
+        workers: Parallel simulation worker processes.
+        runner: Pool policy override (start method, timeout, retry budget).
+        checkpoint_dir: Shard/manifest directory for resumable runs.
+        resume: Reuse completed shards found in ``checkpoint_dir``.
+        progress: Callback receiving :class:`~repro.runner.ProgressEvent`
+            notifications per scenario start/completion/retry.
     """
-    samples = generate_dataset(
-        _resolve_topology(topology), num_samples, seed=seed, config=config
+    run = generate_dataset_run(
+        _resolve_topology(topology), num_samples, seed=seed, config=config,
+        workers=workers, runner=runner, checkpoint_dir=checkpoint_dir,
+        resume=resume, on_event=progress,
     )
     if output is not None:
-        save_dataset(samples, output)
-    return samples
+        save_dataset(run.samples, output)
+    return run.samples

@@ -14,8 +14,9 @@ import numpy as np
 
 from .. import api
 from ..core import HyperParams, RouteNet
-from ..dataset import GenerationConfig, load_dataset, save_dataset
+from ..dataset import GenerationConfig, generate_dataset_run, load_dataset, save_dataset
 from ..errors import ReproError
+from ..runner import ProgressEvent, RunnerConfig
 from ..evaluation import cdf_table, compute_error_cdf, format_top_paths, top_n_paths
 from ..experiments import PAPER_SMALL, SMOKE, Workbench
 from ..serving import InferenceEngine
@@ -71,6 +72,31 @@ def cmd_topologies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(quiet: bool):
+    """Per-scenario progress sink for the generation runner."""
+    if quiet:
+        return None
+
+    def on_event(event: ProgressEvent) -> None:
+        if event.kind == "done":
+            print(
+                f"  [{event.completed}/{event.total}] scenario {event.index} "
+                f"done in {event.elapsed:.1f}s"
+            )
+        elif event.kind == "retry":
+            print(
+                f"  [retry] scenario {event.index} attempt {event.attempt} "
+                f"failed ({event.message}); retrying with a fresh seed"
+            )
+        elif event.kind == "failed":
+            print(
+                f"  [failed] scenario {event.index} exhausted retries "
+                f"({event.message})"
+            )
+
+    return on_event
+
+
 @_handle_errors
 def cmd_generate(args: argparse.Namespace) -> int:
     topology = _resolve_topology(args.topology)
@@ -80,14 +106,28 @@ def cmd_generate(args: argparse.Namespace) -> int:
         target_packets_per_pair=args.packets_per_pair,
         active_fraction=args.active_fraction,
     )
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        checkpoint_dir = f"{args.output}.ckpt"
+    runner_cfg = RunnerConfig(
+        task_timeout=args.task_timeout, max_retries=args.retries
+    )
     print(
         f"simulating {args.num_samples} scenarios on {topology.name} "
-        f"({args.arrivals} arrivals) ..."
+        f"({args.arrivals} arrivals, {args.workers} worker(s)"
+        + (f", resuming from {checkpoint_dir}" if args.resume else "")
+        + ") ..."
     )
-    samples = api.simulate(topology, args.num_samples, seed=args.seed, config=config)
-    count = save_dataset(samples, args.output)
-    pairs = sum(s.num_pairs for s in samples)
+    run = generate_dataset_run(
+        topology, args.num_samples, seed=args.seed, config=config,
+        workers=args.workers, runner=runner_cfg,
+        checkpoint_dir=checkpoint_dir, resume=args.resume,
+        on_event=_progress_printer(args.quiet),
+    )
+    count = save_dataset(run.samples, args.output)
+    pairs = sum(s.num_pairs for s in run.samples)
     print(f"wrote {count} samples ({pairs} labeled paths) to {args.output}")
+    print(run.metrics.summary())
     return 0
 
 

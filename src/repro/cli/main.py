@@ -53,6 +53,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="target simulated packets per traffic pair")
     gen.add_argument("--active-fraction", type=float, default=1.0,
                      help="fraction of pairs with nonzero demand")
+    gen.add_argument("--workers", type=int, default=1,
+                     help="parallel simulation processes (results are "
+                          "bitwise identical to --workers 1)")
+    gen.add_argument("--checkpoint-dir",
+                     help="shard/manifest directory for resumable runs "
+                          "(default: <output>.ckpt when --resume is given)")
+    gen.add_argument("--resume", action="store_true",
+                     help="reuse completed scenarios from the checkpoint "
+                          "directory instead of regenerating them")
+    gen.add_argument("--task-timeout", type=float, metavar="SECONDS",
+                     help="terminate and retry any scenario exceeding this")
+    gen.add_argument("--retries", type=int, default=2,
+                     help="extra attempts (fresh deterministic seeds) per "
+                          "failed scenario")
+    gen.add_argument("--quiet", action="store_true",
+                     help="suppress per-scenario progress lines")
     gen.set_defaults(func=commands.cmd_generate)
 
     train = sub.add_parser("train", help="train RouteNet on JSONL datasets")

@@ -1,7 +1,14 @@
 """Dataset pipeline: scenario generation, serialization, splitting."""
 
 from .sample import Sample
-from .generate import GenerationConfig, generate_sample, generate_dataset
+from .generate import (
+    GenerationConfig,
+    GenerationRun,
+    InjectedFailure,
+    generate_sample,
+    generate_dataset,
+    generate_dataset_run,
+)
 from .io import (
     sample_to_dict,
     sample_from_dict,
@@ -18,8 +25,11 @@ __all__ = [
     "format_summary",
     "Sample",
     "GenerationConfig",
+    "GenerationRun",
+    "InjectedFailure",
     "generate_sample",
     "generate_dataset",
+    "generate_dataset_run",
     "sample_to_dict",
     "sample_from_dict",
     "save_dataset",

@@ -9,13 +9,25 @@ labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from ..errors import DatasetError
 from ..random import make_rng, split_rng
 from ..routing import RoutingScheme
+from ..runner import (
+    CheckpointStore,
+    ParallelRunner,
+    ProgressEvent,
+    RunMetrics,
+    RunnerConfig,
+    Task,
+    TaskFailure,
+)
 from ..simulator import SimulationConfig, simulate
 from ..topology import Topology
 from ..traffic import (
@@ -24,9 +36,17 @@ from ..traffic import (
     scale_to_utilization,
     DEFAULT_MEAN_PACKET_BITS,
 )
+from .io import sample_from_dict, sample_to_dict
 from .sample import Sample
 
-__all__ = ["GenerationConfig", "generate_sample", "generate_dataset"]
+__all__ = [
+    "GenerationConfig",
+    "GenerationRun",
+    "InjectedFailure",
+    "generate_sample",
+    "generate_dataset",
+    "generate_dataset_run",
+]
 
 _ROUTING_KINDS = ("shortest", "random_weighted", "random_ksp")
 
@@ -209,10 +229,171 @@ def generate_sample(
     )
 
 
-def _generate_one(args: tuple[Topology, int, GenerationConfig | None]) -> Sample:
-    """Top-level worker for multiprocessing (must be picklable)."""
-    topology, seed, config = args
-    return generate_sample(topology, seed=seed, config=config)
+class InjectedFailure(RuntimeError):
+    """Raised by the generation worker for fault-injection tests/CI."""
+
+
+@dataclass(frozen=True)
+class _GenerationTask:
+    """Picklable payload of one scenario-generation task."""
+
+    topology: Topology
+    config: GenerationConfig | None
+    fail_attempts: int = 0  # fault injection: raise on attempts < this
+
+
+def _generation_worker(payload: _GenerationTask, seed: int, attempt: int) -> Sample:
+    """Top-level runner worker (picklable under every start method)."""
+    if attempt < payload.fail_attempts:
+        raise InjectedFailure(
+            f"injected failure on attempt {attempt} "
+            f"(fails first {payload.fail_attempts} attempt(s))"
+        )
+    return generate_sample(payload.topology, seed=seed, config=payload.config)
+
+
+@dataclass
+class GenerationRun:
+    """Outcome of :func:`generate_dataset_run`.
+
+    Attributes:
+        samples: Successfully generated samples in task order (tasks that
+            exhausted retries under ``on_exhausted="skip"`` are absent).
+        metrics: Runner accounting plus generation extras
+            (``events_simulated``, ``from_checkpoint``).
+        failures: Structured records of every failed attempt.
+        missing: Indexes of tasks that never produced a sample.
+    """
+
+    samples: list[Sample]
+    metrics: "RunMetrics"
+    failures: list["TaskFailure"]
+    missing: tuple[int, ...] = ()
+
+
+def _topology_fingerprint(topology: Topology) -> dict:
+    digest = hashlib.sha256()
+    for link in topology.links:
+        digest.update(
+            f"{link.src},{link.dst},{link.capacity},{link.propagation_delay};".encode()
+        )
+    return {
+        "name": topology.name,
+        "num_nodes": topology.num_nodes,
+        "links_sha256": digest.hexdigest(),
+    }
+
+
+def generate_dataset_run(
+    topology: Topology,
+    num_samples: int,
+    seed: int | np.random.Generator | None = None,
+    config: GenerationConfig | None = None,
+    workers: int = 1,
+    *,
+    runner: "RunnerConfig | None" = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    on_event: "Callable[[ProgressEvent], None] | None" = None,
+    inject_failures: dict[int, int] | None = None,
+) -> GenerationRun:
+    """Generate scenarios through the resilient runner, with full accounting.
+
+    Scenario ``i`` always runs with the ``i``-th pre-split seed, and retries
+    derive fresh seeds deterministically from ``(seed_i, attempt)``, so the
+    output is bitwise identical for any ``workers`` count — including runs
+    interrupted and resumed from ``checkpoint_dir``.
+
+    Args:
+        workers: Parallel simulation processes (overrides ``runner.workers``).
+        runner: Pool policy (start method, per-task timeout, retry budget,
+            exhaustion behavior); library defaults when omitted.
+        checkpoint_dir: When set, every completed scenario is persisted as a
+            shard under this directory the moment it finishes.
+        resume: Reuse completed shards found in ``checkpoint_dir`` (after a
+            fingerprint check) instead of regenerating them.
+        on_event: Progress callback receiving
+            :class:`~repro.runner.ProgressEvent` notifications.
+        inject_failures: Fault injection for tests/CI — maps a task index to
+            the number of its leading attempts that raise
+            :class:`InjectedFailure` before the scenario is simulated.
+
+    Raises:
+        DatasetError: On invalid arguments.
+        RunnerError: When a scenario exhausts its retry budget (default
+            ``on_exhausted="raise"`` policy) or the checkpoint mismatches.
+    """
+    if num_samples < 1:
+        raise DatasetError(f"num_samples must be >= 1, got {num_samples}")
+    if workers < 1:
+        raise DatasetError(f"workers must be >= 1, got {workers}")
+    runner_cfg = replace(runner or RunnerConfig(), workers=workers)
+    rng = make_rng(seed)
+    seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=num_samples)]
+    injections = inject_failures or {}
+
+    store = None
+    completed: dict[int, Sample] = {}
+    if checkpoint_dir is not None:
+        fingerprint = {
+            "kind": "generate_dataset",
+            "topology": _topology_fingerprint(topology),
+            "num_samples": num_samples,
+            "config": None if config is None else asdict(config),
+            "seeds_sha256": hashlib.sha256(
+                ",".join(map(str, seeds)).encode()
+            ).hexdigest(),
+        }
+        store = CheckpointStore(
+            checkpoint_dir,
+            fingerprint=fingerprint,
+            encode=sample_to_dict,
+            decode=sample_from_dict,
+        )
+        completed = store.open(num_tasks=num_samples, resume=resume)
+
+    tasks = [
+        Task(
+            index=i,
+            seed=seeds[i],
+            payload=_GenerationTask(topology, config, injections.get(i, 0)),
+        )
+        for i in range(num_samples)
+        if i not in completed
+    ]
+
+    def on_result(index: int, seed_used: int, attempt: int, value: Sample) -> None:
+        if store is not None:
+            store.record(index, seed_used, attempt, value)
+
+    on_failure = store.record_failure if store is not None else None
+    pool = ParallelRunner(_generation_worker, runner_cfg)
+    if tasks:
+        result = pool.run(
+            tasks, on_event=on_event, on_result=on_result, on_failure=on_failure
+        )
+        fresh = {
+            task.index: value
+            for task, value in zip(tasks, result.values)
+            if value is not None
+        }
+        metrics = result.metrics
+        failures = result.failures
+    else:
+        fresh = {}
+        metrics = RunMetrics(total_tasks=0, workers=workers)
+        failures = []
+
+    by_index = {**completed, **fresh}
+    samples = [by_index[i] for i in range(num_samples) if i in by_index]
+    missing = tuple(i for i in range(num_samples) if i not in by_index)
+    metrics.extras["from_checkpoint"] = len(completed)
+    metrics.extras["events_simulated"] = int(
+        sum(s.meta.get("events", 0) for s in fresh.values())
+    )
+    return GenerationRun(
+        samples=samples, metrics=metrics, failures=failures, missing=missing
+    )
 
 
 def generate_dataset(
@@ -221,25 +402,21 @@ def generate_dataset(
     seed: int | np.random.Generator | None = None,
     config: GenerationConfig | None = None,
     workers: int = 1,
+    **runner_kwargs,
 ) -> list[Sample]:
     """Generate ``num_samples`` independent scenarios on one topology.
 
     Args:
-        workers: Parallel simulation processes.  Results are identical to a
-            sequential run (each scenario owns a pre-split seed); order is
-            preserved.
+        workers: Parallel simulation processes.  Results are bitwise
+            identical to a sequential run (each scenario owns a pre-split
+            seed, retries reseed deterministically); order is preserved.
+        **runner_kwargs: Forwarded to :func:`generate_dataset_run`
+            (``runner=``, ``checkpoint_dir=``, ``resume=``, ``on_event=``).
+
+    See :func:`generate_dataset_run` for the variant returning metrics and
+    structured failure records alongside the samples.
     """
-    if num_samples < 1:
-        raise DatasetError(f"num_samples must be >= 1, got {num_samples}")
-    if workers < 1:
-        raise DatasetError(f"workers must be >= 1, got {workers}")
-    rng = make_rng(seed)
-    seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=num_samples)]
-    if workers == 1 or num_samples == 1:
-        return [generate_sample(topology, seed=s, config=config) for s in seeds]
-
-    import multiprocessing
-
-    tasks = [(topology, s, config) for s in seeds]
-    with multiprocessing.get_context("fork").Pool(min(workers, num_samples)) as pool:
-        return pool.map(_generate_one, tasks)
+    return generate_dataset_run(
+        topology, num_samples, seed=seed, config=config, workers=workers,
+        **runner_kwargs,
+    ).samples

@@ -11,6 +11,7 @@ __all__ = [
     "DatasetError",
     "ModelError",
     "ServingError",
+    "RunnerError",
 ]
 
 
@@ -44,3 +45,7 @@ class ModelError(ReproError):
 
 class ServingError(ReproError):
     """Batched inference engine misuse (unpackable inputs, empty batch)."""
+
+
+class RunnerError(ReproError):
+    """Parallel execution runner failure (exhausted retries, bad checkpoint)."""

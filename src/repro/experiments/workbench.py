@@ -14,7 +14,7 @@ from typing import Callable
 
 
 from ..core import FeatureScaler, RouteNet
-from ..dataset import Sample, generate_dataset, load_dataset, save_dataset
+from ..dataset import Sample, generate_dataset_run, load_dataset, save_dataset
 from ..topology import Topology, geant2, nsfnet, synthetic_topology
 from ..training import Trainer
 from .profiles import ExperimentProfile, PAPER_SMALL
@@ -46,9 +46,16 @@ class Workbench:
         profile: ExperimentProfile = PAPER_SMALL,
         cache_dir: str | Path = "data",
         log: Callable[[str], None] | None = print,
+        workers: int = 1,
     ) -> None:
+        """Args:
+            workers: Parallel simulation processes for dataset generation
+                (results are identical to ``workers=1``; see
+                :mod:`repro.runner`).
+        """
         self.profile = profile
         self.cache_dir = Path(cache_dir)
+        self.workers = workers
         self._log = log or (lambda _msg: None)
         self._memo: dict[str, list[Sample]] = {}
         self._model: tuple[RouteNet, FeatureScaler] | None = None
@@ -80,9 +87,21 @@ class Workbench:
         else:
             self._log(f"[workbench] simulating {count} samples for {role} ...")
             seed = self.profile.seed * 1000 + _ROLE_SEEDS[role]
-            samples = generate_dataset(topology, count, seed=seed, config=gen_config)
+            # Checkpointed + resumable: killing a long generation run and
+            # re-running the workbench resumes from completed scenarios.
+            run = generate_dataset_run(
+                topology, count, seed=seed, config=gen_config,
+                workers=self.workers,
+                checkpoint_dir=self.cache_dir / "runs" / f"{self.profile.name}-{role}",
+                resume=True,
+            )
+            samples = run.samples
             save_dataset(samples, path)
-            self._log(f"[workbench] wrote {path}")
+            self._log(
+                f"[workbench] wrote {path} "
+                f"({run.metrics.completed} fresh, "
+                f"{run.metrics.extras.get('from_checkpoint', 0)} resumed)"
+            )
         self._memo[role] = samples
         return samples
 

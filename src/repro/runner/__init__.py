@@ -1,0 +1,40 @@
+"""Resilient, observable parallel execution (``repro.runner``).
+
+The subsystem behind ``generate_dataset(..., workers=N)``:
+
+* :class:`ParallelRunner` — spawn-safe process pool with per-task
+  timeouts, bounded deterministic retries, and structured
+  :class:`TaskFailure` records;
+* :class:`CheckpointStore` — shard/manifest persistence so interrupted
+  runs resume without redoing completed tasks;
+* :class:`RunMetrics` / :class:`ProgressEvent` — per-run accounting and
+  live progress callbacks.
+
+Determinism contract: task ``i`` always runs with ``attempt_seed(seeds[i],
+attempt)``, so results are bitwise identical across worker counts and
+across interrupted/resumed runs.
+"""
+
+from .manifest import CheckpointStore
+from .pool import ParallelRunner, attempt_seed, resolve_context
+from .types import (
+    ProgressEvent,
+    RunMetrics,
+    RunResult,
+    RunnerConfig,
+    Task,
+    TaskFailure,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "ParallelRunner",
+    "ProgressEvent",
+    "RunMetrics",
+    "RunResult",
+    "RunnerConfig",
+    "Task",
+    "TaskFailure",
+    "attempt_seed",
+    "resolve_context",
+]

@@ -1,0 +1,177 @@
+"""On-disk checkpointing for runner-driven runs.
+
+A checkpointed run owns one directory::
+
+    <dir>/manifest.json     run header: format version, fingerprint, task count
+    <dir>/shards/           one shard-<index>.json per completed task
+    <dir>/failures.jsonl    every structured TaskFailure, append-only
+
+Shards are written atomically (temp file + rename) the moment a task
+succeeds, so killing a run at any point loses at most in-flight work.
+Resuming re-opens the directory, verifies the stored *fingerprint* (a
+JSON-serializable description of everything that determines the run's
+output — seeds, config, topology...) and returns the already-completed
+values so the runner only executes what is missing.  A fingerprint mismatch
+is an error rather than a silent regeneration: mixing shards from different
+configurations would corrupt the dataset.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from ..errors import RunnerError
+from .types import TaskFailure
+
+__all__ = ["CheckpointStore"]
+
+_FORMAT_VERSION = 1
+
+
+def _normalize(obj: Any) -> Any:
+    """Round-trip through JSON so tuples/lists etc. compare stably."""
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+class CheckpointStore:
+    """Shard/manifest persistence for one resumable run.
+
+    Args:
+        directory: Checkpoint root (created on :meth:`open`).
+        fingerprint: JSON-serializable identity of the run.  Two runs with
+            equal fingerprints are guaranteed to execute the same tasks with
+            the same seeds.
+        encode / decode: Value (de)serializers to/from JSON-friendly dicts;
+            identity by default.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fingerprint: dict,
+        encode: Callable[[Any], Any] | None = None,
+        decode: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = _normalize(fingerprint)
+        self._encode = encode or (lambda value: value)
+        self._decode = decode or (lambda value: value)
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.directory / "shards"
+
+    @property
+    def failures_path(self) -> Path:
+        return self.directory / "failures.jsonl"
+
+    def _shard_path(self, index: int) -> Path:
+        return self.shards_dir / f"shard-{index:06d}.json"
+
+    # ------------------------------------------------------------------
+    def open(self, num_tasks: int, resume: bool) -> dict[int, Any]:
+        """Prepare the directory; return already-completed ``{index: value}``.
+
+        A fresh run (``resume=False``) discards any previous checkpoint
+        state in the directory.  Resuming validates the manifest against
+        this run's fingerprint and task count before trusting its shards.
+
+        Raises:
+            RunnerError: On fingerprint/task-count mismatch or a corrupt
+                manifest when resuming.
+        """
+        if self.manifest_path.exists():
+            if not resume:
+                self._discard()
+            else:
+                return self._load_completed(num_tasks)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "version": _FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "num_tasks": num_tasks,
+        }
+        self._write_atomic(self.manifest_path, json.dumps(manifest, indent=2))
+        return {}
+
+    def _load_completed(self, num_tasks: int) -> dict[int, Any]:
+        try:
+            manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RunnerError(f"corrupt checkpoint manifest {self.manifest_path}: {exc}") from exc
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise RunnerError(
+                f"checkpoint {self.directory} has unsupported format version "
+                f"{manifest.get('version')!r}"
+            )
+        if manifest.get("num_tasks") != num_tasks:
+            raise RunnerError(
+                f"checkpoint {self.directory} was created for "
+                f"{manifest.get('num_tasks')} tasks, this run has {num_tasks}"
+            )
+        if _normalize(manifest.get("fingerprint")) != self.fingerprint:
+            raise RunnerError(
+                f"checkpoint {self.directory} belongs to a different run "
+                "(fingerprint mismatch); pass resume=False to regenerate"
+            )
+        completed: dict[int, Any] = {}
+        for path in sorted(self.shards_dir.glob("shard-*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                completed[int(record["index"])] = self._decode(record["value"])
+            except (OSError, json.JSONDecodeError, KeyError):
+                # An unreadable shard just means that task reruns.
+                path.unlink(missing_ok=True)
+        return completed
+
+    def _discard(self) -> None:
+        """Remove checkpoint-owned files only (never unrelated user data)."""
+        self.manifest_path.unlink(missing_ok=True)
+        self.failures_path.unlink(missing_ok=True)
+        if self.shards_dir.exists():
+            for path in self.shards_dir.glob("shard-*.json"):
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def record(self, index: int, seed: int, attempt: int, value: Any) -> None:
+        """Persist one completed task's value (atomic shard write)."""
+        record = {
+            "index": index,
+            "seed": seed,
+            "attempt": attempt,
+            "value": self._encode(value),
+        }
+        self._write_atomic(self._shard_path(index), json.dumps(record))
+
+    def record_failure(self, failure: TaskFailure) -> None:
+        """Append one structured failure record to ``failures.jsonl``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.failures_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(failure.to_dict()) + "\n")
+
+    def load_failures(self) -> list[dict]:
+        """All persisted failure records (across every attempt of the run)."""
+        if not self.failures_path.exists():
+            return []
+        records = []
+        with self.failures_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)

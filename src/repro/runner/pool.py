@@ -1,0 +1,402 @@
+"""Resilient process pool with deterministic retries.
+
+The library's original parallel path was ``multiprocessing.get_context
+("fork").Pool(...).map`` — fast, but fragile in exactly the ways that matter
+for multi-hour dataset-generation runs:
+
+* ``fork`` does not exist on Windows and is unsafe on macOS;
+* one crashed or wedged worker killed the entire run with nothing saved;
+* a failed scenario had no record of *what* failed, or with which seed.
+
+:class:`ParallelRunner` replaces it with a process-per-task pool (at most
+``workers`` live processes): a crash or timeout costs one attempt, never the
+run.  Failed attempts are retried up to ``max_retries`` times with fresh
+seeds derived deterministically from ``(base_seed, attempt)``, so a
+sequential run and any parallel run make byte-identical decisions.  Every
+failure is captured as a structured :class:`~repro.runner.TaskFailure`.
+
+Workers are launched one process per attempt, which keeps per-attempt
+isolation trivial (terminate on timeout, no poisoned pool state) at the cost
+of one process start per task — negligible against packet-level simulation
+times.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue_mod
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import RunnerError
+from .types import ProgressEvent, RunMetrics, RunResult, Task, TaskFailure
+
+__all__ = ["ParallelRunner", "attempt_seed", "resolve_context"]
+
+#: Worker signature: ``worker(payload, seed, attempt) -> value``.
+Worker = Callable[[Any, int, int], Any]
+
+_SEED_BOUND = 2**63 - 1
+
+
+def attempt_seed(base_seed: int, attempt: int) -> int:
+    """Deterministic seed for one attempt at a task.
+
+    Attempt 0 uses ``base_seed`` unchanged (so runs without failures are
+    bitwise identical to the pre-runner sequential code path); retries mix
+    the base seed with the attempt number through a counter-based generator,
+    which is scheduling-independent: the n-th retry of a task draws the same
+    seed no matter how many workers the run uses.
+    """
+    if attempt == 0:
+        return int(base_seed)
+    mixed = np.random.default_rng((int(base_seed), int(attempt)))
+    return int(mixed.integers(0, _SEED_BOUND))
+
+
+def resolve_context(method: str) -> multiprocessing.context.BaseContext:
+    """Resolve an ``mp_context`` name to a multiprocessing context.
+
+    ``"auto"`` prefers ``fork`` (cheap, shares loaded modules) where the
+    platform provides it and falls back to ``spawn`` (macOS/Windows safe).
+    """
+    if method == "auto":
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    try:
+        return multiprocessing.get_context(method)
+    except ValueError as exc:
+        raise RunnerError(f"start method {method!r} unavailable: {exc}") from exc
+
+
+def _attempt_entry(worker, payload, seed, index, attempt, result_queue) -> None:
+    """Subprocess entry: run one attempt and post the outcome.
+
+    Top-level (hence picklable) so it works under every start method,
+    including ``spawn``.  Exceptions are flattened to strings before
+    crossing the process boundary — exception objects themselves may not
+    pickle.
+    """
+    try:
+        value = worker(payload, seed, attempt)
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        detail = traceback.format_exc(limit=8)
+        result_queue.put((index, attempt, False, None, (type(exc).__name__, str(exc), detail)))
+    else:
+        result_queue.put((index, attempt, True, value, None))
+
+
+@dataclass
+class _InFlight:
+    """Parent-side record of one running attempt."""
+
+    process: multiprocessing.process.BaseProcess
+    task: Task
+    attempt: int
+    seed: int
+    started: float
+    dead_since: float | None = None
+
+
+class ParallelRunner:
+    """Runs picklable tasks through a resilient, observable worker pool.
+
+    Args:
+        worker: Top-level callable ``worker(payload, seed, attempt)``.  It
+            must be importable from the worker process (module-level
+            function), and both it and every payload/return value must be
+            picklable.
+        config: Pool sizing, retry and timeout policy.
+
+    ``run`` executes tasks and returns their values in task order, retrying
+    failed attempts with fresh deterministic seeds; see
+    :class:`~repro.runner.RunnerConfig` for the failure policy.
+    """
+
+    def __init__(self, worker: Worker, config=None) -> None:
+        from .types import RunnerConfig
+
+        self.worker = worker
+        self.config = config or RunnerConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_event: Callable[[ProgressEvent], None] | None = None,
+        on_result: Callable[[int, int, int, Any], None] | None = None,
+        on_failure: Callable[[TaskFailure], None] | None = None,
+    ) -> RunResult:
+        """Execute ``tasks``; returns values in task-index order.
+
+        Args:
+            on_event: Progress callback invoked in the parent process for
+                every attempt start/completion/retry/exhaustion.
+            on_result: Checkpoint hook ``(index, seed, attempt, value)``
+                invoked in the parent as soon as a task succeeds (before the
+                run finishes), enabling shard-level persistence.
+            on_failure: Hook invoked for every failed attempt as it is
+                recorded — fires even when the run subsequently aborts, so
+                checkpoints keep failure records from aborted runs.
+
+        Raises:
+            RunnerError: When a task exhausts its retry budget and the
+                config says ``on_exhausted="raise"``.
+        """
+        tasks = list(tasks)
+        if len({t.index for t in tasks}) != len(tasks):
+            raise RunnerError("task indexes must be unique")
+        state = _RunState(tasks, self.config, on_event, on_result, on_failure)
+        started = time.perf_counter()
+        try:
+            # Inline only when the pool has one worker: even a single task
+            # goes through a subprocess otherwise, so timeout enforcement
+            # and crash isolation hold regardless of task count.
+            if self.config.workers == 1 or not tasks:
+                self._run_inline(tasks, state)
+            else:
+                self._run_parallel(tasks, state)
+        finally:
+            state.metrics.wall_time = time.perf_counter() - started
+        return state.finish()
+
+    # ------------------------------------------------------------------
+    # Inline (workers == 1) path: same retry/seed decisions, no processes.
+    # ------------------------------------------------------------------
+    def _run_inline(self, tasks: Sequence[Task], state: "_RunState") -> None:
+        state.metrics.mp_context = "inline"
+        for task in tasks:
+            attempt = 0
+            while True:
+                seed = attempt_seed(task.seed, attempt)
+                state.emit("start", task.index, attempt)
+                attempt_started = time.perf_counter()
+                try:
+                    value = self.worker(task.payload, seed, attempt)
+                except Exception as exc:
+                    elapsed = time.perf_counter() - attempt_started
+                    failure = TaskFailure(
+                        index=task.index,
+                        attempt=attempt,
+                        seed=seed,
+                        kind="exception",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        elapsed=elapsed,
+                    )
+                    if not state.record_failure(task, failure):
+                        break  # exhausted under "skip"
+                    attempt += 1
+                else:
+                    elapsed = time.perf_counter() - attempt_started
+                    state.record_success(task, attempt, seed, value, elapsed)
+                    break
+
+    # ------------------------------------------------------------------
+    # Parallel path: process-per-attempt, bounded by config.workers.
+    # ------------------------------------------------------------------
+    def _run_parallel(self, tasks: Sequence[Task], state: "_RunState") -> None:
+        cfg = self.config
+        ctx = resolve_context(cfg.mp_context)
+        state.metrics.mp_context = ctx.get_start_method()
+        result_queue = ctx.Queue()
+        pending: deque[tuple[Task, int]] = deque((task, 0) for task in tasks)
+        inflight: dict[tuple[int, int], _InFlight] = {}
+
+        def launch(task: Task, attempt: int) -> None:
+            seed = attempt_seed(task.seed, attempt)
+            process = ctx.Process(
+                target=_attempt_entry,
+                args=(self.worker, task.payload, seed, task.index, attempt, result_queue),
+                daemon=True,
+            )
+            process.start()
+            inflight[(task.index, attempt)] = _InFlight(
+                process=process,
+                task=task,
+                attempt=attempt,
+                seed=seed,
+                started=time.perf_counter(),
+            )
+            state.emit("start", task.index, attempt)
+
+        def settle(key: tuple[int, int], failure: TaskFailure | None, value=None) -> None:
+            """Retire one in-flight attempt; schedule its retry on failure."""
+            info = inflight.pop(key)
+            info.process.join(timeout=1.0)
+            elapsed = time.perf_counter() - info.started
+            if failure is None:
+                state.record_success(info.task, info.attempt, info.seed, value, elapsed)
+            elif state.record_failure(info.task, failure):
+                pending.append((info.task, info.attempt + 1))
+
+        try:
+            while pending or inflight:
+                while pending and len(inflight) < cfg.workers:
+                    task, attempt = pending.popleft()
+                    launch(task, attempt)
+
+                drained = False
+                try:
+                    message = result_queue.get(timeout=cfg.poll_interval)
+                    drained = True
+                except _queue_mod.Empty:
+                    message = None
+                while message is not None:
+                    index, attempt, ok, value, error = message
+                    key = (index, attempt)
+                    if key in inflight:  # a terminated attempt may still report
+                        info = inflight[key]
+                        if ok:
+                            settle(key, None, value)
+                        else:
+                            error_type, text, detail = error
+                            settle(key, TaskFailure(
+                                index=index,
+                                attempt=attempt,
+                                seed=info.seed,
+                                kind="exception",
+                                error_type=error_type,
+                                message=text,
+                                elapsed=time.perf_counter() - info.started,
+                            ))
+                    try:
+                        message = result_queue.get_nowait()
+                    except _queue_mod.Empty:
+                        message = None
+
+                now = time.perf_counter()
+                for key, info in list(inflight.items()):
+                    if (
+                        cfg.task_timeout is not None
+                        and now - info.started > cfg.task_timeout
+                    ):
+                        info.process.terminate()
+                        settle(key, TaskFailure(
+                            index=info.task.index,
+                            attempt=info.attempt,
+                            seed=info.seed,
+                            kind="timeout",
+                            error_type="TimeoutError",
+                            message=(
+                                f"attempt exceeded task_timeout="
+                                f"{cfg.task_timeout}s and was terminated"
+                            ),
+                            elapsed=now - info.started,
+                        ))
+                        continue
+                    if not info.process.is_alive():
+                        # The result may still be in the queue's pipe buffer;
+                        # give it a grace window before declaring a crash.
+                        if drained:
+                            info.dead_since = None  # queue made progress; re-arm
+                        if info.dead_since is None:
+                            info.dead_since = now
+                        elif now - info.dead_since > cfg.crash_grace:
+                            exitcode = info.process.exitcode
+                            settle(key, TaskFailure(
+                                index=info.task.index,
+                                attempt=info.attempt,
+                                seed=info.seed,
+                                kind="crash",
+                                error_type="WorkerCrash",
+                                message=(
+                                    f"worker process died with exit code "
+                                    f"{exitcode} before reporting a result"
+                                ),
+                                elapsed=now - info.started,
+                            ))
+        finally:
+            for info in inflight.values():
+                if info.process.is_alive():
+                    info.process.terminate()
+                info.process.join(timeout=1.0)
+            result_queue.close()
+            result_queue.join_thread()
+
+
+class _RunState:
+    """Mutable bookkeeping shared by both execution paths."""
+
+    def __init__(self, tasks, config, on_event, on_result, on_failure=None) -> None:
+        self.config = config
+        self.on_event = on_event
+        self.on_result = on_result
+        self.on_failure = on_failure
+        self.total = len(tasks)
+        self.values: dict[int, Any] = {}
+        self.order = [task.index for task in tasks]
+        self.failures: list[TaskFailure] = []
+        self.exhausted: list[int] = []
+        self.metrics = RunMetrics(
+            total_tasks=self.total, workers=config.workers
+        )
+
+    # -- outcomes ------------------------------------------------------
+    def record_success(self, task: Task, attempt: int, seed: int, value, elapsed: float) -> None:
+        self.values[task.index] = value
+        self.metrics.completed += 1
+        self.metrics.worker_seconds += elapsed
+        if self.on_result is not None:
+            self.on_result(task.index, seed, attempt, value)
+        self.emit("done", task.index, attempt, elapsed=elapsed)
+
+    def record_failure(self, task: Task, failure: TaskFailure) -> bool:
+        """Register a failed attempt; True when the task should be retried."""
+        self.failures.append(failure)
+        self.metrics.failures += 1
+        self.metrics.worker_seconds += failure.elapsed
+        if self.on_failure is not None:
+            self.on_failure(failure)
+        retry = failure.attempt < self.config.max_retries
+        if retry:
+            self.metrics.retries += 1
+            self.emit(
+                "retry", task.index, failure.attempt,
+                elapsed=failure.elapsed,
+                message=f"{failure.kind}: {failure.error_type}: {failure.message}",
+            )
+            return True
+        self.exhausted.append(task.index)
+        self.metrics.exhausted += 1
+        self.emit(
+            "failed", task.index, failure.attempt,
+            elapsed=failure.elapsed,
+            message=f"{failure.kind}: {failure.error_type}: {failure.message}",
+        )
+        if self.config.on_exhausted == "raise":
+            attempts = failure.attempt + 1
+            raise RunnerError(
+                f"task {task.index} failed all {attempts} attempt(s); last "
+                f"failure: {failure.kind} ({failure.error_type}: "
+                f"{failure.message})"
+            )
+        return False
+
+    # -- reporting -----------------------------------------------------
+    def emit(self, kind: str, index: int, attempt: int, elapsed: float = 0.0,
+             message: str = "") -> None:
+        if self.on_event is None:
+            return
+        self.on_event(ProgressEvent(
+            kind=kind,
+            index=index,
+            attempt=attempt,
+            completed=self.metrics.completed,
+            total=self.total,
+            elapsed=elapsed,
+            message=message,
+        ))
+
+    def finish(self) -> RunResult:
+        values = [self.values.get(index) for index in self.order]
+        return RunResult(
+            values=values,
+            failures=self.failures,
+            exhausted=sorted(self.exhausted),
+            metrics=self.metrics,
+        )

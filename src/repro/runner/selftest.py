@@ -1,0 +1,112 @@
+"""End-to-end runner resilience smoke test (``python -m repro.runner.selftest``).
+
+Run by CI to exercise the paths a unit test can fake but a release must
+prove on a real pool:
+
+1. a 2-worker mini generation with an injected failing task — the run must
+   survive via retry, record the structured failure, and still produce every
+   sample;
+2. an interrupted checkpointed run (one task forced to exhaust its retries)
+   followed by a resume that completes only the missing work and ends up
+   bitwise identical to a clean sequential run.
+
+Exit code 0 on success; any assertion failure is fatal.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..dataset import GenerationConfig, generate_dataset_run
+from ..runner import RunnerConfig
+from ..topology import synthetic_topology
+
+_NUM_SAMPLES = 6
+_SEED = 1302
+_CONFIG = GenerationConfig(
+    target_packets_per_pair=25.0,
+    min_delivered=2,
+    intensity_range=(0.3, 0.5),
+)
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+
+
+def _same_samples(a, b) -> bool:
+    return all(
+        x.pairs == y.pairs and np.array_equal(x.delay, y.delay)
+        and np.array_equal(x.jitter, y.jitter)
+        for x, y in zip(a, b)
+    )
+
+
+def main() -> int:
+    topology = synthetic_topology(6, seed=7, mean_degree=2.5)
+
+    print("[selftest] baseline: sequential run ...")
+    baseline = generate_dataset_run(topology, _NUM_SAMPLES, seed=_SEED, config=_CONFIG)
+    _check(len(baseline.samples) == _NUM_SAMPLES, "baseline generation incomplete")
+
+    print("[selftest] 1/2: 2-worker run with an injected failing task ...")
+    run = generate_dataset_run(
+        topology, _NUM_SAMPLES, seed=_SEED, config=_CONFIG, workers=2,
+        inject_failures={1: 1},
+    )
+    _check(len(run.samples) == _NUM_SAMPLES, "run with injected failure lost samples")
+    _check(run.metrics.retries >= 1, "injected failure was not retried")
+    _check(
+        any(f.error_type == "InjectedFailure" for f in run.failures),
+        "no structured record of the injected failure",
+    )
+    clean = [s for i, s in enumerate(run.samples) if i != 1]
+    base = [s for i, s in enumerate(baseline.samples) if i != 1]
+    _check(_same_samples(clean, base), "non-injected tasks diverged from baseline")
+
+    print("[selftest] 2/2: interrupted checkpointed run, then resume ...")
+    with tempfile.TemporaryDirectory(prefix="repro-runner-selftest-") as tmp:
+        ckpt = Path(tmp) / "run"
+        partial = generate_dataset_run(
+            topology, _NUM_SAMPLES, seed=_SEED, config=_CONFIG, workers=2,
+            runner=RunnerConfig(max_retries=1, on_exhausted="skip"),
+            checkpoint_dir=ckpt,
+            inject_failures={4: 99},  # task 4 exhausts its retries
+        )
+        _check(partial.missing == (4,), f"expected task 4 missing, got {partial.missing}")
+        _check(
+            len(partial.samples) == _NUM_SAMPLES - 1,
+            "partial run did not complete the other tasks",
+        )
+        _check((ckpt / "failures.jsonl").exists(), "failures were not persisted")
+
+        resumed = generate_dataset_run(
+            topology, _NUM_SAMPLES, seed=_SEED, config=_CONFIG, workers=2,
+            checkpoint_dir=ckpt, resume=True,
+        )
+        _check(resumed.missing == (), "resume left tasks missing")
+        _check(
+            resumed.metrics.extras["from_checkpoint"] == _NUM_SAMPLES - 1,
+            "resume regenerated already-completed scenarios",
+        )
+        _check(
+            resumed.metrics.total_tasks == 1,
+            f"resume should run exactly 1 task, ran {resumed.metrics.total_tasks}",
+        )
+        _check(
+            _same_samples(resumed.samples, baseline.samples),
+            "resumed run is not bitwise identical to the sequential baseline",
+        )
+
+    print("[selftest] OK: retry, failure records, checkpoint resume all verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Datatypes of the resilient parallel runner.
+
+Everything here is a plain (frozen where possible) dataclass so runs are
+easy to log, serialize into checkpoint manifests, and assert on in tests:
+
+* :class:`Task` — one unit of work with its deterministic base seed;
+* :class:`TaskFailure` — a structured record of one failed attempt
+  (exception, timeout, or worker crash) instead of a lost traceback;
+* :class:`RunnerConfig` — pool sizing, multiprocessing start method,
+  per-task timeout and retry budget;
+* :class:`ProgressEvent` — what the runner reports to progress callbacks;
+* :class:`RunMetrics` / :class:`RunResult` — per-run accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import RunnerError
+
+__all__ = [
+    "Task",
+    "TaskFailure",
+    "RunnerConfig",
+    "ProgressEvent",
+    "RunMetrics",
+    "RunResult",
+]
+
+#: Failure kinds recorded by the runner.
+FAILURE_KINDS = ("exception", "timeout", "crash")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work.
+
+    Attributes:
+        index: Stable position of the task in the run (results are returned
+            in index order regardless of completion order).
+        seed: Base seed for attempt 0; retries derive fresh seeds
+            deterministically from ``(seed, attempt)`` so a sequential and a
+            parallel run retry identically.
+        payload: Picklable task input handed to the worker callable.
+    """
+
+    index: int
+    seed: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one failed attempt at a task.
+
+    Attributes:
+        index: Task index the failure belongs to.
+        attempt: Zero-based attempt number that failed.
+        seed: Seed the failed attempt ran with.
+        kind: ``"exception"`` (worker raised), ``"timeout"`` (exceeded
+            ``RunnerConfig.task_timeout`` and was terminated) or ``"crash"``
+            (worker process died without reporting a result).
+        error_type: Exception class name (or ``"TimeoutError"`` /
+            ``"WorkerCrash"``).
+        message: Human-readable error description.
+        elapsed: Seconds the attempt ran before failing.
+    """
+
+    index: int
+    attempt: int
+    seed: int
+    kind: str
+    error_type: str
+    message: str
+    elapsed: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (stored in checkpoint ``failures.jsonl``)."""
+        return {
+            "index": self.index,
+            "attempt": self.attempt,
+            "seed": self.seed,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "elapsed": self.elapsed,
+        }
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs of a :class:`~repro.runner.ParallelRunner`.
+
+    Attributes:
+        workers: Worker processes; 1 runs tasks inline (no subprocesses),
+            with identical seeding/retry behavior to a parallel run.
+        mp_context: Multiprocessing start method — ``"auto"`` picks ``fork``
+            where available (fast) and falls back to ``spawn`` elsewhere
+            (macOS/Windows safe); ``"fork"`` / ``"spawn"`` /
+            ``"forkserver"`` force one.  Workers and payloads must be
+            picklable top-level objects so every method works.
+        task_timeout: Seconds one attempt may run before its worker process
+            is terminated and the attempt recorded as a ``"timeout"``
+            failure; ``None`` disables.  Not enforceable on the inline
+            (``workers=1``) path.
+        max_retries: Extra attempts after the first failure of a task; each
+            retry draws a fresh deterministic seed.
+        on_exhausted: ``"raise"`` aborts the run with
+            :class:`~repro.errors.RunnerError` once any task exhausts its
+            retry budget; ``"skip"`` records the failures, leaves ``None``
+            in the results, and keeps going.
+        poll_interval: Parent-loop polling granularity in seconds.
+        crash_grace: Seconds to wait for a dead worker's queued result
+            before declaring the attempt a crash.
+    """
+
+    workers: int = 1
+    mp_context: str = "auto"
+    task_timeout: float | None = None
+    max_retries: int = 2
+    on_exhausted: str = "raise"
+    poll_interval: float = 0.05
+    crash_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise RunnerError(f"workers must be >= 1, got {self.workers}")
+        if self.mp_context not in ("auto", "fork", "spawn", "forkserver"):
+            raise RunnerError(f"unknown mp_context {self.mp_context!r}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise RunnerError(f"task_timeout must be positive, got {self.task_timeout}")
+        if self.max_retries < 0:
+            raise RunnerError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.on_exhausted not in ("raise", "skip"):
+            raise RunnerError(f"on_exhausted must be 'raise' or 'skip', got {self.on_exhausted!r}")
+        if self.poll_interval <= 0:
+            raise RunnerError(f"poll_interval must be positive, got {self.poll_interval}")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One runner life-cycle notification delivered to ``on_event``.
+
+    ``kind`` is one of ``"start"`` (attempt launched), ``"done"`` (task
+    completed), ``"retry"`` (attempt failed, another is scheduled),
+    ``"failed"`` (task exhausted its retry budget).  ``completed``/``total``
+    give overall run progress at emission time.
+    """
+
+    kind: str
+    index: int
+    attempt: int
+    completed: int
+    total: int
+    elapsed: float = 0.0
+    message: str = ""
+
+
+@dataclass
+class RunMetrics:
+    """Accounting for one runner invocation.
+
+    ``worker_seconds`` sums the wall time of every attempt (successful or
+    not) as measured by the parent, so ``utilization`` compares it against
+    the pool's total capacity ``wall_time * workers``.  ``extras`` carries
+    domain counters (e.g. simulated events) attached by callers.
+    """
+
+    total_tasks: int = 0
+    completed: int = 0
+    exhausted: int = 0
+    retries: int = 0
+    failures: int = 0
+    wall_time: float = 0.0
+    worker_seconds: float = 0.0
+    workers: int = 1
+    mp_context: str = "inline"
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's capacity spent inside workers."""
+        capacity = self.wall_time * self.workers
+        return self.worker_seconds / capacity if capacity > 0 else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (used by the CLI)."""
+        lines = [
+            f"tasks      {self.completed}/{self.total_tasks} completed"
+            + (f", {self.exhausted} exhausted" if self.exhausted else ""),
+            f"failures   {self.failures} attempts failed, {self.retries} retried",
+            f"wall time  {self.wall_time:.2f}s  ({self.workers} worker(s), "
+            f"{self.mp_context}, {self.utilization:.0%} utilization)",
+        ]
+        for key, value in sorted(self.extras.items()):
+            text = f"{value:,}" if isinstance(value, int) else str(value)
+            lines.append(f"{key:<10s} {text}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`ParallelRunner.run`.
+
+    Attributes:
+        values: Per-task results in task-index order; ``None`` where a task
+            exhausted its retries under ``on_exhausted="skip"``.
+        failures: Every failed attempt, in the order they were observed.
+        exhausted: Indexes of tasks that never succeeded.
+        metrics: Run accounting.
+    """
+
+    values: list
+    failures: list[TaskFailure]
+    exhausted: list[int]
+    metrics: RunMetrics

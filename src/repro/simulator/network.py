@@ -150,6 +150,9 @@ class NetworkSimulator:
                 link,
                 buffer_packets=cfg.buffer_packets,
                 priority_bands=cfg.priority_bands,
+                # Busy time is measured over the generation window only, so
+                # drain-phase service cannot push utilization past 1.0.
+                horizon=cfg.duration,
             )
             for link in self.topology.links
         ]
@@ -165,7 +168,13 @@ class NetworkSimulator:
             )
             for i in range(len(flows))
         ]
+        # Two sets of per-flow counters with different semantics:
+        # *_total covers every packet (warmup included) and sums exactly to
+        # the run-level conservation counters; ``flow_drops`` counts only
+        # recorded (post-warmup) packets and feeds the loss-rate labels.
         flow_drops = [0] * len(flows)
+        flow_drops_total = [0] * len(flows)
+        flow_delivered_total = [0] * len(flows)
 
         events = EventQueue()
         for i, it in enumerate(arrival_iters):
@@ -205,6 +214,7 @@ class NetworkSimulator:
                         events.push(done_at, ("dep", link_id))
                 else:
                     dropped += 1
+                    flow_drops_total[packet.flow] += 1
                     if packet.record:
                         flow_drops[packet.flow] += 1
 
@@ -215,6 +225,7 @@ class NetworkSimulator:
                 arrive_at = now + links[link_id].propagation_delay
                 if packet.advance():
                     delivered += 1
+                    flow_delivered_total[packet.flow] += 1
                     if packet.record:
                         accumulators[packet.flow].add(arrive_at - packet.created_at)
                 else:
@@ -236,6 +247,8 @@ class NetworkSimulator:
                 dst=d,
                 delivered=acc.count,
                 dropped=flow_drops[i],
+                delivered_total=flow_delivered_total[i],
+                dropped_total=flow_drops_total[i],
                 mean_delay=acc.mean,
                 jitter=acc.variance,
                 min_delay=acc.min_delay if acc.count else float("nan"),

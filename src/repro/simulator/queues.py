@@ -26,18 +26,33 @@ class LinkQueue:
     """
 
     def __init__(
-        self, link: Link, buffer_packets: int = 64, priority_bands: int = 1
+        self,
+        link: Link,
+        buffer_packets: int = 64,
+        priority_bands: int = 1,
+        horizon: float | None = None,
     ) -> None:
         if buffer_packets < 1:
             raise SimulationError(f"buffer must hold at least 1 packet, got {buffer_packets}")
         if priority_bands < 1:
             raise SimulationError(f"need at least 1 priority band, got {priority_bands}")
+        if horizon is not None and horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
         self.link = link
         self.buffer_packets = buffer_packets
         self.priority_bands = priority_bands
+        #: Measurement horizon for ``busy_time``: transmission time is only
+        #: accrued inside ``[0, horizon]``.  The simulator keeps serving
+        #: queued packets after the generation window closes (the drain
+        #: phase), and without the horizon that extra busy time inflated
+        #: utilization past 1.0 on saturated links.  ``None`` accrues
+        #: everything (standalone/unit use).
+        self.horizon = horizon
         self._bands: list[deque[Packet]] = [deque() for _ in range(priority_bands)]
         self._in_service: Packet | None = None
-        # Counters for utilization / occupancy statistics.
+        # Counters for utilization / occupancy statistics.  ``busy_time`` is
+        # horizon-clipped (see above); the throughput counters below cover
+        # the whole run including the drain phase.
         self.busy_time = 0.0
         self.bits_sent = 0.0
         self.packets_sent = 0
@@ -96,12 +111,22 @@ class LinkQueue:
         return packet, now + service_time
 
     def finish_service(self, now: float) -> Packet:
-        """Complete the in-flight transmission and update counters."""
+        """Complete the in-flight transmission and update counters.
+
+        ``busy_time`` accrues only the part of the transmission that falls
+        inside the measurement horizon, so drain-phase service (after the
+        generation window) never biases utilization.
+        """
         if self._in_service is None:
             raise SimulationError(f"link {self.link.id} finished service while idle")
         packet = self._in_service
         self._in_service = None
-        self.busy_time += packet.size_bits / self.link.capacity
+        service_time = packet.size_bits / self.link.capacity
+        if self.horizon is None:
+            self.busy_time += service_time
+        else:
+            started = now - service_time
+            self.busy_time += max(0.0, min(now, self.horizon) - max(started, 0.0))
         self.bits_sent += packet.size_bits
         self.packets_sent += 1
         return packet
@@ -110,7 +135,14 @@ class LinkQueue:
         return any(self._bands)
 
     def utilization(self, duration: float) -> float:
-        """Fraction of ``duration`` the transmitter spent sending."""
+        """Fraction of ``duration`` the transmitter spent sending.
+
+        No clamping: when ``horizon == duration`` the ratio is structurally
+        <= 1 (a serial transmitter cannot be busy longer than the window it
+        is measured over), and for horizon-less standalone queues a ratio
+        above 1 is a real signal of measuring past the window — silently
+        clamping it used to hide saturated-link accounting bugs.
+        """
         if duration <= 0:
             raise SimulationError(f"duration must be positive, got {duration}")
-        return min(1.0, self.busy_time / duration)
+        return self.busy_time / duration

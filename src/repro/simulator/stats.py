@@ -73,6 +73,14 @@ class FlowAccumulator:
 class FlowStats:
     """Final per-flow delivery statistics.
 
+    Warmup semantics: ``delivered`` and ``dropped`` count *recorded*
+    packets only — those created at or after the warmup cutoff — and feed
+    the delay/jitter/loss labels.  ``delivered_total`` and ``dropped_total``
+    count every packet of the flow including the warmup transient; they sum
+    exactly to the run-level :class:`SimulationResult` conservation
+    counters (``Σ delivered_total == result.delivered``,
+    ``Σ dropped_total == result.dropped``).
+
     ``p50/p90/p99`` are reservoir estimates, NaN unless the simulation ran
     with ``delay_quantiles=True``.
     """
@@ -85,12 +93,15 @@ class FlowStats:
     jitter: float  # delay variance
     min_delay: float
     max_delay: float
+    delivered_total: int = 0
+    dropped_total: int = 0
     p50: float = float("nan")
     p90: float = float("nan")
     p99: float = float("nan")
 
     @property
     def loss_rate(self) -> float:
+        """Measurement-window (post-warmup) loss fraction of this flow."""
         total = self.delivered + self.dropped
         return self.dropped / total if total else 0.0
 
@@ -112,8 +123,13 @@ class SimulationResult:
 
     ``flows`` maps (src, dst) to :class:`FlowStats` for every pair with
     positive demand; ``links`` is indexed by link id.  The global counters
-    satisfy ``generated == delivered + dropped + in_flight`` (checked by the
-    simulator before returning).
+    cover *every* generated packet, warmup included, and satisfy both
+    ``generated == delivered + dropped + in_flight`` (checked by the
+    simulator before returning) and
+    ``delivered == Σ flows[p].delivered_total`` /
+    ``dropped == Σ flows[p].dropped_total``.  Per-flow ``delivered`` /
+    ``dropped`` (without ``_total``) are restricted to the post-warmup
+    measurement window — see :class:`FlowStats`.
     """
 
     duration: float

@@ -72,6 +72,7 @@ class Trainer:
         )
         self._input_cache = InputCache()
         self._engine: InferenceEngine | None = None
+        self._engine_config: tuple | None = None
 
     # ------------------------------------------------------------------
     def _prepare(self, sample: Sample) -> tuple[ModelInput, np.ndarray]:
@@ -204,10 +205,22 @@ class Trainer:
 
         The engine builds inputs through :meth:`_prepare`, so anything already
         prepared for training is served from the same content-keyed cache.
+
+        The cached engine is invalidated whenever any piece of its
+        configuration changes — the scaler, ``include_load``, the model
+        object, or the model's hyperparameters — not just the scaler
+        identity; a stale engine would keep serving inputs built under the
+        old configuration.
         """
         if self.scaler is None:
             raise ModelError("scaler not set; call fit() or pass one explicitly")
-        if self._engine is None or self._engine.scaler is not self.scaler:
+        config = (
+            id(self.model),
+            self.model.hparams,
+            id(self.scaler),
+            self.include_load,
+        )
+        if self._engine is None or self._engine_config != config:
             self._engine = InferenceEngine(
                 self.model,
                 self.scaler,
@@ -215,6 +228,7 @@ class Trainer:
                 batch_size=batch_size,
                 builder=lambda sample: self._prepare(sample)[0],
             )
+            self._engine_config = config
         self._engine.batch_size = batch_size
         return self._engine
 
@@ -228,8 +242,12 @@ class Trainer:
 
         Returns:
             An :class:`~repro.results.EvalResult`; ``jitter`` is present only
-            when the model has a second target.  Dict-style access
-            (``result["delay"]["mre"]``) keeps working as a deprecation shim.
+            when the model has a second target AND at least one evaluated
+            pair has a positive ground-truth jitter (the zero-jitter filter
+            can legitimately leave nothing to score, e.g. on deterministic
+            traffic — ``jitter`` is ``None`` then, not a crash).  Dict-style
+            access (``result["delay"]["mre"]``) keeps working as a
+            deprecation shim.
         """
         if not samples:
             raise ModelError("cannot evaluate an empty sample list")
@@ -245,11 +263,12 @@ class Trainer:
                 true_jitter.append(sample.jitter[keep])
         jitter = None
         if pred_jitter:
-            jitter = Metrics.from_dict(
-                regression_summary(
-                    np.concatenate(pred_jitter), np.concatenate(true_jitter)
+            pooled_pred = np.concatenate(pred_jitter)
+            pooled_true = np.concatenate(true_jitter)
+            if pooled_pred.size:
+                jitter = Metrics.from_dict(
+                    regression_summary(pooled_pred, pooled_true)
                 )
-            )
         return EvalResult(
             delay=Metrics.from_dict(
                 regression_summary(

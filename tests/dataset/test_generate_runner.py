@@ -1,0 +1,132 @@
+"""Resilience/determinism tests for runner-driven dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    GenerationConfig,
+    InjectedFailure,
+    generate_dataset_run,
+)
+from repro.errors import RunnerError
+from repro.runner import RunnerConfig
+
+#: Very short simulations — these tests exercise orchestration, not the DES.
+QUICK = GenerationConfig(
+    target_packets_per_pair=25.0,
+    min_delivered=2,
+    intensity_range=(0.3, 0.5),
+)
+
+
+def assert_samples_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.pairs == y.pairs
+        np.testing.assert_array_equal(x.delay, y.delay)
+        np.testing.assert_array_equal(x.jitter, y.jitter)
+        np.testing.assert_array_equal(x.loss_rate, y.loss_rate)
+
+
+class TestDeterminism:
+    def test_workers_4_bitwise_identical_to_sequential(self, tiny_topology):
+        sequential = generate_dataset_run(tiny_topology, 6, seed=1302, config=QUICK)
+        parallel = generate_dataset_run(
+            tiny_topology, 6, seed=1302, config=QUICK, workers=4
+        )
+        assert_samples_identical(sequential.samples, parallel.samples)
+        assert parallel.metrics.completed == 6
+        assert parallel.metrics.workers == 4
+
+    def test_metrics_extras_populated(self, tiny_topology):
+        run = generate_dataset_run(tiny_topology, 2, seed=3, config=QUICK)
+        assert run.metrics.extras["events_simulated"] > 0
+        assert run.metrics.extras["from_checkpoint"] == 0
+        assert run.metrics.wall_time > 0
+        assert run.missing == ()
+
+
+class TestFaultInjection:
+    def test_injected_failure_is_retried_to_success(self, tiny_topology):
+        baseline = generate_dataset_run(tiny_topology, 4, seed=9, config=QUICK)
+        run = generate_dataset_run(
+            tiny_topology, 4, seed=9, config=QUICK, workers=2,
+            inject_failures={1: 1},
+        )
+        # The retry draws a fresh deterministic seed for task 1; all other
+        # tasks are untouched by the injected failure.
+        assert len(run.samples) == 4
+        assert run.metrics.retries >= 1
+        assert any(f.error_type == "InjectedFailure" for f in run.failures)
+        for i in (0, 2, 3):
+            assert run.samples[i].pairs == baseline.samples[i].pairs
+            np.testing.assert_array_equal(
+                run.samples[i].delay, baseline.samples[i].delay
+            )
+
+    def test_exhausted_raises_by_default(self, tiny_topology):
+        with pytest.raises(RunnerError, match="failed all"):
+            generate_dataset_run(
+                tiny_topology, 2, seed=9, config=QUICK,
+                runner=RunnerConfig(max_retries=1),
+                inject_failures={0: 99},
+            )
+
+    def test_injected_failure_type(self, tiny_topology):
+        run = generate_dataset_run(
+            tiny_topology, 1, seed=9, config=QUICK, inject_failures={0: 1}
+        )
+        assert isinstance(run.failures[0].message, str)
+        assert run.failures[0].error_type == InjectedFailure.__name__
+
+
+class TestCheckpointResume:
+    def test_resume_completes_bitwise_identically(self, tiny_topology, tmp_path):
+        ckpt = tmp_path / "run"
+        baseline = generate_dataset_run(tiny_topology, 5, seed=21, config=QUICK)
+
+        # First run: task 3 always fails and is skipped, like a run that was
+        # interrupted with work outstanding.
+        partial = generate_dataset_run(
+            tiny_topology, 5, seed=21, config=QUICK,
+            checkpoint_dir=ckpt,
+            runner=RunnerConfig(max_retries=0, on_exhausted="skip"),
+            inject_failures={3: 99},
+        )
+        assert partial.missing == (3,)
+        assert len(partial.samples) == 4
+        assert (ckpt / "failures.jsonl").exists()
+
+        # Resume: only the missing task runs; output matches a clean run.
+        resumed = generate_dataset_run(
+            tiny_topology, 5, seed=21, config=QUICK,
+            checkpoint_dir=ckpt, resume=True,
+        )
+        assert resumed.missing == ()
+        assert resumed.metrics.extras["from_checkpoint"] == 4
+        assert resumed.metrics.total_tasks == 1
+        assert_samples_identical(resumed.samples, baseline.samples)
+
+    def test_resume_with_different_seed_raises(self, tiny_topology, tmp_path):
+        ckpt = tmp_path / "run"
+        generate_dataset_run(
+            tiny_topology, 2, seed=1, config=QUICK, checkpoint_dir=ckpt
+        )
+        with pytest.raises(RunnerError, match="fingerprint"):
+            generate_dataset_run(
+                tiny_topology, 2, seed=2, config=QUICK,
+                checkpoint_dir=ckpt, resume=True,
+            )
+
+    def test_fresh_run_overwrites_checkpoint(self, tiny_topology, tmp_path):
+        ckpt = tmp_path / "run"
+        generate_dataset_run(
+            tiny_topology, 2, seed=1, config=QUICK, checkpoint_dir=ckpt
+        )
+        # Same directory, resume=False: previous shards are discarded and the
+        # run regenerates everything (different seed is fine).
+        run = generate_dataset_run(
+            tiny_topology, 2, seed=2, config=QUICK, checkpoint_dir=ckpt
+        )
+        assert run.metrics.extras["from_checkpoint"] == 0
+        assert len(run.samples) == 2

@@ -1,0 +1,110 @@
+"""Tests for checkpoint shard/manifest persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import CheckpointStore, TaskFailure
+
+FP = {"kind": "test", "seeds": (1, 2, 3)}
+
+
+def make_store(tmp_path, fingerprint=FP, **kwargs):
+    return CheckpointStore(tmp_path / "ckpt", fingerprint=fingerprint, **kwargs)
+
+
+class TestCheckpointStore:
+    def test_fresh_open_is_empty(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.open(num_tasks=3, resume=False) == {}
+        assert store.manifest_path.exists()
+
+    def test_record_and_resume(self, tmp_path):
+        store = make_store(tmp_path)
+        store.open(num_tasks=3, resume=False)
+        store.record(0, seed=11, attempt=0, value={"a": 1})
+        store.record(2, seed=13, attempt=1, value={"a": 3})
+
+        completed = make_store(tmp_path).open(num_tasks=3, resume=True)
+        assert completed == {0: {"a": 1}, 2: {"a": 3}}
+
+    def test_encode_decode_round_trip(self, tmp_path):
+        store = make_store(
+            tmp_path,
+            encode=lambda v: {"wrapped": v},
+            decode=lambda d: d["wrapped"],
+        )
+        store.open(num_tasks=1, resume=False)
+        store.record(0, seed=1, attempt=0, value=41)
+        resumed = make_store(
+            tmp_path,
+            encode=lambda v: {"wrapped": v},
+            decode=lambda d: d["wrapped"],
+        )
+        assert resumed.open(num_tasks=1, resume=True) == {0: 41}
+
+    def test_fresh_open_discards_previous_run(self, tmp_path):
+        store = make_store(tmp_path)
+        store.open(num_tasks=2, resume=False)
+        store.record(0, seed=1, attempt=0, value="old")
+        store.record_failure(
+            TaskFailure(index=1, attempt=0, seed=2, kind="exception",
+                        error_type="ValueError", message="boom")
+        )
+
+        fresh = make_store(tmp_path)
+        assert fresh.open(num_tasks=2, resume=False) == {}
+        assert fresh.load_failures() == []
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        make_store(tmp_path).open(num_tasks=2, resume=False)
+        other = make_store(tmp_path, fingerprint={"kind": "test", "seeds": (9,)})
+        with pytest.raises(RunnerError, match="fingerprint mismatch"):
+            other.open(num_tasks=2, resume=True)
+
+    def test_task_count_mismatch_raises(self, tmp_path):
+        make_store(tmp_path).open(num_tasks=2, resume=False)
+        with pytest.raises(RunnerError, match="tasks"):
+            make_store(tmp_path).open(num_tasks=5, resume=True)
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        store.open(num_tasks=1, resume=False)
+        store.manifest_path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(RunnerError, match="corrupt"):
+            make_store(tmp_path).open(num_tasks=1, resume=True)
+
+    def test_corrupt_shard_reruns_that_task_only(self, tmp_path):
+        store = make_store(tmp_path)
+        store.open(num_tasks=2, resume=False)
+        store.record(0, seed=1, attempt=0, value="keep")
+        store.record(1, seed=2, attempt=0, value="lost")
+        (store.shards_dir / "shard-000001.json").write_text("garbage", encoding="utf-8")
+
+        completed = make_store(tmp_path).open(num_tasks=2, resume=True)
+        assert completed == {0: "keep"}
+        assert not (store.shards_dir / "shard-000001.json").exists()
+
+    def test_shard_write_is_atomic(self, tmp_path):
+        store = make_store(tmp_path)
+        store.open(num_tasks=1, resume=False)
+        store.record(0, seed=1, attempt=0, value="v")
+        leftovers = list(store.shards_dir.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_failures_append_as_jsonl(self, tmp_path):
+        store = make_store(tmp_path)
+        store.open(num_tasks=1, resume=False)
+        for attempt in range(2):
+            store.record_failure(
+                TaskFailure(index=0, attempt=attempt, seed=5, kind="timeout",
+                            error_type="TimeoutError", message="too slow",
+                            elapsed=1.5)
+            )
+        records = store.load_failures()
+        assert [r["attempt"] for r in records] == [0, 1]
+        assert records[0]["kind"] == "timeout"
+        raw = store.failures_path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(raw) == 2
+        json.loads(raw[0])

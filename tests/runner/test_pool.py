@@ -1,0 +1,206 @@
+"""Tests for the resilient parallel runner pool."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import (
+    ParallelRunner,
+    RunnerConfig,
+    Task,
+    attempt_seed,
+    resolve_context,
+)
+
+
+# ----------------------------------------------------------------------
+# Workers must live at module level so they pickle under every start
+# method (fork, spawn, forkserver).
+# ----------------------------------------------------------------------
+def square_worker(payload, seed, attempt):
+    return payload * payload
+
+
+def seed_worker(payload, seed, attempt):
+    return (payload, seed, attempt)
+
+
+def flaky_worker(payload, seed, attempt):
+    """Fails the first ``payload`` attempts, then succeeds."""
+    if attempt < payload:
+        raise ValueError(f"flaky attempt {attempt}")
+    return ("ok", attempt)
+
+
+def sleepy_worker(payload, seed, attempt):
+    time.sleep(payload)
+    return "slept"
+
+
+def crash_worker(payload, seed, attempt):
+    os._exit(7)  # die without reporting — simulates a segfault
+
+
+def tasks_for(payloads, seed0=100):
+    return [Task(index=i, seed=seed0 + i, payload=p) for i, p in enumerate(payloads)]
+
+
+class TestAttemptSeed:
+    def test_attempt_zero_is_base_seed(self):
+        assert attempt_seed(12345, 0) == 12345
+
+    def test_retries_deterministic(self):
+        assert attempt_seed(12345, 1) == attempt_seed(12345, 1)
+        assert attempt_seed(12345, 1) != attempt_seed(12345, 2)
+        assert attempt_seed(12345, 1) != attempt_seed(54321, 1)
+
+
+class TestRunnerConfig:
+    def test_defaults_valid(self):
+        RunnerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"mp_context": "thread"},
+            {"task_timeout": 0.0},
+            {"max_retries": -1},
+            {"on_exhausted": "ignore"},
+            {"poll_interval": 0.0},
+        ],
+    )
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(RunnerError):
+            RunnerConfig(**kwargs)
+
+    def test_resolve_auto(self):
+        assert resolve_context("auto").get_start_method() in ("fork", "spawn")
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(RunnerError):
+            resolve_context("mystery")
+
+
+class TestInlinePath:
+    def test_values_in_task_order(self):
+        result = ParallelRunner(square_worker).run(tasks_for([3, 1, 4, 1, 5]))
+        assert result.values == [9, 1, 16, 1, 25]
+        assert result.metrics.completed == 5
+        assert result.metrics.mp_context == "inline"
+
+    def test_attempt_zero_uses_base_seed(self):
+        result = ParallelRunner(seed_worker).run([Task(index=0, seed=42, payload="p")])
+        assert result.values == [("p", 42, 0)]
+
+    def test_retry_until_success(self):
+        result = ParallelRunner(
+            flaky_worker, RunnerConfig(max_retries=2)
+        ).run(tasks_for([2]))
+        assert result.values == [("ok", 2)]
+        assert result.metrics.retries == 2
+        assert result.metrics.failures == 2
+        assert [f.attempt for f in result.failures] == [0, 1]
+        assert all(f.kind == "exception" for f in result.failures)
+        assert all(f.error_type == "ValueError" for f in result.failures)
+
+    def test_exhausted_raises_by_default(self):
+        with pytest.raises(RunnerError, match="failed all 2 attempt"):
+            ParallelRunner(
+                flaky_worker, RunnerConfig(max_retries=1)
+            ).run(tasks_for([99]))
+
+    def test_exhausted_skip_leaves_none(self):
+        result = ParallelRunner(
+            flaky_worker, RunnerConfig(max_retries=1, on_exhausted="skip")
+        ).run(tasks_for([99, 0]))
+        assert result.values == [None, ("ok", 0)]
+        assert result.exhausted == [0]
+        assert result.metrics.exhausted == 1
+
+    def test_duplicate_indexes_raise(self):
+        with pytest.raises(RunnerError, match="unique"):
+            ParallelRunner(square_worker).run(
+                [Task(index=0, seed=1), Task(index=0, seed=2)]
+            )
+
+    def test_progress_events(self):
+        events = []
+        ParallelRunner(flaky_worker, RunnerConfig(max_retries=1)).run(
+            tasks_for([1, 0]), on_event=events.append
+        )
+        kinds = [(e.kind, e.index) for e in events]
+        assert kinds == [
+            ("start", 0), ("retry", 0), ("start", 0), ("done", 0),
+            ("start", 1), ("done", 1),
+        ]
+        assert events[-1].completed == 2
+        assert events[-1].total == 2
+
+    def test_on_result_hook_sees_successes(self):
+        seen = []
+        ParallelRunner(square_worker).run(
+            tasks_for([2, 3]),
+            on_result=lambda index, seed, attempt, value: seen.append(
+                (index, attempt, value)
+            ),
+        )
+        assert seen == [(0, 0, 4), (1, 0, 9)]
+
+    def test_on_failure_hook_fires_before_abort(self):
+        seen = []
+        with pytest.raises(RunnerError):
+            ParallelRunner(flaky_worker, RunnerConfig(max_retries=0)).run(
+                tasks_for([9]), on_failure=seen.append
+            )
+        assert len(seen) == 1
+        assert seen[0].kind == "exception"
+
+
+class TestParallelPath:
+    def test_matches_inline(self):
+        tasks = tasks_for([2, 3, 4, 5, 6])
+        inline = ParallelRunner(seed_worker, RunnerConfig(workers=1)).run(tasks)
+        parallel = ParallelRunner(seed_worker, RunnerConfig(workers=3)).run(tasks)
+        assert parallel.values == inline.values
+        assert parallel.metrics.mp_context in ("fork", "spawn", "forkserver")
+
+    def test_retry_in_parallel(self):
+        result = ParallelRunner(
+            flaky_worker, RunnerConfig(workers=2, max_retries=2)
+        ).run(tasks_for([1, 0, 2]))
+        assert result.values == [("ok", 1), ("ok", 0), ("ok", 2)]
+        assert result.metrics.retries == 3
+
+    def test_worker_crash_is_recorded_and_exhausts(self):
+        result = ParallelRunner(
+            crash_worker,
+            RunnerConfig(workers=2, max_retries=1, on_exhausted="skip",
+                         crash_grace=0.2),
+        ).run(tasks_for(["x"]))
+        assert result.values == [None]
+        assert [f.kind for f in result.failures] == ["crash", "crash"]
+        assert "exit code 7" in result.failures[0].message
+
+    def test_timeout_kills_attempt(self):
+        result = ParallelRunner(
+            sleepy_worker,
+            RunnerConfig(workers=2, task_timeout=0.3, max_retries=0,
+                         on_exhausted="skip"),
+        ).run(tasks_for([30.0]))
+        assert result.values == [None]
+        assert result.failures[0].kind == "timeout"
+        assert result.metrics.wall_time < 10.0
+
+    def test_metrics_accounting(self):
+        result = ParallelRunner(
+            square_worker, RunnerConfig(workers=2)
+        ).run(tasks_for([1, 2, 3, 4]))
+        m = result.metrics
+        assert m.total_tasks == 4
+        assert m.completed == 4
+        assert m.failures == 0
+        assert m.wall_time > 0
+        assert 0.0 <= m.utilization <= 1.0

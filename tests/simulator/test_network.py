@@ -135,6 +135,19 @@ class TestAgainstTheory:
         res = simulate(topo, routing, tm, cfg)
         assert res.overall_loss_rate > 0.4
 
+    def test_saturated_link_utilization_at_most_one(self):
+        """Regression: drain-phase service used to accrue busy time past the
+        generation window, and a silent clamp hid the resulting > 1 ratio.
+        A saturated link must now report utilization <= 1 structurally."""
+        topo = two_node(1_000.0)
+        routing = RoutingScheme.shortest_path(topo)
+        tm = one_flow_tm(2, 0, 1, 3_000.0)  # 3x overload
+        cfg = SimulationConfig(duration=60.0, seed=0, buffer_packets=64)
+        res = simulate(topo, routing, tm, cfg)
+        util = res.links[topo.link_id(0, 1)].utilization
+        assert util <= 1.0
+        assert util == pytest.approx(1.0, abs=0.05)  # saturated, not clamped
+
     def test_light_load_delay_close_to_service_time(self):
         topo = two_node(10_000.0)
         routing = RoutingScheme.shortest_path(topo)
@@ -171,6 +184,29 @@ class TestMultiHop:
         some = next(iter(res.flows.values()))
         assert some.min_delay <= some.mean_delay <= some.max_delay
         assert some.jitter >= 0
+
+    def test_per_flow_totals_sum_to_run_counters(self):
+        """Drop/delivery accounting invariant: the run-level conservation
+        counters cover every packet (warmup included) and the per-flow
+        ``*_total`` counters partition them exactly; the plain per-flow
+        counters are the post-warmup subset feeding the labels."""
+        topo = nsfnet()
+        routing = RoutingScheme.shortest_path(topo)
+        tm = scale_to_utilization(
+            uniform_traffic(14, 1.0, seed=3), topo, routing, 0.95
+        )
+        cfg = SimulationConfig(duration=40.0, warmup=8.0, seed=3, buffer_packets=8)
+        res = simulate(topo, routing, tm, cfg)
+        assert res.dropped > 0  # near-saturation with tiny buffers
+        assert res.generated == res.delivered + res.dropped + res.in_flight
+        assert sum(f.delivered_total for f in res.flows.values()) == res.delivered
+        assert sum(f.dropped_total for f in res.flows.values()) == res.dropped
+        for flow in res.flows.values():
+            assert flow.delivered <= flow.delivered_total
+            assert flow.dropped <= flow.dropped_total
+        # Warmup packets are dropped too — the recorded counters must not
+        # see them, the totals must.
+        assert sum(f.dropped for f in res.flows.values()) < res.dropped
 
     @given(seed=st.integers(0, 1_000))
     @settings(max_examples=5, deadline=None)

@@ -7,8 +7,10 @@ from repro.simulator import LinkQueue, Packet
 from repro.topology import Link
 
 
-def make_queue(capacity=1000.0, buffer_packets=3) -> LinkQueue:
-    return LinkQueue(Link(0, 0, 1, capacity), buffer_packets=buffer_packets)
+def make_queue(capacity=1000.0, buffer_packets=3, horizon=None) -> LinkQueue:
+    return LinkQueue(
+        Link(0, 0, 1, capacity), buffer_packets=buffer_packets, horizon=horizon
+    )
 
 
 def make_packet(size=500.0) -> Packet:
@@ -85,3 +87,56 @@ class TestLinkQueue:
     def test_buffer_must_hold_one(self):
         with pytest.raises(SimulationError):
             make_queue(buffer_packets=0)
+
+
+class TestMeasurementHorizon:
+    """Busy time is clipped to [0, horizon] so drain-phase service — packets
+    still being serialized after the generation window closes — can never
+    push utilization past 1."""
+
+    def test_service_inside_horizon_counts_fully(self):
+        q = make_queue(capacity=1000.0, horizon=10.0)
+        q.try_enqueue(make_packet(size=1000.0))
+        q.start_service(0.0)
+        q.finish_service(1.0)
+        assert q.busy_time == pytest.approx(1.0)
+
+    def test_service_straddling_horizon_counts_partially(self):
+        q = make_queue(capacity=1000.0, horizon=1.0)
+        q.try_enqueue(make_packet(size=1000.0))
+        q.start_service(0.5)
+        q.finish_service(1.5)  # only [0.5, 1.0] lies inside the horizon
+        assert q.busy_time == pytest.approx(0.5)
+
+    def test_service_entirely_past_horizon_counts_nothing(self):
+        q = make_queue(capacity=1000.0, horizon=1.0)
+        q.try_enqueue(make_packet(size=1000.0))
+        q.start_service(2.0)
+        q.finish_service(3.0)
+        assert q.busy_time == 0.0
+
+    def test_saturated_horizon_utilization_never_exceeds_one(self):
+        """Back-to-back service past the window — the old accounting kept
+        accruing and relied on a silent clamp to hide utilization > 1."""
+        q = make_queue(capacity=1000.0, buffer_packets=10, horizon=3.0)
+        now = 0.0
+        for _ in range(5):  # 5 s of service against a 3 s window
+            q.try_enqueue(make_packet(size=1000.0))
+        for _ in range(5):
+            _, done = q.start_service(now)
+            q.finish_service(done)
+            now = done
+        assert q.utilization(3.0) == pytest.approx(1.0)
+
+    def test_no_horizon_utilization_unclamped(self):
+        """Without a horizon the ratio reports what was measured — a value
+        above 1 is a real signal, not something to clamp away."""
+        q = make_queue(capacity=1000.0)
+        q.try_enqueue(make_packet(size=2000.0))
+        q.start_service(0.0)
+        q.finish_service(2.0)
+        assert q.utilization(1.0) == pytest.approx(2.0)
+
+    def test_bad_horizon_raises(self):
+        with pytest.raises(SimulationError, match="horizon"):
+            make_queue(horizon=0.0)

@@ -128,3 +128,67 @@ class TestEvaluatePredict:
         trainer.fit(tiny_samples, epochs=2)
         metrics = trainer.evaluate(tiny_samples)
         assert "jitter" not in metrics
+
+    def test_evaluate_all_zero_jitter_returns_none(self, tiny_samples):
+        """Regression: the zero-jitter filter can leave nothing to pool
+        (deterministic traffic); evaluate must report jitter=None, not crash
+        on an empty concatenation."""
+        import dataclasses
+
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples, epochs=1)
+        flat = [
+            dataclasses.replace(s, jitter=np.zeros_like(s.jitter))
+            for s in tiny_samples
+        ]
+        result = trainer.evaluate(flat)
+        assert result.jitter is None
+        assert np.isfinite(result.delay.mre)
+
+
+class TestEngineReuse:
+    def test_engine_cached_when_config_unchanged(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        assert trainer.engine() is trainer.engine()
+
+    def test_engine_rebuilt_on_scaler_change(self, tiny_samples):
+        from repro.dataset import fit_scaler
+
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        first = trainer.engine()
+        trainer.scaler = fit_scaler(list(tiny_samples))
+        second = trainer.engine()
+        assert second is not first
+        assert second.scaler is trainer.scaler
+
+    def test_engine_rebuilt_on_include_load_change(self, tiny_samples):
+        """Regression: only the scaler identity used to be checked, so
+        flipping include_load kept serving an engine built for the old
+        feature layout."""
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        first = trainer.engine()
+        trainer.include_load = True
+        assert trainer.engine() is not first
+        trainer.include_load = False
+        rebuilt = trainer.engine()
+        assert rebuilt is not first  # stale engines are never resurrected
+
+    def test_engine_rebuilt_on_model_swap(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        first = trainer.engine()
+        trainer.model = RouteNet(TINY, seed=9)
+        second = trainer.engine()
+        assert second is not first
+        assert second.model is trainer.model
+
+    def test_engine_batch_size_updates_without_rebuild(self, tiny_samples):
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        first = trainer.engine(batch_size=8)
+        second = trainer.engine(batch_size=64)
+        assert second is first
+        assert second.batch_size == 64
