@@ -1,0 +1,77 @@
+"""Static correctness tooling: linter, shape checker, gradient audit.
+
+Three subsystems, one entry point (``python -m repro.analysis``):
+
+* :mod:`repro.analysis.lint` — repo-specific AST rules (RP001–RP007)
+  enforcing the library's conventions: seeded RNG only, no float
+  equality, no swallowed exceptions, dtype and tape-state hygiene,
+  virtual-time simulation.
+* :mod:`repro.analysis.shapes` — abstract interpretation of the RouteNet
+  forward graph with ``(shape, dtype)``-only tensors; proves broadcast
+  compatibility for a topology signature in milliseconds and reports the
+  exact op and operand shapes on mismatch.
+* :mod:`repro.analysis.gradcheck` / :mod:`repro.analysis.sanitize` —
+  finite-difference verification of every registered op's backward pass,
+  and a tape sanitizer that pinpoints the first op producing NaN/Inf
+  (``Trainer(..., sanitize=True)`` / ``repro train --sanitize``).
+"""
+
+from .gradcheck import (
+    GRADCHECK_SPECS,
+    GradSpec,
+    OpGradReport,
+    finite_difference_check,
+    format_gradcheck,
+    gradcheck_all,
+    gradcheck_op,
+)
+from .lint import (
+    RULES,
+    Violation,
+    format_violations,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .sanitize import NonFiniteError, sanitize_tape
+from .shapes import (
+    PAPER_SIGNATURE_NAMES,
+    ShapeCheckError,
+    ShapeReport,
+    ShapeTensor,
+    ShapeTrace,
+    TopologySignature,
+    abstract_graph,
+    check_model,
+    paper_signatures,
+)
+
+__all__ = [
+    # lint
+    "RULES",
+    "Violation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_violations",
+    # shapes
+    "PAPER_SIGNATURE_NAMES",
+    "ShapeCheckError",
+    "ShapeReport",
+    "ShapeTensor",
+    "ShapeTrace",
+    "TopologySignature",
+    "abstract_graph",
+    "check_model",
+    "paper_signatures",
+    # gradcheck / sanitize
+    "GRADCHECK_SPECS",
+    "GradSpec",
+    "OpGradReport",
+    "finite_difference_check",
+    "format_gradcheck",
+    "gradcheck_all",
+    "gradcheck_op",
+    "NonFiniteError",
+    "sanitize_tape",
+]

@@ -1,0 +1,141 @@
+"""``python -m repro.analysis`` — run the static correctness suite.
+
+Default run: lint ``src/`` with every rule, then shape-check the default
+RouteNet architecture against the paper's three topology signatures
+(NSFNET, Geant2, 50-node synthetic).  ``--gradcheck`` adds the
+finite-difference gradient audit (seconds, so opt-in here; CI runs it in
+the pytest matrix as well).
+
+``--strict`` makes any finding a non-zero exit, which is how CI gates
+merges; without it the tool only reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from ..core import HyperParams, RouteNet
+from ..errors import AnalysisError
+from .gradcheck import format_gradcheck, gradcheck_all
+from .lint import RULES, format_violations, lint_paths
+from .shapes import check_model, paper_signatures
+
+__all__ = ["main"]
+
+
+def _default_src_root() -> Path:
+    # <repo>/src/repro/analysis/__main__.py -> <repo>/src
+    return Path(__file__).resolve().parents[2]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo static checks: lint, shape-check, gradient audit.",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any violation or failed check (CI gate)",
+    )
+    parser.add_argument(
+        "--paths", nargs="*",
+        help="files/directories to lint (default: the installed src tree)",
+    )
+    parser.add_argument(
+        "--rules", help="comma-separated rule subset, e.g. RP001,RP004",
+    )
+    parser.add_argument(
+        "--no-lint", action="store_true", help="skip the AST linter",
+    )
+    parser.add_argument(
+        "--no-shapes", action="store_true",
+        help="skip the RouteNet shape check",
+    )
+    parser.add_argument(
+        "--gradcheck", action="store_true",
+        help="also run the finite-difference gradient audit of every op",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable output",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    problems = 0
+    payload: dict[str, object] = {}
+
+    if not args.no_lint:
+        roots = [Path(p) for p in args.paths] if args.paths else [_default_src_root()]
+        rules = (
+            [r.strip() for r in args.rules.split(",") if r.strip()]
+            if args.rules else None
+        )
+        unknown = set(rules or []) - RULES.keys()
+        if unknown:
+            print(f"error: unknown rule(s) {sorted(unknown)}", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        violations = lint_paths(roots, rules=rules)
+        elapsed = time.perf_counter() - started
+        problems += len(violations)
+        payload["lint"] = [v.__dict__ for v in violations]
+        if not args.as_json:
+            print(f"[lint] {len(violations)} violation(s) "
+                  f"({elapsed * 1000:.0f} ms)")
+            if violations:
+                print(format_violations(violations))
+
+    if not args.no_shapes:
+        model = RouteNet(HyperParams())
+        started = time.perf_counter()
+        reports = [
+            check_model(model, sig) for sig in paper_signatures().values()
+        ]
+        elapsed = time.perf_counter() - started
+        failures = [r for r in reports if not r.ok]
+        problems += len(failures)
+        payload["shapes"] = [r.__dict__ for r in reports]
+        if not args.as_json:
+            for report in reports:
+                print(report.format())
+            print(f"[shape-check] {len(reports)} signature(s) in "
+                  f"{elapsed * 1000:.0f} ms")
+
+    if args.gradcheck:
+        try:
+            reports = gradcheck_all()
+        except AnalysisError as exc:
+            print(f"[gradcheck] configuration error: {exc}", file=sys.stderr)
+            return 2
+        failed = [r for r in reports.values() if not r.ok]
+        problems += len(failed)
+        payload["gradcheck"] = {
+            name: report.__dict__ for name, report in reports.items()
+        }
+        if not args.as_json:
+            print(format_gradcheck(reports))
+
+    if args.as_json:
+        print(json.dumps(payload, indent=2, default=str))
+
+    if problems:
+        status = 1 if args.strict else 0
+        if not args.as_json:
+            print(f"{problems} problem(s) found"
+                  + ("" if args.strict else " (non-strict: exit 0)"))
+        return status
+    if not args.as_json:
+        print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,343 @@
+"""Finite-difference verification of the autodiff tape.
+
+Every op registered in :data:`repro.nn.ops.OP_REGISTRY` (plus the
+:class:`~repro.nn.Tensor` operator overloads) has a *spec* below: sample
+inputs chosen inside the op's smooth domain (away from kinks like
+``relu(0)`` or the Huber delta, away from ``log``'s pole) and a note of
+which arguments are differentiable.  :func:`gradcheck_all` compares the
+tape's backward pass against central finite differences at float64 and
+fails if any op drifts past ``1e-6`` relative error — the first line of
+defense against a silently wrong backward closure.
+
+The check reduces each op's output through a fixed random projection so a
+single scalar backward exercises every output element with distinct
+weights (a plain ``sum()`` would miss errors that cancel across elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..nn import ops
+from ..nn.tensor import Tensor
+from ..random import make_rng
+
+__all__ = [
+    "GradSpec",
+    "OpGradReport",
+    "GRADCHECK_SPECS",
+    "finite_difference_check",
+    "gradcheck_op",
+    "gradcheck_all",
+    "format_gradcheck",
+]
+
+DEFAULT_EPS = 1e-6
+DEFAULT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class GradSpec:
+    """How to drive one op through the finite-difference harness.
+
+    Attributes:
+        fn: Callable mapping differentiable Tensors -> output Tensor.  Any
+            non-differentiable arguments (indices, rates, rngs) are closed
+            over.
+        inputs: Factory returning the differentiable input arrays; values
+            must sit inside the op's smooth region.
+        label: Distinguishes multiple specs of one op (e.g. broadcast vs
+            aligned shapes).
+    """
+
+    fn: Callable[..., Tensor]
+    inputs: Callable[[], list[np.ndarray]]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class OpGradReport:
+    """Worst-case finite-difference agreement for one op."""
+
+    name: str
+    max_rel_error: float
+    specs_checked: int
+    ok: bool
+
+    def format(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        return (
+            f"  {self.name:<14s} {status:>6s}  max rel err "
+            f"{self.max_rel_error:.3e}  ({self.specs_checked} spec(s))"
+        )
+
+
+def _projection(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Fixed full-rank weighting of the output elements."""
+    return rng.uniform(0.5, 1.5, size=shape)
+
+
+def finite_difference_check(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    eps: float = DEFAULT_EPS,
+    seed: int = 7,
+) -> float:
+    """Max relative error between tape gradients and central differences.
+
+    Args:
+        fn: Maps ``len(inputs)`` Tensors to an output Tensor.
+        inputs: Float64 arrays; every one is treated as differentiable.
+        eps: Central-difference step.
+        seed: Seeds the output projection (fixed across evaluations).
+
+    Returns:
+        ``max |g_tape - g_fd| / max(1, |g_tape|, |g_fd|)`` over all input
+        elements.
+    """
+    arrays = [np.asarray(x, dtype=np.float64) for x in inputs]
+    weights_rng = make_rng(seed)
+
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    if not out.requires_grad:
+        raise AnalysisError(
+            f"no gradient can flow: output of {fn!r} is detached from its inputs"
+        )
+    weights = _projection(out.data.shape, weights_rng)
+
+    def scalar(*values: np.ndarray) -> float:
+        with_tensors = [Tensor(np.asarray(v, dtype=np.float64)) for v in values]
+        result = fn(*with_tensors)
+        return float((result.data * weights).sum())
+
+    (out * Tensor(weights)).sum().backward()
+
+    worst = 0.0
+    for i, (arr, tensor) in enumerate(zip(arrays, tensors)):
+        grad = tensor.grad
+        if grad is None:
+            raise AnalysisError(
+                f"no gradient reached differentiable input {i} of {fn!r}"
+            )
+        flat = arr.copy()
+        numeric = np.zeros_like(flat)
+        it = np.nditer(flat, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            bumped = [a.copy() for a in arrays]
+            bumped[i][idx] += eps
+            hi = scalar(*bumped)
+            bumped[i][idx] -= 2 * eps
+            lo = scalar(*bumped)
+            numeric[idx] = (hi - lo) / (2 * eps)
+            it.iternext()
+        denom = np.maximum(1.0, np.maximum(np.abs(grad), np.abs(numeric)))
+        worst = max(worst, float((np.abs(grad - numeric) / denom).max()))
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Specs.  Input values deliberately avoid non-smooth points: |x| >= 0.1
+# for relu/abs/leaky_relu, strictly positive for log/sqrt, clip/huber
+# operands away from their breakpoints.
+# ----------------------------------------------------------------------
+def _smooth(*shape: int, low: float = 0.2, high: float = 1.8, seed: int = 3,
+            signs: bool = False) -> np.ndarray:
+    rng = make_rng((97, seed, *shape))
+    values = rng.uniform(low, high, size=shape)
+    if signs:
+        values *= np.where(rng.random(shape) < 0.5, -1.0, 1.0)
+    return values
+
+
+_SEG_IDS = np.array([0, 2, 2, 1, -1, 0], dtype=np.intp)
+_GATHER_IDX = np.array([2, 0, 1, 1], dtype=np.intp)
+
+
+def _op_specs() -> dict[str, list[GradSpec]]:
+    return {
+        "exp": [GradSpec(ops.exp, lambda: [_smooth(3, 4, signs=True)])],
+        "log": [GradSpec(ops.log, lambda: [_smooth(3, 4)])],
+        "sqrt": [GradSpec(ops.sqrt, lambda: [_smooth(3, 4)])],
+        "sigmoid": [GradSpec(ops.sigmoid, lambda: [_smooth(3, 4, signs=True)])],
+        "tanh": [GradSpec(ops.tanh, lambda: [_smooth(3, 4, signs=True)])],
+        "relu": [GradSpec(ops.relu, lambda: [_smooth(3, 4, signs=True)])],
+        "leaky_relu": [
+            GradSpec(ops.leaky_relu, lambda: [_smooth(3, 4, signs=True)]),
+            GradSpec(
+                lambda x: ops.leaky_relu(x, alpha=0.2),
+                lambda: [_smooth(2, 5, signs=True)],
+                label="alpha=0.2",
+            ),
+        ],
+        "softplus": [GradSpec(ops.softplus, lambda: [_smooth(3, 4, signs=True)])],
+        "abs_": [GradSpec(ops.abs_, lambda: [_smooth(3, 4, signs=True)])],
+        "clip": [
+            # Interval chosen so no sample sits within ~0.05 of a boundary
+            # (smooth region on both sides of the clip).
+            GradSpec(
+                lambda x: ops.clip(x, -1.0, 1.0),
+                lambda: [_smooth(3, 4, low=0.3, high=0.9, signs=True)],
+                label="inside",
+            ),
+            GradSpec(
+                lambda x: ops.clip(x, -0.1, 0.1),
+                lambda: [_smooth(3, 4, low=0.3, high=0.9, signs=True)],
+                label="outside",
+            ),
+        ],
+        "where": [
+            GradSpec(
+                lambda a, b: ops.where(
+                    np.array([[True, False, True, False]] * 3), a, b
+                ),
+                lambda: [_smooth(3, 4, signs=True), _smooth(3, 4, seed=5)],
+            )
+        ],
+        "concat": [
+            GradSpec(
+                lambda a, b: ops.concat([a, b], axis=1),
+                lambda: [_smooth(3, 2), _smooth(3, 4, seed=5)],
+            ),
+            GradSpec(
+                lambda a, b: ops.concat([a, b], axis=0),
+                lambda: [_smooth(2, 4), _smooth(3, 4, seed=5)],
+                label="axis=0",
+            ),
+        ],
+        "stack": [
+            GradSpec(
+                lambda a, b: ops.stack([a, b], axis=0),
+                lambda: [_smooth(3, 4), _smooth(3, 4, seed=5)],
+            )
+        ],
+        "gather": [
+            GradSpec(
+                lambda x: ops.gather(x, _GATHER_IDX),
+                lambda: [_smooth(3, 4, signs=True)],
+            )
+        ],
+        "segment_sum": [
+            GradSpec(
+                lambda x: ops.segment_sum(x, _SEG_IDS, 4),
+                lambda: [_smooth(6, 3, signs=True)],
+            )
+        ],
+        "segment_mean": [
+            GradSpec(
+                lambda x: ops.segment_mean(x, _SEG_IDS, 4),
+                lambda: [_smooth(6, 3, signs=True)],
+            )
+        ],
+        "dropout": [
+            # A freshly seeded generator per evaluation keeps the mask
+            # identical across the three finite-difference forwards.
+            GradSpec(
+                lambda x: ops.dropout(x, 0.4, make_rng(11), training=True),
+                lambda: [_smooth(4, 5, signs=True)],
+            )
+        ],
+        "huber": [
+            GradSpec(
+                lambda p: ops.huber(p, np.zeros((3, 2)), delta=1.0),
+                lambda: [_smooth(3, 2, low=0.2, high=0.8, signs=True)],
+                label="quadratic",
+            ),
+            GradSpec(
+                lambda p: ops.huber(p, np.zeros((3, 2)), delta=0.05),
+                lambda: [_smooth(3, 2, low=0.2, high=0.8, signs=True)],
+                label="linear",
+            ),
+        ],
+    }
+
+
+def _tensor_method_specs() -> dict[str, list[GradSpec]]:
+    """The Tensor operator overloads, audited alongside the functional ops."""
+    return {
+        "add": [
+            GradSpec(lambda a, b: a + b,
+                     lambda: [_smooth(3, 4, signs=True), _smooth(3, 4, seed=5)]),
+            GradSpec(lambda a, b: a + b,
+                     lambda: [_smooth(3, 4, signs=True), _smooth(4, seed=5)],
+                     label="broadcast"),
+        ],
+        "sub": [GradSpec(lambda a, b: a - b,
+                         lambda: [_smooth(3, 4), _smooth(3, 4, seed=5)])],
+        "neg": [GradSpec(lambda a: -a, lambda: [_smooth(3, 4, signs=True)])],
+        "mul": [
+            GradSpec(lambda a, b: a * b,
+                     lambda: [_smooth(3, 4, signs=True), _smooth(3, 4, seed=5)]),
+            GradSpec(lambda a, b: a * b,
+                     lambda: [_smooth(3, 1, signs=True), _smooth(1, 4, seed=5)],
+                     label="broadcast"),
+        ],
+        "div": [GradSpec(lambda a, b: a / b,
+                         lambda: [_smooth(3, 4, signs=True), _smooth(3, 4, seed=5)])],
+        "pow": [GradSpec(lambda a: a ** 3.0, lambda: [_smooth(3, 4)])],
+        "matmul": [GradSpec(lambda a, b: a @ b,
+                            lambda: [_smooth(3, 4, signs=True), _smooth(4, 2, seed=5)])],
+        "sum": [
+            GradSpec(lambda a: a.sum(), lambda: [_smooth(3, 4, signs=True)]),
+            GradSpec(lambda a: a.sum(axis=1), lambda: [_smooth(3, 4)],
+                     label="axis=1"),
+            GradSpec(lambda a: a.sum(axis=0, keepdims=True),
+                     lambda: [_smooth(3, 4)], label="keepdims"),
+        ],
+        "mean": [GradSpec(lambda a: a.mean(axis=0), lambda: [_smooth(3, 4)])],
+        "reshape": [GradSpec(lambda a: a.reshape(4, 3), lambda: [_smooth(3, 4)])],
+        "transpose": [GradSpec(lambda a: a.T, lambda: [_smooth(3, 4)])],
+        "getitem": [GradSpec(lambda a: a[1:, ::2], lambda: [_smooth(3, 4)])],
+    }
+
+
+def GRADCHECK_SPECS() -> dict[str, list[GradSpec]]:
+    """All specs: one entry per registered functional op + Tensor methods."""
+    return {**_op_specs(), **_tensor_method_specs()}
+
+
+def gradcheck_op(
+    name: str,
+    specs: Sequence[GradSpec],
+    eps: float = DEFAULT_EPS,
+    tol: float = DEFAULT_TOL,
+) -> OpGradReport:
+    """Finite-difference audit of one op across all of its specs."""
+    worst = 0.0
+    for spec in specs:
+        worst = max(worst, finite_difference_check(spec.fn, spec.inputs(), eps=eps))
+    return OpGradReport(
+        name=name, max_rel_error=worst, specs_checked=len(specs), ok=worst < tol
+    )
+
+
+def gradcheck_all(
+    eps: float = DEFAULT_EPS, tol: float = DEFAULT_TOL
+) -> dict[str, OpGradReport]:
+    """Audit every registered op; raises if the registry outgrew the specs.
+
+    Raises:
+        AnalysisError: If an op exists in ``OP_REGISTRY`` without a spec
+            (a new op must be added to the audit before it ships).
+    """
+    specs = GRADCHECK_SPECS()
+    missing = [name for name in ops.OP_REGISTRY if name not in specs]
+    if missing:
+        raise AnalysisError(
+            f"ops registered without a gradcheck spec: {missing}; add them "
+            "to repro.analysis.gradcheck"
+        )
+    return {name: gradcheck_op(name, spec_list, eps=eps, tol=tol)
+            for name, spec_list in sorted(specs.items())}
+
+
+def format_gradcheck(reports: dict[str, OpGradReport]) -> str:
+    failed = [r for r in reports.values() if not r.ok]
+    lines = [f"[gradcheck] {len(reports)} ops, {len(failed)} failing"]
+    lines.extend(report.format() for report in reports.values())
+    return "\n".join(lines)

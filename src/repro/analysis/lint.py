@@ -1,0 +1,398 @@
+"""Repo-specific AST linter.
+
+Generic linters cannot see this library's conventions — seeded RNG only,
+float64 tape discipline, virtual-time simulation, autodiff-owned tensor
+state.  The rules below encode them as static checks over ``src/``:
+
+========  =============================================================
+Code      What it catches
+========  =============================================================
+RP001     Bare ``np.random.*`` / ``random.*`` calls outside
+          :mod:`repro.random` — every stream must come from
+          ``make_rng``/``split_rng`` so runs stay reproducible.
+RP002     Float equality (``==`` / ``!=`` against a float literal) —
+          compare with a tolerance instead.
+RP003     Mutable default arguments (``def f(x=[])``) — shared state
+          across calls.
+RP004     ``except Exception``/``BaseException``/bare ``except`` whose
+          handler neither re-raises nor logs — silently swallowed
+          failures.
+RP005     Literal ``float32``/``float64`` dtype selection outside
+          ``repro/nn`` — precision policy belongs to the tensor engine.
+RP006     Direct mutation of ``Tensor.data`` / ``Tensor.grad`` outside
+          ``repro/nn`` — bypasses the autodiff tape.
+RP007     Wall-clock calls (``time.time`` & friends) inside
+          ``repro/simulator`` — event logic must use virtual time.
+========  =============================================================
+
+Escape hatch: a trailing ``# repro-lint: disable=RP001[,RP002]`` comment
+disables those codes on that line; the same comment on a line of its own
+disables them for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_violations",
+]
+
+#: Rule code -> one-line description (kept in sync with the table above).
+RULES: dict[str, str] = {
+    "RP001": "bare RNG call; create generators via repro.random.make_rng/split_rng",
+    "RP002": "float equality comparison; use a tolerance (np.isclose/math.isclose)",
+    "RP003": "mutable default argument; default to None and build inside the function",
+    "RP004": "except swallows the error; narrow the type and log or re-raise",
+    "RP005": "literal float32/float64 dtype outside repro/nn; let the tensor engine decide precision",
+    "RP006": "direct Tensor.data/.grad mutation outside repro/nn; go through ops or an optimizer",
+    "RP007": "wall-clock call in simulator code; event logic must use virtual time",
+}
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
+
+#: Method names that count as "the handler reported the failure".
+_LOGGING_ATTRS = {
+    "debug", "info", "warning", "error", "exception", "critical",
+    "warn", "log", "_log", "put", "write",
+}
+_LOGGING_NAMES = {"print", "log", "_log"}
+
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class _FileContext:
+    """Where a module sits in the package, and what it may therefore do."""
+
+    relpath: str
+    in_nn: bool = False
+    dtype_exempt: bool = False
+    in_simulator: bool = False
+    is_random_module: bool = False
+    imports_stdlib_random: bool = False
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    file_disables: set[str] = field(default_factory=set)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Flatten an Attribute/Name chain into ``a.b.c`` (None if dynamic)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _collect_disables(source: str, context: _FileContext) -> None:
+    """Parse ``# repro-lint: disable=...`` comments via the token stream.
+
+    A trailing comment applies to its line; a comment that is the only
+    content of its line applies to the whole file.
+    """
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if not match:
+                continue
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            unknown = codes - RULES.keys()
+            if unknown:
+                raise AnalysisError(
+                    f"{context.relpath}:{tok.start[0]}: unknown lint code(s) "
+                    f"in disable comment: {sorted(unknown)}"
+                )
+            row = tok.start[0]
+            before = lines[row - 1][: tok.start[1]] if row <= len(lines) else ""
+            if before.strip():
+                context.line_disables.setdefault(row, set()).update(codes)
+            else:
+                context.file_disables.update(codes)
+    except tokenize.TokenError:
+        pass  # unterminated strings etc.; ast.parse will report properly
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor applying every rule."""
+
+    def __init__(self, context: _FileContext, enabled: set[str]) -> None:
+        self.ctx = context
+        self.enabled = enabled
+        self.violations: list[Violation] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _report(self, node: ast.AST, code: str) -> None:
+        if code not in self.enabled or code in self.ctx.file_disables:
+            return
+        line = getattr(node, "lineno", 0)
+        if code in self.ctx.line_disables.get(line, ()):
+            return
+        self.violations.append(
+            Violation(
+                path=self.ctx.relpath,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=RULES[code],
+            )
+        )
+
+    # -- imports (context for RP001) -----------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self.ctx.imports_stdlib_random = True
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self.ctx.imports_stdlib_random = True
+        self.generic_visit(node)
+
+    # -- RP001 / RP007: forbidden calls --------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if not self.ctx.is_random_module:
+                if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+                    self._report(node, "RP001")
+                elif (
+                    len(parts) == 2
+                    and parts[0] == "random"
+                    and self.ctx.imports_stdlib_random
+                ):
+                    self._report(node, "RP001")
+            if self.ctx.in_simulator and len(parts) >= 2:
+                if (parts[-2], parts[-1]) in _WALL_CLOCK:
+                    self._report(node, "RP007")
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            self._check_dtype_literal(arg)
+        self.generic_visit(node)
+
+    # -- RP002: float equality -----------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            ):
+                self._report(node, "RP002")
+        self.generic_visit(node)
+
+    # -- RP003: mutable defaults ---------------------------------------
+    def _check_defaults(self, args: ast.arguments) -> None:
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                    ast.DictComp, ast.SetComp)):
+                self._report(default, "RP003")
+            elif isinstance(default, ast.Call):
+                name = _dotted_name(default.func)
+                if name in ("list", "dict", "set", "bytearray",
+                            "collections.defaultdict", "collections.deque"):
+                    self._report(default, "RP003")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    # -- RP004: swallowed exceptions -----------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._is_broad(node.type) and not self._handler_reports(node):
+            self._report(node, "RP004")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True  # bare except
+        names: list[ast.expr] = (
+            list(type_node.elts) if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        return any(
+            isinstance(n, ast.Name) and n.id in ("Exception", "BaseException")
+            for n in names
+        )
+
+    @staticmethod
+    def _handler_reports(node: ast.ExceptHandler) -> bool:
+        for stmt in ast.walk(ast.Module(body=node.body, type_ignores=[])):
+            if isinstance(stmt, ast.Raise):
+                return True
+            if isinstance(stmt, ast.Call):
+                func = stmt.func
+                if isinstance(func, ast.Attribute) and func.attr in _LOGGING_ATTRS:
+                    return True
+                if isinstance(func, ast.Name) and func.id in _LOGGING_NAMES:
+                    return True
+        return False
+
+    # -- RP005: dtype literals -----------------------------------------
+    def _check_dtype_literal(self, node: ast.expr) -> None:
+        if self.ctx.dtype_exempt or "RP005" not in self.enabled:
+            return
+        if isinstance(node, ast.Constant) and node.value in ("float32", "float64"):
+            self._report(node, "RP005")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self.ctx.dtype_exempt and node.attr in ("float32", "float64"):
+            root = _dotted_name(node.value)
+            if root in ("np", "numpy"):
+                self._report(node, "RP005")
+        self.generic_visit(node)
+
+    # -- RP006: tape-state mutation ------------------------------------
+    def _check_store_target(self, target: ast.expr) -> None:
+        if self.ctx.in_nn:
+            return
+        if isinstance(target, ast.Attribute) and target.attr in ("data", "grad"):
+            self._report(target, "RP006")
+        elif isinstance(target, ast.Subscript):
+            value = target.value
+            if isinstance(value, ast.Attribute) and value.attr in ("data", "grad"):
+                self._report(target, "RP006")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+
+def _context_for(relpath: str) -> _FileContext:
+    posix = relpath.replace("\\", "/")
+    in_nn = "repro/nn/" in posix
+    return _FileContext(
+        relpath=relpath,
+        in_nn=in_nn,
+        # The analysis tooling *implements* the dtype policy, so naming
+        # dtypes there is its job, not a violation.
+        dtype_exempt=in_nn or "repro/analysis/" in posix,
+        in_simulator="repro/simulator/" in posix,
+        is_random_module=posix.endswith("repro/random.py"),
+    )
+
+
+def lint_source(
+    source: str,
+    relpath: str = "<string>",
+    rules: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint one module's source text.
+
+    Args:
+        source: Python source code.
+        relpath: Path used for reporting and for the location-sensitive
+            rules (RP001/RP005/RP006/RP007 key off where the file lives).
+        rules: Subset of rule codes to apply; all of :data:`RULES` when
+            omitted.
+
+    Raises:
+        AnalysisError: On syntax errors or unknown rule codes.
+    """
+    enabled = set(RULES) if rules is None else set(rules)
+    unknown = enabled - RULES.keys()
+    if unknown:
+        raise AnalysisError(f"unknown lint rule(s): {sorted(unknown)}")
+    context = _context_for(relpath)
+    _collect_disables(source, context)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{relpath}: cannot lint, syntax error: {exc}") from exc
+    checker = _Checker(context, enabled)
+    checker.visit(tree)
+    return sorted(checker.violations, key=lambda v: (v.line, v.col, v.code))
+
+
+def lint_file(path: str | Path, root: str | Path | None = None,
+              rules: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one file; ``root`` anchors the reported relative path."""
+    path = Path(path)
+    relpath = str(path.relative_to(root)) if root is not None else str(path)
+    return lint_source(path.read_text(encoding="utf-8"), relpath, rules)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint every ``.py`` file under each of ``paths`` (files or trees)."""
+    violations: list[Violation] = []
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        root = entry if entry.is_dir() else entry.parent
+        for file in files:
+            violations.extend(lint_file(file, root=root.parent, rules=rules))
+    return violations
+
+
+def format_violations(violations: Sequence[Violation]) -> str:
+    """Human-readable report, one finding per line."""
+    if not violations:
+        return "no lint violations"
+    lines = [v.format() for v in violations]
+    lines.append(f"{len(violations)} violation(s)")
+    return "\n".join(lines)

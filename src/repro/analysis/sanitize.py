@@ -1,0 +1,111 @@
+"""Tape sanitizer: pinpoint the first op that produces NaN/Inf.
+
+A diverging training run usually surfaces as ``loss is not finite`` long
+after the first bad value was produced (an overflowing ``exp``, a division
+by a zero capacity, a log of a non-positive target).  Inside a
+``with sanitize_tape():`` block every tape node is instrumented:
+
+* **forward** — the op's output array is checked as it is recorded;
+* **backward** — the incoming gradient and the gradients accumulated into
+  each parent are checked as the tape unwinds.
+
+The first non-finite value raises :class:`NonFiniteError` naming the op,
+the stage, and the offending array's shape/count — instead of a finite
+loss check failing dozens of ops later.
+
+Enabled from the trainer via ``Trainer(..., sanitize=True)`` or the CLI
+via ``repro train --sanitize``.  The instrumentation costs one
+``isfinite`` scan per op, so it is off by default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..nn.tensor import Tensor
+
+__all__ = ["NonFiniteError", "sanitize_tape"]
+
+
+class NonFiniteError(AnalysisError):
+    """A NaN or Inf appeared on the tape.
+
+    Attributes:
+        op: Name of the op that produced the bad array.
+        stage: ``"forward"``, ``"backward-input"`` or ``"backward-parent"``.
+    """
+
+    def __init__(self, op: str, stage: str, array: np.ndarray) -> None:
+        self.op = op
+        self.stage = stage
+        bad = int((~np.isfinite(array)).sum())
+        nan = int(np.isnan(array).sum())
+        super().__init__(
+            f"non-finite values first produced by op {op!r} during {stage}: "
+            f"{bad}/{array.size} bad entries ({nan} NaN) in a {array.shape} "
+            f"array"
+        )
+
+
+def _op_name(backward: Callable[..., None] | None) -> str:
+    """Derive the op name from its backward closure's qualname.
+
+    Every op builds its node via ``Tensor._make(data, parents, backward)``
+    with a ``backward`` defined inside the op function, so the qualname
+    looks like ``"exp.<locals>.backward"`` or
+    ``"Tensor.__add__.<locals>.backward"``.
+    """
+    if backward is None:
+        return "<leaf>"
+    qualname = getattr(backward, "__qualname__", "")
+    owner = qualname.split(".<locals>")[0]
+    return owner.split(".")[-1].strip("_") or "<unknown>"
+
+
+def _check(array: np.ndarray, op: str, stage: str) -> None:
+    if not np.all(np.isfinite(array)):
+        raise NonFiniteError(op, stage, np.asarray(array))
+
+
+@contextmanager
+def sanitize_tape() -> Iterator[None]:
+    """Instrument all tape construction inside the block.
+
+    Patches :meth:`Tensor._make` (the single funnel every op goes through)
+    so each node's output is checked on creation and its backward closure
+    is wrapped with gradient checks.  Nested use is harmless; the patch is
+    process-global, so do not run concurrent un-sanitized training in the
+    same interpreter and expect it to be exempt.
+
+    Raises:
+        NonFiniteError: As soon as any instrumented array goes non-finite.
+    """
+    original = Tensor.__dict__["_make"].__func__
+
+    def checked_make(
+        data: np.ndarray,
+        parents: Iterable[Tensor],
+        backward: Callable[[np.ndarray], None],
+    ) -> Tensor:
+        parents = tuple(parents)
+        op = _op_name(backward)
+        _check(data, op, "forward")
+
+        def checked_backward(grad: np.ndarray) -> None:
+            _check(grad, op, "backward-input")
+            backward(grad)
+            for parent in parents:
+                if parent.requires_grad and parent.grad is not None:
+                    _check(parent.grad, op, "backward-parent")
+
+        return original(data, parents, checked_backward)
+
+    Tensor._make = staticmethod(checked_make)
+    try:
+        yield
+    finally:
+        Tensor._make = staticmethod(original)

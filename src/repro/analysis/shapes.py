@@ -1,0 +1,692 @@
+"""Abstract shape/dtype interpretation of the RouteNet forward graph.
+
+RouteNet's computation graph is assembled at runtime from each input's
+path-link incidence, so a shape bug (a transposed kernel, an
+``include_load`` mismatch, a readout that does not match the state width)
+only surfaces when a real sample reaches it — possibly an hour into a
+training run on a large topology.  This module proves shape/broadcast
+compatibility *statically*: it executes ``model.forward`` with
+:class:`ShapeTensor` operands that carry only ``(shape, dtype)`` and
+implement every registered op's shape semantics, so the whole forward
+graph "runs" in milliseconds with no array arithmetic at all.
+
+Usage::
+
+    from repro.analysis import TopologySignature, check_model
+
+    sig = TopologySignature.from_topology(topology)   # real incidence
+    report = check_model(model, sig)
+    if not report.ok:
+        print(report.error)        # names the op and the operand shapes
+
+Index-valued inputs (``link_indices``, ``mask``) stay concrete — they are
+input data, not network activations — which lets the checker also prove
+gather/segment index bounds.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..nn import layers as nn_layers
+from ..nn import ops as nn_ops
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "ShapeCheckError",
+    "ShapeTensor",
+    "ShapeTrace",
+    "ShapeReport",
+    "TopologySignature",
+    "abstract_graph",
+    "check_model",
+    "paper_signatures",
+    "PAPER_SIGNATURE_NAMES",
+]
+
+#: The evaluation signatures of the source paper: the two training
+#: topologies (NSFNET, 50-node synthetic) and the unseen Geant2.
+PAPER_SIGNATURE_NAMES = ("nsfnet", "geant2", "synthetic50")
+
+
+class ShapeCheckError(AnalysisError):
+    """A shape/broadcast/bounds violation found during abstract execution.
+
+    Attributes:
+        op: Name of the op whose shape rule failed.
+        operands: The operand shapes handed to the op.
+    """
+
+    def __init__(self, op: str, detail: str, operands: Sequence[tuple[int, ...]]):
+        self.op = op
+        self.operands = tuple(tuple(s) for s in operands)
+        shapes = " , ".join(str(s) for s in self.operands)
+        super().__init__(f"{op}: {detail} (operand shapes: {shapes})")
+
+
+@dataclass
+class ShapeTrace:
+    """Chronological record of every abstract op that executed."""
+
+    entries: list[tuple[str, tuple[tuple[int, ...], ...], tuple[int, ...]]] = field(
+        default_factory=list
+    )
+
+    def record(
+        self,
+        op: str,
+        inputs: Sequence[tuple[int, ...]],
+        output: tuple[int, ...],
+    ) -> None:
+        self.entries.append((op, tuple(tuple(s) for s in inputs), tuple(output)))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def tail(self, n: int = 5) -> str:
+        lines = [
+            f"  {op}{list(ins)} -> {out}" for op, ins, out in self.entries[-n:]
+        ]
+        return "\n".join(lines)
+
+
+_ACTIVE_TRACE: ShapeTrace | None = None
+
+
+def _record(op: str, inputs: Sequence[tuple[int, ...]], output: tuple[int, ...]) -> None:
+    if _ACTIVE_TRACE is not None:
+        _ACTIVE_TRACE.record(op, inputs, output)
+
+
+def _shape_dtype(value: object) -> tuple[tuple[int, ...], np.dtype]:
+    """Shape and dtype of any operand kind the graph can mix in."""
+    if isinstance(value, ShapeTensor):
+        return value.shape, value.dtype
+    if isinstance(value, Tensor):
+        return value.data.shape, value.data.dtype
+    if isinstance(value, np.ndarray):
+        return value.shape, value.dtype
+    if isinstance(value, (int, float, bool, np.number)):
+        return (), np.result_type(type(value))
+    raise ShapeCheckError(
+        "coerce", f"cannot abstract operand of type {type(value).__name__}", []
+    )
+
+
+def _broadcast(op: str, *operands: object) -> "ShapeTensor":
+    shapes, dtypes = zip(*(_shape_dtype(v) for v in operands))
+    try:
+        out_shape = np.broadcast_shapes(*shapes)
+    except ValueError:
+        raise ShapeCheckError(op, "operands do not broadcast", shapes) from None
+    out = ShapeTensor(out_shape, np.result_type(*dtypes))
+    _record(op, shapes, out.shape)
+    return out
+
+
+def _matmul_shape(op: str, a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    if len(a) == 0 or len(b) == 0:
+        raise ShapeCheckError(op, "matmul operands must be at least 1-D", (a, b))
+    a2 = (1,) + a if len(a) == 1 else a
+    b2 = b + (1,) if len(b) == 1 else b
+    if len(a2) > 2 or len(b2) > 2:
+        # Batched matmul is not used by any registered layer; keep the rule
+        # strict so an accidental extra axis is an error, not a silent
+        # broadcast.
+        raise ShapeCheckError(op, "only 1-D/2-D matmul is supported", (a, b))
+    if a2[-1] != b2[0]:
+        raise ShapeCheckError(
+            op, f"inner dimensions differ ({a2[-1]} vs {b2[0]})", (a, b)
+        )
+    out = (a2[0], b2[1])
+    if len(a) == 1:
+        out = out[1:]
+    if len(b) == 1:
+        out = out[:-1]
+    return out
+
+
+class ShapeTensor:
+    """A tensor stripped to ``(shape, dtype)`` with op shape semantics.
+
+    Supports exactly the operator surface of :class:`repro.nn.Tensor`, so
+    real model code runs on it unmodified under :func:`abstract_graph`.
+    """
+
+    __slots__ = ("shape", "dtype")
+
+    def __init__(self, shape: Sequence[int], dtype: np.dtype | type = np.float64):
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+
+    # -- introspection mirroring Tensor --------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    def __len__(self) -> int:
+        if not self.shape:
+            raise TypeError("len() of a 0-d abstract tensor")
+        return self.shape[0]
+
+    def __repr__(self) -> str:
+        return f"ShapeTensor(shape={self.shape}, dtype={self.dtype})"
+
+    # -- arithmetic (broadcasting) --------------------------------------
+    def __add__(self, other: object) -> "ShapeTensor":
+        return _broadcast("add", self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "ShapeTensor":
+        return _broadcast("sub", self, other)
+
+    def __rsub__(self, other: object) -> "ShapeTensor":
+        return _broadcast("sub", other, self)
+
+    def __mul__(self, other: object) -> "ShapeTensor":
+        return _broadcast("mul", self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "ShapeTensor":
+        return _broadcast("div", self, other)
+
+    def __rtruediv__(self, other: object) -> "ShapeTensor":
+        return _broadcast("div", other, self)
+
+    def __neg__(self) -> "ShapeTensor":
+        return _broadcast("neg", self)
+
+    def __pow__(self, exponent: float) -> "ShapeTensor":
+        return _broadcast("pow", self, exponent)
+
+    def __matmul__(self, other: object) -> "ShapeTensor":
+        a, a_dt = _shape_dtype(self)
+        b, b_dt = _shape_dtype(other)
+        out = ShapeTensor(_matmul_shape("matmul", a, b), np.result_type(a_dt, b_dt))
+        _record("matmul", (a, b), out.shape)
+        return out
+
+    def __rmatmul__(self, other: object) -> "ShapeTensor":
+        a, a_dt = _shape_dtype(other)
+        b, b_dt = _shape_dtype(self)
+        out = ShapeTensor(_matmul_shape("matmul", a, b), np.result_type(a_dt, b_dt))
+        _record("matmul", (a, b), out.shape)
+        return out
+
+    # -- reductions / shaping -------------------------------------------
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "ShapeTensor":
+        if axis is None:
+            out_shape: tuple[int, ...] = (
+                tuple(1 for _ in self.shape) if keepdims else ()
+            )
+        else:
+            if not -self.ndim <= axis < self.ndim:
+                raise ShapeCheckError(
+                    "sum", f"axis {axis} out of range for {self.ndim}-D", (self.shape,)
+                )
+            axis %= self.ndim
+            out_shape = tuple(
+                1 if i == axis else s for i, s in enumerate(self.shape) if keepdims or i != axis
+            )
+        out = ShapeTensor(out_shape, self.dtype)
+        _record("sum", (self.shape,), out.shape)
+        return out
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "ShapeTensor":
+        return self.sum(axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "ShapeTensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        negative = [s for s in shape if s == -1]
+        if len(negative) > 1:
+            raise ShapeCheckError("reshape", "more than one -1 dimension", (self.shape,))
+        known = int(np.prod([s for s in shape if s != -1], dtype=np.int64)) or 1
+        if negative:
+            if known == 0 or self.size % known:
+                raise ShapeCheckError(
+                    "reshape", f"cannot infer -1 for size {self.size}", (self.shape,)
+                )
+            shape = tuple(self.size // known if s == -1 else s for s in shape)
+        if int(np.prod(shape, dtype=np.int64) if shape else 1) != self.size:
+            raise ShapeCheckError(
+                "reshape",
+                f"cannot reshape size {self.size} into {tuple(shape)}",
+                (self.shape,),
+            )
+        out = ShapeTensor(shape, self.dtype)
+        _record("reshape", (self.shape,), out.shape)
+        return out
+
+    @property
+    def T(self) -> "ShapeTensor":
+        out = ShapeTensor(tuple(reversed(self.shape)), self.dtype)
+        _record("transpose", (self.shape,), out.shape)
+        return out
+
+    def __getitem__(self, key: object) -> "ShapeTensor":
+        # Index a zero-stride dummy view so numpy's own indexing semantics
+        # compute the result shape without allocating the full array.
+        dummy = np.broadcast_to(np.empty((), dtype=np.int8), self.shape)
+        try:
+            out_shape = dummy[key].shape
+        except (IndexError, ValueError) as exc:
+            raise ShapeCheckError("getitem", str(exc), (self.shape,)) from None
+        out = ShapeTensor(out_shape, self.dtype)
+        _record("getitem", (self.shape,), out.shape)
+        return out
+
+    # -- Tensor-protocol stubs ------------------------------------------
+    def numpy(self) -> np.ndarray:  # pragma: no cover - misuse guard
+        raise ShapeCheckError(
+            "numpy", "abstract tensors carry no values; check shapes only", (self.shape,)
+        )
+
+    def backward(self, grad: object = None) -> None:  # pragma: no cover
+        raise ShapeCheckError(
+            "backward", "abstract graphs cannot be differentiated", (self.shape,)
+        )
+
+
+# ----------------------------------------------------------------------
+# Abstract versions of every registered functional op
+# ----------------------------------------------------------------------
+def _abstract_tensor(value: object, requires_grad: bool = False,
+                     dtype: np.dtype | type | None = None) -> ShapeTensor:
+    """Abstract mirror of :func:`repro.nn.tensor`."""
+    if isinstance(value, ShapeTensor):
+        return value
+    shape, inferred = _shape_dtype(value)
+    if dtype is not None:
+        inferred = np.dtype(dtype)
+    elif inferred.kind != "f":
+        inferred = np.dtype(np.float64)
+    return ShapeTensor(shape, inferred)
+
+
+def _unary(name: str):
+    def op(x: object, *args: object, **kwargs: object) -> ShapeTensor:
+        x = _abstract_tensor(x)
+        out = ShapeTensor(x.shape, x.dtype)
+        _record(name, (x.shape,), out.shape)
+        return out
+
+    op.__name__ = name
+    return op
+
+
+def _abstract_where(condition: object, a: object, b: object) -> ShapeTensor:
+    cond_shape, _ = _shape_dtype(condition)
+    a = _abstract_tensor(a)
+    b = _abstract_tensor(b)
+    try:
+        out_shape = np.broadcast_shapes(cond_shape, a.shape, b.shape)
+    except ValueError:
+        raise ShapeCheckError(
+            "where", "condition/branches do not broadcast",
+            (cond_shape, a.shape, b.shape),
+        ) from None
+    out = ShapeTensor(out_shape, np.result_type(a.dtype, b.dtype))
+    _record("where", (cond_shape, a.shape, b.shape), out.shape)
+    return out
+
+
+def _abstract_concat(tensors: Sequence[object], axis: int = -1) -> ShapeTensor:
+    parts = [_abstract_tensor(t) for t in tensors]
+    if not parts:
+        raise ShapeCheckError("concat", "need at least one tensor", [])
+    ndim = parts[0].ndim
+    if any(p.ndim != ndim for p in parts):
+        raise ShapeCheckError(
+            "concat", "rank mismatch", [p.shape for p in parts]
+        )
+    ax = axis % ndim
+    base = list(parts[0].shape)
+    total = 0
+    for p in parts:
+        for i, (s0, s1) in enumerate(zip(base, p.shape)):
+            if i != ax and s0 != s1:
+                raise ShapeCheckError(
+                    "concat",
+                    f"non-concat dimension {i} differs",
+                    [q.shape for q in parts],
+                )
+        total += p.shape[ax]
+    base[ax] = total
+    out = ShapeTensor(base, np.result_type(*(p.dtype for p in parts)))
+    _record("concat", [p.shape for p in parts], out.shape)
+    return out
+
+
+def _abstract_stack(tensors: Sequence[object], axis: int = 0) -> ShapeTensor:
+    parts = [_abstract_tensor(t) for t in tensors]
+    if not parts:
+        raise ShapeCheckError("stack", "need at least one tensor", [])
+    first = parts[0].shape
+    if any(p.shape != first for p in parts):
+        raise ShapeCheckError("stack", "all shapes must match", [p.shape for p in parts])
+    ax = axis % (len(first) + 1)
+    out_shape = first[:ax] + (len(parts),) + first[ax:]
+    out = ShapeTensor(out_shape, np.result_type(*(p.dtype for p in parts)))
+    _record("stack", [p.shape for p in parts], out.shape)
+    return out
+
+
+def _abstract_gather(x: object, indices: np.ndarray) -> ShapeTensor:
+    x = _abstract_tensor(x)
+    idx = np.asarray(indices, dtype=np.intp)
+    if x.ndim == 0:
+        raise ShapeCheckError("gather", "cannot gather from a scalar", (x.shape,))
+    if idx.size and (idx.min() < 0 or idx.max() >= x.shape[0]):
+        raise ShapeCheckError(
+            "gather",
+            f"index range [{idx.min()}, {idx.max()}] outside first axis of "
+            f"length {x.shape[0]}",
+            (x.shape, idx.shape),
+        )
+    out = ShapeTensor(idx.shape + x.shape[1:], x.dtype)
+    _record("gather", (x.shape, idx.shape), out.shape)
+    return out
+
+
+def _abstract_segment_sum(
+    x: object, segment_ids: np.ndarray, num_segments: int
+) -> ShapeTensor:
+    x = _abstract_tensor(x)
+    ids = np.asarray(segment_ids, dtype=np.intp)
+    if x.ndim == 0 or ids.shape[0] != x.shape[0]:
+        raise ShapeCheckError(
+            "segment_sum",
+            f"segment_ids has {ids.shape[0]} entries for "
+            f"{x.shape[0] if x.ndim else 0} rows",
+            (x.shape, ids.shape),
+        )
+    if ids.size and ids.max() >= num_segments:
+        raise ShapeCheckError(
+            "segment_sum",
+            f"segment id {int(ids.max())} >= num_segments {num_segments}",
+            (x.shape, ids.shape),
+        )
+    out = ShapeTensor((int(num_segments),) + x.shape[1:], x.dtype)
+    _record("segment_sum", (x.shape, ids.shape), out.shape)
+    return out
+
+
+def _abstract_segment_mean(
+    x: object, segment_ids: np.ndarray, num_segments: int
+) -> ShapeTensor:
+    return _abstract_segment_sum(x, segment_ids, num_segments)
+
+
+def _abstract_dropout(x: object, rate: float, rng: object,
+                      training: bool = True) -> ShapeTensor:
+    x = _abstract_tensor(x)
+    _record("dropout", (x.shape,), x.shape)
+    return x
+
+
+def _abstract_huber(pred: object, target: object, delta: float = 1.0) -> ShapeTensor:
+    return _broadcast("huber", _abstract_tensor(pred), target)
+
+
+def _abstract_clip(x: object, lo: float, hi: float) -> ShapeTensor:
+    return _unary("clip")(x)
+
+
+#: name -> abstract implementation for every entry of ``nn.ops.OP_REGISTRY``.
+ABSTRACT_OPS: dict[str, object] = {
+    **{name: _unary(name) for name in (
+        "exp", "log", "sigmoid", "tanh", "relu", "leaky_relu",
+        "softplus", "abs_", "sqrt",
+    )},
+    "clip": _abstract_clip,
+    "where": _abstract_where,
+    "concat": _abstract_concat,
+    "stack": _abstract_stack,
+    "gather": _abstract_gather,
+    "segment_sum": _abstract_segment_sum,
+    "segment_mean": _abstract_segment_mean,
+    "dropout": _abstract_dropout,
+    "huber": _abstract_huber,
+}
+
+
+@contextmanager
+def abstract_graph(trace: ShapeTrace | None = None) -> Iterator[ShapeTrace]:
+    """Swap the op layer for its abstract twin inside the ``with`` block.
+
+    Patches ``repro.nn.ops``, the ``repro.nn.tensor`` entry point and the
+    activation table so *unmodified* model code executes on
+    :class:`ShapeTensor` operands.  Not reentrant and not thread-safe (the
+    patch is process-global); checks are expected to run in tooling/CI
+    contexts, not concurrently with training.
+
+    Yields:
+        The :class:`ShapeTrace` recording every abstract op executed.
+    """
+    global _ACTIVE_TRACE
+    missing = [name for name in nn_ops.OP_REGISTRY if name not in ABSTRACT_OPS]
+    if missing:
+        raise AnalysisError(
+            f"ops registered without an abstract shape rule: {missing}; "
+            "add them to repro.analysis.shapes.ABSTRACT_OPS"
+        )
+    import repro.nn as nn_pkg
+
+    trace = trace if trace is not None else ShapeTrace()
+    saved_ops = {name: getattr(nn_ops, name) for name in ABSTRACT_OPS}
+    saved_tensor = nn_pkg.tensor
+    saved_activations = dict(nn_layers.ACTIVATIONS)
+    prev_trace = _ACTIVE_TRACE
+    _ACTIVE_TRACE = trace
+    try:
+        for name, fn in ABSTRACT_OPS.items():
+            setattr(nn_ops, name, fn)
+        nn_pkg.tensor = _abstract_tensor
+        for act in saved_activations:
+            if act != "linear":
+                nn_layers.ACTIVATIONS[act] = _unary(act)
+        yield trace
+    finally:
+        _ACTIVE_TRACE = prev_trace
+        for name, fn in saved_ops.items():
+            setattr(nn_ops, name, fn)
+        nn_pkg.tensor = saved_tensor
+        nn_layers.ACTIVATIONS.update(saved_activations)
+
+
+# ----------------------------------------------------------------------
+# Topology signatures and the model checker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySignature:
+    """The incidence structure one topology/routing pair presents to RouteNet.
+
+    Everything the forward graph's *structure* depends on — never any
+    traffic values or link weights.
+    """
+
+    name: str
+    num_nodes: int
+    num_links: int
+    num_paths: int
+    link_indices: np.ndarray  # (P, max_len), -1 padded
+    mask: np.ndarray  # (P, max_len) bool
+    link_feature_dim: int = 1
+    path_feature_dim: int = 1
+
+    @property
+    def max_path_length(self) -> int:
+        return int(self.link_indices.shape[1])
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: "object",
+        routing: "object | None" = None,
+        link_feature_dim: int = 1,
+        path_feature_dim: int = 1,
+    ) -> "TopologySignature":
+        """Signature of ``topology`` under ``routing`` (shortest-path default)
+        with every ordered source/destination pair routed."""
+        from ..routing import RoutingScheme
+
+        if routing is None:
+            routing = RoutingScheme.shortest_path(topology)
+        pairs = [
+            (s, d)
+            for s in range(topology.num_nodes)
+            for d in range(topology.num_nodes)
+            if s != d and (s, d) in routing
+        ]
+        if not pairs:
+            raise AnalysisError(f"topology {topology.name!r} routes no pairs")
+        link_paths = [routing.link_path(s, d) for s, d in pairs]
+        max_len = max(len(p) for p in link_paths)
+        link_indices = np.full((len(pairs), max_len), -1, dtype=np.intp)
+        for i, path in enumerate(link_paths):
+            link_indices[i, : len(path)] = path
+        return cls(
+            name=str(topology.name),
+            num_nodes=int(topology.num_nodes),
+            num_links=int(topology.num_links),
+            num_paths=len(pairs),
+            link_indices=link_indices,
+            mask=link_indices >= 0,
+            link_feature_dim=link_feature_dim,
+            path_feature_dim=path_feature_dim,
+        )
+
+    def model_input(self) -> "object":
+        """A :class:`~repro.core.ModelInput` whose feature blocks are
+        zero-filled placeholders (their *values* never matter abstractly)."""
+        from ..core.features import ModelInput
+
+        return ModelInput(
+            pairs=tuple((0, 1) for _ in range(self.num_paths)),
+            link_features=np.zeros((self.num_links, self.link_feature_dim)),
+            path_features=np.zeros((self.num_paths, self.path_feature_dim)),
+            link_indices=self.link_indices,
+            mask=self.mask,
+        )
+
+
+def paper_signatures(
+    link_feature_dim: int = 1, path_feature_dim: int = 1
+) -> dict[str, TopologySignature]:
+    """The three signatures of the paper's evaluation: NSFNET (14 nodes),
+    Geant2 (24 nodes, unseen) and the 50-node synthetic topology."""
+    from ..topology import geant2, nsfnet, synthetic_topology
+
+    topologies = {
+        "nsfnet": nsfnet(),
+        "geant2": geant2(),
+        "synthetic50": synthetic_topology(50, seed=0),
+    }
+    return {
+        name: TopologySignature.from_topology(
+            topo,
+            link_feature_dim=link_feature_dim,
+            path_feature_dim=path_feature_dim,
+        )
+        for name, topo in topologies.items()
+    }
+
+
+@dataclass(frozen=True)
+class ShapeReport:
+    """Outcome of one :func:`check_model` run."""
+
+    ok: bool
+    signature: str
+    ops_checked: int
+    output_shape: tuple[int, ...] | None = None
+    output_dtype: str | None = None
+    error: str | None = None
+    failed_op: str | None = None
+    failed_operands: tuple[tuple[int, ...], ...] = ()
+    trace_tail: str = ""
+
+    def format(self) -> str:
+        if self.ok:
+            return (
+                f"[shape-check] {self.signature}: OK — {self.ops_checked} ops, "
+                f"output {self.output_shape} {self.output_dtype}"
+            )
+        lines = [f"[shape-check] {self.signature}: FAILED — {self.error}"]
+        if self.trace_tail:
+            lines.append("last ops before failure:")
+            lines.append(self.trace_tail)
+        return "\n".join(lines)
+
+
+def check_model(model: "object", signature: TopologySignature) -> ShapeReport:
+    """Prove ``model.forward`` is shape-consistent for ``signature``.
+
+    Runs the real forward method under :func:`abstract_graph`; no floating
+    point arithmetic happens, so even the 50-node all-pairs signature checks
+    in milliseconds.
+
+    Returns:
+        A :class:`ShapeReport`; on failure it names the offending op, its
+        operand shapes and the last few ops executed before it.
+    """
+    from ..errors import ModelError
+
+    inputs = signature.model_input()
+    trace = ShapeTrace()
+    try:
+        with abstract_graph(trace):
+            out = model.forward(inputs, training=False)
+    except ShapeCheckError as exc:
+        return ShapeReport(
+            ok=False,
+            signature=signature.name,
+            ops_checked=len(trace),
+            error=str(exc),
+            failed_op=exc.op,
+            failed_operands=exc.operands,
+            trace_tail=trace.tail(),
+        )
+    except ModelError as exc:
+        # forward()'s own feature-dimension guards fire before any op runs.
+        return ShapeReport(
+            ok=False,
+            signature=signature.name,
+            ops_checked=len(trace),
+            error=str(exc),
+            failed_op="forward-precondition",
+            trace_tail=trace.tail(),
+        )
+    expected = (signature.num_paths, model.hparams.readout_targets)
+    if out.shape != expected:
+        return ShapeReport(
+            ok=False,
+            signature=signature.name,
+            ops_checked=len(trace),
+            error=(
+                f"readout produced {out.shape}, expected {expected} "
+                f"(paths x targets)"
+            ),
+            failed_op="readout",
+            failed_operands=(out.shape,),
+            trace_tail=trace.tail(),
+        )
+    return ShapeReport(
+        ok=True,
+        signature=signature.name,
+        ops_checked=len(trace),
+        output_shape=tuple(out.shape),
+        output_dtype=str(out.dtype),
+    )

@@ -122,6 +122,7 @@ def train(
     log: Callable[[str], None] | None = None,
     schedule=None,
     early_stopping=None,
+    sanitize: bool = False,
 ) -> TrainResult:
     """Train a fresh RouteNet on ``samples``.
 
@@ -135,11 +136,17 @@ def train(
         checkpoint: When given, the trained model is saved here.
         log: Per-epoch progress sink (e.g. ``print``).
         schedule / early_stopping: Forwarded to :meth:`Trainer.fit`.
+        sanitize: Run every train step under the tape sanitizer
+            (:func:`repro.analysis.sanitize_tape`), so a divergence raises
+            :class:`~repro.analysis.NonFiniteError` naming the first op
+            that produced a NaN/Inf.  Costs one ``isfinite`` scan per op.
     """
     train_set = _resolve_samples(samples)
     eval_set = _resolve_samples(eval_samples) if eval_samples is not None else None
     model = RouteNet(hparams, seed=seed)
-    trainer = Trainer(model, include_load=include_load, seed=seed + 1)
+    trainer = Trainer(
+        model, include_load=include_load, seed=seed + 1, sanitize=sanitize
+    )
     history = trainer.fit(
         train_set,
         epochs=epochs,

@@ -157,6 +157,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         eval_samples=args.eval_dataset,
         checkpoint=args.output,
         log=log,
+        sanitize=args.sanitize,
     )
     print(f"wrote checkpoint {args.output} "
           f"(final loss {result.final_train_loss:.4f})")

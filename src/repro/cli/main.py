@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--steps", type=int, default=4,
                        help="message-passing iterations (T)")
     train.add_argument("--eval-dataset", help="optional archive for per-epoch eval")
+    train.add_argument("--sanitize", action="store_true",
+                       help="run each step under the tape sanitizer: a "
+                            "divergence names the first op producing NaN/Inf")
     train.add_argument("--quiet", action="store_true")
     train.set_defaults(func=commands.cmd_train)
 

@@ -12,6 +12,7 @@ __all__ = [
     "ModelError",
     "ServingError",
     "RunnerError",
+    "AnalysisError",
 ]
 
 
@@ -49,3 +50,7 @@ class ServingError(ReproError):
 
 class RunnerError(ReproError):
     """Parallel execution runner failure (exhausted retries, bad checkpoint)."""
+
+
+class AnalysisError(ReproError):
+    """Static-analysis failure (lint crash, shape mismatch, bad gradient)."""

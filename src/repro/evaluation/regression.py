@@ -33,7 +33,7 @@ class RegressionData:
     def slope_through_origin(self) -> float:
         """Least-squares slope of ``pred ~ slope * true`` (1.0 is perfect)."""
         denom = float((self.true**2).sum())
-        if denom == 0.0:
+        if denom == 0.0:  # repro-lint: disable=RP002 -- exact-zero guard
             raise ValueError("ground truth is identically zero")
         return float((self.pred * self.true).sum() / denom)
 

@@ -7,12 +7,14 @@ structures that the benchmark harness prints (and tests assert on).
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..baselines import FixedTopologyMLP, QueueingNetworkModel
+from ..errors import ModelError
 from ..queueing import ReducedLoadModel
 from ..core import build_model_input
 from ..dataset import Sample
@@ -37,6 +39,8 @@ __all__ = [
     "baseline_comparison",
     "sim_vs_inference",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def _pooled_predictions(
@@ -197,7 +201,13 @@ def baseline_comparison(wb: Workbench) -> dict[str, dict[str, dict[str, float] |
         try:
             mlp_pred = np.concatenate([mlp.predict(s) for s in samples])
             row["mlp-fixed"] = regression_summary(mlp_pred, true)
-        except Exception as exc:  # ModelError by design off-topology
+        except ModelError as exc:
+            # The fixed-topology MLP is *expected* to reject off-topology
+            # samples — that inability to generalize is the baseline's point
+            # — but record it audibly rather than falling through silently.
+            logger.warning(
+                "mlp-fixed baseline not applicable on %s: %s", label, exc
+            )
             row["mlp-fixed"] = f"not applicable ({type(exc).__name__})"
         out[label] = row
     return out

@@ -9,17 +9,22 @@ regeneration.
 
 from __future__ import annotations
 
+import logging
+import zipfile
 from pathlib import Path
 from typing import Callable
 
 
 from ..core import FeatureScaler, RouteNet
 from ..dataset import Sample, generate_dataset_run, load_dataset, save_dataset
+from ..errors import ReproError
 from ..topology import Topology, geant2, nsfnet, synthetic_topology
 from ..training import Trainer
 from .profiles import ExperimentProfile, PAPER_SMALL
 
 __all__ = ["Workbench"]
+
+logger = logging.getLogger(__name__)
 
 #: Seed offsets so each dataset role gets an independent stream.
 _ROLE_SEEDS = {
@@ -232,12 +237,22 @@ class Workbench:
         return self._model
 
     def _load_checkpoint(self, path: Path) -> tuple[RouteNet, FeatureScaler] | None:
-        """Load a cached checkpoint, treating unreadable files as absent."""
+        """Load a cached checkpoint, treating unreadable files as absent.
+
+        Only the failure modes a corrupt/stale cache file can actually
+        produce are caught (checkpoint-format errors, truncated archives,
+        I/O failures); anything else — e.g. a genuine bug in model
+        construction — propagates.
+        """
         if not path.exists():
             return None
         try:
             model, scaler, _ = RouteNet.load(str(path))
-        except Exception as exc:  # corrupt cache -> regenerate
+        except (ReproError, OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+            logger.warning(
+                "discarding unreadable checkpoint %s (%s: %s); it will be "
+                "regenerated", path, type(exc).__name__, exc,
+            )
             self._log(f"[workbench] discarding unreadable checkpoint {path}: {exc}")
             path.unlink(missing_ok=True)
             return None

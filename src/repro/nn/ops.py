@@ -266,3 +266,11 @@ def huber(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
     quadratic = diff * diff * 0.5
     linear = abs_(diff) * delta - (0.5 * delta * delta)
     return where(np.abs(diff.data) <= delta, quadratic, linear)
+
+
+#: Every public functional op, keyed by name.  ``repro.analysis`` drives its
+#: finite-difference gradient audit and its abstract shape interpreter off
+#: this registry, so a newly added op is automatically picked up by both
+#: (the analysis suite fails loudly if an op lacks a gradcheck spec or an
+#: abstract shape rule).
+OP_REGISTRY: dict[str, "object"] = {name: globals()[name] for name in __all__}

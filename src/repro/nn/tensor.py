@@ -81,10 +81,15 @@ class Tensor:
         parents: tuple["Tensor", ...] = (),
         backward: Callable[[np.ndarray], None] | None = None,
         name: str | None = None,
+        dtype: np.dtype | type | None = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64 if not isinstance(data, np.ndarray) else data.dtype)
-        if self.data.dtype.kind != "f":
-            self.data = self.data.astype(np.float64)
+        arr = np.asarray(data, dtype=dtype)
+        if arr.dtype.kind != "f":
+            # Non-float inputs (ints, bools) always promote to the default
+            # tape precision; float inputs keep their width (a float32 model
+            # stays float32 end to end).
+            arr = arr.astype(np.float64)
+        self.data = arr
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = parents if self.requires_grad else ()
@@ -338,9 +343,11 @@ def tensor(
     """Coerce ``value`` into a :class:`Tensor`.
 
     Existing tensors pass through unchanged (``requires_grad`` is ignored for
-    them, mirroring ``torch.as_tensor`` semantics).
+    them, mirroring ``torch.as_tensor`` semantics).  When ``dtype`` is
+    omitted, float ndarrays keep their dtype (so float32 pipelines are not
+    silently promoted) and everything else becomes float64, consistently
+    with :class:`Tensor` construction.
     """
     if isinstance(value, Tensor):
         return value
-    data = np.asarray(value, dtype=dtype if dtype is not None else np.float64)
-    return Tensor(data, requires_grad=requires_grad)
+    return Tensor(value, requires_grad=requires_grad, dtype=dtype)

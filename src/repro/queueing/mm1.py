@@ -71,7 +71,7 @@ def mm1b_blocking_probability(
         raise ReproError(f"buffer must hold at least 1 packet, got {buffer_packets}")
     rho = arrival_rate / service_rate
     b = buffer_packets
-    if rho == 0.0:
+    if rho == 0.0:  # repro-lint: disable=RP002 -- exact-zero guard
         return 0.0
     if np.isclose(rho, 1.0):
         return 1.0 / (b + 1)
@@ -85,7 +85,7 @@ def mm1b_mean_queue_length(
     _check_rates(arrival_rate, service_rate)
     rho = arrival_rate / service_rate
     b = buffer_packets
-    if rho == 0.0:
+    if rho == 0.0:  # repro-lint: disable=RP002 -- exact-zero guard
         return 0.0
     if np.isclose(rho, 1.0):
         return b / 2.0
@@ -104,7 +104,7 @@ def mm1b_mean_delay(
     sojourn of a hypothetical packet is just its service time ``1/mu``.
     """
     _check_rates(arrival_rate, service_rate)
-    if arrival_rate == 0.0:
+    if arrival_rate == 0.0:  # repro-lint: disable=RP002 -- exact-zero guard
         return 1.0 / service_rate
     blocking = mm1b_blocking_probability(arrival_rate, service_rate, buffer_packets)
     effective = arrival_rate * (1.0 - blocking)

@@ -16,12 +16,16 @@ __all__ = ["make_rng", "split_rng", "DEFAULT_SEED"]
 DEFAULT_SEED = 1234
 
 
-def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+def make_rng(
+    seed: int | tuple[int, ...] | np.random.Generator | None = None,
+) -> np.random.Generator:
     """Create (or pass through) a ``numpy.random.Generator``.
 
     Args:
-        seed: ``None`` for :data:`DEFAULT_SEED`, an int seed, or an existing
-            generator (returned unchanged).
+        seed: ``None`` for :data:`DEFAULT_SEED`, an int seed, a tuple of ints
+            (entropy sequence — e.g. ``(base_seed, attempt)`` for
+            counter-based derived streams), or an existing generator
+            (returned unchanged).
     """
     if isinstance(seed, np.random.Generator):
         return seed

@@ -34,6 +34,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..errors import RunnerError
+from ..random import make_rng
 from .types import ProgressEvent, RunMetrics, RunResult, Task, TaskFailure
 
 __all__ = ["ParallelRunner", "attempt_seed", "resolve_context"]
@@ -55,7 +56,7 @@ def attempt_seed(base_seed: int, attempt: int) -> int:
     """
     if attempt == 0:
         return int(base_seed)
-    mixed = np.random.default_rng((int(base_seed), int(attempt)))
+    mixed = make_rng((int(base_seed), int(attempt)))
     return int(mixed.integers(0, _SEED_BOUND))
 
 
@@ -177,7 +178,8 @@ class ParallelRunner:
                 attempt_started = time.perf_counter()
                 try:
                     value = self.worker(task.payload, seed, attempt)
-                except Exception as exc:
+                # Converted to a structured TaskFailure record, not swallowed.
+                except Exception as exc:  # repro-lint: disable=RP004
                     elapsed = time.perf_counter() - attempt_started
                     failure = TaskFailure(
                         index=task.index,

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..random import make_rng
+
 __all__ = ["FlowAccumulator", "FlowStats", "LinkStats", "SimulationResult"]
 
 
@@ -34,7 +36,7 @@ class FlowAccumulator:
         self.max_delay = 0.0
         self._reservoir_size = reservoir_size
         self._reservoir: list[float] = []
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = make_rng(0) if rng is None else rng
 
     def add(self, delay: float) -> None:
         self.count += 1

@@ -52,15 +52,15 @@ def r_squared(pred: np.ndarray, true: np.ndarray) -> float:
     pred, true = _validate(pred, true)
     ss_res = float(((true - pred) ** 2).sum())
     ss_tot = float(((true - true.mean()) ** 2).sum())
-    if ss_tot == 0.0:
-        return 1.0 if ss_res == 0.0 else 0.0
+    if ss_tot == 0.0:  # repro-lint: disable=RP002 -- exact-zero guard
+        return 1.0 if ss_res == 0.0 else 0.0  # repro-lint: disable=RP002
     return 1.0 - ss_res / ss_tot
 
 
 def pearson(pred: np.ndarray, true: np.ndarray) -> float:
     """Pearson correlation coefficient."""
     pred, true = _validate(pred, true)
-    if pred.std() == 0.0 or true.std() == 0.0:
+    if pred.std() == 0.0 or true.std() == 0.0:  # repro-lint: disable=RP002
         return 0.0
     return float(np.corrcoef(pred, true)[0, 1])
 

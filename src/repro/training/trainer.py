@@ -9,12 +9,14 @@ are built once per sample and cached across epochs.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from .. import nn
+from ..analysis.sanitize import sanitize_tape
 from ..core import FeatureScaler, ModelInput, RouteNet, build_model_input
 from ..dataset import Sample, fit_scaler
 from ..errors import ModelError
@@ -62,10 +64,12 @@ class Trainer:
         scaler: FeatureScaler | None = None,
         include_load: bool = False,
         seed: int | np.random.Generator | None = None,
+        sanitize: bool = False,
     ) -> None:
         self.model = model
         self.scaler = scaler
         self.include_load = include_load
+        self.sanitize = sanitize
         self._rng = make_rng(seed)
         self._optimizer = nn.Adam(
             list(model.parameters()), lr=model.hparams.learning_rate
@@ -114,18 +118,26 @@ class Trainer:
         return cached
 
     def train_step(self, sample: Sample) -> float:
-        """One optimization step on one sample; returns the loss value."""
+        """One optimization step on one sample; returns the loss value.
+
+        With ``sanitize=True`` the whole forward+backward runs under
+        :func:`repro.analysis.sanitize_tape`, so a diverging run raises
+        :class:`~repro.analysis.NonFiniteError` naming the first op that
+        produced a NaN/Inf instead of a generic "loss is not finite".
+        """
         inputs, targets = self._prepare(sample)
         self._optimizer.zero_grad()
-        pred = self.model.forward(inputs, training=True)
-        loss = huber_loss(pred, targets)
-        value = loss.item()
-        if not np.isfinite(value):
-            raise ModelError(
-                "training diverged: loss is not finite (lower the learning "
-                "rate or check label scaling)"
-            )
-        loss.backward()
+        guard = sanitize_tape() if self.sanitize else nullcontext()
+        with guard:
+            pred = self.model.forward(inputs, training=True)
+            loss = huber_loss(pred, targets)
+            value = loss.item()
+            if not np.isfinite(value):
+                raise ModelError(
+                    "training diverged: loss is not finite (lower the learning "
+                    "rate or check label scaling)"
+                )
+            loss.backward()
         nn.clip_global_norm(self.model.parameters(), self.model.hparams.grad_clip)
         self._optimizer.step()
         return value

@@ -1,0 +1,259 @@
+"""Fixture-driven tests for every lint rule: positive, negative, disable."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import RULES, format_violations, lint_source
+from repro.errors import AnalysisError
+
+#: Default location for fixtures: an ordinary library module, none of the
+#: location-based exemptions apply.
+PLAIN = "src/repro/evaluation/fixture.py"
+
+
+def codes(source, relpath=PLAIN, rules=None):
+    return [v.code for v in lint_source(textwrap.dedent(source), relpath, rules)]
+
+
+# ----------------------------------------------------------------------
+# RP001 — bare RNG calls
+# ----------------------------------------------------------------------
+class TestRP001:
+    def test_np_random_call_flagged(self):
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == ["RP001"]
+
+    def test_numpy_random_longhand_flagged(self):
+        src = "import numpy\nx = numpy.random.default_rng(0)\n"
+        assert codes(src) == ["RP001"]
+
+    def test_stdlib_random_flagged_when_imported(self):
+        assert codes("import random\nx = random.random()\n") == ["RP001"]
+
+    def test_generator_method_ok(self):
+        src = "from repro.random import make_rng\nrng = make_rng(0)\nx = rng.normal()\n"
+        assert codes(src) == []
+
+    def test_local_name_random_not_flagged(self):
+        # No `import random` => `random.choice` is some local object.
+        assert codes("x = random.choice([1, 2])\n") == []
+
+    def test_random_module_itself_exempt(self):
+        src = "import numpy as np\nx = np.random.default_rng(0)\n"
+        assert codes(src, relpath="src/repro/random.py") == []
+
+    def test_trailing_disable(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=RP001\n"
+        assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RP002 — float equality
+# ----------------------------------------------------------------------
+class TestRP002:
+    def test_eq_float_literal_flagged(self):
+        assert codes("ok = x == 1.5\n") == ["RP002"]
+
+    def test_neq_float_literal_flagged(self):
+        assert codes("ok = 0.0 != y\n") == ["RP002"]
+
+    def test_int_equality_ok(self):
+        assert codes("ok = x == 1\n") == []
+
+    def test_isclose_ok(self):
+        assert codes("import numpy as np\nok = np.isclose(x, 1.5)\n") == []
+
+    def test_ordering_ok(self):
+        assert codes("ok = x < 1.5\n") == []
+
+    def test_trailing_disable(self):
+        assert codes("ok = x == 0.0  # repro-lint: disable=RP002\n") == []
+
+
+# ----------------------------------------------------------------------
+# RP003 — mutable default arguments
+# ----------------------------------------------------------------------
+class TestRP003:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()", "list()"])
+    def test_mutable_default_flagged(self, default):
+        assert codes(f"def f(x={default}):\n    return x\n") == ["RP003"]
+
+    def test_kwonly_default_flagged(self):
+        assert codes("def f(*, x=[]):\n    return x\n") == ["RP003"]
+
+    def test_lambda_default_flagged(self):
+        assert codes("f = lambda x=[]: x\n") == ["RP003"]
+
+    def test_none_default_ok(self):
+        assert codes("def f(x=None):\n    return x or []\n") == []
+
+    def test_immutable_defaults_ok(self):
+        assert codes("def f(x=(), y=0, z='a'):\n    return x, y, z\n") == []
+
+    def test_trailing_disable(self):
+        assert codes("def f(x=[]):  # repro-lint: disable=RP003\n    return x\n") == []
+
+
+# ----------------------------------------------------------------------
+# RP004 — swallowed exceptions
+# ----------------------------------------------------------------------
+SWALLOW = """
+try:
+    work()
+except Exception:
+    pass
+"""
+
+class TestRP004:
+    def test_silent_broad_except_flagged(self):
+        assert codes(SWALLOW) == ["RP004"]
+
+    def test_bare_except_flagged(self):
+        assert codes("try:\n    work()\nexcept:\n    pass\n") == ["RP004"]
+
+    def test_tuple_with_exception_flagged(self):
+        src = "try:\n    work()\nexcept (ValueError, Exception):\n    pass\n"
+        assert codes(src) == ["RP004"]
+
+    def test_narrow_type_ok(self):
+        assert codes("try:\n    work()\nexcept ValueError:\n    pass\n") == []
+
+    def test_logged_ok(self):
+        src = "try:\n    work()\nexcept Exception as exc:\n    logger.warning('x: %s', exc)\n"
+        assert codes(src) == []
+
+    def test_reraise_ok(self):
+        src = "try:\n    work()\nexcept Exception:\n    raise\n"
+        assert codes(src) == []
+
+    def test_trailing_disable(self):
+        src = "try:\n    work()\nexcept Exception:  # repro-lint: disable=RP004\n    pass\n"
+        assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RP005 — dtype literals outside repro/nn
+# ----------------------------------------------------------------------
+class TestRP005:
+    def test_np_attribute_flagged(self):
+        assert codes("import numpy as np\nx = np.zeros(3, dtype=np.float32)\n") == ["RP005"]
+
+    def test_string_literal_flagged(self):
+        assert codes("x = arr.astype('float64')\n") == ["RP005"]
+
+    def test_inside_nn_exempt(self):
+        src = "import numpy as np\nx = np.float32(1.0)\n"
+        assert codes(src, relpath="src/repro/nn/tensor.py") == []
+
+    def test_inside_analysis_exempt(self):
+        src = "import numpy as np\nx = np.float64(1.0)\n"
+        assert codes(src, relpath="src/repro/analysis/gradcheck.py") == []
+
+    def test_other_dtypes_ok(self):
+        assert codes("import numpy as np\nx = np.zeros(3, dtype=np.int64)\n") == []
+
+    def test_trailing_disable(self):
+        src = "import numpy as np\nx = np.float32(1)  # repro-lint: disable=RP005\n"
+        assert codes(src) == []
+
+
+# ----------------------------------------------------------------------
+# RP006 — Tensor.data / .grad mutation outside repro/nn
+# ----------------------------------------------------------------------
+class TestRP006:
+    def test_data_assign_flagged(self):
+        assert codes("t.data = x\n") == ["RP006"]
+
+    def test_grad_augassign_flagged(self):
+        assert codes("t.grad += g\n") == ["RP006"]
+
+    def test_subscript_store_flagged(self):
+        assert codes("t.data[0] = 1\n") == ["RP006"]
+
+    def test_read_ok(self):
+        assert codes("x = t.data\ng = t.grad\n") == []
+
+    def test_inside_nn_exempt(self):
+        assert codes("t.data = x\n", relpath="src/repro/nn/optim.py") == []
+
+    def test_trailing_disable(self):
+        assert codes("t.grad = None  # repro-lint: disable=RP006\n") == []
+
+
+# ----------------------------------------------------------------------
+# RP007 — wall-clock calls inside the simulator
+# ----------------------------------------------------------------------
+SIM = "src/repro/simulator/fixture.py"
+
+class TestRP007:
+    def test_time_time_flagged_in_simulator(self):
+        assert codes("import time\nnow = time.time()\n", relpath=SIM) == ["RP007"]
+
+    def test_perf_counter_flagged_in_simulator(self):
+        src = "import time\nnow = time.perf_counter()\n"
+        assert codes(src, relpath=SIM) == ["RP007"]
+
+    def test_datetime_now_flagged_in_simulator(self):
+        src = "from datetime import datetime\nnow = datetime.now()\n"
+        assert codes(src, relpath=SIM) == ["RP007"]
+
+    def test_ok_outside_simulator(self):
+        assert codes("import time\nnow = time.time()\n") == []
+
+    def test_virtual_time_ok(self):
+        assert codes("now = self.clock.now\n", relpath=SIM) == []
+
+    def test_trailing_disable(self):
+        src = "import time\nnow = time.time()  # repro-lint: disable=RP007\n"
+        assert codes(src, relpath=SIM) == []
+
+
+# ----------------------------------------------------------------------
+# Escape-hatch plumbing and API edges
+# ----------------------------------------------------------------------
+class TestPlumbing:
+    def test_file_level_disable(self):
+        src = (
+            "# repro-lint: disable=RP002\n"
+            "a = x == 1.5\n"
+            "b = y == 2.5\n"
+        )
+        assert codes(src) == []
+
+    def test_file_level_disable_is_per_code(self):
+        src = (
+            "# repro-lint: disable=RP002\n"
+            "a = x == 1.5\n"
+            "def f(x=[]):\n    return x\n"
+        )
+        assert codes(src) == ["RP003"]
+
+    def test_multi_code_disable(self):
+        src = "t.data = x == 1.5  # repro-lint: disable=RP002,RP006\n"
+        assert codes(src) == []
+
+    def test_unknown_code_in_disable_comment_raises(self):
+        with pytest.raises(AnalysisError, match="unknown lint code"):
+            lint_source("x = 1  # repro-lint: disable=RP999\n", PLAIN)
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(AnalysisError, match="unknown lint rule"):
+            lint_source("x = 1\n", PLAIN, rules=["RPxyz"])
+
+    def test_rule_subset(self):
+        src = "import numpy as np\nx = np.random.rand(3)\nok = y == 1.5\n"
+        assert codes(src, rules=["RP002"]) == ["RP002"]
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(AnalysisError, match="syntax error"):
+            lint_source("def f(:\n", PLAIN)
+
+    def test_violation_format(self):
+        (v,) = lint_source("ok = x == 1.5\n", PLAIN)
+        assert v.format() == f"{PLAIN}:1:6: RP002 {RULES['RP002']}"
+
+    def test_format_violations_summary(self):
+        vs = lint_source("ok = x == 1.5\n", PLAIN)
+        out = format_violations(vs)
+        assert "1 violation(s)" in out
+        assert format_violations([]) == "no lint violations"

@@ -1,0 +1,100 @@
+"""Tape-sanitizer tests: NaN/Inf localization and trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import NonFiniteError, sanitize_tape
+from repro.errors import AnalysisError
+from repro.nn import ops
+from repro.nn.tensor import Tensor
+
+
+def _make_func():
+    return Tensor.__dict__["_make"].__func__
+
+
+class TestSanitizeTape:
+    def test_forward_nan_names_the_op(self):
+        x = Tensor(np.array([-1.0, 0.5]), requires_grad=True)
+        with pytest.raises(NonFiniteError) as err:
+            with sanitize_tape(), np.errstate(invalid="ignore"):
+                ops.log(x)
+        assert err.value.op == "log"
+        assert err.value.stage == "forward"
+        assert "log" in str(err.value)
+
+    def test_forward_inf_names_the_op(self):
+        x = Tensor(np.array([1000.0]), requires_grad=True)
+        with pytest.raises(NonFiniteError) as err:
+            with sanitize_tape(), np.errstate(over="ignore"):
+                ops.exp(x)
+        assert err.value.op == "exp" and err.value.stage == "forward"
+
+    def test_backward_nan_is_caught(self):
+        """A NaN injected into an upstream gradient is caught as it flows."""
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with pytest.raises(NonFiniteError) as err:
+            with sanitize_tape():
+                y = ops.tanh(x)
+                # Seed the backward pass with a poisoned gradient.
+                y.backward(np.array([np.nan, 1.0]))
+        assert err.value.stage.startswith("backward")
+
+    def test_clean_graph_passes_and_restores(self):
+        original = _make_func()
+        x = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        with sanitize_tape():
+            ops.sigmoid(x).sum().backward()
+        assert np.isfinite(x.grad).all()
+        assert _make_func() is original
+
+    def test_restores_after_error(self):
+        original = _make_func()
+        x = Tensor(np.array([-1.0]))
+        with pytest.raises(NonFiniteError):
+            with sanitize_tape(), np.errstate(invalid="ignore"):
+                ops.sqrt(x)
+        assert _make_func() is original
+
+    def test_is_an_analysis_error(self):
+        assert issubclass(NonFiniteError, AnalysisError)
+
+
+class TestTrainerIntegration:
+    def test_sanitized_training_runs_clean(self, nsfnet_samples):
+        from repro.core import HyperParams, RouteNet
+        from repro.training import Trainer
+
+        model = RouteNet(HyperParams(message_passing_steps=2), seed=0)
+        trainer = Trainer(model, seed=1, sanitize=True)
+        history = trainer.fit(list(nsfnet_samples[:3]), epochs=1)
+        assert np.isfinite(history.last().train_loss)
+        assert _make_func().__qualname__.startswith("Tensor")
+
+    def test_divergence_names_the_op(self, nsfnet_samples):
+        """A poisoned parameter turns 'loss is not finite' into an op name."""
+        from repro.core import HyperParams, RouteNet
+        from repro.training import Trainer
+
+        model = RouteNet(HyperParams(message_passing_steps=2), seed=0)
+        model.readout.layers[-1].weight.data[0, 0] = np.nan
+        trainer = Trainer(model, seed=1, sanitize=True)
+        with pytest.raises(NonFiniteError) as err:
+            trainer.fit(list(nsfnet_samples[:1]), epochs=1)
+        assert err.value.op  # localized to a specific op, not just "loss"
+
+    def test_api_train_accepts_sanitize(self, nsfnet_samples):
+        from repro import api
+
+        result = api.train(list(nsfnet_samples[:2]), epochs=1, sanitize=True)
+        assert np.isfinite(result.final_train_loss)
+
+    def test_cli_flag_exists(self):
+        from repro.cli.main import build_parser
+
+        ns = build_parser().parse_args(
+            ["train", "-d", "d.jsonl", "-o", "m.npz", "--sanitize"]
+        )
+        assert ns.sanitize is True
+        ns = build_parser().parse_args(["train", "-d", "d.jsonl", "-o", "m.npz"])
+        assert ns.sanitize is False

@@ -1,0 +1,181 @@
+"""Shape-checker tests: the paper topologies pass, injected bugs localize."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_SIGNATURE_NAMES,
+    ShapeCheckError,
+    ShapeTensor,
+    TopologySignature,
+    abstract_graph,
+    check_model,
+    paper_signatures,
+)
+from repro.core import HyperParams, RouteNet
+from repro.nn import ops
+
+
+@pytest.fixture(scope="module")
+def signatures():
+    return paper_signatures()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RouteNet(HyperParams())
+
+
+# ----------------------------------------------------------------------
+# The paper's three topologies type-check
+# ----------------------------------------------------------------------
+class TestPaperSignatures:
+    def test_names(self, signatures):
+        assert tuple(signatures) == PAPER_SIGNATURE_NAMES
+
+    @pytest.mark.parametrize("name", PAPER_SIGNATURE_NAMES)
+    def test_signature_passes(self, model, signatures, name):
+        report = check_model(model, signatures[name])
+        assert report.ok, report.format()
+        sig = signatures[name]
+        assert report.output_shape == (sig.num_paths, model.hparams.readout_targets)
+        assert report.output_dtype == "float64"
+        assert report.ops_checked > 0
+
+    def test_paper_sizes(self, signatures):
+        nsf, geant = signatures["nsfnet"], signatures["geant2"]
+        assert (nsf.num_nodes, nsf.num_links) == (14, 42)
+        assert nsf.num_paths == 14 * 13
+        assert (geant.num_nodes, geant.num_links) == (24, 76)
+        assert geant.num_paths == 24 * 23
+        assert signatures["synthetic50"].num_paths == 50 * 49
+
+    def test_two_target_model(self, signatures):
+        model = RouteNet(HyperParams(readout_targets=2))
+        report = check_model(model, signatures["nsfnet"])
+        assert report.ok and report.output_shape[1] == 2
+
+    def test_is_fast(self, model, signatures):
+        import time
+
+        started = time.perf_counter()
+        for sig in signatures.values():
+            assert check_model(model, sig).ok
+        assert time.perf_counter() - started < 2.0
+
+
+# ----------------------------------------------------------------------
+# Injected bugs produce op-level diagnostics
+# ----------------------------------------------------------------------
+class TestInjectedBug:
+    def test_broken_weight_is_localized(self, signatures):
+        model = RouteNet(HyperParams())
+        hp = model.hparams
+        good = model.link_embed.weight.data
+        # Grow the link-embedding weight's input dim by one: the first
+        # matmul of the forward pass no longer matches link_feature_dim.
+        model.link_embed.weight.data = np.zeros(
+            (hp.link_feature_dim + 1, hp.link_state_dim)
+        )
+        try:
+            report = check_model(model, signatures["nsfnet"])
+        finally:
+            model.link_embed.weight.data = good
+        assert not report.ok
+        assert report.failed_op == "matmul"
+        shapes = list(report.failed_operands)
+        assert (hp.link_feature_dim + 1, hp.link_state_dim) in shapes
+        assert "matmul" in report.format()
+
+    def test_mismatched_feature_dim_reported(self, signatures):
+        model = RouteNet(HyperParams(path_feature_dim=3))
+        report = check_model(model, signatures["nsfnet"])
+        assert not report.ok
+        assert report.failed_op is not None
+        assert report.error
+
+
+# ----------------------------------------------------------------------
+# ShapeTensor semantics
+# ----------------------------------------------------------------------
+class TestShapeTensor:
+    def test_broadcast_add(self):
+        a = ShapeTensor((4, 1))
+        b = ShapeTensor((1, 5))
+        assert (a + b).shape == (4, 5)
+
+    def test_incompatible_broadcast_raises(self):
+        with pytest.raises(ShapeCheckError, match="add"):
+            ShapeTensor((4, 3)) + ShapeTensor((4, 2))
+
+    def test_matmul_inner_dim(self):
+        assert (ShapeTensor((3, 4)) @ ShapeTensor((4, 5))).shape == (3, 5)
+        with pytest.raises(ShapeCheckError, match="matmul"):
+            ShapeTensor((3, 4)) @ ShapeTensor((5, 6))
+
+    def test_getitem_slices(self):
+        t = ShapeTensor((7, 9))
+        assert t[:, 3:6].shape == (7, 3)
+        assert t[0].shape == (9,)
+
+    def test_reductions(self):
+        t = ShapeTensor((4, 5))
+        assert t.sum().shape == ()
+        assert t.mean(axis=0).shape == (5,)
+        assert t.sum(axis=1, keepdims=True).shape == (4, 1)
+
+    def test_numerics_are_refused(self):
+        t = ShapeTensor((2, 2))
+        with pytest.raises(ShapeCheckError):
+            t.numpy()
+        with pytest.raises(ShapeCheckError):
+            t.backward()
+
+
+# ----------------------------------------------------------------------
+# The abstract op layer
+# ----------------------------------------------------------------------
+class TestAbstractGraph:
+    def test_ops_are_patched_and_restored(self):
+        real_gather = ops.gather
+        with abstract_graph():
+            assert ops.gather is not real_gather
+            out = ops.segment_sum(
+                ShapeTensor((6, 3)), np.zeros(6, dtype=int), num_segments=4
+            )
+            assert out.shape == (4, 3)
+        assert ops.gather is real_gather
+
+    def test_gather_bounds_checked(self):
+        with abstract_graph():
+            with pytest.raises(ShapeCheckError, match="gather"):
+                ops.gather(ShapeTensor((5, 3)), np.array([0, 7]))
+
+    def test_segment_ids_length_checked(self):
+        with abstract_graph():
+            with pytest.raises(ShapeCheckError, match="segment_sum"):
+                ops.segment_sum(
+                    ShapeTensor((6, 3)), np.zeros(4, dtype=int), num_segments=2
+                )
+
+
+# ----------------------------------------------------------------------
+# TopologySignature construction
+# ----------------------------------------------------------------------
+class TestTopologySignature:
+    def test_from_topology_matches_routing(self):
+        from repro.topology import nsfnet
+
+        sig = TopologySignature.from_topology(nsfnet())
+        assert sig.link_indices.shape[0] == sig.num_paths
+        assert sig.mask.shape == sig.link_indices.shape
+        # Padded entries are -1 and masked out; real entries are valid links.
+        real = sig.link_indices[sig.mask.astype(bool)]
+        assert real.min() >= 0 and real.max() < sig.num_links
+        assert (sig.link_indices[~sig.mask.astype(bool)] == -1).all()
+
+    def test_model_input_is_concrete(self):
+        from repro.topology import nsfnet
+
+        inputs = TopologySignature.from_topology(nsfnet()).model_input()
+        assert inputs.path_features.shape[0] == 14 * 13
