@@ -1,13 +1,39 @@
 """``python -m repro.analysis`` — run the static correctness suite.
 
-Default run: lint ``src/`` with every rule, then shape-check the default
-RouteNet architecture against the paper's three topology signatures
-(NSFNET, Geant2, 50-node synthetic).  ``--gradcheck`` adds the
-finite-difference gradient audit (seconds, so opt-in here; CI runs it in
-the pytest matrix as well).
+Default run, in order:
 
-``--strict`` makes any finding a non-zero exit, which is how CI gates
-merges; without it the tool only reports.
+1. **Lint** (RP0xx): single-file AST rules over ``src/``.
+2. **Flow passes** (RP2xx/RP3xx/RP4xx): the interprocedural analyses —
+   spawn-safety & determinism proofs over the runner call graph,
+   dimensional analysis of unit-annotated signatures, and numpy hot-path
+   perf lints.  Skip with ``--no-flow``.
+3. **Stale-suppression audit** (RP008): a ``# repro-lint: disable=RPxxx``
+   comment that suppressed nothing across *all* passes is itself an error
+   (runs only on full-tree, full-rule runs, where "unused" is meaningful).
+4. **Shape check**: the default RouteNet architecture against the paper's
+   three topology signatures (NSFNET, Geant2, 50-node synthetic).
+5. ``--gradcheck`` adds the finite-difference gradient audit (opt-in
+   here; CI runs it in the pytest matrix as well).
+
+Severities: **error** findings fail ``--strict``; **warning** findings
+(RP204, off-hot-path RP4xx) are reported but never gate.  Text output
+hides warnings behind ``--show-warnings``; ``json``/``github`` formats
+always include them.
+
+Output formats (``--format``):
+
+* ``text`` — human-readable (default);
+* ``json`` — one machine-readable object on stdout;
+* ``github`` — GitHub Actions workflow annotations
+  (``::error file=...,line=...::...``) plus a plain summary.
+
+Exit codes:
+
+* ``0`` — clean, or findings in non-strict mode;
+* ``1`` — ``--strict`` and at least one error-severity finding or failed
+  check, or ``--max-seconds`` exceeded;
+* ``2`` — configuration error (unknown rule, unreadable path,
+  unparsable source).
 """
 
 from __future__ import annotations
@@ -21,8 +47,9 @@ from typing import Sequence
 
 from ..core import HyperParams, RouteNet
 from ..errors import AnalysisError
+from .codes import ALL_CODES
 from .gradcheck import format_gradcheck, gradcheck_all
-from .lint import RULES, format_violations, lint_paths
+from .lint import RULES, Violation, format_violations, lint_paths, lint_source
 from .shapes import check_model, paper_signatures
 
 __all__ = ["main"]
@@ -36,21 +63,27 @@ def _default_src_root() -> Path:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Repo static checks: lint, shape-check, gradient audit.",
+        description="Repo static checks: lint, flow analyses, shape check, "
+                    "gradient audit.",
     )
     parser.add_argument(
         "--strict", action="store_true",
-        help="exit non-zero on any violation or failed check (CI gate)",
+        help="exit 1 on any error-severity finding or failed check (CI gate)",
     )
     parser.add_argument(
         "--paths", nargs="*",
-        help="files/directories to lint (default: the installed src tree)",
+        help="files/directories to lint (default: the installed src tree); "
+             "flow passes and the stale audit only run on the default tree",
     )
     parser.add_argument(
         "--rules", help="comma-separated rule subset, e.g. RP001,RP004",
     )
     parser.add_argument(
         "--no-lint", action="store_true", help="skip the AST linter",
+    )
+    parser.add_argument(
+        "--no-flow", action="store_true",
+        help="skip the interprocedural passes (RP2xx/RP3xx/RP4xx)",
     )
     parser.add_argument(
         "--no-shapes", action="store_true",
@@ -61,53 +94,149 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the finite-difference gradient audit of every op",
     )
     parser.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        dest="fmt", help="output format (default: text)",
+    )
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="machine-readable output",
+        help="deprecated alias for --format json",
+    )
+    parser.add_argument(
+        "--show-warnings", action="store_true",
+        help="print warning-severity findings in text output "
+             "(json/github always include them)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="directory for the per-file AST/facts cache (content-hash "
+             "keyed; safe to persist across runs and branches)",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="fail (exit 1) if the analysis itself takes longer than this",
     )
     return parser
 
 
+def _github_line(v: Violation) -> str:
+    level = "error" if v.severity == "error" else "warning"
+    return (f"::{level} file={v.path},line={v.line},col={v.col}"
+            f"::{v.code} {v.message}")
+
+
+def _run_flow(src_root: Path, cache_dir: Path | None,
+              findings: list[Violation]) -> dict:
+    """Index the tree, run the three flow passes, return the module map."""
+    from .flow import CallGraph, index_project
+    from .flow.perf import check_perf
+    from .flow.spawnsafety import check_spawn_safety
+    from .flow.units import check_units
+
+    index = index_project(src_root, cache_dir=cache_dir)
+    graph = CallGraph(index)
+    findings.extend(check_spawn_safety(index, graph))
+    findings.extend(check_units(index))
+    findings.extend(check_perf(index, graph))
+    return index.modules
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    problems = 0
+    fmt = "json" if args.as_json else args.fmt
+    started = time.perf_counter()
+    errors = 0
+    warnings = 0
     payload: dict[str, object] = {}
+    findings: list[Violation] = []
+    src_root = _default_src_root()
 
-    if not args.no_lint:
-        roots = [Path(p) for p in args.paths] if args.paths else [_default_src_root()]
-        rules = (
-            [r.strip() for r in args.rules.split(",") if r.strip()]
-            if args.rules else None
-        )
-        unknown = set(rules or []) - RULES.keys()
-        if unknown:
-            print(f"error: unknown rule(s) {sorted(unknown)}", file=sys.stderr)
+    rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules else None
+    )
+    unknown = set(rules or []) - RULES.keys()
+    if unknown:
+        print(f"error: unknown rule(s) {sorted(unknown)}", file=sys.stderr)
+        return 2
+
+    # Flow passes run over the default tree and produce the module map whose
+    # Suppressions objects are shared with the linter below, so the stale
+    # audit sees usage across every pass.
+    modules = None
+    flow_ran = False
+    if not args.no_flow and not args.paths:
+        try:
+            modules = _run_flow(src_root, args.cache_dir, findings)
+            flow_ran = True
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-        started = time.perf_counter()
-        violations = lint_paths(roots, rules=rules)
-        elapsed = time.perf_counter() - started
-        problems += len(violations)
-        payload["lint"] = [v.__dict__ for v in violations]
-        if not args.as_json:
-            print(f"[lint] {len(violations)} violation(s) "
-                  f"({elapsed * 1000:.0f} ms)")
-            if violations:
-                print(format_violations(violations))
+
+    lint_ran = False
+    if not args.no_lint:
+        try:
+            if modules is not None:
+                for info in modules.values():
+                    findings.extend(lint_source(
+                        info.source, info.relpath, rules=rules,
+                        suppressions=info.suppressions,
+                    ))
+            else:
+                roots = ([Path(p) for p in args.paths] if args.paths
+                         else [src_root])
+                findings.extend(lint_paths(roots, rules=rules))
+            lint_ran = True
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: cannot read input: {exc}", file=sys.stderr)
+            return 2
+
+    # Stale-suppression audit: only meaningful when every pass that could
+    # have used a suppression actually ran, over the whole tree.
+    if flow_ran and lint_ran and rules is None:
+        for info in modules.values():
+            for line, code in info.suppressions.stale_entries():
+                findings.append(Violation(
+                    path=info.relpath, line=line, col=0, code="RP008",
+                    message=f"{ALL_CODES['RP008']} (disable={code})",
+                ))
+
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    errors += sum(1 for v in findings if v.severity == "error")
+    warnings += sum(1 for v in findings if v.severity != "error")
+    payload["findings"] = [v.__dict__ for v in findings]
+    # Back-compat alias for the pre-flow JSON schema.
+    payload["lint"] = [v.__dict__ for v in findings if v.code.startswith("RP0")]
+
+    if fmt == "text":
+        shown = [v for v in findings
+                 if v.severity == "error" or args.show_warnings]
+        print(f"[analysis] {errors} error(s), {warnings} warning(s)")
+        if shown:
+            print(format_violations(shown))
+        hidden = len(findings) - len(shown)
+        if hidden:
+            print(f"({hidden} warning(s) hidden; use --show-warnings)")
+    elif fmt == "github":
+        for v in findings:
+            print(_github_line(v))
 
     if not args.no_shapes:
         model = RouteNet(HyperParams())
-        started = time.perf_counter()
         reports = [
             check_model(model, sig) for sig in paper_signatures().values()
         ]
-        elapsed = time.perf_counter() - started
         failures = [r for r in reports if not r.ok]
-        problems += len(failures)
+        errors += len(failures)
         payload["shapes"] = [r.__dict__ for r in reports]
-        if not args.as_json:
+        if fmt == "text":
             for report in reports:
                 print(report.format())
-            print(f"[shape-check] {len(reports)} signature(s) in "
-                  f"{elapsed * 1000:.0f} ms")
+        elif fmt == "github":
+            for report in failures:
+                print(f"::error::shape check failed: {report.format()}")
 
     if args.gradcheck:
         try:
@@ -116,24 +245,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"[gradcheck] configuration error: {exc}", file=sys.stderr)
             return 2
         failed = [r for r in reports.values() if not r.ok]
-        problems += len(failed)
+        errors += len(failed)
         payload["gradcheck"] = {
             name: report.__dict__ for name, report in reports.items()
         }
-        if not args.as_json:
+        if fmt == "text":
             print(format_gradcheck(reports))
 
-    if args.as_json:
+    elapsed = time.perf_counter() - started
+    payload["elapsed_seconds"] = round(elapsed, 3)
+    payload["counts"] = {"errors": errors, "warnings": warnings}
+
+    if fmt == "json":
         print(json.dumps(payload, indent=2, default=str))
 
-    if problems:
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"error: analysis took {elapsed:.2f}s "
+              f"(budget {args.max_seconds:.2f}s)", file=sys.stderr)
+        return 1
+
+    if errors:
         status = 1 if args.strict else 0
-        if not args.as_json:
-            print(f"{problems} problem(s) found"
+        if fmt == "text":
+            print(f"{errors} error(s) found"
                   + ("" if args.strict else " (non-strict: exit 0)"))
         return status
-    if not args.as_json:
-        print("all checks passed")
+    if fmt == "text":
+        print(f"all checks passed ({elapsed:.2f}s)")
     return 0
 
 

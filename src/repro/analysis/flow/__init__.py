@@ -1,0 +1,23 @@
+"""Interprocedural flow analyses: call graph + spawn/units/perf passes."""
+
+from .callgraph import (
+    CallGraph,
+    CallSite,
+    ClassInfo,
+    DynamicCall,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    index_project,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "DynamicCall",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "index_project",
+]

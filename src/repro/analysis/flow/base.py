@@ -1,0 +1,37 @@
+"""Shared plumbing for the interprocedural passes."""
+
+from __future__ import annotations
+
+from ..codes import ALL_CODES, CODE_SEVERITY
+from ..lint import Violation
+from .callgraph import ModuleInfo
+
+__all__ = ["emit"]
+
+
+def emit(
+    findings: list[Violation],
+    info: ModuleInfo,
+    line: int,
+    col: int,
+    code: str,
+    extra: str = "",
+    severity: str | None = None,
+) -> None:
+    """Append a finding unless a ``# repro-lint: disable`` comment covers it.
+
+    Consulting :attr:`ModuleInfo.suppressions` here (rather than filtering
+    afterwards) marks the suppression as *used*, which is what the RP008
+    stale-suppression audit keys on.
+    """
+    if info.suppressions is not None and info.suppressions.is_suppressed(line, code):
+        return
+    message = ALL_CODES[code] + (f" [{extra}]" if extra else "")
+    findings.append(Violation(
+        path=info.relpath,
+        line=line,
+        col=col,
+        code=code,
+        message=message,
+        severity=severity or CODE_SEVERITY.get(code, "error"),
+    ))

@@ -1,0 +1,921 @@
+"""Project-wide import/call-graph construction.
+
+The single-file linter (:mod:`repro.analysis.lint`) sees one module at a
+time; every flow pass needs the *project*: which function calls which,
+across modules, through methods, decorators, lambdas, aliases and
+``functools.partial``.  This module builds that graph once per run:
+
+* :func:`index_project` parses every ``*.py`` under a root into
+  :class:`ModuleInfo` records (import tables, functions, classes,
+  module-level globals, suppression comments), with an optional on-disk
+  cache keyed on each file's content hash;
+* :class:`CallGraph` resolves call sites to canonical function names
+  (``repro.simulator.network.NetworkSimulator.run``) and offers
+  reachability and call-chain queries on top.
+
+Resolution is deliberately conservative-by-overapproximation where Python
+is dynamic: a reference to a function that is never syntactically called
+(handed to ``ParallelRunner``, wrapped in ``functools.partial``, stored in
+a registry dict) still produces a ``ref`` edge, so reachability never
+misses a higher-order flow.  ``getattr(obj, "name")`` with a literal
+string resolves like a normal attribute; with a dynamic string it is
+recorded as an unresolved :class:`DynamicCall` instead of silently
+dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...errors import AnalysisError
+from ..lint import Suppressions
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "DynamicCall",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "index_project",
+]
+
+#: Bump when the extracted facts change shape; invalidates the disk cache.
+_CACHE_VERSION = 3
+
+_WALL_CLOCK_TARGETS = {
+    "time.time", "time.monotonic", "time.perf_counter", "time.process_time",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popleft", "appendleft",
+    "clear", "update", "add", "discard", "setdefault", "sort", "reverse",
+    "popitem",
+}
+
+
+@dataclass
+class CallSite:
+    """One syntactic call inside a function body."""
+
+    written: str | None      #: dotted name as written (``self.run``), None if dynamic
+    resolved: str | None     #: canonical target qualname, None if unresolved
+    line: int
+    col: int
+    kind: str = "call"       #: ``"call"`` (invoked) or ``"ref"`` (reference escapes)
+
+
+@dataclass
+class DynamicCall:
+    """A ``getattr(obj, <dynamic>)`` (or similar) call we cannot resolve."""
+
+    line: int
+    description: str
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the flow passes need to know about one function."""
+
+    qualname: str                       #: canonical ``module.Class.method`` name
+    module: str
+    relpath: str
+    lineno: int
+    node: ast.AST                       #: FunctionDef / AsyncFunctionDef / Lambda
+    class_name: str | None = None
+    is_lambda: bool = False
+    decorators: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    dynamic_calls: list[DynamicCall] = field(default_factory=list)
+    #: (module, name, line) module-level names this function reads.
+    global_reads: list[tuple[str, str, int]] = field(default_factory=list)
+    #: (module, name, line) module-level names this function writes/mutates.
+    global_writes: list[tuple[str, str, int]] = field(default_factory=list)
+    #: lines with wall-clock reads (time.time & friends, alias-aware).
+    wall_clock: list[int] = field(default_factory=list)
+    #: lines with seed-less RNG construction (make_rng(), default_rng(), ...).
+    unseeded_rng: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases (as written), methods, annotated fields."""
+
+    name: str
+    module: str
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, str] = field(default_factory=dict)  #: name -> qualname
+    #: field name -> annotation source text (dataclass/class-var annotations).
+    fields: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Parsed facts of one module."""
+
+    name: str                 #: dotted module name (``repro.simulator.network``)
+    relpath: str
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level name -> dotted target for ``f = g`` / ``f = partial(g)``.
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: module-level names bound to structurally mutable values.
+    mutable_globals: set[str] = field(default_factory=set)
+    #: module-level names (any) defined by assignment.
+    global_names: set[str] = field(default_factory=set)
+    suppressions: Suppressions | None = None
+
+
+def _module_name(path: Path, root: Path) -> str:
+    rel = path.relative_to(root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        return name in (
+            "list", "dict", "set", "bytearray", "deque", "collections.deque",
+            "defaultdict", "collections.defaultdict", "collections.OrderedDict",
+        )
+    return False
+
+
+class _ModuleExtractor:
+    """Collects per-module symbol tables and per-function raw facts."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+
+    # -- entry ---------------------------------------------------------
+    def run(self) -> None:
+        for stmt in self.info.tree.body:
+            self._top_level(stmt)
+
+    def _top_level(self, stmt: ast.stmt) -> None:
+        info = self.info
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                info.imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(stmt, ast.ImportFrom):
+            base = self._resolve_from(stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._register_function(stmt, class_name=None)
+        elif isinstance(stmt, ast.ClassDef):
+            self._register_class(stmt)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                info.global_names.add(target.id)
+                if value is None:
+                    continue
+                if isinstance(value, ast.Lambda):
+                    self._register_lambda(value, target.id, class_name=None)
+                elif _is_mutable_literal(value):
+                    info.mutable_globals.add(target.id)
+                else:
+                    dotted = _dotted(value) or self._partial_target(value)
+                    if dotted:
+                        info.aliases[target.id] = dotted
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._top_level(sub)
+
+    def _resolve_from(self, stmt: ast.ImportFrom) -> str:
+        if stmt.level == 0:
+            return stmt.module or ""
+        # Relative import: drop `level` trailing components of the package.
+        parts = self.info.name.split(".")
+        if not self.info.relpath.endswith("__init__.py"):
+            parts = parts[:-1]
+        parts = parts[: len(parts) - (stmt.level - 1)] if stmt.level > 1 else parts
+        base = ".".join(parts)
+        if stmt.module:
+            base = f"{base}.{stmt.module}" if base else stmt.module
+        return base
+
+    @staticmethod
+    def _partial_target(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name in ("functools.partial", "partial") and node.args:
+                return _dotted(node.args[0])
+        return None
+
+    # -- functions / classes -------------------------------------------
+    def _register_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None, parent: str | None = None,
+    ) -> FunctionInfo:
+        local = f"{parent}.<locals>.{node.name}" if parent else (
+            f"{class_name}.{node.name}" if class_name else node.name
+        )
+        fn = FunctionInfo(
+            qualname=f"{self.info.name}.{local}",
+            module=self.info.name,
+            relpath=self.info.relpath,
+            lineno=node.lineno,
+            node=node,
+            class_name=class_name,
+            decorators=[d for d in (_dotted(dec) for dec in node.decorator_list) if d],
+        )
+        self.info.functions[local] = fn
+        self._extract_body(fn, local)
+        return fn
+
+    def _register_lambda(
+        self, node: ast.Lambda, name: str, class_name: str | None,
+        parent: str | None = None,
+    ) -> FunctionInfo:
+        local = f"{parent}.<locals>.{name}" if parent else (
+            f"{class_name}.{name}" if class_name else name
+        )
+        fn = FunctionInfo(
+            qualname=f"{self.info.name}.{local}",
+            module=self.info.name,
+            relpath=self.info.relpath,
+            lineno=node.lineno,
+            node=node,
+            class_name=class_name,
+            is_lambda=True,
+        )
+        self.info.functions[local] = fn
+        self._extract_body(fn, local)
+        return fn
+
+    def _register_class(self, node: ast.ClassDef) -> None:
+        cls = ClassInfo(name=node.name, module=self.info.name)
+        cls.bases = [b for b in (_dotted(base) for base in node.bases) if b]
+        self.info.classes[node.name] = cls
+        self.info.global_names.add(node.name)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._register_function(stmt, class_name=node.name)
+                cls.methods[stmt.name] = fn.qualname
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                cls.fields[stmt.target.id] = ast.unparse(stmt.annotation)
+                if stmt.value is not None and isinstance(stmt.value, ast.Lambda):
+                    self._register_lambda(stmt.value, stmt.target.id, node.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Lambda):
+                        self._register_lambda(stmt.value, target.id, node.name)
+
+    # -- function-body fact extraction ---------------------------------
+    def _extract_body(self, fn: FunctionInfo, local_qual: str) -> None:
+        node = fn.node
+        params = {a.arg for a in [
+            *node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs,
+            *([node.args.vararg] if node.args.vararg else []),
+            *([node.args.kwarg] if node.args.kwarg else []),
+        ]}
+        body = node.body if isinstance(node.body, list) else [node.body]
+        walker = _BodyWalker(self, fn, local_qual, params)
+        for stmt in body:
+            walker.visit(stmt)
+
+
+class _BodyWalker(ast.NodeVisitor):
+    """Walks one function body without descending into nested functions.
+
+    Nested ``def``s and lambdas are registered as their own
+    :class:`FunctionInfo` (qualname ``outer.<locals>.name``) and linked to
+    the enclosing function with a ``ref`` edge — if the outer function runs,
+    the inner one *may* run, which is the right over-approximation for
+    reachability-based proofs.
+    """
+
+    def __init__(self, extractor: _ModuleExtractor, fn: FunctionInfo,
+                 local_qual: str, params: set[str]) -> None:
+        self.ex = extractor
+        self.fn = fn
+        self.local_qual = local_qual
+        self.locals: set[str] = set(params)
+        self.local_aliases: dict[str, str] = {}   # name -> dotted target
+        self.local_types: dict[str, str] = {}     # name -> class dotted name
+        self._lambda_counter = 0
+
+    @property
+    def info(self) -> ModuleInfo:
+        return self.ex.info
+
+    # -- nested scopes --------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested_function(node)
+
+    def _nested_function(self, node) -> None:
+        nested = self.ex._register_function(node, self.fn.class_name,
+                                            parent=self.local_qual)
+        self.locals.add(node.name)
+        self.local_aliases[node.name] = nested.qualname
+        self.fn.calls.append(CallSite(
+            written=node.name, resolved=nested.qualname,
+            line=node.lineno, col=node.col_offset, kind="ref",
+        ))
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._lambda_counter += 1
+        name = f"<lambda:{node.lineno}:{self._lambda_counter}>"
+        nested = self.ex._register_lambda(node, name, self.fn.class_name,
+                                          parent=self.local_qual)
+        self.fn.calls.append(CallSite(
+            written=name, resolved=nested.qualname,
+            line=node.lineno, col=node.col_offset, kind="ref",
+        ))
+
+    # -- assignments: locals, aliases, constructor types ----------------
+    def _handle_store(self, target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            self.locals.add(target.id)
+            if value is not None:
+                dotted = _dotted(value) or _ModuleExtractor._partial_target(value)
+                if dotted:
+                    self.local_aliases[target.id] = dotted
+                elif isinstance(value, ast.Call):
+                    ctor = _dotted(value.func)
+                    if ctor:
+                        self.local_types[target.id] = ctor
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._handle_store(elt, None)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._record_global_mutation(target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._handle_store(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self._handle_store(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            if node.target.id not in self.locals:
+                resolved = self._module_global(node.target.id)
+                if resolved:
+                    self.fn.global_writes.append((*resolved, node.lineno))
+            self.locals.add(node.target.id)
+        else:
+            self._record_global_mutation(node.target)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.fn.global_writes.append((self.info.name, name, node.lineno))
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._handle_store(node.target, None)
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self._handle_store(item.optional_vars, item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.locals.add(node.name)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._handle_store(node.target, None)
+        self.visit(node.iter)
+        for cond in node.ifs:
+            self.visit(cond)
+
+    # -- reads ----------------------------------------------------------
+    def _module_global(self, name: str) -> tuple[str, str] | None:
+        """Resolve a bare name to a (module, global) pair if it is one."""
+        if name in self.locals:
+            return None
+        info = self.info
+        if name in info.global_names or name in info.mutable_globals:
+            return (info.name, name)
+        if name in info.imports:
+            # Imported object: attribute of another module.
+            target = info.imports[name]
+            if "." in target:
+                mod, _, attr = target.rpartition(".")
+                return (mod, attr)
+        return None
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            resolved = self._module_global(node.id)
+            if resolved:
+                self.fn.global_reads.append((*resolved, node.lineno))
+
+    def _record_global_mutation(self, target: ast.expr) -> None:
+        # ``X[...] = v`` / ``X.attr = v`` / ``del X[...]`` with X a global.
+        root = target
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if isinstance(root, ast.Name):
+            resolved = self._module_global(root.id)
+            if resolved:
+                self.fn.global_writes.append((*resolved, target.lineno))
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._record_global_mutation(target)
+        self.generic_visit(node)
+
+    # -- local imports ---------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.locals.add(local)
+            self.local_aliases[local] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = self.ex._resolve_from(node)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.locals.add(local)
+            self.local_aliases[local] = f"{base}.{alias.name}" if base else alias.name
+
+    # -- comprehensions: bind targets before visiting the element --------
+    def _comp(self, node) -> None:
+        for gen in node.generators:
+            self.visit_comprehension(gen)
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.comprehension):
+                self.visit(child)
+
+    visit_ListComp = _comp
+    visit_SetComp = _comp
+    visit_DictComp = _comp
+    visit_GeneratorExp = _comp
+
+    # -- calls -----------------------------------------------------------
+    def _normalize(self, written: str) -> str:
+        """Fold walker-local knowledge (aliases, constructor types) in."""
+        head, _, rest = written.partition(".")
+        if head in self.local_aliases:
+            head = self.local_aliases[head]
+        elif head in self.local_types and rest:
+            head = self.local_types[head]
+        elif head in self.locals:
+            return written
+        return f"{head}.{rest}" if rest else head
+
+    def visit_Call(self, node: ast.Call) -> None:
+        written = _dotted(node.func)
+        if written is None and isinstance(node.func, ast.Attribute) \
+                and isinstance(node.func.value, ast.Call):
+            # Chained constructor: ``ClassName(...).method()``.
+            inner = _dotted(node.func.value.func)
+            if inner is not None:
+                written = f"{inner}.{node.func.attr}"
+        if written is not None:
+            written = self._normalize(written)
+        line, col = node.lineno, node.col_offset
+
+        if written == "getattr" or written == "builtins.getattr":
+            self._handle_getattr(node)
+        elif written is not None:
+            self.fn.calls.append(CallSite(
+                written=written, resolved=None, line=line, col=col, kind="call",
+            ))
+            # Mutating method on a module-level container: X.append(...)
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATING_METHODS:
+                root = node.func.value
+                base = _dotted(root)
+                if base and "." not in base:
+                    resolved = self._module_global(base)
+                    if resolved:
+                        self.fn.global_writes.append((*resolved, line))
+            self._check_special_calls(node, written)
+        else:
+            self.fn.dynamic_calls.append(DynamicCall(
+                line=line, description="call through a computed expression",
+            ))
+
+        # Function references escaping as arguments.
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            dotted = _dotted(arg)
+            if dotted is not None:
+                self.fn.calls.append(CallSite(
+                    written=dotted, resolved=None, line=arg.lineno,
+                    col=arg.col_offset, kind="ref",
+                ))
+            self.visit(arg)
+        self.visit(node.func)
+
+    def _handle_getattr(self, node: ast.Call) -> None:
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            base = _dotted(node.args[0])
+            if base is not None:
+                # Literal-string getattr resolves like a normal attribute.
+                self.fn.calls.append(CallSite(
+                    written=self._normalize(f"{base}.{node.args[1].value}"),
+                    resolved=None,
+                    line=node.lineno, col=node.col_offset, kind="ref",
+                ))
+                return
+        self.fn.dynamic_calls.append(DynamicCall(
+            line=node.lineno,
+            description="getattr with a dynamic attribute name",
+        ))
+
+    def _check_special_calls(self, node: ast.Call, written: str) -> None:
+        """RNG-construction and wall-clock facts (import-alias aware)."""
+        target = self._expand(written)
+        if target in _WALL_CLOCK_TARGETS or (
+            # `from time import time` style, or `datetime.now(...)` on an
+            # imported class.
+            target.split(".")[-2:] in ([w.split(".")[-2:] for w in _WALL_CLOCK_TARGETS])
+        ):
+            self.fn.wall_clock.append(node.lineno)
+        tail = target.rsplit(".", 1)[-1]
+        if tail in ("make_rng", "default_rng"):
+            seedless = not node.args and not node.keywords
+            none_seed = (
+                len(node.args) == 1 and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if seedless or none_seed:
+                self.fn.unseeded_rng.append(node.lineno)
+        parts = target.split(".")
+        if len(parts) >= 3 and parts[0] in ("numpy", "np") and parts[1] == "random" \
+                and parts[2] != "default_rng" and parts[2] != "Generator":
+            self.fn.unseeded_rng.append(node.lineno)
+
+    def _expand(self, written: str) -> str:
+        head, _, rest = written.partition(".")
+        target = self.local_aliases.get(head) or self.info.imports.get(head) \
+            or self.info.aliases.get(head) or head
+        return f"{target}.{rest}" if rest else target
+
+
+@dataclass
+class ProjectIndex:
+    """All parsed modules of one source tree, keyed by dotted name."""
+
+    root: Path
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve(self, dotted: str, module: str | None = None) -> str:
+        """Canonicalize a dotted name: chase imports, aliases, re-exports.
+
+        Args:
+            dotted: Name as written (``ParallelRunner``, ``pool.Runner``).
+            module: Module whose namespace the name appears in.
+        """
+        seen: set[str] = set()
+        current = dotted
+        if module is not None:
+            current = self._expand_in(dotted, module)
+        while current not in seen:
+            seen.add(current)
+            nxt = self._chase(current)
+            if nxt is None:
+                return current
+            current = nxt
+        return current
+
+    def _expand_in(self, dotted: str, module: str) -> str:
+        info = self.modules.get(module)
+        if info is None:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target = info.imports.get(head) or info.aliases.get(head)
+        if target is None:
+            if head in info.functions or head in info.classes:
+                target = f"{module}.{head}"
+            else:
+                return dotted
+        elif "." not in target and (target in info.functions
+                                    or target in info.classes):
+            # Alias to another module-local name: keep the module context.
+            target = f"{module}.{target}"
+        return f"{target}.{rest}" if rest else target
+
+    def _chase(self, dotted: str) -> str | None:
+        """One re-export / alias step, or None at a fixpoint."""
+        # Longest indexed-module prefix.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = ".".join(parts[:cut])
+            info = self.modules.get(mod)
+            if info is None:
+                continue
+            head = parts[cut]
+            rest = ".".join(parts[cut + 1:])
+            target = info.imports.get(head) or info.aliases.get(head)
+            if target is not None:
+                if "." not in target and (target in info.functions
+                                          or target in info.classes):
+                    target = f"{mod}.{target}"
+                return f"{target}.{rest}" if rest else target
+            return None
+        return None
+
+    def lookup_function(self, qualname: str) -> FunctionInfo | None:
+        """Find a FunctionInfo by canonical qualname."""
+        parts = qualname.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = ".".join(parts[:cut])
+            info = self.modules.get(mod)
+            if info is None:
+                continue
+            local = ".".join(parts[cut:])
+            if local in info.functions:
+                return info.functions[local]
+            # Method through inheritance: Class.method with method on a base.
+            if len(parts) - cut == 2:
+                cls_name, meth = parts[cut], parts[cut + 1]
+                resolved = self._method_via_bases(info, cls_name, meth)
+                if resolved is not None:
+                    return resolved
+            return None
+        return None
+
+    def _method_via_bases(self, info: ModuleInfo, cls_name: str,
+                          meth: str) -> FunctionInfo | None:
+        seen: set[str] = set()
+        queue = deque([(info, cls_name)])
+        while queue:
+            mod_info, name = queue.popleft()
+            key = f"{mod_info.name}.{name}"
+            if key in seen:
+                continue
+            seen.add(key)
+            cls = mod_info.classes.get(name)
+            if cls is None:
+                continue
+            if meth in cls.methods:
+                return self.lookup_function(cls.methods[meth])
+            for base in cls.bases:
+                canonical = self.resolve(base, mod_info.name)
+                base_parts = canonical.rsplit(".", 1)
+                if len(base_parts) == 2 and base_parts[0] in self.modules:
+                    queue.append((self.modules[base_parts[0]], base_parts[1]))
+        return None
+
+    def all_functions(self) -> dict[str, FunctionInfo]:
+        return {
+            fn.qualname: fn
+            for info in self.modules.values()
+            for fn in info.functions.values()
+        }
+
+    def class_of(self, dotted: str) -> ClassInfo | None:
+        mod, _, name = dotted.rpartition(".")
+        info = self.modules.get(mod)
+        if info is not None:
+            return info.classes.get(name)
+        return None
+
+    #: Names (module, global) mutated anywhere in the project.
+    def mutated_globals(self) -> set[tuple[str, str]]:
+        mutated: set[tuple[str, str]] = set()
+        for info in self.modules.values():
+            for fn in info.functions.values():
+                for mod, name, _line in fn.global_writes:
+                    mutated.add((mod, name))
+        return mutated
+
+
+def _load_cached(cache_dir: Path, digest: str) -> ModuleInfo | None:
+    entry = cache_dir / f"{digest}.pkl"
+    if not entry.exists():
+        return None
+    try:
+        with entry.open("rb") as fh:
+            version, info = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, TypeError, ValueError):
+        return None
+    return info if version == _CACHE_VERSION else None
+
+
+def _store_cached(cache_dir: Path, digest: str, info: ModuleInfo) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    entry = cache_dir / f"{digest}.pkl"
+    try:
+        with entry.open("wb") as fh:
+            pickle.dump((_CACHE_VERSION, info), fh)
+    except OSError:
+        pass  # cache is best-effort; analysis proceeds uncached
+
+
+def index_project(root: str | Path, cache_dir: str | Path | None = None) -> ProjectIndex:
+    """Parse every ``*.py`` under ``root`` into a :class:`ProjectIndex`.
+
+    Args:
+        root: Source root (the directory *containing* the top packages,
+            e.g. ``<repo>/src``) or a single package directory.
+        cache_dir: Optional directory for the per-file AST/facts cache,
+            keyed on each file's content hash — unchanged files skip
+            parsing and fact extraction entirely.
+
+    Raises:
+        AnalysisError: On unparsable source files.
+    """
+    root = Path(root).resolve()
+    cache = Path(cache_dir) if cache_dir is not None else None
+    index = ProjectIndex(root=root)
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        digest = hashlib.sha256(
+            f"{_CACHE_VERSION}:{path.relative_to(root)}:".encode() + source.encode()
+        ).hexdigest()
+        info = _load_cached(cache, digest) if cache is not None else None
+        if info is None:
+            name = _module_name(path, root)
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                raise AnalysisError(f"{path}: cannot parse: {exc}") from exc
+            info = ModuleInfo(
+                name=name,
+                relpath=str(path.relative_to(root.parent)),
+                source=source,
+                tree=tree,
+            )
+            _ModuleExtractor(info).run()
+            if cache is not None:
+                _store_cached(cache, digest, info)
+        # Suppression usage is per-run state; never reuse it from the cache.
+        info.suppressions = Suppressions.collect(info.source, info.relpath)
+        index.modules[info.name] = info
+    return index
+
+
+class CallGraph:
+    """Resolved call edges over a :class:`ProjectIndex`."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: caller qualname -> list of resolved CallSites (calls + refs).
+        self.edges: dict[str, list[CallSite]] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------
+    def _build(self) -> None:
+        for info in self.index.modules.values():
+            for fn in info.functions.values():
+                resolved_sites: list[CallSite] = []
+                for site in fn.calls:
+                    target = site.resolved or self._resolve_site(info, fn, site)
+                    if target is not None:
+                        resolved_sites.append(CallSite(
+                            written=site.written, resolved=target,
+                            line=site.line, col=site.col, kind=site.kind,
+                        ))
+                self.edges[fn.qualname] = resolved_sites
+                # A decorator wraps (and typically calls) the function; the
+                # decorated function also reaches the decorator body.
+                for dec in fn.decorators:
+                    target = self.index.resolve(dec, info.name)
+                    if self.index.lookup_function(target) is not None:
+                        self.edges[fn.qualname].append(CallSite(
+                            written=dec, resolved=target, line=fn.lineno,
+                            col=0, kind="ref",
+                        ))
+
+    def _resolve_site(self, info: ModuleInfo, fn: FunctionInfo,
+                      site: CallSite) -> str | None:
+        written = site.written
+        if written is None:
+            return None
+        head, _, rest = written.partition(".")
+
+        # self.method() — own class, then bases.
+        if head == "self" and fn.class_name is not None and rest:
+            meth = rest.split(".")[0]
+            target = self.index._method_via_bases(info, fn.class_name, meth)
+            if target is not None:
+                return target.qualname
+            return None
+
+        # Locals tracked by the body walker.
+        walk_target = None
+        # (local aliases were folded into CallSite.resolved during extraction
+        # only for nested defs; plain local aliases resolve here)
+        canonical = self.index.resolve(written, info.name)
+        target_fn = self.index.lookup_function(canonical)
+        if target_fn is not None:
+            return target_fn.qualname
+
+        # Constructor call: edge to Class.__init__ when defined.
+        cls = self.index.class_of(canonical)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            if init is not None:
+                return init
+            return None
+
+        # obj.method() where obj's class is inferable from a constructor
+        # assignment in the same function body.
+        if rest:
+            # walk local_types is lost post-extraction; approximate via
+            # single-method match: resolve `Class.method` patterns only.
+            parts = canonical.split(".")
+            if len(parts) >= 2:
+                maybe_cls = ".".join(parts[:-1])
+                cls = self.index.class_of(maybe_cls)
+                if cls is not None and parts[-1] in cls.methods:
+                    return cls.methods[parts[-1]]
+        return walk_target
+
+    # -- queries --------------------------------------------------------
+    def callees(self, qualname: str) -> list[CallSite]:
+        return self.edges.get(qualname, [])
+
+    def reachable(self, roots: "list[str] | set[str]") -> set[str]:
+        """Every function transitively reachable from ``roots`` (inclusive)."""
+        seen: set[str] = set()
+        queue = deque(r for r in roots if r in self.edges)
+        seen.update(queue)
+        while queue:
+            current = queue.popleft()
+            for site in self.edges.get(current, ()):
+                if site.resolved and site.resolved not in seen \
+                        and site.resolved in self.edges:
+                    seen.add(site.resolved)
+                    queue.append(site.resolved)
+        return seen
+
+    def call_chain(self, src: str, dst: str) -> list[str] | None:
+        """Shortest call path ``src -> ... -> dst``; None when unreachable."""
+        if src == dst:
+            return [src]
+        prev: dict[str, str] = {}
+        queue = deque([src])
+        seen = {src}
+        while queue:
+            current = queue.popleft()
+            for site in self.edges.get(current, ()):
+                nxt = site.resolved
+                if nxt is None or nxt in seen:
+                    continue
+                prev[nxt] = current
+                if nxt == dst:
+                    chain = [dst]
+                    while chain[-1] != src:
+                        chain.append(prev[chain[-1]])
+                    return list(reversed(chain))
+                seen.add(nxt)
+                queue.append(nxt)
+        return None

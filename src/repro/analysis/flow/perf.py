@@ -1,0 +1,207 @@
+"""Numpy hot-path performance lints (RP4xx).
+
+The serving fast path and the tensor engine dominate inference latency;
+the paper's evaluation sweeps hundreds of topologies through them.  Four
+allocation/vectorization mistakes account for most numpy slowdowns:
+
+* RP401 — growing concatenation inside a loop (``np.concatenate`` /
+  ``np.append`` / ``np.vstack`` ...): O(n²) copying; collect then
+  concatenate once, or preallocate.
+* RP402 — fixed-size allocation (``np.zeros`` / ``ones`` / ``empty`` /
+  ``full``) inside a loop: hoist the buffer and reuse it.
+* RP403 — Python-level ``for`` over an ndarray: vectorize.
+* RP404 — explicit float64 promotion (``.astype(np.float64)``,
+  ``dtype=float``): doubles memory traffic for no modeling benefit.
+
+Severity is context-dependent: **errors** in functions reachable from the
+serving/NN entry points (the hot set, computed from the call graph),
+**warnings** elsewhere — a setup script may concatenate in a loop without
+gating CI.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..lint import Violation
+from .base import emit
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, ProjectIndex, _dotted
+
+__all__ = ["check_perf", "hot_functions"]
+
+_CONCAT_TAILS = {"concatenate", "append", "vstack", "hstack", "column_stack",
+                 "stack", "block"}
+_ALLOC_TAILS = {"zeros", "ones", "empty", "full"}
+_NUMPY_HEADS = {"np", "numpy"}
+
+#: Module prefixes whose functions seed the hot set.
+_HOT_PREFIXES = ("repro.serving", "repro.nn")
+#: Method names that are hot entry points wherever they are defined.
+_HOT_METHOD_NAMES = {"forward", "backward"}
+#: Modules where float64 is the engine's *chosen* precision, not an
+#: accident — the same boundary RP005 draws for literal dtypes.
+_DTYPE_EXEMPT_PREFIXES = ("repro.nn",)
+
+
+def hot_functions(index: ProjectIndex, graph: CallGraph) -> set[str]:
+    """Every function reachable from serving/NN code or forward/backward."""
+    roots = [
+        fn.qualname
+        for info in index.modules.values()
+        for fn in info.functions.values()
+        if info.name.startswith(_HOT_PREFIXES)
+        or (fn.class_name is not None
+            and fn.qualname.rsplit(".", 1)[-1] in _HOT_METHOD_NAMES)
+    ]
+    return graph.reachable(roots)
+
+
+def _numpy_tail(written: str | None, tails: set[str]) -> bool:
+    if written is None:
+        return False
+    head, _, rest = written.partition(".")
+    return head in _NUMPY_HEADS and rest in tails
+
+
+def _is_float64(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return node.value in ("float64", "float")
+    if isinstance(node, ast.Name):
+        return node.id == "float"
+    dotted = _dotted(node)
+    return dotted in ("np.float64", "numpy.float64", "np.double", "numpy.double")
+
+
+class _PerfWalker(ast.NodeVisitor):
+    """Walks one function body tracking loop depth and ndarray locals."""
+
+    def __init__(self, pass_: "_PerfPass", fn: FunctionInfo,
+                 info: ModuleInfo, hot: bool) -> None:
+        self.p = pass_
+        self.fn = fn
+        self.info = info
+        self.hot = hot
+        self.loop_depth = 0
+        self.ndarrays: set[str] = set()
+        node = fn.node
+        if not isinstance(node, ast.Lambda):
+            for a in [*node.args.posonlyargs, *node.args.args,
+                      *node.args.kwonlyargs]:
+                if a.annotation is not None and self._is_array_annotation(a.annotation):
+                    self.ndarrays.add(a.arg)
+
+    @staticmethod
+    def _is_array_annotation(annotation: ast.expr) -> bool:
+        for sub in ast.walk(annotation):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name == "ndarray" or (name or "").endswith("Array"):
+                return True
+        return False
+
+    def _severity(self) -> str:
+        return "error" if self.hot else "warning"
+
+    def _report(self, node: ast.AST, code: str, extra: str) -> None:
+        if self.hot:
+            extra = f"{extra}; hot path via {self.fn.qualname}"
+        emit(self.p.findings, self.info, node.lineno, node.col_offset,
+             code, extra, severity=self._severity())
+
+    # -- scope ----------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions are walked as their own FunctionInfo
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    # -- loops -----------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.visit(node.iter)
+        self.loop_depth += 1
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+        self.loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self.loop_depth += 1
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+        self.loop_depth -= 1
+
+    def _check_iter(self, loop: ast.For, iter_expr: ast.expr) -> None:
+        candidates: list[ast.expr] = [iter_expr]
+        if isinstance(iter_expr, ast.Call):
+            written = _dotted(iter_expr.func)
+            if written in ("enumerate", "zip", "reversed"):
+                candidates = list(iter_expr.args)
+            else:
+                candidates = []
+        for expr in candidates:
+            if isinstance(expr, ast.Name) and expr.id in self.ndarrays:
+                self._report(loop, "RP403", f"iterates over {expr.id!r}")
+
+    # -- allocation tracking ---------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        is_array = isinstance(node.value, ast.Call) and (
+            _numpy_tail(_dotted(node.value.func),
+                        _ALLOC_TAILS | _CONCAT_TAILS
+                        | {"asarray", "array", "arange", "linspace"})
+        )
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_array:
+                    self.ndarrays.add(target.id)
+                else:
+                    self.ndarrays.discard(target.id)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        written = _dotted(node.func)
+        if self.loop_depth > 0:
+            if _numpy_tail(written, _CONCAT_TAILS):
+                self._report(node, "RP401", written or "")
+            elif _numpy_tail(written, _ALLOC_TAILS):
+                self._report(node, "RP402", written or "")
+        if not self.info.name.startswith(_DTYPE_EXEMPT_PREFIXES):
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "astype" \
+                    and node.args and _is_float64(node.args[0]):
+                self._report(node, "RP404", "astype to float64")
+            for kw in node.keywords:
+                if kw.arg == "dtype" and _is_float64(kw.value) \
+                        and _numpy_tail(written, _ALLOC_TAILS
+                                        | {"asarray", "array", "arange",
+                                           "linspace", "full_like", "zeros_like",
+                                           "ones_like", "empty_like"}):
+                    self._report(node, "RP404", f"dtype=float64 in {written}")
+        self.generic_visit(node)
+
+
+class _PerfPass:
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.findings: list[Violation] = []
+
+    def run(self) -> list[Violation]:
+        hot = hot_functions(self.index, self.graph)
+        for info in self.index.modules.values():
+            for fn in info.functions.values():
+                walker = _PerfWalker(self, fn, info, fn.qualname in hot)
+                body = fn.node.body
+                if isinstance(body, list):
+                    for stmt in body:
+                        walker.visit(stmt)
+        return self.findings
+
+
+def check_perf(index: ProjectIndex, graph: CallGraph) -> list[Violation]:
+    """Run the RP4xx numpy perf pass over the project."""
+    return _PerfPass(index, graph).run()

@@ -1,0 +1,208 @@
+"""Spawn-safety & determinism proofs (RP2xx).
+
+The parallel runner (:mod:`repro.runner.pool`) executes worker functions
+in separate processes; PR 2 established the contract that generation must
+be bitwise identical regardless of worker count.  That only holds if every
+task payload — and everything transitively reachable from the worker —
+
+* reads no module-level state that the project mutates (RP201),
+* mutates no module-level state (RP202; worker-side writes are silently
+  dropped on process exit and differ between inline and parallel modes),
+* derives every random stream from the task seed (RP203),
+* does not let wall-clock time influence results (RP204, warning — timing
+  *metrics* are fine, decisions are not),
+* is picklable: module-level worker functions and plain-data payloads
+  (RP205).
+
+This pass proves the property over the call graph: it locates every
+``ParallelRunner(worker, ...)`` construction, resolves the worker to its
+function, computes the transitive closure of callees, and reports each
+violating effect with the **full call chain** from the spawn root to the
+offending function, so a failure like::
+
+    RP203 ... [spawn root repro.dataset.generate._generation_worker ->
+               repro.dataset.generate.generate_sample -> bad_helper]
+
+is actionable without re-deriving the reachability by hand.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..lint import Violation
+from .base import emit
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, ProjectIndex, _dotted
+from .purity import EffectSummary, effect_summaries
+
+__all__ = ["SpawnRoot", "check_spawn_safety", "find_spawn_roots"]
+
+_RUNNER_CLASS = "repro.runner.pool.ParallelRunner"
+_TASK_CLASS = "repro.runner.types.Task"
+
+
+class SpawnRoot:
+    """One worker function handed to the parallel runner."""
+
+    def __init__(self, worker_qualname: str, site_module: ModuleInfo,
+                 line: int, col: int) -> None:
+        self.worker_qualname = worker_qualname
+        self.site_module = site_module
+        self.line = line
+        self.col = col
+
+
+def _resolve_constructor(index: ProjectIndex, module: ModuleInfo,
+                         written: str) -> str:
+    """Canonical class name for a constructor call, chasing ``__init__``."""
+    canonical = index.resolve(written, module.name)
+    if canonical.endswith(".__init__"):
+        canonical = canonical.rsplit(".", 1)[0]
+    return canonical
+
+
+def find_spawn_roots(
+    index: ProjectIndex,
+    findings: list[Violation] | None = None,
+) -> list[SpawnRoot]:
+    """Locate every ``ParallelRunner(worker, ...)`` site and resolve the worker.
+
+    Lambda or nested-function workers are unpicklable under the spawn start
+    method — those are reported as RP205 (when ``findings`` is given)
+    rather than returned as roots.
+    """
+    roots: list[SpawnRoot] = []
+    for info in index.modules.values():
+        for fn in info.functions.values():
+            if isinstance(fn.node, ast.Lambda):
+                continue
+            for call in ast.walk(fn.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                written = _dotted(call.func)
+                if written is None:
+                    continue
+                target = _resolve_constructor(index, info, written)
+                if target == _RUNNER_CLASS:
+                    _collect_worker(index, info, fn, call, roots, findings)
+                elif target == _TASK_CLASS and findings is not None:
+                    _check_task_payload(info, call, findings)
+    return roots
+
+
+def _collect_worker(
+    index: ProjectIndex,
+    info: ModuleInfo,
+    fn: FunctionInfo,
+    call: ast.Call,
+    roots: list[SpawnRoot],
+    findings: list[Violation] | None,
+) -> None:
+    worker_expr: ast.expr | None = call.args[0] if call.args else None
+    for kw in call.keywords:
+        if kw.arg == "worker":
+            worker_expr = kw.value
+    if worker_expr is None:
+        return
+    if isinstance(worker_expr, ast.Lambda):
+        if findings is not None:
+            emit(findings, info, worker_expr.lineno, worker_expr.col_offset,
+                 "RP205", "lambda worker cannot cross a process boundary")
+        return
+    written = _dotted(worker_expr)
+    if written is None:
+        if findings is not None:
+            emit(findings, info, worker_expr.lineno, worker_expr.col_offset,
+                 "RP205", "worker is not a plain module-level function reference")
+        return
+    canonical = index.resolve(written, info.name)
+    target = index.lookup_function(canonical)
+    if target is None:
+        # A nested function handed up as a value resolves through the
+        # enclosing scope: look for `<caller>.<locals>.<name>`.
+        nested = index.lookup_function(
+            f"{fn.qualname}.<locals>.{written}")
+        if nested is not None and findings is not None:
+            emit(findings, info, worker_expr.lineno, worker_expr.col_offset,
+                 "RP205",
+                 f"nested function {written!r} is unpicklable; "
+                 "move it to module level")
+        return
+    if "<locals>" in target.qualname or target.is_lambda:
+        if findings is not None:
+            emit(findings, info, worker_expr.lineno, worker_expr.col_offset,
+                 "RP205",
+                 f"{written!r} is not a module-level function and cannot "
+                 "be pickled for the worker process")
+        return
+    roots.append(SpawnRoot(target.qualname, info, call.lineno, call.col_offset))
+
+
+def _check_task_payload(info: ModuleInfo, call: ast.Call,
+                        findings: list[Violation]) -> None:
+    payload_expr: ast.expr | None = None
+    for kw in call.keywords:
+        if kw.arg == "payload":
+            payload_expr = kw.value
+    if payload_expr is None and call.args:
+        payload_expr = call.args[1] if len(call.args) > 1 else None
+    if payload_expr is None:
+        return
+    for node in ast.walk(payload_expr):
+        if isinstance(node, ast.Lambda):
+            emit(findings, info, node.lineno, node.col_offset, "RP205",
+                 "task payload captures a lambda; payloads must be plain data")
+
+
+def _chain_text(graph: CallGraph, root: str, target: str) -> str:
+    chain = graph.call_chain(root, target)
+    if chain is None:
+        chain = [root, "...", target]
+    return " -> ".join(chain)
+
+
+def check_spawn_safety(
+    index: ProjectIndex,
+    graph: CallGraph,
+    summaries: dict[str, EffectSummary] | None = None,
+) -> list[Violation]:
+    """Run the full RP2xx pass over the project."""
+    findings: list[Violation] = []
+    summaries = summaries if summaries is not None else effect_summaries(index)
+    roots = find_spawn_roots(index, findings)
+
+    # Deduplicate: the same worker may be spawned from several sites.
+    reported: set[tuple[str, str, int]] = set()
+    for root in roots:
+        for qualname in sorted(graph.reachable([root.worker_qualname])):
+            summary = summaries.get(qualname)
+            fn = index.lookup_function(qualname)
+            if summary is None or fn is None or summary.is_spawn_clean():
+                continue
+            info = index.modules[fn.module]
+            chain = _chain_text(graph, root.worker_qualname, qualname)
+            for mod, name, line in summary.reads_mutated:
+                key = (qualname, "RP201", line)
+                if key not in reported:
+                    reported.add(key)
+                    emit(findings, info, line, 0, "RP201",
+                         f"reads {mod}.{name}; spawn root {chain}")
+            for mod, name, line in summary.writes:
+                key = (qualname, "RP202", line)
+                if key not in reported:
+                    reported.add(key)
+                    emit(findings, info, line, 0, "RP202",
+                         f"mutates {mod}.{name}; spawn root {chain}")
+            for line in summary.unseeded_rng:
+                key = (qualname, "RP203", line)
+                if key not in reported:
+                    reported.add(key)
+                    emit(findings, info, line, 0, "RP203",
+                         f"spawn root {chain}")
+            for line in summary.wall_clock:
+                key = (qualname, "RP204", line)
+                if key not in reported:
+                    reported.add(key)
+                    emit(findings, info, line, 0, "RP204",
+                         f"spawn root {chain}")
+    return findings

@@ -1,0 +1,537 @@
+"""Dimensional analysis of unit-annotated signatures (RP3xx).
+
+The repo mixes seconds, bits, packets and their rates: link capacities
+are bits/s, traffic matrices bits/s, arrival processes packets/s, queue
+delays seconds, packet sizes bits.  A classic reproduction bug is feeding
+a bits/s rate where packets/s is expected (the paper's simulator draws
+per-packet events), which no test catches when both are ``float``.
+
+:mod:`repro.units` defines transparent type aliases (``Seconds``,
+``BitsPerSecond``, ...).  This pass reads them off function signatures and
+dataclass fields, propagates units through assignments, arithmetic and
+calls inside each function body, and reports:
+
+* RP301 — addition/subtraction of different units (``delay + capacity``);
+* RP302 — comparison of different units;
+* RP303 — argument unit differs from the parameter annotation;
+* RP304 — returned unit differs from the return annotation.
+
+The unit algebra is exact over the dimension set {s, bit, pkt}:
+``BitsPerSecond / BitsPerPacket == PacketsPerSecond`` checks out
+structurally.  The analysis is deliberately forgiving at the boundaries of
+what it can see: numeric literals are polymorphic, unknown calls yield
+unknown units, and a division with a *literal* numerator (``1.0 / (mu -
+lam)``) yields unknown — closed-form queueing formulas juggle implicit
+per-packet dimensions that would otherwise false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+
+from ..lint import Violation
+from .base import emit
+from .callgraph import FunctionInfo, ModuleInfo, ProjectIndex, _dotted
+
+__all__ = ["UNIT_ALIASES", "check_units", "unit_of_annotation"]
+
+#: Canonical unit: sorted (dimension, exponent) pairs; () is dimensionless.
+Unit = tuple
+
+
+def _u(**dims: int) -> Unit:
+    return tuple(sorted((d, e) for d, e in dims.items() if e))
+
+
+#: repro.units alias name -> unit. Scalar and Array aliases share units.
+UNIT_ALIASES: dict[str, Unit] = {
+    "Seconds": _u(s=1),
+    "SecondsArray": _u(s=1),
+    "Bits": _u(bit=1),
+    "BitsArray": _u(bit=1),
+    "Packets": _u(pkt=1),
+    "BitsPerSecond": _u(bit=1, s=-1),
+    "BitsPerSecondArray": _u(bit=1, s=-1),
+    "PacketsPerSecond": _u(pkt=1, s=-1),
+    "PacketsPerSecondArray": _u(pkt=1, s=-1),
+    "BitsPerPacket": _u(bit=1, pkt=-1),
+    "Dimensionless": _u(),
+    "DimensionlessArray": _u(),
+}
+
+#: Sentinel for numeric literals: compatible with every unit.
+_ANY = object()
+# Unknown is plain None.
+
+_PASSTHROUGH_TAILS = {
+    # numpy reductions / shape ops that preserve the operand's unit.
+    "sum", "mean", "median", "abs", "amin", "amax", "min", "max", "sort",
+    "cumsum", "ravel", "flatten", "copy", "asarray", "array", "squeeze",
+    "reshape", "transpose", "diff", "percentile", "quantile", "full_like",
+}
+
+_POLYMORPHIC_TAILS = {
+    # Calls whose result carries no unit information.
+    "zeros", "ones", "empty", "zeros_like", "ones_like", "empty_like",
+    "arange", "linspace", "len", "exp", "log", "log2", "sqrt", "isnan",
+    "isinf", "isclose", "allclose",
+}
+
+
+def unit_name_of(annotation: ast.expr) -> str | None:
+    """Extract the (single) unit alias name out of an annotation AST."""
+    for node in ast.walk(annotation):
+        name: str | None = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name in UNIT_ALIASES:
+            return name
+    return None
+
+
+def unit_of_annotation(annotation: ast.expr | None, info: ModuleInfo,
+                       index: ProjectIndex) -> Unit | None:
+    """Resolve an annotation to a unit, or None when it has none.
+
+    Handles ``Seconds``, ``Seconds | None``, ``Optional[Seconds]`` and
+    ``units.Seconds`` forms.  The alias must resolve to :mod:`repro.units`
+    (or be an otherwise-unbound name matching an alias, which keeps
+    synthetic test projects lightweight).
+    """
+    if annotation is None:
+        return None
+    name = unit_name_of(annotation)
+    if name is None:
+        return None
+    # One expansion step only: the full fixpoint chase would follow the
+    # alias definition itself (``Seconds = float``) and dissolve the unit.
+    expanded = index._expand_in(name, info.name)
+    if expanded == name:
+        return UNIT_ALIASES[name]  # unbound bare name (string annotations)
+    mod, _, tail = expanded.rpartition(".")
+    if tail == name and (mod == "units" or mod.endswith(".units")):
+        return UNIT_ALIASES[name]
+    return None
+
+
+def _mul(a, b):
+    if a is _ANY:
+        return b
+    if b is _ANY:
+        return a
+    if a is None or b is None:
+        return None
+    exps: dict[str, int] = defaultdict(int)
+    for d, e in a:
+        exps[d] += e
+    for d, e in b:
+        exps[d] += e
+    return _u(**exps)
+
+
+def _inv(a):
+    if a is _ANY or a is None:
+        return a
+    return tuple(sorted((d, -e) for d, e in a))
+
+
+def _merge(a, b):
+    """Join for branches / same-unit combinators: agree or forget."""
+    if a is _ANY:
+        return b
+    if b is _ANY:
+        return a
+    if a is None or b is None or a != b:
+        return None if a != b else a
+    return a
+
+
+def _fmt(u) -> str:
+    if u is _ANY:
+        return "literal"
+    if u is None:
+        return "unknown"
+    if not u:
+        return "dimensionless"
+    num = [f"{d}^{e}" if e != 1 else d for d, e in u if e > 0]
+    den = [f"{d}^{-e}" if e != -1 else d for d, e in u if e < 0]
+    text = "*".join(num) or "1"
+    if den:
+        text += "/" + "/".join(den)
+    return text
+
+
+class _Signature:
+    """Param/return units of one function."""
+
+    def __init__(self, fn: FunctionInfo, info: ModuleInfo,
+                 index: ProjectIndex) -> None:
+        node = fn.node
+        self.params: list[tuple[str, Unit | None]] = []
+        self.param_units: dict[str, Unit | None] = {}
+        self.returns: Unit | None = None
+        if isinstance(node, ast.Lambda):
+            for a in [*node.args.posonlyargs, *node.args.args]:
+                self.params.append((a.arg, None))
+            return
+        args = node.args
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            unit = unit_of_annotation(a.annotation, info, index)
+            self.params.append((a.arg, unit))
+            self.param_units[a.arg] = unit
+        self.returns = unit_of_annotation(node.returns, info, index)
+        if fn.class_name is not None and self.params \
+                and self.params[0][0] in ("self", "cls"):
+            self.params = self.params[1:]
+
+
+class _UnitChecker(ast.NodeVisitor):
+    """Single-pass abstract interpretation of one function body."""
+
+    def __init__(self, pass_: "_UnitsPass", fn: FunctionInfo,
+                 info: ModuleInfo) -> None:
+        self.p = pass_
+        self.fn = fn
+        self.info = info
+        self.env: dict[str, object] = {}
+        sig = pass_.signature(fn)
+        for name, unit in sig.param_units.items() if sig.param_units else ():
+            if unit is not None:
+                self.env[name] = unit
+        self.return_unit = sig.returns
+
+    # -- expression evaluation ------------------------------------------
+    def eval(self, node: ast.expr):
+        if isinstance(node, ast.Constant):
+            return _ANY if isinstance(node.value, (int, float)) else None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.p.global_unit(node.id, self.info)
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is not None:
+                g = self.p.global_unit(dotted, self.info)
+                if g is not None:
+                    return g
+            return self.p.field_unit(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self._compare(node)
+            return _u()  # booleans are dimensionless
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return self.eval(node.value)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return _merge(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.BoolOp):
+            result = _ANY
+            for value in node.values:
+                result = _merge(result, self.eval(value))
+            return result
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for elt in node.elts:
+                self.eval(elt)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        # Comprehensions, lambdas, f-strings, dicts: no unit information,
+        # but nested expressions may still contain checkable operations.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return None
+
+    def _binop(self, node: ast.BinOp):
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, ast.Mult):
+            return _mul(left, right)
+        if isinstance(node.op, ast.Div):
+            if isinstance(node.left, ast.Constant):
+                # Literal numerator: closed-form formulas (1/(mu-lam)) are
+                # unit-polymorphic in this algebra; do not guess.
+                return None
+            return _mul(left, _inv(right))
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if isinstance(left, tuple) and isinstance(right, tuple) \
+                    and left != right:
+                emit(self.p.findings, self.info, node.lineno, node.col_offset,
+                     "RP301", f"{_fmt(left)} vs {_fmt(right)}")
+            return _merge(left, right)
+        if isinstance(node.op, (ast.FloorDiv, ast.Mod)):
+            return _mul(left, _inv(right)) if isinstance(node.op, ast.FloorDiv) else left
+        if isinstance(node.op, ast.Pow):
+            if isinstance(node.right, ast.Constant) \
+                    and isinstance(node.right.value, int) \
+                    and isinstance(left, tuple):
+                exps = {d: e * node.right.value for d, e in left}
+                return _u(**exps)
+            return None
+        return None
+
+    def _compare(self, node: ast.Compare) -> None:
+        left_val = self.eval(node.left)
+        for comparator in node.comparators:
+            right_val = self.eval(comparator)
+            if isinstance(left_val, tuple) and isinstance(right_val, tuple) \
+                    and left_val != right_val:
+                emit(self.p.findings, self.info, node.lineno, node.col_offset,
+                     "RP302", f"{_fmt(left_val)} vs {_fmt(right_val)}")
+            left_val = right_val
+
+    def _call(self, node: ast.Call):
+        written = _dotted(node.func)
+        arg_units = [self.eval(a) for a in node.args
+                     if not isinstance(a, ast.Starred)]
+        kw_units = {kw.arg: self.eval(kw.value) for kw in node.keywords
+                    if kw.arg is not None}
+        if written is None:
+            self.eval(node.func)
+            return None
+        tail = written.rsplit(".", 1)[-1]
+        target = self.p.resolve_function(written, self.fn, self.info)
+        if target is not None:
+            sig = self.p.signature(target)
+            self._check_args(node, sig, arg_units, kw_units, written)
+            return sig.returns
+        # Dataclass constructor without an explicit __init__: keyword
+        # arguments check against the field annotations.
+        canonical = self.p.index.resolve(written, self.info.name)
+        cls = self.p.index.class_of(canonical)
+        if cls is not None:
+            for kw, unit in kw_units.items():
+                punit = self.p.class_field_unit(cls, kw)
+                self._check_one(node, kw, punit, unit, written)
+            return None
+        if tail in ("float", "int", "round") and arg_units:
+            return arg_units[0]
+        if tail in _PASSTHROUGH_TAILS:
+            return arg_units[0] if arg_units else None
+        if tail in ("maximum", "minimum", "clip", "where", "fmax", "fmin"):
+            vals = arg_units if tail != "where" else arg_units[1:]
+            result = _ANY
+            for v in vals:
+                result = _merge(result, v)
+            return result
+        if tail in _POLYMORPHIC_TAILS:
+            return _ANY if tail in ("zeros", "ones", "len") else None
+        return None
+
+    def _check_args(self, node: ast.Call, sig: _Signature,
+                    arg_units, kw_units, written: str) -> None:
+        for i, unit in enumerate(arg_units):
+            if i >= len(sig.params):
+                break
+            pname, punit = sig.params[i]
+            self._check_one(node, pname, punit, unit, written)
+        for kw, unit in kw_units.items():
+            punit = sig.param_units.get(kw)
+            if punit is not None:
+                self._check_one(node, kw, punit, unit, written)
+
+    def _check_one(self, node: ast.Call, pname: str, punit, unit,
+                   written: str) -> None:
+        if punit is None or not isinstance(unit, tuple):
+            return
+        if unit != punit:
+            emit(self.p.findings, self.info, node.lineno, node.col_offset,
+                 "RP303",
+                 f"{written}({pname}=...) expects {_fmt(punit)}, got {_fmt(unit)}")
+
+    # -- statements ------------------------------------------------------
+    def _bind(self, target: ast.expr, value) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = self.eval(node.value)
+        for target in node.targets:
+            self._bind(target, value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        annotated = unit_of_annotation(node.annotation, self.info, self.p.index)
+        value = self.eval(node.value) if node.value is not None else None
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = annotated if annotated is not None else value
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        value = self.eval(node.value)
+        if isinstance(node.target, ast.Name):
+            current = self.env.get(node.target.id)
+            if isinstance(node.op, (ast.Add, ast.Sub)) \
+                    and isinstance(current, tuple) and isinstance(value, tuple) \
+                    and current != value:
+                emit(self.p.findings, self.info, node.lineno, node.col_offset,
+                     "RP301", f"{_fmt(current)} vs {_fmt(value)}")
+            if isinstance(node.op, ast.Mult):
+                self.env[node.target.id] = _mul(current, value)
+            elif isinstance(node.op, ast.Div):
+                self.env[node.target.id] = _mul(current, _inv(value))
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is None:
+            return
+        value = self.eval(node.value)
+        if self.return_unit is not None and isinstance(value, tuple) \
+                and value != self.return_unit:
+            emit(self.p.findings, self.info, node.lineno, node.col_offset,
+                 "RP304",
+                 f"annotated {_fmt(self.return_unit)}, returns {_fmt(value)}")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind(node.target, self.eval(node.iter))
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self.eval(node.value)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.eval(node.test)
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.eval(node.test)
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.eval(node.test)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, None)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if node.exc is not None:
+            self.eval(node.exc)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions are checked as their own FunctionInfo
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def run(self) -> None:
+        body = self.fn.node.body
+        if not isinstance(body, list):
+            return  # lambda: no statements to check
+        for stmt in body:
+            self.visit(stmt)
+
+
+class _UnitsPass:
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.findings: list[Violation] = []
+        self._signatures: dict[str, _Signature] = {}
+        self._fields = self._collect_fields()
+        self._globals = self._collect_globals()
+
+    # -- registries ------------------------------------------------------
+    def _collect_fields(self) -> dict[str, Unit | None]:
+        """Field name -> unit, kept only when unambiguous project-wide."""
+        seen: dict[str, set] = defaultdict(set)
+        for info in self.index.modules.values():
+            for cls in info.classes.values():
+                for fname, text in cls.fields.items():
+                    try:
+                        annotation = ast.parse(text, mode="eval").body
+                    except SyntaxError:
+                        continue
+                    unit = unit_of_annotation(annotation, info, self.index)
+                    if unit is not None:
+                        seen[fname].add(unit)
+        return {name: units.pop() for name, units in seen.items()
+                if len(units) == 1}
+
+    def _collect_globals(self) -> dict[str, Unit]:
+        """Canonical ``module.NAME`` -> unit for annotated module globals."""
+        table: dict[str, Unit] = {}
+        for info in self.index.modules.values():
+            for stmt in info.tree.body:
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    unit = unit_of_annotation(stmt.annotation, info, self.index)
+                    if unit is not None:
+                        table[f"{info.name}.{stmt.target.id}"] = unit
+        return table
+
+    def field_unit(self, name: str):
+        return self._fields.get(name)
+
+    def class_field_unit(self, cls, name: str):
+        text = cls.fields.get(name)
+        if text is None:
+            return None
+        try:
+            annotation = ast.parse(text, mode="eval").body
+        except SyntaxError:
+            return None
+        return unit_of_annotation(annotation, self.index.modules[cls.module],
+                                  self.index)
+
+    def global_unit(self, written: str, info: ModuleInfo):
+        canonical = self.index.resolve(written, info.name)
+        return self._globals.get(canonical)
+
+    # -- function resolution --------------------------------------------
+    def signature(self, fn: FunctionInfo) -> _Signature:
+        sig = self._signatures.get(fn.qualname)
+        if sig is None:
+            sig = _Signature(fn, self.index.modules[fn.module], self.index)
+            self._signatures[fn.qualname] = sig
+        return sig
+
+    def resolve_function(self, written: str, caller: FunctionInfo,
+                         info: ModuleInfo) -> FunctionInfo | None:
+        head, _, rest = written.partition(".")
+        if head == "self" and caller.class_name is not None and rest \
+                and "." not in rest:
+            return self.index._method_via_bases(info, caller.class_name, rest)
+        canonical = self.index.resolve(written, info.name)
+        fn = self.index.lookup_function(canonical)
+        if fn is not None and not fn.is_lambda:
+            return fn
+        cls = self.index.class_of(canonical)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            if init is not None:
+                return self.index.lookup_function(init)
+        return None
+
+    # -- driver ----------------------------------------------------------
+    def run(self) -> list[Violation]:
+        for info in self.index.modules.values():
+            for fn in info.functions.values():
+                if fn.is_lambda:
+                    continue
+                _UnitChecker(self, fn, info).run()
+        return self.findings
+
+
+def check_units(index: ProjectIndex) -> list[Violation]:
+    """Run the RP3xx dimensional-analysis pass over the project."""
+    return _UnitsPass(index).run()

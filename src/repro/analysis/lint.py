@@ -25,9 +25,15 @@ RP007     Wall-clock calls (``time.time`` & friends) inside
           ``repro/simulator`` — event logic must use virtual time.
 ========  =============================================================
 
+The interprocedural passes (RP2xx spawn safety, RP3xx units, RP4xx perf)
+live in :mod:`repro.analysis.flow`; they share this module's
+:class:`Violation` record and the suppression mechanism below.
+
 Escape hatch: a trailing ``# repro-lint: disable=RP001[,RP002]`` comment
 disables those codes on that line; the same comment on a line of its own
-disables them for the whole file.
+disables them for the whole file.  Suppression *usage* is tracked: the
+driver's stale-suppression audit (RP008) flags disable comments that no
+longer suppress anything.
 """
 
 from __future__ import annotations
@@ -41,9 +47,11 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..errors import AnalysisError
+from .codes import ALL_CODES, lint_codes
 
 __all__ = [
     "RULES",
+    "Suppressions",
     "Violation",
     "lint_source",
     "lint_file",
@@ -51,16 +59,8 @@ __all__ = [
     "format_violations",
 ]
 
-#: Rule code -> one-line description (kept in sync with the table above).
-RULES: dict[str, str] = {
-    "RP001": "bare RNG call; create generators via repro.random.make_rng/split_rng",
-    "RP002": "float equality comparison; use a tolerance (np.isclose/math.isclose)",
-    "RP003": "mutable default argument; default to None and build inside the function",
-    "RP004": "except swallows the error; narrow the type and log or re-raise",
-    "RP005": "literal float32/float64 dtype outside repro/nn; let the tensor engine decide precision",
-    "RP006": "direct Tensor.data/.grad mutation outside repro/nn; go through ops or an optimizer",
-    "RP007": "wall-clock call in simulator code; event logic must use virtual time",
-}
+#: Single-file rule code -> one-line description (the RP0xx subset).
+RULES: dict[str, str] = lint_codes()
 
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
 
@@ -84,16 +84,103 @@ _WALL_CLOCK = {
 
 @dataclass(frozen=True)
 class Violation:
-    """One lint finding."""
+    """One finding from any analysis pass.
+
+    ``severity`` is ``"error"`` (fails ``--strict``) or ``"warning"``
+    (reported, never gates).  All RP0xx lint findings are errors.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    severity: str = "error"
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        prefix = "" if self.severity == "error" else f"{self.severity}: "
+        return f"{self.path}:{self.line}:{self.col}: {prefix}{self.code} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file ``# repro-lint: disable=...`` bookkeeping, usage-tracked.
+
+    A trailing comment applies to its line; a comment that is the only
+    content of its line applies to the whole file.  Every pass (lint and
+    the flow passes) consults one shared instance per file through
+    :meth:`is_suppressed`, which records *which* disables actually fired —
+    the driver's stale-suppression audit reports the rest as RP008.
+    """
+
+    relpath: str
+    #: target line -> codes disabled on that line (trailing comments).
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    #: code -> comment line of its file-wide disable declaration.
+    file_disables: dict[str, int] = field(default_factory=dict)
+    #: (line | None, code) entries that suppressed at least one finding.
+    used: set[tuple[int | None, str]] = field(default_factory=set)
+
+    @classmethod
+    def collect(cls, source: str, relpath: str = "<string>") -> "Suppressions":
+        """Parse disable comments from ``source`` via the token stream.
+
+        Raises:
+            AnalysisError: On a disable comment naming an unknown code —
+                stale annotations must not rot silently.
+        """
+        supp = cls(relpath=relpath)
+        lines = source.splitlines()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _DISABLE_RE.search(tok.string)
+                if not match:
+                    continue
+                codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+                unknown = codes - ALL_CODES.keys()
+                if unknown:
+                    raise AnalysisError(
+                        f"{relpath}:{tok.start[0]}: unknown lint code(s) "
+                        f"in disable comment: {sorted(unknown)}"
+                    )
+                row = tok.start[0]
+                before = lines[row - 1][: tok.start[1]] if row <= len(lines) else ""
+                if before.strip():
+                    supp.line_disables.setdefault(row, set()).update(codes)
+                else:
+                    for code in codes:
+                        supp.file_disables.setdefault(code, row)
+        except tokenize.TokenError:
+            pass  # unterminated strings etc.; ast.parse will report properly
+        return supp
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` is disabled at ``line``; records the usage."""
+        if code in self.file_disables:
+            self.used.add((None, code))
+            return True
+        if code in self.line_disables.get(line, ()):
+            self.used.add((line, code))
+            return True
+        return False
+
+    def stale_entries(self) -> list[tuple[int, str]]:
+        """(comment line, code) for every disable that never fired."""
+        stale = [
+            (line, code)
+            for line, codes in self.line_disables.items()
+            for code in sorted(codes)
+            if (line, code) not in self.used
+        ]
+        stale.extend(
+            (line, code)
+            for code, line in self.file_disables.items()
+            if (None, code) not in self.used
+        )
+        return sorted(stale)
 
 
 @dataclass
@@ -106,8 +193,7 @@ class _FileContext:
     in_simulator: bool = False
     is_random_module: bool = False
     imports_stdlib_random: bool = False
-    line_disables: dict[int, set[str]] = field(default_factory=dict)
-    file_disables: set[str] = field(default_factory=set)
+    suppressions: Suppressions | None = None
 
 
 def _dotted_name(node: ast.AST) -> str | None:
@@ -122,38 +208,6 @@ def _dotted_name(node: ast.AST) -> str | None:
     return None
 
 
-def _collect_disables(source: str, context: _FileContext) -> None:
-    """Parse ``# repro-lint: disable=...`` comments via the token stream.
-
-    A trailing comment applies to its line; a comment that is the only
-    content of its line applies to the whole file.
-    """
-    lines = source.splitlines()
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
-                continue
-            match = _DISABLE_RE.search(tok.string)
-            if not match:
-                continue
-            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
-            unknown = codes - RULES.keys()
-            if unknown:
-                raise AnalysisError(
-                    f"{context.relpath}:{tok.start[0]}: unknown lint code(s) "
-                    f"in disable comment: {sorted(unknown)}"
-                )
-            row = tok.start[0]
-            before = lines[row - 1][: tok.start[1]] if row <= len(lines) else ""
-            if before.strip():
-                context.line_disables.setdefault(row, set()).update(codes)
-            else:
-                context.file_disables.update(codes)
-    except tokenize.TokenError:
-        pass  # unterminated strings etc.; ast.parse will report properly
-
-
 class _Checker(ast.NodeVisitor):
     """Single-pass visitor applying every rule."""
 
@@ -164,10 +218,12 @@ class _Checker(ast.NodeVisitor):
 
     # -- plumbing ------------------------------------------------------
     def _report(self, node: ast.AST, code: str) -> None:
-        if code not in self.enabled or code in self.ctx.file_disables:
+        if code not in self.enabled:
             return
         line = getattr(node, "lineno", 0)
-        if code in self.ctx.line_disables.get(line, ()):
+        if self.ctx.suppressions is not None and self.ctx.suppressions.is_suppressed(
+            line, code
+        ):
             return
         self.violations.append(
             Violation(
@@ -338,6 +394,7 @@ def lint_source(
     source: str,
     relpath: str = "<string>",
     rules: Iterable[str] | None = None,
+    suppressions: Suppressions | None = None,
 ) -> list[Violation]:
     """Lint one module's source text.
 
@@ -347,6 +404,10 @@ def lint_source(
             rules (RP001/RP005/RP006/RP007 key off where the file lives).
         rules: Subset of rule codes to apply; all of :data:`RULES` when
             omitted.
+        suppressions: Pre-collected disable comments to consult (and mark
+            usage on).  Collected from ``source`` when omitted — pass a
+            shared instance to accumulate usage across passes for the
+            stale-suppression audit.
 
     Raises:
         AnalysisError: On syntax errors or unknown rule codes.
@@ -356,7 +417,10 @@ def lint_source(
     if unknown:
         raise AnalysisError(f"unknown lint rule(s): {sorted(unknown)}")
     context = _context_for(relpath)
-    _collect_disables(source, context)
+    context.suppressions = (
+        suppressions if suppressions is not None
+        else Suppressions.collect(source, relpath)
+    )
     try:
         tree = ast.parse(source, filename=relpath)
     except SyntaxError as exc:
@@ -367,11 +431,14 @@ def lint_source(
 
 
 def lint_file(path: str | Path, root: str | Path | None = None,
-              rules: Iterable[str] | None = None) -> list[Violation]:
+              rules: Iterable[str] | None = None,
+              suppressions: Suppressions | None = None) -> list[Violation]:
     """Lint one file; ``root`` anchors the reported relative path."""
     path = Path(path)
     relpath = str(path.relative_to(root)) if root is not None else str(path)
-    return lint_source(path.read_text(encoding="utf-8"), relpath, rules)
+    return lint_source(
+        path.read_text(encoding="utf-8"), relpath, rules, suppressions=suppressions
+    )
 
 
 def lint_paths(

@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import DatasetError
+from ..units import BitsPerPacket, Dimensionless, Packets, Seconds
 from ..random import make_rng, split_rng
 from ..routing import RoutingScheme
 from ..runner import (
@@ -79,13 +80,13 @@ class GenerationConfig:
 
     intensity_range: tuple[float, float] = (0.3, 0.9)
     routing_kinds: tuple[str, ...] = _ROUTING_KINDS
-    target_packets_per_pair: float = 150.0
+    target_packets_per_pair: Packets = 150.0
     min_delivered: int = 20
     active_fraction: float = 1.0
-    mean_packet_bits: float = DEFAULT_MEAN_PACKET_BITS
+    mean_packet_bits: BitsPerPacket = DEFAULT_MEAN_PACKET_BITS
     buffer_packets: int = 64
-    warmup_fraction: float = 0.1
-    max_duration: float = 1e5
+    warmup_fraction: Dimensionless = 0.1
+    max_duration: Seconds = 1e5
     arrivals: str = "poisson"
     num_classes: int = 1
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ReproError
+from ..units import PacketsPerSecond, Seconds
 
 __all__ = [
     "mm1_mean_delay",
@@ -24,14 +25,14 @@ __all__ = [
 ]
 
 
-def _check_rates(arrival_rate: float, service_rate: float) -> None:
+def _check_rates(arrival_rate: PacketsPerSecond, service_rate: PacketsPerSecond) -> None:
     if arrival_rate < 0:
         raise ReproError(f"arrival rate must be non-negative, got {arrival_rate}")
     if service_rate <= 0:
         raise ReproError(f"service rate must be positive, got {service_rate}")
 
 
-def mm1_mean_delay(arrival_rate: float, service_rate: float) -> float:
+def mm1_mean_delay(arrival_rate: PacketsPerSecond, service_rate: PacketsPerSecond) -> Seconds:
     """Mean sojourn time ``W = 1 / (mu - lambda)``; infinite when unstable."""
     _check_rates(arrival_rate, service_rate)
     if arrival_rate >= service_rate:
@@ -39,7 +40,7 @@ def mm1_mean_delay(arrival_rate: float, service_rate: float) -> float:
     return 1.0 / (service_rate - arrival_rate)
 
 
-def mm1_delay_variance(arrival_rate: float, service_rate: float) -> float:
+def mm1_delay_variance(arrival_rate: PacketsPerSecond, service_rate: PacketsPerSecond) -> float:
     """Variance of the sojourn time: ``1 / (mu - lambda)^2``.
 
     The M/M/1 sojourn time is exponential with rate ``mu - lambda``, so its
@@ -49,7 +50,7 @@ def mm1_delay_variance(arrival_rate: float, service_rate: float) -> float:
     return w * w
 
 
-def mm1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
+def mm1_mean_queue_length(arrival_rate: PacketsPerSecond, service_rate: PacketsPerSecond) -> float:
     """Mean number in system ``L = rho / (1 - rho)``."""
     _check_rates(arrival_rate, service_rate)
     rho = arrival_rate / service_rate
@@ -59,7 +60,7 @@ def mm1_mean_queue_length(arrival_rate: float, service_rate: float) -> float:
 
 
 def mm1b_blocking_probability(
-    arrival_rate: float, service_rate: float, buffer_packets: int
+    arrival_rate: PacketsPerSecond, service_rate: PacketsPerSecond, buffer_packets: int
 ) -> float:
     """Blocking (drop) probability of an M/M/1/B system.
 
@@ -79,7 +80,7 @@ def mm1b_blocking_probability(
 
 
 def mm1b_mean_queue_length(
-    arrival_rate: float, service_rate: float, buffer_packets: int
+    arrival_rate: PacketsPerSecond, service_rate: PacketsPerSecond, buffer_packets: int
 ) -> float:
     """Mean number in an M/M/1/B system."""
     _check_rates(arrival_rate, service_rate)
@@ -95,8 +96,8 @@ def mm1b_mean_queue_length(
 
 
 def mm1b_mean_delay(
-    arrival_rate: float, service_rate: float, buffer_packets: int
-) -> float:
+    arrival_rate: PacketsPerSecond, service_rate: PacketsPerSecond, buffer_packets: int
+) -> Seconds:
     """Mean sojourn time of *accepted* packets in an M/M/1/B system.
 
     By Little's law ``W = L / lambda_eff`` with

@@ -17,6 +17,7 @@ import numpy as np
 from ..routing import RoutingScheme
 from ..topology import Topology
 from ..traffic import TrafficMatrix, link_loads, DEFAULT_MEAN_PACKET_BITS
+from ..units import BitsPerPacket
 from .mm1 import (
     mm1_mean_delay,
     mm1_delay_variance,
@@ -49,7 +50,7 @@ class QueueingNetworkModel:
 
     def __init__(
         self,
-        mean_packet_bits: float = DEFAULT_MEAN_PACKET_BITS,
+        mean_packet_bits: BitsPerPacket = DEFAULT_MEAN_PACKET_BITS,
         buffer_packets: int | None = None,
     ) -> None:
         if mean_packet_bits <= 0:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import RunnerError
+from ..units import Seconds
 
 __all__ = [
     "Task",
@@ -73,7 +74,7 @@ class TaskFailure:
     kind: str
     error_type: str
     message: str
-    elapsed: float = 0.0
+    elapsed: Seconds = 0.0
 
     def to_dict(self) -> dict:
         """JSON-friendly form (stored in checkpoint ``failures.jsonl``)."""
@@ -117,11 +118,11 @@ class RunnerConfig:
 
     workers: int = 1
     mp_context: str = "auto"
-    task_timeout: float | None = None
+    task_timeout: Seconds | None = None
     max_retries: int = 2
     on_exhausted: str = "raise"
-    poll_interval: float = 0.05
-    crash_grace: float = 1.0
+    poll_interval: Seconds = 0.05
+    crash_grace: Seconds = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -153,7 +154,7 @@ class ProgressEvent:
     attempt: int
     completed: int
     total: int
-    elapsed: float = 0.0
+    elapsed: Seconds = 0.0
     message: str = ""
 
 
@@ -172,8 +173,8 @@ class RunMetrics:
     exhausted: int = 0
     retries: int = 0
     failures: int = 0
-    wall_time: float = 0.0
-    worker_seconds: float = 0.0
+    wall_time: Seconds = 0.0
+    worker_seconds: Seconds = 0.0
     workers: int = 1
     mp_context: str = "inline"
     extras: dict = field(default_factory=dict)

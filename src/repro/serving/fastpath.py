@@ -185,9 +185,12 @@ def fast_forward(model: RouteNet, inputs: ModelInput) -> np.ndarray:
         uniq, starts = np.unique(ids[order], return_index=True)
         schedule.append((rows, ids, order, uniq, starts))
 
+    # One aggregation buffer for every round; zero-filled in place each
+    # round (nothing downstream keeps a view into it across rounds).
+    message_sum = np.zeros((num_links, h_path.shape[1]))
     for _ in range(hp.message_passing_steps):
         gx_all = path_pre(model.path_cell, h_link)
-        message_sum = np.zeros((num_links, h_path.shape[1]))
+        message_sum[:] = 0.0
         for rows, ids, order, uniq, starts in schedule:
             if rows is None:
                 h_path = path_step(model.path_cell, gx_all[ids], h_path)

@@ -11,6 +11,8 @@ from __future__ import annotations
 import heapq
 from typing import Any
 
+from ..units import Seconds
+
 from ..errors import SimulationError
 
 __all__ = ["EventQueue"]
@@ -35,7 +37,7 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
-    def push(self, time: float, payload: Any) -> None:
+    def push(self, time: Seconds, payload: Any) -> None:
         """Schedule ``payload`` at ``time`` (must not precede current time)."""
         if time < self._now:
             raise SimulationError(

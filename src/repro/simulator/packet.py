@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import Bits, Seconds
+
 __all__ = ["Packet"]
 
 
@@ -24,8 +26,8 @@ class Packet:
     """
 
     flow: int
-    size_bits: float
-    created_at: float
+    size_bits: Bits
+    created_at: Seconds
     route: tuple[int, ...]
     hop: int = 0
     record: bool = True

@@ -6,6 +6,7 @@ from collections import deque
 
 from ..errors import SimulationError
 from ..topology import Link
+from ..units import Seconds
 from .packet import Packet
 
 __all__ = ["LinkQueue"]
@@ -30,7 +31,7 @@ class LinkQueue:
         link: Link,
         buffer_packets: int = 64,
         priority_bands: int = 1,
-        horizon: float | None = None,
+        horizon: Seconds | None = None,
     ) -> None:
         if buffer_packets < 1:
             raise SimulationError(f"buffer must hold at least 1 packet, got {buffer_packets}")
@@ -89,7 +90,7 @@ class LinkQueue:
         band.append(packet)
         return True
 
-    def start_service(self, now: float) -> tuple[Packet, float]:
+    def start_service(self, now: Seconds) -> tuple[Packet, float]:
         """Begin transmitting the next packet (highest band, FIFO within).
 
         Returns:
@@ -110,7 +111,7 @@ class LinkQueue:
         service_time = packet.size_bits / self.link.capacity
         return packet, now + service_time
 
-    def finish_service(self, now: float) -> Packet:
+    def finish_service(self, now: Seconds) -> Packet:
         """Complete the in-flight transmission and update counters.
 
         ``busy_time`` accrues only the part of the transmission that falls
@@ -134,7 +135,7 @@ class LinkQueue:
     def has_waiting(self) -> bool:
         return any(self._bands)
 
-    def utilization(self, duration: float) -> float:
+    def utilization(self, duration: Seconds) -> float:
         """Fraction of ``duration`` the transmitter spent sending.
 
         No clamping: when ``horizon == duration`` the ratio is structurally

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..units import Bits, Seconds
+
 from ..random import make_rng
 
 __all__ = ["FlowAccumulator", "FlowStats", "LinkStats", "SimulationResult"]
@@ -38,7 +40,7 @@ class FlowAccumulator:
         self._reservoir: list[float] = []
         self._rng = make_rng(0) if rng is None else rng
 
-    def add(self, delay: float) -> None:
+    def add(self, delay: Seconds) -> None:
         self.count += 1
         diff = delay - self._mean
         self._mean += diff / self.count
@@ -91,10 +93,10 @@ class FlowStats:
     dst: int
     delivered: int
     dropped: int
-    mean_delay: float
+    mean_delay: Seconds
     jitter: float  # delay variance
-    min_delay: float
-    max_delay: float
+    min_delay: Seconds
+    max_delay: Seconds
     delivered_total: int = 0
     dropped_total: int = 0
     p50: float = float("nan")
@@ -116,7 +118,7 @@ class LinkStats:
     utilization: float
     packets_sent: int
     packets_dropped: int
-    bits_sent: float
+    bits_sent: Bits
 
 
 @dataclass(frozen=True)
@@ -134,8 +136,8 @@ class SimulationResult:
     measurement window — see :class:`FlowStats`.
     """
 
-    duration: float
-    warmup: float
+    duration: Seconds
+    warmup: Seconds
     flows: dict[tuple[int, int], FlowStats]
     links: list[LinkStats]
     generated: int
@@ -143,7 +145,7 @@ class SimulationResult:
     dropped: int
     in_flight: int
     events_processed: int = 0
-    wall_time_seconds: float = 0.0
+    wall_time_seconds: Seconds = 0.0
 
     def delay_matrix(self, num_nodes: int) -> np.ndarray:
         """Dense (n, n) matrix of mean delays; NaN where no flow/observation."""

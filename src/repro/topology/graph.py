@@ -17,6 +17,7 @@ import networkx as nx
 import numpy as np
 
 from ..errors import TopologyError
+from ..units import BitsPerSecond, Seconds
 
 __all__ = ["Link", "Topology"]
 
@@ -36,8 +37,8 @@ class Link:
     id: int
     src: int
     dst: int
-    capacity: float
-    propagation_delay: float = 0.0
+    capacity: BitsPerSecond
+    propagation_delay: Seconds = 0.0
 
     def __post_init__(self) -> None:
         if self.src == self.dst:

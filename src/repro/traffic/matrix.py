@@ -13,6 +13,7 @@ from typing import Mapping
 import numpy as np
 
 from ..errors import TrafficError
+from ..units import BitsPerSecond
 from ..routing import RoutingScheme
 from ..topology import Topology
 
@@ -37,11 +38,11 @@ class TrafficMatrix:
     def num_nodes(self) -> int:
         return self.rates.shape[0]
 
-    def rate(self, src: int, dst: int) -> float:
+    def rate(self, src: int, dst: int) -> BitsPerSecond:
         """Offered traffic for one ordered pair (bits/s)."""
         return float(self.rates[src, dst])
 
-    def total(self) -> float:
+    def total(self) -> BitsPerSecond:
         """Total offered traffic across all pairs (bits/s)."""
         return float(self.rates.sum())
 

@@ -11,6 +11,8 @@ from typing import Iterator, Protocol
 
 import numpy as np
 
+from ..units import Bits, BitsPerPacket, Packets, PacketsPerSecond, Seconds
+
 from ..errors import TrafficError
 from ..random import make_rng
 
@@ -25,35 +27,35 @@ __all__ = [
     "make_arrivals",
 ]
 
-DEFAULT_MEAN_PACKET_BITS = 1_000.0
+DEFAULT_MEAN_PACKET_BITS: BitsPerPacket = 1_000.0
 
 
 class ArrivalProcess(Protocol):
     """Yields successive packet inter-arrival times (seconds)."""
 
-    mean_rate: float  # packets per second
+    mean_rate: PacketsPerSecond
 
-    def interarrivals(self) -> Iterator[float]: ...
+    def interarrivals(self) -> Iterator[Seconds]: ...
 
 
 class PacketSizer(Protocol):
     """Draws packet sizes (bits)."""
 
-    mean_bits: float
+    mean_bits: BitsPerPacket
 
-    def sample(self) -> float: ...
+    def sample(self) -> Bits: ...
 
 
 class PoissonArrivals:
     """Poisson process: i.i.d. exponential inter-arrival times."""
 
-    def __init__(self, rate_pps: float, seed: int | np.random.Generator | None = None):
+    def __init__(self, rate_pps: PacketsPerSecond, seed: int | np.random.Generator | None = None):
         if rate_pps <= 0:
             raise TrafficError(f"arrival rate must be positive, got {rate_pps}")
         self.mean_rate = rate_pps
         self._rng = make_rng(seed)
 
-    def interarrivals(self) -> Iterator[float]:
+    def interarrivals(self) -> Iterator[Seconds]:
         scale = 1.0 / self.mean_rate
         while True:
             yield float(self._rng.exponential(scale))
@@ -62,12 +64,12 @@ class PoissonArrivals:
 class DeterministicArrivals:
     """Constant-bit-rate source: fixed inter-arrival spacing."""
 
-    def __init__(self, rate_pps: float, seed: object = None):
+    def __init__(self, rate_pps: PacketsPerSecond, seed: object = None):
         if rate_pps <= 0:
             raise TrafficError(f"arrival rate must be positive, got {rate_pps}")
         self.mean_rate = rate_pps
 
-    def interarrivals(self) -> Iterator[float]:
+    def interarrivals(self) -> Iterator[Seconds]:
         gap = 1.0 / self.mean_rate
         while True:
             yield gap
@@ -83,7 +85,7 @@ class OnOffArrivals:
 
     def __init__(
         self,
-        mean_rate_pps: float,
+        mean_rate_pps: PacketsPerSecond,
         seed: int | np.random.Generator | None = None,
         burstiness: float = 4.0,
         mean_on: float = 0.5,
@@ -105,7 +107,7 @@ class OnOffArrivals:
         self._mean_off = mean_off
         self._rng = make_rng(seed)
 
-    def interarrivals(self) -> Iterator[float]:
+    def interarrivals(self) -> Iterator[Seconds]:
         rng = self._rng
         while True:
             remaining_on = rng.exponential(self._mean_on)
@@ -126,7 +128,7 @@ class ExponentialPacketSize:
 
     def __init__(
         self,
-        mean_bits: float = DEFAULT_MEAN_PACKET_BITS,
+        mean_bits: BitsPerPacket = DEFAULT_MEAN_PACKET_BITS,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if mean_bits <= 0:
@@ -134,20 +136,22 @@ class ExponentialPacketSize:
         self.mean_bits = mean_bits
         self._rng = make_rng(seed)
 
-    def sample(self) -> float:
+    def sample(self) -> Bits:
         return max(1.0, float(self._rng.exponential(self.mean_bits)))
 
 
 class ConstantPacketSize:
     """Fixed-size packets."""
 
-    def __init__(self, mean_bits: float = DEFAULT_MEAN_PACKET_BITS, seed: object = None):
+    def __init__(self, mean_bits: BitsPerPacket = DEFAULT_MEAN_PACKET_BITS, seed: object = None):
         if mean_bits <= 0:
             raise TrafficError(f"mean packet size must be positive, got {mean_bits}")
         self.mean_bits = mean_bits
 
-    def sample(self) -> float:
-        return self.mean_bits
+    def sample(self) -> Bits:
+        # One packet of exactly the mean size: bits/packet x packets = bits.
+        one_packet: Packets = 1.0
+        return self.mean_bits * one_packet
 
 
 _ARRIVALS = {

@@ -1,0 +1,69 @@
+"""Unit-annotation vocabulary for the dimensional-analysis pass.
+
+The library's physical conventions (DESIGN.md §5) are: delays and horizons
+in **seconds**, link capacities and traffic demands in **bits/s**, packet
+sizes in **bits**, mean packet size in **bits per packet**, arrival/service
+rates in **packets/s**.  Mixing them up is the classic silent simulator bug
+— adding a delay to a capacity type-checks as ``float + float``.
+
+The aliases below make the convention machine-readable: they are plain
+``float`` (or ``numpy.ndarray``) at runtime, so annotating a signature
+changes nothing about execution, but ``repro.analysis.flow.units`` reads
+them from the AST, propagates them through assignments, arithmetic and
+calls, and reports unit mixing as RP3xx findings
+(``python -m repro.analysis --strict``).
+
+Usage::
+
+    from ..units import BitsPerSecond, Seconds
+
+    def service_time(size: Bits, capacity: BitsPerSecond) -> Seconds:
+        return size / capacity        # bits / (bits/s) = s  — proven
+
+Array aliases (``SecondsArray`` etc.) carry the same unit for
+``numpy.ndarray``-valued signatures.  The checker treats scalar and array
+aliases of a unit identically.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+
+__all__ = [
+    "Seconds",
+    "Bits",
+    "Packets",
+    "BitsPerSecond",
+    "PacketsPerSecond",
+    "BitsPerPacket",
+    "Dimensionless",
+    "SecondsArray",
+    "BitsArray",
+    "BitsPerSecondArray",
+    "PacketsPerSecondArray",
+    "DimensionlessArray",
+]
+
+#: Simulated time / delays / horizons (s).
+Seconds: TypeAlias = float
+#: Data volumes, e.g. one packet's length (bit).
+Bits: TypeAlias = float
+#: Packet counts (pkt).
+Packets: TypeAlias = float
+#: Link capacities and traffic demands (bit/s).
+BitsPerSecond: TypeAlias = float
+#: Arrival / service rates (pkt/s).
+PacketsPerSecond: TypeAlias = float
+#: Mean packet size — the bits/s <-> packets/s conversion factor (bit/pkt).
+BitsPerPacket: TypeAlias = float
+#: Explicitly unit-free quantities (ratios, utilizations, probabilities).
+Dimensionless: TypeAlias = float
+
+# Array-valued variants (same units, ndarray-shaped).
+SecondsArray: TypeAlias = np.ndarray
+BitsArray: TypeAlias = np.ndarray
+BitsPerSecondArray: TypeAlias = np.ndarray
+PacketsPerSecondArray: TypeAlias = np.ndarray
+DimensionlessArray: TypeAlias = np.ndarray

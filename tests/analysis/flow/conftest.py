@@ -1,0 +1,50 @@
+"""Helpers for building synthetic projects under tmp_path."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import CallGraph, index_project
+
+_REPO_SRC = Path(__file__).resolve().parents[3] / "src"
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Write a package from {relpath: source} and return its ProjectIndex.
+
+    Keys are relative to the package directory; a key starting with ``/``
+    is written relative to the source root instead, so tests can fabricate
+    sibling top-level packages (e.g. a ``repro.runner.pool`` stub).
+    """
+
+    def build(files: dict[str, str], pkg: str = "proj"):
+        root = tmp_path / "srcroot"
+        (root / pkg).mkdir(parents=True, exist_ok=True)
+        (root / pkg / "__init__.py").write_text("")
+        for rel, source in files.items():
+            path = (root / rel[1:]) if rel.startswith("/") else (root / pkg / rel)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return index_project(root)
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def repo_index_and_graph():
+    """Index the real ``src/`` tree once per test session."""
+    index = index_project(_REPO_SRC)
+    return index, CallGraph(index)
+
+
+@pytest.fixture
+def make_graph(make_project):
+    def build(files: dict[str, str], pkg: str = "proj"):
+        index = make_project(files, pkg=pkg)
+        return index, CallGraph(index)
+
+    return build

@@ -1,0 +1,380 @@
+"""Call-graph builder edge cases: methods, decorators, lambdas, partial,
+comprehensions, aliasing, re-exports, and the dynamic-getattr fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.flow import CallGraph, index_project
+from repro.errors import AnalysisError
+
+
+def edges_of(graph, qualname):
+    return {s.resolved for s in graph.callees(qualname)}
+
+
+class TestIndexing:
+    def test_modules_and_functions(self, make_project):
+        index = make_project({
+            "a.py": """
+                def f():
+                    return 1
+
+                class C:
+                    def m(self):
+                        return 2
+            """,
+        })
+        assert "proj.a" in index.modules
+        fns = index.all_functions()
+        assert "proj.a.f" in fns
+        assert "proj.a.C.m" in fns
+        assert fns["proj.a.C.m"].class_name == "C"
+
+    def test_syntax_error_raises(self, tmp_path):
+        root = tmp_path / "bad"
+        root.mkdir()
+        (root / "x.py").write_text("def broken(:\n")
+        with pytest.raises(AnalysisError):
+            index_project(root)
+
+    def test_resolve_through_init_reexport(self, make_project):
+        index = make_project({
+            "sub/__init__.py": "from .impl import worker\n",
+            "sub/impl.py": """
+                def worker():
+                    return 0
+            """,
+            "user.py": """
+                from .sub import worker
+
+                def caller():
+                    return worker()
+            """,
+        })
+        assert index.resolve("worker", "proj.user") == "proj.sub.impl.worker"
+        graph = CallGraph(index)
+        assert "proj.sub.impl.worker" in edges_of(graph, "proj.user.caller")
+
+    def test_import_alias_resolution(self, make_project):
+        index = make_project({
+            "lib.py": "def helper():\n    return 1\n",
+            "use.py": """
+                from . import lib as renamed
+
+                def go():
+                    return renamed.helper()
+            """,
+        })
+        graph = CallGraph(index)
+        assert "proj.lib.helper" in edges_of(graph, "proj.use.go")
+
+    def test_module_level_alias(self, make_project):
+        index = make_project({
+            "m.py": """
+                def original():
+                    return 1
+
+                alias = original
+
+                def caller():
+                    return alias()
+            """,
+        })
+        graph = CallGraph(index)
+        assert "proj.m.original" in edges_of(graph, "proj.m.caller")
+
+
+class TestMethodResolution:
+    def test_self_method_call(self, make_graph):
+        _, graph = make_graph({
+            "c.py": """
+                class C:
+                    def outer(self):
+                        return self.inner()
+
+                    def inner(self):
+                        return 1
+            """,
+        })
+        assert "proj.c.C.inner" in edges_of(graph, "proj.c.C.outer")
+
+    def test_inherited_method_via_base(self, make_graph):
+        _, graph = make_graph({
+            "base.py": """
+                class Base:
+                    def shared(self):
+                        return 1
+            """,
+            "child.py": """
+                from .base import Base
+
+                class Child(Base):
+                    def run(self):
+                        return self.shared()
+            """,
+        })
+        assert "proj.base.Base.shared" in edges_of(graph, "proj.child.Child.run")
+
+    def test_bound_method_through_local_variable(self, make_graph):
+        _, graph = make_graph({
+            "svc.py": """
+                class Service:
+                    def handle(self):
+                        return 1
+
+                def driver():
+                    s = Service()
+                    return s.handle()
+            """,
+        })
+        callees = edges_of(graph, "proj.svc.driver")
+        assert "proj.svc.Service.handle" in callees
+
+    def test_chained_constructor_method(self, make_graph):
+        _, graph = make_graph({
+            "svc.py": """
+                class Runner:
+                    def run(self):
+                        return 1
+
+                def go():
+                    return Runner().run()
+            """,
+        })
+        assert "proj.svc.Runner.run" in edges_of(graph, "proj.svc.go")
+
+    def test_constructor_edge_to_init(self, make_graph):
+        _, graph = make_graph({
+            "svc.py": """
+                class Thing:
+                    def __init__(self):
+                        self.x = 1
+
+                def make():
+                    return Thing()
+            """,
+        })
+        assert "proj.svc.Thing.__init__" in edges_of(graph, "proj.svc.make")
+
+
+class TestDecoratorsAndWrappers:
+    def test_decorated_function_keeps_identity(self, make_graph):
+        _, graph = make_graph({
+            "d.py": """
+                import functools
+
+                def deco(fn):
+                    @functools.wraps(fn)
+                    def wrapper(*args, **kwargs):
+                        return fn(*args, **kwargs)
+                    return wrapper
+
+                @deco
+                def task():
+                    return helper()
+
+                def helper():
+                    return 1
+
+                def caller():
+                    return task()
+            """,
+        })
+        # Calls to the decorated name reach the decorated function body...
+        assert "proj.d.task" in edges_of(graph, "proj.d.caller")
+        # ...and through it, its callees.
+        reach = graph.reachable(["proj.d.caller"])
+        assert "proj.d.helper" in reach
+        # The decorated function also links to its decorator.
+        assert "proj.d.deco" in edges_of(graph, "proj.d.task")
+
+    def test_functools_partial_target(self, make_graph):
+        _, graph = make_graph({
+            "p.py": """
+                import functools
+
+                def base(a, b):
+                    return a + b
+
+                def build():
+                    bound = functools.partial(base, 1)
+                    return bound(2)
+            """,
+        })
+        reach = graph.reachable(["proj.p.build"])
+        assert "proj.p.base" in reach
+
+    def test_module_level_partial_alias(self, make_graph):
+        _, graph = make_graph({
+            "p.py": """
+                import functools
+
+                def base(a, b):
+                    return a + b
+
+                curried = functools.partial(base, 1)
+
+                def use():
+                    return curried(2)
+            """,
+        })
+        assert "proj.p.base" in graph.reachable(["proj.p.use"])
+
+
+class TestLambdasAndNesting:
+    def test_lambda_body_reached_from_enclosing(self, make_graph):
+        _, graph = make_graph({
+            "l.py": """
+                def target():
+                    return 1
+
+                def outer(xs):
+                    return sorted(xs, key=lambda x: target())
+            """,
+        })
+        reach = graph.reachable(["proj.l.outer"])
+        assert "proj.l.target" in reach
+
+    def test_nested_function_reached(self, make_graph):
+        _, graph = make_graph({
+            "n.py": """
+                def helper():
+                    return 2
+
+                def outer():
+                    def inner():
+                        return helper()
+                    return inner()
+            """,
+        })
+        reach = graph.reachable(["proj.n.outer"])
+        assert "proj.n.helper" in reach
+
+    def test_calls_in_comprehension_attributed_to_function(self, make_graph):
+        _, graph = make_graph({
+            "c.py": """
+                def score(x):
+                    return x * 2
+
+                def ranker(items):
+                    return [score(i) for i in items]
+            """,
+        })
+        assert "proj.c.score" in edges_of(graph, "proj.c.ranker")
+
+    def test_function_reference_as_argument(self, make_graph):
+        """Higher-order flows: a function passed as a value is 'may-called'."""
+        _, graph = make_graph({
+            "h.py": """
+                def work(x):
+                    return x
+
+                def submit(fn):
+                    return fn(1)
+
+                def main():
+                    return submit(work)
+            """,
+        })
+        assert "proj.h.work" in graph.reachable(["proj.h.main"])
+
+
+class TestDynamicCalls:
+    def test_getattr_constant_string_resolves(self, make_graph):
+        index, graph = make_graph({
+            "g.py": """
+                class Registry:
+                    def handler(self):
+                        return 1
+
+                def lookup(r):
+                    r = Registry()
+                    return getattr(r, "handler")()
+            """,
+        })
+        assert "proj.g.Registry.handler" in graph.reachable(["proj.g.lookup"])
+
+    def test_getattr_dynamic_string_recorded_not_resolved(self, make_project):
+        index = make_project({
+            "g.py": """
+                def lookup(obj, name):
+                    return getattr(obj, name)()
+            """,
+        })
+        fn = index.all_functions()["proj.g.lookup"]
+        assert fn.dynamic_calls, "dynamic getattr must be recorded"
+        assert any("getattr" in d.description for d in fn.dynamic_calls)
+
+
+class TestQueries:
+    def test_call_chain_shortest_path(self, make_graph):
+        _, graph = make_graph({
+            "q.py": """
+                def a():
+                    return b()
+
+                def b():
+                    return c()
+
+                def c():
+                    return 1
+            """,
+        })
+        assert graph.call_chain("proj.q.a", "proj.q.c") == [
+            "proj.q.a", "proj.q.b", "proj.q.c",
+        ]
+        assert graph.call_chain("proj.q.c", "proj.q.a") is None
+
+    def test_reachable_includes_roots(self, make_graph):
+        _, graph = make_graph({
+            "q.py": "def solo():\n    return 1\n",
+        })
+        assert graph.reachable(["proj.q.solo"]) == {"proj.q.solo"}
+
+
+class TestCache:
+    def test_cache_round_trip(self, tmp_path):
+        root = tmp_path / "src"
+        (root / "p").mkdir(parents=True)
+        (root / "p" / "__init__.py").write_text("")
+        (root / "p" / "m.py").write_text("def f():\n    return g()\n\ndef g():\n    return 1\n")
+        cache = tmp_path / "cache"
+
+        cold = index_project(root, cache_dir=cache)
+        assert list(cache.glob("*.pkl")), "cache must be populated"
+        warm = index_project(root, cache_dir=cache)
+        assert set(warm.all_functions()) == set(cold.all_functions())
+        # Graph built from cached facts is identical.
+        g1 = CallGraph(cold)
+        g2 = CallGraph(warm)
+        assert ({s.resolved for s in g2.callees("p.m.f")}
+                == {s.resolved for s in g1.callees("p.m.f")})
+        assert "p.m.g" in g2.reachable(["p.m.f"])
+
+    def test_cache_invalidated_on_edit(self, tmp_path):
+        root = tmp_path / "src"
+        (root / "p").mkdir(parents=True)
+        (root / "p" / "__init__.py").write_text("")
+        mod = root / "p" / "m.py"
+        mod.write_text("def f():\n    return 1\n")
+        cache = tmp_path / "cache"
+        index_project(root, cache_dir=cache)
+
+        mod.write_text("def f():\n    return 2\n\ndef h():\n    return f()\n")
+        fresh = index_project(root, cache_dir=cache)
+        assert "p.m.h" in fresh.all_functions()
+
+    def test_suppressions_reset_on_cache_load(self, tmp_path):
+        root = tmp_path / "src"
+        (root / "p").mkdir(parents=True)
+        (root / "p" / "__init__.py").write_text("")
+        (root / "p" / "m.py").write_text(
+            "x = 1  # repro-lint: disable=RP002\n")
+        cache = tmp_path / "cache"
+        first = index_project(root, cache_dir=cache)
+        info = first.modules["p.m"]
+        info.suppressions.is_suppressed(1, "RP002")  # mark used
+
+        warm = index_project(root, cache_dir=cache)
+        assert not warm.modules["p.m"].suppressions.used

@@ -1,0 +1,296 @@
+"""RP2xx spawn-safety & determinism proofs.
+
+The acceptance-critical cases: an unseeded RNG or a mutable-global read
+injected anywhere in a runner payload's transitive call tree must be
+caught, and the report must carry the full call chain from the spawn root
+to the offender.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.spawnsafety import check_spawn_safety, find_spawn_roots
+
+# Synthetic projects use the real runner class path so root detection
+# matches production code: the pass keys on the ``repro.runner.pool``
+# module name, so we fabricate that package as a *sibling* of the test
+# package (leading ``/`` = source-root-relative in make_project).
+RUNNER_STUB = {
+    "/repro/__init__.py": "",
+    "/repro/runner/__init__.py": "from .pool import ParallelRunner\n",
+    "/repro/runner/pool.py": """
+        class ParallelRunner:
+            def __init__(self, worker, config=None):
+                self.worker = worker
+    """,
+    "/repro/random.py": """
+        def make_rng(seed=None):
+            return seed
+    """,
+}
+
+
+def project(make_graph, files):
+    merged = dict(RUNNER_STUB)
+    merged.update(files)
+    return make_graph(merged, pkg="app")
+
+
+def run_pass(make_graph, files):
+    index, graph = project(make_graph, files)
+    return index, check_spawn_safety(index, graph)
+
+
+class TestRootDetection:
+    def test_module_level_worker_is_a_root(self, make_graph):
+        index, _ = project(make_graph, {
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+
+                def worker(payload, seed, attempt):
+                    return payload
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        roots = find_spawn_roots(index)
+        assert [r.worker_qualname for r in roots] == ["app.jobs.worker"]
+
+    def test_worker_keyword_argument(self, make_graph):
+        index, _ = project(make_graph, {
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+
+                def worker(payload, seed, attempt):
+                    return payload
+
+                def launch(cfg):
+                    return ParallelRunner(config=cfg, worker=worker)
+            """,
+        })
+        roots = find_spawn_roots(index)
+        assert [r.worker_qualname for r in roots] == ["app.jobs.worker"]
+
+    def test_lambda_worker_reported_rp205(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+
+                def launch():
+                    return ParallelRunner(lambda p, s, a: p)
+            """,
+        })
+        assert [v.code for v in findings] == ["RP205"]
+
+    def test_nested_function_worker_reported_rp205(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+
+                def launch():
+                    def worker(p, s, a):
+                        return p
+                    return ParallelRunner(worker)
+            """,
+        })
+        assert any(v.code == "RP205" for v in findings)
+
+    def test_lambda_in_task_payload_reported(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "/repro/runner/types.py": """
+                class Task:
+                    def __init__(self, index=0, seed=0, payload=None):
+                        self.payload = payload
+            """,
+            "jobs.py": """
+                from repro.runner.types import Task
+
+                def build():
+                    return Task(index=0, seed=1, payload=lambda: 3)
+            """,
+        })
+        assert any(v.code == "RP205" and "payload" in v.message
+                   for v in findings)
+
+
+class TestInjectedViolations:
+    """Acceptance criteria: injected violations are caught with call chains."""
+
+    def test_unseeded_rng_deep_in_call_tree(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+                from .sampling import generate
+
+                def worker(payload, seed, attempt):
+                    return generate(payload)
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+            "sampling.py": """
+                from .helpers import draw
+
+                def generate(payload):
+                    return draw()
+            """,
+            "helpers.py": """
+                from repro.random import make_rng
+
+                def draw():
+                    rng = make_rng()
+                    return rng
+            """,
+        })
+        rng = [v for v in findings if v.code == "RP203"]
+        assert len(rng) == 1
+        v = rng[0]
+        assert v.path.endswith("app/helpers.py")
+        assert v.severity == "error"
+        # Full chain from spawn root to the offender, in order.
+        assert "app.jobs.worker -> app.sampling.generate -> app.helpers.draw" \
+            in v.message
+
+    def test_mutable_global_read_is_caught_with_chain(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "state.py": """
+                CACHE = {}
+
+                def remember(key, value):
+                    CACHE[key] = value
+            """,
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+                from .state import CACHE
+
+                def worker(payload, seed, attempt):
+                    return CACHE.get(payload)
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        reads = [v for v in findings if v.code == "RP201"]
+        assert len(reads) == 1
+        assert "app.state.CACHE" in reads[0].message
+        assert "app.jobs.worker" in reads[0].message
+        assert reads[0].severity == "error"
+
+    def test_global_mutation_in_worker_rp202(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+
+                RESULTS = []
+
+                def worker(payload, seed, attempt):
+                    RESULTS.append(payload)
+                    return payload
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        writes = [v for v in findings if v.code == "RP202"]
+        assert len(writes) == 1
+        assert "RESULTS" in writes[0].message
+
+    def test_wall_clock_in_spawn_scope_is_warning(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                import time
+                from repro.runner import ParallelRunner
+
+                def worker(payload, seed, attempt):
+                    return time.time()
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        clocks = [v for v in findings if v.code == "RP204"]
+        assert len(clocks) == 1
+        assert clocks[0].severity == "warning"
+
+    def test_aliased_time_import_is_caught(self, make_graph):
+        """`import time as _t` must not evade the wall-clock check."""
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                import time as _t
+                from repro.runner import ParallelRunner
+
+                def worker(payload, seed, attempt):
+                    return _t.perf_counter()
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        assert any(v.code == "RP204" for v in findings)
+
+
+class TestCleanWorkers:
+    def test_seeded_worker_produces_no_findings(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+                from repro.random import make_rng
+
+                CONSTANTS = {"a": 1}
+
+                def worker(payload, seed, attempt):
+                    rng = make_rng(seed)
+                    return CONSTANTS.get(payload)
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        assert findings == []
+
+    def test_read_only_registry_is_allowed(self, make_graph):
+        """A dict nobody mutates is fine to read from spawn scope."""
+        _, findings = run_pass(make_graph, {
+            "registry.py": """
+                HANDLERS = {"x": 1}
+            """,
+            "jobs.py": """
+                from repro.runner import ParallelRunner
+                from .registry import HANDLERS
+
+                def worker(payload, seed, attempt):
+                    return HANDLERS[payload]
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        assert [v.code for v in findings] == []
+
+    def test_suppression_comment_silences_finding(self, make_graph):
+        _, findings = run_pass(make_graph, {
+            "jobs.py": """
+                import time
+                from repro.runner import ParallelRunner
+
+                def worker(payload, seed, attempt):
+                    return time.time()  # repro-lint: disable=RP204
+
+                def launch():
+                    return ParallelRunner(worker)
+            """,
+        })
+        assert findings == []
+
+
+class TestRealTree:
+    def test_repo_spawn_scope_is_deterministic(self, repo_index_and_graph):
+        index, graph = repo_index_and_graph
+        findings = check_spawn_safety(index, graph)
+        hard = [v for v in findings if v.severity == "error"]
+        assert hard == [], [v.format() for v in hard]
+
+    def test_generation_worker_is_detected_as_root(self, repo_index_and_graph):
+        index, _ = repo_index_and_graph
+        roots = {r.worker_qualname for r in find_spawn_roots(index)}
+        assert "repro.dataset.generate._generation_worker" in roots

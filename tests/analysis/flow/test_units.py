@@ -1,0 +1,223 @@
+"""RP3xx dimensional analysis: unit algebra, propagation, and reports."""
+
+from __future__ import annotations
+
+from repro.analysis.flow.units import UNIT_ALIASES, _inv, _mul, check_units
+
+UNITS_MODULE = {
+    "units.py": """
+        Seconds = float
+        Bits = float
+        Packets = float
+        BitsPerSecond = float
+        PacketsPerSecond = float
+        BitsPerPacket = float
+        Dimensionless = float
+    """,
+}
+
+
+def findings_for(make_project, files):
+    merged = dict(UNITS_MODULE)
+    merged.update(files)
+    return check_units(make_project(merged))
+
+
+class TestAlgebra:
+    def test_rate_times_time_is_bits(self):
+        bps = UNIT_ALIASES["BitsPerSecond"]
+        s = UNIT_ALIASES["Seconds"]
+        assert _mul(bps, s) == UNIT_ALIASES["Bits"]
+
+    def test_bps_over_bits_per_packet_is_pps(self):
+        bps = UNIT_ALIASES["BitsPerSecond"]
+        bpp = UNIT_ALIASES["BitsPerPacket"]
+        assert _mul(bps, _inv(bpp)) == UNIT_ALIASES["PacketsPerSecond"]
+
+    def test_unit_over_itself_is_dimensionless(self):
+        s = UNIT_ALIASES["Seconds"]
+        assert _mul(s, _inv(s)) == UNIT_ALIASES["Dimensionless"]
+
+
+class TestDetection:
+    def test_rp301_mixed_addition(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import BitsPerSecond, Seconds
+
+                def broken(delay: Seconds, capacity: BitsPerSecond):
+                    return delay + capacity
+            """,
+        })
+        assert [v.code for v in findings] == ["RP301"]
+        assert "s vs bit/s" in findings[0].message
+
+    def test_rp302_mixed_comparison(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import Bits, Seconds
+
+                def broken(size: Bits, horizon: Seconds):
+                    return size > horizon
+            """,
+        })
+        assert [v.code for v in findings] == ["RP302"]
+
+    def test_rp303_wrong_argument_unit(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import BitsPerSecond, PacketsPerSecond
+
+                def service(rate: PacketsPerSecond):
+                    return rate
+
+                def caller(capacity: BitsPerSecond):
+                    return service(capacity)
+            """,
+        })
+        assert [v.code for v in findings] == ["RP303"]
+        assert "expects pkt/s, got bit/s" in findings[0].message
+
+    def test_rp303_keyword_argument(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import Seconds, Bits
+
+                def wait(timeout: Seconds):
+                    return timeout
+
+                def caller(size: Bits):
+                    return wait(timeout=size)
+            """,
+        })
+        assert [v.code for v in findings] == ["RP303"]
+
+    def test_rp304_wrong_return_unit(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import Bits, Seconds
+
+                def broken(size: Bits) -> Seconds:
+                    return size
+            """,
+        })
+        assert [v.code for v in findings] == ["RP304"]
+        assert "annotated s, returns bit" in findings[0].message
+
+    def test_dataclass_field_keyword_checked(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from dataclasses import dataclass
+
+                from .units import Bits, Seconds
+
+                @dataclass
+                class Config:
+                    duration: Seconds = 1.0
+
+                def build(size: Bits):
+                    return Config(duration=size)
+            """,
+        })
+        assert [v.code for v in findings] == ["RP303"]
+
+
+class TestPropagation:
+    def test_transfer_time_checks_out(self, make_project):
+        """bits / (bits/s) == s: the annotated return passes."""
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import Bits, BitsPerSecond, Seconds
+
+                def transfer_time(size: Bits, capacity: BitsPerSecond) -> Seconds:
+                    return size / capacity
+            """,
+        })
+        assert findings == []
+
+    def test_rate_conversion_checks_out(self, make_project):
+        """(bits/s) / (bits/pkt) == pkt/s, through a local variable."""
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import BitsPerPacket, BitsPerSecond, PacketsPerSecond
+
+                def to_pps(rate: BitsPerSecond,
+                           packet: BitsPerPacket) -> PacketsPerSecond:
+                    converted = rate / packet
+                    return converted
+            """,
+        })
+        assert findings == []
+
+    def test_wrong_conversion_caught(self, make_project):
+        """Multiplying instead of dividing flips the unit and is reported."""
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import BitsPerPacket, BitsPerSecond, PacketsPerSecond
+
+                def to_pps(rate: BitsPerSecond,
+                           packet: BitsPerPacket) -> PacketsPerSecond:
+                    return rate * packet
+            """,
+        })
+        assert [v.code for v in findings] == ["RP304"]
+
+    def test_literal_numerator_division_is_polymorphic(self, make_project):
+        """1/(mu - lam): closed-form queueing maths must not false-positive."""
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import PacketsPerSecond, Seconds
+
+                def mean_delay(lam: PacketsPerSecond,
+                               mu: PacketsPerSecond) -> Seconds:
+                    return 1.0 / (mu - lam)
+            """,
+        })
+        assert findings == []
+
+    def test_numeric_literals_are_polymorphic(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import Seconds
+
+                def pad(delay: Seconds) -> Seconds:
+                    return delay + 0.5
+            """,
+        })
+        assert findings == []
+
+    def test_annotated_local_conversion(self, make_project):
+        """An AnnAssign asserts the new unit, as in the packet-sizer fix."""
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import Bits, BitsPerPacket, Packets
+
+                def one_packet_bits(mean: BitsPerPacket) -> Bits:
+                    count: Packets = 1.0
+                    return mean * count
+            """,
+        })
+        assert findings == []
+
+    def test_suppression_comment_honored(self, make_project):
+        findings = findings_for(make_project, {
+            "m.py": """
+                from .units import Bits, Seconds
+
+                def known_odd(size: Bits, horizon: Seconds):
+                    return size + horizon  # repro-lint: disable=RP301
+            """,
+        })
+        assert findings == []
+
+
+class TestRealTree:
+    def test_repo_tree_is_dimensionally_clean(self, repo_index_and_graph):
+        """Regression: the annotated simulator/queueing/traffic modules pass.
+
+        This pins the ConstantPacketSize.sample fix (bits/packet * packets
+        = bits) and every other annotation threaded through the tree.
+        """
+        index, _ = repo_index_and_graph
+        findings = check_units(index)
+        assert findings == [], [v.format() for v in findings]

@@ -1,0 +1,220 @@
+"""The ``python -m repro.analysis`` driver: formats, exit codes, audits.
+
+Synthetic trees are injected by monkeypatching ``_default_src_root`` so
+every exit path is exercised without touching the real source tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+import repro.analysis.__main__ as driver
+
+UNITS = """
+    Seconds = float
+    Bits = float
+    BitsPerSecond = float
+"""
+
+CLEAN = {
+    "units.py": UNITS,
+    "ok.py": """
+        from .units import Bits, BitsPerSecond, Seconds
+
+        def transfer_time(size: Bits, capacity: BitsPerSecond) -> Seconds:
+            return size / capacity
+    """,
+}
+
+MIXED_UNITS = {
+    "units.py": UNITS,
+    "bad.py": """
+        from .units import BitsPerSecond, Seconds
+
+        def broken(delay: Seconds, capacity: BitsPerSecond):
+            return delay + capacity
+    """,
+}
+
+COLD_ALLOC = {
+    "slow.py": """
+        import numpy as np
+
+        def per_round(n, rounds):
+            total = 0.0
+            for _ in range(rounds):
+                total += np.zeros(n).sum()
+            return total
+    """,
+}
+
+
+@pytest.fixture
+def fake_tree(monkeypatch, tmp_path):
+    """Write {relpath: source} under a fake src root and point main() at it."""
+
+    def build(files):
+        root = tmp_path / "srcroot"
+        (root / "proj").mkdir(parents=True, exist_ok=True)
+        (root / "proj" / "__init__.py").write_text("")
+        for rel, source in files.items():
+            path = root / "proj" / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        monkeypatch.setattr(driver, "_default_src_root", lambda: root)
+        return root
+
+    return build
+
+
+def run_json(capsys, argv):
+    rc = driver.main([*argv, "--format", "json", "--no-shapes"])
+    return rc, json.loads(capsys.readouterr().out)
+
+
+class TestFormats:
+    def test_json_payload_shape(self, fake_tree, capsys):
+        fake_tree(CLEAN)
+        rc, payload = run_json(capsys, [])
+        assert rc == 0
+        assert set(payload) >= {"findings", "lint", "counts", "elapsed_seconds"}
+        assert payload["counts"] == {"errors": 0, "warnings": 0}
+        assert payload["findings"] == []
+
+    def test_json_finding_fields(self, fake_tree, capsys):
+        fake_tree(MIXED_UNITS)
+        rc, payload = run_json(capsys, [])
+        assert rc == 0  # non-strict: findings never gate
+        (finding,) = payload["findings"]
+        assert finding["code"] == "RP301"
+        assert finding["severity"] == "error"
+        assert finding["path"].endswith("proj/bad.py")
+        assert {"line", "col", "message"} <= set(finding)
+
+    def test_deprecated_json_flag(self, fake_tree, capsys):
+        fake_tree(CLEAN)
+        rc = driver.main(["--json", "--no-shapes"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0 and payload["counts"]["errors"] == 0
+
+    def test_github_annotations(self, fake_tree, capsys):
+        fake_tree(MIXED_UNITS)
+        rc = driver.main(["--format", "github", "--no-shapes"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = [ln for ln in out.splitlines() if ln.startswith("::error ")]
+        assert len(lines) == 1
+        assert "file=" in lines[0] and "line=" in lines[0]
+        assert "RP301" in lines[0]
+
+    def test_github_warning_level(self, fake_tree, capsys):
+        fake_tree(COLD_ALLOC)
+        driver.main(["--format", "github", "--no-shapes"])
+        out = capsys.readouterr().out
+        assert any(ln.startswith("::warning ") and "RP402" in ln
+                   for ln in out.splitlines())
+
+    def test_text_hides_warnings_by_default(self, fake_tree, capsys):
+        fake_tree(COLD_ALLOC)
+        rc = driver.main(["--strict", "--no-shapes"])
+        out = capsys.readouterr().out
+        assert rc == 0  # warnings never gate, even under --strict
+        assert "warning(s) hidden" in out
+        assert "RP402" not in out
+
+    def test_text_show_warnings(self, fake_tree, capsys):
+        fake_tree(COLD_ALLOC)
+        driver.main(["--show-warnings", "--no-shapes"])
+        out = capsys.readouterr().out
+        assert "RP402" in out
+
+
+class TestExitCodes:
+    def test_strict_gates_on_errors(self, fake_tree, capsys):
+        fake_tree(MIXED_UNITS)
+        assert driver.main(["--strict", "--no-shapes"]) == 1
+        capsys.readouterr()
+
+    def test_non_strict_reports_but_passes(self, fake_tree, capsys):
+        fake_tree(MIXED_UNITS)
+        assert driver.main(["--no-shapes"]) == 0
+        assert "non-strict" in capsys.readouterr().out
+
+    def test_unknown_rule_is_config_error(self, fake_tree, capsys):
+        fake_tree(CLEAN)
+        assert driver.main(["--rules", "RP999", "--no-shapes"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_unparsable_source_is_config_error(self, fake_tree, capsys):
+        fake_tree({"broken.py": "def nope(:\n"})
+        assert driver.main(["--no-shapes"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_max_seconds_budget_failure(self, fake_tree, capsys):
+        fake_tree(CLEAN)
+        assert driver.main(["--no-shapes", "--max-seconds", "0.0"]) == 1
+        assert "budget" in capsys.readouterr().err
+
+
+class TestStaleSuppressionAudit:
+    def test_stale_disable_reported_rp008(self, fake_tree, capsys):
+        fake_tree({
+            "m.py": """
+                def fine():
+                    return 1  # repro-lint: disable=RP002
+            """,
+        })
+        rc, payload = run_json(capsys, ["--strict"])
+        assert rc == 1
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["RP008"]
+        assert "disable=RP002" in payload["findings"][0]["message"]
+
+    def test_used_disable_not_stale(self, fake_tree, capsys):
+        fake_tree({
+            "units.py": UNITS,
+            "m.py": """
+                from .units import Bits, Seconds
+
+                def known(size: Bits, horizon: Seconds):
+                    return size + horizon  # repro-lint: disable=RP301
+            """,
+        })
+        rc, payload = run_json(capsys, ["--strict"])
+        assert rc == 0
+        assert payload["findings"] == []
+
+    def test_audit_skipped_with_rule_subset(self, fake_tree, capsys):
+        """A subset run cannot distinguish stale from not-yet-checked."""
+        fake_tree({
+            "m.py": """
+                def fine():
+                    return 1  # repro-lint: disable=RP002
+            """,
+        })
+        rc, payload = run_json(capsys, ["--strict", "--rules", "RP002"])
+        assert rc == 0
+        assert payload["findings"] == []
+
+
+class TestCache:
+    def test_cache_dir_populated_and_reused(self, fake_tree, tmp_path, capsys):
+        fake_tree(CLEAN)
+        cache = tmp_path / "cache"
+        rc1, _ = run_json(capsys, ["--cache-dir", str(cache)])
+        assert rc1 == 0
+        cached = set(cache.glob("*.pkl"))
+        assert cached
+        rc2, payload = run_json(capsys, ["--cache-dir", str(cache)])
+        assert rc2 == 0 and payload["counts"]["errors"] == 0
+        assert set(cache.glob("*.pkl")) == cached
+
+
+class TestRealTree:
+    def test_repo_passes_strict(self, capsys):
+        """Acceptance: the full suite over the real tree is clean."""
+        assert driver.main(["--strict", "--no-shapes"]) == 0
+        capsys.readouterr()
