@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Training-throughput benchmark: fused-batch steps vs the per-sample loop.
+
+Trains RouteNet on simulated NSFNET scenarios at batch sizes B in {1, 4, 16}
+and reports, per batch size:
+
+* ``samples_per_sec`` / ``steps_per_sec`` — end-to-end training throughput
+  of the *fastest* timed epoch (epoch 1 is a warmup that populates the input
+  cache, the plan memo and the fused-batch cache, exactly like a real run;
+  best-of is the standard noise-robust estimator for throughput on shared
+  machines — the slow epochs measure the machine, the fast ones the code);
+* ``stages`` — per-stage wall-time breakdown (``prepare`` = input build +
+  batch packing, ``forward``, ``backward``, ``optimizer`` = clip + Adam),
+  measured with monkeypatched timers in a separate instrumented epoch so the
+  headline throughput numbers stay unperturbed;
+* ``alloc_blocks`` / ``alloc_kib`` — tracemalloc block and KiB deltas for
+  one steady-state epoch (lower = the allocation discipline is working);
+* ``peak_rss_kib`` — ``ru_maxrss`` after the run.
+
+Output schema (``BENCH_training.json``)::
+
+    {
+      "benchmark": "training_throughput",
+      "config": {"topology": "nsfnet", "num_samples": ..., "epochs_timed": ...,
+                 "hparams": {...}, "quick": bool},
+      "results": [
+        {"batch_size": B, "samples_per_sec": float, "steps_per_sec": float,
+         "epoch_seconds": float,            # fastest timed epoch
+         "epoch_seconds_all": [float, ...], # every timed epoch, in order
+         "loss_final": float,
+         "stages": {"prepare": s, "forward": s, "backward": s, "optimizer": s},
+         "alloc_blocks": int, "alloc_kib": float, "peak_rss_kib": int},
+        ...
+      ],
+      "speedup_b16_vs_b1": float
+    }
+
+``--check BASELINE.json`` compares the measured B=16-vs-B=1 speedup ratio
+against the committed baseline's and fails (exit 1) when it falls below 80%
+of it — a machine-independent regression gate (absolute samples/sec are
+hardware-dependent; the fused-batch *ratio* is not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import nn  # noqa: E402
+from repro.core import HyperParams, RouteNet  # noqa: E402
+from repro.dataset import GenerationConfig, generate_dataset  # noqa: E402
+from repro.topology import nsfnet  # noqa: E402
+from repro.training import Trainer  # noqa: E402
+
+BATCH_SIZES = (1, 4, 16)
+
+FAST_GEN = GenerationConfig(
+    target_packets_per_pair=60.0,
+    min_delivered=10,
+    intensity_range=(0.3, 0.7),
+)
+
+
+def make_trainer(samples, hparams: HyperParams, seed: int) -> Trainer:
+    model = RouteNet(hparams, seed=seed)
+    trainer = Trainer(model, seed=seed + 1)
+    from repro.dataset import fit_scaler
+
+    trainer.scaler = fit_scaler(samples)
+    return trainer
+
+
+def run_epoch(trainer: Trainer, samples, batch_size: int) -> float:
+    """One pass over ``samples`` at ``batch_size``; returns the mean loss."""
+    if batch_size == 1:
+        losses = [trainer.train_step(s) for s in samples]
+    else:
+        losses = [
+            trainer.train_step_batch(samples[i : i + batch_size])
+            for i in range(0, len(samples), batch_size)
+        ]
+    return float(np.mean(losses))
+
+
+def timed_stages(trainer: Trainer, samples, batch_size: int) -> dict[str, float]:
+    """Per-stage seconds for one epoch, via wrapped trainer internals."""
+    stages = {"prepare": 0.0, "forward": 0.0, "backward": 0.0, "optimizer": 0.0}
+
+    def wrap(obj, name, stage):
+        original = getattr(obj, name)
+
+        def timed(*args, **kwargs):
+            t0 = time.perf_counter()
+            out = original(*args, **kwargs)
+            stages[stage] += time.perf_counter() - t0
+            return out
+
+        setattr(obj, name, timed)
+        return original
+
+    model = trainer.model
+    saved = [
+        (trainer, "_prepare", wrap(trainer, "_prepare", "prepare")),
+        (trainer, "_prepare_batch", wrap(trainer, "_prepare_batch", "prepare")),
+        (model, "forward", wrap(model, "forward", "forward")),
+        (trainer._optimizer, "step", wrap(trainer._optimizer, "step", "optimizer")),
+    ]
+    original_backward = nn.Tensor.backward
+
+    def timed_backward(self, *args, **kwargs):
+        t0 = time.perf_counter()
+        out = original_backward(self, *args, **kwargs)
+        stages["backward"] += time.perf_counter() - t0
+        return out
+
+    nn.Tensor.backward = timed_backward
+    try:
+        run_epoch(trainer, samples, batch_size)
+    finally:
+        nn.Tensor.backward = original_backward
+        for obj, name, original in saved:
+            setattr(obj, name, original)
+    return stages
+
+
+def bench_batch_size(samples, hparams, batch_size, timed_epochs, seed=0):
+    trainer = make_trainer(samples, hparams, seed)
+    run_epoch(trainer, samples, batch_size)  # warmup: fills every cache
+
+    loss = float("nan")
+    epoch_times = []
+    for _ in range(timed_epochs):
+        t0 = time.perf_counter()
+        loss = run_epoch(trainer, samples, batch_size)
+        epoch_times.append(time.perf_counter() - t0)
+    fastest = min(epoch_times)
+
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    run_epoch(trainer, samples, batch_size)
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    deltas = after.compare_to(before, "lineno")
+    alloc_blocks = sum(d.count_diff for d in deltas if d.count_diff > 0)
+    alloc_kib = sum(d.size_diff for d in deltas if d.size_diff > 0) / 1024.0
+
+    stages = timed_stages(trainer, samples, batch_size)
+
+    steps_per_epoch = (len(samples) + batch_size - 1) // batch_size
+    return {
+        "batch_size": batch_size,
+        "samples_per_sec": round(len(samples) / fastest, 2),
+        "steps_per_sec": round(steps_per_epoch / fastest, 2),
+        "epoch_seconds": round(fastest, 4),
+        "epoch_seconds_all": [round(t, 4) for t in epoch_times],
+        "loss_final": round(loss, 6),
+        "stages": {k: round(v, 4) for k, v in stages.items()},
+        "alloc_blocks": int(alloc_blocks),
+        "alloc_kib": round(alloc_kib, 1),
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small dataset / few epochs (CI smoke run)")
+    parser.add_argument("--output", default="BENCH_training.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check", metavar="BASELINE.json",
+                        help="fail if the measured B=16 vs B=1 speedup drops "
+                             "below 80%% of this committed baseline's")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="override the number of NSFNET scenarios")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="override the number of timed epochs")
+    args = parser.parse_args(argv)
+
+    num_samples = args.samples or (16 if args.quick else 48)
+    timed_epochs = args.epochs or (1 if args.quick else 3)
+    hparams = HyperParams()  # the NSFNET training config: paper defaults
+
+    print(f"generating {num_samples} NSFNET scenarios ...", flush=True)
+    samples = generate_dataset(nsfnet(), num_samples, seed=101, config=FAST_GEN)
+
+    results = []
+    for batch_size in BATCH_SIZES:
+        print(f"batch_size={batch_size}: training ...", flush=True)
+        row = bench_batch_size(samples, hparams, batch_size, timed_epochs)
+        results.append(row)
+        print(f"  {row['samples_per_sec']:.1f} samples/s  "
+              f"{row['steps_per_sec']:.1f} steps/s  "
+              f"alloc {row['alloc_blocks']} blocks  "
+              f"stages {row['stages']}", flush=True)
+
+    by_b = {r["batch_size"]: r for r in results}
+    speedup = by_b[16]["samples_per_sec"] / by_b[1]["samples_per_sec"]
+    report = {
+        "benchmark": "training_throughput",
+        "config": {
+            "topology": "nsfnet",
+            "num_samples": num_samples,
+            "epochs_timed": timed_epochs,
+            "hparams": hparams.to_dict(),
+            "quick": bool(args.quick),
+        },
+        "results": results,
+        "speedup_b16_vs_b1": round(speedup, 3),
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"B=16 vs B=1 speedup: {speedup:.2f}x  ->  {args.output}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        committed = baseline["speedup_b16_vs_b1"]
+        floor = 0.8 * committed
+        if speedup < floor:
+            print(f"REGRESSION: speedup {speedup:.2f}x < 80% of committed "
+                  f"baseline {committed:.2f}x (floor {floor:.2f}x)")
+            return 1
+        print(f"check OK: speedup {speedup:.2f}x >= floor {floor:.2f}x "
+              f"(baseline {committed:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,18 +38,27 @@ _NUMPY_HEADS = {"np", "numpy"}
 _HOT_PREFIXES = ("repro.serving", "repro.nn")
 #: Method names that are hot entry points wherever they are defined.
 _HOT_METHOD_NAMES = {"forward", "backward"}
+#: Specific qualnames that seed the hot set: the training step entry points.
+#: Everything a train step reaches (loss, input building, the forward plan)
+#: runs once per optimization step, which the throughput benchmark gates.
+_HOT_QUALNAMES = {
+    "repro.training.trainer.Trainer.train_step",
+    "repro.training.trainer.Trainer.train_step_batch",
+}
 #: Modules where float64 is the engine's *chosen* precision, not an
 #: accident — the same boundary RP005 draws for literal dtypes.
 _DTYPE_EXEMPT_PREFIXES = ("repro.nn",)
 
 
 def hot_functions(index: ProjectIndex, graph: CallGraph) -> set[str]:
-    """Every function reachable from serving/NN code or forward/backward."""
+    """Every function reachable from serving/NN code, forward/backward, or
+    the training step entry points."""
     roots = [
         fn.qualname
         for info in index.modules.values()
         for fn in info.functions.values()
         if info.name.startswith(_HOT_PREFIXES)
+        or fn.qualname in _HOT_QUALNAMES
         or (fn.class_name is not None
             and fn.qualname.rsplit(".", 1)[-1] in _HOT_METHOD_NAMES)
     ]

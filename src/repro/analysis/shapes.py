@@ -383,7 +383,9 @@ def _abstract_stack(tensors: Sequence[object], axis: int = 0) -> ShapeTensor:
     return out
 
 
-def _abstract_gather(x: object, indices: np.ndarray) -> ShapeTensor:
+def _abstract_gather(
+    x: object, indices: np.ndarray, plan: object | None = None
+) -> ShapeTensor:
     x = _abstract_tensor(x)
     idx = np.asarray(indices, dtype=np.intp)
     if x.ndim == 0:
@@ -401,7 +403,8 @@ def _abstract_gather(x: object, indices: np.ndarray) -> ShapeTensor:
 
 
 def _abstract_segment_sum(
-    x: object, segment_ids: np.ndarray, num_segments: int
+    x: object, segment_ids: np.ndarray, num_segments: int,
+    plan: object | None = None,
 ) -> ShapeTensor:
     x = _abstract_tensor(x)
     ids = np.asarray(segment_ids, dtype=np.intp)
@@ -442,6 +445,45 @@ def _abstract_huber(pred: object, target: object, delta: float = 1.0) -> ShapeTe
 
 def _abstract_clip(x: object, lo: float, hi: float) -> ShapeTensor:
     return _unary("clip")(x)
+
+
+def _abstract_cell_precompute(self, x: object) -> ShapeTensor:
+    """Shape semantics of ``x @ W + b`` for either recurrent cell."""
+    return _abstract_tensor(x) @ self.w + self.bias
+
+
+def _abstract_gru_step(self, gates_x: object, h: object) -> ShapeTensor:
+    hs = self.hidden_size
+    gates = _abstract_tensor(gates_x) + _abstract_tensor(h) @ self.u
+    z = gates[:, :hs]
+    n = gates[:, 2 * hs :]
+    return (1.0 - z) * n + z * _abstract_tensor(h)
+
+
+def _abstract_rnn_step(self, gates_x: object, h: object) -> ShapeTensor:
+    return _abstract_tensor(gates_x) + _abstract_tensor(h) @ self.u
+
+
+def _abstract_cell_call(self, x: object, h: object) -> ShapeTensor:
+    return self.step_precomputed(self.precompute_input(x), h)
+
+
+#: (class attribute) -> abstract twin for the fused recurrent cells.  The
+#: fused tape nodes run raw numpy on ``Tensor.data`` for speed, which the
+#: ShapeTensor operand can't emulate, so the cells are swapped alongside the
+#: op layer; the twins re-express each step through the operator surface and
+#: therefore validate the same kernel/state dimensions.
+def _abstract_cell_patches() -> dict[tuple[type, str], object]:
+    from ..nn.rnn import GRUCell, RNNCell
+
+    return {
+        (GRUCell, "__call__"): _abstract_cell_call,
+        (GRUCell, "precompute_input"): _abstract_cell_precompute,
+        (GRUCell, "step_precomputed"): _abstract_gru_step,
+        (RNNCell, "__call__"): _abstract_cell_call,
+        (RNNCell, "precompute_input"): _abstract_cell_precompute,
+        (RNNCell, "step_precomputed"): _abstract_rnn_step,
+    }
 
 
 #: name -> abstract implementation for every entry of ``nn.ops.OP_REGISTRY``.
@@ -488,12 +530,18 @@ def abstract_graph(trace: ShapeTrace | None = None) -> Iterator[ShapeTrace]:
     saved_ops = {name: getattr(nn_ops, name) for name in ABSTRACT_OPS}
     saved_tensor = nn_pkg.tensor
     saved_activations = dict(nn_layers.ACTIVATIONS)
+    cell_patches = _abstract_cell_patches()
+    saved_cells = {
+        (cls, name): cls.__dict__[name] for (cls, name) in cell_patches
+    }
     prev_trace = _ACTIVE_TRACE
     _ACTIVE_TRACE = trace
     try:
         for name, fn in ABSTRACT_OPS.items():
             setattr(nn_ops, name, fn)
         nn_pkg.tensor = _abstract_tensor
+        for (cls, name), fn in cell_patches.items():
+            setattr(cls, name, fn)
         for act in saved_activations:
             if act != "linear":
                 nn_layers.ACTIVATIONS[act] = _unary(act)
@@ -503,6 +551,8 @@ def abstract_graph(trace: ShapeTrace | None = None) -> Iterator[ShapeTrace]:
         for name, fn in saved_ops.items():
             setattr(nn_ops, name, fn)
         nn_pkg.tensor = saved_tensor
+        for (cls, name), fn in saved_cells.items():
+            setattr(cls, name, fn)
         nn_layers.ACTIVATIONS.update(saved_activations)
 
 

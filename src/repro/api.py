@@ -123,6 +123,7 @@ def train(
     schedule=None,
     early_stopping=None,
     sanitize: bool = False,
+    batch_size: int = 1,
 ) -> TrainResult:
     """Train a fresh RouteNet on ``samples``.
 
@@ -140,6 +141,10 @@ def train(
             (:func:`repro.analysis.sanitize_tape`), so a divergence raises
             :class:`~repro.analysis.NonFiniteError` naming the first op
             that produced a NaN/Inf.  Costs one ``isfinite`` scan per op.
+        batch_size: Samples fused per optimization step.  ``1`` (default)
+            reproduces the historical per-sample trajectory exactly; larger
+            values pack heterogeneous samples into one forward+backward
+            (see :meth:`Trainer.train_step_batch`).
     """
     train_set = _resolve_samples(samples)
     eval_set = _resolve_samples(eval_samples) if eval_samples is not None else None
@@ -154,6 +159,7 @@ def train(
         log=log,
         schedule=schedule,
         early_stopping=early_stopping,
+        batch_size=batch_size,
     )
     result = TrainResult(model=model, scaler=trainer.scaler, history=history)
     if checkpoint is not None:

@@ -158,6 +158,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         checkpoint=args.output,
         log=log,
         sanitize=args.sanitize,
+        batch_size=args.batch_size,
     )
     print(f"wrote checkpoint {args.output} "
           f"(final loss {result.final_train_loss:.4f})")

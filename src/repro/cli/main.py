@@ -82,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--steps", type=int, default=4,
                        help="message-passing iterations (T)")
     train.add_argument("--eval-dataset", help="optional archive for per-epoch eval")
+    train.add_argument("--batch-size", type=int, default=1, metavar="B",
+                       help="samples fused per optimization step (1 = the "
+                            "historical per-sample loop; >1 packs B samples "
+                            "into one forward+backward)")
     train.add_argument("--sanitize", action="store_true",
                        help="run each step under the tape sanitizer: a "
                             "divergence names the first op producing NaN/Inf")

@@ -2,6 +2,7 @@
 
 from .hyperparams import HyperParams
 from .features import ModelInput, FeatureScaler, build_model_input
+from .plan import ForwardPlan, build_plan, plan_for
 from .routenet import RouteNet
 from .drops import LossRateCodec, DropsPredictor
 
@@ -10,6 +11,9 @@ __all__ = [
     "ModelInput",
     "FeatureScaler",
     "build_model_input",
+    "ForwardPlan",
+    "build_plan",
+    "plan_for",
     "RouteNet",
     "LossRateCodec",
     "DropsPredictor",

@@ -1,0 +1,119 @@
+"""Precomputed gather/segment index plans for the RouteNet forward pass.
+
+``RouteNet.forward`` is shape-polymorphic: every call used to re-derive the
+same index-only quantities from ``ModelInput`` — the padding-safe gather
+indices (``safe_idx``), the per-timestep active-path masks, and the
+early-break length (the first timestep where every path has ended).  None of
+those depend on the model weights, only on the input's path-link incidence,
+so for a cached input (every training epoch after the first, every fused
+batch replayed from the trainer's :class:`~repro.serving.InputCache`) the
+work is pure waste.
+
+:func:`plan_for` memoizes one :class:`ForwardPlan` per live ``ModelInput``.
+The memo is keyed by ``id`` but guarded by a weak reference — the same
+pattern as :class:`repro.serving.InputCache`'s digest memo — so a recycled
+id can never serve a stale plan, and dead entries evict themselves.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.ops import ScatterPlan, make_scatter_plan
+from .features import ModelInput
+
+__all__ = ["ForwardPlan", "PlanStep", "build_plan", "plan_for"]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """Index state for one message-passing timestep.
+
+    Attributes:
+        safe_ids: (P,) gather indices with padding mapped to link 0.
+        active_col: (P, 1) bool — which paths still traverse a link here
+            (column view of the input mask, broadcastable over states).
+        ids: (P,) raw link ids, -1 on padding (``segment_sum`` drops those).
+        gather_plan: scatter schedule for the link-state gather's backward
+            (grouped by ``safe_ids``).
+        scatter_plan: scatter schedule for the message aggregation
+            (grouped by ``ids``; padding rows dropped).
+        all_active: every path traverses a link at this timestep, so the
+            masked select is the identity and the forward pass skips it.
+    """
+
+    safe_ids: np.ndarray
+    active_col: np.ndarray
+    ids: np.ndarray
+    gather_plan: ScatterPlan
+    scatter_plan: ScatterPlan
+    all_active: bool
+
+
+@dataclass(frozen=True)
+class ForwardPlan:
+    """Everything index-shaped that a forward pass consumes.
+
+    ``steps`` already applies the early break: it stops at the first
+    timestep with no active path, exactly like the old per-call
+    ``if not active.any(): break``.
+    """
+
+    safe_idx: np.ndarray  # (P, max_len) intp, padding mapped to 0
+    steps: tuple[PlanStep, ...]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+
+def build_plan(inputs: ModelInput) -> ForwardPlan:
+    """Derive the index plan for one input (no caching)."""
+    link_idx = inputs.link_indices
+    mask = inputs.mask
+    safe_idx = np.where(link_idx >= 0, link_idx, 0)
+    steps = []
+    for t in range(inputs.max_path_length):
+        active = mask[:, t]
+        if not active.any():
+            break
+        steps.append(
+            PlanStep(
+                safe_ids=safe_idx[:, t],
+                active_col=mask[:, t : t + 1],
+                ids=link_idx[:, t],
+                gather_plan=make_scatter_plan(safe_idx[:, t]),
+                scatter_plan=make_scatter_plan(link_idx[:, t]),
+                all_active=bool(active.all()),
+            )
+        )
+    return ForwardPlan(safe_idx=safe_idx, steps=tuple(steps))
+
+
+# id -> (weakref to the planned input, its plan).  The weakref guard means a
+# recycled id can never validate against a dead input; the eviction callback
+# keeps the memo from growing with dead entries.
+_MEMO: dict[int, tuple[weakref.ref, ForwardPlan]] = {}
+
+
+def plan_for(inputs: ModelInput) -> ForwardPlan:
+    """The (memoized) :class:`ForwardPlan` for ``inputs``."""
+    key = id(inputs)
+    memo = _MEMO.get(key)
+    if memo is not None and memo[0]() is inputs:
+        return memo[1]
+    plan = build_plan(inputs)
+
+    def _evict(ref: weakref.ref, key: int = key) -> None:
+        entry = _MEMO.get(key)
+        if entry is not None and entry[0] is ref:
+            del _MEMO[key]
+
+    try:
+        _MEMO[key] = (weakref.ref(inputs, _evict), plan)
+    except TypeError:
+        pass  # un-weakref-able stand-ins (tests) are simply not memoized
+    return plan

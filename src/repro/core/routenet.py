@@ -28,6 +28,7 @@ from ..random import make_rng
 from ..results import PredictResult
 from .features import FeatureScaler, ModelInput
 from .hyperparams import HyperParams
+from .plan import plan_for
 
 __all__ = ["RouteNet"]
 
@@ -86,24 +87,32 @@ class RouteNet(nn.Module):
         h_link = self.link_embed(nn.tensor(inputs.link_features))
         h_path = self.path_embed(nn.tensor(inputs.path_features))
 
-        link_idx = inputs.link_indices
-        mask = inputs.mask
-        max_len = inputs.max_path_length
-        safe_idx = np.where(link_idx >= 0, link_idx, 0)
+        # Index-only state (safe gather indices, per-step active masks, the
+        # early-break length) is memoized per input: cached training inputs
+        # pay for it once, not once per forward call.
+        plan = plan_for(inputs)
 
         for _ in range(hp.message_passing_steps):
+            # Transform-then-gather (same trick as the serving fast path):
+            # the input-side cell transform of every gathered link state is a
+            # row of `gates_all`, so one (L, ·) GEMM per round replaces a
+            # (P, ·) GEMM per timestep — bit-identical, each output row is an
+            # independent dot product.
+            gates_all = self.path_cell.precompute_input(h_link)
             message_sum: nn.Tensor | None = None
-            for t in range(max_len):
-                active = mask[:, t]
-                if not active.any():
-                    break
-                x_t = nn.ops.gather(h_link, safe_idx[:, t])
-                h_new = self.path_cell(x_t, h_path)
-                h_path = nn.ops.where(active[:, None], h_new, h_path)
+            for step in plan.steps:
+                gx_t = nn.ops.gather(gates_all, step.safe_ids, plan=step.gather_plan)
+                h_new = self.path_cell.step_precomputed(gx_t, h_path)
+                if step.all_active:
+                    h_path = h_new
+                else:
+                    h_path = nn.ops.where(step.active_col, h_new, h_path)
                 # The state just after consuming link t is the message this
                 # path leaves on that link; padding rows carry id -1 and are
                 # dropped by segment_sum.
-                contribution = nn.ops.segment_sum(h_path, link_idx[:, t], num_links)
+                contribution = nn.ops.segment_sum(
+                    h_path, step.ids, num_links, plan=step.scatter_plan
+                )
                 message_sum = (
                     contribution if message_sum is None else message_sum + contribution
                 )

@@ -7,11 +7,12 @@ RouteNet's message-passing layers are built from.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from .tensor import Tensor, tensor
+from .tensor import _GRAD_POOL, Tensor, tensor
 
 __all__ = [
     "exp",
@@ -32,7 +33,60 @@ __all__ = [
     "segment_mean",
     "dropout",
     "huber",
+    "ScatterPlan",
+    "make_scatter_plan",
 ]
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """Precomputed stable-sort schedule for a scatter-add over rows.
+
+    ``np.add.at`` dispatches per element; grouping equal destination ids
+    with a stable sort lets the same scatter run as one buffered gather
+    plus ``np.add.reduceat``.  The stable sort keeps each destination's
+    contributions in original row order — the same schedule
+    :mod:`repro.serving.fastpath` uses, so planned tape scatters and the
+    serving fast path agree exactly.  Note ``reduceat`` may sum a bucket
+    pairwise where ``np.add.at`` accumulates strictly sequentially: results
+    agree to ~1 ulp, and are deterministic run to run, but are not
+    bit-identical to an unplanned scatter (tested at that tolerance).
+
+    Index-only and input-derived, so it belongs in a cached
+    :class:`~repro.core.ForwardPlan` — built once per input, reused every
+    forward/backward.
+
+    Attributes:
+        order: (V,) source rows with valid (>= 0) ids, stably sorted by id.
+        starts: (U,) block starts into the permuted rows (reduceat offsets).
+        rows: (U,) destination row for each block (the unique ids, sorted).
+        sorted_ids: (V,) destination id of each permuted source row.
+    """
+
+    order: np.ndarray
+    starts: np.ndarray
+    rows: np.ndarray
+    sorted_ids: np.ndarray
+
+    def scatter_into(self, values: np.ndarray, out: np.ndarray) -> None:
+        """Scatter-add ``values`` rows into zero-initialized ``out``."""
+        if self.order.size:
+            out[self.rows] = np.add.reduceat(values[self.order], self.starts, axis=0)
+
+
+def make_scatter_plan(ids: np.ndarray) -> ScatterPlan:
+    """Build the :class:`ScatterPlan` for destination ``ids`` (-1 = skip)."""
+    ids = np.asarray(ids, dtype=np.intp)
+    valid = np.flatnonzero(ids >= 0)
+    order = valid[np.argsort(ids[valid], kind="stable")]
+    sorted_ids = ids[order]
+    if order.size:
+        starts = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+    else:
+        starts = np.empty(0, dtype=np.intp)
+    return ScatterPlan(
+        order=order, starts=starts, rows=sorted_ids[starts], sorted_ids=sorted_ids
+    )
 
 
 def exp(x: Tensor) -> Tensor:
@@ -70,16 +124,16 @@ def sqrt(x: Tensor) -> Tensor:
 
 def sigmoid(x: Tensor) -> Tensor:
     x = tensor(x)
-    # Numerically stable logistic.
-    out_data = np.where(
-        x.data >= 0,
-        1.0 / (1.0 + np.exp(-np.clip(x.data, -500, 500))),
-        np.exp(np.clip(x.data, -500, 500)) / (1.0 + np.exp(np.clip(x.data, -500, 500))),
-    )
+    # Numerically stable logistic: exp only ever sees non-positive inputs,
+    # and a single evaluation covers both branches.
+    z = np.exp(-np.abs(x.data))
+    out_data = np.where(x.data >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            x._accumulate(grad * out_data * (1.0 - out_data))
+            g = out_data * (1.0 - out_data)
+            g *= grad
+            x._accumulate(g)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -161,10 +215,13 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         from .tensor import _unbroadcast
 
+        # grad * cond selects exactly; grad - that is the complement
+        # bit-for-bit, without materializing ~cond.
+        ga = grad * cond
         if a.requires_grad:
-            a._accumulate(_unbroadcast(grad * cond, a.shape))
+            a._accumulate(_unbroadcast(ga, a.shape))
         if b.requires_grad:
-            b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+            b._accumulate(_unbroadcast(grad - ga, b.shape))
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -198,27 +255,52 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out_data, tensors, backward)
 
 
-def gather(x: Tensor, indices: np.ndarray) -> Tensor:
-    """Select rows ``x[indices]`` (first axis), differentiable in ``x``."""
+def gather(x: Tensor, indices: np.ndarray, plan: ScatterPlan | None = None) -> Tensor:
+    """Select rows ``x[indices]`` (first axis), differentiable in ``x``.
+
+    ``plan`` (a :class:`ScatterPlan` built from ``indices``) routes the
+    backward scatter-add through the buffered reduceat path instead of
+    per-element ``np.add.at`` — deterministic and equal to ~1 ulp (see
+    :class:`ScatterPlan`), much faster, and free when the plan comes from a
+    cached :class:`~repro.core.ForwardPlan`.
+    """
     x = tensor(x)
     idx = np.asarray(indices, dtype=np.intp)
     out_data = x.data[idx]
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            full = np.zeros_like(x.data)
-            np.add.at(full, idx, grad)
+            # Pooled scratch instead of zeros_like: scatter targets are the
+            # biggest arrays on the tape, and a fresh allocation per
+            # backward dwarfs the memset.
+            full = _GRAD_POOL.acquire(x.data.shape, x.data.dtype)
+            full[...] = 0.0
+            if plan is not None:
+                plan.scatter_into(grad, full)
+            else:
+                np.add.at(full, idx, grad)
             x._accumulate(full)
+            _GRAD_POOL.release(full)
 
     return Tensor._make(out_data, (x,), backward)
 
 
-def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(
+    x: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    plan: ScatterPlan | None = None,
+) -> Tensor:
     """Sum rows of ``x`` into ``num_segments`` buckets given by ``segment_ids``.
 
     This is the aggregation primitive of RouteNet's link update: messages from
     every (path, position) that crosses a link are summed into that link's
     bucket.  Rows with ``segment_ids == -1`` are ignored (padding).
+
+    ``plan`` (a :class:`ScatterPlan` built from ``segment_ids``) replaces the
+    per-element ``np.add.at`` scatter with the buffered reduceat schedule;
+    the stable sort preserves per-bucket member order, so results are
+    deterministic and equal to ~1 ulp (see :class:`ScatterPlan`).
     """
     x = tensor(x)
     ids = np.asarray(segment_ids, dtype=np.intp)
@@ -226,15 +308,24 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
         raise ValueError(
             f"segment_ids has {ids.shape[0]} entries for {x.data.shape[0]} rows"
         )
-    valid = ids >= 0
     out_data = np.zeros((num_segments,) + x.data.shape[1:], dtype=x.data.dtype)
-    np.add.at(out_data, ids[valid], x.data[valid])
+    if plan is not None:
+        plan.scatter_into(x.data, out_data)
+    else:
+        valid = ids >= 0
+        np.add.at(out_data, ids[valid], x.data[valid])
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            full = np.zeros_like(x.data)
-            full[valid] = grad[ids[valid]]
+            full = _GRAD_POOL.acquire(x.data.shape, x.data.dtype)
+            full[...] = 0.0
+            if plan is not None:
+                full[plan.order] = grad[plan.sorted_ids]
+            else:
+                keep = ids >= 0
+                full[keep] = grad[ids[keep]]
             x._accumulate(full)
+            _GRAD_POOL.release(full)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -273,4 +364,10 @@ def huber(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
 #: this registry, so a newly added op is automatically picked up by both
 #: (the analysis suite fails loudly if an op lacks a gradcheck spec or an
 #: abstract shape rule).
-OP_REGISTRY: dict[str, "object"] = {name: globals()[name] for name in __all__}
+#: Index-plan helpers are public but not tape ops: nothing to gradcheck or
+#: shape-interpret (they carry no gradients and produce no tensors).
+_NON_OPS = {"ScatterPlan", "make_scatter_plan"}
+
+OP_REGISTRY: dict[str, "object"] = {
+    name: globals()[name] for name in __all__ if name not in _NON_OPS
+}

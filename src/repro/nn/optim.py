@@ -7,6 +7,7 @@ from typing import Iterable
 import numpy as np
 
 from .layers import Parameter
+from .tensor import _GRAD_POOL
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_global_norm"]
 
@@ -15,13 +16,28 @@ def clip_global_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clipping norm (useful for logging/divergence detection).
+
+    Runs allocation-free: the old per-parameter ``(grad**2).sum()`` temporary
+    is replaced by squaring into a pooled scratch buffer, and clipping
+    multiplies in place.  ``np.dot(g.ravel(), g.ravel())`` would also avoid
+    the temporary but delegates to BLAS, whose accumulation order diverges
+    from numpy's pairwise ``sum`` in the last ulp — squaring in place keeps
+    the summation algorithm (and therefore the returned pre-clip norm)
+    bit-identical to the historical implementation, which a regression test
+    pins.
     """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    total = 0.0
+    for p in params:
+        scratch = _GRAD_POOL.acquire(p.grad.shape, p.grad.dtype)
+        np.multiply(p.grad, p.grad, out=scratch)
+        total += float(scratch.sum())
+        _GRAD_POOL.release(scratch)
+    total = float(np.sqrt(total))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:
-            p.grad *= scale
+            np.multiply(p.grad, scale, out=p.grad)
     return total
 
 
@@ -67,7 +83,16 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias correction."""
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    The update runs entirely in preallocated scratch buffers (two per
+    parameter, allocated once next to the moment estimates), so a training
+    step performs no array allocation inside the optimizer.  Every in-place
+    expression mirrors the historical out-of-place arithmetic operation for
+    operation — IEEE multiplication commutes bitwise and ``g * g`` equals
+    ``g**2`` bitwise — so weight trajectories are bit-identical to the
+    allocating implementation (pinned by a regression test).
+    """
 
     def __init__(
         self,
@@ -83,20 +108,37 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._s1 = [np.empty_like(p.data) for p in self.params]
+        self._s2 = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         b1c = 1.0 - self.beta1**self._t
         b2c = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, s1, s2 in zip(self.params, self._m, self._v, self._s1, self._s2):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            p.data -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)
+                # grad + wd * p  ==  (p * wd) + grad bitwise (commutativity).
+                np.multiply(p.data, self.weight_decay, out=s1)
+                np.add(grad, s1, out=s1)
+                grad = s1
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
+            np.multiply(m, self.beta1, out=m)
+            np.add(m, s2, out=m)
+            # v = beta2 * v + (1 - beta2) * grad^2
+            np.multiply(grad, grad, out=s2)
+            np.multiply(s2, 1.0 - self.beta2, out=s2)
+            np.multiply(v, self.beta2, out=v)
+            np.add(v, s2, out=v)
+            # p -= lr * (m / b1c) / (sqrt(v / b2c) + eps)
+            np.divide(m, b1c, out=s2)
+            np.multiply(s2, self.lr, out=s2)
+            np.divide(v, b2c, out=s1)
+            np.sqrt(s1, out=s1)
+            np.add(s1, self.eps, out=s1)
+            np.divide(s2, s1, out=s2)
+            np.subtract(p.data, s2, out=p.data)

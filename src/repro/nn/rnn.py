@@ -11,9 +11,19 @@ import numpy as np
 
 from . import init, ops
 from .layers import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, tensor
 
 __all__ = ["GRUCell", "RNNCell", "make_cell"]
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Overflow-safe logistic with a single ``exp`` evaluation.
+
+    Matches :func:`repro.nn.ops.sigmoid` bit-for-bit on the non-saturated
+    range (``exp`` is only ever fed non-positive arguments).
+    """
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
 
 class GRUCell(Module):
@@ -48,14 +58,83 @@ class GRUCell(Module):
         self.bias = Parameter(init.zeros(3 * hidden_size), name="bias")
 
     def __call__(self, x: Tensor, h: Tensor) -> Tensor:
-        """One GRU step for a batch: ``x`` is (B, I), ``h`` is (B, H)."""
+        """One GRU step for a batch: ``x`` is (B, I), ``h`` is (B, H).
+
+        Runs as two fused tape nodes (input transform + recurrent step)
+        with hand-written backwards: composing the step from ~20 primitive
+        ops materializes an intermediate array (plus its gradient buffer)
+        per op, which dominates training time on fused batches.  The fused
+        form computes the same arithmetic — gate pre-activations are
+        bit-identical, and the update/reset sigmoids share one ``exp`` — in
+        a fraction of the memory passes.  Callers that reuse one input
+        transform across timesteps (RouteNet's path update) invoke the two
+        halves directly.
+        """
+        return self.step_precomputed(self.precompute_input(x), h)
+
+    def precompute_input(self, x: Tensor) -> Tensor:
+        """The input-side gate pre-activations ``x @ W + b`` as one node.
+
+        RouteNet's path update consumes *gathered link states*: transforming
+        all L link states once per round and gathering rows of the result is
+        bit-identical to transforming the gathered rows at every timestep
+        (each output row is an independent dot product) but does the GEMM
+        over L rows instead of ``sum(P_t)``.
+        """
+        x = tensor(x)
+        w, bias = self.w, self.bias
+        out_data = x.data @ w.data + bias.data
+
+        def backward(grad: np.ndarray) -> None:
+            if w.requires_grad:
+                w._accumulate(x.data.T @ grad)
+            if bias.requires_grad:
+                bias._accumulate(grad.sum(axis=0))
+            if x.requires_grad:
+                x._accumulate(grad @ w.data.T)
+
+        return Tensor._make(out_data, (x, w, bias), backward)
+
+    def step_precomputed(self, gates_x: Tensor, h: Tensor) -> Tensor:
+        """One GRU step given precomputed input gates (see ``__call__``)."""
+        gates_x, h = tensor(gates_x), tensor(h)
         hs = self.hidden_size
-        gates_x = x @ self.w + self.bias
-        gates_h = h @ self.u
-        z = ops.sigmoid(gates_x[:, :hs] + gates_h[:, :hs])
-        r = ops.sigmoid(gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs])
-        n = ops.tanh(gates_x[:, 2 * hs :] + (r * h) @ self.u[:, 2 * hs :])
-        return (1.0 - z) * n + z * h
+        u = self.u
+        gx, hd = gates_x.data, h.data
+        zr = _stable_sigmoid(gx[:, : 2 * hs] + hd @ u.data[:, : 2 * hs])
+        z = zr[:, :hs]
+        r = zr[:, hs:]
+        rh = r * hd
+        n = np.tanh(gx[:, 2 * hs :] + rh @ u.data[:, 2 * hs :])
+        out_data = (1.0 - z) * n + z * hd
+
+        def backward(grad: np.ndarray) -> None:
+            uzr = u.data[:, : 2 * hs]
+            un = u.data[:, 2 * hs :]
+            # h' = (1 - z) * n + z * h
+            dnpre = grad * (1.0 - z)
+            dnpre *= 1.0 - n * n                         # d(tanh pre-act)
+            dz = grad * (hd - n)
+            drh = dnpre @ un.T
+            dr = drh * hd
+            # Joint sigmoid derivative for both gates: s * (1 - s) * upstream.
+            dzrpre = zr * (1.0 - zr)
+            dzrpre[:, :hs] *= dz
+            dzrpre[:, hs:] *= dr
+            if gates_x.requires_grad:
+                gates_x._accumulate(np.concatenate([dzrpre, dnpre], axis=1))
+            if u.requires_grad:
+                u._accumulate(
+                    np.concatenate([hd.T @ dzrpre, rh.T @ dnpre], axis=1)
+                )
+            if h.requires_grad:
+                dh = grad * z
+                np.multiply(drh, r, out=drh)             # drh is dead after dr
+                dh += drh
+                dh += dzrpre @ uzr.T
+                h._accumulate(dh)
+
+        return Tensor._make(out_data, (gates_x, h, u), backward)
 
 
 class RNNCell(Module):
@@ -74,7 +153,15 @@ class RNNCell(Module):
 
     def __call__(self, x: Tensor, h: Tensor) -> Tensor:
         """One step for a batch: ``x`` is (B, I), ``h`` is (B, H)."""
-        return ops.tanh(x @ self.w + h @ self.u + self.bias)
+        return self.step_precomputed(self.precompute_input(x), h)
+
+    def precompute_input(self, x: Tensor) -> Tensor:
+        """Input-side pre-activation ``x @ W + b`` (see :class:`GRUCell`)."""
+        return x @ self.w + self.bias
+
+    def step_precomputed(self, gates_x: Tensor, h: Tensor) -> Tensor:
+        """One step given the precomputed input pre-activation."""
+        return ops.tanh(gates_x + h @ self.u)
 
 
 _CELLS = {"gru": GRUCell, "rnn": RNNCell}

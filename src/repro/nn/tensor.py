@@ -14,13 +14,126 @@ float32 via the ``dtype`` argument of :func:`tensor`.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "grad_pool_stats",
+    "clear_grad_pool",
+]
 
 _GRAD_ENABLED = True
+
+
+class _GradBufferPool:
+    """Free-list of gradient buffers keyed by ``(shape, dtype)``.
+
+    Every training step used to allocate a fresh ndarray for each tensor's
+    first gradient accumulation — parameters *and* every interior tape node.
+    The shapes repeat exactly from step to step, so the pool hands the same
+    buffers back out: :meth:`Tensor.backward` releases interior-node buffers
+    when the walk finishes, :meth:`Tensor.zero_grad` releases leaf buffers,
+    and :meth:`acquire` reuses them for the next step.  Steady-state training
+    performs no gradient-buffer allocation at all.
+
+    Ownership is tracked through weak references so :meth:`release` can
+    never recycle a *foreign* array (e.g. a test assigning ``p.grad``
+    directly): an array the pool did not hand out — or whose id was
+    recycled after its owner died — is silently ignored instead of being
+    handed to another tensor while outside code still holds it.
+    """
+
+    def __init__(self, max_per_key: int = 32, max_total: int = 1024) -> None:
+        self._max_per_key = max_per_key
+        self._max_total = max_total
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._total = 0
+        # id -> weakref of arrays currently lent out.  A dead referent can
+        # never validate, so id recycling cannot confuse ownership.
+        self._lent: dict[int, weakref.ref] = {}
+        self.acquires = 0
+        self.reuses = 0
+        self.releases = 0
+
+    def acquire(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype).str)
+        stack = self._free.get(key)
+        if stack:
+            buf = stack.pop()
+            self._free[key] = self._free.pop(key)  # mark key recently used
+            self._total -= 1
+            self.reuses += 1
+        else:
+            buf = np.empty(shape, dtype=dtype)
+        self.acquires += 1
+        key_id = id(buf)
+
+        def _forget(ref: weakref.ref, key_id: int = key_id) -> None:
+            if self._lent.get(key_id) is ref:
+                del self._lent[key_id]
+
+        self._lent[key_id] = weakref.ref(buf, _forget)
+        return buf
+
+    def release(self, buf: np.ndarray | None) -> None:
+        if buf is None:
+            return
+        ref = self._lent.get(id(buf))
+        if ref is None or ref() is not buf:
+            return  # not pool-owned: never recycle arrays we did not lend
+        del self._lent[id(buf)]
+        key = (buf.shape, buf.dtype.str)
+        stack = self._free.setdefault(key, [])
+        if len(stack) >= self._max_per_key:
+            return
+        if self._total >= self._max_total:
+            # The pool is full of shapes nobody is asking for (e.g. the
+            # batch size changed): evict from the least-recently-used
+            # free-list instead of refusing the live shape, otherwise the
+            # new working set never pools and every step re-allocates.
+            for other_key, other_stack in self._free.items():
+                if other_stack and other_key != key:
+                    other_stack.pop()
+                    self._total -= 1
+                    break
+            else:
+                return
+        stack.append(buf)
+        self._total += 1
+        self.releases += 1
+
+    def clear(self) -> None:
+        self._free.clear()
+        self._lent.clear()
+        self._total = 0
+        self.acquires = self.reuses = self.releases = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "acquires": self.acquires,
+            "reuses": self.reuses,
+            "releases": self.releases,
+            "free": self._total,
+        }
+
+
+_GRAD_POOL = _GradBufferPool()
+
+
+def grad_pool_stats() -> dict[str, int]:
+    """Counters of the process-wide gradient-buffer pool (see the bench)."""
+    return _GRAD_POOL.stats()
+
+
+def clear_grad_pool() -> None:
+    """Drop all pooled buffers and reset counters (test isolation)."""
+    _GRAD_POOL.clear()
 
 
 class no_grad:
@@ -60,6 +173,22 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def _indexes_unique_positions(key: object) -> bool:
+    """True when ``data[key]`` cannot address the same position twice.
+
+    Ints, slices, ``None``/``Ellipsis`` and boolean masks all select
+    distinct positions; only integer-array (fancy) indexing may repeat one.
+    """
+    parts = key if isinstance(key, tuple) else (key,)
+    for k in parts:
+        if isinstance(k, (int, np.integer, slice)) or k is None or k is Ellipsis:
+            continue
+        if isinstance(k, np.ndarray) and k.dtype == np.bool_:
+            continue
+        return False
+    return True
 
 
 class Tensor:
@@ -134,12 +263,15 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            buf = _GRAD_POOL.acquire(self.data.shape, self.data.dtype)
+            np.copyto(buf, grad, casting="unsafe")
+            self.grad = buf
         else:
-            self.grad += grad
+            np.add(self.grad, grad, out=self.grad, casting="unsafe")
 
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient."""
+        """Reset the accumulated gradient (the buffer returns to the pool)."""
+        _GRAD_POOL.release(self.grad)
         self.grad = None
 
     def backward(self, grad: np.ndarray | None = None) -> None:
@@ -179,6 +311,14 @@ class Tensor:
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+
+        # Interior-node gradients are tape scratch: only leaves (parameters,
+        # inputs) are read after the walk.  Returning the buffers here is
+        # what lets the pool serve the next step allocation-free.
+        for node in order:
+            if node._backward is not None:
+                _GRAD_POOL.release(node.grad)
+                node.grad = None
 
     # ------------------------------------------------------------------
     # Construction helper for ops
@@ -293,7 +433,9 @@ class Tensor:
             g = np.asarray(grad)
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            # _accumulate copies (or adds) out of the read-only broadcast
+            # view, so no intermediate materialization is needed.
+            self._accumulate(np.broadcast_to(g, self.shape))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -325,12 +467,22 @@ class Tensor:
 
     def __getitem__(self, key: object) -> "Tensor":
         out_data = self.data[key]
+        # Basic indexing (ints/slices/bool masks) addresses each source
+        # position at most once, so the backward scatter is a plain
+        # assignment into zeros; only integer-array (fancy) indexing can
+        # repeat positions and needs the much slower unbuffered add.at.
+        unique_positions = _indexes_unique_positions(key)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, key, grad)
+                full = _GRAD_POOL.acquire(self.data.shape, self.data.dtype)
+                full[...] = 0.0
+                if unique_positions:
+                    full[key] = grad
+                else:
+                    np.add.at(full, key, grad)
                 self._accumulate(full)
+                _GRAD_POOL.release(full)
 
         return Tensor._make(out_data, (self,), backward)
 

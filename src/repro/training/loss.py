@@ -11,15 +11,19 @@ __all__ = ["mse_loss", "huber_loss", "mae_loss"]
 
 def mse_loss(pred: nn.Tensor, target: np.ndarray) -> nn.Tensor:
     """Mean squared error."""
-    diff = pred - np.asarray(target, dtype=float)
+    diff = pred - np.asarray(target)
     return (diff * diff).mean()
 
 
 def mae_loss(pred: nn.Tensor, target: np.ndarray) -> nn.Tensor:
     """Mean absolute error."""
-    return nn.ops.abs_(pred - np.asarray(target, dtype=float)).mean()
+    return nn.ops.abs_(pred - np.asarray(target)).mean()
 
 
 def huber_loss(pred: nn.Tensor, target: np.ndarray, delta: float = 1.0) -> nn.Tensor:
-    """Mean Huber loss — robust to the heavy delay tail near saturation."""
-    return nn.ops.huber(pred, np.asarray(target, dtype=float), delta=delta).mean()
+    """Mean Huber loss — robust to the heavy delay tail near saturation.
+
+    Targets arrive already encoded as float64 (``FeatureScaler`` output);
+    ``asarray`` without a dtype keeps them alias-only on the hot path.
+    """
+    return nn.ops.huber(pred, np.asarray(target), delta=delta).mean()

@@ -4,14 +4,27 @@ Each dataset sample is one runtime-assembled graph, so the natural batch is
 a single sample: forward over all of its paths at once, Huber loss on the
 standardized log targets, Adam step with global-norm clipping.  Model inputs
 are built once per sample and cached across epochs.
+
+Beyond single-sample steps, the trainer has a *fused-batch* fast path:
+:meth:`Trainer.train_step_batch` packs B heterogeneous samples into one
+:class:`~repro.core.ModelInput` via :func:`repro.serving.pack_inputs` and
+runs one forward+backward for the whole batch.  Because fused samples occupy
+disjoint slices of the link index space, ``segment_sum`` never mixes
+messages across samples, so the fused loss is exactly the per-path mean over
+the concatenated batch (see :meth:`train_step_batch` for the weighting
+semantics).  Packed batches are content-addressed in the same
+:class:`~repro.serving.InputCache` as single-sample inputs, so epoch 2+ of a
+fixed batch partition pays zero packing cost.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -22,7 +35,7 @@ from ..dataset import Sample, fit_scaler
 from ..errors import ModelError
 from ..random import make_rng
 from ..results import EvalResult, Metrics, PredictResult
-from ..serving import InferenceEngine, InputCache
+from ..serving import InferenceEngine, InputCache, pack_inputs
 from .loss import huber_loss
 from .metrics import regression_summary
 
@@ -76,24 +89,28 @@ class Trainer:
         )
         self._input_cache = InputCache()
         self._engine: InferenceEngine | None = None
-        self._engine_config: tuple | None = None
+        self._engine_state: tuple | None = None
 
     # ------------------------------------------------------------------
-    def _prepare(self, sample: Sample) -> tuple[ModelInput, np.ndarray]:
-        """Model input + encoded targets for a sample (cached by content).
-
-        Keys are content hashes (see :class:`~repro.serving.InputCache`), not
-        ``id(sample)`` — a recycled object id can never serve stale tensors.
-        """
+    def _sample_key(self, sample: Sample) -> str:
+        """Content-hash cache key for one sample under the current config."""
         if self.scaler is None:
             raise ModelError("scaler not set; call fit() or pass one explicitly")
-        key = self._input_cache.sample_key(
+        return self._input_cache.sample_key(
             sample,
             scaler=self.scaler,
             include_load=self.include_load,
             path_feature_dim=self.model.hparams.path_feature_dim,
             readout_targets=self.model.hparams.readout_targets,
         )
+
+    def _prepare(self, sample: Sample) -> tuple[ModelInput, np.ndarray]:
+        """Model input + encoded targets for a sample (cached by content).
+
+        Keys are content hashes (see :class:`~repro.serving.InputCache`), not
+        ``id(sample)`` — a recycled object id can never serve stale tensors.
+        """
+        key = self._sample_key(sample)
         cached = self._input_cache.get(key)
         if cached is None:
             # Class-aware models (path_feature_dim > 1 beyond the traffic
@@ -117,15 +134,33 @@ class Trainer:
             self._input_cache.put(key, cached)
         return cached
 
-    def train_step(self, sample: Sample) -> float:
-        """One optimization step on one sample; returns the loss value.
+    def _prepare_batch(
+        self, samples: Sequence[Sample]
+    ) -> tuple[ModelInput, np.ndarray]:
+        """Fused model input + concatenated targets for a batch of samples.
 
-        With ``sanitize=True`` the whole forward+backward runs under
-        :func:`repro.analysis.sanitize_tape`, so a diverging run raises
-        :class:`~repro.analysis.NonFiniteError` naming the first op that
-        produced a NaN/Inf instead of a generic "loss is not finite".
+        The fused batch is cached under a content hash derived from the
+        member samples' own content keys, so a fixed batch partition (the
+        :meth:`fit` fast path) packs each batch exactly once and replays the
+        fused arrays every later epoch.  The cached fused ``ModelInput``
+        object is stable across epochs, which also lets the forward pass's
+        per-input index plan (:func:`repro.core.plan_for`) hit its memo.
         """
-        inputs, targets = self._prepare(sample)
+        member_keys = [self._sample_key(s) for s in samples]
+        batch_key = (
+            "batch:" + hashlib.sha256("|".join(member_keys).encode()).hexdigest()
+        )
+        cached = self._input_cache.get(batch_key)
+        if cached is None:
+            prepared = [self._prepare(s) for s in samples]
+            fused = pack_inputs([inputs for inputs, _ in prepared])
+            targets = np.concatenate([t for _, t in prepared])
+            cached = (fused.inputs, targets)
+            self._input_cache.put(batch_key, cached)
+        return cached
+
+    def _loss_and_step(self, inputs: ModelInput, targets: np.ndarray) -> float:
+        """Forward, Huber loss, backward, clip, Adam step; returns the loss."""
         self._optimizer.zero_grad()
         guard = sanitize_tape() if self.sanitize else nullcontext()
         with guard:
@@ -142,6 +177,40 @@ class Trainer:
         self._optimizer.step()
         return value
 
+    def train_step(self, sample: Sample) -> float:
+        """One optimization step on one sample; returns the loss value.
+
+        With ``sanitize=True`` the whole forward+backward runs under
+        :func:`repro.analysis.sanitize_tape`, so a diverging run raises
+        :class:`~repro.analysis.NonFiniteError` naming the first op that
+        produced a NaN/Inf instead of a generic "loss is not finite".
+        """
+        inputs, targets = self._prepare(sample)
+        return self._loss_and_step(inputs, targets)
+
+    def train_step_batch(self, samples: Sequence[Sample]) -> float:
+        """One optimization step on a fused batch; returns the batch loss.
+
+        The B samples are packed into one :class:`~repro.core.ModelInput`
+        (targets row-concatenated in the same order) and a single
+        forward+backward computes the gradient of the **mean per-path loss
+        over the concatenated batch**.  Every path in the batch therefore
+        carries equal weight, which means a sample contributes proportionally
+        to its path count — a 90-path NSFNET sample weighs 90/132 of a batch
+        it shares with a 42-path sample, *not* 1/2.  This matches what
+        accumulating ``loss_i * (P_i / P_total)`` over per-sample steps would
+        produce, and a gradient-equivalence test pins it.
+
+        A batch of one delegates to :meth:`train_step`, so ``B=1`` is
+        bit-identical to single-sample training (no packing, same tape).
+        """
+        if not samples:
+            raise ModelError("cannot train on an empty batch")
+        if len(samples) == 1:
+            return self.train_step(samples[0])
+        inputs, targets = self._prepare_batch(samples)
+        return self._loss_and_step(inputs, targets)
+
     def fit(
         self,
         train_samples: list[Sample],
@@ -150,6 +219,7 @@ class Trainer:
         log: Callable[[str], None] | None = None,
         schedule: "StepDecay | ReduceOnPlateau | None" = None,
         early_stopping: "EarlyStopping | None" = None,
+        batch_size: int = 1,
     ) -> TrainingHistory:
         """Train for up to ``epochs`` passes over ``train_samples``.
 
@@ -164,11 +234,21 @@ class Trainer:
             early_stopping: Optional
                 :class:`~repro.training.schedule.EarlyStopping` on the same
                 monitored metric.
+            batch_size: Samples per optimization step.  ``1`` (default) is
+                the historical per-sample loop and reproduces its training
+                trajectory exactly (same RNG consumption, same step order).
+                ``>1`` partitions the training set into fixed consecutive
+                chunks once, then shuffles the *batch visit order* each
+                epoch — the shuffle-invariant partition keeps every fused
+                batch content-cached from epoch 2 on (see
+                :meth:`train_step_batch` for the per-path loss weighting).
         """
         if not train_samples:
             raise ModelError("cannot train on an empty sample list")
         if epochs < 1:
             raise ModelError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ModelError(f"batch_size must be >= 1, got {batch_size}")
         if self.scaler is None:
             self.scaler = fit_scaler(train_samples)
 
@@ -176,12 +256,21 @@ class Trainer:
 
         history = TrainingHistory()
         order = np.arange(len(train_samples))
+        batches = [
+            train_samples[i : i + batch_size]
+            for i in range(0, len(train_samples), batch_size)
+        ]
+        batch_order = np.arange(len(batches))
         for epoch in range(1, epochs + 1):
             started = time.perf_counter()
             if isinstance(schedule, StepDecay):
                 self._optimizer.lr = schedule.lr(epoch)
-            self._rng.shuffle(order)
-            losses = [self.train_step(train_samples[i]) for i in order]
+            if batch_size == 1:
+                self._rng.shuffle(order)
+                losses = [self.train_step(train_samples[i]) for i in order]
+            else:
+                self._rng.shuffle(batch_order)
+                losses = [self.train_step_batch(batches[j]) for j in batch_order]
             eval_mre = None
             if eval_samples:
                 eval_mre = self.evaluate(eval_samples).delay.mre
@@ -222,17 +311,22 @@ class Trainer:
         configuration changes — the scaler, ``include_load``, the model
         object, or the model's hyperparameters — not just the scaler
         identity; a stale engine would keep serving inputs built under the
-        old configuration.
+        old configuration.  Object identity is tracked through *weak
+        references*, not ``id()``: a dead referent can never validate, so a
+        garbage-collected model/scaler whose id the allocator recycles onto
+        a new object cannot alias a stale engine (regression-tested).
         """
         if self.scaler is None:
             raise ModelError("scaler not set; call fit() or pass one explicitly")
-        config = (
-            id(self.model),
-            self.model.hparams,
-            id(self.scaler),
-            self.include_load,
+        state = self._engine_state
+        valid = (
+            state is not None
+            and state[0]() is self.model
+            and state[1]() is self.scaler
+            and state[2] == self.model.hparams
+            and state[3] == self.include_load
         )
-        if self._engine is None or self._engine_config != config:
+        if self._engine is None or not valid:
             self._engine = InferenceEngine(
                 self.model,
                 self.scaler,
@@ -240,7 +334,12 @@ class Trainer:
                 batch_size=batch_size,
                 builder=lambda sample: self._prepare(sample)[0],
             )
-            self._engine_config = config
+            self._engine_state = (
+                weakref.ref(self.model),
+                weakref.ref(self.scaler),
+                self.model.hparams,
+                self.include_load,
+            )
         self._engine.batch_size = batch_size
         return self._engine
 

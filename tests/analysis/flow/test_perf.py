@@ -206,3 +206,13 @@ class TestRealTree:
         index, graph = repo_index_and_graph
         hot = hot_functions(index, graph)
         assert any(q.startswith("repro.serving.fastpath.") for q in hot)
+
+    def test_training_step_closure_is_hot(self, repo_index_and_graph):
+        """The RP401-RP404 hot set covers everything reachable from the
+        training step entry points, not just serving/nn code: the loss and
+        both trainer step methods must land in it."""
+        index, graph = repo_index_and_graph
+        hot = hot_functions(index, graph)
+        assert "repro.training.trainer.Trainer.train_step" in hot
+        assert "repro.training.trainer.Trainer.train_step_batch" in hot
+        assert "repro.training.loss.huber_loss" in hot

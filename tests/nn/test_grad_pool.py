@@ -1,0 +1,97 @@
+"""Gradient-buffer pool: reuse, ownership safety, and LRU eviction.
+
+The pool exists so steady-state training performs no gradient-buffer
+allocation: interior tape buffers return to the pool when ``backward()``
+finishes, leaf buffers when ``zero_grad()`` runs.  Ownership is tracked with
+weak references so arrays the pool never lent (e.g. a test assigning
+``p.grad`` directly) are never recycled out from under their owner.
+"""
+
+import numpy as np
+
+from repro.nn import Parameter, tensor
+from repro.nn.tensor import _GradBufferPool, clear_grad_pool, grad_pool_stats
+
+
+def small_graph():
+    w = Parameter(np.arange(6.0).reshape(2, 3), name="w")
+    x = tensor(np.ones((4, 2)), requires_grad=True)
+    y = ((x @ w) * 2.0).sum()
+    return w, x, y
+
+
+class TestTapeIntegration:
+    def setup_method(self):
+        clear_grad_pool()
+
+    def teardown_method(self):
+        clear_grad_pool()
+
+    def test_interior_grads_released_leaves_kept(self):
+        w, x, y = small_graph()
+        y.backward()
+        assert w.grad is not None and x.grad is not None  # leaves survive
+        stats = grad_pool_stats()
+        assert stats["free"] > 0  # interior buffers returned to the pool
+
+    def test_second_step_reuses_buffers(self):
+        w, x, y = small_graph()
+        y.backward()
+        w.zero_grad()
+        x.zero_grad()
+        before = grad_pool_stats()["reuses"]
+        w2, x2, y2 = small_graph()
+        y2.backward()
+        assert grad_pool_stats()["reuses"] > before
+
+    def test_zero_grad_returns_leaf_buffer(self):
+        w, x, y = small_graph()
+        y.backward()
+        free_before = grad_pool_stats()["free"]
+        w.zero_grad()
+        assert w.grad is None
+        assert grad_pool_stats()["free"] == free_before + 1
+
+    def test_foreign_array_never_pooled(self):
+        p = Parameter(np.zeros((3, 3)), name="p")
+        p.grad = np.ones((3, 3))  # assigned by outside code, not the pool
+        foreign = p.grad
+        free_before = grad_pool_stats()["free"]
+        p.zero_grad()
+        assert grad_pool_stats()["free"] == free_before  # silently ignored
+        assert foreign[0, 0] == 1.0  # still owned by the caller
+
+
+class TestPoolEviction:
+    def test_lru_eviction_makes_room_for_new_shapes(self):
+        """A full pool evicts stale shapes instead of refusing live ones.
+
+        Regression: with refusal semantics, changing the training batch size
+        left the pool full of the old batch's shapes — every release of the
+        new working set was dropped and every step re-allocated from scratch.
+        """
+        pool = _GradBufferPool(max_per_key=2, max_total=2)
+        old = [pool.acquire((4,), np.float64) for _ in range(2)]
+        for buf in old:
+            pool.release(buf)
+        assert pool.stats()["free"] == 2  # full of "old batch size" shapes
+
+        new = pool.acquire((8,), np.float64)
+        pool.release(new)  # must evict an old (4,) buffer, not drop this one
+        assert pool.stats()["free"] == 2
+        assert pool.acquire((8,), np.float64) is new
+
+    def test_per_key_cap_still_applies(self):
+        pool = _GradBufferPool(max_per_key=1, max_total=8)
+        a = pool.acquire((4,), np.float64)
+        b = pool.acquire((4,), np.float64)
+        pool.release(a)
+        pool.release(b)  # over the per-key cap: dropped
+        assert pool.stats()["free"] == 1
+
+    def test_double_release_is_ignored(self):
+        pool = _GradBufferPool()
+        a = pool.acquire((4,), np.float64)
+        pool.release(a)
+        pool.release(a)  # no longer lent: must not be pooled twice
+        assert pool.stats()["free"] == 1

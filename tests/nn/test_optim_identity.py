@@ -1,0 +1,101 @@
+"""Bit-identity of the allocation-free optimizer against the historical one.
+
+``Adam.step`` and ``clip_global_norm`` were rewritten to run in preallocated
+scratch buffers.  Every in-place expression mirrors the original out-of-place
+arithmetic operation for operation (IEEE multiplication commutes bitwise,
+``g * g`` equals ``g**2`` bitwise), so weight trajectories must be
+*bit-identical*, not merely close.  These tests run the historical
+implementations side by side for 50 steps and assert exact equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Parameter, clip_global_norm
+
+
+def reference_adam_step(params, m, v, t, *, lr, beta1, beta2, eps, weight_decay):
+    """The historical (allocating) Adam step, verbatim."""
+    b1c = 1.0 - beta1**t
+    b2c = 1.0 - beta2**t
+    for p, mi, vi in zip(params, m, v):
+        grad = p.grad
+        if weight_decay:
+            grad = grad + weight_decay * p.data
+        mi *= beta1
+        mi += (1.0 - beta1) * grad
+        vi *= beta2
+        vi += (1.0 - beta2) * grad**2
+        p.data -= lr * (mi / b1c) / (np.sqrt(vi / b2c) + eps)
+
+
+def reference_clip(params, max_norm):
+    """The historical (allocating) global-norm clip, verbatim."""
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+def make_params(rng, seed_offset=0):
+    shapes = [(16, 48), (16,), (8, 8), (48,), (3, 5, 2)]
+    return [Parameter(rng.standard_normal(s), name=f"p{i}") for i, s in enumerate(shapes)]
+
+
+@pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+def test_adam_bit_identical_over_50_steps(weight_decay):
+    rng = np.random.default_rng(42)
+    inplace_params = make_params(rng)
+    ref_params = [Parameter(p.data.copy(), name=p.name) for p in inplace_params]
+    opt = Adam(inplace_params, lr=1e-3, weight_decay=weight_decay)
+    ref_m = [np.zeros_like(p.data) for p in ref_params]
+    ref_v = [np.zeros_like(p.data) for p in ref_params]
+
+    for t in range(1, 51):
+        grads = [rng.standard_normal(p.data.shape) * 10.0**rng.integers(-3, 3)
+                 for p in inplace_params]
+        for p, rp, g in zip(inplace_params, ref_params, grads):
+            p.grad = g.copy()
+            rp.grad = g.copy()
+        opt.step()
+        reference_adam_step(
+            ref_params, ref_m, ref_v, t,
+            lr=1e-3, beta1=0.9, beta2=0.999, eps=1e-8, weight_decay=weight_decay,
+        )
+        for p, rp in zip(inplace_params, ref_params):
+            assert np.array_equal(p.data, rp.data), f"step {t}: {p.name} diverged"
+
+
+def test_clip_global_norm_bit_identical_over_50_steps():
+    rng = np.random.default_rng(7)
+    inplace_params = make_params(rng)
+    ref_params = [Parameter(p.data.copy(), name=p.name) for p in inplace_params]
+
+    for t in range(50):
+        # Alternate between norms above and below the threshold.
+        scale = 10.0 if t % 3 else 0.01
+        grads = [rng.standard_normal(p.data.shape) * scale for p in inplace_params]
+        for p, rp, g in zip(inplace_params, ref_params, grads):
+            p.grad = g.copy()
+            rp.grad = g.copy()
+        norm = clip_global_norm(inplace_params, 5.0)
+        ref_norm = reference_clip(ref_params, 5.0)
+        # The returned pre-clip norm and the clipped gradients are both
+        # bit-identical (same summation algorithm, commuted multiplies).
+        assert norm == ref_norm, f"step {t}: pre-clip norm diverged"
+        for p, rp in zip(inplace_params, ref_params):
+            assert np.array_equal(p.grad, rp.grad), f"step {t}: {p.name} diverged"
+
+
+def test_clip_handles_missing_grads():
+    rng = np.random.default_rng(3)
+    params = make_params(rng)
+    params[1].grad = None
+    for p in params[2:]:
+        p.grad = rng.standard_normal(p.data.shape)
+    params[0].grad = rng.standard_normal(params[0].data.shape)
+    norm = clip_global_norm(params, 1e-9)
+    assert norm > 0.0

@@ -1,0 +1,156 @@
+"""Scatter plans and the fused recurrent cells.
+
+``make_scatter_plan`` precomputes a stable-sort + ``np.add.reduceat``
+schedule for a fixed index vector.  The stable sort keeps every bucket's
+members in original row order, but ``reduceat`` may combine them pairwise
+where ``np.add.at`` accumulates strictly sequentially — so planned scatters
+agree with unplanned ones to ~1 ulp (and are deterministic run to run),
+not bitwise.  The tolerances below pin exactly that contract.
+
+The fused GRU/RNN tape nodes (hand-written backwards, transform-then-gather
+split) are checked against the op-composed reference formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.ops import gather, make_scatter_plan, segment_sum, sigmoid
+from repro.nn import GRUCell, RNNCell
+
+
+class TestScatterPlan:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_scatter_into_matches_add_at(self, seed):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(-1, 7, size=40)  # -1 rows must be dropped
+        values = rng.standard_normal((40, 5))
+        plan = make_scatter_plan(ids)
+
+        out_plan = np.zeros((7, 5))
+        plan.scatter_into(values, out_plan)
+
+        out_ref = np.zeros((7, 5))
+        valid = ids >= 0
+        np.add.at(out_ref, ids[valid], values[valid])
+
+        np.testing.assert_allclose(out_plan, out_ref, rtol=1e-13, atol=1e-14)
+
+    def test_all_padding(self):
+        plan = make_scatter_plan(np.full(6, -1))
+        out = np.zeros((3, 2))
+        plan.scatter_into(np.ones((6, 2)), out)
+        assert np.array_equal(out, np.zeros((3, 2)))
+
+    def test_gather_planned_equals_unplanned(self):
+        rng = np.random.default_rng(5)
+        ids = rng.integers(0, 6, size=30)
+        plan = make_scatter_plan(ids)
+        data = rng.standard_normal((6, 4))
+
+        x1 = nn.tensor(data.copy(), requires_grad=True)
+        y1 = gather(x1, ids)
+        y1.backward(np.ones_like(y1.data))
+
+        x2 = nn.tensor(data.copy(), requires_grad=True)
+        y2 = gather(x2, ids, plan=plan)
+        y2.backward(np.ones_like(y2.data))
+
+        assert np.array_equal(y1.data, y2.data)
+        assert np.array_equal(x1.grad, x2.grad)
+
+    def test_segment_sum_planned_equals_unplanned(self):
+        rng = np.random.default_rng(9)
+        ids = rng.integers(-1, 5, size=30)
+        plan = make_scatter_plan(ids)
+        data = rng.standard_normal((30, 4))
+
+        x1 = nn.tensor(data.copy(), requires_grad=True)
+        y1 = segment_sum(x1, ids, 5)
+        y1.backward(np.ones_like(y1.data))
+
+        x2 = nn.tensor(data.copy(), requires_grad=True)
+        y2 = segment_sum(x2, ids, 5, plan=plan)
+        y2.backward(np.ones_like(y2.data))
+
+        # Forward sums pairwise under the plan (~1 ulp); the backward is a
+        # pure permutation-broadcast, so gradients stay bitwise equal.
+        np.testing.assert_allclose(y1.data, y2.data, rtol=1e-13, atol=1e-14)
+        assert np.array_equal(x1.grad, x2.grad)
+
+
+def reference_gru(cell, x, h):
+    """The GRU update composed from primitive ops (the pre-fusion tape)."""
+    hs = cell.hidden_size
+    gates_x = x @ cell.w + cell.bias
+    gates_h = h @ cell.u
+    z = sigmoid(gates_x[:, :hs] + gates_h[:, :hs])
+    r = sigmoid(gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs])
+    n = nn.ops.tanh(gates_x[:, 2 * hs :] + (r * h) @ cell.u[:, 2 * hs :])
+    return (1.0 - z) * n + z * h
+
+
+class TestFusedCells:
+    def test_gru_forward_matches_composed_reference(self):
+        rng = np.random.default_rng(11)
+        cell = GRUCell(6, 5, rng)
+        x = nn.tensor(rng.standard_normal((7, 6)))
+        h = nn.tensor(rng.standard_normal((7, 5)))
+        with nn.no_grad():
+            fused = cell(x, h)
+            ref = reference_gru(cell, x, h)
+        np.testing.assert_allclose(fused.data, ref.data, rtol=0, atol=1e-14)
+
+    def test_gru_backward_matches_composed_reference(self):
+        rng = np.random.default_rng(13)
+        cell = GRUCell(6, 5, rng)
+        xd = rng.standard_normal((7, 6))
+        hd = rng.standard_normal((7, 5))
+        upstream = rng.standard_normal((7, 5))
+
+        x1 = nn.tensor(xd.copy(), requires_grad=True)
+        h1 = nn.tensor(hd.copy(), requires_grad=True)
+        cell(x1, h1).backward(upstream)
+        fused = {
+            "x": x1.grad.copy(), "h": h1.grad.copy(),
+            "w": cell.w.grad.copy(), "u": cell.u.grad.copy(),
+            "b": cell.bias.grad.copy(),
+        }
+        for p in (cell.w, cell.u, cell.bias):
+            p.zero_grad()
+
+        x2 = nn.tensor(xd.copy(), requires_grad=True)
+        h2 = nn.tensor(hd.copy(), requires_grad=True)
+        reference_gru(cell, x2, h2).backward(upstream)
+
+        np.testing.assert_allclose(fused["x"], x2.grad, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(fused["h"], h2.grad, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(fused["w"], cell.w.grad, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(fused["u"], cell.u.grad, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(fused["b"], cell.bias.grad, rtol=1e-12, atol=1e-14)
+
+    def test_gru_transform_then_gather_is_bit_identical(self):
+        """Gathering precomputed gates == transforming gathered states."""
+        rng = np.random.default_rng(17)
+        cell = GRUCell(5, 5, rng)
+        h_link = rng.standard_normal((9, 5))
+        h_path = rng.standard_normal((20, 5))
+        ids = rng.integers(0, 9, size=20)
+        with nn.no_grad():
+            direct = cell(nn.tensor(h_link[ids]), nn.tensor(h_path))
+            gates_all = cell.precompute_input(nn.tensor(h_link))
+            split = cell.step_precomputed(
+                gather(gates_all, ids, plan=make_scatter_plan(ids)),
+                nn.tensor(h_path),
+            )
+        assert np.array_equal(direct.data, split.data)
+
+    def test_rnn_split_matches_direct(self):
+        rng = np.random.default_rng(19)
+        cell = RNNCell(4, 3, rng)
+        x = nn.tensor(rng.standard_normal((6, 4)))
+        h = nn.tensor(rng.standard_normal((6, 3)))
+        with nn.no_grad():
+            direct = cell(x, h)
+            split = cell.step_precomputed(cell.precompute_input(x), h)
+        assert np.array_equal(direct.data, split.data)

@@ -192,3 +192,71 @@ class TestEngineReuse:
         second = trainer.engine(batch_size=64)
         assert second is first
         assert second.batch_size == 64
+
+
+class TestEngineWeakrefGuard:
+    """Regression: the engine state used to be keyed on ``id(model)`` /
+    ``id(scaler)``.  A garbage-collected object whose address the allocator
+    recycles onto a new model/scaler would have validated a stale engine.
+    Validation now compares weakref *referents*, so a dead referent can
+    never validate — whatever ids get recycled."""
+
+    def test_state_holds_weakrefs_to_current_config(self, tiny_samples):
+        import weakref
+
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        trainer.engine()
+        model_ref, scaler_ref = trainer._engine_state[0], trainer._engine_state[1]
+        assert isinstance(model_ref, weakref.ref)
+        assert isinstance(scaler_ref, weakref.ref)
+        assert model_ref() is trainer.model and scaler_ref() is trainer.scaler
+
+    def test_dead_model_referent_never_validates(self, tiny_samples):
+        """Even when a live object sits at the dead model's recycled id (the
+        current ``trainer.model`` plays that role here), a dead weakref in
+        the state must force a rebuild."""
+        import gc
+        import weakref
+
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        first = trainer.engine()
+
+        doomed = RouteNet(TINY, seed=9)
+        dead_ref = weakref.ref(doomed)
+        del doomed
+        gc.collect()
+        assert dead_ref() is None
+        trainer._engine_state = (
+            dead_ref,
+            trainer._engine_state[1],
+            trainer.model.hparams,
+            trainer.include_load,
+        )
+        second = trainer.engine()
+        assert second is not first
+        assert second.model is trainer.model
+
+    def test_dead_scaler_referent_never_validates(self, tiny_samples):
+        import gc
+        import weakref
+
+        from repro.dataset import fit_scaler
+
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        trainer.fit(tiny_samples[:2], epochs=1)
+        first = trainer.engine()
+
+        doomed = fit_scaler(tiny_samples)
+        dead_ref = weakref.ref(doomed)
+        del doomed
+        gc.collect()
+        assert dead_ref() is None
+        trainer._engine_state = (
+            trainer._engine_state[0],
+            dead_ref,
+            trainer.model.hparams,
+            trainer.include_load,
+        )
+        assert trainer.engine() is not first
