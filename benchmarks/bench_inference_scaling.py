@@ -18,7 +18,7 @@ import pytest
 
 from repro.core import build_model_input
 from repro.routing import RoutingScheme
-from repro.serving import InferenceEngine
+from repro.serving import InferenceEngine, ServeConfig
 from repro.topology import geant2, nsfnet, synthetic_topology
 from repro.traffic import uniform_traffic
 
@@ -82,7 +82,7 @@ def test_batched_throughput(workbench):
         3, lambda: [model.predict(inp, scaler) for inp in inputs]
     )
 
-    engine = InferenceEngine(model, scaler, batch_size=BATCH)
+    engine = InferenceEngine(model, scaler, ServeConfig(max_batch=BATCH))
     batched_s = _best_of(3, lambda: engine.predict_inputs(inputs))
 
     # Equivalence spot-check alongside the timing claim.

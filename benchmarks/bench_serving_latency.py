@@ -1,0 +1,313 @@
+#!/usr/bin/env python
+"""Serving-latency benchmark: the request-queue service under open-loop load.
+
+Drives :class:`repro.serving.ServingService` through four phases:
+
+* **saturation** — closed-loop probes (enqueue everything, drain) at
+  ``max_batch`` 1 and 32 with the prediction cache off, measuring pure
+  service throughput; ``speedup_batched_vs_b1`` is the headline ratio and
+  the regression-gated number;
+* **load_points** — open-loop Poisson arrivals at >= 3 offered rates set as
+  fractions of the measured batched capacity (0.5x, 0.8x, 1.2x), reporting
+  p50/p90/p99 scheduled-arrival-to-completion latency, achieved throughput,
+  and shed load (admission rejections) at the overload point;
+* **determinism** — the same closed-loop request sequence replayed twice on
+  fresh services (``coalesce="count"``, multiple workers); the SHA-256 over
+  every prediction's raw bytes must match bitwise;
+* **prediction_cache** — a closed-loop run with the cache enabled over a
+  small sample pool, checking the hit counter actually counts.
+
+Output schema (``BENCH_serving.json``)::
+
+    {
+      "benchmark": "serving_latency",
+      "config": {"pool": {...}, "max_batch": 32, "workers": ..., "quick": bool},
+      "saturation": {
+        "results": [{"max_batch": B, "throughput_rps": float,
+                     "p50_ms": float, "p99_ms": float, "requests": int}, ...],
+        "speedup_batched_vs_b1": float
+      },
+      "load_points": [
+        {"offered_rps": float, "achieved_rps": float, "p50_ms": float,
+         "p90_ms": float, "p99_ms": float, "mean_ms": float, "requests": int,
+         "completed": int, "rejected": int, "expired": int, "errors": int,
+         "duration_s": float, "batches": int, "mean_batch": float}, ...
+      ],
+      "determinism": {"workers": int, "requests": int, "digest": str,
+                      "identical": bool},
+      "prediction_cache": {"hits": int, "misses": int, "hit_rate": float,
+                           "entries": int}
+    }
+
+``--check BASELINE.json`` fails (exit 1) when the measured batched-vs-B=1
+speedup drops below 80% of the committed baseline's (absolute rps is
+hardware-dependent; the batching *ratio* is not), when the determinism
+replay diverges, or when the prediction cache records zero hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import RouteNet  # noqa: E402
+from repro.dataset import GenerationConfig, fit_scaler, generate_dataset  # noqa: E402
+from repro.serving import (  # noqa: E402
+    ServeConfig,
+    ServingService,
+    predictions_digest,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.topology import synthetic_topology  # noqa: E402
+
+MAX_BATCH = 32
+LOAD_FRACTIONS = (0.5, 0.8, 1.2)
+
+FAST_GEN = GenerationConfig(
+    target_packets_per_pair=60.0,
+    min_delivered=10,
+    intensity_range=(0.3, 0.7),
+)
+
+
+def build_pool(quick: bool):
+    """Labeled queries on two *small* topologies (multi-worker runs shard).
+
+    Small queries are deliberate: at RouteNet's sizes the per-request fixed
+    cost (Python dispatch, embeds, schedule setup) rivals the per-path math,
+    and that fixed cost is exactly what a dynamic batcher amortizes — the
+    high-request-rate regime this service exists for.  How model compute
+    scales with topology size is ``bench_inference_scaling``'s job, not
+    this benchmark's.
+    """
+    per_topo = 6 if quick else 12
+    samples = list(generate_dataset(
+        synthetic_topology(6, seed=1), per_topo, seed=71, config=FAST_GEN
+    ))
+    samples += generate_dataset(
+        synthetic_topology(8, seed=3), per_topo, seed=72, config=FAST_GEN
+    )
+    return samples
+
+
+def make_service(model, scaler, **overrides) -> ServingService:
+    knobs = dict(
+        max_batch=MAX_BATCH,
+        max_wait_ms=2.0,
+        coalesce="count",
+        workers=1,
+        prediction_cache_size=0,
+    )
+    knobs.update(overrides)
+    return ServingService(model, scaler, ServeConfig(**knobs))
+
+
+def bench_saturation(model, scaler, samples, num_requests: int, reps: int) -> dict:
+    """Closed-loop throughput at max_batch 1 vs 32, prediction cache off.
+
+    Each probe runs ``reps`` times (fresh service each — a closed-loop run
+    consumes its service) and keeps the fastest: best-of is the standard
+    noise-robust throughput estimator on shared machines.
+    """
+    results = []
+    for max_batch in (1, MAX_BATCH):
+        best = None
+        for _ in range(reps):
+            service = make_service(
+                model, scaler, max_batch=max_batch, queue_depth=num_requests
+            )
+            report, _ = run_closed_loop(
+                service, samples, num_requests=num_requests, seed=11
+            )
+            if best is None or report.achieved_rps > best.achieved_rps:
+                best = report
+        report = best
+        results.append({
+            "max_batch": max_batch,
+            "throughput_rps": round(report.achieved_rps, 2),
+            "p50_ms": round(report.p50_ms, 3),
+            "p99_ms": round(report.p99_ms, 3),
+            "requests": report.requests,
+        })
+        print(f"  max_batch={max_batch}: {report.achieved_rps:.0f} req/s  "
+              f"p50 {report.p50_ms:.2f} ms", flush=True)
+    by_b = {r["max_batch"]: r for r in results}
+    speedup = by_b[MAX_BATCH]["throughput_rps"] / by_b[1]["throughput_rps"]
+    return {"results": results, "speedup_batched_vs_b1": round(speedup, 3)}
+
+
+def bench_load_points(
+    model, scaler, samples, capacity_rps: float, duration_s: float
+) -> list[dict]:
+    """Open-loop Poisson points at fractions of the measured capacity."""
+    points = []
+    for fraction in LOAD_FRACTIONS:
+        rate = max(10.0, fraction * capacity_rps)
+        num_requests = max(20, int(round(rate * duration_s)))
+        service = make_service(
+            model, scaler, coalesce="deadline", queue_depth=256
+        )
+        try:
+            report = run_open_loop(
+                service, samples, rate_rps=rate,
+                num_requests=num_requests, seed=23,
+            )
+            stats = service.stats()
+        finally:
+            service.close(drain=False)
+        batches = stats["engine"]["batches"]
+        served = stats["served"]
+        point = report.to_dict()
+        point["batches"] = batches
+        point["mean_batch"] = round(served / batches, 2) if batches else 0.0
+        points.append(point)
+        print(f"  {rate:7.0f} rps offered: p50 {report.p50_ms:7.2f} ms  "
+              f"p99 {report.p99_ms:7.2f} ms  rejected {report.rejected}",
+              flush=True)
+    return points
+
+
+def bench_determinism(model, scaler, samples, num_requests: int, workers: int) -> dict:
+    """Replay one closed-loop sequence twice; digests must match bitwise."""
+    digests = []
+    for _ in range(2):
+        # queue_depth is split across shards, so give every shard room for
+        # the full sequence (the split is topology-dependent).
+        service = make_service(
+            model, scaler, workers=workers, queue_depth=num_requests * workers
+        )
+        _, results = run_closed_loop(
+            service, samples, num_requests=num_requests, seed=37
+        )
+        digests.append(predictions_digest(results))
+    identical = digests[0] == digests[1]
+    print(f"  digest {digests[0][:16]}...  identical={identical}", flush=True)
+    return {
+        "workers": workers,
+        "requests": num_requests,
+        "digest": digests[0],
+        "identical": identical,
+    }
+
+
+def bench_prediction_cache(model, scaler, samples, num_requests: int) -> dict:
+    """Closed loop with the cache on: repeated queries must register hits."""
+    service = make_service(
+        model, scaler,
+        queue_depth=num_requests,
+        prediction_cache_size=2048,
+    )
+    run_closed_loop(service, samples, num_requests=num_requests, seed=53)
+    stats = service.stats()["prediction_cache"]
+    total = stats["hits"] + stats["misses"]
+    out = {
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": round(stats["hits"] / total, 3) if total else 0.0,
+        "entries": stats["entries"],
+    }
+    print(f"  {out['hits']} hits / {out['misses']} misses "
+          f"(rate {out['hit_rate']:.2f})", flush=True)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small pool / short load points (CI smoke run)")
+    parser.add_argument("--output", default="BENCH_serving.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check", metavar="BASELINE.json",
+                        help="fail if the batched-vs-B=1 speedup drops below "
+                             "80%% of this committed baseline's, the replay "
+                             "digest diverges, or the cache records no hits")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker shards for the determinism phase")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override seconds of offered load per rate point")
+    args = parser.parse_args(argv)
+
+    closed_n = 128 if args.quick else 512
+    determinism_n = 64 if args.quick else 128
+    duration_s = args.duration or (0.75 if args.quick else 2.0)
+
+    print("generating the query pool ...", flush=True)
+    samples = build_pool(args.quick)
+    model = RouteNet(seed=5)
+    scaler = fit_scaler(samples)
+    # One warm forward per topology shape compiles the plan memo so the
+    # B=1 saturation probe is not charged for one-time setup.
+    warm = make_service(model, scaler, queue_depth=len(samples))
+    run_closed_loop(warm, samples, num_requests=len(samples), seed=1)
+
+    print("saturation (closed loop, prediction cache off):", flush=True)
+    saturation = bench_saturation(
+        model, scaler, samples, closed_n, reps=2 if args.quick else 3
+    )
+    capacity = saturation["results"][-1]["throughput_rps"]
+
+    print("open-loop load points:", flush=True)
+    load_points = bench_load_points(model, scaler, samples, capacity, duration_s)
+
+    print(f"determinism replay (workers={args.workers}):", flush=True)
+    determinism = bench_determinism(
+        model, scaler, samples, determinism_n, args.workers
+    )
+
+    print("prediction cache:", flush=True)
+    cache = bench_prediction_cache(model, scaler, samples, determinism_n)
+
+    report = {
+        "benchmark": "serving_latency",
+        "config": {
+            "pool": {
+                "topologies": ["synthetic:6", "synthetic:8"],
+                "num_samples": len(samples),
+            },
+            "max_batch": MAX_BATCH,
+            "workers": args.workers,
+            "load_fractions": list(LOAD_FRACTIONS),
+            "duration_s": duration_s,
+            "quick": bool(args.quick),
+        },
+        "saturation": saturation,
+        "load_points": load_points,
+        "determinism": determinism,
+        "prediction_cache": cache,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    speedup = saturation["speedup_batched_vs_b1"]
+    print(f"batched vs B=1 speedup: {speedup:.2f}x  ->  {args.output}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        committed = baseline["saturation"]["speedup_batched_vs_b1"]
+        floor = 0.8 * committed
+        failures = []
+        if speedup < floor:
+            failures.append(
+                f"speedup {speedup:.2f}x < 80% of committed baseline "
+                f"{committed:.2f}x (floor {floor:.2f}x)"
+            )
+        if not determinism["identical"]:
+            failures.append("determinism replay produced a different digest")
+        if cache["hits"] == 0:
+            failures.append("prediction cache recorded zero hits")
+        if len(load_points) < 3:
+            failures.append(f"only {len(load_points)} load points measured")
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"check OK: speedup {speedup:.2f}x >= floor {floor:.2f}x, "
+              f"replay identical, {cache['hits']} cache hits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,7 +46,7 @@ from .runner import ParallelRunner, RunnerConfig
 from .errors import ReproError
 from .random import make_rng, split_rng
 from .results import EvalResult, Metrics, PredictResult
-from .serving import InferenceEngine
+from .serving import InferenceEngine, ServeConfig, ServingService
 from .training import Trainer
 from . import api
 from .api import TrainResult, evaluate, predict, simulate, train
@@ -79,6 +79,8 @@ __all__ = [
     "PredictResult",
     "Metrics",
     "InferenceEngine",
+    "ServeConfig",
+    "ServingService",
     "RouteNet",
     "HyperParams",
     "build_model_input",

@@ -38,7 +38,7 @@ from .dataset import (
 from .errors import ModelError
 from .results import EvalResult, Metrics, PredictResult
 from .runner import ProgressEvent, RunnerConfig
-from .serving import InferenceEngine
+from .serving import InferenceEngine, ServeConfig
 from .topology import Topology, by_name, synthetic_topology
 from .training import Trainer, TrainingHistory
 
@@ -47,6 +47,7 @@ __all__ = [
     "EvalResult",
     "PredictResult",
     "Metrics",
+    "ServeConfig",
     "train",
     "evaluate",
     "predict",
@@ -190,30 +191,41 @@ def predict(
     *,
     scaler: FeatureScaler | None = None,
     include_load: bool = False,
-    batch_size: int = 32,
+    batch_size: int | None = None,
+    config: ServeConfig | None = None,
     engine: InferenceEngine | None = None,
 ) -> PredictResult | list[PredictResult]:
     """Per-path KPI predictions, batched through the inference engine.
 
     Args:
         samples: One sample, a list of samples, or an archive path.
-        engine: Reuse an existing engine (keeps its cache and stats warm);
+        config: Typed serving knobs (:class:`~repro.serving.ServeConfig`);
+            the preferred way to configure batching/caching.  The
+            ``include_load`` / ``batch_size`` keywords are conveniences
+            folded into a default config and may not be combined with an
+            explicit one.
+        engine: Reuse an existing engine (keeps its caches and stats warm);
             built from ``model``/``scaler`` when omitted.
 
     Returns:
         One :class:`PredictResult` when a single sample was passed, else a
         list aligned with the input order.
     """
+    if config is not None and (include_load or batch_size is not None):
+        raise ModelError(
+            "pass either config=ServeConfig(...) or the include_load/"
+            "batch_size conveniences, not both"
+        )
     single = isinstance(samples, Sample)
     sample_list = _resolve_samples(samples)
     if engine is None:
+        if config is None:
+            config = ServeConfig(
+                include_load=include_load,
+                max_batch=batch_size if batch_size is not None else 32,
+            )
         resolved_model, resolved_scaler = _resolve_model(model, scaler)
-        engine = InferenceEngine(
-            resolved_model,
-            resolved_scaler,
-            include_load=include_load,
-            batch_size=batch_size,
-        )
+        engine = InferenceEngine(resolved_model, resolved_scaler, config)
     results = engine.predict_many(sample_list, batch_size=batch_size)
     return results[0] if single else results
 

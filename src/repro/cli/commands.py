@@ -19,7 +19,7 @@ from ..errors import ReproError
 from ..runner import ProgressEvent, RunnerConfig
 from ..evaluation import cdf_table, compute_error_cdf, format_top_paths, top_n_paths
 from ..experiments import PAPER_SMALL, SMOKE, Workbench
-from ..serving import InferenceEngine
+from ..serving import InferenceEngine, ServeConfig, ServingService, run_open_loop
 from ..topology import TOPOLOGY_LIBRARY, by_name, synthetic_topology
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "cmd_train",
     "cmd_evaluate",
     "cmd_predict",
+    "cmd_serve_bench",
     "cmd_info",
     "cmd_optimize",
     "cmd_whatif",
@@ -191,7 +192,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def _predict_batched(args: argparse.Namespace, samples) -> int:
     """The ``predict --batch N`` path: serve every sample in fused batches."""
     model, scaler, _meta = RouteNet.load(args.model)
-    engine = InferenceEngine(model, scaler, batch_size=args.batch)
+    engine = InferenceEngine(model, scaler, ServeConfig(max_batch=args.batch))
     predictions = engine.predict_many(samples)
     stats = engine.stats()
     print(
@@ -232,6 +233,49 @@ def cmd_predict(args: argparse.Namespace) -> int:
     rows = top_n_paths(sample.pairs, pred.delay, n=args.top,
                        true_delay=sample.delay)
     print(format_top_paths(rows))
+    return 0
+
+
+@_handle_errors
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Drive the request-queue service with open-loop Poisson load."""
+    model, scaler, _meta = RouteNet.load(args.model)
+    samples = load_dataset(args.dataset)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        deadline_ms=args.deadline_ms,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        prediction_cache_size=args.prediction_cache,
+    )
+    print(
+        f"serving {len(samples)} distinct samples  "
+        f"(workers {config.workers}, max_batch {config.max_batch}, "
+        f"window {config.max_wait_ms} ms, queue {config.queue_depth})"
+    )
+    for rate in args.rps:
+        service = ServingService(model, scaler, config)
+        try:
+            report = run_open_loop(
+                service,
+                samples,
+                rate_rps=rate,
+                num_requests=max(1, int(round(rate * args.duration))),
+                seed=args.seed,
+            )
+        finally:
+            service.close()
+        stats = service.stats()
+        pred_cache = stats["prediction_cache"]
+        hits = pred_cache["hits"] if pred_cache else 0
+        print(
+            f"  offered {report.offered_rps:8.1f} rps   "
+            f"achieved {report.achieved_rps:8.1f} rps   "
+            f"p50 {report.p50_ms:7.2f} ms   p99 {report.p99_ms:7.2f} ms   "
+            f"rejected {report.rejected}   expired {report.expired}   "
+            f"batches {stats['engine']['batches']}   cache hits {hits}"
+        )
     return 0
 
 

@@ -8,6 +8,7 @@ Subcommands mirror the library's workflow::
     python -m repro evaluate -m model.npz -d eval.jsonl
     python -m repro predict -m model.npz -d eval.jsonl --sample 0 --top 10
     python -m repro predict -m model.npz -d eval.jsonl --batch 32
+    python -m repro serve-bench -m model.npz -d eval.jsonl --rps 100 400
     python -m repro figures --profile smoke --cache /tmp/cache
 
 Each subcommand is implemented in :mod:`repro.cli.commands`; this module
@@ -111,6 +112,34 @@ def build_parser() -> argparse.ArgumentParser:
                            "engine (fused batches of N) and report per-stage "
                            "timings instead of one sample's Top-N paths")
     pred.set_defaults(func=commands.cmd_predict)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the request-queue service with open-loop Poisson load",
+    )
+    serve.add_argument("-m", "--model", required=True, help="checkpoint .npz path")
+    serve.add_argument("-d", "--dataset", required=True,
+                       help="archive providing the query pool")
+    serve.add_argument("--rps", type=float, nargs="+", default=(100.0,),
+                       metavar="RATE", help="offered load points (requests/s)")
+    serve.add_argument("--duration", type=float, default=2.0,
+                       help="seconds of load offered per rate point")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="queries fused per forward call")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="batch coalescing window in milliseconds")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline (default: none)")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="bounded queue size (requests beyond it are "
+                            "rejected, not blocked)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker shards (requests route by topology)")
+    serve.add_argument("--prediction-cache", type=int, default=2048,
+                       metavar="N", help="prediction-cache entries (0 disables)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the Poisson arrival schedule")
+    serve.set_defaults(func=commands.cmd_serve_bench)
 
     opt = sub.add_parser("optimize", help="pick the best routing for a scenario")
     opt.add_argument("-m", "--model", required=True)

@@ -11,8 +11,11 @@ __all__ = [
     "DatasetError",
     "ModelError",
     "ServingError",
+    "AdmissionError",
+    "DeadlineExceededError",
     "RunnerError",
     "AnalysisError",
+    "ReproDeprecationWarning",
 ]
 
 
@@ -48,9 +51,36 @@ class ServingError(ReproError):
     """Batched inference engine misuse (unpackable inputs, empty batch)."""
 
 
+class AdmissionError(ServingError):
+    """Request rejected at service admission (never silently blocks).
+
+    Attributes:
+        reason: Machine-readable rejection cause — ``"queue_full"`` or
+            ``"shutdown"`` — also used as the per-reason stats counter key.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(ServingError):
+    """Request expired in the queue before its batch started serving."""
+
+
 class RunnerError(ReproError):
     """Parallel execution runner failure (exhausted retries, bad checkpoint)."""
 
 
 class AnalysisError(ReproError):
     """Static-analysis failure (lint crash, shape mismatch, bad gradient)."""
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warning raised by this library's compatibility shims.
+
+    A distinct subclass so the repo's own test suite can promote *repro*
+    deprecations to errors (``filterwarnings`` in ``pyproject.toml``) without
+    also erroring on third-party ``DeprecationWarning`` noise.  External
+    callers filtering plain ``DeprecationWarning`` still catch it.
+    """

@@ -18,7 +18,7 @@ from ..core import FeatureScaler, RouteNet, build_model_input
 from ..errors import RoutingError
 from ..random import make_rng, split_rng
 from ..routing import RoutingScheme
-from ..serving import InferenceEngine
+from ..serving import InferenceEngine, ServeConfig
 from ..topology import Topology
 from ..traffic import TrafficMatrix
 
@@ -122,7 +122,9 @@ def optimize_routing(
     # All candidates are scored by ONE fused forward pass instead of a
     # per-candidate inference loop — the search cost is dominated by the
     # model, so batching directly accelerates the optimization.
-    engine = InferenceEngine(model, scaler, batch_size=max(len(candidates), 1))
+    engine = InferenceEngine(
+        model, scaler, ServeConfig(max_batch=max(len(candidates), 1))
+    )
     inputs_list = [
         build_model_input(topology, routing, traffic, scaler=scaler)
         for routing in candidates

@@ -16,6 +16,8 @@ from typing import Iterator
 
 import numpy as np
 
+from .errors import ReproDeprecationWarning
+
 __all__ = ["Metrics", "EvalResult", "PredictResult"]
 
 
@@ -23,7 +25,7 @@ def _warn_dict_access(kind: str) -> None:
     warnings.warn(
         f"dict-style access to {kind} is deprecated; use attribute access "
         f"(e.g. result.delay) instead",
-        DeprecationWarning,
+        ReproDeprecationWarning,
         stacklevel=3,
     )
 

@@ -1,4 +1,4 @@
-"""Content-addressed cache for built model inputs.
+"""Content-addressed caches: built model inputs and finished predictions.
 
 The trainer historically memoized inputs by ``id(sample)``.  That is unsound:
 once a sample is garbage-collected, CPython freely reuses its ``id`` for a new
@@ -11,12 +11,21 @@ content always hits and different content never collides.
 A per-object memo (guarded by a weak reference, so an ``id`` can never be
 observed after its object dies) avoids re-hashing the same live sample on
 every epoch.
+
+:class:`PredictionCache` is the tier *above* that: the same content-addressed
+keys, but mapping to finished :class:`~repro.results.PredictResult` objects,
+so a repeated query skips the forward pass entirely — the engine consults it
+before building inputs, and the request-queue service shares one across its
+worker shards (hence the lock).  Both caches follow the gradient pool's
+ownership discipline (``repro/nn/tensor.py``): bounded, LRU-evicted, with
+hit/miss/eviction counters surfaced through the engine's stats.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Any, Callable
@@ -24,7 +33,7 @@ from typing import Any, Callable
 from ..dataset import Sample
 from ..dataset.io import sample_to_dict
 
-__all__ = ["InputCache"]
+__all__ = ["InputCache", "PredictionCache"]
 
 
 class InputCache:
@@ -59,6 +68,26 @@ class InputCache:
             pass  # un-weakref-able sample stand-ins (tests) just re-hash
         return digest
 
+    @staticmethod
+    def params_digest(**params: Any) -> str:
+        """Digest of the build parameters alone (the key's second half).
+
+        Build parameters are fixed for the lifetime of an engine or service,
+        so hot submit paths hash them once and key each request as
+        ``f"{content_digest}:{params_digest}"`` without re-serializing the
+        scaler per request.
+        """
+        expanded = {
+            name: value.to_dict() if hasattr(value, "to_dict") else value
+            for name, value in params.items()
+        }
+        blob = json.dumps(expanded, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def content_key(self, sample: Sample, params_digest: str) -> str:
+        """Key for ``sample`` under a precomputed :meth:`params_digest`."""
+        return f"{self._content_digest(sample)}:{params_digest}"
+
     def sample_key(self, sample: Sample, **params: Any) -> str:
         """Cache key for ``sample`` built under keyword build parameters.
 
@@ -66,12 +95,7 @@ class InputCache:
         ``to_dict()`` (e.g. :class:`~repro.core.FeatureScaler`) are expanded
         through it so that refitting a scaler changes the key.
         """
-        expanded = {
-            name: value.to_dict() if hasattr(value, "to_dict") else value
-            for name, value in params.items()
-        }
-        blob = json.dumps(expanded, sort_keys=True, default=str)
-        return f"{self._content_digest(sample)}:{hashlib.sha256(blob.encode()).hexdigest()}"
+        return self.content_key(sample, self.params_digest(**params))
 
     # ------------------------------------------------------------------
     # Storage
@@ -118,3 +142,70 @@ class InputCache:
             "evictions": self._evictions,
             "entries": len(self._entries),
         }
+
+
+class PredictionCache:
+    """Thread-safe LRU of finished predictions, keyed by input content hashes.
+
+    The tier above :class:`InputCache`: where the input cache saves the
+    *build* of a repeated query, this saves its *forward pass*.  Keys are the
+    same content-addressed strings (``InputCache.sample_key`` /
+    ``content_key``), so two samples with equal content — regardless of
+    object identity — share one stored :class:`~repro.results.PredictResult`.
+
+    All operations hold one lock: entries are whole immutable results, so
+    critical sections are a dict lookup plus an ``OrderedDict`` move, and the
+    service's worker shards can share a single instance without a lock
+    hierarchy.  Stored results are returned as-is (frozen dataclasses over
+    read-only usage); callers must not mutate the arrays.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+            }

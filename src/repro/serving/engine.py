@@ -9,25 +9,67 @@ serves them all, then unpacks per-sample :class:`~repro.results.PredictResult`
 objects.  Per-stage wall-clock (build / pack / forward / decode) is counted
 and exposed via :meth:`InferenceEngine.stats` so serving regressions are
 observable.
+
+Caching is tiered.  Tier 1 is a :class:`~repro.serving.PredictionCache`:
+repeated queries (same sample content, same build parameters) return the
+stored :class:`PredictResult` without building inputs or running the model.
+Tier 2 is the :class:`~repro.serving.InputCache` of built ``ModelInput``
+arrays: a prediction-cache miss still reuses the prepared arrays when only
+the *forward* is stale.  Both tiers' hit/miss/eviction counters ride along in
+:meth:`stats`.
+
+Configuration is a typed :class:`~repro.serving.ServeConfig`; the historical
+loose kwargs (``batch_size=``, ``include_load=``, ``use_fast_path=``) keep
+working through a deprecation shim that warns once per process.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Callable, Sequence
 
 from .. import nn
 from ..core import FeatureScaler, ModelInput, RouteNet, build_model_input
 from ..dataset import Sample
-from ..errors import ServingError
+from ..errors import ReproDeprecationWarning, ServingError
 from ..results import PredictResult
 from .batching import pack_inputs
-from .cache import InputCache
+from .cache import InputCache, PredictionCache
+from .config import ServeConfig
 from .fastpath import fast_forward, supports_fast_forward
 
 __all__ = ["InferenceEngine"]
 
 _STAGES = ("build", "pack", "forward", "decode")
+
+#: Legacy constructor kwargs and the ServeConfig field each one maps to.
+_LEGACY_KWARGS = {
+    "batch_size": "max_batch",
+    "include_load": "include_load",
+    "use_fast_path": "use_fast_path",
+}
+
+_warned_legacy_kwargs = False
+
+
+def _config_from_legacy(legacy: dict) -> ServeConfig:
+    """Map deprecated loose kwargs onto a :class:`ServeConfig`, warning once."""
+    unknown = set(legacy) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"InferenceEngine got unexpected keyword arguments {sorted(unknown)}"
+        )
+    global _warned_legacy_kwargs
+    if not _warned_legacy_kwargs:
+        _warned_legacy_kwargs = True
+        warnings.warn(
+            f"InferenceEngine kwargs {sorted(legacy)} are deprecated; pass "
+            f"config=ServeConfig(...) instead (this warning is emitted once)",
+            ReproDeprecationWarning,
+            stacklevel=3,
+        )
+    return ServeConfig(**{_LEGACY_KWARGS[name]: value for name, value in legacy.items()})
 
 
 class InferenceEngine:
@@ -35,41 +77,60 @@ class InferenceEngine:
 
     Args:
         model: A trained :class:`RouteNet`.
-        scaler: The feature scaler the model was trained with.
-        include_load: Build inputs with the per-link load feature (must match
-            the model's ``link_feature_dim``).
-        batch_size: Maximum queries fused into one forward call.
-        cache: Content-addressed store for built inputs; created when omitted.
+        scaler: The feature scaler the model was trained with.  Treated as
+            frozen: cache keys bake in its state at first use, so refitting
+            means building a new engine (the trainer already does).
+        config: Typed serving knobs (:class:`ServeConfig`); library defaults
+            when omitted.  The engine consumes ``max_batch``,
+            ``include_load``, ``use_fast_path``, ``input_cache_size`` and
+            ``prediction_cache_size``; queue/worker fields belong to
+            :class:`~repro.serving.ServingService`.
+        cache: Content-addressed store for built inputs; created from
+            ``config.input_cache_size`` when omitted.
+        prediction_cache: Finished-result tier; created from
+            ``config.prediction_cache_size`` when omitted (``0`` disables).
+            Pass a shared instance to pool results across engines (the
+            service shards do).
         builder: Optional override mapping a :class:`Sample` to a
             :class:`ModelInput` (e.g. the trainer's prepared/cached inputs).
-            When given, it owns caching and ``cache`` is bypassed for samples.
-        use_fast_path: Serve through the raw-numpy inference kernel
-            (:func:`~repro.serving.fastpath.fast_forward`) instead of the
-            autodiff ``model.forward``.  Silently falls back to the autodiff
-            path for models the kernel does not support.
+            When given, it owns input caching and ``cache`` is bypassed for
+            sample builds (content keys are still used for the prediction
+            tier).
+        **legacy: Deprecated loose kwargs (``batch_size``, ``include_load``,
+            ``use_fast_path``); mutually exclusive with ``config``.
     """
 
     def __init__(
         self,
         model: RouteNet,
         scaler: FeatureScaler,
+        config: ServeConfig | None = None,
         *,
-        include_load: bool = False,
-        batch_size: int = 32,
         cache: InputCache | None = None,
+        prediction_cache: PredictionCache | None = None,
         builder: Callable[[Sample], ModelInput] | None = None,
-        use_fast_path: bool = True,
+        **legacy,
     ) -> None:
-        if batch_size < 1:
-            raise ServingError(f"batch_size must be >= 1, got {batch_size}")
+        if legacy:
+            if config is not None:
+                raise ServingError(
+                    f"pass either config=ServeConfig(...) or the deprecated "
+                    f"loose kwargs {sorted(legacy)}, not both"
+                )
+            config = _config_from_legacy(legacy)
+        self.config = config or ServeConfig()
         self.model = model
         self.scaler = scaler
-        self.include_load = include_load
-        self.batch_size = batch_size
-        self.cache = cache or InputCache()
+        self.include_load = self.config.include_load
+        self.batch_size = self.config.max_batch
+        self.cache = cache or InputCache(capacity=self.config.input_cache_size)
+        if prediction_cache is None and self.config.prediction_cache_size > 0:
+            prediction_cache = PredictionCache(self.config.prediction_cache_size)
+        self.prediction_cache = prediction_cache
         self._builder = builder
         self._queue: list[Sample] = []
-        self.fast_path = use_fast_path and supports_fast_forward(model)
+        self._params_digest: str | None = None
+        self.fast_path = self.config.use_fast_path and supports_fast_forward(model)
         self.reset_stats()
 
     # ------------------------------------------------------------------
@@ -91,17 +152,24 @@ class InferenceEngine:
             num_classes=extra if pair_class is not None else 0,
         )
 
+    def sample_key(self, sample: Sample) -> str:
+        """Content-addressed key of ``sample`` under this engine's build
+        parameters (the key both cache tiers share)."""
+        if self._params_digest is None:
+            self._params_digest = InputCache.params_digest(
+                scaler=self.scaler,
+                include_load=self.include_load,
+                path_feature_dim=self.model.hparams.path_feature_dim,
+            )
+        return self.cache.content_key(sample, self._params_digest)
+
     def build_input(self, sample: Sample) -> ModelInput:
         """The (cached) model input for one sample."""
         if self._builder is not None:
             return self._builder(sample)
-        key = self.cache.sample_key(
-            sample,
-            scaler=self.scaler,
-            include_load=self.include_load,
-            path_feature_dim=self.model.hparams.path_feature_dim,
+        return self.cache.get_or_build(
+            self.sample_key(sample), lambda: self._build_uncached(sample)
         )
-        return self.cache.get_or_build(key, lambda: self._build_uncached(sample))
 
     # ------------------------------------------------------------------
     # Prediction
@@ -123,20 +191,55 @@ class InferenceEngine:
     def predict_many(
         self, samples: Sequence[Sample], batch_size: int | None = None
     ) -> list[PredictResult]:
-        """Batched predictions for many samples, aligned with the input order."""
+        """Batched predictions for many samples, aligned with the input order.
+
+        With the prediction tier enabled, content-identical samples — across
+        calls *and* within one call — are served from the cache / computed
+        once; only distinct misses reach the model.
+        """
         if not samples:
             raise ServingError("predict_many needs at least one sample")
-        started = time.perf_counter()
-        inputs = [self.build_input(sample) for sample in samples]
-        self._times["build"] += time.perf_counter() - started
-        return self._serve(inputs, batch_size)
+        self._counts["queries"] += len(samples)
+        if self.prediction_cache is None:
+            started = time.perf_counter()
+            inputs = [self.build_input(sample) for sample in samples]
+            self._times["build"] += time.perf_counter() - started
+            return self._serve(inputs, batch_size)
+
+        results: list[PredictResult | None] = [None] * len(samples)
+        pending: dict[str, list[int]] = {}
+        for i, sample in enumerate(samples):
+            key = self.sample_key(sample)
+            cached = self.prediction_cache.get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.setdefault(key, []).append(i)
+        if pending:
+            started = time.perf_counter()
+            inputs = [
+                self.build_input(samples[indices[0]]) for indices in pending.values()
+            ]
+            self._times["build"] += time.perf_counter() - started
+            for (key, indices), result in zip(
+                pending.items(), self._serve(inputs, batch_size)
+            ):
+                self.prediction_cache.put(key, result)
+                for i in indices:
+                    results[i] = result
+        return results  # type: ignore[return-value]  # every slot is filled
 
     def predict_inputs(
         self, inputs: Sequence[ModelInput], batch_size: int | None = None
     ) -> list[PredictResult]:
-        """Batched predictions for pre-built model inputs."""
+        """Batched predictions for pre-built model inputs.
+
+        Pre-built inputs carry no content key, so this path bypasses the
+        prediction tier.
+        """
         if not inputs:
             raise ServingError("predict_inputs needs at least one input")
+        self._counts["queries"] += len(inputs)
         return self._serve(list(inputs), batch_size)
 
     def _serve(
@@ -174,7 +277,6 @@ class InferenceEngine:
             self._times["decode"] += t3 - t2
             self._counts["batches"] += 1
             self._counts["paths"] += int(batch.path_offsets[-1])
-        self._counts["queries"] += len(inputs)
         return results
 
     # ------------------------------------------------------------------
@@ -184,9 +286,14 @@ class InferenceEngine:
         """Cumulative serving counters since the last :meth:`reset_stats`.
 
         Returns:
-            ``{"queries", "batches", "paths"}`` counts, per-stage seconds
-            (``build_s`` / ``pack_s`` / ``forward_s`` / ``decode_s`` and their
-            ``total_s`` sum), and the input-cache counters under ``"cache"``.
+            ``{"queries", "batches", "paths"}`` counts (``queries`` counts
+            every request including cache-served ones; ``batches`` / ``paths``
+            only what reached the model), per-stage seconds (``build_s`` /
+            ``pack_s`` / ``forward_s`` / ``decode_s`` and their ``total_s``
+            sum), the input-cache counters under ``"cache"``, and the
+            prediction-tier counters under ``"prediction_cache"`` (``None``
+            when the tier is disabled).  Cache counters are cache-lifetime,
+            not reset by :meth:`reset_stats`.
         """
         out: dict = dict(self._counts)
         total = 0.0
@@ -196,6 +303,9 @@ class InferenceEngine:
         out["total_s"] = total
         out["fast_path"] = self.fast_path
         out["cache"] = self.cache.stats()
+        out["prediction_cache"] = (
+            self.prediction_cache.stats() if self.prediction_cache is not None else None
+        )
         return out
 
     def reset_stats(self) -> None:
@@ -213,10 +323,11 @@ class InferenceEngine:
             seconds = stats[f"{stage}_s"]
             share = seconds / stats["total_s"] if stats["total_s"] > 0 else 0.0
             lines.append(f"  {stage:<8s} {seconds * 1000:8.1f} ms  ({share:5.1%})")
-        cache = stats.get("cache")
-        if cache:
-            lines.append(
-                f"  cache    {cache['hits']} hits / {cache['misses']} misses"
-                f" / {cache['entries']} entries"
-            )
+        for label, name in (("cache", "cache"), ("preds", "prediction_cache")):
+            tier = stats.get(name)
+            if tier:
+                lines.append(
+                    f"  {label:<8s} {tier['hits']} hits / {tier['misses']} misses"
+                    f" / {tier['entries']} entries"
+                )
         return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Open-loop load harness for :class:`~repro.serving.ServingService`.
+
+An *open-loop* generator draws request arrival times from a Poisson process
+ahead of time and submits on that schedule no matter how the service is
+doing; a closed-loop one (submit, wait, submit) would slow its own offered
+load down exactly when the service struggles — the classic coordinated
+omission trap, which hides tail latency.  Latency is therefore measured from
+each request's *scheduled* arrival to its completion: if the generator or
+the queue falls behind, the lateness shows up in p99 instead of vanishing.
+
+Arrival schedules and sample choices are seeded through
+:func:`repro.random.make_rng`, so a (seed, rate, n) triple names one exact
+request sequence — the property the serving benchmark's reproducibility
+check builds on.  :func:`run_closed_loop` is the saturation counterpart:
+enqueue everything, drain, and measure pure service throughput.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dataset import Sample
+from ..errors import AdmissionError, DeadlineExceededError
+from ..random import make_rng
+from ..results import PredictResult
+from .service import ServeFuture, ServingService
+
+__all__ = ["LoadReport", "run_open_loop", "run_closed_loop", "predictions_digest"]
+
+
+def predictions_digest(results: Sequence[PredictResult]) -> str:
+    """SHA-256 over the raw prediction bytes, in request order.
+
+    Bitwise-sensitive: two runs agree on this digest only if every float of
+    every prediction is identical.
+    """
+    hasher = hashlib.sha256()
+    for result in results:
+        hasher.update(np.ascontiguousarray(result.delay).tobytes())
+        if result.jitter is not None:
+            hasher.update(np.ascontiguousarray(result.jitter).tobytes())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run.
+
+    Attributes:
+        offered_rps: Target arrival rate (``0`` for closed-loop runs).
+        achieved_rps: Completed requests over the span from first scheduled
+            arrival to last completion.
+        requests / completed / rejected / expired / errors: Request fates;
+            ``rejected`` counts admission-control refusals at submit,
+            ``expired`` deadline failures, ``errors`` anything else.
+        p50_ms / p90_ms / p99_ms / mean_ms: Scheduled-arrival-to-completion
+            latency percentiles over completed requests (NaN when none).
+        duration_s: First scheduled arrival to last completion.
+    """
+
+    offered_rps: float
+    achieved_rps: float
+    requests: int
+    completed: int
+    rejected: int
+    expired: int
+    errors: int
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    mean_ms: float
+    duration_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "offered_rps": round(self.offered_rps, 2),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "errors": self.errors,
+            "p50_ms": round(self.p50_ms, 3),
+            "p90_ms": round(self.p90_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "duration_s": round(self.duration_s, 4),
+        }
+
+
+def _summarize(
+    offered_rps: float,
+    latencies_ms: list[float],
+    *,
+    requests: int,
+    rejected: int,
+    expired: int,
+    errors: int,
+    duration_s: float,
+) -> LoadReport:
+    if latencies_ms:
+        arr = np.asarray(latencies_ms)
+        p50, p90, p99 = (float(np.percentile(arr, q)) for q in (50, 90, 99))
+        mean = float(arr.mean())
+    else:
+        p50 = p90 = p99 = mean = float("nan")
+    completed = len(latencies_ms)
+    return LoadReport(
+        offered_rps=offered_rps,
+        achieved_rps=completed / duration_s if duration_s > 0 else 0.0,
+        requests=requests,
+        completed=completed,
+        rejected=rejected,
+        expired=expired,
+        errors=errors,
+        p50_ms=p50,
+        p90_ms=p90,
+        p99_ms=p99,
+        mean_ms=mean,
+        duration_s=duration_s,
+    )
+
+
+def _drain_outcomes(
+    submitted: list[tuple[float, ServeFuture]], timeout_s: float
+) -> tuple[list[float], int, int, float]:
+    """Wait for every future; (latencies_ms, expired, errors, last_done)."""
+    latencies_ms: list[float] = []
+    expired = 0
+    errors = 0
+    last_done = 0.0
+    for scheduled, future in submitted:
+        error = future.exception(timeout=timeout_s)
+        assert future.completed_at is not None
+        last_done = max(last_done, future.completed_at)
+        if error is None:
+            latencies_ms.append((future.completed_at - scheduled) * 1000.0)
+        elif isinstance(error, DeadlineExceededError):
+            expired += 1
+        else:
+            errors += 1
+    return latencies_ms, expired, errors, last_done
+
+
+def run_open_loop(
+    service: ServingService,
+    samples: Sequence[Sample],
+    *,
+    rate_rps: float,
+    num_requests: int,
+    seed: int = 0,
+    deadline_ms: float | None = None,
+    timeout_s: float = 120.0,
+) -> LoadReport:
+    """Offer ``num_requests`` Poisson arrivals at ``rate_rps`` and report.
+
+    Each request is a uniformly drawn member of ``samples``.  Rejected
+    submissions (admission control) are counted and *not* retried — shed
+    load is the open-loop contract.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    rng = make_rng(seed)
+    choices = rng.integers(0, len(samples), size=num_requests)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_rps, size=num_requests))
+
+    start = time.perf_counter()
+    submitted: list[tuple[float, ServeFuture]] = []
+    rejected = 0
+    for index, offset in zip(choices, arrivals):
+        scheduled = start + float(offset)
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            future = service.submit(samples[int(index)], deadline_ms=deadline_ms)
+        except AdmissionError:
+            rejected += 1
+            continue
+        submitted.append((scheduled, future))
+
+    latencies_ms, expired, errors, last_done = _drain_outcomes(submitted, timeout_s)
+    duration = max(last_done, time.perf_counter()) - (start + float(arrivals[0]))
+    return _summarize(
+        rate_rps,
+        latencies_ms,
+        requests=num_requests,
+        rejected=rejected,
+        expired=expired,
+        errors=errors,
+        duration_s=duration,
+    )
+
+
+def run_closed_loop(
+    service: ServingService,
+    samples: Sequence[Sample],
+    *,
+    num_requests: int,
+    seed: int = 0,
+    timeout_s: float = 120.0,
+) -> tuple[LoadReport, list[PredictResult]]:
+    """Saturation probe: enqueue ``num_requests`` back-to-back, then drain.
+
+    The service must be configured with ``queue_depth >= num_requests`` (a
+    rejection here is a harness misconfiguration and raises).  Returns the
+    report plus the predictions in submit order, so callers can digest them
+    (:func:`predictions_digest`) for reproducibility checks.
+
+    The service is closed (with a full drain) by this call: that is what
+    flushes the final partial batch under ``coalesce="count"``, where no
+    timer ever fires.  Use a fresh service per run.
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    rng = make_rng(seed)
+    choices = rng.integers(0, len(samples), size=num_requests)
+    start = time.perf_counter()
+    submitted = [
+        (start, service.submit(samples[int(index)])) for index in choices
+    ]
+    service.close(drain=True)
+    latencies_ms, expired, errors, last_done = _drain_outcomes(submitted, timeout_s)
+    duration = last_done - start
+    report = _summarize(
+        0.0,
+        latencies_ms,
+        requests=num_requests,
+        rejected=0,
+        expired=expired,
+        errors=errors,
+        duration_s=duration,
+    )
+    results = [future.result(0) for _, future in submitted if future.exception(0) is None]
+    return report, results

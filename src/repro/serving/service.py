@@ -1,0 +1,503 @@
+"""Request-queue serving service: the online "digital twin" entry point.
+
+:class:`~repro.serving.InferenceEngine` batches well but is call-driven —
+somebody must already hold N queries to fuse them.  An SDN controller asking
+what-if questions online holds one query at a time; the batching opportunity
+only exists *across* concurrent callers.  :class:`ServingService` is that
+aggregation point: a threaded request queue in front of per-shard engines,
+with
+
+* **deadline-aware dynamic batch coalescing** — a worker opens a batch on the
+  first queued request and cuts it at ``max_batch`` requests, ``max_wait_ms``
+  after opening, or just before the earliest per-request deadline among the
+  collected requests, whichever comes first (``coalesce="count"`` cuts on
+  count alone, making batch composition a pure function of submit order — the
+  benchmark's bitwise-reproducibility mode);
+* **worker sharding by** :class:`TopologySignature` — requests for the same
+  topology always land on the same worker, so that worker's
+  :class:`~repro.serving.InputCache` entries (and the forward-plan memos
+  hanging off the cached ``ModelInput`` objects) stay hot instead of being
+  rebuilt by whichever thread got the request;
+* **a shared prediction cache** — one thread-safe
+  :class:`~repro.serving.PredictionCache` layered above every shard's input
+  cache: a repeated query skips the forward pass in whichever shard serves
+  it;
+* **admission control** — a bounded queue that *rejects with a reason*
+  (:class:`~repro.errors.AdmissionError` with ``reason="queue_full"`` /
+  ``"shutdown"``) instead of blocking the caller, per-request deadlines that
+  expire still-queued work (:class:`~repro.errors.DeadlineExceededError`),
+  and a graceful drain on :meth:`close`.
+
+Submission is non-blocking: :meth:`submit` returns a :class:`ServeFuture`
+that resolves to a :class:`~repro.results.PredictResult` (or the error that
+befell the request).  The service owns only threads — no processes, no
+sockets — so it composes with the spawn-safe :mod:`repro.runner` machinery
+and needs nothing beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core import FeatureScaler, RouteNet
+from ..dataset import Sample
+from ..errors import AdmissionError, DeadlineExceededError
+from ..results import PredictResult
+from ..topology import Topology
+from .cache import PredictionCache
+from .config import ServeConfig
+from .engine import InferenceEngine
+
+__all__ = ["TopologySignature", "ServeFuture", "ServingService"]
+
+
+# ----------------------------------------------------------------------
+# Topology identity
+# ----------------------------------------------------------------------
+# id -> (weakref to the signed topology, its signature): same discipline as
+# InputCache's digest memo — the weakref guarantees a recycled id can never
+# serve a dead topology's signature.
+_SIGNATURE_MEMO: dict[int, tuple[weakref.ref, "TopologySignature"]] = {}
+
+
+@dataclass(frozen=True)
+class TopologySignature:
+    """Content-addressed identity of a topology's *structure*.
+
+    Two topologies with the same nodes, links, capacities and propagation
+    delays sign identically regardless of object identity or name, so the
+    service's shard routing is stable across processes and runs — a property
+    Python's salted ``hash()`` does not give.
+
+    Attributes:
+        num_nodes / num_links: Cheap discriminators, handy in logs.
+        digest: SHA-256 over the canonical link list.
+    """
+
+    num_nodes: int
+    num_links: int
+    digest: str
+
+    @classmethod
+    def of(cls, topology: Topology) -> "TopologySignature":
+        """The (memoized) signature of ``topology``."""
+        memo = _SIGNATURE_MEMO.get(id(topology))
+        if memo is not None and memo[0]() is topology:
+            return memo[1]
+        payload = json.dumps(
+            {
+                "num_nodes": topology.num_nodes,
+                "links": [
+                    [l.src, l.dst, l.capacity, l.propagation_delay]
+                    for l in topology.links
+                ],
+            },
+            sort_keys=True,
+        ).encode()
+        sig = cls(
+            num_nodes=topology.num_nodes,
+            num_links=len(topology.links),
+            digest=hashlib.sha256(payload).hexdigest(),
+        )
+        try:
+            _SIGNATURE_MEMO[id(topology)] = (weakref.ref(topology), sig)
+        except TypeError:
+            pass  # un-weakref-able stand-ins (tests) are simply re-hashed
+        return sig
+
+    def shard(self, workers: int) -> int:
+        """Deterministic worker index in ``[0, workers)`` for this topology."""
+        return int(self.digest[:16], 16) % workers
+
+
+# ----------------------------------------------------------------------
+# Futures and requests
+# ----------------------------------------------------------------------
+class ServeFuture:
+    """Completion handle for one submitted query.
+
+    Timestamps (``submitted_at`` / ``completed_at``) are on the service's
+    clock (``time.perf_counter`` by default) so the load harness can compute
+    queueing + service latency without a second timing source.
+    """
+
+    __slots__ = ("shard", "submitted_at", "completed_at", "_event", "_result", "_error")
+
+    def __init__(self, shard: int, submitted_at: float) -> None:
+        self.shard = shard
+        self.submitted_at = submitted_at
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._result: PredictResult | None = None
+        self._error: Exception | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> PredictResult:
+        """Block until resolution; the prediction, or raises the request's
+        error (:class:`DeadlineExceededError`, a serving failure, ...)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not complete yet")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> Exception | None:
+        """Block until resolution; the request's error, or ``None``."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not complete yet")
+        return self._error
+
+    @property
+    def latency_s(self) -> float | None:
+        """Submission-to-completion seconds; ``None`` while pending."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    # -- resolution (service-internal) -----------------------------------
+    def _complete(self, result: PredictResult, now: float) -> None:
+        self._result = result
+        self.completed_at = now
+        self._event.set()
+
+    def _fail(self, error: Exception, now: float) -> None:
+        self._error = error
+        self.completed_at = now
+        self._event.set()
+
+
+@dataclass
+class _Request:
+    sample: Sample
+    future: ServeFuture
+    deadline: float | None  # absolute, on the service clock; None = never
+    seq: int = field(default=0)
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class ServingService:
+    """Threaded deadline-aware dynamic batcher over per-shard engines.
+
+    Args:
+        model / scaler: As for :class:`~repro.serving.InferenceEngine`.
+        config: Typed serving knobs; library defaults when omitted.  The
+            service consumes every field: queue/worker/coalescing fields
+            directly, engine fields through the per-shard engines.
+        clock: Monotonic time source (injectable for tests); deadlines,
+            coalescing windows and future timestamps all read it.
+
+    Workers start immediately; use as a context manager (or call
+    :meth:`close`) to stop them.  Determinism: for a fixed submit order and
+    worker count, shard routing is content-addressed and per-shard FIFO order
+    is preserved, so with ``coalesce="count"`` the batch composition — and
+    therefore every served float — reproduces bitwise run-to-run.
+    """
+
+    def __init__(
+        self,
+        model: RouteNet,
+        scaler: FeatureScaler,
+        config: ServeConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._clock = clock
+        cfg = self.config
+        # One prediction cache above all shards; each shard engine keeps its
+        # own input cache (sharding makes those naturally disjoint).
+        self.prediction_cache = (
+            PredictionCache(cfg.prediction_cache_size)
+            if cfg.prediction_cache_size > 0
+            else None
+        )
+        engine_cfg = cfg.replace(prediction_cache_size=0)
+        self._engines = [
+            InferenceEngine(
+                model, scaler, engine_cfg, prediction_cache=self.prediction_cache
+            )
+            for _ in range(cfg.workers)
+        ]
+        self._shard_capacity = max(1, cfg.queue_depth // cfg.workers)
+        self._queues: list[deque[_Request]] = [deque() for _ in range(cfg.workers)]
+        self._conds = [threading.Condition() for _ in range(cfg.workers)]
+        self._closing = False
+        self._closed = False
+        self._seq = 0
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "accepted": 0,
+            "served": 0,
+            "expired": 0,
+            "errors": 0,
+            "rejected_queue_full": 0,
+            "rejected_shutdown": 0,
+            "queue_high_water": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(shard,),
+                name=f"repro-serve-{shard}",
+                daemon=True,
+            )
+            for shard in range(cfg.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission / admission control
+    # ------------------------------------------------------------------
+    def submit(
+        self, sample: Sample, *, deadline_ms: float | None = None
+    ) -> ServeFuture:
+        """Enqueue one query; never blocks on a full queue.
+
+        Args:
+            deadline_ms: Per-request override of ``config.deadline_ms``.
+
+        Returns:
+            A :class:`ServeFuture` resolving to the prediction.
+
+        Raises:
+            AdmissionError: ``reason="queue_full"`` when the target shard's
+                queue is at capacity, ``reason="shutdown"`` after
+                :meth:`close` — explicit backpressure the caller can act on
+                (shed load, retry elsewhere) instead of silently stalling.
+        """
+        shard = TopologySignature.of(sample.topology).shard(self.config.workers)
+        limit_ms = deadline_ms if deadline_ms is not None else self.config.deadline_ms
+        cond = self._conds[shard]
+        with cond:
+            if self._closing:
+                self._count("rejected_shutdown")
+                raise AdmissionError("shutdown", "service is shutting down")
+            queue = self._queues[shard]
+            if len(queue) >= self._shard_capacity:
+                self._count("rejected_queue_full")
+                raise AdmissionError(
+                    "queue_full",
+                    f"shard {shard} queue is at capacity "
+                    f"({self._shard_capacity} requests)",
+                )
+            now = self._clock()
+            future = ServeFuture(shard, submitted_at=now)
+            self._seq += 1
+            request = _Request(
+                sample=sample,
+                future=future,
+                deadline=None if limit_ms is None else now + limit_ms / 1000.0,
+                seq=self._seq,
+            )
+            queue.append(request)
+            depth = len(queue)
+            cond.notify()
+        with self._stats_lock:
+            self._counters["accepted"] += 1
+            if depth > self._counters["queue_high_water"]:
+                self._counters["queue_high_water"] = depth
+        return future
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[name] += n
+
+    # ------------------------------------------------------------------
+    # Worker side: coalescing and serving
+    # ------------------------------------------------------------------
+    def _collect_batch(self, shard: int) -> list[_Request] | None:
+        """Block until a batch is cut for ``shard``; ``None`` = worker exit."""
+        cfg = self.config
+        queue = self._queues[shard]
+        cond = self._conds[shard]
+        with cond:
+            while not queue:
+                if self._closing:
+                    return None
+                cond.wait()
+            batch = [queue.popleft()]
+            if cfg.coalesce == "count":
+                # Cut on count alone: composition is a pure function of the
+                # per-shard arrival order (the bench's determinism mode).
+                while len(batch) < cfg.max_batch:
+                    if queue:
+                        batch.append(queue.popleft())
+                    elif self._closing:
+                        break
+                    else:
+                        cond.wait()
+                return batch
+            opened = self._clock()
+            window_end = opened + cfg.max_wait_ms / 1000.0
+            cutoff = window_end
+            for request in batch:
+                if request.deadline is not None and request.deadline < cutoff:
+                    cutoff = request.deadline
+            # ``closing`` only short-circuits the *waiting*: a drain keeps
+            # consuming backlog into full batches.
+            while len(batch) < cfg.max_batch:
+                if queue:
+                    request = queue.popleft()
+                    batch.append(request)
+                    if request.deadline is not None and request.deadline < cutoff:
+                        cutoff = request.deadline
+                    continue
+                if self._closing:
+                    break
+                remaining = cutoff - self._clock()
+                if remaining <= 0:
+                    break
+                cond.wait(timeout=remaining)
+            return batch
+
+    def _serve_batch(self, shard: int, batch: list[_Request]) -> None:
+        now = self._clock()
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                request.future._fail(
+                    DeadlineExceededError(
+                        f"request expired in queue after "
+                        f"{(now - request.future.submitted_at) * 1000:.1f} ms"
+                    ),
+                    now,
+                )
+            else:
+                live.append(request)
+        if len(live) < len(batch):
+            self._count("expired", len(batch) - len(live))
+        if not live:
+            return
+        try:
+            results = self._engines[shard].predict_many([r.sample for r in live])
+        # Not swallowed: the error is delivered to every caller through the
+        # futures; broad on purpose so one bad request can't kill a worker.
+        except Exception as exc:  # repro-lint: disable=RP004
+            done = self._clock()
+            for request in live:
+                request.future._fail(exc, done)
+            self._count("errors", len(live))
+            return
+        done = self._clock()
+        for request, result in zip(live, results):
+            request.future._complete(result, done)
+        self._count("served", len(live))
+
+    def _worker_loop(self, shard: int) -> None:
+        while True:
+            batch = self._collect_batch(shard)
+            if batch is None:
+                return
+            self._serve_batch(shard, batch)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service; idempotent.
+
+        Args:
+            drain: Serve everything already queued before exiting (default).
+                ``False`` fails pending requests with
+                ``AdmissionError("shutdown")`` instead.
+            timeout: Per-thread join bound in seconds.
+        """
+        if self._closed:
+            return
+        for shard, cond in enumerate(self._conds):
+            with cond:
+                self._closing = True
+                if not drain:
+                    queue = self._queues[shard]
+                    now = self._clock()
+                    while queue:
+                        request = queue.popleft()
+                        request.future._fail(
+                            AdmissionError(
+                                "shutdown", "service closed before request was served"
+                            ),
+                            now,
+                        )
+                        self._counters["rejected_shutdown"] += 1
+                cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._closed = True
+
+    def __enter__(self) -> "ServingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending(self) -> int:
+        """Requests currently queued (excludes batches being served)."""
+        total = 0
+        for cond, queue in zip(self._conds, self._queues):
+            with cond:
+                total += len(queue)
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters plus aggregated per-shard engine stats.
+
+        Returns:
+            ``accepted`` / ``served`` / ``expired`` / ``errors`` counts, the
+            per-reason rejection counters under ``"rejected"``,
+            ``queue_high_water``, the summed engine counters under
+            ``"engine"`` (with ``per_worker_queries`` showing the shard
+            spread), and the shared prediction-tier counters under
+            ``"prediction_cache"`` (``None`` when disabled).
+        """
+        with self._stats_lock:
+            counters = dict(self._counters)
+        engine_stats = [engine.stats() for engine in self._engines]
+        aggregate = {
+            name: sum(stats[name] for stats in engine_stats)
+            for name in ("queries", "batches", "paths")
+        }
+        for stage in ("build_s", "pack_s", "forward_s", "decode_s", "total_s"):
+            aggregate[stage] = sum(stats[stage] for stats in engine_stats)
+        aggregate["per_worker_queries"] = [s["queries"] for s in engine_stats]
+        aggregate["input_cache"] = {
+            name: sum(stats["cache"][name] for stats in engine_stats)
+            for name in ("hits", "misses", "evictions", "entries")
+        }
+        return {
+            "workers": self.config.workers,
+            "accepted": counters["accepted"],
+            "served": counters["served"],
+            "expired": counters["expired"],
+            "errors": counters["errors"],
+            "rejected": {
+                "queue_full": counters["rejected_queue_full"],
+                "shutdown": counters["rejected_shutdown"],
+            },
+            "queue_high_water": counters["queue_high_water"],
+            "engine": aggregate,
+            "prediction_cache": (
+                self.prediction_cache.stats()
+                if self.prediction_cache is not None
+                else None
+            ),
+        }

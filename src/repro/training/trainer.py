@@ -35,7 +35,7 @@ from ..dataset import Sample, fit_scaler
 from ..errors import ModelError
 from ..random import make_rng
 from ..results import EvalResult, Metrics, PredictResult
-from ..serving import InferenceEngine, InputCache, pack_inputs
+from ..serving import InferenceEngine, InputCache, ServeConfig, pack_inputs
 from .loss import huber_loss
 from .metrics import regression_summary
 
@@ -330,8 +330,7 @@ class Trainer:
             self._engine = InferenceEngine(
                 self.model,
                 self.scaler,
-                include_load=self.include_load,
-                batch_size=batch_size,
+                ServeConfig(include_load=self.include_load, max_batch=batch_size),
                 builder=lambda sample: self._prepare(sample)[0],
             )
             self._engine_state = (

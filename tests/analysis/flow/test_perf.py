@@ -207,6 +207,15 @@ class TestRealTree:
         hot = hot_functions(index, graph)
         assert any(q.startswith("repro.serving.fastpath.") for q in hot)
 
+    def test_serving_service_is_in_hot_set(self, repo_index_and_graph):
+        """The request-queue service (worker loop, coalescing, admission)
+        runs per request and per batch: it must stay under the RP401-RP404
+        perf lints along with the rest of repro.serving."""
+        index, graph = repo_index_and_graph
+        hot = hot_functions(index, graph)
+        assert "repro.serving.service.ServingService.submit" in hot
+        assert any(q.startswith("repro.serving.engine.") for q in hot)
+
     def test_training_step_closure_is_hot(self, repo_index_and_graph):
         """The RP401-RP404 hot set covers everything reachable from the
         training step entry points, not just serving/nn code: the loss and

@@ -180,3 +180,35 @@ class TestPredict:
             ["predict", "-m", model_path, "-d", dataset_path, "--batch", "0"]
         )
         assert code == 1
+
+class TestServeBench:
+    def test_reports_latency_per_rate_point(self, model_path, dataset_path, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "-m", model_path,
+                "-d", dataset_path,
+                "--rps", "200", "400",
+                "--duration", "0.1",
+                "--max-batch", "4",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("offered") == 2  # one line per rate point
+        assert "p50" in out and "p99" in out
+        assert "cache hits" in out
+
+    def test_bad_config_fails_cleanly(self, model_path, dataset_path, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "-m", model_path,
+                "-d", dataset_path,
+                "--rps", "100",
+                "--max-batch", "0",
+            ]
+        )
+        assert code == 1
+        assert "max_batch" in capsys.readouterr().out

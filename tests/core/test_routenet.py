@@ -174,7 +174,7 @@ class TestPredictAndCheckpoint:
         scaler = FeatureScaler(1.0, 1.0, 1.0, np.array([-2.0, -4.0]), np.array([0.5, 0.5]))
         pred = model.predict(inputs, scaler)
         assert set(pred) == {"delay", "jitter"}
-        assert (pred["delay"] > 0).all()
+        assert (pred.delay > 0).all()
 
     def test_single_target_predict_has_no_jitter(self, inputs):
         hp = HyperParams(link_state_dim=6, path_state_dim=6,

@@ -43,22 +43,22 @@ def pipeline(tiny_samples):
 class TestEndToEnd:
     def test_model_beats_naive_on_heldout(self, pipeline):
         trainer, _, evaluation = pipeline
-        metrics = trainer.evaluate(evaluation)["delay"]
-        assert metrics["mre"] < 0.5
-        assert metrics["pearson"] > 0.6
+        metrics = trainer.evaluate(evaluation).delay
+        assert metrics.mre < 0.5
+        assert metrics.pearson > 0.6
 
     def test_fig2_regression_data(self, pipeline):
         trainer, _, evaluation = pipeline
         sample = evaluation[0]
         pred = trainer.predict_sample(sample)
-        data = collect_regression(pred["delay"], sample.delay, sample.pairs)
+        data = collect_regression(pred.delay, sample.delay, sample.pairs)
         assert 0.3 < data.slope_through_origin() < 3.0
 
     def test_fig3_cdf_data(self, pipeline):
         trainer, train, evaluation = pipeline
         preds, trues = [], []
         for s in evaluation:
-            preds.append(trainer.predict_sample(s)["delay"])
+            preds.append(trainer.predict_sample(s).delay)
             trues.append(s.delay)
         cdf = compute_error_cdf(np.concatenate(preds), np.concatenate(trues), "eval")
         assert cdf.abs_quantile(0.5) < 0.6
@@ -68,7 +68,7 @@ class TestEndToEnd:
     def test_fig4_topn_data(self, pipeline):
         trainer, _, evaluation = pipeline
         sample = evaluation[0]
-        pred = trainer.predict_sample(sample)["delay"]
+        pred = trainer.predict_sample(sample).delay
         rows = top_n_paths(sample.pairs, pred, n=5, true_delay=sample.delay)
         assert len(rows) == 5
         agreement = ranking_agreement(pred, sample.delay, n=5)
@@ -89,8 +89,8 @@ class TestEndToEnd:
         inputs = build_model_input(
             s.topology, s.routing, s.traffic, scaler=scaler, pairs=list(s.pairs)
         )
-        fresh = model.predict(inputs, scaler)["delay"]
-        original = trainer.predict_sample(s)["delay"]
+        fresh = model.predict(inputs, scaler).delay
+        original = trainer.predict_sample(s).delay
         np.testing.assert_allclose(fresh, original)
 
     def test_dataset_roundtrip_trains_identically(self, pipeline, tmp_path, tiny_samples):
@@ -121,10 +121,10 @@ class TestGeneralizationSmoke:
 
         trainer = Trainer(RouteNet(HP, seed=4), seed=5)
         trainer.fit(train, epochs=25)
-        seen_mre = trainer.evaluate(train)["delay"]["mre"]
-        unseen_metrics = trainer.evaluate(test)["delay"]
+        seen_mre = trainer.evaluate(train).delay.mre
+        unseen_metrics = trainer.evaluate(test).delay
 
         # The unseen topology must still be predicted meaningfully: positive
         # correlation and error within a factor ~3 of the on-distribution one.
-        assert unseen_metrics["pearson"] > 0.5
-        assert unseen_metrics["mre"] < max(3.5 * seen_mre, 0.6)
+        assert unseen_metrics.pearson > 0.5
+        assert unseen_metrics.mre < max(3.5 * seen_mre, 0.6)

@@ -186,7 +186,7 @@ class TestClassAwareModel:
         trainer = Trainer(RouteNet(self.HP, seed=0), seed=1)
         trainer.fit(qos_samples, epochs=20)
         pred = np.concatenate(
-            [trainer.predict_sample(s)["delay"] for s in qos_samples]
+            [trainer.predict_sample(s).delay for s in qos_samples]
         )
         classes = np.concatenate([s.pair_class for s in qos_samples])
         assert pred[classes == 0].mean() < pred[classes == 1].mean()

@@ -104,8 +104,8 @@ class TestModel:
         )
         original_model, original_scaler = workbench.trained_model()
         np.testing.assert_array_equal(
-            model.predict(inputs, scaler)["delay"],
-            original_model.predict(inputs, original_scaler)["delay"],
+            model.predict(inputs, scaler).delay,
+            original_model.predict(inputs, original_scaler).delay,
         )
 
     def test_trainer_wraps_cached_model(self, workbench):

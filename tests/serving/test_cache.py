@@ -85,3 +85,89 @@ class TestStorage:
         cache.clear()
         assert len(cache) == 0
         assert len(cache._digest_memo) == 0
+
+
+class TestContentKey:
+    def test_key_is_digest_pair(self, tiny_samples):
+        cache = InputCache()
+        params = InputCache.params_digest(include_load=False)
+        key = cache.content_key(tiny_samples[0], params)
+        assert key.endswith(f":{params}")
+        # sample_key is the same composition
+        assert key == cache.sample_key(tiny_samples[0], include_load=False)
+
+    def test_params_digest_expands_to_dict_objects(self):
+        one = InputCache.params_digest(scaler=FeatureScaler.identity())
+        same = InputCache.params_digest(scaler=FeatureScaler.identity())
+        other = InputCache.params_digest(
+            scaler=FeatureScaler(
+                2.0, 3.0, 4.0,
+                FeatureScaler.identity().target_log_mean,
+                FeatureScaler.identity().target_log_std,
+            )
+        )
+        assert one == same
+        assert one != other
+
+
+class TestPredictionCache:
+    def test_get_put_and_counters(self):
+        from repro.serving import PredictionCache
+
+        cache = PredictionCache(4)
+        assert cache.get("k") is None
+        cache.put("k", "result")
+        assert cache.get("k") == "result"
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 1, "evictions": 0, "entries": 1}
+
+    def test_lru_eviction(self):
+        from repro.serving import PredictionCache
+
+        cache = PredictionCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_must_be_positive(self):
+        from repro.serving import PredictionCache
+
+        with pytest.raises(ValueError):
+            PredictionCache(0)
+
+    def test_clear(self):
+        from repro.serving import PredictionCache
+
+        cache = PredictionCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_thread_safety_under_contention(self):
+        import threading
+
+        from repro.serving import PredictionCache
+
+        cache = PredictionCache(16)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    cache.put(f"{tag}-{i % 20}", i)
+                    cache.get(f"{tag}-{(i + 7) % 20}")
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["entries"] <= 16

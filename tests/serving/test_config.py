@@ -1,0 +1,57 @@
+"""ServeConfig: validation, replace, serialization."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import ServeConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ServeConfig()
+        assert config.max_batch == 32
+        assert config.coalesce == "deadline"
+        assert config.deadline_ms is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"max_batch": 0},
+            {"max_wait_ms": -1.0},
+            {"deadline_ms": 0.0},
+            {"deadline_ms": -5.0},
+            {"queue_depth": 0},
+            {"workers": 0},
+            {"input_cache_size": 0},
+            {"prediction_cache_size": -1},
+            {"coalesce": "fifo"},
+        ],
+    )
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ServingError):
+            ServeConfig(**bad)
+
+    def test_zero_prediction_cache_disables_tier(self):
+        assert ServeConfig(prediction_cache_size=0).prediction_cache_size == 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServeConfig().max_batch = 4  # type: ignore[misc]
+
+
+class TestReplace:
+    def test_replace_returns_new_validated_config(self):
+        base = ServeConfig()
+        changed = base.replace(max_batch=4, coalesce="count")
+        assert changed.max_batch == 4
+        assert changed.coalesce == "count"
+        assert base.max_batch == 32  # original untouched
+        with pytest.raises(ServingError):
+            base.replace(max_batch=0)
+
+
+class TestToDict:
+    def test_round_trips_through_constructor(self):
+        config = ServeConfig(max_batch=8, workers=2, deadline_ms=50.0)
+        rebuilt = ServeConfig(**config.to_dict())
+        assert rebuilt == config

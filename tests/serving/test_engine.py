@@ -1,12 +1,12 @@
-"""InferenceEngine: batched serving semantics, queueing, stats."""
+"""InferenceEngine: batched serving semantics, queueing, caches, stats."""
 
 import numpy as np
 import pytest
 
 from repro.core import RouteNet
 from repro.dataset import fit_scaler
-from repro.errors import ServingError
-from repro.serving import InferenceEngine
+from repro.errors import ReproDeprecationWarning, ServingError
+from repro.serving import InferenceEngine, ServeConfig
 
 
 @pytest.fixture(scope="module")
@@ -19,7 +19,7 @@ def served(tiny_samples):
 class TestPredictMany:
     def test_matches_single_sample_predictions(self, served, tiny_samples):
         model, scaler = served
-        engine = InferenceEngine(model, scaler, batch_size=3)
+        engine = InferenceEngine(model, scaler, ServeConfig(max_batch=3))
         results = engine.predict_many(tiny_samples)
         assert len(results) == len(tiny_samples)
         for sample, result in zip(tiny_samples, results):
@@ -31,7 +31,7 @@ class TestPredictMany:
 
     def test_chunks_by_batch_size(self, served, tiny_samples):
         model, scaler = served
-        engine = InferenceEngine(model, scaler, batch_size=3)
+        engine = InferenceEngine(model, scaler, ServeConfig(max_batch=3))
         engine.predict_many(tiny_samples)  # 8 samples -> 3+3+2
         stats = engine.stats()
         assert stats["batches"] == 3
@@ -40,7 +40,7 @@ class TestPredictMany:
 
     def test_batch_size_override_per_call(self, served, tiny_samples):
         model, scaler = served
-        engine = InferenceEngine(model, scaler, batch_size=2)
+        engine = InferenceEngine(model, scaler, ServeConfig(max_batch=2))
         engine.predict_many(tiny_samples, batch_size=len(tiny_samples))
         assert engine.stats()["batches"] == 1
 
@@ -55,13 +55,51 @@ class TestPredictMany:
     def test_bad_batch_size_rejected(self, served):
         model, scaler = served
         with pytest.raises(ServingError):
-            InferenceEngine(model, scaler, batch_size=0)
+            InferenceEngine(model, scaler, ServeConfig(max_batch=0))
+
+
+class TestLegacyKwargs:
+    """The pre-ServeConfig keyword constructor stays alive behind a shim."""
+
+    def test_batch_size_kwarg_warns_and_maps(self, served, tiny_samples):
+        model, scaler = served
+        import repro.serving.engine as engine_mod
+
+        engine_mod._warned_legacy_kwargs = False
+        with pytest.warns(ReproDeprecationWarning, match="ServeConfig"):
+            engine = InferenceEngine(model, scaler, batch_size=3)
+        assert engine.config.max_batch == 3
+        engine.predict_many(tiny_samples)
+        assert engine.stats()["batches"] == 3
+
+    def test_legacy_warning_is_emitted_once(self, served):
+        model, scaler = served
+        import repro.serving.engine as engine_mod
+
+        engine_mod._warned_legacy_kwargs = False
+        with pytest.warns(ReproDeprecationWarning):
+            InferenceEngine(model, scaler, batch_size=2)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            InferenceEngine(model, scaler, batch_size=2)  # silent second time
+
+    def test_config_plus_legacy_kwargs_rejected(self, served):
+        model, scaler = served
+        with pytest.raises(ServingError):
+            InferenceEngine(model, scaler, ServeConfig(), batch_size=2)
+
+    def test_unknown_kwarg_is_a_type_error(self, served):
+        model, scaler = served
+        with pytest.raises(TypeError):
+            InferenceEngine(model, scaler, bogus=1)
 
 
 class TestSubmitFlush:
     def test_submit_then_flush_preserves_order(self, served, tiny_samples):
         model, scaler = served
-        engine = InferenceEngine(model, scaler, batch_size=4)
+        engine = InferenceEngine(model, scaler, ServeConfig(max_batch=4))
         direct = engine.predict_many(tiny_samples)
         for sample in tiny_samples:
             engine.submit(sample)
@@ -76,11 +114,71 @@ class TestSubmitFlush:
         engine = InferenceEngine(model, scaler)
         assert engine.flush() == []
 
+    def test_flush_counts_queries_once(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, ServeConfig(max_batch=4))
+        for sample in tiny_samples:
+            engine.submit(sample)
+        engine.flush()
+        assert engine.stats()["queries"] == len(tiny_samples)
+
+
+class TestPredictionTier:
+    def test_repeat_queries_hit_prediction_cache(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, ServeConfig(max_batch=4))
+        first = engine.predict_many(tiny_samples)
+        second = engine.predict_many(tiny_samples)
+        stats = engine.stats()
+        assert stats["prediction_cache"]["misses"] == len(tiny_samples)
+        assert stats["prediction_cache"]["hits"] == len(tiny_samples)
+        # A cached prediction is the same object — no recompute happened.
+        for a, b in zip(first, second):
+            assert a is b
+        # Queries still count every request; batches only the first pass.
+        assert stats["queries"] == 2 * len(tiny_samples)
+        assert stats["batches"] == 2
+
+    def test_intra_call_duplicates_computed_once(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(model, scaler, ServeConfig(max_batch=8))
+        doubled = list(tiny_samples) + list(tiny_samples)
+        results = engine.predict_many(doubled)
+        assert engine.stats()["paths"] == sum(s.num_pairs for s in tiny_samples)
+        for a, b in zip(results[: len(tiny_samples)], results[len(tiny_samples):]):
+            assert a is b
+
+    def test_disabled_tier_falls_through_to_input_cache(self, served, tiny_samples):
+        model, scaler = served
+        engine = InferenceEngine(
+            model, scaler, ServeConfig(max_batch=4, prediction_cache_size=0)
+        )
+        engine.predict_many(tiny_samples)
+        engine.predict_many(tiny_samples)
+        stats = engine.stats()
+        assert stats["prediction_cache"] is None
+        assert stats["cache"]["misses"] == len(tiny_samples)
+        assert stats["cache"]["hits"] == len(tiny_samples)
+        assert stats["batches"] == 4
+
+    def test_cached_results_match_fresh_engine(self, served, tiny_samples):
+        model, scaler = served
+        warm = InferenceEngine(model, scaler, ServeConfig(max_batch=4))
+        warm.predict_many(tiny_samples)
+        cached = warm.predict_many(tiny_samples)
+        fresh = InferenceEngine(
+            model, scaler, ServeConfig(max_batch=4, prediction_cache_size=0)
+        ).predict_many(tiny_samples)
+        for a, b in zip(cached, fresh):
+            np.testing.assert_array_equal(a.delay, b.delay)
+
 
 class TestStats:
     def test_stage_timings_and_cache_counters(self, served, tiny_samples):
         model, scaler = served
-        engine = InferenceEngine(model, scaler, batch_size=4)
+        engine = InferenceEngine(
+            model, scaler, ServeConfig(max_batch=4, prediction_cache_size=0)
+        )
         engine.predict_many(tiny_samples)
         stats = engine.stats()
         for stage in ("build_s", "pack_s", "forward_s", "decode_s", "total_s"):
@@ -98,6 +196,9 @@ class TestStats:
         stats = engine.stats()
         assert stats["queries"] == 0
         assert stats["total_s"] == 0.0
+        # Cache counters are cache-lifetime: reset_stats leaves the tiers
+        # (and their entries) intact.
+        assert stats["prediction_cache"]["entries"] == 2
 
     def test_format_stats_renders(self, served, tiny_samples):
         model, scaler = served
@@ -106,3 +207,4 @@ class TestStats:
         text = InferenceEngine.format_stats(engine.stats())
         assert "forward" in text
         assert "cache" in text
+        assert "preds" in text

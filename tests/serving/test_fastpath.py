@@ -9,6 +9,7 @@ from repro.dataset import fit_scaler
 from repro.errors import ModelError
 from repro.serving import (
     InferenceEngine,
+    ServeConfig,
     fast_forward,
     pack_inputs,
     supports_fast_forward,
@@ -88,6 +89,8 @@ class TestSupport:
 
     def test_engine_opt_out(self, tiny_samples):
         scaler = fit_scaler(list(tiny_samples))
-        engine = InferenceEngine(RouteNet(seed=15), scaler, use_fast_path=False)
+        engine = InferenceEngine(
+            RouteNet(seed=15), scaler, ServeConfig(use_fast_path=False)
+        )
         assert not engine.fast_path
         assert engine.stats()["fast_path"] is False

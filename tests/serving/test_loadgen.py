@@ -1,0 +1,95 @@
+"""Load harness: open/closed loop runs, report accounting, reproducibility."""
+
+import math
+
+import pytest
+
+from repro.core import RouteNet
+from repro.dataset import fit_scaler
+from repro.serving import (
+    ServeConfig,
+    ServingService,
+    predictions_digest,
+    run_closed_loop,
+    run_open_loop,
+)
+
+
+@pytest.fixture(scope="module")
+def served(tiny_samples):
+    model = RouteNet(seed=21)
+    scaler = fit_scaler(list(tiny_samples))
+    return model, scaler
+
+
+def make_service(served, **overrides) -> ServingService:
+    model, scaler = served
+    knobs = dict(max_batch=4, coalesce="count", workers=1, queue_depth=128,
+                 prediction_cache_size=0)
+    knobs.update(overrides)
+    return ServingService(model, scaler, ServeConfig(**knobs))
+
+
+class TestClosedLoop:
+    def test_accounts_every_request(self, served, tiny_samples):
+        service = make_service(served)
+        report, results = run_closed_loop(
+            service, tiny_samples, num_requests=16, seed=3
+        )
+        assert report.requests == 16
+        assert report.completed == len(results) == 16
+        assert report.rejected == report.expired == report.errors == 0
+        assert report.achieved_rps > 0
+        assert math.isfinite(report.p50_ms) and report.p99_ms >= report.p50_ms
+        assert service.closed  # a closed-loop run consumes its service
+
+    def test_replay_is_bitwise_reproducible(self, served, tiny_samples):
+        digests = []
+        for _ in range(2):
+            service = make_service(served, workers=2)
+            _, results = run_closed_loop(
+                service, tiny_samples, num_requests=24, seed=7
+            )
+            digests.append(predictions_digest(results))
+        assert digests[0] == digests[1]
+
+    def test_different_seed_changes_the_sequence(self, served, tiny_samples):
+        digests = []
+        for seed in (1, 2):
+            service = make_service(served)
+            _, results = run_closed_loop(
+                service, tiny_samples, num_requests=16, seed=seed
+            )
+            digests.append(predictions_digest(results))
+        assert digests[0] != digests[1]
+
+    def test_rejects_bad_request_count(self, served, tiny_samples):
+        with pytest.raises(ValueError):
+            run_closed_loop(make_service(served), tiny_samples, num_requests=0)
+
+
+class TestOpenLoop:
+    def test_reports_offered_rate_and_fates(self, served, tiny_samples):
+        service = make_service(served, coalesce="deadline")
+        try:
+            report = run_open_loop(
+                service, tiny_samples, rate_rps=200.0, num_requests=20, seed=5
+            )
+        finally:
+            service.close()
+        assert report.offered_rps == 200.0
+        assert report.requests == 20
+        assert (report.completed + report.rejected + report.expired
+                + report.errors) == 20
+        assert report.completed > 0
+        assert math.isfinite(report.p50_ms)
+        payload = report.to_dict()
+        assert payload["requests"] == 20
+
+    def test_rejects_bad_rate(self, served, tiny_samples):
+        service = make_service(served)
+        try:
+            with pytest.raises(ValueError):
+                run_open_loop(service, tiny_samples, rate_rps=0.0, num_requests=4)
+        finally:
+            service.close()

@@ -1,0 +1,211 @@
+"""ServingService: sharding, coalescing, admission control, lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RouteNet
+from repro.dataset import fit_scaler
+from repro.errors import AdmissionError, DeadlineExceededError
+from repro.serving import (
+    InferenceEngine,
+    ServeConfig,
+    ServeFuture,
+    ServingService,
+    TopologySignature,
+)
+from repro.topology import synthetic_topology
+
+
+@pytest.fixture(scope="module")
+def served(tiny_samples, nsfnet_samples):
+    model = RouteNet(seed=21)
+    scaler = fit_scaler(list(tiny_samples) + list(nsfnet_samples))
+    return model, scaler
+
+
+def make_service(served, **overrides) -> ServingService:
+    model, scaler = served
+    knobs = dict(max_batch=4, coalesce="count", workers=1, queue_depth=64)
+    knobs.update(overrides)
+    return ServingService(model, scaler, ServeConfig(**knobs))
+
+
+class BlockedEngine:
+    """Stand-in engine: parks the worker thread until released."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def predict_many(self, samples, batch_size=None):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0)
+        return self.inner.predict_many(samples, batch_size)
+
+    def stats(self):
+        return self.inner.stats()
+
+
+class TestTopologySignature:
+    def test_content_addressed_not_identity_addressed(self):
+        a = synthetic_topology(6, seed=77, mean_degree=2.5)
+        b = synthetic_topology(6, seed=77, mean_degree=2.5)
+        assert a is not b
+        assert TopologySignature.of(a) == TopologySignature.of(b)
+
+    def test_different_structures_sign_differently(self):
+        a = TopologySignature.of(synthetic_topology(6, seed=1))
+        b = TopologySignature.of(synthetic_topology(8, seed=1))
+        assert a.digest != b.digest
+
+    def test_memo_returns_same_signature_object(self):
+        topology = synthetic_topology(6, seed=2)
+        assert TopologySignature.of(topology) is TopologySignature.of(topology)
+
+    def test_shard_is_stable_and_in_range(self):
+        sig = TopologySignature.of(synthetic_topology(6, seed=3))
+        for workers in (1, 2, 3, 7):
+            shard = sig.shard(workers)
+            assert 0 <= shard < workers
+            assert shard == sig.shard(workers)
+
+
+class TestServe:
+    def test_results_match_direct_engine(self, served, tiny_samples):
+        model, scaler = served
+        direct = InferenceEngine(
+            model, scaler, ServeConfig(max_batch=4)
+        ).predict_many(tiny_samples)
+        with make_service(served) as service:
+            futures = [service.submit(s) for s in tiny_samples]
+            results = [f.result(timeout=30.0) for f in futures]
+        for a, b in zip(direct, results):
+            np.testing.assert_array_equal(a.delay, b.delay)
+
+    def test_count_mode_cuts_full_batches(self, served, tiny_samples):
+        with make_service(served, max_batch=4) as service:
+            futures = [service.submit(s) for s in tiny_samples]  # 8 requests
+            for future in futures:
+                future.result(timeout=30.0)
+            stats = service.stats()
+        assert stats["engine"]["batches"] == 2
+        assert stats["served"] == len(tiny_samples)
+        assert stats["accepted"] == len(tiny_samples)
+
+    def test_zero_wait_serves_immediately(self, served, tiny_samples):
+        service = make_service(served, coalesce="deadline", max_wait_ms=0.0)
+        with service:
+            for sample in tiny_samples[:3]:
+                service.submit(sample).result(timeout=30.0)
+            stats = service.stats()
+        assert stats["engine"]["batches"] == 3
+
+    def test_shards_route_by_topology(self, served, tiny_samples, nsfnet_samples):
+        with make_service(served, workers=2, max_batch=2) as service:
+            futures = [service.submit(s) for s in tiny_samples]
+            futures += [service.submit(s) for s in nsfnet_samples]
+            for future in futures:
+                future.result(timeout=30.0)
+            stats = service.stats()
+        tiny_shard = TopologySignature.of(tiny_samples[0].topology).shard(2)
+        nsf_shard = TopologySignature.of(nsfnet_samples[0].topology).shard(2)
+        expected = [0, 0]
+        expected[tiny_shard] += len(tiny_samples)
+        expected[nsf_shard] += len(nsfnet_samples)
+        assert stats["engine"]["per_worker_queries"] == expected
+
+    def test_repeated_queries_hit_shared_prediction_cache(self, served, tiny_samples):
+        with make_service(served, max_batch=1) as service:
+            service.submit(tiny_samples[0]).result(timeout=30.0)
+            service.submit(tiny_samples[0]).result(timeout=30.0)
+            stats = service.stats()
+        assert stats["prediction_cache"]["hits"] == 1
+        assert stats["engine"]["batches"] == 1  # second query never forwarded
+
+    def test_future_records_latency(self, served, tiny_samples):
+        with make_service(served, max_batch=1) as service:
+            future = service.submit(tiny_samples[0])
+            future.result(timeout=30.0)
+        assert future.done()
+        assert future.latency_s is not None and future.latency_s >= 0.0
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_with_reason(self, served, tiny_samples):
+        service = make_service(served, max_batch=1, queue_depth=2)
+        blocker = BlockedEngine(service._engines[0])
+        service._engines[0] = blocker
+        try:
+            in_flight = service.submit(tiny_samples[0])
+            assert blocker.entered.wait(timeout=10.0)  # worker parked serving it
+            service.submit(tiny_samples[1])
+            service.submit(tiny_samples[2])  # queue now at capacity (2)
+            with pytest.raises(AdmissionError) as excinfo:
+                service.submit(tiny_samples[3])
+            assert excinfo.value.reason == "queue_full"
+            assert service.stats()["rejected"]["queue_full"] == 1
+        finally:
+            blocker.release.set()
+            service.close()
+        assert in_flight.result(timeout=30.0) is not None
+
+    def test_submit_after_close_rejects_with_shutdown(self, served, tiny_samples):
+        service = make_service(served)
+        service.close()
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(tiny_samples[0])
+        assert excinfo.value.reason == "shutdown"
+        assert service.stats()["rejected"]["shutdown"] == 1
+
+    def test_close_without_drain_fails_queued_requests(self, served, tiny_samples):
+        service = make_service(served, max_batch=1, queue_depth=8)
+        blocker = BlockedEngine(service._engines[0])
+        service._engines[0] = blocker
+        in_flight = service.submit(tiny_samples[0])
+        assert blocker.entered.wait(timeout=10.0)
+        queued = [service.submit(s) for s in tiny_samples[1:3]]
+        service.close(drain=False, timeout=0.05)
+        for future in queued:
+            error = future.exception(timeout=1.0)
+            assert isinstance(error, AdmissionError)
+            assert error.reason == "shutdown"
+        blocker.release.set()  # the in-flight request still completes
+        assert in_flight.result(timeout=30.0) is not None
+
+    def test_close_with_drain_serves_backlog(self, served, tiny_samples):
+        service = make_service(served, max_batch=4)
+        futures = [service.submit(s) for s in tiny_samples]
+        service.close(drain=True)
+        for future in futures:
+            assert future.result(timeout=30.0) is not None
+        assert service.closed
+        service.close()  # idempotent
+
+    def test_expired_request_fails_with_deadline_error(self, served, tiny_samples):
+        service = make_service(served, max_batch=1, queue_depth=8)
+        blocker = BlockedEngine(service._engines[0])
+        service._engines[0] = blocker
+        try:
+            service.submit(tiny_samples[0])
+            assert blocker.entered.wait(timeout=10.0)
+            doomed = service.submit(tiny_samples[1], deadline_ms=1.0)
+            time.sleep(0.02)  # let the deadline lapse while queued
+        finally:
+            blocker.release.set()
+            service.close()
+        assert isinstance(doomed.exception(timeout=10.0), DeadlineExceededError)
+        assert service.stats()["expired"] == 1
+
+
+class TestServeFuture:
+    def test_result_times_out_while_pending(self):
+        future = ServeFuture(shard=0, submitted_at=0.0)
+        with pytest.raises(TimeoutError):
+            future.result(timeout=0.01)
+        with pytest.raises(TimeoutError):
+            future.exception(timeout=0.01)
+        assert future.latency_s is None

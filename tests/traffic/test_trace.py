@@ -105,7 +105,7 @@ class TestDiurnalTrace:
         for _, tm in trace:
             inputs = build_model_input(topo, routing, tm, scaler=trainer.scaler)
             mean_delays.append(
-                float(trainer.model.predict(inputs, trainer.scaler)["delay"].mean())
+                float(trainer.model.predict(inputs, trainer.scaler).delay.mean())
             )
             totals.append(tm.total())
         corr = np.corrcoef(mean_delays, totals)[0, 1]

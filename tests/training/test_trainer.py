@@ -74,15 +74,15 @@ class TestEvaluatePredict:
         metrics = trainer.evaluate(tiny_samples)
         true = np.concatenate([s.delay for s in tiny_samples])
         mean_baseline_mre = float(np.abs(true.mean() - true).mean() / true.mean())
-        assert metrics["delay"]["mre"] < mean_baseline_mre
-        assert metrics["delay"]["pearson"] > 0.7
+        assert metrics.delay.mre < mean_baseline_mre
+        assert metrics.delay.pearson > 0.7
 
     def test_predict_sample_shapes(self, tiny_samples):
         trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
         trainer.fit(tiny_samples, epochs=1)
         pred = trainer.predict_sample(tiny_samples[0])
-        assert pred["delay"].shape == (tiny_samples[0].num_pairs,)
-        assert (pred["delay"] > 0).all()
+        assert pred.delay.shape == (tiny_samples[0].num_pairs,)
+        assert (pred.delay > 0).all()
 
     def test_evaluate_before_fit_raises(self, tiny_samples):
         trainer = Trainer(RouteNet(TINY, seed=0))
@@ -106,7 +106,7 @@ class TestEvaluatePredict:
         history = trainer.fit(list(tiny_samples[:4]), epochs=2)
         assert len(history.epochs) == 2
         pred = trainer.predict_sample(tiny_samples[0])
-        assert (pred["delay"] > 0).all()
+        assert (pred.delay > 0).all()
 
     def test_divergence_detected(self, tiny_samples):
         """A NaN loss must raise instead of silently corrupting weights."""
