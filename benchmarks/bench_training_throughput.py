@@ -17,12 +17,22 @@ and reports, per batch size:
   one steady-state epoch (lower = the allocation discipline is working);
 * ``peak_rss_kib`` — ``ru_maxrss`` after the run.
 
+A second axis sweeps the data-parallel trainer (``Trainer.parallel_stepper``)
+over worker counts W in {1, 2, 4} at a fixed batch size: W=1 runs the shard
+loop inline, W>1 fans shards over a persistent process pool with the
+bitwise-deterministic reduction.  ``config.cores`` records the CPUs actually
+schedulable for this process — on a single-core box the multi-worker rows
+measure dispatch overhead, not speedup, and the gate below stays honest
+because it is *relative to the committed baseline measured on the same
+class of machine*.
+
 Output schema (``BENCH_training.json``)::
 
     {
       "benchmark": "training_throughput",
       "config": {"topology": "nsfnet", "num_samples": ..., "epochs_timed": ...,
-                 "hparams": {...}, "quick": bool},
+                 "hparams": {...}, "quick": bool, "cores": int,
+                 "workers_batch_size": int},
       "results": [
         {"batch_size": B, "samples_per_sec": float, "steps_per_sec": float,
          "epoch_seconds": float,            # fastest timed epoch
@@ -32,19 +42,28 @@ Output schema (``BENCH_training.json``)::
          "alloc_blocks": int, "alloc_kib": float, "peak_rss_kib": int},
         ...
       ],
-      "speedup_b16_vs_b1": float
+      "results_workers": [
+        {"workers": W, "samples_per_sec": float, "steps_per_sec": float,
+         "epoch_seconds": float, "epoch_seconds_all": [...],
+         "loss_final": float, "worker_starts": int, "restarts": int},
+        ...
+      ],
+      "speedup_b16_vs_b1": float,
+      "speedup_w4_vs_w1": float
     }
 
-``--check BASELINE.json`` compares the measured B=16-vs-B=1 speedup ratio
-against the committed baseline's and fails (exit 1) when it falls below 80%
-of it — a machine-independent regression gate (absolute samples/sec are
-hardware-dependent; the fused-batch *ratio* is not).
+``--check BASELINE.json`` compares the measured B=16-vs-B=1 and W=4-vs-W=1
+speedup ratios against the committed baseline's and fails (exit 1) when
+either falls below 80% of its committed value — a machine-independent
+regression gate (absolute samples/sec are hardware-dependent; the *ratios*
+are not, as long as the core count class matches the baseline's).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import resource
 import sys
 import time
@@ -62,6 +81,8 @@ from repro.topology import nsfnet  # noqa: E402
 from repro.training import Trainer  # noqa: E402
 
 BATCH_SIZES = (1, 4, 16)
+WORKER_COUNTS = (1, 2, 4)
+WORKERS_BATCH_SIZE = 16
 
 FAST_GEN = GenerationConfig(
     target_packets_per_pair=60.0,
@@ -170,6 +191,43 @@ def bench_batch_size(samples, hparams, batch_size, timed_epochs, seed=0):
     }
 
 
+def bench_workers(samples, hparams, workers, timed_epochs,
+                  batch_size=WORKERS_BATCH_SIZE, seed=0):
+    """One data-parallel training config: W workers over fixed-size batches."""
+    trainer = make_trainer(samples, hparams, seed)
+    batch_indices = [
+        tuple(range(i, min(i + batch_size, len(samples))))
+        for i in range(0, len(samples), batch_size)
+    ]
+
+    def run_parallel_epoch(stepper):
+        stepped = [stepper.step(idx) for idx in batch_indices]
+        losses = [loss for loss, _ in stepped]
+        weights = [paths for _, paths in stepped]
+        return float(np.average(losses, weights=weights))
+
+    with trainer.parallel_stepper(samples, workers=workers) as stepper:
+        run_parallel_epoch(stepper)  # warmup: caches + worker replicas
+        loss = float("nan")
+        epoch_times = []
+        for _ in range(timed_epochs):
+            t0 = time.perf_counter()
+            loss = run_parallel_epoch(stepper)
+            epoch_times.append(time.perf_counter() - t0)
+        stats = stepper.pool_stats
+    fastest = min(epoch_times)
+    return {
+        "workers": workers,
+        "samples_per_sec": round(len(samples) / fastest, 2),
+        "steps_per_sec": round(len(batch_indices) / fastest, 2),
+        "epoch_seconds": round(fastest, 4),
+        "epoch_seconds_all": [round(t, 4) for t in epoch_times],
+        "loss_final": round(loss, 6),
+        "worker_starts": stats.worker_starts if stats is not None else 0,
+        "restarts": stats.restarts if stats is not None else 0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -202,8 +260,29 @@ def main(argv=None) -> int:
               f"alloc {row['alloc_blocks']} blocks  "
               f"stages {row['stages']}", flush=True)
 
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    results_workers = []
+    # A quick run times one epoch, which for the workers axis is a single
+    # 16-sample step — too noisy for a ratio gate.  Best-of-3 floors the
+    # variance at negligible cost (each extra epoch is one step).
+    workers_epochs = max(timed_epochs, 3)
+    for workers in WORKER_COUNTS:
+        print(f"workers={workers}: training (B={WORKERS_BATCH_SIZE}) ...",
+              flush=True)
+        row = bench_workers(samples, hparams, workers, workers_epochs)
+        results_workers.append(row)
+        print(f"  {row['samples_per_sec']:.1f} samples/s  "
+              f"{row['steps_per_sec']:.1f} steps/s  "
+              f"worker_starts {row['worker_starts']}", flush=True)
+
     by_b = {r["batch_size"]: r for r in results}
+    by_w = {r["workers"]: r for r in results_workers}
     speedup = by_b[16]["samples_per_sec"] / by_b[1]["samples_per_sec"]
+    w_top = max(WORKER_COUNTS)
+    speedup_w = by_w[w_top]["samples_per_sec"] / by_w[1]["samples_per_sec"]
     report = {
         "benchmark": "training_throughput",
         "config": {
@@ -212,23 +291,36 @@ def main(argv=None) -> int:
             "epochs_timed": timed_epochs,
             "hparams": hparams.to_dict(),
             "quick": bool(args.quick),
+            "cores": cores,
+            "workers_batch_size": WORKERS_BATCH_SIZE,
         },
         "results": results,
+        "results_workers": results_workers,
         "speedup_b16_vs_b1": round(speedup, 3),
+        "speedup_w4_vs_w1": round(speedup_w, 3),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"B=16 vs B=1 speedup: {speedup:.2f}x  ->  {args.output}")
+    print(f"B=16 vs B=1 speedup: {speedup:.2f}x  "
+          f"W={w_top} vs W=1 speedup: {speedup_w:.2f}x ({cores} cores)  "
+          f"->  {args.output}")
 
     if args.check:
         baseline = json.loads(Path(args.check).read_text())
-        committed = baseline["speedup_b16_vs_b1"]
-        floor = 0.8 * committed
-        if speedup < floor:
-            print(f"REGRESSION: speedup {speedup:.2f}x < 80% of committed "
-                  f"baseline {committed:.2f}x (floor {floor:.2f}x)")
+        gates = [("B=16 vs B=1", speedup, baseline["speedup_b16_vs_b1"])]
+        if "speedup_w4_vs_w1" in baseline:
+            gates.append(("W=4 vs W=1", speedup_w, baseline["speedup_w4_vs_w1"]))
+        failed = False
+        for label, measured, committed in gates:
+            floor = 0.8 * committed
+            if measured < floor:
+                print(f"REGRESSION: {label} speedup {measured:.2f}x < 80% of "
+                      f"committed baseline {committed:.2f}x (floor {floor:.2f}x)")
+                failed = True
+            else:
+                print(f"check OK: {label} speedup {measured:.2f}x >= floor "
+                      f"{floor:.2f}x (baseline {committed:.2f}x)")
+        if failed:
             return 1
-        print(f"check OK: speedup {speedup:.2f}x >= floor {floor:.2f}x "
-              f"(baseline {committed:.2f}x)")
     return 0
 
 

@@ -99,17 +99,38 @@ class _PerfWalker(ast.NodeVisitor):
                 if a.annotation is not None and self._is_array_annotation(a.annotation):
                     self.ndarrays.add(a.arg)
 
-    @staticmethod
-    def _is_array_annotation(annotation: ast.expr) -> bool:
-        for sub in ast.walk(annotation):
-            name = None
-            if isinstance(sub, ast.Name):
-                name = sub.id
-            elif isinstance(sub, ast.Attribute):
-                name = sub.attr
-            if name == "ndarray" or (name or "").endswith("Array"):
-                return True
-        return False
+    @classmethod
+    def _is_array_annotation(cls, annotation: ast.expr) -> bool:
+        # Only the *outer* type decides: ``Sequence[np.ndarray]`` is a
+        # Python container whose iteration is legitimate, not an ndarray
+        # (walking the whole annotation used to flag ``zip(params, grads)``
+        # loops over lists of per-parameter arrays).  Unions and Optional
+        # are array-like if any member is; subscripted containers are not.
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            return (cls._is_array_annotation(annotation.left)
+                    or cls._is_array_annotation(annotation.right))
+        if isinstance(annotation, ast.Subscript):
+            head = _dotted(annotation.value) or ""
+            tail = head.rsplit(".", 1)[-1]
+            if tail in ("Optional", "Union", "Annotated"):
+                inner = annotation.slice
+                members = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+                if tail == "Annotated":
+                    members = members[:1]
+                return any(cls._is_array_annotation(m) for m in members)
+            return cls._is_array_annotation(annotation.value)
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return False
+            return cls._is_array_annotation(parsed)
+        name = None
+        if isinstance(annotation, ast.Name):
+            name = annotation.id
+        elif isinstance(annotation, ast.Attribute):
+            name = annotation.attr
+        return name == "ndarray" or (name or "").endswith("Array")
 
     def _severity(self) -> str:
         return "error" if self.hot else "warning"

@@ -26,8 +26,14 @@ __all__ = ["EffectSummary", "effect_summaries"]
 
 #: Module-level names whose mutation is an accepted implementation detail
 #: (interpreter-wide switches with documented save/restore discipline).
+#: ``Tensor`` is here because :func:`repro.analysis.sanitize.sanitize_tape`
+#: swaps ``Tensor._make`` for the duration of a ``with`` block and restores
+#: it in ``finally`` — the same no_grad-style contract as ``_GRAD_ENABLED``;
+#: without the exemption every spawn-reachable *read* of the class (all of
+#: ``repro.nn``) would be flagged as depending on mutated global state.
 _EXEMPT_GLOBALS = {
     ("repro.nn.tensor", "_GRAD_ENABLED"),
+    ("repro.nn.tensor", "Tensor"),
 }
 
 

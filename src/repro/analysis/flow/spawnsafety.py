@@ -15,7 +15,8 @@ task payload — and everything transitively reachable from the worker —
   (RP205).
 
 This pass proves the property over the call graph: it locates every
-``ParallelRunner(worker, ...)`` construction, resolves the worker to its
+``ParallelRunner(worker, ...)`` and ``PersistentPool(worker=...,
+initializer=...)`` construction, resolves each shipped callable to its
 function, computes the transitive closure of callees, and reports each
 violating effect with the **full call chain** from the spawn root to the
 offending function, so a failure like::
@@ -38,6 +39,7 @@ from .purity import EffectSummary, effect_summaries
 __all__ = ["SpawnRoot", "check_spawn_safety", "find_spawn_roots"]
 
 _RUNNER_CLASS = "repro.runner.pool.ParallelRunner"
+_POOL_CLASS = "repro.runner.persistent.PersistentPool"
 _TASK_CLASS = "repro.runner.types.Task"
 
 
@@ -85,6 +87,13 @@ def find_spawn_roots(
                 target = _resolve_constructor(index, info, written)
                 if target == _RUNNER_CLASS:
                     _collect_worker(index, info, fn, call, roots, findings)
+                elif target == _POOL_CLASS:
+                    # The persistent pool ships two callables across the
+                    # process boundary: the per-task worker and the one-shot
+                    # initializer.  Both are spawn roots.
+                    _collect_worker(index, info, fn, call, roots, findings)
+                    _collect_worker(index, info, fn, call, roots, findings,
+                                    keyword="initializer", positional=None)
                 elif target == _TASK_CLASS and findings is not None:
                     _check_task_payload(info, call, findings)
     return roots
@@ -97,10 +106,14 @@ def _collect_worker(
     call: ast.Call,
     roots: list[SpawnRoot],
     findings: list[Violation] | None,
+    keyword: str = "worker",
+    positional: int | None = 0,
 ) -> None:
-    worker_expr: ast.expr | None = call.args[0] if call.args else None
+    worker_expr: ast.expr | None = None
+    if positional is not None and len(call.args) > positional:
+        worker_expr = call.args[positional]
     for kw in call.keywords:
-        if kw.arg == "worker":
+        if kw.arg == keyword:
             worker_expr = kw.value
     if worker_expr is None:
         return

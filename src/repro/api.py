@@ -125,6 +125,8 @@ def train(
     early_stopping=None,
     sanitize: bool = False,
     batch_size: int = 1,
+    workers: int | None = None,
+    micro_batch: int | None = None,
 ) -> TrainResult:
     """Train a fresh RouteNet on ``samples``.
 
@@ -146,6 +148,13 @@ def train(
             reproduces the historical per-sample trajectory exactly; larger
             values pack heterogeneous samples into one forward+backward
             (see :meth:`Trainer.train_step_batch`).
+        workers: When set, fan each step's gradient computation out over
+            this many worker processes with a deterministic fixed-order
+            reduction — parameters are bitwise identical for any worker
+            count (see :mod:`repro.training.parallel`).  ``None`` keeps
+            the single-process fast paths.
+        micro_batch: Shard size of the data-parallel batch partition
+            (requires ``workers``); defaults to up to four shards per batch.
     """
     train_set = _resolve_samples(samples)
     eval_set = _resolve_samples(eval_samples) if eval_samples is not None else None
@@ -161,6 +170,8 @@ def train(
         schedule=schedule,
         early_stopping=early_stopping,
         batch_size=batch_size,
+        workers=workers,
+        micro_batch=micro_batch,
     )
     result = TrainResult(model=model, scaler=trainer.scaler, history=history)
     if checkpoint is not None:

@@ -160,6 +160,8 @@ def cmd_train(args: argparse.Namespace) -> int:
         log=log,
         sanitize=args.sanitize,
         batch_size=args.batch_size,
+        workers=args.workers,
+        micro_batch=args.micro_batch,
     )
     print(f"wrote checkpoint {args.output} "
           f"(final loss {result.final_train_loss:.4f})")

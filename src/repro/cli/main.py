@@ -87,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="samples fused per optimization step (1 = the "
                             "historical per-sample loop; >1 packs B samples "
                             "into one forward+backward)")
+    train.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="data-parallel gradient worker processes; any N "
+                            "yields bitwise-identical parameters to "
+                            "--workers 1 (omit for the single-process path)")
+    train.add_argument("--micro-batch", type=int, default=None, metavar="M",
+                       help="shard size of the data-parallel batch partition "
+                            "(requires --workers; default: up to 4 shards "
+                            "per batch)")
     train.add_argument("--sanitize", action="store_true",
                        help="run each step under the tape sanitizer: a "
                             "divergence names the first op producing NaN/Inf")

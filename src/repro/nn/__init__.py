@@ -15,6 +15,7 @@ from . import ops, init
 from .layers import Parameter, Module, Dense, MLP, ACTIVATIONS
 from .rnn import GRUCell, RNNCell, make_cell
 from .optim import Optimizer, SGD, Adam, clip_global_norm
+from .grads import export_params, load_params, export_grads, accumulate_grads
 from .serialization import save_module, load_module, save_state, load_state
 
 __all__ = [
@@ -36,6 +37,10 @@ __all__ = [
     "SGD",
     "Adam",
     "clip_global_norm",
+    "export_params",
+    "load_params",
+    "export_grads",
+    "accumulate_grads",
     "save_module",
     "load_module",
     "save_state",

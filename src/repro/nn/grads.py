@@ -1,0 +1,111 @@
+"""Parameter/gradient export and import across process boundaries.
+
+Data-parallel training ships two kinds of arrays between the coordinating
+process and its gradient workers every step:
+
+* **parameter broadcast** — the coordinator's current weights, copied out
+  once per step (:func:`export_params`) and copied *into* each worker
+  replica in place (:func:`load_params`);
+* **gradient reduction** — each worker's shard gradients, copied out of
+  the worker's pooled buffers (:func:`export_grads`) and accumulated into
+  the coordinator's gradients in a caller-controlled, fixed order
+  (:func:`accumulate_grads`).
+
+Every function here respects the gradient-buffer pool discipline of
+:mod:`repro.nn.tensor`: exports are dense *copies* (a pooled buffer is
+recycled on ``zero_grad``, so an exported gradient must own its memory to
+survive the next step — and to be pickled), and imports write **into**
+existing buffers rather than rebinding ``p.grad``/``p.data`` to foreign
+arrays the pool could never reclaim.  Accumulation scales through a pooled
+scratch buffer, so steady-state reduction performs no array allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .layers import Parameter
+from .tensor import _GRAD_POOL
+
+__all__ = ["export_params", "load_params", "export_grads", "accumulate_grads"]
+
+
+def _check_lengths(params: Sequence[Parameter], arrays: Sequence[np.ndarray]) -> None:
+    if len(params) != len(arrays):
+        raise ValueError(
+            f"parameter/array count mismatch: {len(params)} parameters vs "
+            f"{len(arrays)} arrays"
+        )
+
+
+def export_params(params: Sequence[Parameter]) -> list[np.ndarray]:
+    """Dense copies of every parameter value, in parameter order.
+
+    The copies are safe to pickle and to mutate; they never alias the live
+    weights (which the optimizer updates in place).
+    """
+    return [np.array(p.data, copy=True) for p in params]
+
+
+def load_params(params: Sequence[Parameter], arrays: Sequence[np.ndarray]) -> None:
+    """Copy broadcast values into each parameter **in place**.
+
+    In-place ``copyto`` keeps every downstream alias valid — optimizer
+    moment/scratch buffers were allocated against these exact arrays — and
+    is bitwise-exact for matching dtypes.
+    """
+    _check_lengths(params, arrays)
+    for p, a in zip(params, arrays):
+        if p.data.shape != np.shape(a):
+            raise ValueError(
+                f"parameter shape mismatch: expected {p.data.shape}, "
+                f"got {np.shape(a)}"
+            )
+        np.copyto(p.data, a)
+
+
+def export_grads(params: Sequence[Parameter]) -> list[np.ndarray]:
+    """Dense copies of every parameter gradient, in parameter order.
+
+    Raises:
+        ValueError: If any parameter has no accumulated gradient — exporting
+            after a partial backward would silently drop a term from the
+            reduction.
+    """
+    out: list[np.ndarray] = []
+    for p in params:
+        if p.grad is None:
+            raise ValueError(
+                f"parameter {p.name or p.shape} has no gradient to export; "
+                "run backward() first"
+            )
+        out.append(np.array(p.grad, copy=True))
+    return out
+
+
+def accumulate_grads(
+    params: Sequence[Parameter],
+    grads: Sequence[np.ndarray],
+    scale: float = 1.0,
+) -> None:
+    """Add ``scale * grads[i]`` into each parameter's gradient, in place.
+
+    A parameter without an existing gradient buffer acquires one from the
+    pool (exactly like tape accumulation); one with a buffer accumulates
+    into it.  Because IEEE addition is deterministic, calling this in a
+    fixed order over shard gradients yields bitwise-identical totals no
+    matter which process computed each shard.
+    """
+    _check_lengths(params, grads)
+    for p, g in zip(params, grads):
+        if p.data.shape != np.shape(g):
+            raise ValueError(
+                f"gradient shape mismatch: expected {p.data.shape}, "
+                f"got {np.shape(g)}"
+            )
+        scratch = _GRAD_POOL.acquire(p.data.shape, p.data.dtype)
+        np.multiply(g, scale, out=scratch, casting="unsafe")
+        p._accumulate(scratch)
+        _GRAD_POOL.release(scratch)

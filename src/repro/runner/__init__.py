@@ -5,6 +5,9 @@ The subsystem behind ``generate_dataset(..., workers=N)``:
 * :class:`ParallelRunner` — spawn-safe process pool with per-task
   timeouts, bounded deterministic retries, and structured
   :class:`TaskFailure` records;
+* :class:`PersistentPool` — long-lived workers fed in synchronous rounds
+  (per-step parameter broadcast, crash-respawn-and-resubmit), powering
+  data-parallel training;
 * :class:`CheckpointStore` — shard/manifest persistence so interrupted
   runs resume without redoing completed tasks;
 * :class:`RunMetrics` / :class:`ProgressEvent` — per-run accounting and
@@ -16,6 +19,7 @@ across interrupted/resumed runs.
 """
 
 from .manifest import CheckpointStore
+from .persistent import PersistentPool, PoolStats
 from .pool import ParallelRunner, attempt_seed, resolve_context
 from .types import (
     ProgressEvent,
@@ -29,6 +33,8 @@ from .types import (
 __all__ = [
     "CheckpointStore",
     "ParallelRunner",
+    "PersistentPool",
+    "PoolStats",
     "ProgressEvent",
     "RunMetrics",
     "RunResult",

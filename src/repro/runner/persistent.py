@@ -1,0 +1,344 @@
+"""Long-lived worker pool for per-step task dispatch.
+
+:class:`~repro.runner.ParallelRunner` launches one process per attempt,
+which is the right trade for dataset generation (tasks run for seconds and
+must be terminable one by one).  Training steps are the opposite workload:
+thousands of small tasks, each a few milliseconds of numpy, dispatched in
+lockstep rounds — a process per task would spend more time forking than
+computing.  :class:`PersistentPool` keeps ``workers`` processes alive for
+the lifetime of the pool and feeds them rounds of tasks over queues:
+
+* each worker runs ``initializer(init_payload)`` exactly once at startup
+  and threads the returned state into every task, so heavyweight context
+  (a model replica, a dataset copy) crosses the process boundary once,
+  not per step;
+* :meth:`run_step` dispatches one round — tasks are assigned round-robin
+  by index, an optional ``broadcast`` value is pickled once per *worker*
+  rather than once per task (this is how per-step parameter broadcast
+  stays cheap), and results come back in task order;
+* a worker that dies mid-round is respawned (re-running the initializer)
+  and its outstanding tasks are resubmitted, up to ``max_restarts``
+  attempts per task — with deterministic task functions a recomputed
+  attempt is indistinguishable from the lost one, so a crash costs wall
+  time, never reproducibility;
+* exceptions raised by the task function are **not** retried: the pool's
+  contract is deterministic workers, so a raise would just raise again.
+  The error is re-raised in the parent as :class:`~repro.errors.RunnerError`
+  with the worker traceback attached.
+
+The spawn-safety contract matches :class:`ParallelRunner`: ``worker`` and
+``initializer`` must be module-level functions, and payloads plain picklable
+data, so every multiprocessing start method works.  The RP2xx proofs in
+:mod:`repro.analysis.flow.spawnsafety` treat both callables as spawn roots.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..errors import RunnerError
+from .pool import resolve_context
+
+__all__ = ["PersistentPool", "PoolStats"]
+
+#: Task signature: ``worker(state, broadcast, payload) -> value``.
+StepWorker = Callable[[Any, Any, Any], Any]
+
+#: Initializer signature: ``initializer(init_payload) -> state``.
+Initializer = Callable[[Any], Any]
+
+_INIT_FAILED = "__init_failed__"
+
+
+def _persistent_worker_main(
+    worker: StepWorker,
+    initializer: Initializer | None,
+    init_payload: Any,
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker process entry: initialize once, then serve task rounds.
+
+    Top-level (hence picklable) so the pool works under every start method.
+    Messages on ``task_queue`` are ``(broadcast, [(task_id, payload), ...])``
+    rounds or ``None`` to shut down; every task outcome is posted to
+    ``result_queue`` as ``(task_id, ok, value, error)`` with exceptions
+    flattened to strings (exception objects may not pickle).
+    """
+    try:
+        state = initializer(init_payload) if initializer is not None else None
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        detail = traceback.format_exc(limit=8)
+        result_queue.put((_INIT_FAILED, False, None,
+                          (type(exc).__name__, str(exc), detail)))
+        return
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        broadcast, tasks = message
+        for task_id, payload in tasks:
+            try:
+                value = worker(state, broadcast, payload)
+            except BaseException as exc:  # noqa: BLE001 — report, parent decides
+                detail = traceback.format_exc(limit=8)
+                result_queue.put((task_id, False, None,
+                                  (type(exc).__name__, str(exc), detail)))
+            else:
+                result_queue.put((task_id, True, value, None))
+
+
+@dataclass
+class PoolStats:
+    """Lifetime counters of one :class:`PersistentPool`."""
+
+    steps: int = 0
+    tasks: int = 0
+    restarts: int = 0
+    resubmitted: int = 0
+    worker_starts: int = 0
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side record of one live worker process."""
+
+    process: multiprocessing.process.BaseProcess
+    task_queue: Any
+    outstanding: dict[int, Any] = field(default_factory=dict)
+    dead_since: float | None = None
+
+
+class PersistentPool:
+    """A pool of long-lived worker processes fed in synchronous rounds.
+
+    Args:
+        worker: Module-level callable ``worker(state, broadcast, payload)``.
+        workers: Number of worker processes (>= 1).
+        initializer: Optional module-level callable run once per worker
+            process (and again on respawn after a crash); its return value
+            becomes the ``state`` argument of every task.
+        init_payload: Picklable argument for ``initializer``.
+        mp_context: Start method, as in :func:`~repro.runner.resolve_context`.
+        max_restarts: How many times one *task* may be resubmitted after
+            worker crashes before the step fails.
+        step_timeout: Seconds one :meth:`run_step` round may take before the
+            pool gives up (guards against a wedged worker); ``None`` disables.
+        poll_interval: Parent-loop polling granularity in seconds.
+    """
+
+    def __init__(
+        self,
+        worker: StepWorker,
+        *,
+        workers: int,
+        initializer: Initializer | None = None,
+        init_payload: Any = None,
+        mp_context: str = "auto",
+        max_restarts: int = 2,
+        step_timeout: float | None = None,
+        poll_interval: float = 0.01,
+        crash_grace: float = 1.0,
+    ) -> None:
+        if workers < 1:
+            raise RunnerError(f"workers must be >= 1, got {workers}")
+        if max_restarts < 0:
+            raise RunnerError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.worker = worker
+        self.workers = workers
+        self.initializer = initializer
+        self.init_payload = init_payload
+        self.max_restarts = max_restarts
+        self.step_timeout = step_timeout
+        self.poll_interval = poll_interval
+        self.crash_grace = crash_grace
+        self.stats = PoolStats()
+        self._ctx = resolve_context(mp_context)
+        self._result_queue = self._ctx.Queue()
+        self._handles: list[_WorkerHandle] = []
+        self._closed = False
+        for _ in range(workers):
+            self._handles.append(self._spawn_worker())
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _WorkerHandle:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_persistent_worker_main,
+            args=(self.worker, self.initializer, self.init_payload,
+                  task_queue, self._result_queue),
+            daemon=True,
+        )
+        process.start()
+        self.stats.worker_starts += 1
+        return _WorkerHandle(process=process, task_queue=task_queue)
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run_step(self, payloads: Sequence[Any], broadcast: Any = None) -> list[Any]:
+        """Run one round of tasks; returns values in payload order.
+
+        Task ``i`` is assigned to worker ``i % workers``; the assignment is
+        fixed so the *computation* each task performs never depends on
+        scheduling, only on its payload — which is what makes crash-replay
+        invisible to deterministic workers.  ``broadcast`` is sent once per
+        worker and handed to every task of the round.
+
+        Raises:
+            RunnerError: On a worker exception (never retried), a task that
+                exhausts ``max_restarts`` crash resubmissions, a failed
+                worker initializer, or a round exceeding ``step_timeout``.
+        """
+        if self._closed:
+            raise RunnerError("run_step() on a closed pool")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        self.stats.steps += 1
+        self.stats.tasks += len(payloads)
+
+        # A worker that died idle between rounds would silently swallow its
+        # share of the round (nothing reads a dead worker's queue): replace
+        # it before assigning rather than paying the crash-grace window.
+        for slot, handle in enumerate(self._handles):
+            if not handle.process.is_alive():
+                handle.process.join(timeout=1.0)
+                self._handles[slot] = self._spawn_worker()
+                self.stats.restarts += 1
+
+        results: dict[int, Any] = {}
+        attempts: dict[int, int] = {task_id: 0 for task_id in range(len(payloads))}
+        rounds: list[list[tuple[int, Any]]] = [[] for _ in self._handles]
+        for task_id, payload in enumerate(payloads):
+            rounds[task_id % len(self._handles)].append((task_id, payload))
+        for handle, tasks in zip(self._handles, rounds):
+            if tasks:
+                handle.outstanding.update(tasks)
+                handle.task_queue.put((broadcast, list(tasks)))
+
+        deadline = (
+            time.perf_counter() + self.step_timeout
+            if self.step_timeout is not None
+            else None
+        )
+        while len(results) < len(payloads):
+            drained = self._drain_results(results)
+            self._reap_crashed(results, attempts, broadcast, drained)
+            if deadline is not None and time.perf_counter() > deadline:
+                missing = sorted(set(attempts) - set(results))
+                raise RunnerError(
+                    f"step exceeded step_timeout={self.step_timeout}s with "
+                    f"{len(missing)} task(s) outstanding (ids {missing[:8]})"
+                )
+        return [results[task_id] for task_id in range(len(payloads))]
+
+    # ------------------------------------------------------------------
+    def _drain_results(self, results: dict[int, Any]) -> bool:
+        """Move every queued worker message into ``results``; True if any."""
+        drained = False
+        while True:
+            try:
+                message = self._result_queue.get(
+                    timeout=None if drained else self.poll_interval
+                )
+            except _queue_mod.Empty:
+                return drained
+            drained = True
+            task_id, ok, value, error = message
+            if task_id == _INIT_FAILED:
+                error_type, text, detail = error
+                raise RunnerError(
+                    f"worker initializer failed: {error_type}: {text}\n{detail}"
+                )
+            if not ok:
+                error_type, text, detail = error
+                raise RunnerError(
+                    f"task {task_id} raised in worker (deterministic tasks are "
+                    f"not retried): {error_type}: {text}\n{detail}"
+                )
+            for handle in self._handles:
+                handle.outstanding.pop(task_id, None)
+            if task_id not in results:  # crash resubmission may double-report
+                results[task_id] = value
+            if self._result_queue.empty():
+                return drained
+
+    def _reap_crashed(
+        self,
+        results: dict[int, Any],
+        attempts: dict[int, int],
+        broadcast: Any,
+        drained: bool,
+    ) -> None:
+        """Respawn dead workers and resubmit the tasks they were holding."""
+        now = time.perf_counter()
+        for slot, handle in enumerate(self._handles):
+            outstanding = {
+                task_id: payload
+                for task_id, payload in handle.outstanding.items()
+                if task_id not in results
+            }
+            if handle.process.is_alive():
+                continue
+            if outstanding:
+                # The worker may have posted results just before dying and
+                # the queue pipe may still hold them: give it a grace window
+                # (re-armed whenever the queue makes progress) first.
+                if drained:
+                    handle.dead_since = None
+                if handle.dead_since is None:
+                    handle.dead_since = now
+                    continue
+                if now - handle.dead_since <= self.crash_grace:
+                    continue
+            exitcode = handle.process.exitcode
+            handle.process.join(timeout=1.0)
+            replacement = self._spawn_worker()
+            self._handles[slot] = replacement
+            self.stats.restarts += 1
+            if not outstanding:
+                continue
+            for task_id in outstanding:
+                attempts[task_id] += 1
+                if attempts[task_id] > self.max_restarts:
+                    raise RunnerError(
+                        f"task {task_id} lost to {attempts[task_id]} worker "
+                        f"crash(es) (last exit code {exitcode}); giving up "
+                        f"after max_restarts={self.max_restarts}"
+                    )
+            tasks = sorted(outstanding.items())
+            self.stats.resubmitted += len(tasks)
+            replacement.outstanding.update(tasks)
+            replacement.task_queue.put((broadcast, tasks))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            if handle.process.is_alive():
+                try:
+                    handle.task_queue.put(None)
+                except (OSError, ValueError):  # queue torn down already
+                    pass
+        deadline = time.perf_counter() + 2.0
+        for handle in self._handles:
+            handle.process.join(timeout=max(0.1, deadline - time.perf_counter()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            handle.task_queue.close()
+        self._result_queue.close()
+        self._handles = []

@@ -10,6 +10,7 @@ from .metrics import (
     pearson,
     regression_summary,
 )
+from .parallel import DataParallelStepper, ShardResult, default_micro_batch
 from .trainer import Trainer, TrainingHistory, EpochStats
 from .schedule import StepDecay, ReduceOnPlateau, EarlyStopping
 from .validate import FoldResult, CrossValidationResult, cross_validate
@@ -34,4 +35,7 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "EpochStats",
+    "DataParallelStepper",
+    "ShardResult",
+    "default_micro_batch",
 ]

@@ -1,0 +1,301 @@
+"""Multi-process data-parallel training with deterministic reduction.
+
+The fused-batch fast path (:meth:`~repro.training.Trainer.train_step_batch`)
+is core-count-bound: one process saturates one core.  This module fans the
+gradient computation of each optimization step out over a
+:class:`~repro.runner.PersistentPool` of long-lived workers while keeping the
+update **bitwise reproducible for any worker count**:
+
+1. Each optimization batch is partitioned into consecutive *micro-batch
+   shards* of a fixed size.  The partition depends only on the batch and
+   ``micro_batch`` — never on the worker count — so every worker count
+   computes exactly the same set of shard gradients.
+2. Each shard gradient is produced by the same module-level function
+   (:func:`_grad_shard_worker`) on a model replica holding the broadcast
+   weights — whether that function runs inline (``workers=1``) or in a
+   worker process (``workers>1``).  Numpy kernels are deterministic, so
+   identical inputs give bitwise-identical shard gradients either way.
+3. The coordinator reduces shard gradients in **fixed shard-index order**
+   with path-count weights (:func:`repro.nn.accumulate_grads`), then clips
+   and applies one Adam step exactly like the single-process trainer.
+
+Together these give the determinism pin: ``fit(workers=N)`` produces
+bitwise-identical parameters to ``fit(workers=1)`` for every ``N``, and a
+step whose batch fits in a single shard (``micro_batch >= batch_size``)
+reproduces the single-process fused step bitwise as well.  A worker crash
+mid-step is recovered by the pool's respawn-and-resubmit path; since the
+recomputed shard gradient is bitwise identical to the lost one, a crash
+never perturbs the trajectory.
+
+The worker closure (:func:`_init_grad_worker` + :func:`_grad_shard_worker`)
+is covered by the RP2xx spawn-safety proofs in
+:mod:`repro.analysis.flow.spawnsafety`.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..analysis.sanitize import sanitize_tape
+from ..core import FeatureScaler, HyperParams, RouteNet
+from ..dataset import Sample
+from ..errors import ModelError
+from ..runner import PersistentPool
+from .loss import huber_loss
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trainer imports us)
+    from .trainer import Trainer
+
+__all__ = [
+    "DataParallelStepper",
+    "ShardResult",
+    "default_micro_batch",
+    "partition_shards",
+]
+
+
+def default_micro_batch(batch_size: int) -> int:
+    """Default shard size: partition each batch into up to four micro-batches.
+
+    Chosen workers-independently so the determinism pin holds across worker
+    counts without callers having to think about it; pass ``micro_batch``
+    explicitly to scale past four workers (more, smaller shards) or to force
+    single-shard steps (``micro_batch >= batch_size``, which also reproduces
+    the in-process fused step bitwise).
+    """
+    return max(1, math.ceil(batch_size / 4))
+
+
+def partition_shards(
+    indices: Sequence[int], micro_batch: int
+) -> list[tuple[int, ...]]:
+    """Split sample indices into consecutive shards of ``micro_batch``."""
+    if micro_batch < 1:
+        raise ModelError(f"micro_batch must be >= 1, got {micro_batch}")
+    return [
+        tuple(indices[i : i + micro_batch])
+        for i in range(0, len(indices), micro_batch)
+    ]
+
+
+@dataclass(frozen=True)
+class _WorkerInit:
+    """Picklable one-shot worker context (crosses the process boundary once)."""
+
+    hparams: dict
+    scaler: FeatureScaler
+    include_load: bool
+    sanitize: bool
+    samples: tuple[Sample, ...]
+
+
+class _WorkerState:
+    """Per-process replica: a model+trainer pair and the training set."""
+
+    def __init__(self, trainer: "Trainer", samples: tuple[Sample, ...]) -> None:
+        self.trainer = trainer
+        self.samples = samples
+        self.params = list(trainer.model.parameters())
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's contribution to a step.
+
+    Attributes:
+        loss: Mean per-path Huber loss over the shard.
+        num_paths: Paths (target rows) in the shard — the reduction weight.
+        grads: Dense gradient copies of ``d(loss)/d(param)``, parameter order.
+    """
+
+    loss: float
+    num_paths: int
+    grads: list[np.ndarray]
+
+
+def _init_grad_worker(payload: _WorkerInit) -> _WorkerState:
+    """Build one model replica per worker process (spawn root).
+
+    The replica's initial weights are irrelevant — every task overwrites
+    them with the step's broadcast — so a fixed seed keeps construction
+    deterministic without threading one through.
+    """
+    from .trainer import Trainer
+
+    model = RouteNet(HyperParams.from_dict(payload.hparams), seed=0)
+    trainer = Trainer(
+        model,
+        scaler=payload.scaler,
+        include_load=payload.include_load,
+        sanitize=payload.sanitize,
+    )
+    return _WorkerState(trainer, payload.samples)
+
+
+def _grad_shard_worker(
+    state: _WorkerState, broadcast: list[np.ndarray], payload: Sequence[int]
+) -> ShardResult:
+    """Gradient of one micro-batch shard at the broadcast weights (spawn root).
+
+    Runs the exact fused forward+backward of the single-process trainer on
+    the shard's packed inputs; the shard's :class:`~repro.serving.InputCache`
+    entry makes epoch 2+ packing free, just like the in-process fast path.
+    No clipping and no optimizer step happen here — both are global and
+    belong to the coordinator after reduction.
+    """
+    trainer = state.trainer
+    nn.load_params(state.params, broadcast)
+    batch = [state.samples[i] for i in payload]
+    inputs, targets = trainer._prepare_batch(batch)
+    trainer._optimizer.zero_grad()
+    guard = sanitize_tape() if trainer.sanitize else nullcontext()
+    with guard:
+        pred = trainer.model.forward(inputs, training=True)
+        loss = huber_loss(pred, targets)
+        value = loss.item()
+        if not np.isfinite(value):
+            raise ModelError(
+                "training diverged: shard loss is not finite (lower the "
+                "learning rate or check label scaling)"
+            )
+        loss.backward()
+    return ShardResult(
+        loss=value,
+        num_paths=int(targets.shape[0]),
+        grads=nn.export_grads(state.params),
+    )
+
+
+class DataParallelStepper:
+    """Drives deterministic data-parallel optimization steps for a trainer.
+
+    Owns the worker pool (``workers > 1``) or an in-process replica
+    (``workers == 1`` — same code path, no processes) for the lifetime of a
+    training run, so workers initialize once and their input caches stay
+    warm across epochs.  Use as a context manager or call :meth:`close`.
+
+    Args:
+        trainer: The coordinating :class:`~repro.training.Trainer`; its
+            model receives the reduced update each step.
+        samples: The full training set; steps address it by index so the
+            set crosses the process boundary once, at pool startup.
+        workers: Gradient worker processes (>= 1).
+        micro_batch: Shard size of the workers-independent batch partition;
+            defaults to :func:`default_micro_batch`.
+        mp_context: Multiprocessing start method (see
+            :func:`repro.runner.resolve_context`).
+        max_restarts: Crash-resubmission budget per shard and step.
+    """
+
+    def __init__(
+        self,
+        trainer: "Trainer",
+        samples: Sequence[Sample],
+        *,
+        workers: int,
+        micro_batch: int | None = None,
+        mp_context: str = "auto",
+        max_restarts: int = 2,
+        step_timeout: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        if trainer.scaler is None:
+            raise ModelError("scaler not set; fit it before creating a stepper")
+        if trainer.model.hparams.dropout > 0:
+            raise ModelError(
+                "data-parallel training requires dropout=0: dropout draws "
+                "from model-internal RNG state, which shard decomposition "
+                "would consume in a partition-dependent order"
+            )
+        if micro_batch is not None and micro_batch < 1:
+            raise ModelError(f"micro_batch must be >= 1, got {micro_batch}")
+        self.trainer = trainer
+        self.workers = workers
+        self.micro_batch = micro_batch
+        self.params = list(trainer.model.parameters())
+        payload = _WorkerInit(
+            hparams=trainer.model.hparams.to_dict(),
+            scaler=trainer.scaler,
+            include_load=trainer.include_load,
+            sanitize=trainer.sanitize,
+            samples=tuple(samples),
+        )
+        self._pool: PersistentPool | None = None
+        self._local_state: _WorkerState | None = None
+        if workers > 1:
+            self._pool = PersistentPool(
+                _grad_shard_worker,
+                workers=workers,
+                initializer=_init_grad_worker,
+                init_payload=payload,
+                mp_context=mp_context,
+                max_restarts=max_restarts,
+                step_timeout=step_timeout,
+            )
+        else:
+            self._local_state = _init_grad_worker(payload)
+
+    # ------------------------------------------------------------------
+    def step(self, batch_indices: Sequence[int]) -> tuple[float, int]:
+        """One data-parallel optimization step over ``batch_indices``.
+
+        Returns ``(loss, num_paths)`` where ``loss`` is the path-weighted
+        mean shard loss — the same per-path mean the fused single-process
+        step optimizes — and ``num_paths`` is the batch's total path count
+        (the weight :meth:`~repro.training.Trainer.fit` uses for the epoch
+        loss).
+        """
+        if not batch_indices:
+            raise ModelError("cannot step on an empty batch")
+        micro = (
+            self.micro_batch
+            if self.micro_batch is not None
+            else default_micro_batch(len(batch_indices))
+        )
+        shards = partition_shards(batch_indices, micro)
+        broadcast = nn.export_params(self.params)
+        if self._pool is None:
+            results = [
+                _grad_shard_worker(self._local_state, broadcast, shard)
+                for shard in shards
+            ]
+        else:
+            results = self._pool.run_step(shards, broadcast=broadcast)
+
+        total_paths = sum(r.num_paths for r in results)
+        optimizer = self.trainer._optimizer
+        optimizer.zero_grad()
+        loss = 0.0
+        # Fixed shard-index order: the reduction consumes results in the
+        # partition's order regardless of which process finished first.
+        for r in results:
+            weight = r.num_paths / total_paths
+            nn.accumulate_grads(self.params, r.grads, scale=weight)
+            loss += r.loss * weight
+        nn.clip_global_norm(self.params, self.trainer.model.hparams.grad_clip)
+        optimizer.step()
+        return loss, total_paths
+
+    # ------------------------------------------------------------------
+    @property
+    def pool_stats(self) -> Any:
+        """Pool counters (restarts/resubmissions), or ``None`` when inline."""
+        return self._pool.stats if self._pool is not None else None
+
+    def close(self) -> None:
+        """Shut down the worker pool; idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "DataParallelStepper":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

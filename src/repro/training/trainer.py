@@ -15,6 +15,11 @@ the concatenated batch (see :meth:`train_step_batch` for the weighting
 semantics).  Packed batches are content-addressed in the same
 :class:`~repro.serving.InputCache` as single-sample inputs, so epoch 2+ of a
 fixed batch partition pays zero packing cost.
+
+``fit(workers=N)`` breaks the resulting single-core ceiling by fanning each
+step's shard gradients out over a persistent process pool with a
+deterministic fixed-order reduction — any worker count reproduces
+``workers=1`` bitwise (see :mod:`repro.training.parallel`).
 """
 
 from __future__ import annotations
@@ -211,6 +216,30 @@ class Trainer:
         inputs, targets = self._prepare_batch(samples)
         return self._loss_and_step(inputs, targets)
 
+    def parallel_stepper(
+        self,
+        train_samples: Sequence[Sample],
+        workers: int,
+        micro_batch: int | None = None,
+        mp_context: str = "auto",
+    ) -> "DataParallelStepper":
+        """A :class:`~repro.training.parallel.DataParallelStepper` for this
+        trainer — the long-lived worker pool behind ``fit(workers=...)``,
+        exposed for benchmarks and custom training loops.
+
+        The returned stepper owns worker processes; close it (or use it as
+        a context manager) when done.  Requires a fitted scaler.
+        """
+        from .parallel import DataParallelStepper
+
+        return DataParallelStepper(
+            self,
+            train_samples,
+            workers=workers,
+            micro_batch=micro_batch,
+            mp_context=mp_context,
+        )
+
     def fit(
         self,
         train_samples: list[Sample],
@@ -220,6 +249,8 @@ class Trainer:
         schedule: "StepDecay | ReduceOnPlateau | None" = None,
         early_stopping: "EarlyStopping | None" = None,
         batch_size: int = 1,
+        workers: int | None = None,
+        micro_batch: int | None = None,
     ) -> TrainingHistory:
         """Train for up to ``epochs`` passes over ``train_samples``.
 
@@ -230,7 +261,9 @@ class Trainer:
                 :class:`~repro.training.schedule.StepDecay` (epoch-driven)
                 or :class:`~repro.training.schedule.ReduceOnPlateau`
                 (metric-driven; monitors eval MRE when ``eval_samples`` is
-                given, else the train loss).
+                given, else the train loss).  A metric-driven schedule's
+                ``initial_lr`` is applied before the first step, so epoch 1
+                trains at the schedule's rate, not ``hparams.learning_rate``.
             early_stopping: Optional
                 :class:`~repro.training.schedule.EarlyStopping` on the same
                 monitored metric.
@@ -242,6 +275,23 @@ class Trainer:
                 epoch — the shuffle-invariant partition keeps every fused
                 batch content-cached from epoch 2 on (see
                 :meth:`train_step_batch` for the per-path loss weighting).
+            workers: When set, run each step data-parallel over this many
+                gradient workers (``1`` = same algorithm inline, no
+                processes).  Every batch is partitioned into micro-batch
+                shards **independently of the worker count** and shard
+                gradients are reduced in fixed order, so any ``workers``
+                value produces bitwise-identical parameters to
+                ``workers=1`` (see :mod:`repro.training.parallel`).
+                ``None`` (default) keeps the single-process fast paths.
+            micro_batch: Shard size for the data-parallel partition;
+                defaults to splitting each batch into up to four shards.
+                ``micro_batch >= batch_size`` makes every step single-shard,
+                which reproduces the in-process fused step bitwise.
+
+        The reported per-epoch ``train_loss`` is the **path-weighted** mean
+        of per-step losses — i.e. the exact per-path mean Huber loss over
+        the epoch.  An unweighted mean would overweight a ragged final
+        batch's paths (regression-tested).
         """
         if not train_samples:
             raise ModelError("cannot train on an empty sample list")
@@ -254,50 +304,89 @@ class Trainer:
 
         from .schedule import StepDecay
 
+        stepper = None
+        if workers is not None:
+            from .parallel import DataParallelStepper, default_micro_batch
+
+            stepper = DataParallelStepper(
+                self,
+                train_samples,
+                workers=workers,
+                micro_batch=(
+                    micro_batch
+                    if micro_batch is not None
+                    else default_micro_batch(batch_size)
+                ),
+            )
+        elif micro_batch is not None:
+            raise ModelError("micro_batch requires workers= to be set")
+
         history = TrainingHistory()
         order = np.arange(len(train_samples))
         batches = [
             train_samples[i : i + batch_size]
             for i in range(0, len(train_samples), batch_size)
         ]
+        batch_indices = [
+            tuple(range(i, min(i + batch_size, len(train_samples))))
+            for i in range(0, len(train_samples), batch_size)
+        ]
         batch_order = np.arange(len(batches))
-        for epoch in range(1, epochs + 1):
-            started = time.perf_counter()
-            if isinstance(schedule, StepDecay):
-                self._optimizer.lr = schedule.lr(epoch)
-            if batch_size == 1:
-                self._rng.shuffle(order)
-                losses = [self.train_step(train_samples[i]) for i in order]
-            else:
-                self._rng.shuffle(batch_order)
-                losses = [self.train_step_batch(batches[j]) for j in batch_order]
-            eval_mre = None
-            if eval_samples:
-                eval_mre = self.evaluate(eval_samples).delay.mre
-            stats = EpochStats(
-                epoch=epoch,
-                train_loss=float(np.mean(losses)),
-                eval_delay_mre=eval_mre,
-                seconds=time.perf_counter() - started,
-            )
-            history.epochs.append(stats)
-            if log is not None:
-                msg = (
-                    f"epoch {epoch:3d}  loss {stats.train_loss:.4f}"
-                    f"  ({stats.seconds:.1f}s)"
+        try:
+            for epoch in range(1, epochs + 1):
+                started = time.perf_counter()
+                if isinstance(schedule, StepDecay):
+                    self._optimizer.lr = schedule.lr(epoch)
+                elif schedule is not None:
+                    # Metric-driven schedules only assigned the LR *after*
+                    # observing an epoch, silently training epoch 1 at
+                    # hparams.learning_rate; sync up front instead.
+                    self._optimizer.lr = schedule.current_lr
+                if stepper is not None:
+                    self._rng.shuffle(batch_order)
+                    stepped = [stepper.step(batch_indices[j]) for j in batch_order]
+                    losses = [loss for loss, _ in stepped]
+                    weights = [paths for _, paths in stepped]
+                elif batch_size == 1:
+                    self._rng.shuffle(order)
+                    losses = [self.train_step(train_samples[i]) for i in order]
+                    weights = [len(train_samples[i].pairs) for i in order]
+                else:
+                    self._rng.shuffle(batch_order)
+                    losses = [self.train_step_batch(batches[j]) for j in batch_order]
+                    weights = [
+                        sum(len(s.pairs) for s in batches[j]) for j in batch_order
+                    ]
+                eval_mre = None
+                if eval_samples:
+                    eval_mre = self.evaluate(eval_samples).delay.mre
+                stats = EpochStats(
+                    epoch=epoch,
+                    train_loss=float(np.average(losses, weights=weights)),
+                    eval_delay_mre=eval_mre,
+                    seconds=time.perf_counter() - started,
                 )
-                if eval_mre is not None:
-                    msg += f"  eval delay MRE {eval_mre:.3f}"
-                if schedule is not None:
-                    msg += f"  lr {self._optimizer.lr:.2e}"
-                log(msg)
-            monitored = eval_mre if eval_mre is not None else stats.train_loss
-            if schedule is not None and not isinstance(schedule, StepDecay):
-                self._optimizer.lr = schedule.observe(monitored)
-            if early_stopping is not None and early_stopping.should_stop(monitored):
+                history.epochs.append(stats)
                 if log is not None:
-                    log(f"early stop at epoch {epoch} (best {early_stopping.best:.4f})")
-                break
+                    msg = (
+                        f"epoch {epoch:3d}  loss {stats.train_loss:.4f}"
+                        f"  ({stats.seconds:.1f}s)"
+                    )
+                    if eval_mre is not None:
+                        msg += f"  eval delay MRE {eval_mre:.3f}"
+                    if schedule is not None:
+                        msg += f"  lr {self._optimizer.lr:.2e}"
+                    log(msg)
+                monitored = eval_mre if eval_mre is not None else stats.train_loss
+                if schedule is not None and not isinstance(schedule, StepDecay):
+                    self._optimizer.lr = schedule.observe(monitored)
+                if early_stopping is not None and early_stopping.should_stop(monitored):
+                    if log is not None:
+                        log(f"early stop at epoch {epoch} (best {early_stopping.best:.4f})")
+                    break
+        finally:
+            if stepper is not None:
+                stepper.close()
         return history
 
     # ------------------------------------------------------------------
@@ -309,9 +398,14 @@ class Trainer:
 
         The cached engine is invalidated whenever any piece of its
         configuration changes — the scaler, ``include_load``, the model
-        object, or the model's hyperparameters — not just the scaler
-        identity; a stale engine would keep serving inputs built under the
-        old configuration.  Object identity is tracked through *weak
+        object, the model's hyperparameters, or the requested
+        ``batch_size`` — not just the scaler identity; a stale engine would
+        keep serving inputs built under the old configuration.  The engine's
+        :class:`~repro.serving.ServeConfig` is frozen, so a changed
+        ``batch_size`` *rebuilds* the engine (cheap: inputs live in the
+        trainer's content-keyed cache, not the engine) instead of mutating
+        ``engine.batch_size`` underneath the frozen ``max_batch``
+        (regression-tested).  Object identity is tracked through *weak
         references*, not ``id()``: a dead referent can never validate, so a
         garbage-collected model/scaler whose id the allocator recycles onto
         a new object cannot alias a stale engine (regression-tested).
@@ -325,6 +419,7 @@ class Trainer:
             and state[1]() is self.scaler
             and state[2] == self.model.hparams
             and state[3] == self.include_load
+            and state[4] == batch_size
         )
         if self._engine is None or not valid:
             self._engine = InferenceEngine(
@@ -338,8 +433,8 @@ class Trainer:
                 weakref.ref(self.scaler),
                 self.model.hparams,
                 self.include_load,
+                batch_size,
             )
-        self._engine.batch_size = batch_size
         return self._engine
 
     def predict_sample(self, sample: Sample) -> PredictResult:

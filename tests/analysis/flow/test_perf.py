@@ -71,6 +71,37 @@ class TestDetection:
         })
         assert [v.code for v in findings] == ["RP403"]
 
+    def test_rp403_container_of_arrays_is_clean(self, make_graph):
+        """Regression: ``Sequence[np.ndarray]`` is a Python container — only
+        the outer annotation type may classify an argument as an ndarray.
+        (Walking the whole annotation flagged the gradient-reduction loops
+        in ``repro.nn.grads``.)"""
+        findings = findings_for(make_graph, {
+            "m.py": """
+                from typing import Optional, Sequence
+                import numpy as np
+
+                def reduce_all(grads: Sequence[np.ndarray],
+                               extras: list[np.ndarray],
+                               direct: np.ndarray,
+                               maybe: Optional[np.ndarray]):
+                    acc = 0.0
+                    for g in grads:
+                        acc += float(g.sum())
+                    for e in extras:
+                        acc += float(e.sum())
+                    for v in direct:
+                        acc += v
+                    for v in maybe:
+                        acc += v
+                    return acc
+            """,
+        })
+        # Only the two genuinely-ndarray arguments are flagged.
+        assert [v.code for v in findings] == ["RP403", "RP403"]
+        assert "direct" in findings[0].message
+        assert "maybe" in findings[1].message
+
     def test_rp403_through_enumerate(self, make_graph):
         findings = findings_for(make_graph, {
             "m.py": """

@@ -1,0 +1,152 @@
+"""PersistentPool: round dispatch, broadcast, crash recovery, lifecycle.
+
+Worker/initializer functions live at module level — the pool ships them
+across the process boundary, so they must be picklable under every
+multiprocessing start method (the same contract the RP2xx proofs enforce
+for production workers).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import PersistentPool
+
+
+def _init(payload):
+    return {"base": payload}
+
+
+def _add(state, broadcast, payload):
+    return state["base"] + (broadcast or 0) + payload
+
+
+def _no_state(state, broadcast, payload):
+    assert state is None
+    return payload * 2
+
+
+def _boom(state, broadcast, payload):
+    raise ValueError(f"bad payload {payload}")
+
+
+def _bad_init(payload):
+    raise RuntimeError("init exploded")
+
+
+def _crash_once(state, broadcast, payload):
+    """Die hard (no exception, no result) the first time the flag is absent.
+
+    The flag file makes the crash one-shot: the respawned worker's retry of
+    the same payload finds the flag and succeeds, modeling a transient
+    worker loss with a deterministic task.
+    """
+    if isinstance(payload, tuple) and payload[0] == "crash":
+        flag = payload[1]
+        if not os.path.exists(flag):
+            with open(flag, "w"):
+                pass
+            os._exit(17)
+        return 1000
+    return payload
+
+
+def _crash_always(state, broadcast, payload):
+    os._exit(17)
+
+
+class TestRounds:
+    def test_results_in_payload_order(self):
+        with PersistentPool(_add, workers=3, initializer=_init, init_payload=100) as pool:
+            assert pool.run_step([1, 2, 3, 4, 5, 6, 7]) == [101, 102, 103, 104, 105, 106, 107]
+
+    def test_broadcast_reaches_every_task(self):
+        with PersistentPool(_add, workers=2, initializer=_init, init_payload=0) as pool:
+            assert pool.run_step([1, 2, 3], broadcast=1000) == [1001, 1002, 1003]
+            # Broadcast is per step, not sticky.
+            assert pool.run_step([1, 2, 3]) == [1, 2, 3]
+
+    def test_no_initializer(self):
+        with PersistentPool(_no_state, workers=2) as pool:
+            assert pool.run_step([3, 4]) == [6, 8]
+
+    def test_empty_round(self):
+        with PersistentPool(_add, workers=2, initializer=_init, init_payload=0) as pool:
+            assert pool.run_step([]) == []
+
+    def test_workers_persist_across_steps(self):
+        with PersistentPool(_add, workers=2, initializer=_init, init_payload=0) as pool:
+            for _ in range(5):
+                pool.run_step([0, 1, 2, 3])
+            assert pool.stats.steps == 5
+            assert pool.stats.tasks == 20
+            # Long-lived pool: exactly the two startup launches, no churn.
+            assert pool.stats.worker_starts == 2
+            assert pool.stats.restarts == 0
+
+
+class TestFailures:
+    def test_worker_exception_raises_without_retry(self):
+        with PersistentPool(_boom, workers=2) as pool:
+            with pytest.raises(RunnerError, match="bad payload"):
+                pool.run_step([1, 2])
+
+    def test_failed_initializer_raises(self):
+        with PersistentPool(_add, workers=2, initializer=_bad_init) as pool:
+            with pytest.raises(RunnerError, match="init exploded"):
+                pool.run_step([1])
+
+    def test_crash_mid_step_recovers(self, tmp_path):
+        flag = str(tmp_path / "crashed-once")
+        with PersistentPool(_crash_once, workers=2, crash_grace=0.2) as pool:
+            values = pool.run_step([1, ("crash", flag), 3, 4])
+            assert values == [1, 1000, 3, 4]
+            assert pool.stats.restarts >= 1
+            assert pool.stats.resubmitted >= 1
+            # The pool is healthy again afterwards.
+            assert pool.run_step([7, 8]) == [7, 8]
+
+    def test_crash_budget_exhausted_raises(self):
+        with PersistentPool(_crash_always, workers=1, max_restarts=1,
+                            crash_grace=0.1) as pool:
+            with pytest.raises(RunnerError, match="max_restarts"):
+                pool.run_step([1])
+
+    def test_idle_crash_between_steps_recovers(self, tmp_path):
+        flag = str(tmp_path / "crashed-once")
+        with PersistentPool(_crash_once, workers=2, crash_grace=0.2) as pool:
+            pool.run_step([1, 2])
+            # Kill one worker while the pool is idle; the next step must
+            # replace it up front instead of stranding its task share.
+            victim = pool._handles[0].process
+            victim.terminate()
+            victim.join(timeout=2.0)
+            assert pool.run_step([5, 6, 7]) == [5, 6, 7]
+            assert pool.stats.restarts >= 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_blocks_reuse(self):
+        pool = PersistentPool(_add, workers=2, initializer=_init, init_payload=0)
+        pool.run_step([1])
+        pool.close()
+        pool.close()
+        with pytest.raises(RunnerError, match="closed"):
+            pool.run_step([1])
+
+    def test_invalid_config(self):
+        with pytest.raises(RunnerError):
+            PersistentPool(_add, workers=0)
+        with pytest.raises(RunnerError):
+            PersistentPool(_add, workers=1, max_restarts=-1)
+
+    @pytest.mark.skipif(
+        "spawn" not in multiprocessing.get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_context(self):
+        with PersistentPool(_add, workers=2, initializer=_init,
+                            init_payload=10, mp_context="spawn") as pool:
+            assert pool.run_step([1, 2]) == [11, 12]

@@ -129,3 +129,48 @@ class TestFitBatchSize:
         trainer = make_trainer(tiny_samples)
         with pytest.raises(ModelError):
             trainer.fit(list(tiny_samples), epochs=1, batch_size=0)
+
+    def test_epoch_loss_weighted_by_path_count(self, tiny_samples):
+        """Regression: the epoch loss used to be ``np.mean`` over per-batch
+        losses, giving a ragged final batch (3 of 8 samples here) the same
+        weight as a full one.  It must be the path-count-weighted average —
+        i.e. the mean per-path loss over the whole epoch."""
+        trainer = make_trainer(tiny_samples)
+        recorded = []
+        real_step = trainer.train_step_batch
+
+        def recording_step(batch):
+            loss = real_step(batch)
+            recorded.append((loss, sum(len(s.pairs) for s in batch)))
+            return loss
+
+        trainer.train_step_batch = recording_step
+        history = trainer.fit(list(tiny_samples), epochs=1, batch_size=5)
+        losses = [loss for loss, _ in recorded]
+        weights = [paths for _, paths in recorded]
+        assert len(losses) == 2 and weights[0] != weights[1]
+        expected = float(np.average(losses, weights=weights))
+        assert history.train_losses[0] == expected
+        # The buggy unweighted mean differs whenever the batch losses do.
+        if losses[0] != losses[1]:
+            assert history.train_losses[0] != float(np.mean(losses))
+
+    def test_epoch_loss_weighted_per_sample_path(self, tiny_samples, nsfnet_samples):
+        """Same pin for the batch_size=1 path, where per-sample path counts
+        differ across topologies."""
+        mixed = [tiny_samples[0], nsfnet_samples[0], tiny_samples[1]]
+        trainer = make_trainer(mixed)
+        recorded = []
+        real_step = trainer.train_step
+
+        def recording_step(sample):
+            loss = real_step(sample)
+            recorded.append((loss, len(sample.pairs)))
+            return loss
+
+        trainer.train_step = recording_step
+        history = trainer.fit(list(mixed), epochs=1)
+        losses = [loss for loss, _ in recorded]
+        weights = [paths for _, paths in recorded]
+        assert len(set(weights)) > 1
+        assert history.train_losses[0] == float(np.average(losses, weights=weights))

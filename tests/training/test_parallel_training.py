@@ -1,0 +1,201 @@
+"""Data-parallel training: determinism pins, crash recovery, partitioning.
+
+The contract under test (see :mod:`repro.training.parallel`):
+
+* ``fit(workers=N)`` produces bitwise-identical parameters and losses to
+  ``fit(workers=1)`` for every N — the shard partition never depends on the
+  worker count and the reduction order is fixed;
+* a single-shard step (``micro_batch >= batch_size``) reproduces the
+  in-process fused step bitwise, extending the ``batch_size=1 ≡ fit()``
+  oracle chain to the parallel path;
+* a worker crash mid-step is recovered through the pool's resubmit path
+  without perturbing the trajectory (deterministic recompute).
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.dataset import fit_scaler
+from repro.errors import ModelError
+from repro.training import Trainer, default_micro_batch
+from repro.training import parallel as parallel_mod
+from repro.training.parallel import partition_shards
+
+SMALL = HyperParams(
+    link_state_dim=8,
+    path_state_dim=8,
+    message_passing_steps=2,
+    readout_hidden=(12,),
+    learning_rate=3e-3,
+)
+
+
+def make_trainer(samples, seed=0, hparams=SMALL):
+    trainer = Trainer(RouteNet(hparams, seed=seed), seed=seed + 1)
+    trainer.scaler = fit_scaler(samples)
+    return trainer
+
+
+def params_of(trainer):
+    return [np.array(p.data, copy=True) for p in trainer.model.parameters()]
+
+
+class TestPartition:
+    def test_consecutive_fixed_shards(self):
+        assert partition_shards(range(10), 4) == [(0, 1, 2, 3), (4, 5, 6, 7), (8, 9)]
+        assert partition_shards([5, 6], 8) == [(5, 6)]
+
+    def test_bad_micro_batch(self):
+        with pytest.raises(ModelError):
+            partition_shards([1], 0)
+
+    def test_default_micro_batch_is_worker_independent(self):
+        # Up-to-four-shards default: the partition is a function of the
+        # batch alone, which is what makes workers=N ≡ workers=1 possible.
+        assert default_micro_batch(16) == 4
+        assert default_micro_batch(6) == 2
+        assert default_micro_batch(1) == 1
+
+
+class TestBitwiseWorkerIdentity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fit_workers_matches_inline(self, tiny_samples, workers):
+        """The oracle pin: any worker count reproduces workers=1 bitwise."""
+        inline = make_trainer(tiny_samples)
+        hist_inline = inline.fit(list(tiny_samples), epochs=2, batch_size=4,
+                                 workers=1, micro_batch=2)
+        parallel = make_trainer(tiny_samples)
+        hist_parallel = parallel.fit(list(tiny_samples), epochs=2, batch_size=4,
+                                     workers=workers, micro_batch=2)
+        assert hist_inline.train_losses == hist_parallel.train_losses
+        for pa, pb in zip(params_of(inline), params_of(parallel)):
+            assert np.array_equal(pa, pb)
+
+    def test_mixed_topology_batches(self, nsfnet_samples, tiny_samples):
+        """Heterogeneous shard sizes keep the path-count weighting exact."""
+        mixed = [nsfnet_samples[0], tiny_samples[0], nsfnet_samples[1],
+                 tiny_samples[1], nsfnet_samples[2], tiny_samples[2]]
+        assert len({len(s.pairs) for s in mixed}) > 1
+        inline = make_trainer(mixed)
+        h1 = inline.fit(list(mixed), epochs=2, batch_size=3, workers=1,
+                        micro_batch=1)
+        spread = make_trainer(mixed)
+        h2 = spread.fit(list(mixed), epochs=2, batch_size=3, workers=2,
+                        micro_batch=1)
+        assert h1.train_losses == h2.train_losses
+        for pa, pb in zip(params_of(inline), params_of(spread)):
+            assert np.array_equal(pa, pb)
+
+    def test_single_shard_reproduces_fused_step(self, tiny_samples):
+        """micro_batch >= batch_size ≡ the single-process fused path, bitwise."""
+        fused = make_trainer(tiny_samples)
+        hist_fused = fused.fit(list(tiny_samples), epochs=3, batch_size=4)
+        single = make_trainer(tiny_samples)
+        hist_single = single.fit(list(tiny_samples), epochs=3, batch_size=4,
+                                 workers=1, micro_batch=4)
+        assert hist_fused.train_losses == hist_single.train_losses
+        for pa, pb in zip(params_of(fused), params_of(single)):
+            assert np.array_equal(pa, pb)
+
+    def test_stepper_reuse_across_epochs(self, tiny_samples):
+        """Driving the stepper manually matches fit(workers=1) bitwise."""
+        via_fit = make_trainer(tiny_samples)
+        via_fit.fit(list(tiny_samples), epochs=2, batch_size=4, workers=1,
+                    micro_batch=2)
+        manual = make_trainer(tiny_samples)
+        batch_indices = [tuple(range(0, 4)), tuple(range(4, 8))]
+        with manual.parallel_stepper(list(tiny_samples), workers=1,
+                                     micro_batch=2) as stepper:
+            for _ in range(2):
+                order = np.arange(len(batch_indices))
+                manual._rng.shuffle(order)
+                for j in order:
+                    stepper.step(batch_indices[j])
+        for pa, pb in zip(params_of(via_fit), params_of(manual)):
+            assert np.array_equal(pa, pb)
+
+
+class TestValidation:
+    def test_micro_batch_without_workers_raises(self, tiny_samples):
+        trainer = make_trainer(tiny_samples)
+        with pytest.raises(ModelError, match="micro_batch requires workers"):
+            trainer.fit(list(tiny_samples), epochs=1, micro_batch=2)
+
+    def test_bad_workers(self, tiny_samples):
+        trainer = make_trainer(tiny_samples)
+        with pytest.raises(ModelError):
+            trainer.fit(list(tiny_samples), epochs=1, workers=0)
+
+    def test_dropout_rejected(self, tiny_samples):
+        hp = HyperParams(link_state_dim=8, path_state_dim=8,
+                         message_passing_steps=2, readout_hidden=(12,),
+                         dropout=0.2)
+        trainer = make_trainer(tiny_samples, hparams=hp)
+        with pytest.raises(ModelError, match="dropout"):
+            trainer.fit(list(tiny_samples), epochs=1, workers=1)
+
+    def test_stepper_empty_batch(self, tiny_samples):
+        trainer = make_trainer(tiny_samples)
+        with trainer.parallel_stepper(list(tiny_samples), workers=1) as stepper:
+            with pytest.raises(ModelError, match="empty batch"):
+                stepper.step([])
+
+
+# --- crash recovery -------------------------------------------------------
+
+#: Flag-file path for the one-shot sabotage below; set by the test before
+#: the pool forks, inherited by the worker process.
+_CRASH_FLAG = None
+_REAL_WORKER = parallel_mod._grad_shard_worker
+
+
+def _sabotaged_worker(state, broadcast, payload):
+    """Kill the worker process (no exception) the first time shard (0,) runs."""
+    if _CRASH_FLAG is not None and tuple(payload) == (0, 1):
+        if not os.path.exists(_CRASH_FLAG):
+            with open(_CRASH_FLAG, "w"):
+                pass
+            os._exit(23)
+    return _REAL_WORKER(state, broadcast, payload)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sabotage hook relies on fork inheriting the patched module",
+)
+class TestCrashRecovery:
+    def test_worker_crash_mid_step_does_not_perturb_training(
+        self, tiny_samples, monkeypatch, tmp_path
+    ):
+        global _CRASH_FLAG
+        clean = make_trainer(tiny_samples)
+        hist_clean = clean.fit(list(tiny_samples), epochs=2, batch_size=4,
+                               workers=2, micro_batch=2)
+
+        monkeypatch.setattr(parallel_mod, "_grad_shard_worker", _sabotaged_worker)
+        _CRASH_FLAG = str(tmp_path / "crashed-once")
+        try:
+            crashed = make_trainer(tiny_samples)
+            with crashed.parallel_stepper(list(tiny_samples), workers=2,
+                                          micro_batch=2) as stepper:
+                batch_indices = [tuple(range(0, 4)), tuple(range(4, 8))]
+                losses = []
+                for _ in range(2):
+                    order = np.arange(len(batch_indices))
+                    crashed._rng.shuffle(order)
+                    for j in order:
+                        loss, _paths = stepper.step(batch_indices[j])
+                        losses.append(loss)
+                assert os.path.exists(_CRASH_FLAG), "sabotage never fired"
+                assert stepper.pool_stats.restarts >= 1
+                assert stepper.pool_stats.resubmitted >= 1
+        finally:
+            _CRASH_FLAG = None
+        # The resubmitted shard recomputed bitwise-identically: the crashed
+        # run's trajectory is indistinguishable from the clean run's.
+        for pa, pb in zip(params_of(clean), params_of(crashed)):
+            assert np.array_equal(pa, pb)

@@ -117,3 +117,22 @@ class TestTrainerIntegration:
         schedule = ReduceOnPlateau(3e-3, patience=1)
         trainer.fit(tiny_samples[:3], epochs=4, schedule=schedule)
         assert trainer._optimizer.lr <= 3e-3
+
+    def test_plateau_initial_lr_applied_before_first_step(self, tiny_samples):
+        """Regression: metric-driven schedules only assigned the LR *after*
+        observing an epoch, so epoch 1 silently trained at
+        ``hparams.learning_rate`` instead of the schedule's ``initial_lr``."""
+        trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
+        assert trainer._optimizer.lr == pytest.approx(TINY.learning_rate)
+        schedule = ReduceOnPlateau(1e-4, patience=10)
+        assert schedule.current_lr != pytest.approx(TINY.learning_rate)
+        seen = []
+        real_step = trainer.train_step
+
+        def recording_step(sample):
+            seen.append(trainer._optimizer.lr)
+            return real_step(sample)
+
+        trainer.train_step = recording_step
+        trainer.fit(tiny_samples[:3], epochs=1, schedule=schedule)
+        assert seen and all(lr == pytest.approx(1e-4) for lr in seen)

@@ -185,13 +185,20 @@ class TestEngineReuse:
         assert second is not first
         assert second.model is trainer.model
 
-    def test_engine_batch_size_updates_without_rebuild(self, tiny_samples):
+    def test_engine_rebuilt_on_batch_size_change(self, tiny_samples):
+        """Regression: a changed batch_size used to be patched onto the
+        cached engine (``engine.batch_size = N``), silently contradicting
+        its frozen ``ServeConfig.max_batch``.  It must rebuild instead."""
         trainer = Trainer(RouteNet(TINY, seed=0), seed=1)
         trainer.fit(tiny_samples[:2], epochs=1)
         first = trainer.engine(batch_size=8)
+        assert first.config.max_batch == 8
         second = trainer.engine(batch_size=64)
-        assert second is first
+        assert second is not first
         assert second.batch_size == 64
+        assert second.config.max_batch == 64
+        # Same batch_size again: still cached.
+        assert trainer.engine(batch_size=64) is second
 
 
 class TestEngineWeakrefGuard:
