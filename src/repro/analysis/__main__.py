@@ -3,10 +3,12 @@
 Default run, in order:
 
 1. **Lint** (RP0xx): single-file AST rules over ``src/``.
-2. **Flow passes** (RP2xx/RP3xx/RP4xx): the interprocedural analyses —
-   spawn-safety & determinism proofs over the runner call graph,
-   dimensional analysis of unit-annotated signatures, and numpy hot-path
-   perf lints.  Skip with ``--no-flow``.
+2. **Flow passes** (RP2xx/RP3xx/RP4xx/RP5xx): the interprocedural
+   analyses — spawn-safety & determinism proofs over the runner call
+   graph, dimensional analysis of unit-annotated signatures, numpy
+   hot-path perf lints, and concurrency lockset/guardedness proofs over
+   the threaded serving/pool layers (the derived lock-order graph lands
+   in the ``json`` payload as ``lock_order``).  Skip with ``--no-flow``.
 3. **Stale-suppression audit** (RP008): a ``# repro-lint: disable=RPxxx``
    comment that suppressed nothing across *all* passes is itself an error
    (runs only on full-tree, full-rule runs, where "unused" is meaningful).
@@ -16,7 +18,8 @@ Default run, in order:
    here; CI runs it in the pytest matrix as well).
 
 Severities: **error** findings fail ``--strict``; **warning** findings
-(RP204, off-hot-path RP4xx) are reported but never gate.  Text output
+(RP204, off-hot-path RP4xx, RP5xx outside serving/runner) are reported
+but never gate.  Text output
 hides warnings behind ``--show-warnings``; ``json``/``github`` formats
 always include them.
 
@@ -125,8 +128,13 @@ def _github_line(v: Violation) -> str:
 
 
 def _run_flow(src_root: Path, cache_dir: Path | None,
-              findings: list[Violation]) -> dict:
-    """Index the tree, run the three flow passes, return the module map."""
+              findings: list[Violation]) -> tuple[dict, dict]:
+    """Index the tree, run the flow passes.
+
+    Returns the module map (whose ``Suppressions`` feed the stale audit)
+    and the concurrency pass's lock-order report.
+    """
+    from .concurrency import run_concurrency
     from .flow import CallGraph, index_project
     from .flow.perf import check_perf
     from .flow.spawnsafety import check_spawn_safety
@@ -137,7 +145,9 @@ def _run_flow(src_root: Path, cache_dir: Path | None,
     findings.extend(check_spawn_safety(index, graph))
     findings.extend(check_units(index))
     findings.extend(check_perf(index, graph))
-    return index.modules
+    concurrency_findings, lock_order = run_concurrency(index, graph)
+    findings.extend(concurrency_findings)
+    return index.modules, lock_order
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -166,7 +176,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     flow_ran = False
     if not args.no_flow and not args.paths:
         try:
-            modules = _run_flow(src_root, args.cache_dir, findings)
+            modules, lock_order = _run_flow(src_root, args.cache_dir, findings)
+            payload["lock_order"] = lock_order
             flow_ran = True
         except AnalysisError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -14,11 +14,14 @@ Code ranges:
   (:mod:`repro.analysis.flow.units`).
 * **RP4xx** — numpy hot-path performance lints
   (:mod:`repro.analysis.flow.perf`).
+* **RP5xx** — concurrency-safety (lockset/guardedness) proofs over
+  thread-shared classes (:mod:`repro.analysis.concurrency.static`).
 
 Severity: ``"error"`` findings fail ``--strict``; ``"warning"`` findings
 are reported but never gate.  RP4xx findings are warnings off the hot path
 and errors on it (the pass upgrades them), so the table stores their
-*default* (off-hot-path) severity.
+*default* (off-hot-path) severity; RP5xx findings follow the same model
+with the threaded serving/runner modules playing the role of the hot set.
 """
 
 from __future__ import annotations
@@ -59,6 +62,15 @@ ALL_CODES: dict[str, str] = {
              "buffer out and reuse it",
     "RP403": "Python-level loop over an ndarray; vectorize with numpy operations",
     "RP404": "explicit float64 promotion on a hot path; preserve the input dtype",
+    # -- RP5xx: concurrency safety (lockset/guardedness) ----------------
+    "RP501": "inconsistent lockset: attribute is guarded by a lock on some paths "
+             "but accessed without it on others; hold the same lock everywhere",
+    "RP502": "unguarded write to thread-shared state reachable from multiple "
+             "thread roots; guard it with a lock or prove single-writer",
+    "RP503": "blocking call (wait/join/sleep/IO/queue) while holding a lock; "
+             "release the lock before blocking",
+    "RP504": "lock-order cycle: locks are acquired in conflicting orders on "
+             "different paths; establish and follow a global lock order",
 }
 
 #: Default severity per code ("error" unless listed here).
@@ -68,6 +80,10 @@ CODE_SEVERITY: dict[str, str] = {
     "RP402": "warning",
     "RP403": "warning",
     "RP404": "warning",
+    "RP501": "warning",
+    "RP502": "warning",
+    "RP503": "warning",
+    "RP504": "warning",
 }
 
 
@@ -80,7 +96,7 @@ def lint_codes() -> dict[str, str]:
 
 
 def flow_codes() -> dict[str, str]:
-    """The interprocedural subset (RP2xx/RP3xx/RP4xx)."""
+    """The interprocedural subset (RP2xx/RP3xx/RP4xx/RP5xx)."""
     return {
         code: text for code, text in ALL_CODES.items()
         if not code.startswith("RP0")

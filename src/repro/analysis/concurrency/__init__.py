@@ -1,0 +1,32 @@
+"""Concurrency-safety analysis: static lockset proofs + dynamic checker.
+
+Two halves, one contract:
+
+* :mod:`repro.analysis.concurrency.static` — interprocedural
+  lockset/guardedness proofs (RP501–RP504) over the project call graph,
+  rooted at every discovered thread entry point.
+* :mod:`repro.analysis.concurrency.runtime` — an Eraser-style dynamic
+  lockset checker: instrumented ``Lock``/``RLock``/``Condition`` wrappers
+  installed through the :mod:`repro.tsan` seam (``REPRO_TSAN=1``),
+  recording per-thread acquisition order and per-object access locksets,
+  with ``assert_race_free()`` / ``assert_no_lock_inversion()`` for tests.
+
+The static pass proves guardedness over *names* (one lockset per class
+attribute, shard families collapsed); the runtime checker observes
+*instances* (per-object locksets, per-thread lock stacks) and therefore
+catches what the name-level abstraction cannot — see DESIGN.md §4d.
+"""
+
+from .static import (
+    ThreadRoot,
+    check_concurrency,
+    find_thread_roots,
+    run_concurrency,
+)
+
+__all__ = [
+    "ThreadRoot",
+    "check_concurrency",
+    "find_thread_roots",
+    "run_concurrency",
+]

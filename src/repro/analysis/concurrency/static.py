@@ -1,0 +1,996 @@
+"""Static lockset / guardedness proofs (RP5xx).
+
+PR 6–7 made threads load-bearing: ``ServingService`` coalesces batches
+across worker threads behind per-shard ``Condition`` objects, the
+prediction cache is a shared LRU, and ``PersistentPool`` keeps restart
+bookkeeping the parent mutates while workers run.  This pass proves — in
+the Eraser lockset tradition, but fully static — that every access to
+thread-shared state happens under a consistent lockset:
+
+* **RP501** — an attribute is guarded by a lock on some interprocedural
+  paths but accessed without it on others (the classic lost-update /
+  torn-read shape).
+* **RP502** — a write with an *empty* lockset reachable from two or more
+  thread roots: no lock anywhere, and at least two threads can race on
+  it.  The flip side is a *single-writer proof*: an unguarded write
+  reachable from exactly one root is legal (the per-shard ``InputCache``
+  and the parent-only pool bookkeeping rely on this).
+* **RP503** — a blocking call (``Condition.wait`` on a *different*
+  condition, ``join``, ``queue.get/put``, ``time.sleep``, ``open``)
+  while holding a lock: a latency cliff at best, a deadlock ingredient
+  at worst.
+* **RP504** — a cycle in the derived lock-order graph: two paths acquire
+  the same locks in opposite orders.
+
+Mechanics
+---------
+
+**Thread roots.**  Analysis starts at (1) every ``threading.Thread(
+target=...)`` target, (2) every *public* method of a lock-owning class
+(owning a lock declares concurrency intent: public methods are the
+surface other threads call), and (3) every ``Condition.wait`` loop body.
+Entry locksets are propagated interprocedurally over the existing
+:class:`~repro.analysis.flow.callgraph.CallGraph`: a worklist of
+``(function, entry-lockset)`` contexts, with call sites matched to
+resolved edges by source position — so a helper called both with and
+without a lock held is analysed in both contexts, and every finding
+carries the full root→access call chain like RP2xx.
+
+**Names, not instances.**  Locks are identified by their owning-class
+attribute (``ServingService._stats_lock``); a list comprehension of
+locks (``self._conds = [tsan.make_condition() for _ in ...]``) collapses
+to one *family* name ``ServingService._conds[]``.  The collapse is the
+pass's documented precision limit: two distinct shard conditions are one
+static name, so a cross-shard race *between family members* is invisible
+here — the instance-precise dynamic checker
+(:mod:`repro.analysis.concurrency.runtime`) covers that gap.
+
+**Bindings are not accesses.**  Taking a reference to a shard's deque
+(``queue = self._queues[shard]``) is a binding; calling ``queue.append``
+or ``len(queue)`` is the access.  This lets the common idiom "bind
+outside, touch inside the lock" pass without false positives while still
+charging every element operation to the container's lockset.
+
+Severity mirrors RP4xx: **errors** inside the threaded serving/runner
+modules, **warnings** elsewhere.  ``# repro-lint: disable=RP5xx``
+suppressions go through the shared :func:`~repro.analysis.flow.base.emit`
+path, so the RP008 stale-suppression audit covers them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..lint import Violation
+from ..flow.base import emit
+from ..flow.callgraph import (
+    _MUTATING_METHODS,
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _dotted,
+)
+
+__all__ = ["ThreadRoot", "check_concurrency", "find_thread_roots",
+           "run_concurrency"]
+
+#: Canonical lock constructors -> kind.  The ``repro.tsan`` names are the
+#: post-alias canonical forms kept as belt-and-braces: the index normally
+#: chases ``tsan.make_lock`` all the way to ``threading.Lock``.
+_LOCK_CTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+    "threading.Semaphore": "semaphore",
+    "threading.BoundedSemaphore": "semaphore",
+    "repro.tsan.make_lock": "lock",
+    "repro.tsan.make_rlock": "rlock",
+    "repro.tsan.make_condition": "condition",
+}
+_QUEUE_CTORS = {
+    "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+    "queue.PriorityQueue", "multiprocessing.Queue",
+}
+#: Internally-synchronized (or inherently per-thread, for ``local``)
+#: objects: no access tracking, only blocking-call checks
+#: (``Event.wait``, ``Queue.get/put``).
+_SAFE_CTORS = (
+    {"threading.Event", "threading.Barrier", "threading.local"}
+    | _QUEUE_CTORS
+)
+#: Element constructors that make a list comprehension a *sync container*
+#: (elements are shared objects accessed through bindings, the list itself
+#: is frozen after ``__init__``).
+_SYNC_ELEMENT_CTORS = {"collections.deque"} | _QUEUE_CTORS
+
+_THREAD_CLASS = "threading.Thread"
+
+#: Thread-shared classes analysed even without owning a lock: their
+#: single-writer discipline is *proved* by the RP502 root count rather
+#: than assumed.
+_SHARED_EXTRA = ("repro.serving.cache.InputCache",)
+
+#: Modules where RP5xx findings are errors (the threaded serving/pool
+#: set the ISSUE gates on); warnings elsewhere.
+_STRICT_PREFIXES = ("repro.serving", "repro.runner")
+
+#: Dunders that are public entry points despite the underscore.
+_PUBLIC_DUNDERS = {"__enter__", "__exit__", "__len__", "__contains__",
+                   "__iter__", "__call__", "__getitem__", "__setitem__"}
+
+#: Simple dotted calls that block.
+_BLOCKING_SIMPLE = {"time.sleep": "time.sleep", "open": "open()"}
+#: ``.join`` receivers that are string/path machinery, not threads.
+_JOIN_EXEMPT_PREFIXES = ("os.", "posixpath.", "ntpath.", "shutil.",
+                        "str.", "bytes.")
+
+#: Interprocedural context cap (function × entry-lockset pairs).
+_MAX_CONTEXTS = 4000
+
+
+@dataclass(frozen=True)
+class ThreadRoot:
+    """One function another thread can be executing."""
+
+    qualname: str
+    reason: str  #: ``thread-target`` | ``public-method`` | ``condition-wait``
+
+
+@dataclass
+class _SharedClass:
+    """Lock/attr classification for one thread-shared class."""
+
+    qualname: str
+    module: str
+    locks: dict[str, str] = field(default_factory=dict)     #: attr -> lock name
+    lock_kinds: dict[str, str] = field(default_factory=dict)  #: lock name -> kind
+    families: set[str] = field(default_factory=set)         #: family attrs
+    sync_containers: set[str] = field(default_factory=set)
+    safe: set[str] = field(default_factory=set)
+    queues: set[str] = field(default_factory=set)
+
+    def lock_name(self, attr: str) -> str | None:
+        return self.locks.get(attr)
+
+
+@dataclass(frozen=True)
+class _Access:
+    cls: str
+    attr: str
+    kind: str  #: "read" | "write"
+    line: int
+    col: int
+    fn: str
+    lockset: frozenset
+
+
+@dataclass(frozen=True)
+class _Blocking:
+    fn: str
+    line: int
+    col: int
+    desc: str
+    held: tuple
+
+
+@dataclass(frozen=True)
+class _Acquire:
+    lock: str
+    held_before: tuple
+    fn: str
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# discovery
+# ---------------------------------------------------------------------------
+
+def _ctor_kind(index: ProjectIndex, module: str, call: ast.expr,
+               table: dict[str, str]) -> str | None:
+    if not isinstance(call, ast.Call):
+        return None
+    written = _dotted(call.func)
+    if written is None:
+        return None
+    canonical = index.resolve(written, module)
+    return table.get(canonical) if isinstance(table, dict) else (
+        canonical if canonical in table else None)
+
+
+def _discover_shared(index: ProjectIndex) -> dict[str, _SharedClass]:
+    """Classify every attribute of every class that owns a lock."""
+    table: dict[str, _SharedClass] = {}
+    for info in index.modules.values():
+        for cls in info.classes.values():
+            qual = f"{info.name}.{cls.name}"
+            sc = _SharedClass(qualname=qual, module=info.name)
+            for meth_qual in cls.methods.values():
+                fn = index.lookup_function(meth_qual)
+                if fn is None or isinstance(fn.node, ast.Lambda):
+                    continue
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Assign):
+                        targets, value = node.targets, node.value
+                    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                        targets, value = [node.target], node.value
+                    else:
+                        continue
+                    for target in targets:
+                        if not (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            continue
+                        _classify_attr(index, info.name, sc, target.attr, value)
+            if sc.locks or qual in _SHARED_EXTRA:
+                table[qual] = sc
+    # Inherit lock/attr classifications from shared bases (lock names keep
+    # the defining class so base-method and subclass-method locksets agree).
+    for info in index.modules.values():
+        for cls in info.classes.values():
+            qual = f"{info.name}.{cls.name}"
+            for base in cls.bases:
+                parent = table.get(index.resolve(base, info.name))
+                if parent is None:
+                    continue
+                child = table.setdefault(
+                    qual, _SharedClass(qualname=qual, module=info.name))
+                for attr, name in parent.locks.items():
+                    child.locks.setdefault(attr, name)
+                child.lock_kinds.update(parent.lock_kinds)
+                child.families |= parent.families
+                child.sync_containers |= parent.sync_containers
+                child.safe |= parent.safe
+                child.queues |= parent.queues
+    return table
+
+
+def _classify_attr(index: ProjectIndex, module: str, sc: _SharedClass,
+                   attr: str, value: ast.expr) -> None:
+    kind = _ctor_kind(index, module, value, _LOCK_CTORS)
+    if kind is not None:
+        name = f"{sc.qualname}.{attr}"
+        sc.locks[attr] = name
+        sc.lock_kinds[name] = kind
+        return
+    if isinstance(value, ast.Call):
+        written = _dotted(value.func)
+        canonical = index.resolve(written, module) if written else ""
+        if canonical in _SAFE_CTORS:
+            sc.safe.add(attr)
+            if canonical in _QUEUE_CTORS:
+                sc.queues.add(attr)
+        return
+    if isinstance(value, ast.ListComp):
+        elt_kind = _ctor_kind(index, module, value.elt, _LOCK_CTORS)
+        if elt_kind is not None:
+            name = f"{sc.qualname}.{attr}[]"
+            sc.locks[attr] = name
+            sc.lock_kinds[name] = elt_kind
+            sc.families.add(attr)
+            return
+        if isinstance(value.elt, ast.Call):
+            written = _dotted(value.elt.func)
+            if written and index.resolve(written, module) in _SYNC_ELEMENT_CTORS:
+                sc.sync_containers.add(attr)
+
+
+def find_thread_roots(index: ProjectIndex,
+                      shared: dict[str, _SharedClass] | None = None,
+                      ) -> list[ThreadRoot]:
+    """Every function some thread other than the caller's may execute."""
+    if shared is None:
+        shared = _discover_shared(index)
+    roots: dict[str, ThreadRoot] = {}
+
+    def add(qualname: str | None, reason: str) -> None:
+        if qualname is not None and qualname not in roots:
+            roots[qualname] = ThreadRoot(qualname=qualname, reason=reason)
+
+    for info in index.modules.values():
+        for fn in info.functions.values():
+            if isinstance(fn.node, ast.Lambda):
+                continue
+            for call in ast.walk(fn.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                written = _dotted(call.func)
+                if written is None:
+                    continue
+                if index.resolve(written, info.name) != _THREAD_CLASS:
+                    continue
+                target_expr = None
+                for kw in call.keywords:
+                    if kw.arg == "target":
+                        target_expr = kw.value
+                if target_expr is None and len(call.args) > 1:
+                    target_expr = call.args[1]
+                if target_expr is None:
+                    continue
+                dotted = _dotted(target_expr)
+                if dotted is None:
+                    continue
+                if dotted.startswith("self.") and fn.class_name is not None:
+                    meth = dotted.split(".")[1]
+                    resolved = index._method_via_bases(info, fn.class_name, meth)
+                    add(resolved.qualname if resolved else None, "thread-target")
+                else:
+                    target = index.lookup_function(
+                        index.resolve(dotted, info.name))
+                    add(target.qualname if target else None, "thread-target")
+
+    for sc in shared.values():
+        if not sc.locks:
+            continue
+        cls = index.class_of(sc.qualname)
+        if cls is None:
+            continue
+        conds = {a for a, n in sc.locks.items()
+                 if sc.lock_kinds.get(n) == "condition"}
+        for name, meth_qual in cls.methods.items():
+            fn = index.lookup_function(meth_qual)
+            if fn is None:
+                continue
+            if not name.startswith("_") or name in _PUBLIC_DUNDERS:
+                add(fn.qualname, "public-method")
+            elif conds and not isinstance(fn.node, ast.Lambda):
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Call) \
+                            and isinstance(node.func, ast.Attribute) \
+                            and node.func.attr in ("wait", "wait_for"):
+                        add(fn.qualname, "condition-wait")
+                        break
+    return sorted(roots.values(), key=lambda r: r.qualname)
+
+
+# ---------------------------------------------------------------------------
+# per-context body walk
+# ---------------------------------------------------------------------------
+
+class _LockWalker(ast.NodeVisitor):
+    """Walk one function body under one entry lockset."""
+
+    def __init__(self, pass_: "_ConcurrencyPass", fn: FunctionInfo,
+                 info: ModuleInfo, sc: _SharedClass | None,
+                 entry: frozenset) -> None:
+        self.p = pass_
+        self.fn = fn
+        self.info = info
+        self.sc = sc
+        self.held: list[str] = sorted(entry)
+        #: local name -> ("lock", name) | ("elem", attr) | ("struct", attr)
+        self.aliases: dict[str, tuple] = {}
+        #: (line, col) -> lockset held at that call site.
+        self.calls: dict[tuple[int, int], frozenset] = {}
+        self.in_init = sc is not None and fn.class_name is not None and \
+            fn.qualname.rsplit(".", 1)[-1] in ("__init__", "__post_init__")
+
+    # -- classification helpers ----------------------------------------
+    def _self_attr(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Attribute) and \
+                isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return expr.attr
+        return None
+
+    def _lock_of(self, expr: ast.expr) -> str | None:
+        """Lock name of an expression, or None (families via subscript)."""
+        if self.sc is not None:
+            attr = self._self_attr(expr)
+            if attr in self.sc.locks and attr not in self.sc.families:
+                return self.sc.locks[attr]
+            if isinstance(expr, ast.Subscript):
+                inner = self._self_attr(expr.value)
+                if inner in self.sc.locks and inner in self.sc.families:
+                    return self.sc.locks[inner]
+        if isinstance(expr, ast.Name):
+            alias = self.aliases.get(expr.id)
+            if alias is not None and alias[0] == "lock":
+                return alias[1]
+        return None
+
+    def _elem_of(self, expr: ast.expr) -> str | None:
+        """Sync-container attr whose *element* this expression denotes."""
+        if isinstance(expr, ast.Subscript) and self.sc is not None:
+            attr = self._self_attr(expr.value)
+            if attr in self.sc.sync_containers:
+                return attr
+        if isinstance(expr, ast.Name):
+            alias = self.aliases.get(expr.id)
+            if alias is not None and alias[0] == "elem":
+                return alias[1]
+        return None
+
+    def _tracked_data(self, attr: str | None) -> bool:
+        """Is ``self.<attr>`` plain shared data (tracked read/write)?"""
+        if attr is None or self.sc is None:
+            return False
+        if attr in self.sc.locks or attr in self.sc.safe \
+                or attr in self.sc.sync_containers:
+            return False
+        cls = self.p.index.class_of(self.sc.qualname)
+        if cls is not None and attr in cls.methods:
+            return False
+        return True
+
+    # -- recording ------------------------------------------------------
+    def _access(self, attr: str, kind: str, node: ast.AST) -> None:
+        if self.sc is None or self.in_init:
+            return
+        self.p.record_access(_Access(
+            cls=self.sc.qualname, attr=attr, kind=kind,
+            line=node.lineno, col=node.col_offset,
+            fn=self.fn.qualname, lockset=frozenset(self.held)))
+
+    def _blocking(self, node: ast.AST, desc: str,
+                  exempt: str | None = None) -> None:
+        others = [h for h in self.held if h != exempt]
+        if others:
+            self.p.record_blocking(_Blocking(
+                fn=self.fn.qualname, line=node.lineno, col=node.col_offset,
+                desc=desc, held=tuple(others)), self.info)
+
+    # -- with: lock acquisition -----------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        acquired = 0
+        for item in node.items:
+            lock = self._lock_of(item.context_expr)
+            if lock is None:
+                self.visit(item.context_expr)
+                continue
+            self.p.record_acquire(_Acquire(
+                lock=lock, held_before=tuple(self.held),
+                fn=self.fn.qualname, line=item.context_expr.lineno), self.info)
+            self.held.append(lock)
+            acquired += 1
+            if isinstance(item.optional_vars, ast.Name):
+                self.aliases[item.optional_vars.id] = ("lock", lock)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(acquired):
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    # -- assignments: bindings vs accesses -------------------------------
+    def _value_alias(self, value: ast.expr) -> tuple | None:
+        """Alias classification a plain ``x = <value>`` binding creates."""
+        lock = self._lock_of(value)
+        if lock is not None:
+            return ("lock", lock)
+        elem = self._elem_of(value)
+        if elem is not None:
+            return ("elem", elem)
+        if isinstance(value, ast.Name):
+            return self.aliases.get(value.id)
+        attr = self._self_attr(value)
+        if attr is not None and self.sc is not None \
+                and attr in self.sc.sync_containers:
+            return ("struct", attr)
+        if isinstance(value, ast.Subscript):
+            inner = value.value
+            if isinstance(inner, ast.Name):
+                alias = self.aliases.get(inner.id)
+                if alias is not None and alias[0] == "struct":
+                    return ("elem", alias[1])
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        alias = self._value_alias(node.value)
+        if alias is not None:
+            # A binding, not an access; still visit subscript indices.
+            if isinstance(node.value, ast.Subscript):
+                self.visit(node.value.slice)
+        else:
+            self.visit(node.value)
+        for target in node.targets:
+            self._store(target, alias)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is None:
+            return
+        alias = self._value_alias(node.value)
+        if alias is None:
+            self.visit(node.value)
+        self._store(node.target, alias)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        self._store(node.target, None)
+
+    def _store(self, target: ast.expr, alias: tuple | None) -> None:
+        if isinstance(target, ast.Name):
+            if alias is not None:
+                self.aliases[target.id] = alias
+            else:
+                self.aliases.pop(target.id, None)
+            return
+        if isinstance(target, ast.Tuple) or isinstance(target, ast.List):
+            for elt in target.elts:
+                self._store(elt, None)
+            return
+        attr = self._self_attr(target)
+        if self._tracked_data(attr):
+            self._access(attr, "write", target)
+            return
+        if isinstance(target, ast.Attribute):
+            # self.X.Y = ... mutates the object held in self.X.
+            inner = self._self_attr(target.value)
+            if self._tracked_data(inner):
+                self._access(inner, "write", target)
+            else:
+                self.visit(target.value)
+            return
+        if isinstance(target, ast.Subscript):
+            inner = self._self_attr(target.value)
+            if self._tracked_data(inner):
+                self._access(inner, "write", target)
+            elif inner is not None and self.sc is not None \
+                    and inner in self.sc.sync_containers:
+                self._access(inner, "write", target)
+            else:
+                elem = self._elem_of(target)
+                if elem is not None:
+                    self._access(elem, "write", target)
+                else:
+                    self.visit(target.value)
+            self.visit(target.slice)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._store(target, None)
+
+    # -- loops: element binding ------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        handled = self._bind_loop(node.target, node.iter)
+        if not handled:
+            self.visit(node.iter)
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+
+    def _bind_loop(self, target: ast.expr, iter_expr: ast.expr) -> bool:
+        sources: list[ast.expr] = []
+        targets: list[ast.expr] = []
+        if isinstance(iter_expr, ast.Call):
+            head = _dotted(iter_expr.func)
+            if head in ("zip", "enumerate") and isinstance(target, ast.Tuple):
+                elts = list(target.elts)
+                if head == "enumerate":
+                    elts = elts[1:]
+                    self._store(target.elts[0], None)
+                sources = list(iter_expr.args)
+                targets = elts
+            else:
+                return False
+        else:
+            sources = [iter_expr]
+            targets = [target]
+        matched = False
+        for src, tgt in zip(sources, targets):
+            attr = self._self_attr(src)
+            if self.sc is not None and attr in self.sc.locks \
+                    and attr in self.sc.families:
+                if isinstance(tgt, ast.Name):
+                    self.aliases[tgt.id] = ("lock", self.sc.locks[attr])
+                matched = True
+            elif self.sc is not None and attr is not None \
+                    and attr in self.sc.sync_containers:
+                if isinstance(tgt, ast.Name):
+                    self.aliases[tgt.id] = ("elem", attr)
+                matched = True
+            elif self._tracked_data(attr):
+                self._access(attr, "read", src)
+                self._store(tgt, None)
+                matched = True
+            elif isinstance(src, ast.Name) and \
+                    self.aliases.get(src.id, ("", ""))[0] == "struct":
+                if isinstance(tgt, ast.Name):
+                    self.aliases[tgt.id] = ("elem", self.aliases[src.id][1])
+                matched = True
+            else:
+                self.visit(src)
+                self._store(tgt, None)
+        return matched or bool(sources)
+
+    # -- plain reads ------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            attr = self._self_attr(node)
+            if self._tracked_data(attr):
+                self._access(attr, "read", node)
+                return
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, ast.Load):
+            elem = self._elem_of(node)
+            if elem is not None:
+                # Reading an element object's item (deque[0] etc.).
+                self._access(elem, "read", node)
+                self.visit(node.slice)
+                return
+            attr = self._self_attr(node.value)
+            if self.sc is not None and attr is not None \
+                    and attr in self.sc.sync_containers:
+                # Bare element load outside a binding: charged as a read
+                # (bindings are intercepted in visit_Assign/_bind_loop).
+                self.visit(node.slice)
+                return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            alias = self.aliases.get(node.id)
+            if alias is not None and alias[0] == "elem":
+                self._access(alias[1], "read", node)
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls[(node.lineno, node.col_offset)] = frozenset(self.held)
+        written = _dotted(node.func)
+        canonical = self.p.index.resolve(written, self.info.name) \
+            if written else None
+        if canonical in _BLOCKING_SIMPLE and self.held:
+            self._blocking(node, _BLOCKING_SIMPLE[canonical])
+
+        if isinstance(node.func, ast.Attribute):
+            recv, meth = node.func.value, node.func.attr
+            lock = self._lock_of(recv)
+            if lock is not None:
+                if meth == "acquire":
+                    self.p.record_acquire(_Acquire(
+                        lock=lock, held_before=tuple(self.held),
+                        fn=self.fn.qualname, line=node.lineno), self.info)
+                elif meth in ("wait", "wait_for"):
+                    # A condition's wait releases its own lock but keeps
+                    # every other held lock across the block.
+                    self._blocking(node, f"{lock}.{meth}", exempt=lock)
+                self._visit_args(node)
+                return
+            elem = self._elem_of(recv)
+            if elem is not None:
+                kind = "write" if meth in _MUTATING_METHODS else "read"
+                self._access(elem, kind, node)
+                self._visit_args(node)
+                return
+            attr = self._self_attr(recv)
+            if self._tracked_data(attr):
+                kind = "write" if meth in _MUTATING_METHODS else "read"
+                self._access(attr, kind, node)
+                self._visit_args(node)
+                return
+            if attr is not None and self.sc is not None:
+                if attr in self.sc.queues and meth in ("get", "put"):
+                    self._blocking(node, f"{attr}.{meth}")
+                    self._visit_args(node)
+                    return
+                if attr in self.sc.safe:
+                    if meth == "wait":
+                        self._blocking(node, f"{attr}.wait")
+                    self._visit_args(node)
+                    return
+                if attr in self.sc.sync_containers:
+                    if meth in _MUTATING_METHODS:
+                        self._access(attr, "write", node)
+                    self._visit_args(node)
+                    return
+                if attr in self.sc.locks:
+                    self._visit_args(node)
+                    return
+            # Unknown receiver: generic blocking heuristics.
+            if meth == "join" and self.held:
+                resolved = canonical or ""
+                if not resolved.startswith(_JOIN_EXEMPT_PREFIXES):
+                    self._blocking(node, f"{written or meth}()")
+            elif meth in ("wait", "wait_for") and self.held:
+                self._blocking(node, f"{written or meth}()")
+            self.visit(node.func.value)
+            self._visit_args(node)
+            return
+        self.generic_visit(node)
+
+    def _visit_args(self, node: ast.Call) -> None:
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    # -- scope: nested defs are their own FunctionInfos --------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# the pass
+# ---------------------------------------------------------------------------
+
+class _ConcurrencyPass:
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self.shared = _discover_shared(index)
+        self.roots = find_thread_roots(index, self.shared)
+        self.accesses: dict[tuple[str, str], set[_Access]] = {}
+        self.acquires: list[tuple[_Acquire, ModuleInfo]] = []
+        self.blockers: dict[tuple[str, int], tuple[_Blocking, ModuleInfo]] = {}
+        self.findings: list[Violation] = []
+        self._emitted: set[tuple[str, int, str]] = set()
+        self._reach: dict[str, set[str]] = {}
+        self._chains: dict[str, str] = {}
+
+    # -- event sinks ----------------------------------------------------
+    def record_access(self, access: _Access) -> None:
+        self.accesses.setdefault((access.cls, access.attr), set()).add(access)
+
+    def record_acquire(self, acq: _Acquire, info: ModuleInfo) -> None:
+        self.acquires.append((acq, info))
+
+    def record_blocking(self, block: _Blocking, info: ModuleInfo) -> None:
+        self.blockers.setdefault((block.fn, block.line), (block, info))
+
+    # -- helpers ---------------------------------------------------------
+    def _severity(self, info: ModuleInfo) -> str:
+        return "error" if info.name.startswith(_STRICT_PREFIXES) else "warning"
+
+    def _emit(self, info: ModuleInfo, line: int, col: int, code: str,
+              extra: str) -> None:
+        key = (info.relpath, line, code)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        emit(self.findings, info, line, col, code, extra,
+             severity=self._severity(info))
+
+    def _module_of(self, fn_qual: str) -> ModuleInfo | None:
+        fn = self.index.lookup_function(fn_qual)
+        return self.index.modules.get(fn.module) if fn else None
+
+    def _roots_reaching(self, fn_qual: str) -> list[str]:
+        if not self._reach:
+            for root in self.roots:
+                self._reach[root.qualname] = self.graph.reachable(
+                    [root.qualname]) | {root.qualname}
+        return [r.qualname for r in self.roots
+                if fn_qual in self._reach.get(r.qualname, ())]
+
+    def _chain(self, fn_qual: str) -> str:
+        cached = self._chains.get(fn_qual)
+        if cached is not None:
+            return cached
+        best: list[str] | None = None
+        for root in self._roots_reaching(fn_qual):
+            chain = self.graph.call_chain(root, fn_qual)
+            if chain is not None and (best is None or len(chain) < len(best)):
+                best = chain
+        text = " -> ".join(best) if best else fn_qual
+        self._chains[fn_qual] = text
+        return text
+
+    # -- run -------------------------------------------------------------
+    def run(self) -> list[Violation]:
+        self._walk_contexts()
+        self._report_guardedness()
+        self._report_blocking()
+        self._report_lock_order()
+        return self.findings
+
+    def _walk_contexts(self) -> None:
+        worklist: deque[tuple[str, frozenset]] = deque(
+            (root.qualname, frozenset()) for root in self.roots)
+        seen: set[tuple[str, frozenset]] = set()
+        while worklist and len(seen) < _MAX_CONTEXTS:
+            qual, ctx = worklist.popleft()
+            if (qual, ctx) in seen:
+                continue
+            seen.add((qual, ctx))
+            fn = self.index.lookup_function(qual)
+            if fn is None:
+                continue
+            info = self.index.modules.get(fn.module)
+            if info is None:
+                continue
+            sc = self.shared.get(f"{fn.module}.{fn.class_name}") \
+                if fn.class_name else None
+            walker = _LockWalker(self, fn, info, sc, ctx)
+            if isinstance(fn.node, ast.Lambda):
+                walker.visit(fn.node.body)
+            else:
+                for stmt in fn.node.body:
+                    walker.visit(stmt)
+            for site in self.graph.callees(qual):
+                if site.resolved is None:
+                    continue
+                callee_ctx = walker.calls.get((site.line, site.col),
+                                              frozenset())
+                if (site.resolved, callee_ctx) not in seen:
+                    worklist.append((site.resolved, callee_ctx))
+
+    # -- RP501 / RP502 ----------------------------------------------------
+    def _report_guardedness(self) -> None:
+        for (cls, attr), accs in sorted(self.accesses.items()):
+            writes = [a for a in accs if a.kind == "write"]
+            if not writes:
+                continue  # immutable after publication
+            guarded = [a for a in accs if a.lockset]
+            if guarded:
+                self._report_rp501(cls, attr, accs, guarded)
+            else:
+                self._report_rp502(cls, attr, writes)
+
+    def _report_rp501(self, cls: str, attr: str, accs: set[_Access],
+                      guarded: list[_Access]) -> None:
+        common = frozenset.intersection(*(a.lockset for a in guarded))
+        if not common:
+            # Disjoint guards: presume the most frequent lock.
+            counts: dict[str, int] = {}
+            for a in guarded:
+                for lock in a.lockset:
+                    counts[lock] = counts.get(lock, 0) + 1
+            presumed = max(sorted(counts), key=lambda k: counts[k])
+            common = frozenset({presumed})
+        offenders = [a for a in accs if not (a.lockset & common)]
+        if not offenders:
+            return
+        guard_text = "/".join(sorted(common))
+        n_ok = len(accs) - len(offenders)
+        for a in sorted(offenders, key=lambda a: (a.fn, a.line)):
+            info = self._module_of(a.fn)
+            if info is None:
+                continue
+            held = "/".join(sorted(a.lockset)) or "no lock"
+            self._emit(
+                info, a.line, a.col, "RP501",
+                f"self.{attr} of {cls} guarded by {guard_text} on {n_ok} "
+                f"access(es) but this {a.kind} holds {held}; "
+                f"via {self._chain(a.fn)}")
+
+    def _report_rp502(self, cls: str, attr: str,
+                      writes: list[_Access]) -> None:
+        for w in sorted(writes, key=lambda a: (a.fn, a.line)):
+            reaching = self._roots_reaching(w.fn)
+            if len(reaching) < 2:
+                continue  # single-writer proof holds
+            info = self._module_of(w.fn)
+            if info is None:
+                continue
+            root_text = ", ".join(reaching[:3])
+            self._emit(
+                info, w.line, w.col, "RP502",
+                f"unguarded write to self.{attr} of {cls}; reachable from "
+                f"{len(reaching)} thread roots ({root_text}); "
+                f"via {self._chain(w.fn)}")
+
+    # -- RP503 ------------------------------------------------------------
+    def _report_blocking(self) -> None:
+        for (fn_qual, line), (block, info) in sorted(self.blockers.items()):
+            held = "/".join(block.held)
+            self._emit(
+                info, block.line, block.col, "RP503",
+                f"{block.desc} while holding {held}; "
+                f"via {self._chain(fn_qual)}")
+
+    # -- RP504 + lock-order graph ----------------------------------------
+    def _lock_edges(self) -> dict[tuple[str, str], list[tuple[str, int, ModuleInfo]]]:
+        edges: dict[tuple[str, str], list[tuple[str, int, ModuleInfo]]] = {}
+        for acq, info in self.acquires:
+            for held in acq.held_before:
+                if held != acq.lock:
+                    edges.setdefault((held, acq.lock), []).append(
+                        (acq.fn, acq.line, info))
+        return edges
+
+    def _report_lock_order(self) -> None:
+        edges = self._lock_edges()
+        adj: dict[str, set[str]] = {}
+        for (a, b) in edges:
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set())
+        for scc in _sccs(adj):
+            if len(scc) < 2:
+                continue
+            cycle = sorted(scc)
+            in_cycle = sorted(
+                (a, b) for (a, b) in edges if a in scc and b in scc)
+            witness_fn, witness_line, info = edges[in_cycle[0]][0]
+            conflicts = "; ".join(
+                f"{b} acquired while holding {a} via {self._chain(fn)}"
+                for (a, b) in in_cycle[:2]
+                for (fn, _line, _info) in edges[(a, b)][:1])
+            self._emit(
+                info, witness_line, 0, "RP504",
+                f"cycle {' -> '.join(cycle + [cycle[0]])}; {conflicts}")
+
+    def report(self) -> dict:
+        """Lock-order graph + roots, for ``--format json`` artifacts."""
+        edges = self._lock_edges()
+        adj: dict[str, set[str]] = {}
+        for (a, b) in edges:
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set())
+        cycles = [sorted(scc) for scc in _sccs(adj) if len(scc) >= 2]
+        all_locks = set(adj)
+        for sc in self.shared.values():
+            all_locks.update(sc.locks.values())
+        return {
+            "roots": [{"qualname": r.qualname, "reason": r.reason}
+                      for r in self.roots],
+            "locks": sorted(all_locks),
+            "edges": [
+                {
+                    "from": a,
+                    "to": b,
+                    "sites": [f"{info.relpath}:{line}"
+                              for _fn, line, info in sites[:3]],
+                }
+                for (a, b), sites in sorted(edges.items())
+            ],
+            "cycles": sorted(cycles),
+        }
+
+
+def _sccs(adj: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan strongly-connected components, iterative."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[set[str]] = []
+    counter = [0]
+
+    for start in sorted(adj):
+        if start in index_of:
+            continue
+        work: list[tuple[str, iter]] = [(start, iter(sorted(adj[start])))]
+        index_of[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index_of:
+                    index_of[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adj[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                scc: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                result.append(scc)
+    return result
+
+
+def run_concurrency(index: ProjectIndex,
+                    graph: CallGraph) -> tuple[list[Violation], dict]:
+    """Run the RP5xx pass; returns (findings, lock-order report)."""
+    pass_ = _ConcurrencyPass(index, graph)
+    findings = pass_.run()
+    return findings, pass_.report()
+
+
+def check_concurrency(index: ProjectIndex, graph: CallGraph) -> list[Violation]:
+    """Run the RP5xx concurrency pass over the project."""
+    return run_concurrency(index, graph)[0]

@@ -31,9 +31,19 @@ __all__ = ["EffectSummary", "effect_summaries"]
 #: it in ``finally`` — the same no_grad-style contract as ``_GRAD_ENABLED``;
 #: without the exemption every spawn-reachable *read* of the class (all of
 #: ``repro.nn``) would be flagged as depending on mutated global state.
+#: ``repro.tsan`` is the concurrency-checker instrumentation seam:
+#: ``runtime.install()``/``uninstall()`` rebind its constructor aliases
+#: with the same save/restore discipline, and production code reads them
+#: on every lock construction — without the exemption every
+#: spawn-reachable ``tsan.make_lock()`` call would be flagged.
 _EXEMPT_GLOBALS = {
     ("repro.nn.tensor", "_GRAD_ENABLED"),
     ("repro.nn.tensor", "Tensor"),
+    ("repro", "tsan"),
+    ("repro.tsan", "make_lock"),
+    ("repro.tsan", "make_rlock"),
+    ("repro.tsan", "make_condition"),
+    ("repro.tsan", "note_access"),
 }
 
 

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
 import weakref
 from collections import OrderedDict
 from typing import Any, Callable
 
+from .. import tsan
 from ..dataset import Sample
 from ..dataset.io import sample_to_dict
 
@@ -37,7 +37,15 @@ __all__ = ["InputCache", "PredictionCache"]
 
 
 class InputCache:
-    """Bounded LRU mapping of content keys to prepared model inputs."""
+    """Bounded LRU mapping of content keys to prepared model inputs.
+
+    **Not** thread-safe by design: each service shard owns exactly one
+    instance, so every access happens on that shard's worker thread.  The
+    discipline is *proved*, not assumed — statically by the RP502
+    single-writer rule (one thread root reaches the writes) and
+    dynamically by the ``tsan.note_access`` hooks below, which flag any
+    second thread that ever touches ``_entries`` under ``REPRO_TSAN=1``.
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
@@ -101,6 +109,7 @@ class InputCache:
     # Storage
     # ------------------------------------------------------------------
     def get(self, key: str) -> Any | None:
+        tsan.note_access(self, "_entries", "write")  # LRU reorder mutates
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
@@ -110,6 +119,7 @@ class InputCache:
         return entry
 
     def put(self, key: str, value: Any) -> None:
+        tsan.note_access(self, "_entries", "write")
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -125,6 +135,7 @@ class InputCache:
         return value
 
     def clear(self) -> None:
+        tsan.note_access(self, "_entries", "write")
         self._entries.clear()
         self._digest_memo.clear()
 
@@ -164,7 +175,7 @@ class PredictionCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = tsan.make_lock()
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -172,6 +183,7 @@ class PredictionCache:
 
     def get(self, key: str) -> Any | None:
         with self._lock:
+            tsan.note_access(self, "_entries", "write")  # LRU reorder mutates
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
@@ -182,6 +194,7 @@ class PredictionCache:
 
     def put(self, key: str, value: Any) -> None:
         with self._lock:
+            tsan.note_access(self, "_entries", "write")
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -190,6 +203,7 @@ class PredictionCache:
 
     def clear(self) -> None:
         with self._lock:
+            tsan.note_access(self, "_entries", "write")
             self._entries.clear()
 
     def __len__(self) -> int:

@@ -46,6 +46,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import tsan
 from ..core import FeatureScaler, RouteNet
 from ..dataset import Sample
 from ..errors import AdmissionError, DeadlineExceededError
@@ -232,11 +233,17 @@ class ServingService:
         ]
         self._shard_capacity = max(1, cfg.queue_depth // cfg.workers)
         self._queues: list[deque[_Request]] = [deque() for _ in range(cfg.workers)]
-        self._conds = [threading.Condition() for _ in range(cfg.workers)]
+        # Sync primitives come from the tsan seam so the REPRO_TSAN=1
+        # dynamic lockset checker can swap in instrumented versions; by
+        # default these *are* the plain threading constructors.
+        self._conds = [tsan.make_condition() for _ in range(cfg.workers)]
+        # Guarded by the shard's condition (broadcast under every cond in
+        # close); readers hold their own shard's cond.
         self._closing = False
+        # _closed and _seq are cross-shard state: guarded by _stats_lock.
         self._closed = False
         self._seq = 0
-        self._stats_lock = threading.Lock()
+        self._stats_lock = tsan.make_lock()
         self._counters = {
             "accepted": 0,
             "served": 0,
@@ -295,17 +302,26 @@ class ServingService:
                 )
             now = self._clock()
             future = ServeFuture(shard, submitted_at=now)
-            self._seq += 1
+            # The sequence number is global across shards, so the per-shard
+            # condition is not enough: two shards incrementing concurrently
+            # would lose updates.  Nested stats-lock acquisition follows the
+            # service's lock order (shard cond, then stats lock).
+            with self._stats_lock:
+                tsan.note_access(self, "_seq", "write")
+                self._seq += 1
+                seq = self._seq
             request = _Request(
                 sample=sample,
                 future=future,
                 deadline=None if limit_ms is None else now + limit_ms / 1000.0,
-                seq=self._seq,
+                seq=seq,
             )
+            tsan.note_access(queue, "items", "write")
             queue.append(request)
             depth = len(queue)
             cond.notify()
         with self._stats_lock:
+            tsan.note_access(self, "_counters", "write")
             self._counters["accepted"] += 1
             if depth > self._counters["queue_high_water"]:
                 self._counters["queue_high_water"] = depth
@@ -313,6 +329,7 @@ class ServingService:
 
     def _count(self, name: str, n: int = 1) -> None:
         with self._stats_lock:
+            tsan.note_access(self, "_counters", "write")
             self._counters[name] += n
 
     # ------------------------------------------------------------------
@@ -328,6 +345,7 @@ class ServingService:
                 if self._closing:
                     return None
                 cond.wait()
+            tsan.note_access(queue, "items", "write")
             batch = [queue.popleft()]
             if cfg.coalesce == "count":
                 # Cut on count alone: composition is a pure function of the
@@ -415,14 +433,19 @@ class ServingService:
                 ``AdmissionError("shutdown")`` instead.
             timeout: Per-thread join bound in seconds.
         """
-        if self._closed:
-            return
+        with self._stats_lock:
+            tsan.note_access(self, "_closed", "read")
+            if self._closed:
+                return
+        rejected = 0
         for shard, cond in enumerate(self._conds):
             with cond:
                 self._closing = True
                 if not drain:
                     queue = self._queues[shard]
                     now = self._clock()
+                    if queue:
+                        tsan.note_access(queue, "items", "write")
                     while queue:
                         request = queue.popleft()
                         request.future._fail(
@@ -431,11 +454,18 @@ class ServingService:
                             ),
                             now,
                         )
-                        self._counters["rejected_shutdown"] += 1
+                        rejected += 1
                 cond.notify_all()
+        # Counted through _count so the mutation happens under _stats_lock —
+        # the bare `self._counters[...] += 1` that used to live in the loop
+        # above raced with every other counter update (RP501).
+        if rejected:
+            self._count("rejected_shutdown", rejected)
         for thread in self._threads:
             thread.join(timeout)
-        self._closed = True
+        with self._stats_lock:
+            tsan.note_access(self, "_closed", "write")
+            self._closed = True
 
     def __enter__(self) -> "ServingService":
         return self
@@ -445,13 +475,16 @@ class ServingService:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._stats_lock:
+            tsan.note_access(self, "_closed", "read")
+            return self._closed
 
     def pending(self) -> int:
         """Requests currently queued (excludes batches being served)."""
         total = 0
         for cond, queue in zip(self._conds, self._queues):
             with cond:
+                tsan.note_access(queue, "items", "read")
                 total += len(queue)
         return total
 
@@ -470,6 +503,7 @@ class ServingService:
             ``"prediction_cache"`` (``None`` when disabled).
         """
         with self._stats_lock:
+            tsan.note_access(self, "_counters", "read")
             counters = dict(self._counters)
         engine_stats = [engine.stats() for engine in self._engines]
         aggregate = {

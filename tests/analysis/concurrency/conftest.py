@@ -1,0 +1,73 @@
+"""Fixtures for the RP5xx concurrency pass: synthetic trees + real-tree copies."""
+
+from __future__ import annotations
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import CallGraph, index_project
+
+_REPO_SRC = Path(__file__).resolve().parents[3] / "src"
+
+
+@pytest.fixture
+def make_graph(tmp_path):
+    """Write a package from {relpath: source}; return (index, graph).
+
+    Same contract as the flow-pass fixture: keys relative to the package
+    directory, leading ``/`` relative to the source root.
+    """
+
+    def build(files: dict[str, str], pkg: str = "proj"):
+        root = tmp_path / "srcroot"
+        (root / pkg).mkdir(parents=True, exist_ok=True)
+        (root / pkg / "__init__.py").write_text("")
+        for rel, source in files.items():
+            path = (root / rel[1:]) if rel.startswith("/") else (root / pkg / rel)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        index = index_project(root)
+        return index, CallGraph(index)
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def repo_index_and_graph():
+    """Index the real ``src/`` tree once per test session."""
+    index = index_project(_REPO_SRC)
+    return index, CallGraph(index)
+
+
+@pytest.fixture
+def patched_repo(tmp_path):
+    """Copy the real src tree, apply textual patches, return (index, graph).
+
+    ``patches`` maps a path relative to ``src/`` to a list of
+    ``(anchor, replacement)`` pairs applied with ``str.replace`` (the
+    anchor must occur exactly once), or to a string appended verbatim to
+    the file — appending 4-space-indented methods extends the file's last
+    class, which is how the acceptance tests inject bugs into
+    ``PredictionCache`` and ``ServingService``.
+    """
+
+    def build(patches: dict[str, object]):
+        root = tmp_path / "srcroot"
+        shutil.copytree(_REPO_SRC, root)
+        for rel, patch in patches.items():
+            path = root / rel
+            source = path.read_text()
+            if isinstance(patch, str):
+                source = source + patch
+            else:
+                for anchor, replacement in patch:
+                    assert source.count(anchor) == 1, f"anchor not unique: {anchor!r}"
+                    source = source.replace(anchor, replacement)
+            path.write_text(source)
+        index = index_project(root)
+        return index, CallGraph(index)
+
+    return build

@@ -1,0 +1,425 @@
+"""RP5xx static lockset / guardedness proofs.
+
+The acceptance-critical cases: an unguarded write injected into
+``PredictionCache`` and a lock-order inversion injected into
+``ServingService`` must each be caught on a (patched copy of the) real
+tree, with the full root→access call chain in the message; and the real
+tree itself must be RP5xx-clean.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency import (
+    check_concurrency,
+    find_thread_roots,
+    run_concurrency,
+)
+from repro.analysis.concurrency.static import _discover_shared
+
+
+def run_pass(make_graph, files):
+    index, graph = make_graph(files)
+    return check_concurrency(index, graph)
+
+
+def codes(findings):
+    return sorted(v.code for v in findings)
+
+
+def rp5(findings):
+    return [v for v in findings if v.code.startswith("RP5")]
+
+
+class TestRootDetection:
+    def test_thread_target_and_public_methods(self, make_graph):
+        index, _ = make_graph({
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._thread = threading.Thread(target=self._loop)
+
+                    def _loop(self):
+                        pass
+
+                    def poke(self):
+                        pass
+
+                    def _private(self):
+                        pass
+            """,
+        })
+        roots = {r.qualname: r.reason
+                 for r in find_thread_roots(index, _discover_shared(index))}
+        assert roots["proj.svc.Service._loop"] == "thread-target"
+        assert roots["proj.svc.Service.poke"] == "public-method"
+        assert "proj.svc.Service._private" not in roots
+
+    def test_condition_wait_method_is_a_root(self, make_graph):
+        index, _ = make_graph({
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._cond = threading.Condition()
+
+                    def _drain(self):
+                        with self._cond:
+                            self._cond.wait()
+            """,
+        })
+        roots = {r.qualname: r.reason
+                 for r in find_thread_roots(index, _discover_shared(index))}
+        assert roots["proj.svc.Service._drain"] == "condition-wait"
+
+    def test_lockless_class_has_no_method_roots(self, make_graph):
+        index, _ = make_graph({
+            "plain.py": """
+                class Plain:
+                    def poke(self):
+                        pass
+            """,
+        })
+        roots = find_thread_roots(index, _discover_shared(index))
+        assert not any("Plain" in r.qualname for r in roots)
+
+
+class TestRP501InconsistentLockset:
+    def test_guarded_then_unguarded_write_flags(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def sloppy(self):
+                        self._count += 1
+            """,
+        }))
+        assert codes(findings) == ["RP501"]
+        (v,) = findings
+        assert "_count" in v.message
+        assert "proj.svc.Service.sloppy" in v.message  # call chain
+
+    def test_consistent_locking_is_clean(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def read(self):
+                        with self._lock:
+                            return self._count
+            """,
+        }))
+        assert findings == []
+
+    def test_lock_held_through_helper_call(self, make_graph):
+        """Interprocedural: the lockset propagates into callees."""
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def _bump(self):
+                        self._count += 1
+
+                    def guarded(self):
+                        with self._lock:
+                            self._bump()
+
+                    def reader(self):
+                        with self._lock:
+                            return self._count
+            """,
+        }))
+        assert findings == []
+
+
+class TestRP502UnguardedSharedWrite:
+    def test_write_reachable_from_two_roots_flags(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def _bump(self):
+                        self._count += 1
+
+                    def first(self):
+                        self._bump()
+
+                    def second(self):
+                        self._bump()
+            """,
+        }))
+        assert codes(findings) == ["RP502"]
+        (v,) = findings
+        assert "2 thread roots" in v.message
+        assert "proj.svc.Service._bump" in v.message  # chain reaches offender
+
+    def test_single_writer_is_proved_clean(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def _bump(self):
+                        self._count += 1
+
+                    def only(self):
+                        self._bump()
+            """,
+        }))
+        assert findings == []
+
+    def test_suppression_comment_waives_the_finding(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def _bump(self):
+                        self._count += 1  # repro-lint: disable=RP502
+
+                    def first(self):
+                        self._bump()
+
+                    def second(self):
+                        self._bump()
+            """,
+        }))
+        assert findings == []
+
+
+class TestRP503BlockingWhileLocked:
+    def test_sleep_under_lock_flags(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+                import time
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def nap(self):
+                        with self._lock:
+                            time.sleep(0.1)
+            """,
+        }))
+        assert codes(findings) == ["RP503"]
+
+    def test_queue_get_under_lock_flags(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import queue
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._inbox = queue.Queue()
+
+                    def take(self):
+                        with self._lock:
+                            return self._inbox.get()
+            """,
+        }))
+        assert codes(findings) == ["RP503"]
+
+    def test_wait_on_own_condition_is_exempt(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._cond = threading.Condition()
+                        self._ready = False
+
+                    def block(self):
+                        with self._cond:
+                            while not self._ready:
+                                self._cond.wait()
+            """,
+        }))
+        assert findings == []
+
+    def test_sleep_without_lock_is_clean(self, make_graph):
+        findings = rp5(run_pass(make_graph, {
+            "svc.py": """
+                import time
+
+                def nap():
+                    time.sleep(0.1)
+            """,
+        }))
+        assert findings == []
+
+
+class TestRP504LockOrderCycle:
+    def test_opposite_orders_flag_a_cycle(self, make_graph):
+        index, graph = make_graph({
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def ab(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def ba(self):
+                        with self._b:
+                            with self._a:
+                                pass
+            """,
+        })
+        findings, report = run_concurrency(index, graph)
+        assert codes(rp5(findings)) == ["RP504"]
+        assert report["cycles"] == [
+            ["proj.svc.Service._a", "proj.svc.Service._b"]
+        ]
+
+    def test_consistent_order_is_clean_and_reported(self, make_graph):
+        index, graph = make_graph({
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def ab(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def also_ab(self):
+                        with self._a:
+                            with self._b:
+                                pass
+            """,
+        })
+        findings, report = run_concurrency(index, graph)
+        assert rp5(findings) == []
+        assert report["cycles"] == []
+        assert {
+            (edge["from"], edge["to"]) for edge in report["edges"]
+        } == {("proj.svc.Service._a", "proj.svc.Service._b")}
+
+
+class TestRealTree:
+    def test_tree_is_rp5xx_clean(self, repo_index_and_graph):
+        index, graph = repo_index_and_graph
+        findings, _ = run_concurrency(index, graph)
+        assert rp5(findings) == [], [v.message for v in rp5(findings)]
+
+    def test_report_covers_the_serving_and_pool_locks(self, repo_index_and_graph):
+        index, graph = repo_index_and_graph
+        _, report = run_concurrency(index, graph)
+        locks = set(report["locks"])
+        assert "repro.serving.service.ServingService._conds[]" in locks
+        assert "repro.serving.service.ServingService._stats_lock" in locks
+        assert "repro.serving.cache.PredictionCache._lock" in locks
+        assert "repro.runner.persistent.PersistentPool._stats_lock" in locks
+        # The only lock-order edge is shard cond -> stats lock, acyclic.
+        assert {
+            (edge["from"], edge["to"]) for edge in report["edges"]
+        } == {(
+            "repro.serving.service.ServingService._conds[]",
+            "repro.serving.service.ServingService._stats_lock",
+        )}
+        assert report["cycles"] == []
+
+    def test_worker_loop_is_a_thread_target_root(self, repo_index_and_graph):
+        index, graph = repo_index_and_graph
+        _, report = run_concurrency(index, graph)
+        roots = {r["qualname"]: r["reason"] for r in report["roots"]}
+        assert roots["repro.serving.service.ServingService._worker_loop"] == (
+            "thread-target"
+        )
+
+
+class TestInjectedBugs:
+    """Acceptance criteria: injected bugs must be caught with call chains."""
+
+    def test_unguarded_prediction_cache_write_is_caught(self, patched_repo):
+        index, graph = patched_repo({
+            "repro/serving/cache.py": (
+                "\n"
+                "    def evict_unguarded(self, key):\n"
+                "        self._entries.pop(key, None)\n"
+            ),
+        })
+        findings, _ = run_concurrency(index, graph)
+        hits = [v for v in rp5(findings) if "_entries" in v.message
+                and "PredictionCache" in v.message]
+        assert hits, [v.message for v in rp5(findings)]
+        (v,) = hits
+        assert v.code == "RP501"  # guarded everywhere else -> inconsistent
+        assert v.severity == "error"  # repro.serving is a strict module
+        assert "repro.serving.cache.PredictionCache.evict_unguarded" in v.message
+
+    def test_lock_order_inversion_in_service_is_caught(self, patched_repo):
+        index, graph = patched_repo({
+            "repro/serving/service.py": (
+                "\n"
+                "    def introspect(self, shard):\n"
+                "        with self._stats_lock:\n"
+                "            with self._conds[shard]:\n"
+                "                return len(self._queues[shard])\n"
+            ),
+        })
+        findings, report = run_concurrency(index, graph)
+        hits = [v for v in rp5(findings) if v.code == "RP504"]
+        assert hits, [v.message for v in rp5(findings)]
+        v = hits[0]
+        assert v.severity == "error"
+        assert "repro.serving.service.ServingService._conds[]" in v.message
+        assert "repro.serving.service.ServingService._stats_lock" in v.message
+        assert "repro.serving.service.ServingService.introspect" in v.message
+        assert report["cycles"] == [[
+            "repro.serving.service.ServingService._conds[]",
+            "repro.serving.service.ServingService._stats_lock",
+        ]]

@@ -200,6 +200,64 @@ class TestStaleSuppressionAudit:
         assert payload["findings"] == []
 
 
+class TestLockOrderPayload:
+    def test_json_payload_carries_the_lock_order_graph(self, fake_tree, capsys):
+        fake_tree({
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def nested(self):
+                        with self._a:
+                            with self._b:
+                                pass
+            """,
+        })
+        rc, payload = run_json(capsys, [])
+        assert rc == 0
+        graph = payload["lock_order"]
+        assert set(graph) == {"roots", "locks", "edges", "cycles"}
+        assert {"proj.svc.Service._a", "proj.svc.Service._b"} <= set(graph["locks"])
+        assert [(e["from"], e["to"]) for e in graph["edges"]] == [
+            ("proj.svc.Service._a", "proj.svc.Service._b")
+        ]
+        assert graph["edges"][0]["sites"]  # witness acquisition sites
+        assert graph["cycles"] == []
+
+    def test_rp504_cycle_fails_strict_and_lands_in_payload(
+            self, fake_tree, capsys):
+        fake_tree({
+            "svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def ab(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def ba(self):
+                        with self._b:
+                            with self._a:
+                                pass
+            """,
+        })
+        rc, payload = run_json(capsys, [])
+        assert rc == 0  # non-strict; RP5xx is a warning outside serving/runner
+        assert payload["lock_order"]["cycles"] == [
+            ["proj.svc.Service._a", "proj.svc.Service._b"]
+        ]
+        assert "RP504" in {f["code"] for f in payload["findings"]}
+
+
 class TestCache:
     def test_cache_dir_populated_and_reused(self, fake_tree, tmp_path, capsys):
         fake_tree(CLEAN)

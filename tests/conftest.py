@@ -1,7 +1,15 @@
-"""Shared fixtures: small cached datasets so expensive simulation happens once."""
+"""Shared fixtures: small cached datasets so expensive simulation happens once.
+
+Setting ``REPRO_TSAN=1`` in the environment runs the whole suite with the
+dynamic lockset checker installed (``repro.analysis.concurrency.runtime``):
+every ``tsan.make_lock``/``make_condition`` in the serving and pool layers
+becomes an instrumented wrapper, and each test ends by asserting no race
+candidate or lock-order inversion was observed during it.
+"""
 
 import pytest
 
+from repro.analysis.concurrency import runtime as _tsan_runtime
 from repro.dataset import GenerationConfig, generate_dataset
 from repro.topology import nsfnet, synthetic_topology
 
@@ -13,6 +21,43 @@ FAST_CONFIG = GenerationConfig(
     min_delivered=10,
     intensity_range=(0.3, 0.7),
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _tsan_from_env():
+    """Install the dynamic lockset checker when ``REPRO_TSAN=1``."""
+    installed = _tsan_runtime.install_from_env()
+    yield
+    if installed:
+        _tsan_runtime.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _tsan_per_test(_tsan_from_env):
+    """Per-test isolation + end-of-test assertions under ``REPRO_TSAN=1``."""
+    if not _tsan_runtime.installed():
+        yield
+        return
+    _tsan_runtime.reset()
+    yield
+    _tsan_runtime.assert_race_free()
+    _tsan_runtime.assert_no_lock_inversion()
+
+
+@pytest.fixture
+def tsan_runtime():
+    """Explicitly-installed checker for tests that exercise it directly.
+
+    Unlike the env-gated autouse fixture this always installs, so race
+    regression tests run in every CI job, not only the ``REPRO_TSAN=1`` one.
+    """
+    was_installed = _tsan_runtime.installed()
+    _tsan_runtime.install()
+    _tsan_runtime.reset()
+    yield _tsan_runtime
+    _tsan_runtime.reset()
+    if not was_installed:
+        _tsan_runtime.uninstall()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,191 @@
+"""Concurrency stress: N submitters vs a sharded service, under the checker.
+
+Satellite of the RP5xx PR: hammer a 4-shard :class:`ServingService` from
+several threads with mixed deadlines and prediction-cache churn while the
+dynamic lockset checker (``repro.analysis.concurrency.runtime``) watches
+every lock and instrumented attribute, then replay the same queries
+single-threaded and require digest-identical results.  The explicit
+``tsan_runtime`` fixture installs the checker regardless of the
+``REPRO_TSAN`` environment, so these regressions run in every CI job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import RouteNet
+from repro.dataset import fit_scaler
+from repro.errors import AdmissionError, DeadlineExceededError
+from repro.serving import ServeConfig, ServingService
+
+
+@pytest.fixture(scope="module")
+def served(tiny_samples, nsfnet_samples):
+    model = RouteNet(seed=21)
+    scaler = fit_scaler(list(tiny_samples) + list(nsfnet_samples))
+    return model, scaler
+
+
+def make_service(served, **overrides) -> ServingService:
+    model, scaler = served
+    knobs = dict(max_batch=4, coalesce="count", workers=4, queue_depth=256)
+    knobs.update(overrides)
+    return ServingService(model, scaler, ServeConfig(**knobs))
+
+
+def result_digest(result) -> str:
+    payload = np.ascontiguousarray(result.delay, dtype=np.float64).tobytes()
+    if result.jitter is not None:
+        payload += np.ascontiguousarray(result.jitter, dtype=np.float64).tobytes()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class TestStress:
+    def test_submitters_vs_shards_race_free_and_deterministic(
+            self, served, tiny_samples, tsan_runtime):
+        samples = list(tiny_samples)
+        service = make_service(served)
+        digests: dict[tuple[int, int], str] = {}
+        failures: list[BaseException] = []
+        mu = threading.Lock()
+
+        def submitter(worker_id: int) -> None:
+            try:
+                for round_no in range(3):
+                    futures = []
+                    for i, sample in enumerate(samples):
+                        # Mixed admission pressure: every 5th request gets a
+                        # generous-but-finite deadline.
+                        deadline = 10_000.0 if (i + round_no) % 5 else None
+                        try:
+                            futures.append(
+                                (i, service.submit(sample, deadline_ms=deadline))
+                            )
+                        except AdmissionError:
+                            continue  # queue full under pressure: legal
+                    for i, future in futures:
+                        try:
+                            result = future.result(timeout=60.0)
+                        except DeadlineExceededError:
+                            continue
+                        with mu:
+                            digests[(worker_id, i)] = result_digest(result)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                failures.append(exc)
+
+        def churner() -> None:
+            try:
+                for _ in range(20):
+                    if service.prediction_cache is not None:
+                        service.prediction_cache.clear()
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=submitter, args=(w,)) for w in range(4)
+        ] + [threading.Thread(target=churner)]
+        with service:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+        assert not failures, failures
+        assert digests, "stress produced no successful results"
+
+        # The checker watched every instrumented lock/attribute above.
+        tsan_runtime.assert_race_free()
+        tsan_runtime.assert_no_lock_inversion()
+
+        # Replay single-threaded: every concurrent answer must be
+        # digest-identical to the sequential one for the same sample.
+        # Count-coalescing holds partial batches, so submit everything
+        # before collecting (8 samples = two full max_batch=4 cuts).
+        replay = make_service(served, workers=1)
+        with replay:
+            futures = [(i, replay.submit(s)) for i, s in enumerate(samples)]
+            expected = {
+                i: result_digest(f.result(timeout=60.0)) for i, f in futures
+            }
+        for (_worker, i), digest in digests.items():
+            assert digest == expected[i], f"sample {i} diverged under load"
+
+    def test_service_counters_are_coherent_after_stress(
+            self, served, tiny_samples, tsan_runtime):
+        samples = list(tiny_samples)
+        service = make_service(served, workers=2)
+
+        def pump():
+            # Submit-all-then-wait: count-coalescing parks partial batches,
+            # so one-at-a-time submit+wait would deadlock by design.
+            futures = [service.submit(s) for s in samples]
+            for f in futures:
+                f.result(timeout=60.0)
+
+        with service:
+            threads = [threading.Thread(target=pump) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            stats = service.stats()
+        tsan_runtime.assert_race_free()
+        # Every accepted request is accounted for exactly once.
+        assert stats["accepted"] == 3 * len(samples)
+        assert (
+            stats["served"] + stats["expired"] + stats["errors"]
+        ) == stats["accepted"]
+
+
+class TestEngineStatsSplit:
+    """Pin: ``reset_stats`` zeroes per-window counters but never the
+    cache-lifetime counters, including while submits are in flight."""
+
+    def test_reset_stats_preserves_cache_lifetime_counters(
+            self, served, tiny_samples, tsan_runtime):
+        samples = list(tiny_samples)
+        # Deadline coalescing cuts batches on a time window, so the
+        # sequential submit+wait pattern below cannot park a partial batch.
+        service = make_service(
+            served, workers=2, coalesce="deadline", max_wait_ms=1.0)
+        with service:
+            for s in samples:
+                service.submit(s).result(timeout=60.0)
+            engine = service._engines[0]
+            before = engine.stats()
+            stop = threading.Event()
+
+            def background_submits():
+                while not stop.is_set():
+                    for s in samples[:3]:
+                        try:
+                            service.submit(s).result(timeout=60.0)
+                        except Exception:  # noqa: BLE001 — close() racing
+                            return
+
+            t = threading.Thread(target=background_submits)
+            t.start()
+            # Reset while submits are in flight: must be safe (no torn
+            # state, no race report from the checker).
+            for eng in service._engines:
+                eng.reset_stats()
+            stop.set()
+            t.join(timeout=60.0)
+            # Quiescent reset pins the exact split: per-window counters
+            # restart from zero, cache-lifetime counters survive.
+            for eng in service._engines:
+                eng.reset_stats()
+            after_reset = engine.stats()
+        tsan_runtime.assert_race_free()
+
+        assert after_reset["queries"] == 0
+        assert after_reset["batches"] == 0
+        for key in ("hits", "misses", "evictions"):
+            assert after_reset["cache"][key] >= before["cache"][key]
+        # The shared prediction tier is cache-lifetime too.
+        assert service.prediction_cache is not None
+        pc = service.prediction_cache.stats()
+        assert pc["hits"] + pc["misses"] > 0
