@@ -48,9 +48,24 @@ Output schema (``BENCH_training.json``)::
          "loss_final": float, "worker_starts": int, "restarts": int},
         ...
       ],
+      "arena": {                       # measured by the dataflow recorder
+        "budgets": {family: {"tape_arena_bytes": int,     # RP604 budget
+                             "peak_tape_bytes": int,
+                             "inference_arena_bytes": int,
+                             "values": int}},
+        "per_round": {family: {round: {"buffers": int, "bytes": int}}}
+      },
       "speedup_b16_vs_b1": float,
       "speedup_w4_vs_w1": float
     }
+
+The ``arena`` section records one real fused forward+backward per paper
+topology family (NSFNET, Geant2, 50-node synthetic) through
+``repro.analysis.dataflow``: the planned tape-arena size becomes the
+committed RP604 budget — so the static-analysis gate's ceilings come from
+benched reality, not hand-picked numbers — plus the per-round buffer-count
+stats behind it.  It is deterministic for fixed model dims (structure, not
+timing), so quick and full runs agree.
 
 ``--check BASELINE.json`` compares the measured B=16-vs-B=1 and W=4-vs-W=1
 speedup ratios against the committed baseline's and fails (exit 1) when
@@ -228,6 +243,33 @@ def bench_workers(samples, hparams, workers, timed_epochs,
     }
 
 
+def measure_arena() -> dict:
+    """Per-family arena budgets + per-round buffer stats (deterministic).
+
+    Records one real fused step per paper topology family via the dataflow
+    recorder; the planned tape-arena size is what RP604 gates against.
+    """
+    from repro.analysis.dataflow import run_dataflow
+
+    findings, payload = run_dataflow(repo_root=None)
+    if findings:  # the tape must be clean before its size becomes a budget
+        raise RuntimeError(
+            "dataflow findings on the recorded tape: "
+            + "; ".join(f"{f.code} {f.path}" for f in findings)
+        )
+    budgets = {}
+    per_round = {}
+    for family, stats in payload["families"].items():
+        budgets[family] = {
+            "tape_arena_bytes": stats["tape_arena_bytes"],
+            "peak_tape_bytes": stats["peak_tape_bytes"],
+            "inference_arena_bytes": stats["inference_arena_bytes"],
+            "values": stats["values"],
+        }
+        per_round[family] = stats["rounds"]
+    return {"budgets": budgets, "per_round": per_round}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -283,6 +325,13 @@ def main(argv=None) -> int:
     speedup = by_b[16]["samples_per_sec"] / by_b[1]["samples_per_sec"]
     w_top = max(WORKER_COUNTS)
     speedup_w = by_w[w_top]["samples_per_sec"] / by_w[1]["samples_per_sec"]
+    print("recording per-family tape arenas ...", flush=True)
+    arena = measure_arena()
+    for family, budget in arena["budgets"].items():
+        print(f"  {family}: tape arena {budget['tape_arena_bytes']} B  "
+              f"inference arena {budget['inference_arena_bytes']} B",
+              flush=True)
+
     report = {
         "benchmark": "training_throughput",
         "config": {
@@ -296,6 +345,7 @@ def main(argv=None) -> int:
         },
         "results": results,
         "results_workers": results_workers,
+        "arena": arena,
         "speedup_b16_vs_b1": round(speedup, 3),
         "speedup_w4_vs_w1": round(speedup_w, 3),
     }

@@ -14,6 +14,11 @@ Three subsystems, one entry point (``python -m repro.analysis``):
   finite-difference verification of every registered op's backward pass,
   and a tape sanitizer that pinpoints the first op producing NaN/Inf
   (``Trainer(..., sanitize=True)`` / ``repro train --sanitize``).
+* :mod:`repro.analysis.dataflow` — symbolic tape recorder over one real
+  fused forward+backward: SSA def–use graph, alias classes, liveness,
+  the RP6xx proofs (in-place writes, dead stores, tape escapes, arena
+  budgets) and the verified arena planner the serving fast path executes
+  from.
 """
 
 from .gradcheck import (

@@ -9,17 +9,25 @@ Default run, in order:
    hot-path perf lints, and concurrency lockset/guardedness proofs over
    the threaded serving/pool layers (the derived lock-order graph lands
    in the ``json`` payload as ``lock_order``).  Skip with ``--no-flow``.
-3. **Stale-suppression audit** (RP008): a ``# repro-lint: disable=RPxxx``
+3. **Tape dataflow** (RP6xx): records one real fused forward+backward per
+   paper topology family and proves the tape free of in-place writes to
+   live alias classes (RP601), dead stores (RP602), scope-escaping
+   buffers (RP603) and peak-arena regressions against the committed
+   ``BENCH_training.json`` budgets (RP604).  The verified per-family
+   :class:`~repro.analysis.dataflow.arena.ArenaPlan` proofs land in the
+   ``json`` payload as ``dataflow`` (uploaded as a CI artifact).  Skip
+   with ``--no-dataflow``.
+4. **Stale-suppression audit** (RP008): a ``# repro-lint: disable=RPxxx``
    comment that suppressed nothing across *all* passes is itself an error
    (runs only on full-tree, full-rule runs, where "unused" is meaningful).
-4. **Shape check**: the default RouteNet architecture against the paper's
+5. **Shape check**: the default RouteNet architecture against the paper's
    three topology signatures (NSFNET, Geant2, 50-node synthetic).
-5. ``--gradcheck`` adds the finite-difference gradient audit (opt-in
+6. ``--gradcheck`` adds the finite-difference gradient audit (opt-in
    here; CI runs it in the pytest matrix as well).
 
 Severities: **error** findings fail ``--strict``; **warning** findings
-(RP204, off-hot-path RP4xx, RP5xx outside serving/runner) are reported
-but never gate.  Text output
+(RP204, off-hot-path RP4xx, RP5xx outside serving/runner, RP602) are
+reported but never gate.  Text output
 hides warnings behind ``--show-warnings``; ``json``/``github`` formats
 always include them.
 
@@ -87,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-flow", action="store_true",
         help="skip the interprocedural passes (RP2xx/RP3xx/RP4xx)",
+    )
+    parser.add_argument(
+        "--no-dataflow", action="store_true",
+        help="skip the tape dataflow pass (RP6xx; records a real fused "
+             "forward+backward per topology family)",
     )
     parser.add_argument(
         "--no-shapes", action="store_true",
@@ -203,6 +216,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         except OSError as exc:
             print(f"error: cannot read input: {exc}", file=sys.stderr)
             return 2
+
+    # Tape dataflow (RP6xx): runs the *real* model, so it is skipped for
+    # explicit-path runs (which analyze arbitrary trees, not this repo).
+    if not args.no_dataflow and not args.paths:
+        from .dataflow import run_dataflow
+
+        try:
+            dataflow_findings, dataflow_payload = run_dataflow(
+                repo_root=src_root.parent
+            )
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings.extend(dataflow_findings)
+        payload["dataflow"] = dataflow_payload
 
     # Stale-suppression audit: only meaningful when every pass that could
     # have used a suppression actually ran, over the whole tree.

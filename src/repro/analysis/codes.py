@@ -16,6 +16,9 @@ Code ranges:
   (:mod:`repro.analysis.flow.perf`).
 * **RP5xx** — concurrency-safety (lockset/guardedness) proofs over
   thread-shared classes (:mod:`repro.analysis.concurrency.static`).
+* **RP6xx** — tape dataflow proofs over a recorded fused
+  forward+backward of the real model
+  (:mod:`repro.analysis.dataflow.checks`).
 
 Severity: ``"error"`` findings fail ``--strict``; ``"warning"`` findings
 are reported but never gate.  RP4xx findings are warnings off the hot path
@@ -71,6 +74,16 @@ ALL_CODES: dict[str, str] = {
              "release the lock before blocking",
     "RP504": "lock-order cycle: locks are acquired in conflicting orders on "
              "different paths; establish and follow a global lock order",
+    # -- RP6xx: tape dataflow (recorded fused step) ----------------------
+    "RP601": "in-place write to a buffer whose alias class is still live; a "
+             "backward closure retained it and will compute gradients from "
+             "the overwritten values",
+    "RP602": "dead store on the tape: the value is never read by the loss or "
+             "any gradient path; the op is wasted work every step",
+    "RP603": "buffer escaped its tape scope: an interior array outlived tape "
+             "teardown (closure/global/cache holds it), leaking across steps",
+    "RP604": "peak-arena-bytes regression: the planned tape arena outgrew the "
+             "committed per-family budget in BENCH_training.json",
 }
 
 #: Default severity per code ("error" unless listed here).
@@ -84,6 +97,7 @@ CODE_SEVERITY: dict[str, str] = {
     "RP502": "warning",
     "RP503": "warning",
     "RP504": "warning",
+    "RP602": "warning",
 }
 
 
@@ -96,7 +110,7 @@ def lint_codes() -> dict[str, str]:
 
 
 def flow_codes() -> dict[str, str]:
-    """The interprocedural subset (RP2xx/RP3xx/RP4xx/RP5xx)."""
+    """The whole-program subset (RP2xx/RP3xx/RP4xx/RP5xx/RP6xx)."""
     return {
         code: text for code, text in ALL_CODES.items()
         if not code.startswith("RP0")

@@ -1,0 +1,39 @@
+"""Tape dataflow analysis: SSA liveness, alias classes, arena planning.
+
+The front half of plan-compiled execution (ROADMAP: "Scale to 100–300-node
+topologies"): a symbolic recorder turns one fused forward+backward of the
+real RouteNet into an SSA-style def–use graph with per-buffer shape/dtype,
+alias/view classes and first-def/last-use liveness intervals per
+message-passing round.  On top of that graph:
+
+* the RP6xx rules (:mod:`~repro.analysis.dataflow.checks`) prove the tape
+  free of gradient-corrupting in-place writes (RP601), dead stores
+  (RP602), scope-escaping buffers (RP603) and arena-size regressions
+  (RP604);
+* the arena planner (:mod:`~repro.analysis.dataflow.arena`) colors the
+  liveness interval graph into a verified offset layout whose proof ships
+  in the driver's JSON payload, and whose inference twin
+  (:func:`repro.core.plan.inference_arena_intervals`) backs the serving
+  fast path's buffers.
+"""
+
+from .arena import ArenaPlan, ArenaPlanError, BufferInterval, plan_arena
+from .checks import check_tape, run_dataflow, tape_arena_plan, tape_intervals
+from .graph import TapeGraph, TapeValue
+from .recorder import RecordedStep, TapeRecorder, record_fused_step
+
+__all__ = [
+    "ArenaPlan",
+    "ArenaPlanError",
+    "BufferInterval",
+    "plan_arena",
+    "TapeGraph",
+    "TapeValue",
+    "TapeRecorder",
+    "RecordedStep",
+    "record_fused_step",
+    "check_tape",
+    "run_dataflow",
+    "tape_arena_plan",
+    "tape_intervals",
+]

@@ -1,0 +1,239 @@
+"""SSA-style def–use graph of one recorded autodiff tape.
+
+A recorded fused step (see :mod:`repro.analysis.dataflow.recorder`) becomes
+a :class:`TapeGraph`: one :class:`TapeValue` per tape node (plus anonymous
+scratch arrays that backward closures capture), each carrying shape/dtype,
+its storage/alias class, the message-passing round it was defined in, and
+its parents — the SSA def–use structure the RP6xx checks and the arena
+planner consume.
+
+**Program points.**  Forward definitions get sequential points ``0..N-1``
+in execution order.  The backward pass unwinds the tape in reverse, so the
+backward closure of the node defined at point ``p`` executes at point
+``2N - 1 - p``: the whole fused step occupies points ``[0, 2N)`` and every
+liveness question reduces to interval arithmetic on that single clock.
+
+A value's buffer is live from its definition to its last read:
+
+* forward reads happen at each consumer's definition point;
+* a backward closure that *retains* the array (declared per op via
+  ``Tensor._make(..., retains=...)``) reads it when that closure runs, at
+  the mirrored point of its node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TapeValue", "TapeGraph"]
+
+
+@dataclass
+class TapeValue:
+    """One SSA value: a tape node's output array (or captured scratch).
+
+    Attributes:
+        vid: SSA id == forward definition point (0-based, def order).
+        op: Producing op name (``"matmul"``, ``"step_precomputed"``, ...);
+            ``"<leaf>"`` for inputs/parameters, ``"<scratch>"`` suffix for
+            closure-captured arrays with no tape node of their own.
+        shape: Array shape.
+        dtype: Array dtype string.
+        nbytes: Array size in bytes.
+        storage: Alias-class id — values whose arrays share underlying
+            storage (views via reshape/transpose/slice) share this id.
+        phase: Tape phase (``tape_mark`` label, e.g. ``"round/2"``) active
+            at definition; ``""`` before the first mark.
+        parents: vids of the tape parents (empty for leaves/scratch).
+        is_leaf: True for values with no backward (inputs, parameters).
+        retains: vids of the values whose arrays this node's backward
+            closure reads (resolved from the op's ``retains=`` declaration).
+        name: Optional human label (parameter names).
+    """
+
+    vid: int
+    op: str
+    shape: tuple[int, ...]
+    dtype: str
+    nbytes: int
+    storage: int
+    phase: str
+    parents: tuple[int, ...] = ()
+    is_leaf: bool = False
+    retains: tuple[int, ...] = ()
+    name: str | None = None
+    #: Forward-read points (consumers' def points); filled by TapeGraph.
+    uses: list[int] = field(default_factory=list)
+
+    def label(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        where = f" @{self.phase}" if self.phase else ""
+        return f"v{self.vid} = {self.op}{tag} {self.shape} {self.dtype}{where}"
+
+
+class TapeGraph:
+    """The def–use graph of one recorded forward+backward.
+
+    Built incrementally by the recorder; :meth:`finalize` resolves forward
+    uses and backward retention into liveness intervals.
+    """
+
+    def __init__(self) -> None:
+        self.values: list[TapeValue] = []
+        #: vid of the loss (backward root), set by the recorder.
+        self.loss_vid: int | None = None
+        #: vid of the model output (kept live alongside the loss).
+        self.output_vid: int | None = None
+        #: vid -> vids of nodes whose backward retains it (finalize()).
+        self._retained_by: dict[int, list[int]] = {}
+        #: storage id -> member vids (finalize()).
+        self._storages: dict[int, list[int]] = {}
+
+    # -- construction ----------------------------------------------------
+    def add(self, value: TapeValue) -> TapeValue:
+        assert value.vid == len(self.values)
+        self.values.append(value)
+        return value
+
+    @property
+    def num_points(self) -> int:
+        """Total program points: N forward defs + N mirrored backward slots."""
+        return 2 * len(self.values)
+
+    def backward_point(self, vid: int) -> int:
+        """The point at which ``vid``'s backward closure executes."""
+        return self.num_points - 1 - vid
+
+    # -- queries ----------------------------------------------------------
+    def finalize(self) -> None:
+        """Resolve use/retention/alias indexes from the edges (idempotent)."""
+        self._retained_by = {}
+        self._storages = {}
+        for v in self.values:
+            v.uses.clear()
+        for v in self.values:
+            self._storages.setdefault(v.storage, []).append(v.vid)
+            for pid in v.parents:
+                self.values[pid].uses.append(v.vid)
+            for rid in v.retains:
+                self._retained_by.setdefault(rid, []).append(v.vid)
+
+    def alias_class(self, vid: int) -> list[int]:
+        """All vids sharing ``vid``'s storage (including itself)."""
+        return self._storages[self.values[vid].storage]
+
+    def retained_by(self, vid: int) -> list[int]:
+        """vids of the nodes whose backward closures read ``vid``'s array."""
+        return self._retained_by.get(vid, [])
+
+    def last_use(self, vid: int) -> int:
+        """Last program point at which ``vid``'s *storage* is read.
+
+        Covers forward consumers, backward closures that retained the
+        array, and — because views share bytes — the same questions for
+        every member of the alias class.
+        """
+        last = 0
+        for member in self.alias_class(vid):
+            value = self.values[member]
+            for use in value.uses:
+                last = max(last, use)
+            for reader in self._retained_by.get(member, ()):
+                last = max(last, self.backward_point(reader))
+        return last
+
+    def liveness(self) -> dict[int, tuple[int, int]]:
+        """vid -> ``[first_def, last_use]`` interval over the alias class.
+
+        Leaves (parameters, inputs) live for the whole timeline — they
+        exist before the step and survive it — so arena planning excludes
+        them via :attr:`TapeValue.is_leaf`.
+        """
+        out: dict[int, tuple[int, int]] = {}
+        horizon = self.num_points - 1
+        for v in self.values:
+            if v.is_leaf:
+                out[v.vid] = (0, horizon)
+                continue
+            members = self.alias_class(v.vid)
+            start = min(members)  # first definition in the alias class
+            out[v.vid] = (start, max(self.last_use(v.vid), v.vid))
+        return out
+
+    def reachable_from(self, vid: int) -> set[int]:
+        """All ancestor vids of ``vid`` (inclusive) along parent edges."""
+        seen: set[int] = set()
+        stack = [vid]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.values[cur].parents)
+        return seen
+
+    def def_use_chain(self, vid: int, depth: int = 3) -> str:
+        """A readable def–use chain for finding messages.
+
+        Shows the value, its producing parents (to ``depth``), and its
+        consumers — enough to locate the op in model code without a
+        debugger.
+        """
+        value = self.values[vid]
+        lines = [f"def  {value.label()}"]
+        frontier = list(value.parents)
+        for level in range(1, depth + 1):
+            if not frontier:
+                break
+            labels = ", ".join(self.values[p].label() for p in frontier[:4])
+            more = "" if len(frontier) <= 4 else f" (+{len(frontier) - 4} more)"
+            lines.append(f"{'  ' * level}<- {labels}{more}")
+            frontier = [g for p in frontier[:4] for g in self.values[p].parents]
+        if value.uses:
+            used = ", ".join(f"v{u}" for u in value.uses[:6])
+            lines.append(f"used by {used} (forward)")
+        readers = self._retained_by.get(vid, [])
+        if readers:
+            pts = ", ".join(
+                f"v{r}@point {self.backward_point(r)}" for r in readers[:6]
+            )
+            lines.append(f"retained by backward of {pts}")
+        return "\n  ".join(lines)
+
+    def peak_bytes(self, include_leaves: bool = False) -> int:
+        """Peak concurrent buffer footprint over the fused step.
+
+        The maximum, over all program points, of the total bytes of live
+        interior values — the quantity the arena planner flattens and
+        RP604 budgets.  One storage (alias class) is counted once.
+        """
+        live = self.liveness()
+        events: dict[int, int] = {}
+        counted: set[int] = set()
+        for v in self.values:
+            if v.is_leaf and not include_leaves:
+                continue
+            if v.storage in counted:
+                continue
+            counted.add(v.storage)
+            start, end = live[v.vid]
+            events[start] = events.get(start, 0) + v.nbytes
+            events[end + 1] = events.get(end + 1, 0) - v.nbytes
+        peak = cur = 0
+        for point in sorted(events):
+            cur += events[point]
+            peak = max(peak, cur)
+        return peak
+
+    def round_stats(self) -> dict[str, dict[str, int]]:
+        """Per-phase buffer counts/bytes (defs attributed to their phase)."""
+        stats: dict[str, dict[str, int]] = {}
+        for v in self.values:
+            if v.is_leaf:
+                continue
+            bucket = stats.setdefault(
+                v.phase or "<pre>", {"buffers": 0, "bytes": 0}
+            )
+            bucket["buffers"] += 1
+            bucket["bytes"] += v.nbytes
+        return stats

@@ -90,6 +90,7 @@ def sanitize_tape() -> Iterator[None]:
         data: np.ndarray,
         parents: Iterable[Tensor],
         backward: Callable[[np.ndarray], None],
+        retains: "tuple[np.ndarray, ...] | None" = None,
     ) -> Tensor:
         parents = tuple(parents)
         op = _op_name(backward)
@@ -102,7 +103,10 @@ def sanitize_tape() -> Iterator[None]:
                 if parent.requires_grad and parent.grad is not None:
                     _check(parent.grad, op, "backward-parent")
 
-        return original(data, parents, checked_backward)
+        checked_backward.__qualname__ = getattr(
+            backward, "__qualname__", checked_backward.__qualname__
+        )
+        return original(data, parents, checked_backward, retains)
 
     Tensor._make = staticmethod(checked_make)
     try:

@@ -17,15 +17,23 @@ id can never serve a stale plan, and dead entries evict themselves.
 
 from __future__ import annotations
 
+import threading
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..nn.ops import ScatterPlan, make_scatter_plan
 from .features import ModelInput
 
-__all__ = ["ForwardPlan", "PlanStep", "build_plan", "plan_for"]
+__all__ = [
+    "ForwardPlan",
+    "PlanStep",
+    "InferenceArena",
+    "build_plan",
+    "plan_for",
+    "inference_arena_intervals",
+]
 
 
 @dataclass(frozen=True)
@@ -64,10 +72,156 @@ class ForwardPlan:
 
     safe_idx: np.ndarray  # (P, max_len) intp, padding mapped to 0
     steps: tuple[PlanStep, ...]
+    num_links: int = 0
+    #: Per-model-geometry :class:`InferenceArena` cache.  A mutable field on
+    #: a frozen dataclass is fine: the *binding* never changes, only the
+    #: dict contents, and the plan's identity/hash ignore it.
+    _arenas: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def num_steps(self) -> int:
         return len(self.steps)
+
+    @property
+    def num_paths(self) -> int:
+        return int(self.safe_idx.shape[0])
+
+    def arena_for(self, model: "object") -> "InferenceArena":
+        """The (cached) preallocated execution arena for ``model``'s dims.
+
+        The arena depends only on the model *geometry* (cell type, state
+        widths, round count) and this plan's path/link counts, so models
+        sharing a geometry share the arena; its lock serializes them.
+        """
+        key = _arena_key(model)
+        arena = self._arenas.get(key)
+        if arena is None:
+            arena = InferenceArena.build(model, self)
+            self._arenas[key] = arena
+        return arena
+
+
+def _arena_key(model: "object") -> tuple:
+    hp = model.hparams
+    return (
+        type(model.path_cell).__name__,
+        str(model.path_cell.w.data.dtype),
+        hp.link_state_dim,
+        hp.path_state_dim,
+        hp.message_passing_steps,
+    )
+
+
+def _gates_width(model: "object") -> int:
+    """Columns of the path cell's input projection (3H for GRU, H for RNN)."""
+    return int(model.path_cell.w.data.shape[1])
+
+
+def inference_arena_intervals(model: "object", plan: "ForwardPlan") -> list:
+    """Liveness intervals of the serving fast path's state buffers.
+
+    The inference timeline is a simple clock: point ``0`` runs the
+    embeddings, then round ``r`` computes the gate projection at point
+    ``2r + 1`` (the timestep loop reads and rewrites ``h_path`` there) and
+    the link update at point ``2r + 2``; the readout runs last.  The final
+    round's message aggregation and link update are dead (the readout
+    consumes path states only — see RP602) and get no buffers, which is
+    what keeps the peak flat in the round count:
+
+    * ``h_path`` — live for the whole pass;
+    * ``h_link/r`` — defined by round ``r-1``'s link update (the embedding
+      for ``r=0``), last read by round ``r``'s projection and link update;
+    * ``gx/r`` — the gate projection, live only during round ``r``'s
+      timestep loop;
+    * ``msg/r`` — the aggregation buffer, live from the timestep loop to
+      the link update (absent for the last round).
+
+    Returns:
+        ``BufferInterval`` list for :func:`repro.analysis.dataflow.arena.
+        plan_arena`; consecutive ``h_link``/``gx``/``msg`` generations get
+        disjoint live ranges, so coloring reuses their bytes automatically.
+    """
+    from ..analysis.dataflow.arena import BufferInterval
+
+    hp = model.hparams
+    rounds = hp.message_passing_steps
+    # Slot sizes follow the model's parameter dtype — the engine decides
+    # precision, the arena just carves bytes to match.
+    itemsize = model.path_cell.w.data.itemsize
+    link_bytes = plan.num_links * hp.link_state_dim * itemsize
+    path_bytes = plan.num_paths * hp.path_state_dim * itemsize
+    gx_bytes = plan.num_links * _gates_width(model) * itemsize
+    msg_bytes = plan.num_links * hp.path_state_dim * itemsize
+
+    intervals = [
+        BufferInterval("h_path", path_bytes, 0, 2 * rounds + 1),
+    ]
+    for r in range(rounds):
+        last = r == rounds - 1
+        intervals.append(BufferInterval(
+            f"h_link/{r}", link_bytes, 2 * r, 2 * r + (1 if last else 2)
+        ))
+        intervals.append(BufferInterval(f"gx/{r}", gx_bytes, 2 * r + 1, 2 * r + 1))
+        if not last:
+            intervals.append(
+                BufferInterval(f"msg/{r}", msg_bytes, 2 * r + 1, 2 * r + 2)
+            )
+    return intervals
+
+
+class InferenceArena:
+    """One backing allocation carved into the fast path's state buffers.
+
+    Built from the verified :class:`~repro.analysis.dataflow.arena.
+    ArenaPlan` over :func:`inference_arena_intervals`: every named view is
+    placed at its proved offset, so buffers whose live ranges never overlap
+    share bytes and the allocation stays flat no matter how many
+    message-passing rounds run.
+
+    Thread safety: the arena is shared state.  :meth:`acquire` hands out
+    exclusive use via a non-blocking lock — callers that lose the race run
+    the unplanned (allocation-per-call) path instead, which is bitwise
+    identical, so correctness never depends on winning.
+    """
+
+    def __init__(self, plan: "object", views: dict[str, np.ndarray]) -> None:
+        self.plan = plan  # the verified ArenaPlan (kept for introspection)
+        self._views = views
+        self._lock = threading.Lock()
+
+    @classmethod
+    def build(cls, model: "object", fplan: "ForwardPlan") -> "InferenceArena":
+        from ..analysis.dataflow.arena import plan_arena
+
+        hp = model.hparams
+        shapes = {"h_path": (fplan.num_paths, hp.path_state_dim)}
+        for r in range(hp.message_passing_steps):
+            shapes[f"h_link/{r}"] = (fplan.num_links, hp.link_state_dim)
+            shapes[f"gx/{r}"] = (fplan.num_links, _gates_width(model))
+            shapes[f"msg/{r}"] = (fplan.num_links, hp.path_state_dim)
+
+        plan = plan_arena(inference_arena_intervals(model, fplan))
+        backing = np.empty(plan.total_bytes, dtype=np.uint8)
+        dtype = model.path_cell.w.data.dtype
+        views = {}
+        for iv in plan.intervals:
+            off = plan.offsets[iv.name]
+            views[iv.name] = (
+                backing[off:off + iv.nbytes]
+                .view(dtype)
+                .reshape(shapes[iv.name])
+            )
+        return cls(plan, views)
+
+    def view(self, name: str) -> np.ndarray:
+        return self._views[name]
+
+    def acquire(self) -> bool:
+        """Try for exclusive use; never blocks (False = use fallback path)."""
+        return self._lock.acquire(blocking=False)
+
+    def release(self) -> None:
+        self._lock.release()
 
 
 def build_plan(inputs: ModelInput) -> ForwardPlan:
@@ -90,7 +244,9 @@ def build_plan(inputs: ModelInput) -> ForwardPlan:
                 all_active=bool(active.all()),
             )
         )
-    return ForwardPlan(safe_idx=safe_idx, steps=tuple(steps))
+    return ForwardPlan(
+        safe_idx=safe_idx, steps=tuple(steps), num_links=int(inputs.num_links)
+    )
 
 
 # id -> (weakref to the planned input, its plan).  The weakref guard means a

@@ -92,7 +92,9 @@ class RouteNet(nn.Module):
         # pay for it once, not once per forward call.
         plan = plan_for(inputs)
 
-        for _ in range(hp.message_passing_steps):
+        for r in range(hp.message_passing_steps):
+            nn.tape_mark(f"round/{r}")
+            last_round = r == hp.message_passing_steps - 1
             # Transform-then-gather (same trick as the serving fast path):
             # the input-side cell transform of every gathered link state is a
             # row of `gates_all`, so one (L, ·) GEMM per round replaces a
@@ -107,6 +109,14 @@ class RouteNet(nn.Module):
                     h_path = h_new
                 else:
                     h_path = nn.ops.where(step.active_col, h_new, h_path)
+                if last_round:
+                    # The readout consumes path states only, so the final
+                    # link update — and the message aggregation feeding it —
+                    # is dead code: the dataflow pass (RP602) flagged it, and
+                    # skipping it leaves predictions and gradients bitwise
+                    # unchanged while saving one segment_sum per step plus a
+                    # full link-cell step per forward.
+                    continue
                 # The state just after consuming link t is the message this
                 # path leaves on that link; padding rows carry id -1 and are
                 # dropped by segment_sum.
@@ -116,8 +126,9 @@ class RouteNet(nn.Module):
                 message_sum = (
                     contribution if message_sum is None else message_sum + contribution
                 )
-            assert message_sum is not None  # max_len >= 1 by construction
-            h_link = self.link_cell(message_sum, h_link)
+            if not last_round:
+                assert message_sum is not None  # max_len >= 1 by construction
+                h_link = self.link_cell(message_sum, h_link)
 
         out = h_path
         if training and hp.dropout > 0:

@@ -10,7 +10,14 @@ Public surface::
     y.backward()
 """
 
-from .tensor import Tensor, tensor, no_grad, is_grad_enabled
+from .tensor import (
+    Tensor,
+    tensor,
+    no_grad,
+    is_grad_enabled,
+    tape_mark,
+    set_tape_observer,
+)
 from . import ops, init
 from .layers import Parameter, Module, Dense, MLP, ACTIVATIONS
 from .rnn import GRUCell, RNNCell, make_cell
@@ -23,6 +30,8 @@ __all__ = [
     "tensor",
     "no_grad",
     "is_grad_enabled",
+    "tape_mark",
+    "set_tape_observer",
     "ops",
     "init",
     "Parameter",

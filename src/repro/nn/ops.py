@@ -97,7 +97,7 @@ def exp(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad * out_data)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(out_data,))
 
 
 def log(x: Tensor) -> Tensor:
@@ -108,7 +108,7 @@ def log(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad / x.data)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(x.data,))
 
 
 def sqrt(x: Tensor) -> Tensor:
@@ -119,7 +119,7 @@ def sqrt(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad * 0.5 / out_data)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(out_data,))
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -135,7 +135,7 @@ def sigmoid(x: Tensor) -> Tensor:
             g *= grad
             x._accumulate(g)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(out_data,))
 
 
 def tanh(x: Tensor) -> Tensor:
@@ -146,7 +146,7 @@ def tanh(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad * (1.0 - out_data**2))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(out_data,))
 
 
 def relu(x: Tensor) -> Tensor:
@@ -157,7 +157,7 @@ def relu(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad * (x.data > 0))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(x.data,))
 
 
 def leaky_relu(x: Tensor, alpha: float = 0.01) -> Tensor:
@@ -168,7 +168,7 @@ def leaky_relu(x: Tensor, alpha: float = 0.01) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad * np.where(x.data > 0, 1.0, alpha))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(x.data,))
 
 
 def softplus(x: Tensor) -> Tensor:
@@ -179,7 +179,7 @@ def softplus(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad / (1.0 + np.exp(-x.data)))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(x.data,))
 
 
 def abs_(x: Tensor) -> Tensor:
@@ -190,7 +190,7 @@ def abs_(x: Tensor) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad * np.sign(x.data))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(x.data,))
 
 
 def clip(x: Tensor, lo: float, hi: float) -> Tensor:
@@ -203,7 +203,7 @@ def clip(x: Tensor, lo: float, hi: float) -> Tensor:
             inside = (x.data >= lo) & (x.data <= hi)
             x._accumulate(grad * inside)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=(x.data,))
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -223,7 +223,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(grad - ga, b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, retains=())
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
@@ -239,7 +239,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
                 index[axis] = slice(start, stop)
                 t._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._make(out_data, tensors, backward, retains=())
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -252,7 +252,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if t.requires_grad:
                 t._accumulate(slab)
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._make(out_data, tensors, backward, retains=())
 
 
 def gather(x: Tensor, indices: np.ndarray, plan: ScatterPlan | None = None) -> Tensor:
@@ -282,7 +282,7 @@ def gather(x: Tensor, indices: np.ndarray, plan: ScatterPlan | None = None) -> T
             x._accumulate(full)
             _GRAD_POOL.release(full)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=())
 
 
 def segment_sum(
@@ -327,7 +327,7 @@ def segment_sum(
             x._accumulate(full)
             _GRAD_POOL.release(full)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, retains=())
 
 
 def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:

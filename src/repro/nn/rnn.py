@@ -93,7 +93,9 @@ class GRUCell(Module):
             if x.requires_grad:
                 x._accumulate(grad @ w.data.T)
 
-        return Tensor._make(out_data, (x, w, bias), backward)
+        return Tensor._make(
+            out_data, (x, w, bias), backward, retains=(x.data, w.data)
+        )
 
     def step_precomputed(self, gates_x: Tensor, h: Tensor) -> Tensor:
         """One GRU step given precomputed input gates (see ``__call__``)."""
@@ -134,7 +136,9 @@ class GRUCell(Module):
                 dh += dzrpre @ uzr.T
                 h._accumulate(dh)
 
-        return Tensor._make(out_data, (gates_x, h, u), backward)
+        return Tensor._make(
+            out_data, (gates_x, h, u), backward, retains=(hd, u.data, zr, n, rh)
+        )
 
 
 class RNNCell(Module):

@@ -26,9 +26,34 @@ __all__ = [
     "is_grad_enabled",
     "grad_pool_stats",
     "clear_grad_pool",
+    "tape_mark",
+    "set_tape_observer",
 ]
 
 _GRAD_ENABLED = True
+
+#: Optional observer notified of tape phase marks (``tape_mark``).  The
+#: dataflow recorder in :mod:`repro.analysis.dataflow` installs one to
+#: segment the recorded tape into message-passing rounds; when no observer
+#: is installed a mark is a single ``is None`` check.
+_TAPE_OBSERVER: Callable[[str], None] | None = None
+
+
+def set_tape_observer(observer: "Callable[[str], None] | None") -> None:
+    """Install (or clear, with ``None``) the tape phase-mark observer."""
+    global _TAPE_OBSERVER
+    _TAPE_OBSERVER = observer
+
+
+def tape_mark(label: str) -> None:
+    """Emit a phase mark to the tape observer, if one is installed.
+
+    Model code calls this at structural boundaries (e.g. once per
+    message-passing round) so recorded tapes can attribute buffers to
+    phases.  Free when nothing is recording.
+    """
+    if _TAPE_OBSERVER is not None:
+        _TAPE_OBSERVER(label)
 
 
 class _GradBufferPool:
@@ -83,6 +108,13 @@ class _GradBufferPool:
 
     def release(self, buf: np.ndarray | None) -> None:
         if buf is None:
+            return
+        if buf.base is not None:
+            # A view into shared storage (an execution arena slot, a slice of
+            # another tensor's buffer) must never enter the free list: handing
+            # it out as a "fresh" gradient buffer would alias two tensors'
+            # gradients onto one allocation.  The pool only ever lends arrays
+            # it allocated itself (base is None), so any view is foreign.
             return
         ref = self._lent.get(id(buf))
         if ref is None or ref() is not buf:
@@ -200,7 +232,10 @@ class Tensor:
         requires_grad: Whether gradients flow into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_parents", "_backward", "_retains",
+        "name",
+    )
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 
     def __init__(
@@ -223,6 +258,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = parents if self.requires_grad else ()
         self._backward = backward if self.requires_grad else None
+        self._retains: tuple[np.ndarray, ...] | None = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -320,6 +356,20 @@ class Tensor:
                 _GRAD_POOL.release(node.grad)
                 node.grad = None
 
+    @property
+    def backward_retains(self) -> "tuple[np.ndarray, ...]":
+        """The arrays this node's backward closure reads.
+
+        Declared per op via ``_make(..., retains=...)``; an op without a
+        declaration conservatively retains every parent's data.  The
+        dataflow analysis (:mod:`repro.analysis.dataflow`) uses this to
+        extend buffer liveness across the backward pass and to prove
+        in-place writes safe (RP601).
+        """
+        if self._retains is not None:
+            return self._retains
+        return tuple(p.data for p in self._parents)
+
     # ------------------------------------------------------------------
     # Construction helper for ops
     # ------------------------------------------------------------------
@@ -328,13 +378,28 @@ class Tensor:
         data: np.ndarray,
         parents: Iterable["Tensor"],
         backward: Callable[[np.ndarray], None],
+        retains: "tuple[np.ndarray, ...] | None" = None,
     ) -> "Tensor":
+        """Build a tape node.
+
+        Args:
+            data: Forward result.
+            parents: Input tensors (grad flows to those requiring it).
+            backward: Gradient closure.
+            retains: The arrays ``backward`` reads — forward inputs/outputs
+                and any closure-captured scratch.  ``None`` (the default)
+                means "conservatively all parent data"; pass ``()`` for a
+                closure that reads no array contents (index-only backwards
+                and shape-only reductions).  Pure index/mask operands are
+                input data, not tape buffers, and are never listed.
+        """
         parents = tuple(parents)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
+            out._retains = retains
         return out
 
     # ------------------------------------------------------------------
@@ -350,7 +415,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, retains=())
 
     __radd__ = __add__
 
@@ -359,7 +424,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), backward, retains=())
 
     def __sub__(self, other: "Tensor | float") -> "Tensor":
         return self + (-tensor(other))
@@ -377,7 +442,9 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(
+            out_data, (self, other), backward, retains=(self.data, other.data)
+        )
 
     __rmul__ = __mul__
 
@@ -393,7 +460,9 @@ class Tensor:
                     _unbroadcast(-grad * self.data / (other.data**2), other.shape)
                 )
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(
+            out_data, (self, other), backward, retains=(self.data, other.data)
+        )
 
     def __rtruediv__(self, other: "Tensor | float") -> "Tensor":
         return tensor(other) / self
@@ -407,7 +476,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, retains=(self.data,))
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = tensor(other)
@@ -419,7 +488,9 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(self.data.T @ grad)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(
+            out_data, (self, other), backward, retains=(self.data, other.data)
+        )
 
     # ------------------------------------------------------------------
     # Reductions and shaping (method forms; see ops.py for functionals)
@@ -437,7 +508,7 @@ class Tensor:
             # view, so no intermediate materialization is needed.
             self._accumulate(np.broadcast_to(g, self.shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, retains=())
 
     def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else self.data.shape[axis]
@@ -453,7 +524,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, retains=())
 
     @property
     def T(self) -> "Tensor":
@@ -463,7 +534,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.T)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, retains=())
 
     def __getitem__(self, key: object) -> "Tensor":
         out_data = self.data[key]
@@ -484,7 +555,7 @@ class Tensor:
                 self._accumulate(full)
                 _GRAD_POOL.release(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, retains=())
 
 
 def tensor(

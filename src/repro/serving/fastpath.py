@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModelInput, RouteNet
+from ..core.plan import InferenceArena, plan_for
 from ..errors import ModelError
 from ..nn.layers import MLP, Dense
 from ..nn.rnn import GRUCell, RNNCell
@@ -66,11 +67,25 @@ _ACTIVATIONS = {
 }
 
 
-def _dense(layer: Dense, x: np.ndarray) -> np.ndarray:
-    out = x @ layer.weight.data
+def _dense(layer: Dense, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Dense layer; ``out`` directs the result into an arena view.
+
+    The in-place forms are bitwise-identical to the allocating ones: the
+    matmul is the same GEMM, ``+=`` is the same add ufunc, and the
+    activation is fully materialized before the copy-back, so no operand is
+    read after being written.
+    """
+    if out is None:
+        h = x @ layer.weight.data
+        if layer.bias is not None:
+            h = h + layer.bias.data
+        return _ACTIVATIONS[layer.activation](h)
+    np.matmul(x, layer.weight.data, out=out)
     if layer.bias is not None:
-        out = out + layer.bias.data
-    return _ACTIVATIONS[layer.activation](out)
+        out += layer.bias.data
+    if layer.activation != "linear":
+        out[...] = _ACTIVATIONS[layer.activation](out)
+    return out
 
 
 def _mlp(mlp: MLP, x: np.ndarray) -> np.ndarray:
@@ -85,11 +100,19 @@ def _mlp(mlp: MLP, x: np.ndarray) -> np.ndarray:
 # states, which are constant within one message-passing round.  The
 # ``gx``-taking steps receive those gathered projections.
 # ----------------------------------------------------------------------
-def _gru_precompute(cell: GRUCell, x: np.ndarray) -> np.ndarray:
-    return x @ cell.w.data + cell.bias.data
+def _gru_precompute(
+    cell: GRUCell, x: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    if out is None:
+        return x @ cell.w.data + cell.bias.data
+    np.matmul(x, cell.w.data, out=out)
+    out += cell.bias.data
+    return out
 
 
-def _gru_step_gx(cell: GRUCell, gx: np.ndarray, h: np.ndarray) -> np.ndarray:
+def _gru_step_gx(
+    cell: GRUCell, gx: np.ndarray, h: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     hs = cell.hidden_size
     u = cell.u.data
     # In-place accumulation; float addition commutes bitwise, so this stays
@@ -103,20 +126,38 @@ def _gru_step_gx(cell: GRUCell, gx: np.ndarray, h: np.ndarray) -> np.ndarray:
     n = (r * h) @ u[:, 2 * hs :]
     n += gx[:, 2 * hs :]
     np.tanh(n, out=n)
-    out = 1.0 - z
+    # ``out`` may be an arena slot; it never aliases z/n/h (z and n are
+    # fresh temporaries, and the planner proves the destination slot
+    # disjoint from the live h slot), so the in-place chain reads nothing
+    # it has written.
+    if out is None:
+        out = 1.0 - z
+    else:
+        np.subtract(1.0, z, out=out)
     out *= n
     out += z * h
     return out
 
 
-def _rnn_precompute(cell: RNNCell, x: np.ndarray) -> np.ndarray:
+def _rnn_precompute(
+    cell: RNNCell, x: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     # Bias joins after the recurrent term to keep forward's (xW + hU) + b
     # association.
-    return x @ cell.w.data
+    if out is None:
+        return x @ cell.w.data
+    np.matmul(x, cell.w.data, out=out)
+    return out
 
 
-def _rnn_step_gx(cell: RNNCell, gx: np.ndarray, h: np.ndarray) -> np.ndarray:
-    return np.tanh(gx + h @ cell.u.data + cell.bias.data)
+def _rnn_step_gx(
+    cell: RNNCell, gx: np.ndarray, h: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    pre = gx + h @ cell.u.data + cell.bias.data
+    if out is None:
+        return np.tanh(pre)
+    np.tanh(pre, out=out)
+    return out
 
 
 _CELLS = {
@@ -125,9 +166,10 @@ _CELLS = {
 }
 
 
-def _cell_step(cell, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+def _cell_step(cell, x: np.ndarray, h: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
     precompute, step = _CELLS[type(cell)]
-    return step(cell, precompute(cell, x), h)
+    return step(cell, precompute(cell, x), h, out=out)
 
 
 def supports_fast_forward(model: RouteNet) -> bool:
@@ -142,12 +184,44 @@ def supports_fast_forward(model: RouteNet) -> bool:
     )
 
 
-def fast_forward(model: RouteNet, inputs: ModelInput) -> np.ndarray:
+def _arena_eligible(model: RouteNet, inputs: ModelInput) -> bool:
+    """Arena slots are carved in the model's parameter dtype; mixed-dtype
+    runs would upcast mid-pass and are routed to the unplanned path."""
+    dtype = model.path_cell.w.data.dtype
+    return (
+        inputs.link_features.dtype == dtype
+        and inputs.path_features.dtype == dtype
+        and model.link_embed.weight.data.dtype == dtype
+        and model.path_embed.weight.data.dtype == dtype
+        and model.link_cell.w.data.dtype == dtype
+    )
+
+
+def fast_forward(
+    model: RouteNet,
+    inputs: ModelInput,
+    arena: "InferenceArena | str | None" = "auto",
+) -> np.ndarray:
     """Inference-only forward pass; returns scaled (P, targets) predictions.
 
     Numerically equivalent to ``model.forward(inputs, training=False)`` —
     same message-passing schedule, same per-row arithmetic — minus the
     autodiff machinery.
+
+    Args:
+        model: The RouteNet to replay (see :func:`supports_fast_forward`).
+        inputs: One (possibly fused) :class:`~repro.core.ModelInput`.
+        arena: Where the link/path-state buffers live.  ``"auto"`` (default)
+            runs them out of the input's cached
+            :class:`~repro.core.plan.InferenceArena` — one preallocated,
+            liveness-planned block whose layout the dataflow pass proved
+            non-overlapping, so repeated calls allocate nothing for state
+            and peak memory stays flat in the round count.  ``None``
+            allocates per call (the historical behavior); an explicit
+            :class:`InferenceArena` is used as given.  The arena is locked
+            non-blockingly: concurrent callers that lose the race fall back
+            to the unplanned path, which is bitwise identical (pinned by
+            the serving tests), so results never depend on the lock.
     """
     hp = model.hparams
     if inputs.link_features.shape[1] != hp.link_feature_dim:
@@ -163,9 +237,40 @@ def fast_forward(model: RouteNet, inputs: ModelInput) -> np.ndarray:
         )
     path_pre, path_step = _CELLS[type(model.path_cell)]
 
+    use: InferenceArena | None = None
+    if isinstance(arena, InferenceArena):
+        use = arena if arena.acquire() else None
+    elif arena == "auto" and _arena_eligible(model, inputs):
+        candidate = plan_for(inputs).arena_for(model)
+        use = candidate if candidate.acquire() else None
+    try:
+        return _run_forward(model, inputs, path_pre, path_step, use)
+    finally:
+        if use is not None:
+            use.release()
+
+
+def _run_forward(
+    model: RouteNet,
+    inputs: ModelInput,
+    path_pre,
+    path_step,
+    use: "InferenceArena | None",
+) -> np.ndarray:
+    hp = model.hparams
     num_links = inputs.num_links
-    h_link = _dense(model.link_embed, inputs.link_features)
-    h_path = _dense(model.path_embed, inputs.path_features)
+    rounds = hp.message_passing_steps
+
+    if use is None:
+        h_link = _dense(model.link_embed, inputs.link_features)
+        h_path = _dense(model.path_embed, inputs.path_features)
+    else:
+        h_link = _dense(
+            model.link_embed, inputs.link_features, out=use.view("h_link/0")
+        )
+        h_path = _dense(
+            model.path_embed, inputs.path_features, out=use.view("h_path")
+        )
 
     link_idx = inputs.link_indices
     mask = inputs.mask  # identical to link_idx >= 0 by construction
@@ -185,20 +290,44 @@ def fast_forward(model: RouteNet, inputs: ModelInput) -> np.ndarray:
         uniq, starts = np.unique(ids[order], return_index=True)
         schedule.append((rows, ids, order, uniq, starts))
 
-    # One aggregation buffer for every round; zero-filled in place each
-    # round (nothing downstream keeps a view into it across rounds).
-    message_sum = np.zeros((num_links, h_path.shape[1]))
-    for _ in range(hp.message_passing_steps):
-        gx_all = path_pre(model.path_cell, h_link)
-        message_sum[:] = 0.0
+    # Unplanned: one aggregation buffer for every non-final round, zeroed
+    # in place (nothing downstream keeps a view into it across rounds).
+    # The final round's aggregation and link update are dead code — the
+    # readout consumes path states only (RP602) — and are skipped, which
+    # leaves the output bit-identical while dropping one segment scatter
+    # per timestep plus a whole link-cell step.
+    message_sum = (
+        np.zeros((num_links, h_path.shape[1]))
+        if use is None and rounds > 1 else None
+    )
+    for r in range(rounds):
+        last_round = r == rounds - 1
+        gx_all = path_pre(
+            model.path_cell, h_link,
+            out=use.view(f"gx/{r}") if use is not None else None,
+        )
+        if not last_round:
+            msg = message_sum if use is None else use.view(f"msg/{r}")
+            msg[:] = 0.0
         for rows, ids, order, uniq, starts in schedule:
             if rows is None:
-                h_path = path_step(model.path_cell, gx_all[ids], h_path)
-                values = h_path
+                values = path_step(model.path_cell, gx_all[ids], h_path)
+                if use is None:
+                    h_path = values
+                else:
+                    # Full-slice copy into the arena slot: ``values`` is a
+                    # fresh temporary, so the copy is bitwise the same
+                    # state the unplanned path rebinds to.
+                    h_path[...] = values
             else:
                 values = path_step(model.path_cell, gx_all[ids], h_path[rows])
                 h_path[rows] = values
-            message_sum[uniq] += np.add.reduceat(values[order], starts, axis=0)
-        h_link = _cell_step(model.link_cell, message_sum, h_link)
+            if not last_round:
+                msg[uniq] += np.add.reduceat(values[order], starts, axis=0)
+        if not last_round:
+            h_link = _cell_step(
+                model.link_cell, msg, h_link,
+                out=use.view(f"h_link/{r + 1}") if use is not None else None,
+            )
 
     return _mlp(model.readout, h_path)

@@ -1,0 +1,136 @@
+"""Arena planner: greedy interval coloring and the soundness proof."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dataflow import (
+    ArenaPlan,
+    ArenaPlanError,
+    BufferInterval,
+    plan_arena,
+)
+
+
+def iv(name, nbytes, start, end):
+    return BufferInterval(name=name, nbytes=nbytes, start=start, end=end)
+
+
+class TestIntervals:
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ArenaPlanError):
+            iv("a", 0, 0, 1)
+
+    def test_rejects_backwards_interval(self):
+        with pytest.raises(ArenaPlanError):
+            iv("a", 8, 3, 2)
+
+    def test_time_overlap_is_inclusive(self):
+        assert iv("a", 8, 0, 2).overlaps_time(iv("b", 8, 2, 4))
+        assert not iv("a", 8, 0, 2).overlaps_time(iv("b", 8, 3, 4))
+
+
+class TestColoring:
+    def test_disjoint_lifetimes_share_bytes(self):
+        plan = plan_arena([iv("a", 100, 0, 1), iv("b", 100, 2, 3)])
+        assert plan.offsets["a"] == plan.offsets["b"] == 0
+        assert plan.total_bytes == 128  # 100 rounded up to alignment
+
+    def test_live_overlap_forces_disjoint_ranges(self):
+        plan = plan_arena([iv("a", 100, 0, 2), iv("b", 100, 1, 3)])
+        a, b = plan.offsets["a"], plan.offsets["b"]
+        assert a + 100 <= b or b + 100 <= a
+
+    def test_offsets_respect_alignment(self):
+        plan = plan_arena(
+            [iv("a", 7, 0, 2), iv("b", 7, 0, 2), iv("c", 7, 0, 2)],
+            alignment=32,
+        )
+        assert all(off % 32 == 0 for off in plan.offsets.values())
+
+    def test_small_buffer_fits_in_gap(self):
+        # a and c overlap b but not each other: c should reuse a's slot
+        # region rather than grow the arena past b.
+        plan = plan_arena([
+            iv("a", 64, 0, 1),
+            iv("b", 64, 0, 3),
+            iv("c", 64, 2, 3),
+        ])
+        assert plan.total_bytes == 128
+        assert plan.offsets["c"] == plan.offsets["a"]
+
+    def test_peak_not_sum(self):
+        # Ten sequential buffers: the arena is one slot, not ten.
+        plan = plan_arena([iv(f"v{i}", 256, i, i) for i in range(10)])
+        assert plan.total_bytes == 256
+        assert set(plan.offsets.values()) == {0}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ArenaPlanError, match="duplicate"):
+            plan_arena([iv("a", 8, 0, 1), iv("a", 8, 2, 3)])
+
+    def test_empty_plan(self):
+        plan = plan_arena([])
+        assert plan.total_bytes == 0
+        assert plan.verify()["violations"] == []
+
+    def test_randomized_plans_always_verify(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n = int(rng.integers(1, 30))
+            intervals = []
+            for i in range(n):
+                start = int(rng.integers(0, 40))
+                intervals.append(iv(
+                    f"v{i}", int(rng.integers(1, 5000)),
+                    start, start + int(rng.integers(0, 10)),
+                ))
+            proof = plan_arena(intervals).verify()
+            assert proof["violations"] == []
+            assert proof["buffers"] == n
+
+
+class TestProof:
+    def test_proof_fields(self):
+        plan = plan_arena([iv("a", 100, 0, 2), iv("b", 100, 1, 3)])
+        proof = plan.verify()
+        assert proof["buffers"] == 2
+        assert proof["pairs_checked"] == 1
+        assert proof["live_pairs"] == 1
+        assert proof["violations"] == []
+        assert proof["total_bytes"] == plan.total_bytes
+
+    def test_unsound_plan_raises_with_violation(self):
+        bad = ArenaPlan(
+            total_bytes=128,
+            alignment=64,
+            offsets={"a": 0, "b": 64},
+            intervals=(iv("a", 100, 0, 2), iv("b", 64, 1, 3)),
+        )
+        with pytest.raises(ArenaPlanError, match="unsound"):
+            bad.verify()
+
+    def test_misaligned_plan_raises(self):
+        bad = ArenaPlan(
+            total_bytes=128,
+            alignment=64,
+            offsets={"a": 8},
+            intervals=(iv("a", 16, 0, 1),),
+        )
+        with pytest.raises(ArenaPlanError, match="alignment"):
+            bad.verify()
+
+    def test_out_of_bounds_plan_raises(self):
+        bad = ArenaPlan(
+            total_bytes=64,
+            alignment=64,
+            offsets={"a": 0},
+            intervals=(iv("a", 100, 0, 1),),
+        )
+        with pytest.raises(ArenaPlanError, match="outside"):
+            bad.verify()
+
+    def test_to_json_carries_proof(self):
+        payload = plan_arena([iv("a", 8, 0, 1)]).to_json()
+        assert payload["proof"]["violations"] == []
+        (buf,) = payload["buffers"]
+        assert buf == {"name": "a", "nbytes": 8, "offset": 0, "live": [0, 1]}

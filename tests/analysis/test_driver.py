@@ -65,6 +65,15 @@ def fake_tree(monkeypatch, tmp_path):
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(textwrap.dedent(source))
         monkeypatch.setattr(driver, "_default_src_root", lambda: root)
+        # The tape dataflow pass records the *real* model — meaningless
+        # (and slow) against a fake source tree, so stub it out here; the
+        # real-tree tests below exercise it for real.
+        import repro.analysis.dataflow as dataflow_pkg
+
+        monkeypatch.setattr(
+            dataflow_pkg, "run_dataflow",
+            lambda repo_root=None, families=None: ([], {"stubbed": True}),
+        )
         return root
 
     return build
@@ -273,6 +282,31 @@ class TestCache:
 
 class TestRealTree:
     def test_repo_passes_strict(self, capsys):
-        """Acceptance: the full suite over the real tree is clean."""
+        """Acceptance: the full suite over the real tree is clean.
+
+        Includes the tape dataflow pass (RP6xx) recording the real model —
+        the repo's own tape must be free of RP601/RP602/RP603 findings.
+        """
         assert driver.main(["--strict", "--no-shapes"]) == 0
         capsys.readouterr()
+
+    def test_dataflow_payload_and_flag(self, capsys):
+        rc = driver.main(
+            ["--format", "json", "--no-shapes", "--no-flow", "--no-lint"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        plans = payload["dataflow"]["arena_plans"]
+        assert set(plans) == {"nsfnet", "geant2", "synthetic50"}
+        for family in plans.values():
+            for kind in ("tape", "inference"):
+                proof = family[kind]["proof"]
+                assert proof["violations"] == []
+                assert proof["pairs_checked"] >= proof["live_pairs"]
+
+        rc = driver.main([
+            "--format", "json", "--no-shapes", "--no-flow", "--no-lint",
+            "--no-dataflow",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0 and "dataflow" not in payload

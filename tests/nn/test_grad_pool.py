@@ -7,6 +7,8 @@ weak references so arrays the pool never lent (e.g. a test assigning
 ``p.grad`` directly) are never recycled out from under their owner.
 """
 
+import weakref
+
 import numpy as np
 
 from repro.nn import Parameter, tensor
@@ -95,3 +97,38 @@ class TestPoolEviction:
         pool.release(a)
         pool.release(a)  # no longer lent: must not be pooled twice
         assert pool.stats()["free"] == 1
+
+
+class TestViewRejection:
+    """Views into shared storage must never enter the free list.
+
+    Regression: an arena slot (a view carved out of the execution arena's
+    backing allocation) released into the pool would later be handed out as
+    a "fresh" gradient buffer, aliasing two tensors' gradients onto the
+    arena's bytes.
+    """
+
+    def test_arena_slot_never_pooled(self):
+        pool = _GradBufferPool()
+        backing = np.empty(256, dtype=np.uint8)  # the arena's allocation
+        slot = backing[:32].view(np.float64)     # one planned buffer view
+        # Even with forged lending bookkeeping (the strongest adversary:
+        # id() collision after a real buffer died), release must refuse it.
+        pool._lent[id(slot)] = weakref.ref(slot)
+        pool.release(slot)
+        assert pool.stats()["free"] == 0
+        fresh = pool.acquire((4,), np.float64)
+        assert fresh.base is None  # never hands out a view
+
+    def test_plain_view_of_owned_buffer_rejected(self):
+        pool = _GradBufferPool()
+        buf = pool.acquire((8,), np.float64)
+        view = buf[:4]
+        pool._lent[id(view)] = weakref.ref(view)
+        pool.release(view)
+        assert pool.stats()["free"] == 0
+
+    def test_none_release_is_a_noop(self):
+        pool = _GradBufferPool()
+        pool.release(None)
+        assert pool.stats()["free"] == 0

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro import nn
+from repro.analysis.shapes import paper_signatures
 from repro.core import HyperParams, RouteNet
+from repro.core.plan import plan_for
 from repro.dataset import fit_scaler
 from repro.errors import ModelError
 from repro.serving import (
@@ -61,6 +63,102 @@ class TestEquivalence:
         wide = RouteNet(HyperParams(link_feature_dim=2))
         with pytest.raises(ModelError):
             fast_forward(wide, _inputs([tiny_samples[0]], scaler)[0])
+
+
+def _paper_inputs(seed=7):
+    """The three paper families' ModelInputs with randomized features."""
+    rng = np.random.default_rng(seed)
+    out = {}
+    for family, sig in paper_signatures().items():
+        inp = sig.model_input()
+        inp.link_features[:] = rng.standard_normal(inp.link_features.shape)
+        inp.path_features[:] = rng.standard_normal(inp.path_features.shape)
+        out[family] = inp
+    return out
+
+
+class TestArena:
+    """Arena-backed execution is pinned bitwise against unplanned."""
+
+    def test_paper_families_bitwise_identical(self):
+        model = RouteNet(seed=21)
+        for family, inp in _paper_inputs().items():
+            with nn.no_grad():
+                reference = model.forward(inp, training=False).numpy()
+            unplanned = fast_forward(model, inp, arena=None)
+            planned = fast_forward(model, inp, arena="auto")
+            repeat = fast_forward(model, inp, arena="auto")
+            np.testing.assert_array_equal(unplanned, reference, err_msg=family)
+            np.testing.assert_array_equal(planned, unplanned, err_msg=family)
+            np.testing.assert_array_equal(repeat, planned, err_msg=family)
+
+    def test_result_is_never_an_arena_view(self):
+        model = RouteNet(seed=21)
+        inp = _paper_inputs()["nsfnet"]
+        planned = fast_forward(model, inp, arena="auto")
+        assert planned.base is None
+        arena = plan_for(inp).arena_for(model)
+        backing = arena.view("h_path").base
+        assert planned.base is not backing
+
+    def test_peak_bytes_flat_across_round_counts(self):
+        """More message-passing rounds must not grow the arena: dead-slot
+        reuse (h_link/gx/msg generations alternate) keeps the peak flat."""
+        inp = _paper_inputs()["nsfnet"]
+        plan = plan_for(inp)
+        sizes = {
+            steps: plan.arena_for(
+                RouteNet(HyperParams(message_passing_steps=steps), seed=21)
+            ).plan.total_bytes
+            for steps in (3, 4, 8, 16)
+        }
+        assert len(set(sizes.values())) == 1, sizes
+
+    def test_lock_loser_falls_back_bitwise(self):
+        model = RouteNet(seed=21)
+        inp = _paper_inputs()["geant2"]
+        expected = fast_forward(model, inp, arena=None)
+        arena = plan_for(inp).arena_for(model)
+        assert arena.acquire()  # simulate a concurrent caller holding it
+        try:
+            contested = fast_forward(model, inp, arena="auto")
+        finally:
+            arena.release()
+        np.testing.assert_array_equal(contested, expected)
+
+    def test_explicit_arena_object(self):
+        model = RouteNet(seed=21)
+        inp = _paper_inputs()["nsfnet"]
+        arena = plan_for(inp).arena_for(model)
+        expected = fast_forward(model, inp, arena=None)
+        np.testing.assert_array_equal(
+            fast_forward(model, inp, arena=arena), expected
+        )
+
+    def test_arena_is_cached_per_model_geometry(self):
+        inp = _paper_inputs()["nsfnet"]
+        plan = plan_for(inp)
+        a = plan.arena_for(RouteNet(seed=1))
+        b = plan.arena_for(RouteNet(seed=2))  # same geometry, other weights
+        assert a is b
+        wide = plan.arena_for(RouteNet(HyperParams(link_state_dim=32), seed=1))
+        assert wide is not a
+
+    def test_mixed_dtype_input_falls_back(self):
+        model = RouteNet(seed=21)
+        sig = paper_signatures()["nsfnet"]
+        inp = sig.model_input()
+        narrow = type(inp)(
+            pairs=inp.pairs,
+            link_features=inp.link_features.astype(np.float32),
+            path_features=inp.path_features,
+            link_indices=inp.link_indices,
+            mask=inp.mask,
+        )
+        out = fast_forward(model, narrow, arena="auto")
+        np.testing.assert_array_equal(
+            out, fast_forward(model, narrow, arena=None)
+        )
 
 
 class TestSupport:
