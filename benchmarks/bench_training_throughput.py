@@ -48,6 +48,15 @@ Output schema (``BENCH_training.json``)::
          "loss_final": float, "worker_starts": int, "restarts": int},
         ...
       ],
+      "streaming": {                   # eager-list vs stream+prefetch axis
+        "replication": int,            # oversize factor (>= 4 for the gate)
+        "oversize_samples": int, "epochs": int, "batch_size": int,
+        "eager":  {"rss_before_load_kib": int, "rss_after_load_kib": int,
+                   "dataset_resident_kib": int, "load_s": s, "prepare_s": s,
+                   "fit_s": s, "peak_rss_kib": int, "loss_digest": str},
+        "stream": {... same row, measured in its own subprocess ...},
+        "rss_ratio": float, "prepare_ratio": float, "digest_match": bool
+      },
       "arena": {                       # measured by the dataflow recorder
         "budgets": {family: {"tape_arena_bytes": int,     # RP604 budget
                              "peak_tape_bytes": int,
@@ -67,11 +76,23 @@ benched reality, not hand-picked numbers — plus the per-round buffer-count
 stats behind it.  It is deterministic for fixed model dims (structure, not
 timing), so quick and full runs agree.
 
+The ``streaming`` axis trains over an oversized synthetic dataset
+(content-varying replicas of the base scenarios) twice — once from an eager
+in-RAM sample list, once from a converted stream dataset with ``prefetch=1``
+— each in its own subprocess (``ru_maxrss`` is monotonic per process).  RSS
+is sampled before and after the dataset load, separating dataset-resident
+bytes from the training working set.
+
 ``--check BASELINE.json`` compares the measured B=16-vs-B=1 and W=4-vs-W=1
 speedup ratios against the committed baseline's and fails (exit 1) when
 either falls below 80% of its committed value — a machine-independent
 regression gate (absolute samples/sec are hardware-dependent; the *ratios*
-are not, as long as the core count class matches the baseline's).
+are not, as long as the core count class matches the baseline's).  It also
+enforces three absolute streaming gates: the stream probe's loss digest
+must equal the eager probe's (bitwise trajectory parity), its peak RSS
+must stay below the eager probe's at >= 4x dataset size, and its
+in-process prepare time must be <= 20% of the eager baseline's (the
+prefetch worker, not the training loop, packs the batches).
 """
 
 from __future__ import annotations
@@ -98,6 +119,11 @@ from repro.training import Trainer  # noqa: E402
 BATCH_SIZES = (1, 4, 16)
 WORKER_COUNTS = (1, 2, 4)
 WORKERS_BATCH_SIZE = 16
+#: Oversize factor of the streaming-vs-eager dataset (content-varying
+#: replicas of the base set).  The RSS gate requires >= 4.
+STREAM_REPLICATION = 8
+STREAM_BATCH_SIZE = 8
+STREAM_EPOCHS = 2
 
 FAST_GEN = GenerationConfig(
     target_packets_per_pair=60.0,
@@ -243,6 +269,185 @@ def bench_workers(samples, hparams, workers, timed_epochs,
     }
 
 
+def _proc_status_kib(field: str) -> int | None:
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def _rss_now_kib() -> int:
+    """Current resident set size (KiB)."""
+    now = _proc_status_kib("VmRSS")
+    if now is not None:
+        return now
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _rss_peak_kib() -> int:
+    """Peak resident set size (KiB) since exec.
+
+    ``ru_maxrss`` survives ``exec`` — a child forked from a large parent
+    inherits the parent's copy-on-write peak and reports it forever — so the
+    probes read ``VmHWM`` (reset when the new image is mapped) and fall back
+    to ``ru_maxrss`` only off Linux.
+    """
+    peak = _proc_status_kib("VmHWM")
+    if peak is not None:
+        return peak
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def run_probe(args) -> int:
+    """Child-process body of the streaming axis (``--probe eager|stream``).
+
+    ``ru_maxrss`` is monotonic per process, so the eager and streaming
+    passes each run in a fresh subprocess; this function measures one of
+    them and writes its JSON row to ``--probe-out``.  RSS is sampled before
+    and after the dataset load so dataset-resident bytes separate cleanly
+    from the training working set.
+    """
+    import hashlib
+
+    from repro.dataset import StreamDataset, load_dataset
+
+    rss_before_load = _rss_now_kib()
+    t0 = time.perf_counter()
+    if args.probe == "eager":
+        samples = load_dataset(args.probe_data)
+        prefetch = None
+    else:
+        samples = StreamDataset(args.probe_data, cache_samples=8)
+        prefetch = 1
+    load_s = time.perf_counter() - t0
+    rss_after_load = _rss_now_kib()
+
+    trainer = Trainer(RouteNet(HyperParams(), seed=0), seed=5)
+    prepare = {"seconds": 0.0}
+    for name in ("_prepare", "_prepare_batch"):
+        original = getattr(trainer, name)
+
+        def timed(*a, _original=original, **kw):
+            t = time.perf_counter()
+            out = _original(*a, **kw)
+            prepare["seconds"] += time.perf_counter() - t
+            return out
+
+        setattr(trainer, name, timed)
+
+    t0 = time.perf_counter()
+    history = trainer.fit(
+        samples, epochs=args.probe_epochs, batch_size=args.probe_batch,
+        prefetch=prefetch,
+    )
+    fit_s = time.perf_counter() - t0
+    losses = np.asarray([e.train_loss for e in history.epochs], dtype=np.float64)
+    row = {
+        "mode": args.probe,
+        "num_samples": len(samples),
+        "rss_before_load_kib": rss_before_load,
+        "rss_after_load_kib": rss_after_load,
+        "dataset_resident_kib": rss_after_load - rss_before_load,
+        "load_s": round(load_s, 4),
+        "prepare_s": round(prepare["seconds"], 4),
+        "fit_s": round(fit_s, 4),
+        "peak_rss_kib": _rss_peak_kib(),
+        "loss_digest": hashlib.sha256(losses.tobytes()).hexdigest(),
+    }
+    Path(args.probe_out).write_text(json.dumps(row, indent=2) + "\n")
+    return 0
+
+
+def bench_streaming(samples, replication, tmp_dir) -> dict:
+    """Eager-list vs stream+prefetch training over an oversized dataset.
+
+    The oversized set is ``replication`` content-varying replicas of the
+    base scenarios (traffic scaled by a distinct factor per replica, so the
+    content-addressed input cache cannot dedupe them — like a real dataset
+    of distinct samples).  Each mode runs in its own subprocess; equal loss
+    digests prove the streaming pipeline reproduces eager training bitwise
+    while its RSS stays flat.
+    """
+    import subprocess
+    from dataclasses import replace as dc_replace
+
+    from repro.dataset import save_dataset, write_stream_dataset
+    from repro.traffic import TrafficMatrix
+
+    oversized = [
+        dc_replace(s, traffic=TrafficMatrix(s.traffic.rates * (1.0 + 1e-4 * k)))
+        for k in range(replication)
+        for s in samples
+    ]
+    tmp = Path(tmp_dir)
+    jsonl = tmp / "oversized.jsonl"
+    stream_dir = tmp / "oversized.stream"
+    save_dataset(oversized, jsonl)
+    write_stream_dataset(oversized, stream_dir, overwrite=True)
+
+    rows = {}
+    for mode, data in (("eager", jsonl), ("stream", stream_dir)):
+        out = tmp / f"probe_{mode}.json"
+        print(f"  probe {mode}: fitting {len(oversized)} samples "
+              f"(B={STREAM_BATCH_SIZE}, {STREAM_EPOCHS} epochs) ...",
+              flush=True)
+        subprocess.run(
+            [sys.executable, __file__, "--probe", mode,
+             "--probe-data", str(data), "--probe-out", str(out),
+             "--probe-epochs", str(STREAM_EPOCHS),
+             "--probe-batch", str(STREAM_BATCH_SIZE)],
+            check=True,
+        )
+        rows[mode] = json.loads(out.read_text())
+
+    eager, stream = rows["eager"], rows["stream"]
+    return {
+        "replication": replication,
+        "oversize_samples": len(oversized),
+        "epochs": STREAM_EPOCHS,
+        "batch_size": STREAM_BATCH_SIZE,
+        "eager": eager,
+        "stream": stream,
+        "rss_ratio": round(stream["peak_rss_kib"] / eager["peak_rss_kib"], 4),
+        "prepare_ratio": round(
+            stream["prepare_s"] / eager["prepare_s"], 4
+        ) if eager["prepare_s"] > 0 else 0.0,
+        "digest_match": eager["loss_digest"] == stream["loss_digest"],
+    }
+
+
+def check_streaming(streaming: dict) -> list[str]:
+    """Absolute gates of the streaming axis (machine-independent)."""
+    failures = []
+    if streaming["replication"] < 4:
+        failures.append(
+            f"streaming axis replication {streaming['replication']} < 4"
+        )
+    if not streaming["digest_match"]:
+        failures.append(
+            "streaming loss digest differs from eager — the prefetch "
+            "pipeline is no longer bitwise-identical"
+        )
+    eager, stream = streaming["eager"], streaming["stream"]
+    if stream["peak_rss_kib"] >= eager["peak_rss_kib"]:
+        failures.append(
+            f"streaming peak RSS {stream['peak_rss_kib']} KiB >= eager "
+            f"{eager['peak_rss_kib']} KiB — streaming no longer bounds "
+            f"resident memory"
+        )
+    if stream["prepare_s"] > 0.2 * eager["prepare_s"]:
+        failures.append(
+            f"streaming in-process prepare {stream['prepare_s']:.3f}s > 20% "
+            f"of eager {eager['prepare_s']:.3f}s — prefetch is not "
+            f"offloading batch packing"
+        )
+    return failures
+
+
 def measure_arena() -> dict:
     """Per-family arena budgets + per-round buffer stats (deterministic).
 
@@ -283,7 +488,22 @@ def main(argv=None) -> int:
                         help="override the number of NSFNET scenarios")
     parser.add_argument("--epochs", type=int, default=None,
                         help="override the number of timed epochs")
+    parser.add_argument("--replication", type=int, default=STREAM_REPLICATION,
+                        help="oversize factor of the streaming-axis dataset "
+                             "(>= 4 for the RSS gate)")
+    # Internal: child-process mode of the streaming axis.
+    parser.add_argument("--probe", choices=("eager", "stream"),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--probe-data", help=argparse.SUPPRESS)
+    parser.add_argument("--probe-out", help=argparse.SUPPRESS)
+    parser.add_argument("--probe-epochs", type=int, default=STREAM_EPOCHS,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--probe-batch", type=int, default=STREAM_BATCH_SIZE,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+
+    if args.probe:
+        return run_probe(args)
 
     num_samples = args.samples or (16 if args.quick else 48)
     timed_epochs = args.epochs or (1 if args.quick else 3)
@@ -325,6 +545,21 @@ def main(argv=None) -> int:
     speedup = by_b[16]["samples_per_sec"] / by_b[1]["samples_per_sec"]
     w_top = max(WORKER_COUNTS)
     speedup_w = by_w[w_top]["samples_per_sec"] / by_w[1]["samples_per_sec"]
+    print("streaming axis: eager vs stream+prefetch subprocess probes ...",
+          flush=True)
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_stream_") as tmp_dir:
+        streaming = bench_streaming(samples, args.replication, tmp_dir)
+    print(f"  eager:  dataset {streaming['eager']['dataset_resident_kib']} KiB "
+          f"resident, prepare {streaming['eager']['prepare_s']:.2f}s, "
+          f"peak RSS {streaming['eager']['peak_rss_kib']} KiB", flush=True)
+    print(f"  stream: dataset {streaming['stream']['dataset_resident_kib']} KiB "
+          f"resident, prepare {streaming['stream']['prepare_s']:.2f}s, "
+          f"peak RSS {streaming['stream']['peak_rss_kib']} KiB "
+          f"(RSS ratio {streaming['rss_ratio']:.2f}, digest match "
+          f"{streaming['digest_match']})", flush=True)
+
     print("recording per-family tape arenas ...", flush=True)
     arena = measure_arena()
     for family, budget in arena["budgets"].items():
@@ -345,6 +580,7 @@ def main(argv=None) -> int:
         },
         "results": results,
         "results_workers": results_workers,
+        "streaming": streaming,
         "arena": arena,
         "speedup_b16_vs_b1": round(speedup, 3),
         "speedup_w4_vs_w1": round(speedup_w, 3),
@@ -369,6 +605,14 @@ def main(argv=None) -> int:
             else:
                 print(f"check OK: {label} speedup {measured:.2f}x >= floor "
                       f"{floor:.2f}x (baseline {committed:.2f}x)")
+        for failure in check_streaming(streaming):
+            print(f"REGRESSION: {failure}")
+            failed = True
+        if not check_streaming(streaming):
+            print(f"check OK: streaming peak RSS "
+                  f"{streaming['rss_ratio']:.2f}x of eager, prepare "
+                  f"{streaming['prepare_ratio']:.2f}x of eager, loss digest "
+                  f"matches at {streaming['replication']}x dataset size")
         if failed:
             return 1
     return 0

@@ -44,6 +44,10 @@ _HOT_METHOD_NAMES = {"forward", "backward"}
 _HOT_QUALNAMES = {
     "repro.training.trainer.Trainer.train_step",
     "repro.training.trainer.Trainer.train_step_batch",
+    # The prefetch worker packs one batch per optimization step in a
+    # background process — the same per-step cadence as the train steps,
+    # so its packing path is held to the same allocation discipline.
+    "repro.dataset.stream._prefetch_pack_worker",
 }
 #: Modules where float64 is the engine's *chosen* precision, not an
 #: accident — the same boundary RP005 draws for literal dtypes.

@@ -31,6 +31,7 @@ from .core import FeatureScaler, HyperParams, RouteNet
 from .dataset import (
     GenerationConfig,
     Sample,
+    StreamDataset,
     generate_dataset_run,
     load_dataset,
     save_dataset,
@@ -90,11 +91,21 @@ def _resolve_model(
     return model, scaler
 
 
-def _resolve_samples(samples: Sequence[Sample] | Sample | str | Path) -> list[Sample]:
+def _resolve_samples(
+    samples: Sequence[Sample] | Sample | str | Path,
+) -> Sequence[Sample]:
     if isinstance(samples, (str, Path)):
-        return load_dataset(samples)
+        path = Path(samples)
+        if path.is_dir():
+            # A directory is a converted stream dataset: serve samples
+            # straight off the memory-mapped shards instead of materializing
+            # the whole set.
+            return StreamDataset(path)
+        return load_dataset(path)
     if isinstance(samples, Sample):
         return [samples]
+    if isinstance(samples, StreamDataset):
+        return samples
     return list(samples)
 
 
@@ -127,11 +138,15 @@ def train(
     batch_size: int = 1,
     workers: int | None = None,
     micro_batch: int | None = None,
+    prefetch: int | None = None,
 ) -> TrainResult:
     """Train a fresh RouteNet on ``samples``.
 
     Args:
-        samples: Training samples, or a JSONL archive path.
+        samples: Training samples, a JSONL archive path, or a converted
+            stream-dataset *directory* (see ``repro dataset convert``),
+            which is served off memory-mapped shards without loading the
+            whole set.
         epochs: Passes over the training set.
         hparams: Model architecture; library defaults when omitted.
         seed: Seeds both model init and the trainer's shuffling.
@@ -155,6 +170,11 @@ def train(
             the single-process fast paths.
         micro_batch: Shard size of the data-parallel batch partition
             (requires ``workers``); defaults to up to four shards per batch.
+        prefetch: When set, pack each step's batch in this many background
+            processes one step ahead of the optimizer
+            (:class:`~repro.dataset.PrefetchLoader`), overlapping input
+            preparation with compute.  Bitwise identical to the in-process
+            path; mutually exclusive with ``workers``.
     """
     train_set = _resolve_samples(samples)
     eval_set = _resolve_samples(eval_samples) if eval_samples is not None else None
@@ -172,6 +192,7 @@ def train(
         batch_size=batch_size,
         workers=workers,
         micro_batch=micro_batch,
+        prefetch=prefetch,
     )
     result = TrainResult(model=model, scaler=trainer.scaler, history=history)
     if checkpoint is not None:

@@ -14,7 +14,15 @@ import numpy as np
 
 from .. import api
 from ..core import HyperParams, RouteNet
-from ..dataset import GenerationConfig, generate_dataset_run, load_dataset, save_dataset
+from ..dataset import (
+    GenerationConfig,
+    StreamDataset,
+    convert_jsonl,
+    generate_dataset_run,
+    load_dataset,
+    save_dataset,
+    write_stream_dataset,
+)
 from ..errors import ReproError
 from ..runner import ProgressEvent, RunnerConfig
 from ..evaluation import cdf_table, compute_error_cdf, format_top_paths, top_n_paths
@@ -33,6 +41,8 @@ __all__ = [
     "cmd_optimize",
     "cmd_whatif",
     "cmd_figures",
+    "cmd_dataset_convert",
+    "cmd_dataset_verify",
 ]
 
 
@@ -128,7 +138,49 @@ def cmd_generate(args: argparse.Namespace) -> int:
     count = save_dataset(run.samples, args.output)
     pairs = sum(s.num_pairs for s in run.samples)
     print(f"wrote {count} samples ({pairs} labeled paths) to {args.output}")
+    if args.dataset_dir is not None:
+        write_stream_dataset(
+            run.samples, args.dataset_dir,
+            fingerprint={
+                "kind": "generation",
+                "topology": topology.name,
+                "num_samples": args.num_samples,
+                "seed": args.seed,
+            },
+            overwrite=args.overwrite_dataset_dir,
+        )
+        print(f"wrote stream dataset ({count} records) to {args.dataset_dir}")
     print(run.metrics.summary())
+    return 0
+
+
+@_handle_errors
+def cmd_dataset_convert(args: argparse.Namespace) -> int:
+    count = convert_jsonl(
+        args.input, args.output,
+        samples_per_shard=args.samples_per_shard,
+        overwrite=args.overwrite,
+    )
+    ds = StreamDataset(args.output)
+    print(
+        f"converted {count} samples from {len(args.input)} archive(s) into "
+        f"{ds.num_shards} shard(s) at {args.output}"
+    )
+    ds.close()
+    return 0
+
+
+@_handle_errors
+def cmd_dataset_verify(args: argparse.Namespace) -> int:
+    ds = StreamDataset(args.directory)
+    try:
+        ds.verify()
+        print(
+            f"ok: {len(ds)} records across {ds.num_shards} shard(s) "
+            f"(all CRCs match the manifest)"
+        )
+    finally:
+        ds.close()
     return 0
 
 
@@ -141,8 +193,21 @@ def _load_many(paths: list[str]):
 
 @_handle_errors
 def cmd_train(args: argparse.Namespace) -> int:
-    samples = _load_many(args.dataset)
-    print(f"loaded {len(samples)} training samples from {len(args.dataset)} archive(s)")
+    if (args.dataset is None) == (args.dataset_dir is None):
+        print("error: pass exactly one of -d/--dataset or --dataset-dir")
+        return 1
+    if args.dataset_dir is not None:
+        samples = StreamDataset(args.dataset_dir)
+        print(
+            f"streaming {len(samples)} training samples from "
+            f"{samples.num_shards} shard(s) in {args.dataset_dir}"
+        )
+    else:
+        samples = _load_many(args.dataset)
+        print(
+            f"loaded {len(samples)} training samples from "
+            f"{len(args.dataset)} archive(s)"
+        )
     hp = HyperParams(
         link_state_dim=args.state_dim,
         path_state_dim=args.state_dim,
@@ -162,6 +227,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         micro_batch=args.micro_batch,
+        prefetch=args.prefetch,
     )
     print(f"wrote checkpoint {args.output} "
           f"(final loss {result.final_train_loss:.4f})")

@@ -4,7 +4,9 @@ Subcommands mirror the library's workflow::
 
     python -m repro topologies                      # list reference networks
     python -m repro generate --topology nsfnet -n 16 -o data.jsonl
+    python -m repro dataset convert -i data.jsonl -o data.stream
     python -m repro train -d data.jsonl -o model.npz --epochs 20
+    python -m repro train --dataset-dir data.stream --prefetch 1 -o model.npz
     python -m repro evaluate -m model.npz -d eval.jsonl
     python -m repro predict -m model.npz -d eval.jsonl --sample 0 --top 10
     python -m repro predict -m model.npz -d eval.jsonl --batch 32
@@ -70,11 +72,47 @@ def build_parser() -> argparse.ArgumentParser:
                           "failed scenario")
     gen.add_argument("--quiet", action="store_true",
                      help="suppress per-scenario progress lines")
+    gen.add_argument("--dataset-dir", metavar="DIR",
+                     help="also write the samples as a binary stream dataset "
+                          "(memory-mapped shards trainable via "
+                          "'train --dataset-dir')")
+    gen.add_argument("--overwrite-dataset-dir", action="store_true",
+                     help="replace an existing stream dataset at "
+                          "--dataset-dir")
     gen.set_defaults(func=commands.cmd_generate)
 
+    ds = sub.add_parser("dataset", help="stream-dataset management")
+    ds_sub = ds.add_subparsers(dest="dataset_command", required=True)
+    conv = ds_sub.add_parser(
+        "convert",
+        help="convert JSONL archives into the binary stream format",
+    )
+    conv.add_argument("-i", "--input", action="append", required=True,
+                      help="source .jsonl archive (repeatable; record order "
+                           "is the concatenation order)")
+    conv.add_argument("-o", "--output", required=True,
+                      help="output stream-dataset directory")
+    conv.add_argument("--samples-per-shard", type=int, default=512,
+                      help="records per shard file")
+    conv.add_argument("--overwrite", action="store_true",
+                      help="replace an existing dataset at the output path")
+    conv.set_defaults(func=commands.cmd_dataset_convert)
+    verify = ds_sub.add_parser(
+        "verify",
+        help="check every shard's CRC against the dataset manifest",
+    )
+    verify.add_argument("directory", help="stream-dataset directory")
+    verify.set_defaults(func=commands.cmd_dataset_verify)
+
     train = sub.add_parser("train", help="train RouteNet on JSONL datasets")
-    train.add_argument("-d", "--dataset", action="append", required=True,
-                       help="training archive (repeatable)")
+    train.add_argument("-d", "--dataset", action="append",
+                       help="training archive (repeatable; or use "
+                            "--dataset-dir)")
+    train.add_argument("--dataset-dir", metavar="DIR",
+                       help="converted stream-dataset directory (see "
+                            "'repro dataset convert'); samples are served "
+                            "off memory-mapped shards instead of loaded "
+                            "into RAM")
     train.add_argument("-o", "--output", required=True, help="checkpoint .npz path")
     train.add_argument("--epochs", type=int, default=20)
     train.add_argument("--seed", type=int, default=0)
@@ -95,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard size of the data-parallel batch partition "
                             "(requires --workers; default: up to 4 shards "
                             "per batch)")
+    train.add_argument("--prefetch", type=int, default=None, metavar="N",
+                       help="pack each step's batch in N background "
+                            "processes one step ahead of the optimizer "
+                            "(bitwise identical to in-process preparation; "
+                            "mutually exclusive with --workers)")
     train.add_argument("--sanitize", action="store_true",
                        help="run each step under the tape sanitizer: a "
                             "divergence names the first op producing NaN/Inf")

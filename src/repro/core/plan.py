@@ -30,6 +30,7 @@ __all__ = [
     "ForwardPlan",
     "PlanStep",
     "InferenceArena",
+    "adopt_plan",
     "build_plan",
     "plan_for",
     "inference_arena_intervals",
@@ -272,4 +273,28 @@ def plan_for(inputs: ModelInput) -> ForwardPlan:
         _MEMO[key] = (weakref.ref(inputs, _evict), plan)
     except TypeError:
         pass  # un-weakref-able stand-ins (tests) are simply not memoized
+    return plan
+
+
+def adopt_plan(inputs: ModelInput, plan: ForwardPlan) -> ForwardPlan:
+    """Install a plan computed elsewhere (e.g. a prefetch worker) for ``inputs``.
+
+    The streaming pipeline builds each batch's :class:`ForwardPlan` in the
+    background process alongside the packed input; adopting it here lets the
+    training step's :func:`plan_for` hit the memo instead of re-deriving the
+    scatter schedules on the hot path.  Plans are pure functions of
+    ``inputs.link_indices``/``mask``, so an adopted plan is indistinguishable
+    from a locally built one.
+    """
+    key = id(inputs)
+
+    def _evict(ref: weakref.ref, key: int = key) -> None:
+        entry = _MEMO.get(key)
+        if entry is not None and entry[0] is ref:
+            del _MEMO[key]
+
+    try:
+        _MEMO[key] = (weakref.ref(inputs, _evict), plan)
+    except TypeError:
+        pass
     return plan

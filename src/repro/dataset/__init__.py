@@ -19,7 +19,28 @@ from .io import (
 from .split import train_eval_split, fit_scaler
 from .statistics import DatasetSummary, summarize_dataset, format_summary
 
+# Imported last: ``stream`` reaches back through serving/runner modules that
+# themselves import ``repro.dataset`` for :class:`Sample` (bound above).
+from .stream import (
+    ItemSampler,
+    MinibatchSampler,
+    PrefetchLoader,
+    ShardReader,
+    ShardWriter,
+    StreamDataset,
+    convert_jsonl,
+    write_stream_dataset,
+)
+
 __all__ = [
+    "ItemSampler",
+    "MinibatchSampler",
+    "PrefetchLoader",
+    "ShardReader",
+    "ShardWriter",
+    "StreamDataset",
+    "convert_jsonl",
+    "write_stream_dataset",
     "DatasetSummary",
     "summarize_dataset",
     "format_summary",

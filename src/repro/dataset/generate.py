@@ -297,6 +297,7 @@ def generate_dataset_run(
     resume: bool = False,
     on_event: "Callable[[ProgressEvent], None] | None" = None,
     inject_failures: dict[int, int] | None = None,
+    dataset_dir: str | Path | None = None,
 ) -> GenerationRun:
     """Generate scenarios through the resilient runner, with full accounting.
 
@@ -318,6 +319,11 @@ def generate_dataset_run(
         inject_failures: Fault injection for tests/CI — maps a task index to
             the number of its leading attempts that raise
             :class:`InjectedFailure` before the scenario is simulated.
+        dataset_dir: When set, the completed run is additionally written as
+            a binary stream dataset (:mod:`repro.dataset.stream`) under this
+            directory — generation output doubles as the training format,
+            trainable via ``fit(StreamDataset(dataset_dir))`` or
+            ``repro train --dataset-dir`` without a conversion pass.
 
     Raises:
         DatasetError: On invalid arguments.
@@ -392,6 +398,21 @@ def generate_dataset_run(
     metrics.extras["events_simulated"] = int(
         sum(s.meta.get("events", 0) for s in fresh.values())
     )
+    if dataset_dir is not None and samples:
+        # Imported here: ``stream`` reaches through serving modules that
+        # import ``repro.dataset`` and must not load during package init.
+        from .stream import write_stream_dataset
+
+        write_stream_dataset(
+            samples, dataset_dir,
+            fingerprint={
+                "kind": "generate_dataset",
+                "topology": _topology_fingerprint(topology),
+                "num_samples": num_samples,
+                "config": None if config is None else asdict(config),
+            },
+            overwrite=True,
+        )
     return GenerationRun(
         samples=samples, metrics=metrics, failures=failures, missing=missing
     )

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from ..errors import DatasetError
+from ..errors import DatasetError, DatasetFormatError
 from ..routing import RoutingScheme
 from ..topology import Link, Topology
 from ..traffic import TrafficMatrix
@@ -53,7 +53,10 @@ def sample_from_dict(data: dict) -> Sample:
     """Inverse of :func:`sample_to_dict`."""
     version = data.get("version")
     if version != _FORMAT_VERSION:
-        raise DatasetError(f"unsupported sample format version {version!r}")
+        raise DatasetFormatError(
+            f"unsupported sample format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
     tdata = data["topology"]
     links = [
         Link(i, int(src), int(dst), float(cap), float(prop))
@@ -99,7 +102,13 @@ def save_dataset(samples: Iterable[Sample], path: str | Path) -> int:
 
 
 def iter_dataset(path: str | Path) -> Iterator[Sample]:
-    """Stream samples from a ``.jsonl`` archive."""
+    """Stream samples from a ``.jsonl`` archive.
+
+    Every line is schema-validated before decoding: a missing, non-integer,
+    or future ``version`` field raises :class:`DatasetFormatError` carrying
+    the file and 1-based line number, as does any structurally corrupt record
+    (bad JSON, missing keys, malformed arrays).
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"dataset archive {path} does not exist")
@@ -109,9 +118,40 @@ def iter_dataset(path: str | Path) -> Iterator[Sample]:
             if not line:
                 continue
             try:
-                yield sample_from_dict(json.loads(line))
-            except (json.JSONDecodeError, KeyError) as exc:
-                raise DatasetError(f"{path}:{line_no}: corrupt sample: {exc}") from exc
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetFormatError(
+                    f"{path}:{line_no}: corrupt sample (invalid JSON): {exc}",
+                    path=path,
+                    line=line_no,
+                ) from exc
+            if not isinstance(data, dict):
+                raise DatasetFormatError(
+                    f"{path}:{line_no}: corrupt sample: expected a JSON object, "
+                    f"got {type(data).__name__}",
+                    path=path,
+                    line=line_no,
+                )
+            version = data.get("version")
+            if not isinstance(version, int) or version != _FORMAT_VERSION:
+                raise DatasetFormatError(
+                    f"{path}:{line_no}: unsupported sample format version "
+                    f"{version!r} (this build reads version {_FORMAT_VERSION})",
+                    path=path,
+                    line=line_no,
+                )
+            try:
+                yield sample_from_dict(data)
+            except DatasetFormatError as exc:
+                raise DatasetFormatError(
+                    f"{path}:{line_no}: {exc}", path=path, line=line_no
+                ) from exc
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise DatasetFormatError(
+                    f"{path}:{line_no}: corrupt sample: {exc!r}",
+                    path=path,
+                    line=line_no,
+                ) from exc
 
 
 def load_dataset(path: str | Path) -> list[Sample]:

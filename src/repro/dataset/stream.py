@@ -1,0 +1,1103 @@
+"""Streaming on-disk dataset pipeline: mmap shards, samplers, prefetch.
+
+The paper trains on 480k samples; loading them eagerly (``load_dataset``)
+needs RAM proportional to the dataset.  This module keeps RAM flat at any
+dataset size with three pieces:
+
+1. **Shard format** — :class:`ShardWriter` / :class:`ShardReader`.  A
+   dataset directory holds a ``manifest.json`` (same header conventions as
+   the runner's :class:`~repro.runner.manifest.CheckpointStore`: format
+   version, normalized fingerprint, record count) plus binary shards under
+   ``shards/``.  Each shard is one columnar record blob with a trailing
+   offset index::
+
+       [0:32)    header: magic ``RPSHRD01`` | u32 version | u32 flags
+                 | u64 num_records | u64 index_offset
+       [64:...)  records, each 64-byte aligned
+       [index)   num_records x (u64 offset, u64 nbytes)
+
+   A record is ``u32 header_len | JSON header | pad to 64 | array blobs``.
+   The JSON header names the topology/routing and carries an array table
+   ``{name: {dtype, shape, offset, nbytes}}`` with offsets relative to the
+   record's (aligned) data origin, so every array field is readable as a
+   zero-copy ``np.memmap`` view.  Label arrays (delay/jitter/loss) flow
+   into :class:`~repro.dataset.sample.Sample` as those views — reading a
+   shard touches only the pages it decodes.
+
+2. **Samplers** — :class:`ItemSampler` / :class:`MinibatchSampler`.
+   Deterministic epoch orders that are a pure function of ``(seed, epoch)``
+   (worker-count independent by construction), with a resumable
+   ``state_dict`` cursor.  A second *trajectory mode* threads an external
+   ``numpy`` Generator through the same in-place shuffle the trainer's
+   historical loop performed, so ``Trainer.fit`` over a streaming source
+   consumes its RNG bit-for-bit like the eager-list path.
+
+3. **Prefetch** — :class:`PrefetchLoader`.  A background process (the
+   spawn-safe :class:`~repro.runner.persistent.PersistentPool`, so RP2xx
+   proofs and crash-respawn-and-resubmit apply) materializes the *next*
+   batch's samples, packs them (``serving.batching`` prepare/fuse + the
+   :func:`~repro.core.plan.build_plan` scatter schedules) while the current
+   train step executes, and hands pre-packed ``(ModelInput, targets)``
+   through a bounded queue — the trainer's ``prepare`` stage becomes a
+   queue pop.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.plan import ForwardPlan, adopt_plan, build_plan
+from ..errors import DatasetError, DatasetFormatError
+from ..random import make_rng
+from ..routing import RoutingScheme
+from ..runner.manifest import load_manifest, validate_manifest, write_manifest
+from ..runner.persistent import PersistentPool
+from ..serving.batching import fuse_training_batch, prepare_training_input
+from ..topology import Link, Topology
+from ..traffic import TrafficMatrix
+from .sample import Sample
+
+__all__ = [
+    "ItemSampler",
+    "MinibatchSampler",
+    "PrefetchLoader",
+    "ShardReader",
+    "ShardWriter",
+    "StreamDataset",
+    "convert_jsonl",
+    "write_stream_dataset",
+]
+
+_MAGIC = b"RPSHRD01"
+_SHARD_VERSION = 1
+_MANIFEST_VERSION = 1
+_MANIFEST_KIND = "stream_dataset"
+#: magic | u32 version | u32 flags | u64 num_records | u64 index_offset
+_SHARD_HEADER = struct.Struct("<8sIIQQ")
+#: Records (and each record's data origin) are aligned to this boundary so
+#: memmap views of f8/i8 columns land on naturally aligned addresses.
+_ALIGN = 64
+#: Records begin here; bytes [32, 64) of the file are reserved (zero).
+_RECORDS_START = 64
+
+
+def _align(n: int, boundary: int = _ALIGN) -> int:
+    return (n + boundary - 1) // boundary * boundary
+
+
+# ----------------------------------------------------------------------
+# Record encoding / decoding
+# ----------------------------------------------------------------------
+
+def _record_arrays(sample: Sample) -> list[tuple[str, np.ndarray]]:
+    """Columnar little-endian arrays fully describing one sample."""
+    topo = sample.topology
+    num_links = len(topo.links)
+    link_ends = np.asarray(
+        [[l.src, l.dst] for l in topo.links], dtype="<i4"
+    ).reshape(num_links, 2)
+    link_capacity = np.asarray([l.capacity for l in topo.links], dtype="<f8")
+    link_prop = np.asarray([l.propagation_delay for l in topo.links], dtype="<f8")
+
+    routes = list(sample.routing.items())  # sorted by pair: deterministic
+    route_pairs = np.asarray([p for p, _ in routes], dtype="<i4").reshape(
+        len(routes), 2
+    )
+    route_offsets = np.zeros(len(routes) + 1, dtype="<i8")
+    if routes:
+        np.cumsum([len(nodes) for _, nodes in routes], out=route_offsets[1:])
+    route_nodes = np.asarray(
+        [n for _, nodes in routes for n in nodes], dtype="<i4"
+    )
+
+    src, dst = np.nonzero(sample.traffic.rates)
+    traffic_pairs = np.stack([src, dst], axis=1).astype("<i4")
+    traffic_rates = np.ascontiguousarray(sample.traffic.rates[src, dst], dtype="<f8")
+
+    pairs = np.asarray(sample.pairs, dtype="<i4").reshape(len(sample.pairs), 2)
+    arrays = [
+        ("link_ends", link_ends),
+        ("link_capacity", link_capacity),
+        ("link_prop_delay", link_prop),
+        ("route_pairs", route_pairs),
+        ("route_offsets", route_offsets),
+        ("route_nodes", route_nodes),
+        ("traffic_pairs", traffic_pairs),
+        ("traffic_rates", traffic_rates),
+        ("pairs", pairs),
+        ("delay", np.ascontiguousarray(sample.delay, dtype="<f8")),
+        ("jitter", np.ascontiguousarray(sample.jitter, dtype="<f8")),
+        ("loss_rate", np.ascontiguousarray(sample.loss_rate, dtype="<f8")),
+    ]
+    if sample.pair_class is not None:
+        arrays.append(("pair_class", np.ascontiguousarray(sample.pair_class, dtype="<i4")))
+    return arrays
+
+
+def _encode_record(sample: Sample) -> bytes:
+    """One self-contained record: u32 header_len | JSON | pad | blobs."""
+    arrays = _record_arrays(sample)
+    table: dict[str, dict] = {}
+    data_size = 0
+    for name, arr in arrays:
+        data_size = _align(data_size)
+        table[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": data_size,
+            "nbytes": int(arr.nbytes),
+        }
+        data_size += arr.nbytes
+    header = {
+        "topology_name": sample.topology.name,
+        "num_nodes": sample.topology.num_nodes,
+        "routing_name": sample.routing.name,
+        "meta": sample.meta,
+        "arrays": table,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_base = _align(4 + len(header_bytes))
+    out = bytearray(data_base + data_size)
+    struct.pack_into("<I", out, 0, len(header_bytes))
+    out[4 : 4 + len(header_bytes)] = header_bytes
+    for name, arr in arrays:
+        start = data_base + table[name]["offset"]
+        out[start : start + arr.nbytes] = arr.tobytes()
+    return bytes(out)
+
+
+def _record_views(
+    buf: np.ndarray, offset: int, nbytes: int, *, path: Path, index: int
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Parse one record into its JSON header + zero-copy array views."""
+    end = offset + nbytes
+    if end > buf.size or nbytes < 4:
+        raise DatasetFormatError(
+            f"{path}: record {index} spans [{offset}, {end}) beyond shard "
+            f"size {buf.size}",
+            path=path,
+            line=index,
+        )
+    (header_len,) = struct.unpack_from("<I", buf, offset)
+    data_base = offset + _align(4 + header_len)
+    if offset + 4 + header_len > end or data_base > end:
+        raise DatasetFormatError(
+            f"{path}: record {index} header overruns the record blob",
+            path=path,
+            line=index,
+        )
+    try:
+        header = json.loads(bytes(buf[offset + 4 : offset + 4 + header_len]))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DatasetFormatError(
+            f"{path}: record {index} has a corrupt header: {exc}",
+            path=path,
+            line=index,
+        ) from exc
+    views: dict[str, np.ndarray] = {}
+    try:
+        for name, spec in header["arrays"].items():
+            start = data_base + spec["offset"]
+            stop = start + spec["nbytes"]
+            if stop > end:
+                raise DatasetFormatError(
+                    f"{path}: record {index} array {name!r} overruns the "
+                    f"record blob",
+                    path=path,
+                    line=index,
+                )
+            views[name] = (
+                buf[start:stop].view(np.dtype(spec["dtype"])).reshape(tuple(spec["shape"]))
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetFormatError(
+            f"{path}: record {index} has a corrupt array table: {exc!r}",
+            path=path,
+            line=index,
+        ) from exc
+    return header, views
+
+
+def _decode_record(
+    buf: np.ndarray, offset: int, nbytes: int, *, path: Path, index: int
+) -> Sample:
+    """Materialize one :class:`Sample`; label arrays stay memmap views."""
+    header, views = _record_views(buf, offset, nbytes, path=path, index=index)
+    try:
+        link_ends = views["link_ends"]
+        caps = views["link_capacity"]
+        props = views["link_prop_delay"]
+        links = [
+            Link(i, int(link_ends[i, 0]), int(link_ends[i, 1]), float(caps[i]), float(props[i]))
+            for i in range(link_ends.shape[0])
+        ]
+        topology = Topology(int(header["num_nodes"]), links, name=header["topology_name"])
+        route_pairs = views["route_pairs"]
+        route_offsets = views["route_offsets"]
+        node_list = views["route_nodes"].tolist()
+        paths = {
+            (int(route_pairs[j, 0]), int(route_pairs[j, 1])): node_list[
+                int(route_offsets[j]) : int(route_offsets[j + 1])
+            ]
+            for j in range(route_pairs.shape[0])
+        }
+        routing = RoutingScheme(topology, paths, name=header["routing_name"])
+        rates = np.zeros((topology.num_nodes, topology.num_nodes))
+        traffic_pairs = views["traffic_pairs"]
+        rates[traffic_pairs[:, 0], traffic_pairs[:, 1]] = views["traffic_rates"]
+        pair_class = views.get("pair_class")
+        return Sample(
+            topology=topology,
+            routing=routing,
+            traffic=TrafficMatrix(rates),
+            pairs=tuple((int(s), int(d)) for s, d in views["pairs"].tolist()),
+            delay=views["delay"],
+            jitter=views["jitter"],
+            loss_rate=views["loss_rate"],
+            pair_class=None if pair_class is None else np.asarray(pair_class, dtype=int),
+            meta=header.get("meta", {}),
+        )
+    except DatasetError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise DatasetFormatError(
+            f"{path}: record {index} is corrupt: {exc!r}", path=path, line=index
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Shard writer / reader
+# ----------------------------------------------------------------------
+
+class ShardWriter:
+    """Write a streaming dataset directory (manifest + binary shards).
+
+    Shards are written to a temp file and renamed whole on completion, so a
+    killed conversion never leaves a half-written shard behind a valid
+    manifest — the manifest itself is only written by :meth:`close`, making
+    dataset publication atomic end-to-end.
+
+    Args:
+        directory: Dataset root; ``manifest.json`` and ``shards/`` go here.
+        samples_per_shard: Records per shard file (the last may be short).
+        fingerprint: Optional JSON-serializable identity of the generating
+            run (same convention as :class:`~repro.runner.CheckpointStore`);
+            validated on open by readers that pass one.
+        overwrite: Replace an existing stream dataset in ``directory``
+            instead of raising.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        samples_per_shard: int = 512,
+        fingerprint: Any | None = None,
+        overwrite: bool = False,
+    ) -> None:
+        if samples_per_shard < 1:
+            raise DatasetError(
+                f"samples_per_shard must be >= 1, got {samples_per_shard}"
+            )
+        self.directory = Path(directory)
+        self.samples_per_shard = samples_per_shard
+        self.fingerprint = fingerprint
+        manifest_path = self.directory / "manifest.json"
+        if manifest_path.exists():
+            if not overwrite:
+                raise DatasetError(
+                    f"{self.directory} already holds a stream dataset "
+                    "(pass overwrite=True to replace it)"
+                )
+            self._discard_existing()
+        (self.directory / "shards").mkdir(parents=True, exist_ok=True)
+        self._shards: list[dict] = []
+        self._fh: Any = None
+        self._tmp_path: Path | None = None
+        self._offsets: list[tuple[int, int]] = []
+        self._crc = 0
+        self._total = 0
+        self._closed = False
+
+    def _discard_existing(self) -> None:
+        (self.directory / "manifest.json").unlink(missing_ok=True)
+        shards_dir = self.directory / "shards"
+        if shards_dir.exists():
+            for old in shards_dir.glob("shard-*.bin"):
+                old.unlink(missing_ok=True)
+            for old in shards_dir.glob("shard-*.bin.tmp"):
+                old.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def _shard_name(self, index: int) -> str:
+        return f"shard-{index:06d}.bin"
+
+    def _start_shard(self) -> None:
+        name = self._shard_name(len(self._shards))
+        self._tmp_path = self.directory / "shards" / (name + ".tmp")
+        self._fh = self._tmp_path.open("wb")
+        self._fh.write(b"\x00" * _RECORDS_START)
+        self._offsets = []
+        self._crc = 0
+
+    def _write(self, data: bytes) -> None:
+        """Write body bytes, folding them into the shard's running CRC."""
+        self._fh.write(data)
+        self._crc = zlib.crc32(data, self._crc)
+
+    def append(self, sample: Sample) -> int:
+        """Append one sample; returns its global record index."""
+        if self._closed:
+            raise DatasetError("ShardWriter is closed")
+        if self._fh is None:
+            self._start_shard()
+        pos = self._fh.tell()
+        pad = _align(pos) - pos
+        if pad:
+            self._write(b"\x00" * pad)
+        record = _encode_record(sample)
+        self._offsets.append((self._fh.tell(), len(record)))
+        self._write(record)
+        index = self._total
+        self._total += 1
+        if len(self._offsets) >= self.samples_per_shard:
+            self._finish_shard()
+        return index
+
+    def _finish_shard(self) -> None:
+        pos = self._fh.tell()
+        pad = _align(pos, 8) - pos
+        if pad:
+            self._write(b"\x00" * pad)
+        index_offset = self._fh.tell()
+        index = np.asarray(self._offsets, dtype="<u8").reshape(len(self._offsets), 2)
+        self._write(index.tobytes())
+        nbytes = self._fh.tell()
+        self._fh.seek(0)
+        self._fh.write(
+            _SHARD_HEADER.pack(_MAGIC, _SHARD_VERSION, 0, len(self._offsets), index_offset)
+        )
+        self._fh.close()
+        self._fh = None
+        name = self._shard_name(len(self._shards))
+        final = self.directory / "shards" / name
+        self._tmp_path.replace(final)
+        self._shards.append(
+            {
+                "file": f"shards/{name}",
+                "records": len(self._offsets),
+                "nbytes": nbytes,
+                "crc32": self._crc,
+            }
+        )
+        self._tmp_path = None
+        self._offsets = []
+
+    # ------------------------------------------------------------------
+    def close(self) -> int:
+        """Finish the open shard, publish the manifest; returns the count."""
+        if self._closed:
+            return self._total
+        if self._fh is not None and self._offsets:
+            self._finish_shard()
+        elif self._fh is not None:
+            self._fh.close()
+            self._tmp_path.unlink(missing_ok=True)
+            self._fh = None
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "kind": _MANIFEST_KIND,
+            "fingerprint": self.fingerprint,
+            "num_tasks": self._total,
+            "samples_per_shard": self.samples_per_shard,
+            "shards": self._shards,
+        }
+        write_manifest(self.directory / "manifest.json", manifest)
+        self._closed = True
+        return self._total
+
+    def abort(self) -> None:
+        """Drop the in-flight shard without publishing a manifest."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self._tmp_path is not None:
+            self._tmp_path.unlink(missing_ok=True)
+            self._tmp_path = None
+        self._closed = True
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class ShardReader:
+    """Memory-mapped random access to one shard file's records."""
+
+    def __init__(self, path: str | Path, *, expected_records: int | None = None) -> None:
+        self.path = Path(path)
+        try:
+            self._buf = np.memmap(self.path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise DatasetError(f"cannot open shard {self.path}: {exc}") from exc
+        if self._buf.size < _RECORDS_START:
+            raise DatasetFormatError(
+                f"{self.path}: truncated shard ({self._buf.size} bytes)", path=self.path
+            )
+        magic, version, _flags, num_records, index_offset = _SHARD_HEADER.unpack_from(
+            self._buf, 0
+        )
+        if magic != _MAGIC:
+            raise DatasetFormatError(
+                f"{self.path}: not a repro shard (bad magic {magic!r})", path=self.path
+            )
+        if version != _SHARD_VERSION:
+            raise DatasetFormatError(
+                f"{self.path}: unsupported shard format version {version} "
+                f"(this build reads version {_SHARD_VERSION})",
+                path=self.path,
+            )
+        if expected_records is not None and num_records != expected_records:
+            raise DatasetError(
+                f"{self.path}: manifest promises {expected_records} records, "
+                f"shard header says {num_records}"
+            )
+        index_end = index_offset + num_records * 16
+        if index_end > self._buf.size:
+            raise DatasetFormatError(
+                f"{self.path}: record index overruns the file "
+                f"({index_end} > {self._buf.size})",
+                path=self.path,
+            )
+        self._index = (
+            self._buf[index_offset : index_offset + num_records * 16]
+            .view("<u8")
+            .reshape(num_records, 2)
+        )
+
+    def __len__(self) -> int:
+        return int(self._index.shape[0])
+
+    def _span(self, i: int) -> tuple[int, int]:
+        if not 0 <= i < len(self):
+            raise IndexError(f"record {i} out of range [0, {len(self)})")
+        offset, nbytes = self._index[i]
+        return int(offset), int(nbytes)
+
+    def sample(self, i: int) -> Sample:
+        """Materialize record ``i`` as a :class:`Sample`."""
+        offset, nbytes = self._span(i)
+        return _decode_record(self._buf, offset, nbytes, path=self.path, index=i)
+
+    def record(self, i: int) -> tuple[dict, dict[str, np.ndarray]]:
+        """Record ``i`` as ``(json_header, zero-copy array views)``."""
+        offset, nbytes = self._span(i)
+        return _record_views(self._buf, offset, nbytes, path=self.path, index=i)
+
+    def body_crc32(self) -> int:
+        """CRC32 of everything after the 64-byte header (records + index)."""
+        return zlib.crc32(self._buf[_RECORDS_START:])
+
+    def close(self) -> None:
+        self._buf = None
+        self._index = None
+
+
+# ----------------------------------------------------------------------
+# Dataset directory
+# ----------------------------------------------------------------------
+
+class StreamDataset(Sequence[Sample]):
+    """Sequence view over a stream dataset directory (lazy, flat-RAM).
+
+    ``dataset[i]`` materializes one sample through a small LRU (decoded
+    samples are cheap to rebuild; the arrays underneath are memmap views),
+    so iterating any number of records keeps resident memory bounded by
+    ``cache_samples`` plus the touched page cache.
+
+    Instances pickle as their directory path — a spawn-started prefetch or
+    gradient worker reopens its own memmaps rather than inheriting file
+    handles across the process boundary.
+    """
+
+    def __init__(self, directory: str | Path, *, cache_samples: int = 64) -> None:
+        self.directory = Path(directory)
+        if cache_samples < 1:
+            raise DatasetError(f"cache_samples must be >= 1, got {cache_samples}")
+        self._cache_capacity = cache_samples
+        manifest_path = self.directory / "manifest.json"
+        if not manifest_path.exists():
+            raise DatasetError(
+                f"{self.directory} is not a stream dataset (no manifest.json); "
+                "create one with `repro dataset convert` or ShardWriter"
+            )
+        manifest = load_manifest(manifest_path, error=DatasetError)
+        validate_manifest(
+            manifest,
+            directory=self.directory,
+            version=_MANIFEST_VERSION,
+            kind=_MANIFEST_KIND,
+            error=DatasetError,
+        )
+        self._manifest = manifest
+        shards = manifest.get("shards")
+        if not isinstance(shards, list):
+            raise DatasetError(f"{manifest_path}: manifest has no shard list")
+        self._shards = shards
+        counts = [int(entry["records"]) for entry in shards]
+        self._starts = [0]
+        for c in counts:
+            self._starts.append(self._starts[-1] + c)
+        if self._starts[-1] != manifest.get("num_tasks"):
+            raise DatasetError(
+                f"{manifest_path}: shard records sum to {self._starts[-1]}, "
+                f"manifest promises {manifest.get('num_tasks')}"
+            )
+        self._readers: list[ShardReader | None] = [None] * len(shards)
+        self._cache: dict[int, Sample] = {}
+        self._cache_order: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> Any:
+        return self._manifest.get("fingerprint")
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def __len__(self) -> int:
+        return self._starts[-1]
+
+    def _reader(self, shard_index: int) -> ShardReader:
+        reader = self._readers[shard_index]
+        if reader is None:
+            entry = self._shards[shard_index]
+            path = self.directory / entry["file"]
+            if path.exists() and path.stat().st_size != int(entry["nbytes"]):
+                raise DatasetError(
+                    f"{path}: size {path.stat().st_size} does not match the "
+                    f"manifest ({entry['nbytes']} bytes) — truncated shard?"
+                )
+            reader = ShardReader(path, expected_records=int(entry["records"]))
+            self._readers[shard_index] = reader
+        return reader
+
+    def _locate(self, index: int) -> tuple[int, int]:
+        lo, hi = 0, len(self._shards) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._starts[mid] <= index:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo, index - self._starts[lo]
+
+    def materialize(self, index: int) -> Sample:
+        """Decode record ``index`` (bypassing the LRU)."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"sample {index} out of range [0, {len(self)})")
+        shard, local = self._locate(index)
+        return self._reader(shard).sample(local)
+
+    def __getitem__(self, index):  # Sequence protocol: int or slice
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        sample = self.materialize(index)
+        self._cache[index] = sample
+        self._cache_order.append(index)
+        while len(self._cache_order) > self._cache_capacity:
+            evicted = self._cache_order.pop(0)
+            self._cache.pop(evicted, None)
+        return sample
+
+    def __iter__(self) -> Iterator[Sample]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def record(self, index: int) -> tuple[dict, dict[str, np.ndarray]]:
+        """Raw record access: ``(json_header, zero-copy array views)``."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"record {index} out of range [0, {len(self)})")
+        shard, local = self._locate(index)
+        return self._reader(shard).record(local)
+
+    def verify(self) -> None:
+        """Check every shard's body CRC against the manifest.
+
+        Raises:
+            DatasetError: On any checksum or record-count mismatch.
+        """
+        for shard_index, entry in enumerate(self._shards):
+            reader = self._reader(shard_index)
+            expected = entry.get("crc32")
+            actual = reader.body_crc32()
+            if expected is not None and actual != expected:
+                raise DatasetError(
+                    f"{self.directory / entry['file']}: CRC mismatch "
+                    f"(manifest {expected}, file {actual})"
+                )
+
+    def close(self) -> None:
+        for reader in self._readers:
+            if reader is not None:
+                reader.close()
+        self._readers = [None] * len(self._shards)
+        self._cache = {}
+        self._cache_order = []
+
+    def __enter__(self) -> "StreamDataset":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- pickling: ship the path, reopen mmaps on the far side ----------
+    def __getstate__(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "cache_samples": self._cache_capacity,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["directory"], cache_samples=state["cache_samples"])
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamDataset({str(self.directory)!r}, samples={len(self)}, "
+            f"shards={self.num_shards})"
+        )
+
+
+def write_stream_dataset(
+    samples: Iterable[Sample],
+    directory: str | Path,
+    *,
+    samples_per_shard: int = 512,
+    fingerprint: Any | None = None,
+    overwrite: bool = False,
+) -> int:
+    """Write an iterable of samples as a stream dataset; returns the count."""
+    with ShardWriter(
+        directory,
+        samples_per_shard=samples_per_shard,
+        fingerprint=fingerprint,
+        overwrite=overwrite,
+    ) as writer:
+        for sample in samples:
+            writer.append(sample)
+    return writer.close()
+
+
+def convert_jsonl(
+    sources: Sequence[str | Path],
+    directory: str | Path,
+    *,
+    samples_per_shard: int = 512,
+    overwrite: bool = False,
+) -> int:
+    """Convert JSONL archives into one stream dataset directory.
+
+    Record order follows the source order (archives concatenated), so a
+    converted dataset reproduces ``load_dataset`` sample order exactly —
+    the property the bitwise eager-vs-streaming training tests pin.
+    """
+    from .io import iter_dataset
+
+    if not sources:
+        raise DatasetError("need at least one source archive to convert")
+    fingerprint = {"kind": "jsonl_conversion", "sources": [Path(s).name for s in sources]}
+    with ShardWriter(
+        directory,
+        samples_per_shard=samples_per_shard,
+        fingerprint=fingerprint,
+        overwrite=overwrite,
+    ) as writer:
+        for source in sources:
+            for sample in iter_dataset(source):
+                writer.append(sample)
+    return writer.close()
+
+
+# ----------------------------------------------------------------------
+# Samplers
+# ----------------------------------------------------------------------
+
+class ItemSampler:
+    """Deterministic, resumable item-order sampler (graphbolt-style).
+
+    Two seeding modes:
+
+    * **Seeded mode** (default): epoch ``e``'s order is a pure function of
+      ``(seed, e)`` via :func:`~repro.random.make_rng`'s entropy-sequence
+      seeding — independent of worker count, consumption pattern, or
+      process restarts, which is what makes the cursor state below a
+      complete resume token.
+    * **Trajectory mode** (``epoch_order(rng=...)``): shuffles a persistent
+      index array in place with the *caller's* generator, consuming it
+      exactly like the trainer's historical epoch loop — ``Trainer.fit``
+      uses this so streaming runs reproduce eager runs bitwise.
+
+    State (``state_dict``/``load_state_dict``) is an ``(epoch, cursor)``
+    pair: reloading on a fresh process and continuing yields the same
+    index sequence the uninterrupted run would have produced.
+    """
+
+    def __init__(self, num_items: int, *, shuffle: bool = False, seed: int = 0) -> None:
+        if num_items < 1:
+            raise DatasetError(f"num_items must be >= 1, got {num_items}")
+        self.num_items = num_items
+        self.shuffle = shuffle
+        self.seed = seed
+        self._epoch = 0
+        self._cursor = 0
+        self._trajectory = np.arange(num_items)
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    def epoch_order(
+        self, epoch: int | None = None, *, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """The full index order for one epoch.
+
+        Args:
+            epoch: Epoch to derive (seeded mode); defaults to the sampler's
+                current epoch.
+            rng: External generator (trajectory mode) — mutually exclusive
+                with ``epoch``; shuffles the persistent index array in
+                place, composing across epochs like the legacy train loop.
+        """
+        if rng is not None:
+            if epoch is not None:
+                raise DatasetError("pass either epoch= (seeded) or rng= (trajectory)")
+            if self.shuffle:
+                rng.shuffle(self._trajectory)
+            return self._trajectory.copy()
+        order = np.arange(self.num_items)
+        if self.shuffle:
+            make_rng((self.seed, self._epoch if epoch is None else epoch)).shuffle(order)
+        return order
+
+    def iter_epoch(self) -> Iterator[int]:
+        """Yield the rest of the current epoch, advancing the cursor."""
+        order = self.epoch_order(self._epoch)
+        while self._cursor < self.num_items:
+            index = int(order[self._cursor])
+            self._cursor += 1
+            yield index
+
+    def next_epoch(self) -> None:
+        self._epoch += 1
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "num_items": self.num_items,
+            "shuffle": self.shuffle,
+            "seed": self.seed,
+            "epoch": self._epoch,
+            "cursor": self._cursor,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for field_name in ("num_items", "shuffle", "seed"):
+            if state.get(field_name) != getattr(self, field_name):
+                raise DatasetError(
+                    f"sampler state mismatch on {field_name!r}: saved "
+                    f"{state.get(field_name)!r}, this sampler has "
+                    f"{getattr(self, field_name)!r}"
+                )
+        epoch, cursor = int(state["epoch"]), int(state["cursor"])
+        if not 0 <= cursor <= self.num_items:
+            raise DatasetError(f"cursor {cursor} out of range [0, {self.num_items}]")
+        self._epoch = epoch
+        self._cursor = cursor
+
+
+class MinibatchSampler:
+    """Deterministic minibatches: fixed partition, permuted visit order.
+
+    Items are partitioned into consecutive ``batch_size`` chunks **once**
+    (shuffle-invariant, so content-addressed caches of fused batches stay
+    hot across epochs); each epoch permutes only the batch *visit order*
+    through an internal :class:`ItemSampler` over batch indices.  With
+    ``batch_size=1`` this degenerates to exactly the per-item shuffle of
+    the historical training loop.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        batch_size: int,
+        *,
+        shuffle: bool = False,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if num_items < 1:
+            raise DatasetError(f"num_items must be >= 1, got {num_items}")
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        self.num_items = num_items
+        self.batch_size = batch_size
+        self.drop_last = drop_last
+        stop = num_items - (num_items % batch_size) if drop_last else num_items
+        self._batches: list[tuple[int, ...]] = [
+            tuple(range(start, min(start + batch_size, num_items)))
+            for start in range(0, stop, batch_size)
+        ]
+        if not self._batches:
+            raise DatasetError(
+                f"drop_last with batch_size {batch_size} leaves no batches "
+                f"for {num_items} items"
+            )
+        self._order = ItemSampler(len(self._batches), shuffle=shuffle, seed=seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_batches(self) -> int:
+        return len(self._batches)
+
+    @property
+    def epoch(self) -> int:
+        return self._order.epoch
+
+    def batch(self, j: int) -> tuple[int, ...]:
+        return self._batches[j]
+
+    def epoch_batches(
+        self, epoch: int | None = None, *, rng: np.random.Generator | None = None
+    ) -> list[tuple[int, ...]]:
+        """All batches for one epoch in visit order (see :class:`ItemSampler`)."""
+        return [self._batches[j] for j in self._order.epoch_order(epoch, rng=rng)]
+
+    def iter_epoch(self) -> Iterator[tuple[int, ...]]:
+        """Yield the rest of the current epoch's batches, advancing the cursor."""
+        for j in self._order.iter_epoch():
+            yield self._batches[j]
+
+    def next_epoch(self) -> None:
+        self._order.next_epoch()
+
+    def state_dict(self) -> dict:
+        state = self._order.state_dict()
+        state["batch_size"] = self.batch_size
+        state["drop_last"] = self.drop_last
+        state["total_items"] = self.num_items
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        for field_name in ("batch_size", "drop_last", "total_items"):
+            expected = getattr(self, field_name if field_name != "total_items" else "num_items")
+            if state.get(field_name) != expected:
+                raise DatasetError(
+                    f"sampler state mismatch on {field_name!r}: saved "
+                    f"{state.get(field_name)!r}, this sampler has {expected!r}"
+                )
+        inner = {k: state[k] for k in ("num_items", "shuffle", "seed", "epoch", "cursor")}
+        self._order.load_state_dict(inner)
+
+
+# ----------------------------------------------------------------------
+# Background prefetch
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _PrefetchInit:
+    """Spawn payload for prefetch workers (picklable by construction).
+
+    ``source`` is either a :class:`StreamDataset` (pickled as its directory
+    path; the worker opens its own memmaps) or a tuple of eager samples.
+    """
+
+    source: Any
+    scaler: Any
+    include_load: bool
+    path_feature_dim: int
+    readout_targets: int
+
+
+def _init_prefetch_worker(payload: _PrefetchInit) -> _PrefetchInit:
+    """Worker initializer: the (re-hydrated) init payload is the state."""
+    return payload
+
+
+def _prefetch_pack_worker(
+    state: _PrefetchInit, broadcast: Any, payload: Sequence[int]
+) -> tuple[Any, np.ndarray, ForwardPlan]:
+    """Materialize + pack one batch of sample indices.
+
+    Returns the fused ``ModelInput``, the concatenated encoded targets, and
+    the batch's :class:`~repro.core.plan.ForwardPlan` (gather/scatter
+    schedules) so the consuming train step skips plan building too.  Pure
+    function of ``(state, payload)`` — no globals, clocks, or unseeded RNG —
+    which is what the RP2xx spawn-safety pass proves.
+    """
+    prepared = [
+        prepare_training_input(
+            state.source[i],
+            scaler=state.scaler,
+            include_load=state.include_load,
+            path_feature_dim=state.path_feature_dim,
+            readout_targets=state.readout_targets,
+        )
+        for i in payload
+    ]
+    inputs, targets = fuse_training_batch(prepared)
+    return inputs, targets, build_plan(inputs)
+
+
+class PrefetchLoader:
+    """Packs upcoming batches in a background process pool.
+
+    While the trainer runs step *k*, the pool packs the next window of
+    batches (materialize from the streaming source, build features, fuse,
+    plan) and a feeder thread hands them over through a bounded queue of
+    ``depth`` batches — bounding parent RAM to ``depth`` packed batches no
+    matter how large the dataset is.  Worker crashes are handled by the
+    underlying :class:`~repro.runner.persistent.PersistentPool` (respawn +
+    resubmit), so a killed prefetch process costs latency, never data.
+
+    Args:
+        source: :class:`StreamDataset` or eager sequence of samples.
+        scaler: Fitted feature scaler (must match the consuming trainer).
+        include_load / path_feature_dim / readout_targets: The trainer's
+            input-building configuration.
+        workers: Prefetch processes (1 is the classic double-buffer).
+        depth: Bounded handover queue length, in packed batches.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        *,
+        scaler: Any,
+        include_load: bool,
+        path_feature_dim: int,
+        readout_targets: int,
+        workers: int = 1,
+        depth: int = 4,
+        mp_context: str = "auto",
+        max_restarts: int = 2,
+        step_timeout: float | None = None,
+    ) -> None:
+        if depth < 1:
+            raise DatasetError(f"depth must be >= 1, got {depth}")
+        if not isinstance(source, StreamDataset):
+            source = tuple(source)
+        self.depth = depth
+        self._pool = PersistentPool(
+            _prefetch_pack_worker,
+            workers=workers,
+            initializer=_init_prefetch_worker,
+            init_payload=_PrefetchInit(
+                source=source,
+                scaler=scaler,
+                include_load=include_load,
+                path_feature_dim=path_feature_dim,
+                readout_targets=readout_targets,
+            ),
+            mp_context=mp_context,
+            max_restarts=max_restarts,
+            step_timeout=step_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> PersistentPool:
+        """The underlying pool (stats, crash testing)."""
+        return self._pool
+
+    def batches(
+        self, batch_indices: Sequence[Sequence[int]]
+    ) -> Iterator[tuple[Any, np.ndarray]]:
+        """Yield pre-packed ``(inputs, targets)`` for each index batch, in order.
+
+        A feeder thread drives the pool one worker-window ahead and parks
+        results in a bounded queue; this generator pops them.  Worker
+        exceptions re-raise here, on the consuming thread.  Closing the
+        generator early (e.g. a training error) stops the feeder and drains
+        the queue — no thread or process is left blocked.
+        """
+        schedule = [tuple(int(i) for i in batch) for batch in batch_indices]
+        handover: queue.Queue = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def _put(item: tuple) -> bool:
+            while not stop.is_set():
+                try:
+                    handover.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def _feed() -> None:
+            try:
+                window = self._pool.workers
+                for start in range(0, len(schedule), window):
+                    if stop.is_set():
+                        return
+                    for packed in self._pool.run_step(schedule[start : start + window]):
+                        if not _put(("batch", packed)):
+                            return
+            # Not swallowed: the consumer thread re-raises whatever lands on
+            # the queue with kind "error".
+            except BaseException as exc:  # repro-lint: disable=RP004
+                _put(("error", exc))
+
+        feeder = threading.Thread(target=_feed, name="prefetch-feeder", daemon=True)
+        feeder.start()
+        try:
+            for _ in range(len(schedule)):
+                kind, value = handover.get()
+                if kind == "error":
+                    raise value
+                inputs, targets, plan = value
+                adopt_plan(inputs, plan)
+                yield inputs, targets
+        finally:
+            stop.set()
+            while feeder.is_alive():
+                try:
+                    handover.get_nowait()
+                except queue.Empty:
+                    time.sleep(0.005)
+            feeder.join()
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "PrefetchLoader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

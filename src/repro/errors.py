@@ -9,6 +9,7 @@ __all__ = [
     "TrafficError",
     "SimulationError",
     "DatasetError",
+    "DatasetFormatError",
     "ModelError",
     "ServingError",
     "AdmissionError",
@@ -41,6 +42,25 @@ class SimulationError(ReproError):
 
 class DatasetError(ReproError):
     """Dataset generation, serialization or splitting failed."""
+
+
+class DatasetFormatError(DatasetError):
+    """Corrupt, unversioned, or future-format dataset record.
+
+    Always carries the *location* of the offending record so a bad line in a
+    multi-gigabyte archive can be found without bisecting the file.
+
+    Attributes:
+        path: Archive or shard file containing the bad record (may be None
+            when the record came from an in-memory dict).
+        line: 1-based line number for JSONL archives, or record index for
+            binary shards; None when unknown.
+    """
+
+    def __init__(self, message: str, *, path: object = None, line: int | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
 
 
 class ModelError(ReproError):

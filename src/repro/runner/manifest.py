@@ -25,7 +25,12 @@ from typing import Any, Callable
 from ..errors import RunnerError
 from .types import TaskFailure
 
-__all__ = ["CheckpointStore"]
+__all__ = [
+    "CheckpointStore",
+    "load_manifest",
+    "validate_manifest",
+    "write_manifest",
+]
 
 _FORMAT_VERSION = 1
 
@@ -33,6 +38,64 @@ _FORMAT_VERSION = 1
 def _normalize(obj: Any) -> Any:
     """Round-trip through JSON so tuples/lists etc. compare stably."""
     return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def write_manifest(path: Path, manifest: dict, *, indent: int | None = 2) -> None:
+    """Atomically persist a manifest dict (temp file + rename)."""
+    CheckpointStore._write_atomic(path, json.dumps(manifest, indent=indent))
+
+
+def load_manifest(path: Path, *, error: type[Exception] = RunnerError) -> dict:
+    """Read and parse a manifest file; raise ``error`` if unreadable."""
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise error(f"corrupt manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise error(f"corrupt manifest {path}: expected a JSON object")
+    return manifest
+
+
+def validate_manifest(
+    manifest: dict,
+    *,
+    directory: Path,
+    version: int,
+    fingerprint: Any | None = None,
+    num_tasks: int | None = None,
+    kind: str | None = None,
+    error: type[Exception] = RunnerError,
+) -> None:
+    """Shared manifest-header validation for checkpoint and dataset stores.
+
+    Both the runner's :class:`CheckpointStore` and the streaming dataset
+    manifests (``repro.dataset.stream``) follow the same header conventions:
+    ``version`` (exact match), optional ``kind`` tag, ``num_tasks`` count and
+    a normalized JSON ``fingerprint``.  Mismatches raise ``error`` rather
+    than silently re-reading foreign state.
+    """
+    if kind is not None and manifest.get("kind") != kind:
+        raise error(
+            f"manifest in {directory} has kind {manifest.get('kind')!r}, "
+            f"expected {kind!r}"
+        )
+    if manifest.get("version") != version:
+        raise error(
+            f"manifest in {directory} has unsupported format version "
+            f"{manifest.get('version')!r} (expected {version})"
+        )
+    if num_tasks is not None and manifest.get("num_tasks") != num_tasks:
+        raise error(
+            f"manifest in {directory} was created for "
+            f"{manifest.get('num_tasks')} tasks, this run has {num_tasks}"
+        )
+    if fingerprint is not None and _normalize(manifest.get("fingerprint")) != _normalize(
+        fingerprint
+    ):
+        raise error(
+            f"manifest in {directory} belongs to a different run "
+            "(fingerprint mismatch); pass resume=False to regenerate"
+        )
 
 
 class CheckpointStore:
@@ -103,25 +166,15 @@ class CheckpointStore:
         return {}
 
     def _load_completed(self, num_tasks: int) -> dict[int, Any]:
-        try:
-            manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
-            raise RunnerError(f"corrupt checkpoint manifest {self.manifest_path}: {exc}") from exc
-        if manifest.get("version") != _FORMAT_VERSION:
-            raise RunnerError(
-                f"checkpoint {self.directory} has unsupported format version "
-                f"{manifest.get('version')!r}"
-            )
-        if manifest.get("num_tasks") != num_tasks:
-            raise RunnerError(
-                f"checkpoint {self.directory} was created for "
-                f"{manifest.get('num_tasks')} tasks, this run has {num_tasks}"
-            )
-        if _normalize(manifest.get("fingerprint")) != self.fingerprint:
-            raise RunnerError(
-                f"checkpoint {self.directory} belongs to a different run "
-                "(fingerprint mismatch); pass resume=False to regenerate"
-            )
+        manifest = load_manifest(self.manifest_path, error=RunnerError)
+        validate_manifest(
+            manifest,
+            directory=self.directory,
+            version=_FORMAT_VERSION,
+            fingerprint=self.fingerprint,
+            num_tasks=num_tasks,
+            error=RunnerError,
+        )
         completed: dict[int, Any] = {}
         for path in sorted(self.shards_dir.glob("shard-*.json")):
             try:

@@ -23,14 +23,22 @@ match per-sample predictions to floating-point accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..core import ModelInput
+from ..core import FeatureScaler, ModelInput, build_model_input
 from ..errors import ServingError
 
-__all__ = ["FusedBatch", "pack_inputs"]
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
+    from ..dataset.sample import Sample
+
+__all__ = [
+    "FusedBatch",
+    "fuse_training_batch",
+    "pack_inputs",
+    "prepare_training_input",
+]
 
 
 @dataclass(frozen=True)
@@ -112,3 +120,60 @@ def pack_inputs(inputs: Sequence[ModelInput]) -> FusedBatch:
         path_offsets=tuple(int(x) for x in path_offsets),
         link_offsets=tuple(int(x) for x in link_offsets),
     )
+
+
+def prepare_training_input(
+    sample: "Sample",
+    *,
+    scaler: FeatureScaler,
+    include_load: bool,
+    path_feature_dim: int,
+    readout_targets: int,
+) -> tuple[ModelInput, np.ndarray]:
+    """Model input + encoded targets for one sample under a model config.
+
+    This is the single shared implementation behind both the trainer's
+    content-cached ``_prepare`` and the streaming prefetch worker
+    (:mod:`repro.dataset.stream`) — one code path means the background
+    process packs *bitwise* the same arrays the in-process path would.
+
+    Class-aware models (``path_feature_dim > 1`` beyond the traffic column)
+    receive the sample's QoS classes as one-hot features; single-target
+    models keep only the delay column of the encoded labels.
+    """
+    extra = path_feature_dim - 1
+    pair_class = sample.pair_class if extra > 0 else None
+    inputs = build_model_input(
+        sample.topology,
+        sample.routing,
+        sample.traffic,
+        scaler=scaler,
+        pairs=list(sample.pairs),
+        include_load=include_load,
+        pair_class=pair_class,
+        num_classes=extra if pair_class is not None else 0,
+    )
+    targets = scaler.encode_targets(sample.targets())
+    if readout_targets == 1:
+        targets = targets[:, :1]
+    return inputs, targets
+
+
+def fuse_training_batch(
+    prepared: Sequence[tuple[ModelInput, np.ndarray]],
+) -> tuple[ModelInput, np.ndarray]:
+    """Fuse prepared ``(inputs, targets)`` pairs into one training batch.
+
+    A batch of one passes through unfused — the exact arrays of
+    :func:`prepare_training_input` — so ``B=1`` training over this helper is
+    bit-identical to the historical single-sample step (no packing, same
+    tape shapes).  Larger batches are packed with :func:`pack_inputs` and
+    their targets row-concatenated in member order.
+    """
+    if not prepared:
+        raise ServingError("cannot fuse an empty batch")
+    if len(prepared) == 1:
+        return prepared[0]
+    fused = pack_inputs([inputs for inputs, _ in prepared])
+    targets = np.concatenate([t for _, t in prepared])
+    return fused.inputs, targets

@@ -45,6 +45,7 @@ from .. import nn
 from ..analysis.sanitize import sanitize_tape
 from ..core import FeatureScaler, HyperParams, RouteNet
 from ..dataset import Sample
+from ..dataset.stream import StreamDataset
 from ..errors import ModelError
 from ..runner import PersistentPool
 from .loss import huber_loss
@@ -86,19 +87,24 @@ def partition_shards(
 
 @dataclass(frozen=True)
 class _WorkerInit:
-    """Picklable one-shot worker context (crosses the process boundary once)."""
+    """Picklable one-shot worker context (crosses the process boundary once).
+
+    ``samples`` is any indexable sample source: an eager tuple (pickled by
+    value) or a :class:`~repro.dataset.StreamDataset` (pickled as its
+    directory path; each worker opens its own memmaps).
+    """
 
     hparams: dict
     scaler: FeatureScaler
     include_load: bool
     sanitize: bool
-    samples: tuple[Sample, ...]
+    samples: Sequence[Sample]
 
 
 class _WorkerState:
     """Per-process replica: a model+trainer pair and the training set."""
 
-    def __init__(self, trainer: "Trainer", samples: tuple[Sample, ...]) -> None:
+    def __init__(self, trainer: "Trainer", samples: Sequence[Sample]) -> None:
         self.trainer = trainer
         self.samples = samples
         self.params = list(trainer.model.parameters())
@@ -225,7 +231,12 @@ class DataParallelStepper:
             scaler=trainer.scaler,
             include_load=trainer.include_load,
             sanitize=trainer.sanitize,
-            samples=tuple(samples),
+            # A streaming source ships by reference (directory path); eager
+            # sequences are frozen to a tuple so every worker sees one
+            # immutable copy.
+            samples=(
+                samples if isinstance(samples, StreamDataset) else tuple(samples)
+            ),
         )
         self._pool: PersistentPool | None = None
         self._local_state: _WorkerState | None = None

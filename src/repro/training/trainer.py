@@ -35,12 +35,14 @@ import numpy as np
 
 from .. import nn
 from ..analysis.sanitize import sanitize_tape
-from ..core import FeatureScaler, ModelInput, RouteNet, build_model_input
+from ..core import FeatureScaler, ModelInput, RouteNet
 from ..dataset import Sample, fit_scaler
+from ..dataset.stream import MinibatchSampler, PrefetchLoader
 from ..errors import ModelError
 from ..random import make_rng
 from ..results import EvalResult, Metrics, PredictResult
-from ..serving import InferenceEngine, InputCache, ServeConfig, pack_inputs
+from ..serving import InferenceEngine, InputCache, ServeConfig
+from ..serving.batching import fuse_training_batch, prepare_training_input
 from .loss import huber_loss
 from .metrics import regression_summary
 
@@ -118,24 +120,13 @@ class Trainer:
         key = self._sample_key(sample)
         cached = self._input_cache.get(key)
         if cached is None:
-            # Class-aware models (path_feature_dim > 1 beyond the traffic
-            # column) receive the sample's QoS classes as one-hot features.
-            extra = self.model.hparams.path_feature_dim - 1
-            pair_class = sample.pair_class if extra > 0 else None
-            inputs = build_model_input(
-                sample.topology,
-                sample.routing,
-                sample.traffic,
+            cached = prepare_training_input(
+                sample,
                 scaler=self.scaler,
-                pairs=list(sample.pairs),
                 include_load=self.include_load,
-                pair_class=pair_class,
-                num_classes=extra if pair_class is not None else 0,
+                path_feature_dim=self.model.hparams.path_feature_dim,
+                readout_targets=self.model.hparams.readout_targets,
             )
-            targets = self.scaler.encode_targets(sample.targets())
-            if self.model.hparams.readout_targets == 1:
-                targets = targets[:, :1]
-            cached = (inputs, targets)
             self._input_cache.put(key, cached)
         return cached
 
@@ -158,9 +149,7 @@ class Trainer:
         cached = self._input_cache.get(batch_key)
         if cached is None:
             prepared = [self._prepare(s) for s in samples]
-            fused = pack_inputs([inputs for inputs, _ in prepared])
-            targets = np.concatenate([t for _, t in prepared])
-            cached = (fused.inputs, targets)
+            cached = fuse_training_batch(prepared)
             self._input_cache.put(batch_key, cached)
         return cached
 
@@ -242,7 +231,7 @@ class Trainer:
 
     def fit(
         self,
-        train_samples: list[Sample],
+        train_samples: Sequence[Sample],
         epochs: int,
         eval_samples: list[Sample] | None = None,
         log: Callable[[str], None] | None = None,
@@ -251,10 +240,18 @@ class Trainer:
         batch_size: int = 1,
         workers: int | None = None,
         micro_batch: int | None = None,
+        prefetch: int | None = None,
     ) -> TrainingHistory:
         """Train for up to ``epochs`` passes over ``train_samples``.
 
         Fits the feature scaler on the training set if none was provided.
+
+        ``train_samples`` may be any indexable sequence — an eager list or a
+        :class:`~repro.dataset.StreamDataset` directory view.  Samples are
+        materialized per step (never all at once), so a streaming source
+        trains at flat RAM regardless of dataset size; the epoch order,
+        RNG consumption, and resulting losses are bitwise identical to the
+        eager-list run over the same records.
 
         Args:
             schedule: Optional LR schedule — a
@@ -287,13 +284,23 @@ class Trainer:
                 defaults to splitting each batch into up to four shards.
                 ``micro_batch >= batch_size`` makes every step single-shard,
                 which reproduces the in-process fused step bitwise.
+            prefetch: When set, a :class:`~repro.dataset.PrefetchLoader`
+                with this many background processes materializes and packs
+                the *next* batches (inputs, targets, forward plan) while the
+                current step trains, handing pre-packed arrays over a
+                bounded queue — the prepare stage becomes a queue pop.
+                Packing runs through the same
+                :mod:`repro.serving.batching` helpers as the in-process
+                path, so losses stay bitwise identical.  Mutually exclusive
+                with ``workers`` (gradient parallelism already packs inside
+                its own workers).
 
         The reported per-epoch ``train_loss`` is the **path-weighted** mean
         of per-step losses — i.e. the exact per-path mean Huber loss over
         the epoch.  An unweighted mean would overweight a ragged final
         batch's paths (regression-tested).
         """
-        if not train_samples:
+        if not len(train_samples):
             raise ModelError("cannot train on an empty sample list")
         if epochs < 1:
             raise ModelError(f"epochs must be >= 1, got {epochs}")
@@ -308,6 +315,11 @@ class Trainer:
         if workers is not None:
             from .parallel import DataParallelStepper, default_micro_batch
 
+            if prefetch is not None:
+                raise ModelError(
+                    "prefetch= and workers= are mutually exclusive: gradient "
+                    "workers already materialize and pack their own shards"
+                )
             stepper = DataParallelStepper(
                 self,
                 train_samples,
@@ -321,17 +333,24 @@ class Trainer:
         elif micro_batch is not None:
             raise ModelError("micro_batch requires workers= to be set")
 
+        loader = None
+        if prefetch is not None:
+            if prefetch < 1:
+                raise ModelError(f"prefetch must be >= 1, got {prefetch}")
+            loader = PrefetchLoader(
+                train_samples,
+                scaler=self.scaler,
+                include_load=self.include_load,
+                path_feature_dim=self.model.hparams.path_feature_dim,
+                readout_targets=self.model.hparams.readout_targets,
+                workers=prefetch,
+            )
+
         history = TrainingHistory()
-        order = np.arange(len(train_samples))
-        batches = [
-            train_samples[i : i + batch_size]
-            for i in range(0, len(train_samples), batch_size)
-        ]
-        batch_indices = [
-            tuple(range(i, min(i + batch_size, len(train_samples))))
-            for i in range(0, len(train_samples), batch_size)
-        ]
-        batch_order = np.arange(len(batches))
+        # Fixed consecutive partition, shuffled batch visit order each epoch
+        # (trajectory mode threads self._rng through the same in-place
+        # shuffle the historical loop performed — bitwise-pinned).
+        sampler = MinibatchSampler(len(train_samples), batch_size, shuffle=True)
         try:
             for epoch in range(1, epochs + 1):
                 started = time.perf_counter()
@@ -342,21 +361,30 @@ class Trainer:
                     # observing an epoch, silently training epoch 1 at
                     # hparams.learning_rate; sync up front instead.
                     self._optimizer.lr = schedule.current_lr
+                epoch_batches = sampler.epoch_batches(rng=self._rng)
                 if stepper is not None:
-                    self._rng.shuffle(batch_order)
-                    stepped = [stepper.step(batch_indices[j]) for j in batch_order]
+                    stepped = [stepper.step(batch) for batch in epoch_batches]
                     losses = [loss for loss, _ in stepped]
                     weights = [paths for _, paths in stepped]
+                elif loader is not None:
+                    losses, weights = [], []
+                    for inputs, targets in loader.batches(epoch_batches):
+                        losses.append(self._loss_and_step(inputs, targets))
+                        weights.append(int(targets.shape[0]))
                 elif batch_size == 1:
-                    self._rng.shuffle(order)
-                    losses = [self.train_step(train_samples[i]) for i in order]
-                    weights = [len(train_samples[i].pairs) for i in order]
-                else:
-                    self._rng.shuffle(batch_order)
-                    losses = [self.train_step_batch(batches[j]) for j in batch_order]
-                    weights = [
-                        sum(len(s.pairs) for s in batches[j]) for j in batch_order
+                    losses = [
+                        self.train_step(train_samples[batch[0]])
+                        for batch in epoch_batches
                     ]
+                    weights = [
+                        len(train_samples[batch[0]].pairs) for batch in epoch_batches
+                    ]
+                else:
+                    losses, weights = [], []
+                    for batch in epoch_batches:
+                        members = [train_samples[i] for i in batch]
+                        losses.append(self.train_step_batch(members))
+                        weights.append(sum(len(s.pairs) for s in members))
                 eval_mre = None
                 if eval_samples:
                     eval_mre = self.evaluate(eval_samples).delay.mre
@@ -387,6 +415,8 @@ class Trainer:
         finally:
             if stepper is not None:
                 stepper.close()
+            if loader is not None:
+                loader.close()
         return history
 
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ from repro.dataset import (
     save_dataset,
     iter_dataset,
 )
-from repro.errors import DatasetError
+from repro.errors import DatasetError, DatasetFormatError
 
 
 class TestRoundtrip:
@@ -77,3 +77,54 @@ class TestErrors:
         with path.open("a") as fh:
             fh.write("\n\n")
         assert len(load_dataset(path)) == 2
+
+
+class TestFormatValidation:
+    """Per-line schema/version validation of ``iter_dataset``."""
+
+    def _archive_with_line(self, tiny_samples, tmp_path, extra_line):
+        path = tmp_path / "data.jsonl"
+        save_dataset(tiny_samples[:1], path)
+        with path.open("a") as fh:
+            fh.write(extra_line + "\n")
+        return path
+
+    def test_bad_json_carries_path_and_line(self, tiny_samples, tmp_path):
+        path = self._archive_with_line(tiny_samples, tmp_path, "{broken")
+        with pytest.raises(DatasetFormatError) as info:
+            list(iter_dataset(path))
+        assert str(info.value.path) == str(path)
+        assert info.value.line == 2
+
+    def test_non_object_line_rejected(self, tiny_samples, tmp_path):
+        path = self._archive_with_line(tiny_samples, tmp_path, "[1, 2, 3]")
+        with pytest.raises(DatasetFormatError, match=":2"):
+            list(iter_dataset(path))
+
+    def test_missing_version_rejected(self, tiny_samples, tmp_path):
+        data = sample_to_dict(tiny_samples[0])
+        del data["version"]
+        path = self._archive_with_line(tiny_samples, tmp_path, json.dumps(data))
+        with pytest.raises(DatasetFormatError, match="version"):
+            list(iter_dataset(path))
+
+    def test_future_version_names_file_and_line(self, tiny_samples, tmp_path):
+        data = sample_to_dict(tiny_samples[0])
+        data["version"] = 99
+        path = self._archive_with_line(tiny_samples, tmp_path, json.dumps(data))
+        with pytest.raises(DatasetFormatError, match="version") as info:
+            list(iter_dataset(path))
+        assert info.value.line == 2
+
+    def test_format_error_is_a_dataset_error(self):
+        assert issubclass(DatasetFormatError, DatasetError)
+
+    def test_valid_lines_before_the_bad_one_are_yielded(
+        self, tiny_samples, tmp_path
+    ):
+        path = self._archive_with_line(tiny_samples, tmp_path, "{broken")
+        iterator = iter_dataset(path)
+        first = next(iterator)
+        assert first.num_pairs == tiny_samples[0].num_pairs
+        with pytest.raises(DatasetFormatError):
+            next(iterator)

@@ -1,0 +1,426 @@
+"""Tests for the binary stream dataset, deterministic samplers, and prefetch.
+
+Covers the PR-10 acceptance pins:
+
+* shard round-trip is **bitwise** (every label/structure array compares with
+  ``np.array_equal``, including loss/pair-class and sparse-traffic edges);
+* samplers are seeded-deterministic, worker-count-independent, and resumable
+  across a kill/restart boundary via ``state_dict``;
+* the prefetch loader survives a SIGKILLed worker mid-epoch and still packs
+  bitwise-identical batches;
+* ``Trainer.fit`` over a converted dataset reproduces the eager-list loss
+  trajectory bitwise — including under ``prefetch=`` and ``workers=``.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import HyperParams, RouteNet
+from repro.dataset import (
+    ItemSampler,
+    MinibatchSampler,
+    PrefetchLoader,
+    ShardReader,
+    ShardWriter,
+    StreamDataset,
+    convert_jsonl,
+    fit_scaler,
+    load_dataset,
+    save_dataset,
+    write_stream_dataset,
+)
+from repro.errors import DatasetError, DatasetFormatError
+from repro.random import make_rng
+from repro.traffic import TrafficMatrix
+from repro.training import Trainer
+
+TINY_HP = HyperParams(
+    link_state_dim=8,
+    path_state_dim=8,
+    readout_hidden=(8,),
+    message_passing_steps=2,
+)
+
+
+@pytest.fixture(scope="module")
+def stream_dir(tiny_samples, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("stream") / "ds"
+    write_stream_dataset(tiny_samples, directory, samples_per_shard=3)
+    return directory
+
+
+def assert_samples_bitwise_equal(a, b):
+    assert a.pairs == b.pairs
+    assert np.array_equal(a.delay, b.delay)
+    assert np.array_equal(a.jitter, b.jitter)
+    assert np.array_equal(a.loss_rate, b.loss_rate)
+    if a.pair_class is None:
+        assert b.pair_class is None
+    else:
+        assert np.array_equal(a.pair_class, b.pair_class)
+    assert a.topology == b.topology
+    assert a.routing.to_dict() == b.routing.to_dict()
+    assert np.array_equal(a.traffic.rates, b.traffic.rates)
+    assert a.meta == b.meta
+
+
+class TestShardRoundTrip:
+    def test_every_sample_roundtrips_bitwise(self, tiny_samples, stream_dir):
+        ds = StreamDataset(stream_dir)
+        assert len(ds) == len(tiny_samples)
+        for original, restored in zip(tiny_samples, ds):
+            assert_samples_bitwise_equal(original, restored)
+        ds.close()
+
+    def test_loss_and_pair_class_roundtrip(self, tiny_samples, tmp_path):
+        base = tiny_samples[0]
+        n = base.num_pairs
+        sample = dataclasses.replace(
+            base,
+            loss_rate=np.linspace(0.0, 1.0, n),
+            pair_class=np.arange(n) % 3,
+        )
+        write_stream_dataset([sample], tmp_path / "ds")
+        ds = StreamDataset(tmp_path / "ds")
+        restored = ds[0]
+        assert np.array_equal(restored.loss_rate, sample.loss_rate)
+        assert np.array_equal(restored.pair_class, sample.pair_class)
+        ds.close()
+
+    def test_sparse_traffic_and_dropped_pairs_roundtrip(
+        self, tiny_samples, tmp_path
+    ):
+        """Edge case: most flows empty, most routed pairs dropped from labels."""
+        base = tiny_samples[0]
+        keep = 2
+        rates = np.zeros_like(base.traffic.rates)
+        for src, dst in base.pairs[:keep]:
+            rates[src, dst] = base.traffic.rates[src, dst]
+        sample = dataclasses.replace(
+            base,
+            traffic=TrafficMatrix(rates),
+            pairs=base.pairs[:keep],
+            delay=base.delay[:keep],
+            jitter=base.jitter[:keep],
+            loss_rate=base.loss_rate[:keep],
+        )
+        write_stream_dataset([sample], tmp_path / "ds")
+        ds = StreamDataset(tmp_path / "ds")
+        assert_samples_bitwise_equal(sample, ds[0])
+        ds.close()
+
+    def test_label_views_are_zero_copy(self, stream_dir):
+        ds = StreamDataset(stream_dir)
+        sample = ds.materialize(0)
+        # Views into the shard memmap own no data of their own.
+        assert not sample.delay.flags["OWNDATA"]
+        assert not sample.jitter.flags["OWNDATA"]
+        ds.close()
+
+    def test_writer_is_incremental_and_sharded(self, tiny_samples, tmp_path):
+        with ShardWriter(tmp_path / "ds", samples_per_shard=2) as writer:
+            for sample in tiny_samples:
+                writer.append(sample)
+        manifest = json.loads((tmp_path / "ds" / "manifest.json").read_text())
+        assert manifest["num_tasks"] == len(tiny_samples)
+        assert len(manifest["shards"]) == (len(tiny_samples) + 1) // 2
+
+    def test_reader_crc_matches_manifest(self, stream_dir):
+        manifest = json.loads((stream_dir / "manifest.json").read_text())
+        for entry in manifest["shards"]:
+            reader = ShardReader(stream_dir / entry["file"])
+            assert reader.body_crc32() == entry["crc32"]
+            reader.close()
+
+
+class TestFormatErrors:
+    def _one_shard_dataset(self, tiny_samples, tmp_path):
+        directory = tmp_path / "ds"
+        write_stream_dataset(tiny_samples[:2], directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        return directory, directory / manifest["shards"][0]["file"]
+
+    def test_corrupt_magic_raises(self, tiny_samples, tmp_path):
+        directory, shard = self._one_shard_dataset(tiny_samples, tmp_path)
+        data = bytearray(shard.read_bytes())
+        data[0] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        with pytest.raises(DatasetFormatError, match="magic"):
+            ShardReader(shard)
+
+    def test_future_shard_version_raises(self, tiny_samples, tmp_path):
+        directory, shard = self._one_shard_dataset(tiny_samples, tmp_path)
+        data = bytearray(shard.read_bytes())
+        data[8:12] = (99).to_bytes(4, "little")
+        shard.write_bytes(bytes(data))
+        with pytest.raises(DatasetFormatError, match="version"):
+            ShardReader(shard)
+
+    def test_truncated_shard_raises(self, tiny_samples, tmp_path):
+        directory, shard = self._one_shard_dataset(tiny_samples, tmp_path)
+        shard.write_bytes(shard.read_bytes()[:100])
+        with pytest.raises((DatasetFormatError, DatasetError)):
+            ShardReader(shard)
+
+    def test_verify_catches_bit_rot(self, tiny_samples, tmp_path):
+        directory, shard = self._one_shard_dataset(tiny_samples, tmp_path)
+        data = bytearray(shard.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        shard.write_bytes(bytes(data))
+        ds = StreamDataset(directory)
+        with pytest.raises(DatasetError, match="crc|CRC"):
+            ds.verify()
+        ds.close()
+
+    def test_manifest_count_mismatch_raises(self, tiny_samples, tmp_path):
+        directory, _ = self._one_shard_dataset(tiny_samples, tmp_path)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["num_tasks"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DatasetError):
+            StreamDataset(directory)
+
+    def test_refuses_overwrite_without_flag(self, tiny_samples, tmp_path):
+        write_stream_dataset(tiny_samples[:1], tmp_path / "ds")
+        with pytest.raises(DatasetError, match="overwrite"):
+            write_stream_dataset(tiny_samples[:1], tmp_path / "ds")
+        # And succeeds with the flag.
+        write_stream_dataset(tiny_samples[:1], tmp_path / "ds", overwrite=True)
+
+
+class TestStreamDataset:
+    def test_sequence_protocol(self, tiny_samples, stream_dir):
+        ds = StreamDataset(stream_dir)
+        assert len(ds) == len(tiny_samples)
+        assert_samples_bitwise_equal(ds[-1], tiny_samples[-1])
+        sliced = ds[1:3]
+        assert len(sliced) == 2
+        assert_samples_bitwise_equal(sliced[0], tiny_samples[1])
+        ds.close()
+
+    def test_lru_cache_keeps_results_correct(self, tiny_samples, stream_dir):
+        ds = StreamDataset(stream_dir, cache_samples=2)
+        for index in (0, 5, 1, 5, 7, 0):
+            assert_samples_bitwise_equal(ds[index], tiny_samples[index])
+        ds.close()
+
+    def test_pickle_reopens_by_path(self, stream_dir):
+        import pickle
+
+        ds = StreamDataset(stream_dir)
+        clone = pickle.loads(pickle.dumps(ds))
+        assert_samples_bitwise_equal(clone[2], ds[2])
+        clone.close()
+        ds.close()
+
+    def test_convert_jsonl_preserves_concatenation_order(
+        self, tiny_samples, tmp_path
+    ):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        save_dataset(tiny_samples[:3], first)
+        save_dataset(tiny_samples[3:], second)
+        count = convert_jsonl([first, second], tmp_path / "ds",
+                              samples_per_shard=4)
+        assert count == len(tiny_samples)
+        ds = StreamDataset(tmp_path / "ds")
+        eager = load_dataset(first) + load_dataset(second)
+        for restored, original in zip(ds, eager):
+            assert_samples_bitwise_equal(restored, original)
+        ds.close()
+
+
+class TestItemSampler:
+    def test_seeded_epochs_are_deterministic(self):
+        a = ItemSampler(32, shuffle=True, seed=9)
+        b = ItemSampler(32, shuffle=True, seed=9)
+        assert np.array_equal(a.epoch_order(0), b.epoch_order(0))
+        assert np.array_equal(a.epoch_order(3), b.epoch_order(3))
+        assert not np.array_equal(a.epoch_order(0), a.epoch_order(1))
+
+    def test_sequential_mode_is_identity(self):
+        sampler = ItemSampler(5, shuffle=False)
+        assert np.array_equal(sampler.epoch_order(0), np.arange(5))
+
+    def test_resume_across_kill_boundary(self):
+        """A restarted sampler continues exactly where the old one stopped."""
+        sampler = ItemSampler(20, shuffle=True, seed=4)
+        consumed = [next(sampler.iter_epoch()) for _ in range(7)]
+        state = sampler.state_dict()
+
+        resumed = ItemSampler(20, shuffle=True, seed=4)
+        resumed.load_state_dict(state)
+        rest = list(resumed.iter_epoch())
+        full = ItemSampler(20, shuffle=True, seed=4).epoch_order(0)
+        assert consumed + rest == list(full)
+
+    def test_state_mismatch_rejected(self):
+        state = ItemSampler(10, shuffle=True, seed=1).state_dict()
+        other = ItemSampler(11, shuffle=True, seed=1)
+        with pytest.raises(DatasetError):
+            other.load_state_dict(state)
+
+
+class TestMinibatchSampler:
+    def test_partition_is_consecutive_and_shuffle_invariant(self):
+        sampler = MinibatchSampler(10, 4, shuffle=True, seed=2)
+        batches = sorted(sampler.epoch_batches(0))
+        assert batches == [(0, 1, 2, 3), (4, 5, 6, 7), (8, 9)]
+
+    def test_drop_last(self):
+        sampler = MinibatchSampler(10, 4, drop_last=True)
+        assert sampler.num_batches == 2
+
+    def test_worker_count_independent_order(self):
+        """The schedule is a pure function of (seed, epoch): any number of
+        consumers sharding it round-robin reconstructs the same sequence."""
+        sampler = MinibatchSampler(24, 4, shuffle=True, seed=7)
+        schedule = sampler.epoch_batches(epoch=1)
+        for consumers in (1, 2, 3):
+            shards = [schedule[rank::consumers] for rank in range(consumers)]
+            merged = [None] * len(schedule)
+            for rank, shard in enumerate(shards):
+                merged[rank::consumers] = shard
+            assert merged == schedule
+
+    def test_resume_roundtrip(self):
+        sampler = MinibatchSampler(20, 4, shuffle=True, seed=3)
+        first = [next(sampler.iter_epoch()) for _ in range(2)]
+        resumed = MinibatchSampler(20, 4, shuffle=True, seed=3)
+        resumed.load_state_dict(sampler.state_dict())
+        rest = list(resumed.iter_epoch())
+        assert first + rest == sampler.epoch_batches(0)
+
+    def test_trajectory_mode_replays_legacy_shuffle(self):
+        """``rng=`` mode consumes the caller's generator exactly like the
+        legacy in-place persistent shuffle (permutations compose)."""
+        legacy_rng = make_rng(11)
+        legacy = np.arange(4)
+        sampler_rng = make_rng(11)
+        sampler = MinibatchSampler(16, 4, shuffle=True)
+        for _ in range(3):
+            legacy_rng.shuffle(legacy)
+            batches = sampler.epoch_batches(rng=sampler_rng)
+            assert [b[0] // 4 for b in batches] == list(legacy)
+
+
+def _fit(source, tiny_samples_scaler=None, **kwargs):
+    model = RouteNet(TINY_HP, seed=0)
+    trainer = Trainer(model, seed=5)
+    history = trainer.fit(source, epochs=2, batch_size=kwargs.pop("batch_size", 4),
+                          **kwargs)
+    losses = [epoch.train_loss for epoch in history.epochs]
+    params = [p.data.copy() for p in model.parameters()]
+    return losses, params
+
+
+class TestTrainingParity:
+    def test_stream_fit_matches_eager_bitwise(self, tiny_samples, stream_dir):
+        ds = StreamDataset(stream_dir)
+        eager_losses, eager_params = _fit(list(tiny_samples))
+        stream_losses, stream_params = _fit(ds)
+        assert eager_losses == stream_losses
+        for a, b in zip(eager_params, stream_params):
+            assert np.array_equal(a, b)
+        ds.close()
+
+    def test_prefetch_fit_matches_eager_bitwise(self, tiny_samples, stream_dir):
+        ds = StreamDataset(stream_dir)
+        eager_losses, eager_params = _fit(list(tiny_samples))
+        prefetch_losses, prefetch_params = _fit(ds, prefetch=1)
+        assert eager_losses == prefetch_losses
+        for a, b in zip(eager_params, prefetch_params):
+            assert np.array_equal(a, b)
+        ds.close()
+
+    def test_workers_over_stream_match_eager_worker_path(
+        self, tiny_samples, stream_dir
+    ):
+        """Acceptance pin: converted dataset + workers in {1, 2} reproduces
+        the eager-list loss digest bitwise."""
+        ds = StreamDataset(stream_dir)
+        eager_losses, _ = _fit(list(tiny_samples), workers=1)
+        w1_losses, _ = _fit(ds, workers=1)
+        w2_losses, w2_params = _fit(ds, workers=2)
+        assert eager_losses == w1_losses == w2_losses
+        ds.close()
+
+    def test_prefetch_and_workers_are_exclusive(self, tiny_samples):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="mutually exclusive"):
+            _fit(list(tiny_samples), prefetch=1, workers=2)
+
+
+class TestPrefetchLoader:
+    def _loader(self, tiny_samples, stream_dir, **kwargs):
+        ds = StreamDataset(stream_dir)
+        scaler = fit_scaler(tiny_samples)
+        return ds, PrefetchLoader(
+            ds,
+            scaler=scaler,
+            include_load=False,
+            path_feature_dim=TINY_HP.path_feature_dim,
+            readout_targets=TINY_HP.readout_targets,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _digest(batches):
+        acc = hashlib.sha256()
+        for inputs, targets in batches:
+            acc.update(inputs.link_features.tobytes())
+            acc.update(inputs.path_features.tobytes())
+            acc.update(np.ascontiguousarray(inputs.link_indices).tobytes())
+            acc.update(targets.tobytes())
+        return acc.hexdigest()
+
+    def test_packs_bitwise_identical_batches(self, tiny_samples, stream_dir):
+        schedule = [(0, 1, 2), (3, 4), (5, 6, 7)]
+        ds, loader = self._loader(tiny_samples, stream_dir)
+        with ds, loader:
+            digest = self._digest(loader.batches(schedule))
+        ds2, loader2 = self._loader(tiny_samples, stream_dir, workers=2)
+        with ds2, loader2:
+            digest2 = self._digest(loader2.batches(schedule))
+        assert digest == digest2
+
+    def test_crash_recovery_mid_epoch(self, tiny_samples, stream_dir):
+        """SIGKILL the packing worker mid-epoch: the pool respawns it and the
+        epoch completes with a bitwise-identical batch digest.
+
+        The kill waits for the pipeline to quiesce (bounded queue full,
+        worker parked between rounds) — killing a process mid
+        ``Queue.put`` can wedge the shared pipe, which is a multiprocessing
+        limitation, not a recovery path the pool promises.
+        """
+        schedule = [(i % 8, (i + 1) % 8) for i in range(12)]
+        ds, loader = self._loader(tiny_samples, stream_dir)
+        with ds, loader:
+            clean = self._digest(loader.batches(schedule))
+
+        ds2, loader2 = self._loader(tiny_samples, stream_dir)
+        with ds2, loader2:
+            batches = []
+            iterator = loader2.batches(schedule)
+            batches.append(next(iterator))
+            time.sleep(1.0)  # drain in-flight rounds: worker goes idle
+            os.kill(loader2.pool._handles[0].process.pid, signal.SIGKILL)
+            for batch in iterator:
+                batches.append(batch)
+            assert loader2.pool.stats.restarts >= 1
+            crashed = self._digest(batches)
+        assert clean == crashed
+
+    def test_error_in_worker_propagates(self, tiny_samples, stream_dir):
+        ds, loader = self._loader(tiny_samples, stream_dir)
+        with ds, loader:
+            with pytest.raises(Exception):
+                list(loader.batches([(0, 99999)]))
